@@ -1,0 +1,154 @@
+//! Criterion microbenchmarks of the engine substrate: lexing, parsing,
+//! binding+optimizing, and execution of representative CrowdSQL queries.
+//! These measure the machine-side costs that sit under every crowd
+//! round-trip (the paper's observation: humans dominate; the engine must
+//! stay out of the way).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crowddb_common::row;
+use crowddb_exec::{execute, CompareCaches};
+use crowddb_plan::cardinality::FnStats;
+use crowddb_plan::{optimize, Binder, LogicalPlan, OptimizerConfig};
+use crowddb_sql::{parse_statement, Lexer, Statement};
+use crowddb_storage::Database;
+
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "point",
+        "SELECT abstract FROM talk WHERE title = 'talk-0001'",
+    ),
+    (
+        "filter_project",
+        "SELECT title, nb_attendees FROM talk WHERE nb_attendees > 100 AND track = 'demo'",
+    ),
+    (
+        "join",
+        "SELECT t.title, n.name FROM talk t JOIN attendee n ON t.title = n.title",
+    ),
+    (
+        "aggregate",
+        "SELECT track, COUNT(*), AVG(nb_attendees) FROM talk GROUP BY track \
+         HAVING COUNT(*) > 2 ORDER BY track",
+    ),
+    (
+        "complex",
+        "SELECT t.track, COUNT(*) FROM talk t \
+         WHERE t.title IN (SELECT title FROM attendee) AND t.nb_attendees BETWEEN 10 AND 500 \
+         GROUP BY t.track ORDER BY 2 DESC LIMIT 5",
+    ),
+];
+
+fn setup_db(talks: usize) -> Database {
+    let db = Database::new();
+    for ddl in [
+        "CREATE TABLE talk (title STRING PRIMARY KEY, abstract STRING, \
+         nb_attendees INTEGER, track STRING)",
+        "CREATE TABLE attendee (id INTEGER PRIMARY KEY, name STRING, title STRING)",
+    ] {
+        let Statement::CreateTable(ct) = parse_statement(ddl).unwrap() else {
+            panic!()
+        };
+        let schema = db.with_catalog(|c| c.schema_from_ast(&ct)).unwrap();
+        db.create_table(schema).unwrap();
+    }
+    for i in 0..talks {
+        db.insert(
+            "talk",
+            row![
+                format!("talk-{i:04}"),
+                format!("abstract of talk {i}"),
+                (i % 400) as i64,
+                if i % 4 == 0 { "demo" } else { "research" }
+            ],
+        )
+        .unwrap();
+    }
+    for i in 0..talks * 2 {
+        db.insert(
+            "attendee",
+            row![
+                i as i64,
+                format!("person-{i}"),
+                format!("talk-{:04}", i % talks.max(1))
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn plan_query(db: &Database, sql: &str) -> LogicalPlan {
+    let Statement::Select(q) = parse_statement(sql).unwrap() else {
+        panic!()
+    };
+    let bound = db.with_catalog(|c| Binder::new(c).bind_query(&q)).unwrap();
+    let stats_fn = |t: &str| db.stats(t).ok().map(|s| s.live_rows as u64);
+    optimize(bound, &FnStats(stats_fn), &OptimizerConfig::default())
+}
+
+fn bench_lexer(c: &mut Criterion) {
+    let sql = QUERIES.last().unwrap().1;
+    c.bench_function("lex_complex_query", |b| {
+        b.iter(|| Lexer::new(black_box(sql)).tokenize().unwrap())
+    });
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse");
+    for (name, sql) in QUERIES {
+        g.bench_with_input(BenchmarkId::from_parameter(name), sql, |b, sql| {
+            b.iter(|| parse_statement(black_box(sql)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let db = setup_db(1000);
+    let mut g = c.benchmark_group("bind_optimize");
+    for (name, sql) in QUERIES {
+        g.bench_with_input(BenchmarkId::from_parameter(name), sql, |b, sql| {
+            b.iter(|| plan_query(black_box(&db), sql))
+        });
+    }
+    g.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let db = setup_db(1000);
+    let caches = CompareCaches::default();
+    let mut g = c.benchmark_group("execute_1k_rows");
+    for (name, sql) in QUERIES {
+        let plan = plan_query(&db, sql);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            b.iter(|| execute(black_box(&db), &caches, plan).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("insert_row", |b| {
+        let db = setup_db(0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            db.insert(
+                "attendee",
+                row![i as i64, format!("p{i}"), "talk-0000"],
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lexer,
+    bench_parser,
+    bench_plan,
+    bench_execute,
+    bench_insert
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of complete crowd round-trips through the whole
+//! stack (engine + task manager + simulated marketplace) — the
+//! "experiment inner loops" that the `exp_*` binaries sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crowddb_bench::workloads;
+use crowddb_bench::world::{CompanyWorld, ProfessorWorld};
+use crowddb_core::{CrowdConfig, CrowdDB};
+use crowddb_platform::SimPlatform;
+use crowddb_quality::VoteConfig;
+
+fn bench_probe_roundtrip(c: &mut Criterion) {
+    c.bench_function("crowd_probe_roundtrip_20_profs_x3", |b| {
+        let corpus = workloads::professors(20, 5);
+        b.iter(|| {
+            let db = CrowdDB::with_config(CrowdConfig {
+                vote: VoteConfig::replicated(3),
+                ..CrowdConfig::default()
+            });
+            db.execute_local(
+                "CREATE TABLE professor (name STRING PRIMARY KEY, \
+                 department CROWD STRING, email CROWD STRING)",
+            )
+            .unwrap();
+            for p in &corpus {
+                db.execute_local(&format!(
+                    "INSERT INTO professor (name) VALUES ('{}')",
+                    p.name
+                ))
+                .unwrap();
+            }
+            let mut amt = SimPlatform::amt(1, Box::new(ProfessorWorld::new(&corpus)));
+            db.execute("SELECT name, department FROM professor", &mut amt)
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+}
+
+fn bench_crowdequal_roundtrip(c: &mut Criterion) {
+    c.bench_function("crowdequal_roundtrip_20_pairs_x3", |b| {
+        let corpus = workloads::companies(10, 6);
+        let pairs = workloads::entity_pairs(&corpus, 6);
+        b.iter(|| {
+            let db = CrowdDB::with_config(CrowdConfig {
+                vote: VoteConfig::replicated(3),
+                ..CrowdConfig::default()
+            });
+            db.execute_local("CREATE TABLE pairs (id INTEGER PRIMARY KEY, a STRING, b STRING)")
+                .unwrap();
+            for (i, (a, b2, _)) in pairs.iter().take(20).enumerate() {
+                db.execute_local(&format!(
+                    "INSERT INTO pairs VALUES ({i}, '{}', '{}')",
+                    a.replace('\'', "''"),
+                    b2.replace('\'', "''")
+                ))
+                .unwrap();
+            }
+            let mut amt = SimPlatform::amt(2, Box::new(CompanyWorld::new(&corpus)));
+            db.execute("SELECT id FROM pairs WHERE CROWDEQUAL(a, b)", &mut amt)
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_probe_roundtrip, bench_crowdequal_roundtrip
+}
+criterion_main!(benches);

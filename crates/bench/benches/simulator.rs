@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks of the marketplace simulator: event
+//! throughput and posting overhead. The simulator must stay orders of
+//! magnitude faster than virtual time so the experiment harness can
+//! sweep weeks of marketplace activity in seconds.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crowddb_common::DataType;
+use crowddb_platform::{Platform, PerfectModel, SimPlatform, TaskKind, TaskSpec};
+
+fn probe_spec(i: usize) -> TaskSpec {
+    TaskSpec::new(TaskKind::Probe {
+        table: "talk".into(),
+        known: vec![("title".into(), format!("t{i}"))],
+        asked: vec![("nb_attendees".into(), DataType::Int)],
+        instructions: String::new(),
+    })
+    .reward(3)
+    .replicate(1)
+}
+
+fn bench_post(c: &mut Criterion) {
+    let mut g = c.benchmark_group("post_hits");
+    for n in [10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut p = SimPlatform::amt(1, Box::new(PerfectModel));
+                p.post((0..n).map(probe_spec).collect()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulated_hour(c: &mut Criterion) {
+    c.bench_function("advance_one_virtual_hour_100_hits", |b| {
+        b.iter(|| {
+            let mut p = SimPlatform::amt(2, Box::new(PerfectModel));
+            p.post((0..100).map(probe_spec).collect()).unwrap();
+            p.advance(black_box(3600.0));
+            p.collect().len()
+        })
+    });
+}
+
+fn bench_full_completion(c: &mut Criterion) {
+    c.bench_function("run_100_hits_to_completion", |b| {
+        b.iter(|| {
+            let mut p = SimPlatform::amt(3, Box::new(PerfectModel));
+            let hits = p.post((0..100).map(probe_spec).collect()).unwrap();
+            let mut guard = 0;
+            while !hits.iter().all(|h| p.is_complete(*h)) && guard < 10_000 {
+                p.advance(600.0);
+                guard += 1;
+            }
+            p.collect().len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_post, bench_simulated_hour, bench_full_completion);
+criterion_main!(benches);

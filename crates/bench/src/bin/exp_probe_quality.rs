@@ -1,0 +1,98 @@
+//! E4 — CrowdProbe answer quality vs replication (SIGMOD 2011: professor
+//! department/e-mail experiment).
+//!
+//! The paper crowdsourced two kinds of missing professor attributes: the
+//! *department* (a closed set — easy to vote into correctness) and the
+//! *e-mail address* (open text — majority voting helps less because
+//! wrong answers rarely collide). It reported accuracy at 1, 3, and 5
+//! assignments per HIT. This harness runs the same table through the
+//! full CrowdDB stack against the simulated marketplace.
+
+use crowddb_bench::harness::ExperimentOutput;
+use crowddb_bench::workloads;
+use crowddb_bench::world::ProfessorWorld;
+use crowddb_core::{CrowdConfig, CrowdDB};
+use crowddb_platform::{SimConfig, SimPlatform};
+use crowddb_quality::VoteConfig;
+
+fn main() {
+    let mut out = ExperimentOutput::new(
+        "E4",
+        "CrowdProbe accuracy vs assignments (paper: closed fields benefit strongly \
+         from majority voting, open fields less)",
+    );
+    out.headers = vec![
+        "assignments".into(),
+        "dept accuracy".into(),
+        "email accuracy".into(),
+        "tasks".into(),
+        "cost (cents)".into(),
+    ];
+
+    const PROFS: usize = 60;
+    let corpus = workloads::professors(PROFS, 99);
+
+    for replication in [1usize, 3, 5] {
+        let db = CrowdDB::with_config(CrowdConfig {
+            vote: VoteConfig::replicated(replication),
+            reward_cents: 2,
+            ..CrowdConfig::default()
+        });
+        db.execute_local(
+            "CREATE TABLE professor (name STRING PRIMARY KEY, department CROWD STRING, \
+             email CROWD STRING)",
+        )
+        .expect("ddl");
+        for p in &corpus {
+            db.execute_local(&format!(
+                "INSERT INTO professor (name) VALUES ('{}')",
+                p.name.replace('\'', "''")
+            ))
+            .expect("insert");
+        }
+        // A noisier population than the liquid-market default: the
+        // paper's probe experiments saw substantial raw error rates.
+        let mut sim_config = SimConfig::amt(4242);
+        sim_config.pool.error_alpha = 2.5; // mean error ~25%
+        sim_config.pool.error_beta = 7.5;
+        let mut amt = SimPlatform::new(
+            "amt-sim",
+            sim_config,
+            Box::new(ProfessorWorld::new(&corpus)),
+        );
+        let r = db
+            .execute(
+                "SELECT name, department, email FROM professor",
+                &mut amt,
+            )
+            .expect("query");
+
+        // Score against ground truth.
+        let mut dept_ok = 0usize;
+        let mut email_ok = 0usize;
+        for row in &r.rows {
+            let name = row[0].to_string();
+            let truth = corpus.iter().find(|p| p.name == name).expect("known prof");
+            if row[1].to_string().eq_ignore_ascii_case(&truth.department) {
+                dept_ok += 1;
+            }
+            if row[2].to_string().eq_ignore_ascii_case(&truth.email) {
+                email_ok += 1;
+            }
+        }
+        out.rows.push(vec![
+            replication.to_string(),
+            format!("{:.1}%", 100.0 * dept_ok as f64 / PROFS as f64),
+            format!("{:.1}%", 100.0 * email_ok as f64 / PROFS as f64),
+            r.crowd.tasks_posted.to_string(),
+            r.crowd.cents_spent.to_string(),
+        ]);
+    }
+    out.notes.push(
+        "expected shape: accuracy rises with replication; department (closed \
+         vocabulary) converges to ~100% by 3–5 votes while e-mail (open text) \
+         improves more slowly; cost grows linearly with replication"
+            .into(),
+    );
+    out.print();
+}

@@ -1,0 +1,136 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenient result alias used throughout CrowdDB.
+pub type Result<T> = std::result::Result<T, CrowdError>;
+
+/// Errors produced by any CrowdDB component.
+///
+/// A single error enum is shared across the workspace so that layers can
+/// propagate failures without conversion boilerplate; the variant records
+/// which stage of query processing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrowdError {
+    /// Lexing or parsing of CrowdSQL failed.
+    Parse(String),
+    /// Name resolution / semantic analysis failed (unknown table, ambiguous
+    /// column, arity mismatch, ...).
+    Analyze(String),
+    /// Static type checking of an expression failed.
+    Type(String),
+    /// Logical planning or optimization failed.
+    Plan(String),
+    /// The boundedness analysis determined the plan would request an
+    /// unbounded amount of data from the crowd (open-world violation).
+    ///
+    /// The paper requires that the optimizer "warns the user at
+    /// compile-time if the number of requests cannot be bounded".
+    UnboundedCrowdQuery(String),
+    /// Catalog manipulation failed (duplicate table, unknown column, ...).
+    Catalog(String),
+    /// An integrity constraint was violated (primary key, NOT NULL, foreign
+    /// key, type domain).
+    Constraint(String),
+    /// Runtime execution failed.
+    Exec(String),
+    /// The crowdsourcing platform reported an error (task rejected, platform
+    /// unavailable, malformed response).
+    Platform(String),
+    /// Quality control could not produce an accepted answer (e.g. the vote
+    /// never reached quorum within the escalation budget).
+    Quality(String),
+    /// Task user-interface generation failed.
+    Ui(String),
+    /// Crowdsourcing budget exhausted before the query could complete.
+    BudgetExhausted(String),
+    /// An internal invariant was violated; indicates a CrowdDB bug.
+    Internal(String),
+}
+
+impl CrowdError {
+    /// Short machine-readable category name for this error.
+    pub fn category(&self) -> &'static str {
+        match self {
+            CrowdError::Parse(_) => "parse",
+            CrowdError::Analyze(_) => "analyze",
+            CrowdError::Type(_) => "type",
+            CrowdError::Plan(_) => "plan",
+            CrowdError::UnboundedCrowdQuery(_) => "unbounded-crowd-query",
+            CrowdError::Catalog(_) => "catalog",
+            CrowdError::Constraint(_) => "constraint",
+            CrowdError::Exec(_) => "exec",
+            CrowdError::Platform(_) => "platform",
+            CrowdError::Quality(_) => "quality",
+            CrowdError::Ui(_) => "ui",
+            CrowdError::BudgetExhausted(_) => "budget",
+            CrowdError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message carried by this error.
+    pub fn message(&self) -> &str {
+        match self {
+            CrowdError::Parse(m)
+            | CrowdError::Analyze(m)
+            | CrowdError::Type(m)
+            | CrowdError::Plan(m)
+            | CrowdError::UnboundedCrowdQuery(m)
+            | CrowdError::Catalog(m)
+            | CrowdError::Constraint(m)
+            | CrowdError::Exec(m)
+            | CrowdError::Platform(m)
+            | CrowdError::Quality(m)
+            | CrowdError::Ui(m)
+            | CrowdError::BudgetExhausted(m)
+            | CrowdError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.category(), self.message())
+    }
+}
+
+impl std::error::Error for CrowdError {}
+
+/// Build an [`CrowdError::Internal`] with format args.
+#[macro_export]
+macro_rules! internal_err {
+    ($($arg:tt)*) => {
+        $crate::CrowdError::Internal(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_and_message_roundtrip() {
+        let e = CrowdError::Parse("unexpected token".into());
+        assert_eq!(e.category(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+    }
+
+    #[test]
+    fn unbounded_is_distinct_category() {
+        let e = CrowdError::UnboundedCrowdQuery("full scan of crowd table".into());
+        assert_eq!(e.category(), "unbounded-crowd-query");
+    }
+
+    #[test]
+    fn internal_macro_formats() {
+        let e = internal_err!("bad state {}", 42);
+        assert_eq!(e, CrowdError::Internal("bad state 42".into()));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CrowdError::Exec("x".into()));
+    }
+}

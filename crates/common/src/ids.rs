@@ -1,0 +1,79 @@
+//! Strongly-typed identifiers used across the engine.
+//!
+//! Newtypes prevent accidentally mixing, say, a table id with a tuple id;
+//! all are cheap `Copy` wrappers over integers.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Raw numeric value of the identifier.
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a table in the catalog.
+    TableId,
+    "t"
+);
+id_type!(
+    /// Identifies a tuple within a table (stable across updates, not reused
+    /// after deletion).
+    TupleId,
+    "r"
+);
+id_type!(
+    /// Identifies a column by ordinal position within its table.
+    ColumnId,
+    "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(TableId(3).to_string(), "t3");
+        assert_eq!(TupleId(12).to_string(), "r12");
+        assert_eq!(ColumnId(0).to_string(), "c0");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(TupleId(1));
+        s.insert(TupleId(1));
+        s.insert(TupleId(2));
+        assert_eq!(s.len(), 2);
+        assert!(TableId(1) < TableId(2));
+    }
+
+    #[test]
+    fn from_u64() {
+        let t: TableId = 7u64.into();
+        assert_eq!(t.raw(), 7);
+    }
+}

@@ -1,0 +1,29 @@
+//! # crowddb-common
+//!
+//! Shared foundational types for the CrowdDB workspace.
+//!
+//! This crate defines the value model (including the `CNULL` marker that
+//! CrowdSQL adds to every SQL type), the schema model (including `CROWD`
+//! columns and `CROWD` tables), rows, identifiers, and the common error
+//! type used across all CrowdDB crates.
+//!
+//! The design follows the VLDB 2011 demo paper "CrowdDB: Query Processing
+//! with the VLDB Crowd": `CNULL` indicates that a value *should be
+//! crowdsourced when it is first used*, which is distinct from SQL `NULL`
+//! ("known to be missing / inapplicable").
+
+pub mod error;
+pub mod ids;
+pub mod row;
+pub mod schema;
+pub mod truth;
+pub mod types;
+pub mod value;
+
+pub use error::{CrowdError, Result};
+pub use ids::{ColumnId, TableId, TupleId};
+pub use row::Row;
+pub use schema::{ColumnDef, ForeignKey, TableSchema};
+pub use truth::Truth;
+pub use types::DataType;
+pub use value::Value;

@@ -1,0 +1,151 @@
+//! Three-valued logic (3VL).
+//!
+//! SQL predicates over missing data evaluate to `Unknown` rather than
+//! `False`. CrowdDB keeps standard SQL semantics for `NULL`; `CNULL`
+//! behaves like `NULL` during evaluation *unless* the crowd-execution layer
+//! intercepts it first and sources the value (see `crowddb-exec`).
+
+use std::fmt;
+
+/// The SQL three-valued truth domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Truth cannot be determined because an input was missing.
+    Unknown,
+}
+
+impl Truth {
+    /// Kleene conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene negation.
+    #[allow(clippy::should_implement_trait)] // deliberate Kleene `not`
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// SQL `WHERE` semantics: a row qualifies only when the predicate is
+    /// definitely true.
+    pub fn passes_filter(self) -> bool {
+        self == Truth::True
+    }
+
+    /// Lift a definite boolean into the truth domain.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Project back to `Option<bool>` (`None` for `Unknown`).
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Truth::True => Some(true),
+            Truth::False => Some(false),
+            Truth::Unknown => None,
+        }
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Self {
+        Truth::from_bool(b)
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Truth::True => "TRUE",
+            Truth::False => "FALSE",
+            Truth::Unknown => "UNKNOWN",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Truth; 3] = [Truth::True, Truth::False, Truth::Unknown];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Truth::True.and(Truth::True), Truth::True);
+        assert_eq!(Truth::True.and(Truth::False), Truth::False);
+        assert_eq!(Truth::True.and(Truth::Unknown), Truth::Unknown);
+        assert_eq!(Truth::False.and(Truth::Unknown), Truth::False);
+        assert_eq!(Truth::Unknown.and(Truth::Unknown), Truth::Unknown);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Truth::False.or(Truth::False), Truth::False);
+        assert_eq!(Truth::True.or(Truth::Unknown), Truth::True);
+        assert_eq!(Truth::False.or(Truth::Unknown), Truth::Unknown);
+        assert_eq!(Truth::Unknown.or(Truth::Unknown), Truth::Unknown);
+    }
+
+    #[test]
+    fn de_morgan_holds_in_kleene_logic() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn commutativity_and_associativity() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                for c in ALL {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_semantics() {
+        assert!(Truth::True.passes_filter());
+        assert!(!Truth::False.passes_filter());
+        assert!(!Truth::Unknown.passes_filter());
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Truth::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Truth::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Truth::Unknown.to_bool(), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! Engine configuration.
+
+use crowddb_quality::VoteConfig;
+
+/// Knobs controlling how CrowdDB engages the crowd.
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// Reward per assignment, US cents.
+    pub reward_cents: u32,
+    /// Voting policy (replication & escalation) for probe/compare tasks.
+    pub vote: VoteConfig,
+    /// Maximum execute→crowdsource→re-execute rounds before returning a
+    /// partial result with a warning.
+    pub max_rounds: usize,
+    /// Virtual seconds the task manager pumps the platform per round
+    /// before giving up on stragglers.
+    pub round_budget_secs: f64,
+    /// Platform pump step, virtual seconds.
+    pub pump_step_secs: f64,
+    /// Tuples requested per CrowdJoin miss / unbounded-scan quota unit.
+    pub join_quota: u64,
+    /// Reject queries the boundedness analysis flags as unbounded
+    /// (paper: the optimizer "warns the user at compile-time"; with this
+    /// set the warning is a hard error).
+    pub reject_unbounded: bool,
+    /// Maximum tuples one new-tuple assignment may carry.
+    pub max_tuples_per_assignment: usize,
+    /// Ban workers whose agreement rate drops below this after 10 tasks.
+    pub ban_threshold: f64,
+    /// Per-statement crowdsourcing budget in cents; `None` = unlimited.
+    /// When a statement's crowd spending reaches the budget, remaining
+    /// needs are abandoned and the result is returned partial with a
+    /// warning.
+    pub max_budget_cents: Option<u64>,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            reward_cents: 1,
+            vote: VoteConfig::default(),
+            max_rounds: 16,
+            round_budget_secs: 14.0 * 24.0 * 3600.0, // two virtual weeks
+            pump_step_secs: 600.0,
+            join_quota: 3,
+            reject_unbounded: true,
+            max_tuples_per_assignment: 5,
+            ban_threshold: 0.25,
+            max_budget_cents: None,
+        }
+    }
+}
+
+impl CrowdConfig {
+    /// A configuration suitable for fast unit tests: single assignment,
+    /// no escalation, few rounds.
+    pub fn fast_test() -> CrowdConfig {
+        CrowdConfig {
+            reward_cents: 1,
+            vote: VoteConfig::single(),
+            max_rounds: 8,
+            round_budget_secs: 1e7,
+            pump_step_secs: 600.0,
+            join_quota: 3,
+            reject_unbounded: true,
+            max_tuples_per_assignment: 5,
+            ban_threshold: 0.25,
+            max_budget_cents: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CrowdConfig::default();
+        assert!(c.max_rounds >= 2);
+        assert!(c.round_budget_secs > 0.0);
+        assert!(c.pump_step_secs > 0.0);
+        assert!(c.reject_unbounded);
+        assert_eq!(c.vote.replication, 3);
+    }
+
+    #[test]
+    fn fast_test_single_vote() {
+        let c = CrowdConfig::fast_test();
+        assert_eq!(c.vote.replication, 1);
+    }
+}

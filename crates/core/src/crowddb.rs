@@ -1,0 +1,730 @@
+//! The [`CrowdDB`] facade.
+
+use parking_lot::Mutex;
+
+use crowddb_common::{CrowdError, Result, Row};
+use crowddb_exec::{execute as execute_plan, CompareCaches};
+use crowddb_plan::{
+    analyze_boundedness, annotate_cardinality, optimize, Binder, LogicalPlan, OptimizerConfig,
+};
+use crowddb_plan::cardinality::{FnStats, StatsSource};
+use crowddb_platform::{Platform, WorkerRelationshipManager};
+use crowddb_sql::{parse_statement, Statement};
+use crowddb_storage::{Database, IndexKind};
+use crowddb_ui::manager::UiTemplateManager;
+use crowddb_ui::render_task;
+
+use crate::config::CrowdConfig;
+use crate::result::{CrowdSummary, QueryResult};
+use crate::taskman;
+
+/// A CrowdDB instance: storage + planner + crowd machinery.
+///
+/// ```
+/// use crowddb_core::CrowdDB;
+/// use crowddb_platform::{Answer, MockPlatform};
+///
+/// let db = CrowdDB::new();
+/// let mut crowd = MockPlatform::unanimous(|kind| match kind {
+///     crowddb_platform::TaskKind::Probe { asked, .. } => Answer::Form(
+///         asked.iter().map(|(c, _)| (c.clone(), "42".to_string())).collect(),
+///     ),
+///     _ => Answer::Yes,
+/// });
+/// db.execute("CREATE TABLE talk (title STRING PRIMARY KEY, nb_attendees CROWD INTEGER)",
+///            &mut crowd).unwrap();
+/// db.execute("INSERT INTO talk VALUES ('CrowdDB', CNULL)", &mut crowd).unwrap();
+/// let r = db.execute("SELECT nb_attendees FROM talk WHERE title = 'CrowdDB'",
+///                    &mut crowd).unwrap();
+/// assert_eq!(r.rows[0][0], crowddb_common::Value::Int(42));
+/// ```
+pub struct CrowdDB {
+    db: Database,
+    caches: Mutex<CompareCaches>,
+    templates: Mutex<UiTemplateManager>,
+    wrm: Mutex<WorkerRelationshipManager>,
+    /// Dedup keys of needs the crowd already failed to satisfy — never
+    /// re-posted within this session.
+    exhausted: Mutex<std::collections::HashSet<String>>,
+    config: CrowdConfig,
+    optimizer: OptimizerConfig,
+}
+
+impl Default for CrowdDB {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrowdDB {
+    /// A CrowdDB with default configuration.
+    pub fn new() -> CrowdDB {
+        CrowdDB::with_config(CrowdConfig::default())
+    }
+
+    /// A CrowdDB with custom crowd configuration.
+    pub fn with_config(config: CrowdConfig) -> CrowdDB {
+        CrowdDB {
+            db: Database::new(),
+            caches: Mutex::new(CompareCaches::default()),
+            templates: Mutex::new(UiTemplateManager::new()),
+            wrm: Mutex::new(WorkerRelationshipManager::new()),
+            exhausted: Mutex::new(std::collections::HashSet::new()),
+            config,
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+
+    /// The underlying storage engine (benchmarks and tests seed data
+    /// directly through it).
+    pub fn storage(&self) -> &Database {
+        &self.db
+    }
+
+    /// Crowd configuration.
+    pub fn config(&self) -> &CrowdConfig {
+        &self.config
+    }
+
+    /// Run `f` against the Worker Relationship Manager.
+    pub fn with_wrm<R>(&self, f: impl FnOnce(&mut WorkerRelationshipManager) -> R) -> R {
+        f(&mut self.wrm.lock())
+    }
+
+    /// Run `f` against the UI Template Manager (the Form Editor hook).
+    pub fn with_templates<R>(&self, f: impl FnOnce(&mut UiTemplateManager) -> R) -> R {
+        f(&mut self.templates.lock())
+    }
+
+    /// Run `f` against the session comparison caches (tests seed verdicts
+    /// directly).
+    pub fn with_caches<R>(&self, f: impl FnOnce(&mut CompareCaches) -> R) -> R {
+        f(&mut self.caches.lock())
+    }
+
+    /// Execute any CrowdSQL statement, engaging `platform` as needed.
+    pub fn execute(&self, sql: &str, platform: &mut dyn Platform) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt, platform)
+    }
+
+    /// Execute a statement using local data only. Statements that would
+    /// need the crowd return a partial result with warnings.
+    pub fn execute_local(&self, sql: &str) -> Result<QueryResult> {
+        struct NoPlatform;
+        impl Platform for NoPlatform {
+            fn name(&self) -> &str {
+                "none"
+            }
+            fn post(
+                &mut self,
+                _tasks: Vec<crowddb_platform::TaskSpec>,
+            ) -> Result<Vec<crowddb_platform::HitId>> {
+                Err(CrowdError::Platform(
+                    "no crowdsourcing platform attached".into(),
+                ))
+            }
+            fn extend(&mut self, _hit: crowddb_platform::HitId, _extra: u32) -> Result<()> {
+                Err(CrowdError::Platform("no platform".into()))
+            }
+            fn advance(&mut self, _dt: f64) {}
+            fn collect(&mut self) -> Vec<crowddb_platform::TaskResponse> {
+                vec![]
+            }
+            fn now(&self) -> f64 {
+                0.0
+            }
+            fn stats(&self) -> crowddb_platform::PlatformStats {
+                Default::default()
+            }
+            fn is_complete(&self, _hit: crowddb_platform::HitId) -> bool {
+                false
+            }
+        }
+        let stmt = parse_statement(sql)?;
+        match &stmt {
+            Statement::Select(_) => {
+                // One local round; report pending work as warnings.
+                let (plan, mut warnings) = self.plan_select(&stmt, false)?;
+                let caches = self.caches.lock().clone();
+                let exec = execute_plan(&self.db, &caches, &plan)?;
+                let complete = exec.is_final();
+                if !complete {
+                    warnings.push(format!(
+                        "{} crowd task(s) would be needed to complete this result",
+                        exec.needs.len()
+                    ));
+                }
+                Ok(QueryResult {
+                    columns: output_columns(&plan),
+                    rows: exec.rows,
+                    affected: 0,
+                    crowd: CrowdSummary {
+                        rounds: 1,
+                        ..Default::default()
+                    },
+                    warnings,
+                    complete,
+                })
+            }
+            _ => self.execute_statement(&stmt, &mut NoPlatform),
+        }
+    }
+
+    /// EXPLAIN output for a statement: optimized plan, cardinality
+    /// annotation, and the boundedness report.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        let inner = match &stmt {
+            Statement::Explain(s) => s.as_ref().clone(),
+            other => other.clone(),
+        };
+        let Statement::Select(_) = &inner else {
+            return Ok(format!("{inner}"));
+        };
+        let (plan, _) = self.plan_select(&inner, true)?;
+        let stats = self.stats_source();
+        let report = self.boundedness(&plan, &stats);
+        let mut out = String::new();
+        out.push_str("== Optimized plan ==\n");
+        out.push_str(&plan.explain());
+        out.push_str("\n== Cardinality ==\n");
+        out.push_str(&annotate_cardinality(&plan, &stats));
+        out.push_str("\n== Boundedness ==\n");
+        out.push_str(if report.bounded {
+            "plan is BOUNDED\n"
+        } else {
+            "plan is UNBOUNDED\n"
+        });
+        for n in &report.notes {
+            out.push_str("  - ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        if let Some(calls) = report.estimated_crowd_calls {
+            out.push_str(&format!("  estimated crowd task batches: ≤{calls}\n"));
+        }
+        Ok(out)
+    }
+
+    /// Render the Mechanical-Turk-style page for the first task a query
+    /// would post (demo support: "we will show how CrowdDB tasks are
+    /// compiled onto the crowdsourcing platforms").
+    pub fn preview_first_task(&self, sql: &str) -> Result<Option<String>> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(_) = &stmt else {
+            return Ok(None);
+        };
+        let (plan, _) = self.plan_select(&stmt, true)?;
+        let caches = self.caches.lock().clone();
+        let exec = execute_plan(&self.db, &caches, &plan)?;
+        let templates = self.templates.lock();
+        Ok(exec.needs.first().map(|need| {
+            let spec = taskman::need_to_spec(need, &self.config, &templates);
+            render_task(&spec.kind)
+        }))
+    }
+
+    fn execute_statement(
+        &self,
+        stmt: &Statement,
+        platform: &mut dyn Platform,
+    ) -> Result<QueryResult> {
+        match stmt {
+            Statement::Explain(_) => {
+                let text = self.explain(&stmt.to_string().replacen("EXPLAIN ", "", 1))?;
+                Ok(QueryResult {
+                    columns: vec!["plan".into()],
+                    rows: text.lines().map(|l| Row::new(vec![l.into()])).collect(),
+                    complete: true,
+                    ..Default::default()
+                })
+            }
+            Statement::CreateTable(ct) => {
+                let schema = self.db.with_catalog(|c| c.schema_from_ast(ct))?;
+                if ct.if_not_exists && self.db.schema(&schema.name).is_ok() {
+                    return Ok(QueryResult::ddl());
+                }
+                self.templates.lock().register_schema(&schema);
+                self.db.create_table(schema)?;
+                Ok(QueryResult::ddl())
+            }
+            Statement::CreateIndex(ci) => {
+                self.db.create_index(
+                    &ci.name,
+                    &ci.table,
+                    &ci.columns,
+                    ci.unique,
+                    IndexKind::BTree,
+                )?;
+                Ok(QueryResult::ddl())
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.db.drop_table(name, *if_exists)?;
+                self.templates.lock().drop_table(name);
+                Ok(QueryResult::ddl())
+            }
+            Statement::Insert(ins) => {
+                let caches = self.caches.lock().clone();
+                let r = crowddb_exec::dml::execute_insert(&self.db, &caches, ins)?;
+                Ok(QueryResult {
+                    affected: r.affected,
+                    complete: r.needs.is_empty(),
+                    ..Default::default()
+                })
+            }
+            Statement::Update(upd) => self.run_dml(
+                platform,
+                |caches| crowddb_exec::dml::plan_update(&self.db, caches, upd),
+                |caches| crowddb_exec::dml::execute_update(&self.db, caches, upd),
+            ),
+            Statement::Delete(del) => self.run_dml(
+                platform,
+                |caches| crowddb_exec::dml::plan_delete(&self.db, caches, del),
+                |caches| crowddb_exec::dml::execute_delete(&self.db, caches, del),
+            ),
+            Statement::Select(_) => self.run_select(stmt, platform),
+        }
+    }
+
+    /// The shared round loop for DML whose predicates may need the crowd.
+    ///
+    /// Crowd needs are resolved via repeated *dry runs* first, and the
+    /// mutation is applied exactly once at the end — a non-idempotent
+    /// assignment like `SET n = n + 1` must not be re-applied per round.
+    fn run_dml(
+        &self,
+        platform: &mut dyn Platform,
+        mut dry_run: impl FnMut(&CompareCaches) -> Result<crowddb_exec::dml::DmlResult>,
+        apply: impl FnOnce(&CompareCaches) -> Result<crowddb_exec::dml::DmlResult>,
+    ) -> Result<QueryResult> {
+        let mut summary = CrowdSummary::default();
+        let mut warnings = Vec::new();
+        let start_stats = platform.stats();
+        let start_now = platform.now();
+        let mut resolved = false;
+        for _ in 0..self.config.max_rounds {
+            summary.rounds += 1;
+            let caches_snapshot = self.caches.lock().clone();
+            let r = dry_run(&caches_snapshot)?;
+            let fresh = self.fresh_needs(r.needs);
+            if fresh.is_empty() {
+                resolved = true;
+                break;
+            }
+            if let Some(budget) = self.config.max_budget_cents {
+                let spent = platform.stats().cents_spent - start_stats.cents_spent;
+                if spent >= budget {
+                    warnings.push(format!(
+                        "crowd budget of {budget}¢ exhausted; DML applied with                          undecided crowd predicates"
+                    ));
+                    break;
+                }
+            }
+            self.fulfill(&fresh, platform, &mut warnings, start_stats.cents_spent)?;
+        }
+        if !resolved {
+            warnings.push(
+                "round budget exhausted; DML applied with some crowd predicates undecided"
+                    .into(),
+            );
+        }
+        let caches_snapshot = self.caches.lock().clone();
+        let r = apply(&caches_snapshot)?;
+        let end = platform.stats();
+        summary.tasks_posted = end.hits_posted - start_stats.hits_posted;
+        summary.answers_collected = end.assignments_completed - start_stats.assignments_completed;
+        summary.cents_spent = end.cents_spent - start_stats.cents_spent;
+        summary.virtual_secs = platform.now() - start_now;
+        Ok(QueryResult {
+            affected: r.affected,
+            crowd: summary,
+            warnings,
+            complete: resolved,
+            ..Default::default()
+        })
+    }
+
+    fn run_select(&self, stmt: &Statement, platform: &mut dyn Platform) -> Result<QueryResult> {
+        let (plan, mut warnings) = self.plan_select(stmt, false)?;
+        let columns = output_columns(&plan);
+        let mut summary = CrowdSummary::default();
+        let start_stats = platform.stats();
+        let start_now = platform.now();
+        let mut rows = Vec::new();
+        let mut complete = false;
+        for _ in 0..self.config.max_rounds {
+            summary.rounds += 1;
+            let caches_snapshot = self.caches.lock().clone();
+            let exec = execute_plan(&self.db, &caches_snapshot, &plan)?;
+            rows = exec.rows;
+            if exec.needs.is_empty() {
+                complete = true;
+                break;
+            }
+            let fresh = self.fresh_needs(exec.needs);
+            if fresh.is_empty() {
+                warnings.push(
+                    "result is partial: remaining crowd tasks were previously exhausted".into(),
+                );
+                break;
+            }
+            if let Some(budget) = self.config.max_budget_cents {
+                let spent = platform.stats().cents_spent - start_stats.cents_spent;
+                if spent >= budget {
+                    warnings.push(format!(
+                        "crowd budget of {budget}¢ exhausted ({spent}¢ spent);                          {} task(s) abandoned, result is partial",
+                        fresh.len()
+                    ));
+                    break;
+                }
+            }
+            self.fulfill(&fresh, platform, &mut warnings, start_stats.cents_spent)?;
+        }
+        if !complete && summary.rounds >= self.config.max_rounds {
+            warnings.push(format!(
+                "round budget ({}) exhausted; result may be partial",
+                self.config.max_rounds
+            ));
+        }
+        let end = platform.stats();
+        summary.tasks_posted = end.hits_posted - start_stats.hits_posted;
+        summary.answers_collected = end.assignments_completed - start_stats.assignments_completed;
+        summary.cents_spent = end.cents_spent - start_stats.cents_spent;
+        summary.virtual_secs = platform.now() - start_now;
+        Ok(QueryResult {
+            columns,
+            rows,
+            affected: 0,
+            crowd: summary,
+            warnings,
+            complete,
+        })
+    }
+
+    fn fulfill(
+        &self,
+        needs: &[crowddb_exec::TaskNeed],
+        platform: &mut dyn Platform,
+        warnings: &mut Vec<String>,
+        statement_start_cents: u64,
+    ) -> Result<()> {
+        // Budget-aware wave sizing: never post more tasks than the
+        // remaining per-statement budget can pay for (escalations may
+        // still nudge past the line; the round-level gate catches that).
+        let needs = match self.config.max_budget_cents {
+            Some(budget) => {
+                let per_task =
+                    (self.config.reward_cents as u64 * self.config.vote.replication as u64).max(1);
+                let spent = platform
+                    .stats()
+                    .cents_spent
+                    .saturating_sub(statement_start_cents);
+                let remaining = budget.saturating_sub(spent.min(budget));
+                let affordable = (remaining / per_task) as usize;
+                if affordable < needs.len() {
+                    warnings.push(format!(
+                        "budget allows only {affordable} of {} crowd task(s) this wave",
+                        needs.len()
+                    ));
+                }
+                &needs[..affordable.min(needs.len())]
+            }
+            None => needs,
+        };
+        if needs.is_empty() {
+            return Ok(());
+        }
+        let mut caches = self.caches.lock();
+        let mut wrm = self.wrm.lock();
+        let templates = self.templates.lock();
+        let fulfill = taskman::fulfill_needs(
+            &self.db,
+            &mut caches,
+            &mut wrm,
+            &templates,
+            platform,
+            &self.config,
+            needs,
+        )?;
+        warnings.extend(fulfill.warnings);
+        let mut exhausted = self.exhausted.lock();
+        for k in fulfill.exhausted {
+            exhausted.insert(k);
+        }
+        Ok(())
+    }
+
+    fn fresh_needs(&self, needs: Vec<crowddb_exec::TaskNeed>) -> Vec<crowddb_exec::TaskNeed> {
+        let exhausted = self.exhausted.lock();
+        needs
+            .into_iter()
+            .filter(|n| !exhausted.contains(&n.dedup_key()))
+            .collect()
+    }
+
+    /// Serialize the full session: storage (schemas + rows, including
+    /// everything memorized from the crowd) plus the comparison caches.
+    /// Restoring yields a CrowdDB that answers previously crowdsourced
+    /// queries without posting a single task.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let storage = self.db.snapshot();
+        let caches = self.caches.lock();
+        let caches_json =
+            serde_json::to_vec(&(&caches.equal, &caches.order)).expect("caches serialize");
+        let mut out = Vec::with_capacity(16 + storage.len() + caches_json.len());
+        out.extend_from_slice(&(storage.len() as u64).to_le_bytes());
+        out.extend_from_slice(&storage);
+        out.extend_from_slice(&(caches_json.len() as u64).to_le_bytes());
+        out.extend_from_slice(&caches_json);
+        out
+    }
+
+    /// Restore a session saved by [`CrowdDB::snapshot`].
+    pub fn restore(bytes: &[u8], config: CrowdConfig) -> Result<CrowdDB> {
+        let take_u64 = |b: &[u8], at: usize| -> Result<u64> {
+            b.get(at..at + 8)
+                .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+                .ok_or_else(|| CrowdError::Internal("session snapshot truncated".into()))
+        };
+        let storage_len = take_u64(bytes, 0)? as usize;
+        let storage_end = 8 + storage_len;
+        let storage_bytes = bytes
+            .get(8..storage_end)
+            .ok_or_else(|| CrowdError::Internal("session snapshot truncated".into()))?;
+        let caches_len = take_u64(bytes, storage_end)? as usize;
+        let caches_bytes = bytes
+            .get(storage_end + 8..storage_end + 8 + caches_len)
+            .ok_or_else(|| CrowdError::Internal("session snapshot truncated".into()))?;
+        let db = Database::restore(bytes::Bytes::copy_from_slice(storage_bytes))?;
+        let (equal, order): (
+            std::collections::HashMap<String, bool>,
+            std::collections::HashMap<String, bool>,
+        ) = serde_json::from_slice(caches_bytes)
+            .map_err(|e| CrowdError::Internal(format!("bad caches in snapshot: {e}")))?;
+        let crowddb = CrowdDB::with_config(config);
+        // Recreate tables + templates from the restored storage.
+        let schemas: Vec<_> = db.with_catalog(|c| c.schemas().cloned().collect());
+        {
+            let mut templates = crowddb.templates.lock();
+            for s in &schemas {
+                templates.register_schema(s);
+            }
+        }
+        let restored = CrowdDB {
+            db,
+            caches: Mutex::new(CompareCaches { equal, order }),
+            templates: Mutex::new(std::mem::take(&mut crowddb.templates.lock())),
+            wrm: Mutex::new(WorkerRelationshipManager::new()),
+            exhausted: Mutex::new(std::collections::HashSet::new()),
+            config: crowddb.config,
+            optimizer: OptimizerConfig::default(),
+        };
+        Ok(restored)
+    }
+
+    fn plan_select(&self, stmt: &Statement, allow_unbounded: bool) -> Result<(LogicalPlan, Vec<String>)> {
+        let Statement::Select(query) = stmt else {
+            return Err(CrowdError::Internal("plan_select on non-select".into()));
+        };
+        let bound = self.db.with_catalog(|c| Binder::new(c).bind_query(query))?;
+        let stats = self.stats_source();
+        let plan = optimize(bound, &stats, &self.optimizer);
+        let report = self.boundedness(&plan, &stats);
+        let mut warnings = Vec::new();
+        if !report.bounded {
+            let detail = report
+                .notes
+                .iter()
+                .filter(|n| n.contains("UNBOUNDED"))
+                .cloned()
+                .collect::<Vec<_>>()
+                .join("; ");
+            if self.config.reject_unbounded && !allow_unbounded {
+                return Err(CrowdError::UnboundedCrowdQuery(detail));
+            }
+            warnings.push(format!("unbounded crowd query: {detail}"));
+        }
+        Ok((plan, warnings))
+    }
+
+    fn boundedness(
+        &self,
+        plan: &LogicalPlan,
+        stats: &dyn StatsSource,
+    ) -> crowddb_plan::BoundednessReport {
+        let pk = |table: &str| -> Vec<usize> {
+            self.db
+                .schema(table)
+                .map(|s| s.primary_key.clone())
+                .unwrap_or_default()
+        };
+        analyze_boundedness(plan, stats, &pk)
+    }
+
+    fn stats_source(&self) -> FnStats<impl Fn(&str) -> Option<u64> + '_> {
+        FnStats(move |table: &str| self.db.stats(table).ok().map(|s| s.live_rows as u64))
+    }
+}
+
+fn output_columns(plan: &LogicalPlan) -> Vec<String> {
+    plan.schema()
+        .columns
+        .into_iter()
+        .map(|c| c.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::row;
+    use crowddb_platform::{Answer, MockPlatform, TaskKind};
+
+    fn ddl(db: &CrowdDB) {
+        let mut p = MockPlatform::unanimous(|_| Answer::Blank);
+        db.execute(
+            "CREATE TABLE talk (title STRING PRIMARY KEY, abstract CROWD STRING, \
+             nb_attendees CROWD INTEGER)",
+            &mut p,
+        )
+        .unwrap();
+        db.execute(
+            "CREATE CROWD TABLE notableattendee (name STRING PRIMARY KEY, title STRING, \
+             FOREIGN KEY (title) REF talk(title))",
+            &mut p,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn ddl_registers_templates() {
+        let db = CrowdDB::new();
+        ddl(&db);
+        db.with_templates(|t| {
+            assert!(t.get("talk", crowddb_ui::template::TemplateKind::Probe).is_some());
+            assert!(t
+                .get(
+                    "notableattendee",
+                    crowddb_ui::template::TemplateKind::NewTuples
+                )
+                .is_some());
+        });
+    }
+
+    #[test]
+    fn end_to_end_probe_with_mock_crowd() {
+        let db = CrowdDB::with_config(CrowdConfig::fast_test());
+        ddl(&db);
+        let mut crowd = MockPlatform::unanimous(|kind| match kind {
+            TaskKind::Probe { asked, .. } => Answer::Form(
+                asked
+                    .iter()
+                    .map(|(c, _)| {
+                        let text = if c == "abstract" {
+                            "Answering queries with crowdsourcing".to_string()
+                        } else {
+                            "120".to_string()
+                        };
+                        (c.clone(), text)
+                    })
+                    .collect(),
+            ),
+            _ => Answer::Blank,
+        });
+        db.execute("INSERT INTO talk VALUES ('CrowdDB', CNULL, CNULL)", &mut crowd)
+            .unwrap();
+        let r = db
+            .execute(
+                "SELECT abstract, nb_attendees FROM talk WHERE title = 'CrowdDB'",
+                &mut crowd,
+            )
+            .unwrap();
+        assert!(r.complete, "warnings: {:?}", r.warnings);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(
+            r.rows[0],
+            row!["Answering queries with crowdsourcing", 120i64]
+        );
+        assert_eq!(r.crowd.rounds, 2);
+        assert!(r.crowd.tasks_posted >= 1);
+        // Answers are memorized: a second run touches no crowd.
+        let r2 = db
+            .execute(
+                "SELECT abstract, nb_attendees FROM talk WHERE title = 'CrowdDB'",
+                &mut crowd,
+            )
+            .unwrap();
+        assert_eq!(r2.crowd.rounds, 1);
+        assert_eq!(r2.crowd.tasks_posted, 0);
+    }
+
+    #[test]
+    fn unbounded_query_rejected_at_compile_time() {
+        let db = CrowdDB::new();
+        ddl(&db);
+        let mut crowd = MockPlatform::unanimous(|_| Answer::Blank);
+        let err = db
+            .execute("SELECT name FROM notableattendee", &mut crowd)
+            .unwrap_err();
+        assert_eq!(err.category(), "unbounded-crowd-query");
+        // But LIMIT makes it acceptable.
+        assert!(db
+            .execute("SELECT name FROM notableattendee LIMIT 3", &mut crowd)
+            .is_ok());
+    }
+
+    #[test]
+    fn explain_reports_plan_and_boundedness() {
+        let db = CrowdDB::new();
+        ddl(&db);
+        let text = db
+            .explain("SELECT abstract FROM talk WHERE title = 'CrowdDB'")
+            .unwrap();
+        assert!(text.contains("Optimized plan"), "{text}");
+        assert!(text.contains("BOUNDED"), "{text}");
+        let text = db.explain("SELECT name FROM notableattendee").unwrap();
+        assert!(text.contains("UNBOUNDED"), "{text}");
+    }
+
+    #[test]
+    fn local_execution_reports_pending_work() {
+        let db = CrowdDB::new();
+        ddl(&db);
+        db.execute_local("INSERT INTO talk VALUES ('CrowdDB', CNULL, CNULL)")
+            .unwrap();
+        let r = db
+            .execute_local("SELECT abstract FROM talk WHERE title = 'CrowdDB'")
+            .unwrap();
+        assert!(!r.complete);
+        assert!(!r.warnings.is_empty());
+        assert!(r.rows[0][0].is_cnull());
+    }
+
+    #[test]
+    fn preview_first_task_renders_html() {
+        let db = CrowdDB::new();
+        ddl(&db);
+        db.execute_local("INSERT INTO talk VALUES ('CrowdDB', CNULL, CNULL)")
+            .unwrap();
+        let html = db
+            .preview_first_task("SELECT abstract FROM talk WHERE title = 'CrowdDB'")
+            .unwrap()
+            .expect("a task preview");
+        assert!(html.contains("value=\"CrowdDB\""), "{html}");
+        assert!(html.contains("name=\"abstract\""));
+    }
+
+    #[test]
+    fn if_not_exists_is_idempotent() {
+        let db = CrowdDB::new();
+        let mut p = MockPlatform::unanimous(|_| Answer::Blank);
+        db.execute("CREATE TABLE t (a INTEGER)", &mut p).unwrap();
+        assert!(db.execute("CREATE TABLE t (a INTEGER)", &mut p).is_err());
+        db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)", &mut p)
+            .unwrap();
+        db.execute("DROP TABLE t", &mut p).unwrap();
+        assert!(db.execute("DROP TABLE t", &mut p).is_err());
+        db.execute("DROP TABLE IF EXISTS t", &mut p).unwrap();
+    }
+}

@@ -1,0 +1,146 @@
+//! Query results returned to the application.
+
+use crowddb_common::{Row, Value};
+
+/// Crowd-side accounting for one statement.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CrowdSummary {
+    /// Execution rounds used (1 = answered from local data alone).
+    pub rounds: usize,
+    /// HITs posted across all rounds.
+    pub tasks_posted: u64,
+    /// Assignments collected.
+    pub answers_collected: u64,
+    /// Rewards paid, cents.
+    pub cents_spent: u64,
+    /// Virtual platform time consumed, seconds.
+    pub virtual_secs: f64,
+}
+
+/// The result of one statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Output column names (empty for DDL/DML).
+    pub columns: Vec<String>,
+    /// Result rows (empty for DDL/DML).
+    pub rows: Vec<Row>,
+    /// Rows affected by DML.
+    pub affected: usize,
+    /// Crowd accounting.
+    pub crowd: CrowdSummary,
+    /// Non-fatal notes: partial results, unresolved votes, boundedness
+    /// notes, etc.
+    pub warnings: Vec<String>,
+    /// Whether the result is final (no crowd work outstanding).
+    pub complete: bool,
+}
+
+impl QueryResult {
+    /// A completed DDL acknowledgement.
+    pub fn ddl() -> QueryResult {
+        QueryResult {
+            complete: true,
+            ..Default::default()
+        }
+    }
+
+    /// Format the rows as an aligned text table (for examples and the
+    /// demo).
+    pub fn to_table(&self) -> String {
+        if self.columns.is_empty() && self.rows.is_empty() {
+            return format!("OK ({} row(s) affected)", self.affected);
+        }
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Null => "NULL".to_string(),
+                        Value::CNull => "CNULL".to_string(),
+                        other => other.to_string(),
+                    })
+                    .collect()
+            })
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let sep = |widths: &[usize]| {
+            let mut s = String::from("+");
+            for w in widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep(&widths));
+        out.push('\n');
+        if !self.columns.is_empty() {
+            out.push('|');
+            for (i, c) in self.columns.iter().enumerate() {
+                out.push_str(&format!(" {:<width$} |", c, width = widths[i]));
+            }
+            out.push('\n');
+            out.push_str(&sep(&widths));
+            out.push('\n');
+        }
+        for row in &rendered {
+            out.push('|');
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out.push_str(&sep(&widths));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::row;
+
+    #[test]
+    fn ddl_result() {
+        let r = QueryResult::ddl();
+        assert!(r.complete);
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn table_formatting() {
+        let r = QueryResult {
+            columns: vec!["title".into(), "n".into()],
+            rows: vec![row!["CrowdDB", Value::CNull], row!["Qurk", 80i64]],
+            affected: 0,
+            crowd: CrowdSummary::default(),
+            warnings: vec![],
+            complete: true,
+        };
+        let t = r.to_table();
+        assert!(t.contains("| title   | n     |"), "{t}");
+        assert!(t.contains("| CrowdDB | CNULL |"), "{t}");
+        assert!(t.contains("| Qurk    | 80    |"), "{t}");
+    }
+
+    #[test]
+    fn dml_formatting() {
+        let r = QueryResult {
+            affected: 3,
+            complete: true,
+            ..Default::default()
+        };
+        assert_eq!(r.to_table(), "OK (3 row(s) affected)");
+    }
+}

@@ -1,0 +1,693 @@
+//! The Task Manager: turns execution-round [`TaskNeed`]s into platform
+//! tasks, collects and quality-controls the answers, and memorizes them
+//! (storage write-back for probe answers and new tuples, session caches
+//! for comparisons).
+
+use std::collections::HashMap;
+
+use crowddb_common::{Result, Row, TableSchema, Value};
+use crowddb_exec::{CompareCaches, TaskNeed};
+use crowddb_platform::{
+    Answer, HitId, Platform, TaskKind, TaskSpec, WorkerRelationshipManager,
+};
+use crowddb_quality::{MajorityVote, Normalizer, VoteOutcome};
+use crowddb_storage::Database;
+use crowddb_ui::manager::UiTemplateManager;
+use crowddb_ui::template::TemplateKind;
+
+use crate::config::CrowdConfig;
+
+/// Accounting for one fulfillment pass.
+#[derive(Debug, Clone, Default)]
+pub struct FulfillSummary {
+    /// HITs posted.
+    pub tasks_posted: u64,
+    /// Assignments collected (valid or not).
+    pub answers_collected: u64,
+    /// Needs that could not be resolved (their dedup keys).
+    pub exhausted: Vec<String>,
+    /// Human-readable warnings.
+    pub warnings: Vec<String>,
+}
+
+/// Convert a [`TaskNeed`] into a platform task, using the UI template
+/// manager's (possibly developer-edited) instructions.
+pub fn need_to_spec(
+    need: &TaskNeed,
+    config: &CrowdConfig,
+    templates: &UiTemplateManager,
+) -> TaskSpec {
+    let kind = match need {
+        TaskNeed::ProbeValues {
+            table,
+            context,
+            columns,
+            ..
+        } => TaskKind::Probe {
+            table: table.clone(),
+            known: context.clone(),
+            asked: columns.iter().map(|(_, n, t)| (n.clone(), *t)).collect(),
+            instructions: templates
+                .get(table, TemplateKind::Probe)
+                .map(|t| t.instructions.clone())
+                .unwrap_or_default(),
+        },
+        TaskNeed::NewTuples { table, preset, .. } => {
+            let preset_names: Vec<&str> = preset.iter().map(|(n, _)| n.as_str()).collect();
+            let columns = templates
+                .get(table, TemplateKind::NewTuples)
+                .map(|t| {
+                    t.fields
+                        .iter()
+                        .filter(|f| !preset_names.contains(&f.name.as_str()))
+                        .map(|f| (f.name.clone(), f.data_type))
+                        .collect()
+                })
+                .unwrap_or_default();
+            TaskKind::NewTuples {
+                table: table.clone(),
+                columns,
+                preset: preset
+                    .iter()
+                    .map(|(n, v)| (n.clone(), v.to_string()))
+                    .collect(),
+                max_tuples: config.max_tuples_per_assignment,
+                instructions: templates
+                    .get(table, TemplateKind::NewTuples)
+                    .map(|t| t.instructions.clone())
+                    .unwrap_or_default(),
+            }
+        }
+        TaskNeed::Equal {
+            left,
+            right,
+            instruction,
+        } => TaskKind::Equal {
+            left: left.clone(),
+            right: right.clone(),
+            instruction: instruction.clone(),
+        },
+        TaskNeed::Order {
+            left,
+            right,
+            instruction,
+        } => TaskKind::Order {
+            left: left.clone(),
+            right: right.clone(),
+            instruction: instruction.clone(),
+        },
+    };
+    // New-tuple tasks are inherently replicated by asking several workers
+    // for contributions; compare/probe tasks use the vote replication.
+    let assignments = match need {
+        TaskNeed::NewTuples { .. } => config.vote.replication.max(2) as u32,
+        _ => config.vote.replication as u32,
+    };
+    TaskSpec::new(kind)
+        .reward(config.reward_cents)
+        .replicate(assignments)
+}
+
+/// Per-HIT quality-control state.
+enum HitState {
+    /// Probe: one vote per asked column, plus write-back coordinates.
+    Probe {
+        table: String,
+        tid: crowddb_common::TupleId,
+        columns: Vec<(usize, String, crowddb_common::DataType)>,
+        votes: Vec<MajorityVote>,
+    },
+    /// New tuples: collected parsed tuples.
+    NewTuples {
+        table: String,
+        preset: Vec<(String, Value)>,
+        want: u64,
+        collected: Vec<Vec<(String, String)>>,
+        assignments_seen: u32,
+    },
+    Equal {
+        left: String,
+        right: String,
+        instruction: String,
+        vote: MajorityVote,
+    },
+    Order {
+        left: String,
+        right: String,
+        instruction: String,
+        vote: MajorityVote,
+    },
+}
+
+/// Post `needs` to `platform`, pump until resolved (or the round budget
+/// runs out), quality-control the answers, and memorize them.
+#[allow(clippy::too_many_arguments)]
+pub fn fulfill_needs(
+    db: &Database,
+    caches: &mut CompareCaches,
+    wrm: &mut WorkerRelationshipManager,
+    templates: &UiTemplateManager,
+    platform: &mut dyn Platform,
+    config: &CrowdConfig,
+    needs: &[TaskNeed],
+) -> Result<FulfillSummary> {
+    let mut summary = FulfillSummary::default();
+    if needs.is_empty() {
+        return Ok(summary);
+    }
+    let normalizer = Normalizer::new();
+
+    // Post everything in one batch (HIT groups form on the platform).
+    let specs: Vec<TaskSpec> = needs
+        .iter()
+        .map(|n| need_to_spec(n, config, templates))
+        .collect();
+    let hit_ids = platform.post(specs.clone())?;
+    summary.tasks_posted += hit_ids.len() as u64;
+
+    let mut states: HashMap<HitId, (usize, HitState)> = HashMap::new();
+    for ((hit, need), _spec) in hit_ids.iter().zip(needs.iter()).zip(specs.iter()) {
+        let state = match need {
+            TaskNeed::ProbeValues {
+                table,
+                tid,
+                columns,
+                ..
+            } => HitState::Probe {
+                table: table.clone(),
+                tid: *tid,
+                columns: columns.clone(),
+                votes: columns.iter().map(|_| MajorityVote::new()).collect(),
+            },
+            TaskNeed::NewTuples {
+                table,
+                preset,
+                want,
+            } => HitState::NewTuples {
+                table: table.clone(),
+                preset: preset.clone(),
+                want: *want,
+                collected: Vec::new(),
+                assignments_seen: 0,
+            },
+            TaskNeed::Equal {
+                left,
+                right,
+                instruction,
+            } => HitState::Equal {
+                left: left.clone(),
+                right: right.clone(),
+                instruction: instruction.clone(),
+                vote: MajorityVote::new(),
+            },
+            TaskNeed::Order {
+                left,
+                right,
+                instruction,
+            } => HitState::Order {
+                left: left.clone(),
+                right: right.clone(),
+                instruction: instruction.clone(),
+                vote: MajorityVote::new(),
+            },
+        };
+        let need_idx = states.len();
+        states.insert(*hit, (need_idx, state));
+    }
+
+    // Remember (worker, hit, voted key) pairs to score agreement later.
+    let mut worker_votes: Vec<(crowddb_platform::WorkerId, HitId, Option<String>)> = Vec::new();
+    let mut open: Vec<HitId> = hit_ids.clone();
+    let mut elapsed = 0.0_f64;
+
+    while !open.is_empty() && elapsed < config.round_budget_secs {
+        platform.advance(config.pump_step_secs);
+        elapsed += config.pump_step_secs;
+        let responses = platform.collect();
+        if responses.is_empty() && !open.iter().any(|h| !platform.is_complete(*h)) {
+            // Everything complete and drained; decide below.
+        }
+        for resp in responses {
+            summary.answers_collected += 1;
+            let Some((_, state)) = states.get_mut(&resp.hit) else {
+                continue;
+            };
+            if wrm.is_banned(resp.worker) {
+                worker_votes.push((resp.worker, resp.hit, None));
+                continue;
+            }
+            let voted_key = ingest_answer(state, &resp.answer, &normalizer);
+            worker_votes.push((resp.worker, resp.hit, voted_key));
+        }
+
+        // Decide completed HITs.
+        let mut still_open = Vec::new();
+        for hit in open {
+            if !platform.is_complete(hit) {
+                still_open.push(hit);
+                continue;
+            }
+            let (_, state) = states.get_mut(&hit).expect("state exists");
+            match hit_decision(state, config) {
+                Decision::Decided => {}
+                Decision::Extend(n) => {
+                    platform.extend(hit, n)?;
+                    note_escalations(state);
+                    still_open.push(hit);
+                }
+                Decision::GiveUp => {}
+            }
+        }
+        open = still_open;
+    }
+    if !open.is_empty() {
+        summary.warnings.push(format!(
+            "{} task(s) did not complete within the round budget",
+            open.len()
+        ));
+    }
+
+    // Ingest decided answers and score workers.
+    let mut winning_key: HashMap<HitId, Vec<String>> = HashMap::new();
+    for (hit, (need_idx, state)) in &states {
+        let need = &needs[*need_idx];
+        match state {
+            HitState::Probe {
+                table,
+                tid,
+                columns,
+                votes,
+            } => {
+                let mut winners = Vec::new();
+                for ((col, name, _ty), vote) in columns.iter().zip(votes.iter()) {
+                    match vote.outcome(&config.vote) {
+                        VoteOutcome::Decided { value, .. } => {
+                            db.write_back_value(table, *tid, *col, value.clone())?;
+                            if let Some((v, _)) = vote.leader() {
+                                let _ = v;
+                            }
+                            winners.push(normalizer.normalize(&value.to_string()));
+                        }
+                        VoteOutcome::Pending { .. } | VoteOutcome::Unresolved => {
+                            // Accept the leader if any votes exist,
+                            // otherwise give up on this value.
+                            if let Some((value, _)) = vote.leader() {
+                                db.write_back_value(table, *tid, *col, value.clone())?;
+                                winners.push(normalizer.normalize(&value.to_string()));
+                                summary.warnings.push(format!(
+                                    "accepted plurality answer for {table}.{name} without a \
+                                     strict majority"
+                                ));
+                            } else {
+                                summary.exhausted.push(need.dedup_key());
+                                summary.warnings.push(format!(
+                                    "no usable answers for {table}.{name}; value left CNULL"
+                                ));
+                            }
+                        }
+                    }
+                }
+                winning_key.insert(*hit, winners);
+            }
+            HitState::NewTuples {
+                table,
+                preset,
+                want,
+                collected,
+                ..
+            } => {
+                let schema = db.schema(table)?;
+                let mut inserted = 0u64;
+                for fields in collected {
+                    if inserted >= *want {
+                        break;
+                    }
+                    match build_tuple(&schema, preset, fields, &normalizer) {
+                        Some(row) => {
+                            if db.write_back_tuple(table, row)?.is_some() {
+                                inserted += 1;
+                            }
+                        }
+                        None => continue,
+                    }
+                }
+                if inserted < *want {
+                    // The open world ran dry: remember so the next round
+                    // does not re-request the same work forever.
+                    summary.exhausted.push(need.dedup_key());
+                    if inserted == 0 {
+                        summary.warnings.push(format!(
+                            "the crowd contributed no valid new tuples for '{table}'"
+                        ));
+                    } else {
+                        summary.warnings.push(format!(
+                            "the crowd contributed {inserted}/{want} requested tuples for \
+                             '{table}'"
+                        ));
+                    }
+                }
+            }
+            HitState::Equal {
+                left,
+                right,
+                instruction,
+                vote,
+            } => match vote.outcome(&config.vote) {
+                VoteOutcome::Decided { value, .. } => {
+                    let verdict = value.as_bool().unwrap_or(false);
+                    caches.put_equal(left, right, instruction, verdict);
+                    winning_key.insert(*hit, vec![if verdict { "yes" } else { "no" }.into()]);
+                }
+                _ => {
+                    if let Some((value, _)) = vote.leader() {
+                        let verdict = value.as_bool().unwrap_or(false);
+                        caches.put_equal(left, right, instruction, verdict);
+                        summary.warnings.push(format!(
+                            "accepted plurality verdict for CROWDEQUAL('{left}', '{right}')"
+                        ));
+                    } else {
+                        // No answers at all: default to not-equal so the
+                        // query converges (and note it).
+                        caches.put_equal(left, right, instruction, false);
+                        summary.exhausted.push(need.dedup_key());
+                        summary.warnings.push(format!(
+                            "no verdicts for CROWDEQUAL('{left}', '{right}'); assumed FALSE"
+                        ));
+                    }
+                }
+            },
+            HitState::Order {
+                left,
+                right,
+                instruction,
+                vote,
+            } => match vote.outcome(&config.vote) {
+                VoteOutcome::Decided { value, .. } => {
+                    let left_preferred = value.as_bool().unwrap_or(true);
+                    caches.put_prefer(left, right, instruction, left_preferred);
+                    winning_key
+                        .insert(*hit, vec![if left_preferred { "left" } else { "right" }.into()]);
+                }
+                _ => {
+                    let left_preferred = vote
+                        .leader()
+                        .and_then(|(v, _)| v.as_bool())
+                        .unwrap_or(true);
+                    caches.put_prefer(left, right, instruction, left_preferred);
+                    summary.warnings.push(format!(
+                        "accepted fallback preference for CROWDORDER('{left}' vs '{right}')"
+                    ));
+                }
+            },
+        }
+    }
+
+    // WRM: pay and score workers. Assignments without a voted key (new-
+    // tuple contributions, or answers QC discarded) are paid but not
+    // scored — scoring them as disagreement would eventually ban honest
+    // contributors whose task kind simply has no majority vote.
+    for (worker, hit, voted) in worker_votes {
+        match (&voted, winning_key.get(&hit)) {
+            (Some(key), Some(winners)) => {
+                wrm.record_assignment(worker, config.reward_cents as u64, winners.contains(key));
+            }
+            (Some(_), None) => {
+                wrm.record_assignment(worker, config.reward_cents as u64, true);
+            }
+            (None, _) => {
+                wrm.record_contribution(worker, config.reward_cents as u64);
+            }
+        }
+    }
+    for worker in wrm.flagged_workers(10, config.ban_threshold) {
+        wrm.ban(worker);
+    }
+
+    Ok(summary)
+}
+
+enum Decision {
+    Decided,
+    Extend(u32),
+    GiveUp,
+}
+
+fn hit_decision(state: &HitState, config: &CrowdConfig) -> Decision {
+    let check_vote = |vote: &MajorityVote| -> Decision {
+        match vote.outcome(&config.vote) {
+            VoteOutcome::Decided { .. } => Decision::Decided,
+            VoteOutcome::Pending { needed } => Decision::Extend(needed as u32),
+            VoteOutcome::Unresolved => Decision::GiveUp,
+        }
+    };
+    match state {
+        HitState::Probe { votes, .. } => {
+            let mut extend = 0u32;
+            let mut any_giveup = false;
+            for v in votes {
+                match check_vote(v) {
+                    Decision::Decided => {}
+                    Decision::Extend(n) => extend = extend.max(n),
+                    Decision::GiveUp => any_giveup = true,
+                }
+            }
+            if extend > 0 {
+                Decision::Extend(extend)
+            } else if any_giveup {
+                Decision::GiveUp
+            } else {
+                Decision::Decided
+            }
+        }
+        HitState::NewTuples { .. } => Decision::Decided,
+        HitState::Equal { vote, .. } | HitState::Order { vote, .. } => check_vote(vote),
+    }
+}
+
+fn note_escalations(state: &mut HitState) {
+    match state {
+        HitState::Probe { votes, .. } => {
+            for v in votes {
+                v.note_escalation();
+            }
+        }
+        HitState::Equal { vote, .. } | HitState::Order { vote, .. } => vote.note_escalation(),
+        HitState::NewTuples { .. } => {}
+    }
+}
+
+/// Feed one answer into a HIT's quality-control state; returns the
+/// normalized key the worker voted for (for agreement scoring).
+fn ingest_answer(
+    state: &mut HitState,
+    answer: &Answer,
+    normalizer: &Normalizer,
+) -> Option<String> {
+    match (state, answer) {
+        (HitState::Probe { columns, votes, .. }, Answer::Form(fields)) => {
+            let mut first_key = None;
+            for ((_, name, ty), vote) in columns.iter().zip(votes.iter_mut()) {
+                if let Some((_, text)) = fields.iter().find(|(f, _)| f == name) {
+                    if let Some((key, value)) = normalizer.normalize_typed(text, *ty) {
+                        vote.add(key.clone(), value);
+                        first_key.get_or_insert(key);
+                    }
+                }
+            }
+            first_key
+        }
+        (
+            HitState::NewTuples {
+                collected,
+                assignments_seen,
+                ..
+            },
+            Answer::Tuples(tuples),
+        ) => {
+            *assignments_seen += 1;
+            for t in tuples {
+                collected.push(t.clone());
+            }
+            None
+        }
+        (HitState::Equal { vote, .. }, Answer::Yes) => {
+            vote.add("yes".into(), Value::Bool(true));
+            Some("yes".into())
+        }
+        (HitState::Equal { vote, .. }, Answer::No) => {
+            vote.add("no".into(), Value::Bool(false));
+            Some("no".into())
+        }
+        (HitState::Order { vote, .. }, Answer::Left) => {
+            vote.add("left".into(), Value::Bool(true));
+            Some("left".into())
+        }
+        (HitState::Order { vote, .. }, Answer::Right) => {
+            vote.add("right".into(), Value::Bool(false));
+            Some("right".into())
+        }
+        // Blank or shape-mismatched answers are discarded by QC.
+        _ => None,
+    }
+}
+
+/// Assemble a storable row for a crowdsourced tuple: preset values are
+/// authoritative, answered fields are parsed by column type, anything
+/// left over defaults to CNULL (it can be crowdsourced later).
+fn build_tuple(
+    schema: &TableSchema,
+    preset: &[(String, Value)],
+    fields: &[(String, String)],
+    _normalizer: &Normalizer,
+) -> Option<Row> {
+    let mut values: Vec<Value> = vec![Value::CNull; schema.arity()];
+    for (name, v) in preset {
+        let idx = schema.column_index(name)?;
+        values[idx] = v.clone();
+    }
+    for (name, text) in fields {
+        let Some(idx) = schema.column_index(name) else {
+            continue;
+        };
+        if preset.iter().any(|(p, _)| p == name) {
+            continue; // preset values are not overridable by workers
+        }
+        if let Some(v) = Value::parse_answer(text, schema.columns[idx].data_type) {
+            values[idx] = v;
+        }
+    }
+    // Primary-key columns must have concrete values.
+    for &pk in &schema.primary_key {
+        if values[pk].is_missing() {
+            return None;
+        }
+    }
+    Some(Row::new(values))
+}
+
+/// Validation-oriented accessor used by unit tests.
+#[doc(hidden)]
+pub fn build_tuple_for_tests(
+    schema: &TableSchema,
+    preset: &[(String, Value)],
+    fields: &[(String, String)],
+) -> Option<Row> {
+    build_tuple(schema, preset, fields, &Normalizer::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::{ColumnDef, DataType};
+
+    fn attendee_schema() -> TableSchema {
+        TableSchema::new(
+            "notableattendee",
+            vec![
+                ColumnDef::new("name", DataType::Str),
+                ColumnDef::new("title", DataType::Str),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["name"])
+        .unwrap()
+        .crowd()
+    }
+
+    #[test]
+    fn build_tuple_with_preset_and_fields() {
+        let schema = attendee_schema();
+        let row = build_tuple_for_tests(
+            &schema,
+            &[("title".into(), Value::str("CrowdDB"))],
+            &[("name".into(), " Mike Franklin ".into())],
+        )
+        .unwrap();
+        assert_eq!(row[0], Value::str("Mike Franklin"));
+        assert_eq!(row[1], Value::str("CrowdDB"));
+    }
+
+    #[test]
+    fn build_tuple_requires_pk() {
+        let schema = attendee_schema();
+        assert!(build_tuple_for_tests(
+            &schema,
+            &[("title".into(), Value::str("CrowdDB"))],
+            &[("name".into(), "   ".into())],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn build_tuple_ignores_unknown_and_preset_overrides() {
+        let schema = attendee_schema();
+        let row = build_tuple_for_tests(
+            &schema,
+            &[("title".into(), Value::str("CrowdDB"))],
+            &[
+                ("name".into(), "Sam".into()),
+                ("title".into(), "HACKED".into()),
+                ("bogus".into(), "x".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(row[1], Value::str("CrowdDB"), "preset wins");
+    }
+
+    #[test]
+    fn need_to_spec_probe_uses_template_instructions() {
+        let mut templates = UiTemplateManager::new();
+        let schema = TableSchema::new(
+            "talk",
+            vec![
+                ColumnDef::new("title", DataType::Str),
+                ColumnDef::new("abstract", DataType::Str).crowd(),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["title"])
+        .unwrap();
+        templates.register_schema(&schema);
+        templates
+            .edit("talk", TemplateKind::Probe, |t| {
+                t.instructions = "Check the conference site first.".into();
+            })
+            .unwrap();
+        let need = TaskNeed::ProbeValues {
+            table: "talk".into(),
+            tid: crowddb_common::TupleId(0),
+            context: vec![("title".into(), "CrowdDB".into())],
+            columns: vec![(1, "abstract".into(), DataType::Str)],
+        };
+        let spec = need_to_spec(&need, &CrowdConfig::default(), &templates);
+        match spec.kind {
+            TaskKind::Probe { instructions, .. } => {
+                assert_eq!(instructions, "Check the conference site first.");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(spec.assignments, 3);
+    }
+
+    #[test]
+    fn need_to_spec_new_tuples_excludes_preset_columns() {
+        let mut templates = UiTemplateManager::new();
+        templates.register_schema(&attendee_schema());
+        let need = TaskNeed::NewTuples {
+            table: "notableattendee".into(),
+            preset: vec![("title".into(), Value::str("CrowdDB"))],
+            want: 3,
+        };
+        let spec = need_to_spec(&need, &CrowdConfig::default(), &templates);
+        match spec.kind {
+            TaskKind::NewTuples {
+                columns, preset, ..
+            } => {
+                assert_eq!(columns.len(), 1);
+                assert_eq!(columns[0].0, "name");
+                assert_eq!(preset[0], ("title".into(), "CrowdDB".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

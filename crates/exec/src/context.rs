@@ -1,0 +1,199 @@
+//! The per-run execution context: crowd answer caches and collected
+//! needs.
+
+use std::collections::{HashMap, HashSet};
+
+use crowddb_common::Row;
+
+use crate::need::TaskNeed;
+
+/// Session-lived caches of crowd comparison verdicts.
+///
+/// Probe answers are written back into storage, so they need no cache;
+/// comparisons (`CROWDEQUAL`, `CROWDORDER`) have nowhere to live in the
+/// schema and are remembered here. Keys are the canonicalized rendered
+/// operand pair plus the instruction (see [`CompareCaches::pair_key`]).
+#[derive(Debug, Clone, Default)]
+pub struct CompareCaches {
+    /// `pair_key` → the two values are equal.
+    pub equal: HashMap<String, bool>,
+    /// `pair_key` → the *lexicographically smaller* operand is preferred.
+    ///
+    /// Storing the verdict relative to the canonical operand order makes
+    /// the cache direction-independent.
+    pub order: HashMap<String, bool>,
+}
+
+impl CompareCaches {
+    /// Canonical cache key for an operand pair under an instruction.
+    /// Returns `(key, swapped)` where `swapped` records whether the
+    /// operands were reordered to canonicalize.
+    pub fn pair_key(left: &str, right: &str, instruction: &str) -> (String, bool) {
+        if left <= right {
+            (format!("{instruction}\u{1}{left}\u{1}{right}"), false)
+        } else {
+            (format!("{instruction}\u{1}{right}\u{1}{left}"), true)
+        }
+    }
+
+    /// Look up an equality verdict.
+    pub fn get_equal(&self, left: &str, right: &str, instruction: &str) -> Option<bool> {
+        let (key, _) = Self::pair_key(left, right, instruction);
+        self.equal.get(&key).copied()
+    }
+
+    /// Record an equality verdict.
+    pub fn put_equal(&mut self, left: &str, right: &str, instruction: &str, verdict: bool) {
+        let (key, _) = Self::pair_key(left, right, instruction);
+        self.equal.insert(key, verdict);
+    }
+
+    /// Look up an order verdict: `Some(true)` means `left` is preferred
+    /// over `right`.
+    pub fn get_prefer(&self, left: &str, right: &str, instruction: &str) -> Option<bool> {
+        let (key, swapped) = Self::pair_key(left, right, instruction);
+        self.order.get(&key).map(|&small_wins| {
+            if swapped {
+                !small_wins
+            } else {
+                small_wins
+            }
+        })
+    }
+
+    /// Record an order verdict: `left_preferred` relative to the operands
+    /// as given.
+    pub fn put_prefer(&mut self, left: &str, right: &str, instruction: &str, left_preferred: bool) {
+        let (key, swapped) = Self::pair_key(left, right, instruction);
+        let small_wins = if swapped {
+            !left_preferred
+        } else {
+            left_preferred
+        };
+        self.order.insert(key, small_wins);
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.equal.len() + self.order.len()
+    }
+
+    /// Whether both caches are empty.
+    pub fn is_empty(&self) -> bool {
+        self.equal.is_empty() && self.order.is_empty()
+    }
+}
+
+/// Counters reported per run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Rows scanned from base tables.
+    pub rows_scanned: u64,
+    /// CNULLs encountered in needed columns.
+    pub cnulls_seen: u64,
+    /// Crowd comparisons answered from cache.
+    pub compare_cache_hits: u64,
+    /// Crowd comparisons missing from cache.
+    pub compare_cache_misses: u64,
+    /// Scans answered via a primary-key index point lookup.
+    pub index_lookups: u64,
+}
+
+/// Mutable state threaded through one execution round.
+pub struct RunContext<'caches> {
+    /// Session comparison caches (shared across rounds).
+    pub caches: &'caches CompareCaches,
+    /// Collected needs, deduplicated.
+    needs: Vec<TaskNeed>,
+    seen_needs: HashSet<String>,
+    /// Materialized uncorrelated subquery results, keyed by plan text.
+    pub subquery_results: HashMap<String, Vec<Row>>,
+    /// Counters.
+    pub stats: RunStats,
+}
+
+impl<'caches> RunContext<'caches> {
+    /// Fresh context for one round.
+    pub fn new(caches: &'caches CompareCaches) -> RunContext<'caches> {
+        RunContext {
+            caches,
+            needs: Vec::new(),
+            seen_needs: HashSet::new(),
+            subquery_results: HashMap::new(),
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Record a need (deduplicated).
+    pub fn push_need(&mut self, need: TaskNeed) {
+        let key = need.dedup_key();
+        if self.seen_needs.insert(key) {
+            self.needs.push(need);
+        }
+    }
+
+    /// Needs collected so far.
+    pub fn needs(&self) -> &[TaskNeed] {
+        &self.needs
+    }
+
+    /// Consume the context, yielding the needs.
+    pub fn into_needs(self) -> Vec<TaskNeed> {
+        self.needs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_cache_symmetric() {
+        let mut c = CompareCaches::default();
+        c.put_equal("IBM", "I.B.M.", "same?", true);
+        assert_eq!(c.get_equal("I.B.M.", "IBM", "same?"), Some(true));
+        assert_eq!(c.get_equal("IBM", "Apple", "same?"), None);
+        assert_eq!(c.get_equal("IBM", "I.B.M.", "other q"), None);
+    }
+
+    #[test]
+    fn order_cache_direction_aware() {
+        let mut c = CompareCaches::default();
+        // "b" preferred over "a".
+        c.put_prefer("b", "a", "which?", true);
+        assert_eq!(c.get_prefer("b", "a", "which?"), Some(true));
+        assert_eq!(c.get_prefer("a", "b", "which?"), Some(false));
+        // And the reverse registration works too.
+        c.put_prefer("x", "y", "which?", false);
+        assert_eq!(c.get_prefer("y", "x", "which?"), Some(true));
+    }
+
+    #[test]
+    fn needs_dedup() {
+        let caches = CompareCaches::default();
+        let mut ctx = RunContext::new(&caches);
+        for _ in 0..3 {
+            ctx.push_need(TaskNeed::Equal {
+                left: "a".into(),
+                right: "b".into(),
+                instruction: "?".into(),
+            });
+        }
+        ctx.push_need(TaskNeed::Equal {
+            left: "b".into(),
+            right: "a".into(),
+            instruction: "?".into(),
+        });
+        assert_eq!(ctx.needs().len(), 1);
+        assert_eq!(ctx.into_needs().len(), 1);
+    }
+
+    #[test]
+    fn cache_len() {
+        let mut c = CompareCaches::default();
+        assert!(c.is_empty());
+        c.put_equal("a", "b", "q", false);
+        c.put_prefer("a", "b", "q", true);
+        assert_eq!(c.len(), 2);
+    }
+}

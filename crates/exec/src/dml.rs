@@ -1,0 +1,382 @@
+//! DML execution: INSERT, UPDATE, DELETE.
+//!
+//! DML shares the round-based crowd semantics of queries: an `UPDATE ...
+//! WHERE name ~= 'IBM'` only touches rows whose crowd predicate is
+//! already decided; undecided comparisons are returned as needs and the
+//! statement converges on re-execution.
+
+use crowddb_common::{CrowdError, Result, Row, Value};
+use crowddb_plan::Binder;
+use crowddb_sql::{Delete, Insert, Update};
+use crowddb_storage::Database;
+
+use crate::context::CompareCaches;
+use crate::executor::Executor;
+use crate::need::TaskNeed;
+
+/// Result of a DML statement round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmlResult {
+    /// Rows inserted/updated/deleted this round.
+    pub affected: usize,
+    /// Crowd work pending (empty ⇒ the statement is fully applied).
+    pub needs: Vec<TaskNeed>,
+}
+
+/// Execute an INSERT.
+///
+/// Columns omitted from an explicit column list default to `CNULL` for
+/// CROWD columns (so they will be crowdsourced on first use — the
+/// CrowdSQL default) and `NULL` otherwise.
+pub fn execute_insert(
+    db: &Database,
+    caches: &CompareCaches,
+    ins: &Insert,
+) -> Result<DmlResult> {
+    let schema = db.schema(&ins.table)?;
+    let bound_rows: Vec<Vec<crowddb_plan::BExpr>> = {
+        db.with_catalog(|catalog| {
+            let mut binder = Binder::new(catalog);
+            ins.rows
+                .iter()
+                .map(|row| row.iter().map(|e| binder.bind_value_expr(e)).collect())
+                .collect::<Result<Vec<_>>>()
+        })?
+    };
+
+    // Map provided expressions onto schema positions.
+    let positions: Vec<usize> = match &ins.columns {
+        Some(cols) => {
+            let mut out = Vec::with_capacity(cols.len());
+            for c in cols {
+                out.push(schema.column_index(c).ok_or_else(|| {
+                    CrowdError::Analyze(format!(
+                        "unknown column '{c}' in INSERT INTO {}",
+                        schema.name
+                    ))
+                })?);
+            }
+            out
+        }
+        None => (0..schema.arity()).collect(),
+    };
+
+    let mut ex = Executor::new(db, caches);
+    let empty = Row::default();
+    let mut affected = 0;
+    for exprs in &bound_rows {
+        if exprs.len() != positions.len() {
+            return Err(CrowdError::Analyze(format!(
+                "INSERT INTO {} expects {} values, got {}",
+                schema.name,
+                positions.len(),
+                exprs.len()
+            )));
+        }
+        // Defaults: CNULL for crowd columns, NULL otherwise.
+        let mut values: Vec<Value> = schema
+            .columns
+            .iter()
+            .map(|c| {
+                if c.crowd || schema.crowd_table {
+                    Value::CNull
+                } else {
+                    Value::Null
+                }
+            })
+            .collect();
+        for (expr, &pos) in exprs.iter().zip(&positions) {
+            values[pos] = ex.eval(expr, &empty)?;
+        }
+        db.insert(&schema.name, Row::new(values))?;
+        affected += 1;
+    }
+    let (needs, _) = ex.finish();
+    Ok(DmlResult { affected, needs })
+}
+
+/// Execute an UPDATE for one round.
+pub fn execute_update(
+    db: &Database,
+    caches: &CompareCaches,
+    upd: &Update,
+) -> Result<DmlResult> {
+    update_inner(db, caches, upd, true)
+}
+
+/// Dry-run an UPDATE: report how many rows *would* be affected and which
+/// crowd work is needed, without mutating anything. The driver resolves
+/// the needs first and applies the statement exactly once — otherwise a
+/// non-idempotent assignment like `SET n = n + 1` would be re-applied on
+/// every crowd round.
+pub fn plan_update(db: &Database, caches: &CompareCaches, upd: &Update) -> Result<DmlResult> {
+    update_inner(db, caches, upd, false)
+}
+
+fn update_inner(
+    db: &Database,
+    caches: &CompareCaches,
+    upd: &Update,
+    apply: bool,
+) -> Result<DmlResult> {
+    let schema = db.schema(&upd.table)?;
+    let (filter, assignments) = db.with_catalog(|catalog| {
+        let mut binder = Binder::new(catalog);
+        let filter = match &upd.filter {
+            Some(f) => Some(binder.bind_table_filter(&upd.table, f)?.0),
+            None => None,
+        };
+        let mut assignments = Vec::with_capacity(upd.assignments.len());
+        for (col, expr) in &upd.assignments {
+            let idx = schema.column_index(col).ok_or_else(|| {
+                CrowdError::Analyze(format!(
+                    "unknown column '{col}' in UPDATE {}",
+                    schema.name
+                ))
+            })?;
+            let (bound, _) = binder.bind_table_filter(&upd.table, expr)?;
+            assignments.push((idx, bound));
+        }
+        Ok::<_, CrowdError>((filter, assignments))
+    })?;
+
+    let rows = db.with_table(&upd.table, |t| t.scan_rows())?;
+    let mut ex = Executor::new(db, caches);
+    let mut to_apply = Vec::new();
+    for (tid, row) in rows {
+        let hit = match &filter {
+            Some(f) => ex.eval_truth(f, &row)?.passes_filter(),
+            None => true,
+        };
+        if hit {
+            let mut new_row = row.clone();
+            for (idx, expr) in &assignments {
+                let v = ex.eval(expr, &row)?;
+                new_row.set(*idx, v);
+            }
+            to_apply.push((tid, new_row));
+        }
+    }
+    let affected = to_apply.len();
+    if apply {
+        for (tid, new_row) in to_apply {
+            db.with_table_mut(&upd.table, |t| t.update(tid, new_row))?;
+        }
+    }
+    let (needs, _) = ex.finish();
+    Ok(DmlResult { affected, needs })
+}
+
+/// Execute a DELETE for one round.
+pub fn execute_delete(
+    db: &Database,
+    caches: &CompareCaches,
+    del: &Delete,
+) -> Result<DmlResult> {
+    delete_inner(db, caches, del, true)
+}
+
+/// Dry-run a DELETE (see [`plan_update`]).
+pub fn plan_delete(db: &Database, caches: &CompareCaches, del: &Delete) -> Result<DmlResult> {
+    delete_inner(db, caches, del, false)
+}
+
+fn delete_inner(
+    db: &Database,
+    caches: &CompareCaches,
+    del: &Delete,
+    apply: bool,
+) -> Result<DmlResult> {
+    let filter = db.with_catalog(|catalog| {
+        let mut binder = Binder::new(catalog);
+        match &del.filter {
+            Some(f) => Ok::<_, CrowdError>(Some(binder.bind_table_filter(&del.table, f)?.0)),
+            None => Ok(None),
+        }
+    })?;
+    let rows = db.with_table(&del.table, |t| t.scan_rows())?;
+    let mut ex = Executor::new(db, caches);
+    let mut victims = Vec::new();
+    for (tid, row) in rows {
+        let hit = match &filter {
+            Some(f) => ex.eval_truth(f, &row)?.passes_filter(),
+            None => true,
+        };
+        if hit {
+            victims.push(tid);
+        }
+    }
+    let affected = victims.len();
+    if apply {
+        for tid in victims {
+            db.with_table_mut(&del.table, |t| {
+                t.delete(tid);
+                Ok(())
+            })?;
+        }
+    }
+    let (needs, _) = ex.finish();
+    Ok(DmlResult { affected, needs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_sql::{parse_statement, Statement};
+
+    fn setup() -> Database {
+        let db = Database::new();
+        let ddl = "CREATE TABLE talk (title STRING PRIMARY KEY, abstract CROWD STRING, \
+                   nb_attendees CROWD INTEGER)";
+        let Statement::CreateTable(ct) = parse_statement(ddl).unwrap() else {
+            panic!()
+        };
+        let schema = db.with_catalog(|c| c.schema_from_ast(&ct)).unwrap();
+        db.create_table(schema).unwrap();
+        db
+    }
+
+    fn insert(db: &Database, sql: &str) -> DmlResult {
+        let Statement::Insert(i) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        execute_insert(db, &CompareCaches::default(), &i).unwrap()
+    }
+
+    #[test]
+    fn insert_full_row() {
+        let db = setup();
+        let r = insert(&db, "INSERT INTO talk VALUES ('CrowdDB', CNULL, CNULL)");
+        assert_eq!(r.affected, 1);
+        assert!(r.needs.is_empty());
+        assert_eq!(db.stats("talk").unwrap().live_rows, 1);
+        assert_eq!(db.stats("talk").unwrap().cnull_values, 2);
+    }
+
+    #[test]
+    fn insert_partial_defaults_crowd_columns_to_cnull() {
+        let db = setup();
+        insert(&db, "INSERT INTO talk (title) VALUES ('Qurk')");
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        assert!(rows[0].1[1].is_cnull(), "abstract defaults to CNULL");
+        assert!(rows[0].1[2].is_cnull(), "nb_attendees defaults to CNULL");
+    }
+
+    #[test]
+    fn insert_multi_row_and_expressions() {
+        let db = setup();
+        let r = insert(
+            &db,
+            "INSERT INTO talk (title, nb_attendees) VALUES ('a', 50 + 50), ('b', 2 * 10)",
+        );
+        assert_eq!(r.affected, 2);
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        assert_eq!(rows[0].1[2], Value::Int(100));
+        assert_eq!(rows[1].1[2], Value::Int(20));
+    }
+
+    #[test]
+    fn insert_arity_mismatch() {
+        let db = setup();
+        let Statement::Insert(i) =
+            parse_statement("INSERT INTO talk (title) VALUES ('a', 'b')").unwrap()
+        else {
+            panic!()
+        };
+        assert!(execute_insert(&db, &CompareCaches::default(), &i).is_err());
+    }
+
+    #[test]
+    fn insert_unknown_column() {
+        let db = setup();
+        let Statement::Insert(i) =
+            parse_statement("INSERT INTO talk (nope) VALUES (1)").unwrap()
+        else {
+            panic!()
+        };
+        assert!(execute_insert(&db, &CompareCaches::default(), &i).is_err());
+    }
+
+    #[test]
+    fn update_with_filter() {
+        let db = setup();
+        insert(&db, "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)");
+        let Statement::Update(u) =
+            parse_statement("UPDATE talk SET nb_attendees = nb_attendees + 5 WHERE title = 'a'")
+                .unwrap()
+        else {
+            panic!()
+        };
+        let r = execute_update(&db, &CompareCaches::default(), &u).unwrap();
+        assert_eq!(r.affected, 1);
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        assert_eq!(rows[0].1[2], Value::Int(15));
+        assert_eq!(rows[1].1[2], Value::Int(20));
+    }
+
+    #[test]
+    fn update_all_rows_without_filter() {
+        let db = setup();
+        insert(&db, "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)");
+        let Statement::Update(u) =
+            parse_statement("UPDATE talk SET abstract = 'revised'").unwrap()
+        else {
+            panic!()
+        };
+        let r = execute_update(&db, &CompareCaches::default(), &u).unwrap();
+        assert_eq!(r.affected, 2);
+    }
+
+    #[test]
+    fn delete_with_filter() {
+        let db = setup();
+        insert(&db, "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)");
+        let Statement::Delete(d) =
+            parse_statement("DELETE FROM talk WHERE nb_attendees > 15").unwrap()
+        else {
+            panic!()
+        };
+        let r = execute_delete(&db, &CompareCaches::default(), &d).unwrap();
+        assert_eq!(r.affected, 1);
+        assert_eq!(db.stats("talk").unwrap().live_rows, 1);
+    }
+
+    #[test]
+    fn crowd_predicate_in_dml_reports_needs() {
+        let db = setup();
+        insert(&db, "INSERT INTO talk VALUES ('CrowDB', 'x', 10)");
+        let Statement::Update(u) =
+            parse_statement("UPDATE talk SET abstract = 'fixed' WHERE title ~= 'CrowdDB'")
+                .unwrap()
+        else {
+            panic!()
+        };
+        // Round 1: the comparison is unknown — nothing updated, one need.
+        let r = execute_update(&db, &CompareCaches::default(), &u).unwrap();
+        assert_eq!(r.affected, 0);
+        assert_eq!(r.needs.len(), 1);
+        // Crowd says yes; round 2 applies the update.
+        let mut caches = CompareCaches::default();
+        caches.put_equal(
+            "CrowDB",
+            "CrowdDB",
+            "Do these two values refer to the same entity?",
+            true,
+        );
+        let r = execute_update(&db, &caches, &u).unwrap();
+        assert_eq!(r.affected, 1);
+        assert!(r.needs.is_empty());
+    }
+
+    #[test]
+    fn delete_everything() {
+        let db = setup();
+        insert(&db, "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)");
+        let Statement::Delete(d) = parse_statement("DELETE FROM talk").unwrap() else {
+            panic!()
+        };
+        let r = execute_delete(&db, &CompareCaches::default(), &d).unwrap();
+        assert_eq!(r.affected, 2);
+        assert_eq!(db.stats("talk").unwrap().live_rows, 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Value-level evaluation helpers: arithmetic, comparison, LIKE, and the
+//! scalar function library. The full expression evaluator (which also
+//! handles subqueries and crowd comparisons) lives on
+//! [`Executor`](crate::executor::Executor).
+
+use crowddb_common::{CrowdError, DataType, Result, Truth, Value};
+use crowddb_plan::ScalarFn;
+use crowddb_sql::BinaryOp;
+
+/// Evaluate a binary operator over two concrete values (3VL for
+/// comparisons, missing-propagation for arithmetic).
+pub fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => eval_arith(l, op, r),
+        Concat => {
+            if l.is_missing() || r.is_missing() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Str(format!("{l}{r}")))
+        }
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => Ok(truth_to_value(compare_truth(l, op, r))),
+        And | Or => {
+            let a = value_truth(l)?;
+            let b = value_truth(r)?;
+            Ok(truth_to_value(if op == And { a.and(b) } else { a.or(b) }))
+        }
+        CrowdEq => Err(CrowdError::Internal(
+            "CrowdEq must be handled by the crowd evaluator".into(),
+        )),
+    }
+}
+
+/// Comparison in three-valued logic.
+pub fn compare_truth(l: &Value, op: BinaryOp, r: &Value) -> Truth {
+    use std::cmp::Ordering::*;
+    let Some(ord) = l.compare(r) else {
+        return Truth::Unknown;
+    };
+    let b = match op {
+        BinaryOp::Eq => ord == Equal,
+        BinaryOp::NotEq => ord != Equal,
+        BinaryOp::Lt => ord == Less,
+        BinaryOp::LtEq => ord != Greater,
+        BinaryOp::Gt => ord == Greater,
+        BinaryOp::GtEq => ord != Less,
+        _ => return Truth::Unknown,
+    };
+    Truth::from_bool(b)
+}
+
+fn eval_arith(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
+    if l.is_missing() || r.is_missing() {
+        return Ok(Value::Null);
+    }
+    // Integer fast path.
+    if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
+        return match op {
+            BinaryOp::Add => a
+                .checked_add(b)
+                .map(Value::Int)
+                .ok_or_else(|| CrowdError::Exec("integer overflow in +".into())),
+            BinaryOp::Sub => a
+                .checked_sub(b)
+                .map(Value::Int)
+                .ok_or_else(|| CrowdError::Exec("integer overflow in -".into())),
+            BinaryOp::Mul => a
+                .checked_mul(b)
+                .map(Value::Int)
+                .ok_or_else(|| CrowdError::Exec("integer overflow in *".into())),
+            BinaryOp::Div => {
+                if b == 0 {
+                    Err(CrowdError::Exec("division by zero".into()))
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            BinaryOp::Mod => {
+                if b == 0 {
+                    Err(CrowdError::Exec("modulo by zero".into()))
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+        return Err(CrowdError::Type(format!(
+            "arithmetic on non-numeric values {} and {}",
+            l.sql_literal(),
+            r.sql_literal()
+        )));
+    };
+    let v = match op {
+        BinaryOp::Add => a + b,
+        BinaryOp::Sub => a - b,
+        BinaryOp::Mul => a * b,
+        BinaryOp::Div => {
+            if b == 0.0 {
+                return Err(CrowdError::Exec("division by zero".into()));
+            }
+            a / b
+        }
+        BinaryOp::Mod => {
+            if b == 0.0 {
+                return Err(CrowdError::Exec("modulo by zero".into()));
+            }
+            a % b
+        }
+        _ => unreachable!(),
+    };
+    if v.is_nan() {
+        return Err(CrowdError::Exec("NaN produced by arithmetic".into()));
+    }
+    Ok(Value::Float(v))
+}
+
+/// SQL boolean interpretation of a value.
+pub fn value_truth(v: &Value) -> Result<Truth> {
+    match v {
+        Value::Bool(b) => Ok(Truth::from_bool(*b)),
+        Value::Null | Value::CNull => Ok(Truth::Unknown),
+        other => Err(CrowdError::Type(format!(
+            "expected a boolean, got {}",
+            other.sql_literal()
+        ))),
+    }
+}
+
+/// Truth → SQL value (`Unknown` → `NULL`).
+pub fn truth_to_value(t: Truth) -> Value {
+    match t.to_bool() {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+/// SQL `LIKE` with `%` (any run) and `_` (any one char); case-sensitive.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => {
+                // Try all splits, shortest first.
+                (0..=t.len()).any(|k| rec(&t[k..], rest))
+            }
+            Some(('_', rest)) => !t.is_empty() && rec(&t[1..], rest),
+            Some((c, rest)) => t.first() == Some(c) && rec(&t[1..], rest),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+/// Evaluate a scalar function over concrete arguments.
+pub fn eval_scalar_fn(func: ScalarFn, args: &[Value]) -> Result<Value> {
+    match func {
+        ScalarFn::Coalesce => {
+            for a in args {
+                if !a.is_missing() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        ScalarFn::ConcatFn => {
+            let mut s = String::new();
+            for a in args {
+                if a.is_missing() {
+                    return Ok(Value::Null);
+                }
+                s.push_str(&a.to_string());
+            }
+            Ok(Value::Str(s))
+        }
+        _ => {
+            // Unary-ish functions: missing in → missing out.
+            if args.iter().any(Value::is_missing) {
+                return Ok(Value::Null);
+            }
+            match func {
+                ScalarFn::Lower => str_arg(func, &args[0]).map(|s| Value::Str(s.to_lowercase())),
+                ScalarFn::Upper => str_arg(func, &args[0]).map(|s| Value::Str(s.to_uppercase())),
+                ScalarFn::Trim => str_arg(func, &args[0]).map(|s| Value::Str(s.trim().to_string())),
+                ScalarFn::Length => {
+                    str_arg(func, &args[0]).map(|s| Value::Int(s.chars().count() as i64))
+                }
+                ScalarFn::Abs => match &args[0] {
+                    Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
+                        CrowdError::Exec("integer overflow in ABS".into())
+                    })?)),
+                    Value::Float(f) => Ok(Value::Float(f.abs())),
+                    other => Err(CrowdError::Type(format!(
+                        "ABS expects a number, got {}",
+                        other.sql_literal()
+                    ))),
+                },
+                ScalarFn::Round => match &args[0] {
+                    Value::Int(i) => Ok(Value::Int(*i)),
+                    Value::Float(f) => Ok(Value::Float(f.round())),
+                    other => Err(CrowdError::Type(format!(
+                        "ROUND expects a number, got {}",
+                        other.sql_literal()
+                    ))),
+                },
+                ScalarFn::Substr => {
+                    let s = str_arg(func, &args[0])?;
+                    let start = args[1].as_i64().ok_or_else(|| {
+                        CrowdError::Type("SUBSTR start must be an integer".into())
+                    })?;
+                    let chars: Vec<char> = s.chars().collect();
+                    // SQL is 1-based; clamp out-of-range gracefully.
+                    let begin = (start.max(1) as usize - 1).min(chars.len());
+                    let len = match args.get(2) {
+                        Some(v) => v.as_i64().ok_or_else(|| {
+                            CrowdError::Type("SUBSTR length must be an integer".into())
+                        })?,
+                        None => chars.len() as i64,
+                    };
+                    let end = (begin as i64 + len.max(0)).min(chars.len() as i64) as usize;
+                    Ok(Value::Str(chars[begin..end].iter().collect()))
+                }
+                ScalarFn::Coalesce | ScalarFn::ConcatFn => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+fn str_arg(func: ScalarFn, v: &Value) -> Result<&str> {
+    v.as_str().ok_or_else(|| {
+        CrowdError::Type(format!(
+            "{} expects a string, got {}",
+            func.name(),
+            v.sql_literal()
+        ))
+    })
+}
+
+/// Apply an explicit `CAST`.
+pub fn eval_cast(v: &Value, ty: DataType) -> Result<Value> {
+    if v.is_missing() {
+        return Ok(v.clone());
+    }
+    let out = match (v, ty) {
+        (Value::Int(_), DataType::Int)
+        | (Value::Float(_), DataType::Float)
+        | (Value::Bool(_), DataType::Bool)
+        | (Value::Str(_), DataType::Str) => Some(v.clone()),
+        (Value::Int(i), DataType::Float) => Some(Value::Float(*i as f64)),
+        (Value::Float(f), DataType::Int) => Some(Value::Int(*f as i64)),
+        (Value::Int(i), DataType::Str) => Some(Value::Str(i.to_string())),
+        (Value::Float(f), DataType::Str) => Some(Value::Str(f.to_string())),
+        (Value::Bool(b), DataType::Str) => Some(Value::Str(b.to_string())),
+        (Value::Str(s), _) => Value::parse_answer(s, ty),
+        (Value::Bool(b), DataType::Int) => Some(Value::Int(*b as i64)),
+        _ => None,
+    };
+    out.ok_or_else(|| {
+        CrowdError::Exec(format!(
+            "cannot cast {} to {}",
+            v.sql_literal(),
+            ty.sql_name()
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        assert_eq!(
+            eval_binary(&Value::Int(7), BinaryOp::Add, &Value::Int(5)).unwrap(),
+            Value::Int(12)
+        );
+        assert_eq!(
+            eval_binary(&Value::Int(7), BinaryOp::Div, &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_binary(&Value::Float(1.5), BinaryOp::Mul, &Value::Int(2)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert!(eval_binary(&Value::Int(1), BinaryOp::Div, &Value::Int(0)).is_err());
+        assert!(eval_binary(&Value::Int(i64::MAX), BinaryOp::Add, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn arithmetic_with_missing_yields_null() {
+        assert_eq!(
+            eval_binary(&Value::Null, BinaryOp::Add, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_binary(&Value::Int(1), BinaryOp::Mul, &Value::CNull).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn comparisons_three_valued() {
+        assert_eq!(
+            eval_binary(&Value::Int(1), BinaryOp::Lt, &Value::Int(2)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_binary(&Value::Null, BinaryOp::Eq, &Value::Null).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_binary(&Value::str("a"), BinaryOp::GtEq, &Value::str("a")).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn and_or_kleene() {
+        assert_eq!(
+            eval_binary(&Value::Bool(false), BinaryOp::And, &Value::Null).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_binary(&Value::Bool(true), BinaryOp::Or, &Value::Null).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_binary(&Value::Bool(true), BinaryOp::And, &Value::Null).unwrap(),
+            Value::Null
+        );
+        assert!(eval_binary(&Value::Int(1), BinaryOp::And, &Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn concat_operator() {
+        assert_eq!(
+            eval_binary(&Value::str("a"), BinaryOp::Concat, &Value::Int(1)).unwrap(),
+            Value::str("a1")
+        );
+        assert_eq!(
+            eval_binary(&Value::str("a"), BinaryOp::Concat, &Value::Null).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("CrowdDB", "Crowd%"));
+        assert!(like_match("CrowdDB", "%DB"));
+        assert!(like_match("CrowdDB", "C%B"));
+        assert!(like_match("CrowdDB", "Cr_wdDB"));
+        assert!(!like_match("CrowdDB", "crowd%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b")); // literal middle matched by %
+        assert!(like_match("anything", "%%"));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(
+            eval_scalar_fn(ScalarFn::Lower, &[Value::str("AbC")]).unwrap(),
+            Value::str("abc")
+        );
+        assert_eq!(
+            eval_scalar_fn(ScalarFn::Length, &[Value::str("héllo")]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_scalar_fn(ScalarFn::Abs, &[Value::Int(-4)]).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            eval_scalar_fn(ScalarFn::Round, &[Value::Float(2.6)]).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            eval_scalar_fn(ScalarFn::Trim, &[Value::str("  x ")]).unwrap(),
+            Value::str("x")
+        );
+        assert_eq!(
+            eval_scalar_fn(
+                ScalarFn::Coalesce,
+                &[Value::Null, Value::CNull, Value::Int(3)]
+            )
+            .unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_scalar_fn(ScalarFn::Coalesce, &[Value::Null]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_scalar_fn(
+                ScalarFn::Substr,
+                &[Value::str("CrowdDB"), Value::Int(6), Value::Int(2)]
+            )
+            .unwrap(),
+            Value::str("DB")
+        );
+        assert_eq!(
+            eval_scalar_fn(ScalarFn::Substr, &[Value::str("abc"), Value::Int(99)]).unwrap(),
+            Value::str("")
+        );
+        assert_eq!(
+            eval_scalar_fn(ScalarFn::Lower, &[Value::Null]).unwrap(),
+            Value::Null
+        );
+        assert!(eval_scalar_fn(ScalarFn::Lower, &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            eval_cast(&Value::str("42"), DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            eval_cast(&Value::Float(2.9), DataType::Int).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_cast(&Value::Int(1), DataType::Str).unwrap(),
+            Value::str("1")
+        );
+        assert_eq!(
+            eval_cast(&Value::Bool(true), DataType::Int).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(eval_cast(&Value::CNull, DataType::Int).unwrap(), Value::CNull);
+        assert!(eval_cast(&Value::str("xyz"), DataType::Int).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # crowddb-exec
+//!
+//! The CrowdDB execution engine: a materializing (vector-at-a-time)
+//! executor for optimized logical plans, plus the three crowd operators
+//! from paper §3.2.1:
+//!
+//! * **CrowdProbe** — lives inside table scans: rows whose *needed*
+//!   CROWD columns hold `CNULL` generate probe task needs, and bounded
+//!   CROWD-table scans short of their quota generate new-tuple needs;
+//! * **CrowdJoin** — an index nested-loop join whose inner side is a
+//!   CROWD table: outer rows without a match generate new-tuple needs
+//!   with the join key preset;
+//! * **CrowdCompare** — embedded in predicate evaluation (`CROWDEQUAL`)
+//!   and sorting (`CROWDORDER`): comparisons missing from the session's
+//!   answer caches generate compare task needs.
+//!
+//! Execution is **round-based**: a run never blocks on humans. It
+//! produces the rows derivable from current knowledge plus the list of
+//! [`TaskNeed`]s that would refine the answer. The driver (in
+//! `crowddb-core`) posts those needs to a platform, ingests answers
+//! (write-back + caches), and re-runs; when a run reports no needs the
+//! result is final. This mirrors the paper's Task Manager loop and makes
+//! every code path testable with a deterministic platform.
+
+pub mod context;
+pub mod dml;
+pub mod eval;
+pub mod executor;
+pub mod need;
+
+pub use context::{CompareCaches, RunContext, RunStats};
+pub use executor::{execute, ExecResult, Executor};
+pub use need::TaskNeed;

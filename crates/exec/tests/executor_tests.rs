@@ -1,0 +1,497 @@
+//! End-to-end executor tests: SQL text → parse → bind → optimize →
+//! execute against a real storage instance, including the crowd
+//! round-trip semantics (needs produced, caches/write-back consumed).
+
+use crowddb_common::{row, Row, Value};
+use crowddb_exec::{execute, CompareCaches, ExecResult, TaskNeed};
+use crowddb_plan::{optimize, Binder, LogicalPlan, OptimizerConfig};
+use crowddb_plan::cardinality::FnStats;
+use crowddb_sql::{parse_statement, Statement};
+use crowddb_storage::Database;
+
+fn setup() -> Database {
+    let db = Database::new();
+    for ddl in [
+        "CREATE TABLE talk (title STRING PRIMARY KEY, abstract CROWD STRING, \
+         nb_attendees CROWD INTEGER)",
+        "CREATE CROWD TABLE notableattendee (name STRING PRIMARY KEY, title STRING, \
+         FOREIGN KEY (title) REF talk(title))",
+        "CREATE TABLE dept (dept STRING PRIMARY KEY, building INTEGER)",
+    ] {
+        let Statement::CreateTable(ct) = parse_statement(ddl).unwrap() else {
+            panic!()
+        };
+        let schema = db.with_catalog(|c| c.schema_from_ast(&ct)).unwrap();
+        db.create_table(schema).unwrap();
+    }
+    db
+}
+
+fn plan(db: &Database, sql: &str) -> LogicalPlan {
+    let Statement::Select(q) = parse_statement(sql).unwrap() else {
+        panic!("not a select: {sql}")
+    };
+    let bound = db
+        .with_catalog(|c| Binder::new(c).bind_query(&q))
+        .unwrap();
+    // Flat estimate; tests are small and don't exercise the estimator.
+    let stats = FnStats(|_t: &str| Some(100));
+    optimize(bound, &stats, &OptimizerConfig::default())
+}
+
+fn run(db: &Database, sql: &str) -> ExecResult {
+    let caches = CompareCaches::default();
+    run_with(db, sql, &caches)
+}
+
+fn run_with(db: &Database, sql: &str, caches: &CompareCaches) -> ExecResult {
+    let p = plan(db, sql);
+    execute(db, caches, &p).unwrap()
+}
+
+fn seed_talks(db: &Database) {
+    db.insert("talk", row!["CrowdDB", Value::CNull, Value::CNull])
+        .unwrap();
+    db.insert("talk", row!["Qurk", "qurk abstract", 80i64])
+        .unwrap();
+    db.insert("talk", row!["PIQL", "piql abstract", 60i64])
+        .unwrap();
+}
+
+#[test]
+fn simple_select_and_projection() {
+    let db = setup();
+    seed_talks(&db);
+    let r = run(&db, "SELECT title FROM talk");
+    assert_eq!(r.rows.len(), 3);
+    assert!(r.is_final(), "no crowd columns referenced");
+    assert_eq!(r.rows[0], row!["CrowdDB"]);
+}
+
+#[test]
+fn paper_query_generates_probe_need() {
+    let db = setup();
+    seed_talks(&db);
+    // The paper's motivating query: abstract is CNULL for CrowdDB.
+    let r = run(&db, "SELECT abstract FROM talk WHERE title = 'CrowdDB'");
+    assert_eq!(r.rows.len(), 1);
+    assert!(r.rows[0][0].is_cnull(), "value still pending this round");
+    assert_eq!(r.needs.len(), 1);
+    match &r.needs[0] {
+        TaskNeed::ProbeValues {
+            table,
+            context,
+            columns,
+            ..
+        } => {
+            assert_eq!(table, "talk");
+            assert!(context.iter().any(|(k, v)| k == "title" && v == "CrowdDB"));
+            assert_eq!(columns.len(), 1);
+            assert_eq!(columns[0].1, "abstract");
+        }
+        other => panic!("expected probe, got {other:?}"),
+    }
+}
+
+#[test]
+fn probe_converges_after_write_back() {
+    let db = setup();
+    seed_talks(&db);
+    let r = run(&db, "SELECT abstract FROM talk WHERE title = 'CrowdDB'");
+    let TaskNeed::ProbeValues { table, tid, columns, .. } = &r.needs[0] else {
+        panic!()
+    };
+    // Simulate the task manager writing the crowd's answer back.
+    db.write_back_value(table, *tid, columns[0].0, Value::str("the crowd answer"))
+        .unwrap();
+    let r2 = run(&db, "SELECT abstract FROM talk WHERE title = 'CrowdDB'");
+    assert!(r2.is_final());
+    assert_eq!(r2.rows, vec![row!["the crowd answer"]]);
+}
+
+#[test]
+fn unreferenced_crowd_columns_do_not_probe() {
+    let db = setup();
+    seed_talks(&db);
+    // title only: CNULLs in abstract/nb_attendees are not needed.
+    let r = run(&db, "SELECT title FROM talk WHERE title LIKE 'C%'");
+    assert!(r.is_final());
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn predicate_on_cnull_is_unknown_and_probes() {
+    let db = setup();
+    seed_talks(&db);
+    let r = run(&db, "SELECT title FROM talk WHERE nb_attendees > 70");
+    // Only Qurk (80) qualifies now; CrowdDB's attendance is pending.
+    assert_eq!(r.rows, vec![row!["Qurk"]]);
+    assert_eq!(r.needs.len(), 1, "probe for CrowdDB's nb_attendees");
+    // After write-back the row qualifies.
+    let TaskNeed::ProbeValues { tid, columns, .. } = &r.needs[0] else {
+        panic!()
+    };
+    db.write_back_value("talk", *tid, columns[0].0, Value::Int(200))
+        .unwrap();
+    let r2 = run(&db, "SELECT title FROM talk WHERE nb_attendees > 70");
+    assert!(r2.is_final());
+    assert_eq!(r2.rows.len(), 2);
+}
+
+#[test]
+fn joins_inner_and_left() {
+    let db = setup();
+    seed_talks(&db);
+    db.insert("notableattendee", row!["Mike", "CrowdDB"]).unwrap();
+    db.insert("notableattendee", row!["Sam", "Qurk"]).unwrap();
+    let r = run(
+        &db,
+        "SELECT t.title, n.name FROM talk t JOIN notableattendee n ON t.title = n.title",
+    );
+    assert_eq!(r.rows.len(), 2);
+
+    let r = run(
+        &db,
+        "SELECT t.title, n.name FROM talk t LEFT JOIN notableattendee n ON t.title = n.title \
+         WHERE t.title = 'PIQL'",
+    );
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][1], Value::Null);
+}
+
+#[test]
+fn crowd_join_requests_new_tuples_for_missing_matches() {
+    let db = setup();
+    seed_talks(&db);
+    db.insert("notableattendee", row!["Mike", "CrowdDB"]).unwrap();
+    let r = run(
+        &db,
+        "SELECT t.title, n.name FROM talk t JOIN notableattendee n ON t.title = n.title",
+    );
+    // Qurk and PIQL have no attendees yet: two new-tuple needs with the
+    // join key preset — the CrowdJoin pattern.
+    let new_needs: Vec<_> = r
+        .needs
+        .iter()
+        .filter_map(|n| match n {
+            TaskNeed::NewTuples { table, preset, .. } => Some((table.clone(), preset.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(new_needs.len(), 2, "needs: {:?}", r.needs);
+    assert!(new_needs
+        .iter()
+        .all(|(t, p)| t == "notableattendee" && p[0].0 == "title"));
+    // And the write-back of a crowdsourced tuple completes the join.
+    db.write_back_tuple("notableattendee", row!["Eugene", "Qurk"])
+        .unwrap();
+    let r2 = run(
+        &db,
+        "SELECT t.title, n.name FROM talk t JOIN notableattendee n ON t.title = n.title",
+    );
+    assert_eq!(r2.rows.len(), 2);
+}
+
+#[test]
+fn bounded_crowd_scan_requests_tuples() {
+    let db = setup();
+    let r = run(&db, "SELECT name FROM notableattendee LIMIT 5");
+    assert_eq!(r.rows.len(), 0);
+    assert_eq!(r.needs.len(), 1);
+    match &r.needs[0] {
+        TaskNeed::NewTuples { table, preset, want } => {
+            assert_eq!(table, "notableattendee");
+            assert!(preset.is_empty());
+            assert_eq!(*want, 5);
+        }
+        other => panic!("{other:?}"),
+    }
+    // Two tuples arrive; the scan still wants three more.
+    db.write_back_tuple("notableattendee", row!["A", "t1"]).unwrap();
+    db.write_back_tuple("notableattendee", row!["B", "t2"]).unwrap();
+    let r2 = run(&db, "SELECT name FROM notableattendee LIMIT 5");
+    assert_eq!(r2.rows.len(), 2);
+    match &r2.needs[0] {
+        TaskNeed::NewTuples { want, .. } => assert_eq!(*want, 3),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn crowdequal_uses_cache_and_reports_needs() {
+    let db = setup();
+    db.insert("dept", row!["Math", 3i64]).unwrap();
+    db.insert("dept", row!["CS", 7i64]).unwrap();
+    let sql = "SELECT dept FROM dept WHERE dept ~= 'Mathematics'";
+    let r = run(&db, sql);
+    assert!(r.rows.is_empty(), "undecided comparisons exclude rows");
+    assert_eq!(r.needs.len(), 2, "one CROWDEQUAL per row");
+
+    let mut caches = CompareCaches::default();
+    let instr = "Do these two values refer to the same entity?";
+    caches.put_equal("Math", "Mathematics", instr, true);
+    caches.put_equal("CS", "Mathematics", instr, false);
+    let r2 = run_with(&db, sql, &caches);
+    assert!(r2.is_final());
+    assert_eq!(r2.rows, vec![row!["Math"]]);
+    assert_eq!(r2.stats.compare_cache_hits, 2);
+}
+
+#[test]
+fn crowdequal_fast_path_for_identical_values() {
+    let db = setup();
+    db.insert("dept", row!["Math", 3i64]).unwrap();
+    let r = run(&db, "SELECT dept FROM dept WHERE dept ~= 'Math'");
+    // Machine-equal values never go to the crowd.
+    assert!(r.is_final());
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn crowdorder_sort_with_cache() {
+    let db = setup();
+    seed_talks(&db);
+    let sql = "SELECT title FROM talk \
+               ORDER BY CROWDORDER(title, 'Which talk did you like better') LIMIT 2";
+    let r = run(&db, sql);
+    // Round 1: needs for uncached comparisons, fallback order meanwhile.
+    assert!(!r.needs.is_empty());
+    assert!(r.rows.len() == 2);
+
+    // The crowd prefers PIQL > Qurk > CrowdDB.
+    let mut caches = CompareCaches::default();
+    let q = "Which talk did you like better";
+    caches.put_prefer("PIQL", "Qurk", q, true);
+    caches.put_prefer("PIQL", "CrowdDB", q, true);
+    caches.put_prefer("Qurk", "CrowdDB", q, true);
+    let r2 = run_with(&db, sql, &caches);
+    assert!(r2.is_final(), "needs: {:?}", r2.needs);
+    assert_eq!(r2.rows, vec![row!["PIQL"], row!["Qurk"]]);
+}
+
+#[test]
+fn machine_sort_and_limit_offset() {
+    let db = setup();
+    seed_talks(&db);
+    let r = run(&db, "SELECT title FROM talk ORDER BY title DESC LIMIT 2 OFFSET 1");
+    assert_eq!(r.rows, vec![row!["PIQL"], row!["CrowdDB"]]);
+}
+
+#[test]
+fn aggregation_group_by_having() {
+    let db = setup();
+    db.insert("notableattendee", row!["A", "CrowdDB"]).unwrap();
+    db.insert("notableattendee", row!["B", "CrowdDB"]).unwrap();
+    db.insert("notableattendee", row!["C", "Qurk"]).unwrap();
+    let r = run(
+        &db,
+        "SELECT title, COUNT(*) FROM notableattendee GROUP BY title \
+         HAVING COUNT(*) > 1 ORDER BY title",
+    );
+    assert_eq!(r.rows, vec![row!["CrowdDB", 2i64]]);
+}
+
+#[test]
+fn aggregates_over_all_rows() {
+    let db = setup();
+    seed_talks(&db);
+    let r = run(
+        &db,
+        "SELECT COUNT(*), COUNT(nb_attendees), SUM(nb_attendees), AVG(nb_attendees), \
+         MIN(title), MAX(title) FROM talk",
+    );
+    // COUNT(*) counts rows; COUNT(col) skips missing (CrowdDB's CNULL).
+    assert_eq!(r.rows[0][0], Value::Int(3));
+    assert_eq!(r.rows[0][1], Value::Int(2));
+    assert_eq!(r.rows[0][2], Value::Int(140));
+    assert_eq!(r.rows[0][3], Value::Float(70.0));
+    assert_eq!(r.rows[0][4], Value::str("CrowdDB"));
+    assert_eq!(r.rows[0][5], Value::str("Qurk"));
+}
+
+#[test]
+fn aggregate_on_empty_table() {
+    let db = setup();
+    let r = run(&db, "SELECT COUNT(*), MAX(nb_attendees) FROM talk");
+    assert_eq!(r.rows, vec![Row::new(vec![Value::Int(0), Value::Null])]);
+}
+
+#[test]
+fn count_distinct() {
+    let db = setup();
+    db.insert("notableattendee", row!["A", "CrowdDB"]).unwrap();
+    db.insert("notableattendee", row!["B", "CrowdDB"]).unwrap();
+    db.insert("notableattendee", row!["C", "Qurk"]).unwrap();
+    let r = run(&db, "SELECT COUNT(DISTINCT title) FROM notableattendee");
+    assert_eq!(r.rows, vec![row![2i64]]);
+}
+
+#[test]
+fn distinct_rows() {
+    let db = setup();
+    db.insert("notableattendee", row!["A", "CrowdDB"]).unwrap();
+    db.insert("notableattendee", row!["B", "CrowdDB"]).unwrap();
+    let r = run(&db, "SELECT DISTINCT title FROM notableattendee");
+    assert_eq!(r.rows, vec![row!["CrowdDB"]]);
+}
+
+#[test]
+fn in_subquery_and_exists() {
+    let db = setup();
+    seed_talks(&db);
+    db.insert("notableattendee", row!["Mike", "CrowdDB"]).unwrap();
+    let r = run(
+        &db,
+        "SELECT title FROM talk WHERE title IN (SELECT title FROM notableattendee)",
+    );
+    assert_eq!(r.rows, vec![row!["CrowdDB"]]);
+    let r = run(
+        &db,
+        "SELECT title FROM talk WHERE NOT EXISTS (SELECT name FROM notableattendee) \
+         ORDER BY title",
+    );
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn scalar_subquery() {
+    let db = setup();
+    seed_talks(&db);
+    let r = run(
+        &db,
+        "SELECT title FROM talk WHERE nb_attendees = (SELECT MAX(nb_attendees) FROM talk)",
+    );
+    assert_eq!(r.rows, vec![row!["Qurk"]]);
+}
+
+#[test]
+fn select_without_from() {
+    let db = setup();
+    let r = run(&db, "SELECT 1 + 1, UPPER('ok'), 3 > 2");
+    assert_eq!(r.rows, vec![row![2i64, "OK", true]]);
+}
+
+#[test]
+fn case_expression_in_query() {
+    let db = setup();
+    seed_talks(&db);
+    let r = run(
+        &db,
+        "SELECT title, CASE WHEN nb_attendees > 70 THEN 'big' ELSE 'small' END \
+         FROM talk WHERE nb_attendees IS NOT CNULL ORDER BY title",
+    );
+    assert_eq!(
+        r.rows,
+        vec![row!["PIQL", "small"], row!["Qurk", "big"]]
+    );
+}
+
+#[test]
+fn is_cnull_predicates() {
+    let db = setup();
+    seed_talks(&db);
+    let r = run(&db, "SELECT title FROM talk WHERE abstract IS CNULL");
+    // NB: referencing `abstract` probes it too — but the row qualifies
+    // this round because CNULL-ness is what's being asked.
+    assert_eq!(r.rows, vec![row!["CrowdDB"]]);
+    let r = run(
+        &db,
+        "SELECT title FROM talk WHERE abstract IS NOT CNULL ORDER BY title",
+    );
+    assert_eq!(r.rows, vec![row!["PIQL"], row!["Qurk"]]);
+}
+
+#[test]
+fn derived_table_execution() {
+    let db = setup();
+    seed_talks(&db);
+    let r = run(
+        &db,
+        "SELECT d.t FROM (SELECT title AS t, nb_attendees AS n FROM talk) AS d \
+         WHERE d.n > 70",
+    );
+    assert_eq!(r.rows, vec![row!["Qurk"]]);
+}
+
+#[test]
+fn cross_join_and_comma_join() {
+    let db = setup();
+    db.insert("dept", row!["Math", 1i64]).unwrap();
+    db.insert("dept", row!["CS", 2i64]).unwrap();
+    let r = run(&db, "SELECT a.dept, b.dept FROM dept a, dept b");
+    assert_eq!(r.rows.len(), 4);
+    let r = run(
+        &db,
+        "SELECT a.dept, b.dept FROM dept a, dept b WHERE a.building < b.building",
+    );
+    assert_eq!(r.rows, vec![row!["Math", "CS"]]);
+}
+
+#[test]
+fn needs_are_deduplicated_across_operators() {
+    let db = setup();
+    seed_talks(&db);
+    // abstract referenced twice: one probe need only.
+    let r = run(
+        &db,
+        "SELECT abstract, LENGTH(abstract) FROM talk WHERE title = 'CrowdDB'",
+    );
+    assert_eq!(r.needs.len(), 1);
+}
+
+#[test]
+fn stats_are_collected() {
+    let db = setup();
+    seed_talks(&db);
+    let r = run(&db, "SELECT abstract FROM talk");
+    assert_eq!(r.stats.rows_scanned, 3);
+    assert_eq!(r.stats.cnulls_seen, 1);
+}
+
+#[test]
+fn division_by_zero_is_runtime_error() {
+    let db = setup();
+    seed_talks(&db);
+    let p = plan(&db, "SELECT nb_attendees / 0 FROM talk WHERE title = 'Qurk'");
+    let caches = CompareCaches::default();
+    assert!(execute(&db, &caches, &p).is_err());
+}
+
+#[test]
+fn pk_point_lookup_avoids_full_scan() {
+    let db = setup();
+    for i in 0..50 {
+        db.insert("dept", row![format!("d{i}"), i as i64]).unwrap();
+    }
+    let r = run(&db, "SELECT building FROM dept WHERE dept = 'd7'");
+    assert_eq!(r.rows, vec![row![7i64]]);
+    assert_eq!(r.stats.index_lookups, 1, "PK index should serve the scan");
+    assert_eq!(r.stats.rows_scanned, 1, "only the matching row is read");
+    // Non-key predicates still scan.
+    let r = run(&db, "SELECT dept FROM dept WHERE building = 7");
+    assert_eq!(r.stats.index_lookups, 0);
+    assert_eq!(r.stats.rows_scanned, 50);
+}
+
+#[test]
+fn pk_lookup_respects_residual_predicate() {
+    let db = setup();
+    db.insert("dept", row!["math", 3i64]).unwrap();
+    // The extra conjunct must still filter after the index lookup.
+    let r = run(
+        &db,
+        "SELECT dept FROM dept WHERE dept = 'math' AND building > 5",
+    );
+    assert!(r.rows.is_empty());
+    assert_eq!(r.stats.index_lookups, 1);
+}
+
+#[test]
+fn pk_lookup_miss_returns_empty() {
+    let db = setup();
+    db.insert("dept", row!["math", 3i64]).unwrap();
+    let r = run(&db, "SELECT dept FROM dept WHERE dept = 'ghost'");
+    assert!(r.rows.is_empty());
+    assert_eq!(r.stats.index_lookups, 1);
+    assert_eq!(r.stats.rows_scanned, 0);
+}

@@ -1,0 +1,623 @@
+//! Bound expressions: the AST after name resolution.
+//!
+//! [`BExpr`] mirrors the parser's `Expr` with column references replaced
+//! by ordinals into the input row, aggregates separated out (they only
+//! appear in `Aggregate` nodes), and the two crowd built-ins represented
+//! explicitly so the optimizer and executor can treat them specially.
+
+use std::fmt;
+
+use crowddb_common::{DataType, Value};
+use crowddb_sql::{BinaryOp, UnaryOp};
+
+/// Scalar (non-crowd, non-aggregate) built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFn {
+    /// `LOWER(s)`
+    Lower,
+    /// `UPPER(s)`
+    Upper,
+    /// `LENGTH(s)`
+    Length,
+    /// `ABS(x)`
+    Abs,
+    /// `ROUND(x)`
+    Round,
+    /// `TRIM(s)`
+    Trim,
+    /// `COALESCE(a, b, ...)` — first non-missing argument.
+    Coalesce,
+    /// `SUBSTR(s, start [, len])` — 1-based.
+    Substr,
+    /// `CONCAT(a, b, ...)`
+    ConcatFn,
+}
+
+impl ScalarFn {
+    /// Parse a function name.
+    pub fn from_name(name: &str) -> Option<ScalarFn> {
+        Some(match name {
+            "lower" => ScalarFn::Lower,
+            "upper" => ScalarFn::Upper,
+            "length" | "len" => ScalarFn::Length,
+            "abs" => ScalarFn::Abs,
+            "round" => ScalarFn::Round,
+            "trim" => ScalarFn::Trim,
+            "coalesce" => ScalarFn::Coalesce,
+            "substr" | "substring" => ScalarFn::Substr,
+            "concat" => ScalarFn::ConcatFn,
+            _ => return None,
+        })
+    }
+
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarFn::Lower => "LOWER",
+            ScalarFn::Upper => "UPPER",
+            ScalarFn::Length => "LENGTH",
+            ScalarFn::Abs => "ABS",
+            ScalarFn::Round => "ROUND",
+            ScalarFn::Trim => "TRIM",
+            ScalarFn::Coalesce => "COALESCE",
+            ScalarFn::Substr => "SUBSTR",
+            ScalarFn::ConcatFn => "CONCAT",
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// `COUNT(*)` / `COUNT(x)`
+    Count,
+    /// `SUM(x)`
+    Sum,
+    /// `AVG(x)`
+    Avg,
+    /// `MIN(x)`
+    Min,
+    /// `MAX(x)`
+    Max,
+}
+
+impl AggFn {
+    /// Parse an aggregate name.
+    pub fn from_name(name: &str) -> Option<AggFn> {
+        Some(match name {
+            "count" => AggFn::Count,
+            "sum" => AggFn::Sum,
+            "avg" => AggFn::Avg,
+            "min" => AggFn::Min,
+            "max" => AggFn::Max,
+            _ => return None,
+        })
+    }
+
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Count => "COUNT",
+            AggFn::Sum => "SUM",
+            AggFn::Avg => "AVG",
+            AggFn::Min => "MIN",
+            AggFn::Max => "MAX",
+        }
+    }
+}
+
+/// One aggregate call inside an `Aggregate` node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// The function.
+    pub func: AggFn,
+    /// Argument (`None` for `COUNT(*)`).
+    pub arg: Option<BExpr>,
+    /// `DISTINCT` aggregation?
+    pub distinct: bool,
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.func.name())?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        match &self.arg {
+            Some(a) => write!(f, "{a}")?,
+            None => f.write_str("*")?,
+        }
+        f.write_str(")")
+    }
+}
+
+/// A bound expression evaluated against one input row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BExpr {
+    /// Literal.
+    Literal(Value),
+    /// Input column by ordinal.
+    Column(usize),
+    /// Unary op.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<BExpr>,
+    },
+    /// Binary op (never `CrowdEq` — that becomes [`BExpr::CrowdEqual`]).
+    Binary {
+        /// Left operand.
+        left: Box<BExpr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<BExpr>,
+    },
+    /// `IS [NOT] NULL` / `IS [NOT] CNULL`.
+    Is {
+        /// Operand.
+        expr: Box<BExpr>,
+        /// Negated?
+        negated: bool,
+        /// Test CNULL instead of NULL?
+        cnull: bool,
+    },
+    /// `LIKE`.
+    Like {
+        /// Tested expression.
+        expr: Box<BExpr>,
+        /// Pattern.
+        pattern: Box<BExpr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `BETWEEN`.
+    Between {
+        /// Tested expression.
+        expr: Box<BExpr>,
+        /// Low bound.
+        low: Box<BExpr>,
+        /// High bound.
+        high: Box<BExpr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `IN (list)`.
+    InList {
+        /// Tested expression.
+        expr: Box<BExpr>,
+        /// Candidates.
+        list: Vec<BExpr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `IN (subquery)` — the subquery is planned independently
+    /// (uncorrelated) and materialized once at execution.
+    InPlan {
+        /// Tested expression.
+        expr: Box<BExpr>,
+        /// Materialized subplan (single output column).
+        plan: Box<crate::logical::LogicalPlan>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `EXISTS (subquery)` (uncorrelated).
+    ExistsPlan {
+        /// Subplan.
+        plan: Box<crate::logical::LogicalPlan>,
+        /// Negated?
+        negated: bool,
+    },
+    /// Scalar subquery (uncorrelated, single column; errors at runtime if
+    /// it yields more than one row).
+    ScalarPlan(Box<crate::logical::LogicalPlan>),
+    /// `CASE`.
+    Case {
+        /// Optional operand.
+        operand: Option<Box<BExpr>>,
+        /// `(when, then)` pairs.
+        branches: Vec<(BExpr, BExpr)>,
+        /// `ELSE`.
+        else_expr: Option<Box<BExpr>>,
+    },
+    /// `CAST(x AS t)`.
+    Cast {
+        /// Operand.
+        expr: Box<BExpr>,
+        /// Target type.
+        data_type: DataType,
+    },
+    /// Scalar function call.
+    Scalar {
+        /// Function.
+        func: ScalarFn,
+        /// Arguments.
+        args: Vec<BExpr>,
+    },
+    /// `CROWDEQUAL(a, b)` / `a ~= b`: crowd-judged equality. The executor
+    /// routes this to the CrowdCompare machinery.
+    CrowdEqual {
+        /// Left operand.
+        left: Box<BExpr>,
+        /// Right operand.
+        right: Box<BExpr>,
+    },
+    /// `CROWDORDER(expr, 'instruction')`: crowd-judged sort key. Only
+    /// legal inside `ORDER BY`; the executor sorts with crowd comparisons
+    /// of the rendered `expr` values.
+    CrowdOrder {
+        /// Item to compare.
+        expr: Box<BExpr>,
+        /// Question shown to workers.
+        instruction: String,
+    },
+}
+
+impl BExpr {
+    /// Visit all nodes (not descending into subplans).
+    pub fn walk(&self, f: &mut impl FnMut(&BExpr)) {
+        f(self);
+        match self {
+            BExpr::Literal(_) | BExpr::Column(_) => {}
+            BExpr::Unary { expr, .. }
+            | BExpr::Is { expr, .. }
+            | BExpr::Cast { expr, .. }
+            | BExpr::CrowdOrder { expr, .. } => expr.walk(f),
+            BExpr::Binary { left, right, .. } | BExpr::CrowdEqual { left, right } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            BExpr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            BExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            BExpr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            BExpr::InPlan { expr, .. } => expr.walk(f),
+            BExpr::ExistsPlan { .. } | BExpr::ScalarPlan(_) => {}
+            BExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(o) = operand {
+                    o.walk(f);
+                }
+                for (w, t) in branches {
+                    w.walk(f);
+                    t.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            BExpr::Scalar { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Ordinals of all referenced input columns.
+    pub fn column_refs(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let BExpr::Column(i) = e {
+                out.push(*i);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether the expression contains a crowd call (`CROWDEQUAL` or
+    /// `CROWDORDER`). Such predicates are expensive: the optimizer
+    /// evaluates them after all machine predicates.
+    pub fn is_crowd(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, BExpr::CrowdEqual { .. } | BExpr::CrowdOrder { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Whether the expression contains a subquery plan.
+    pub fn has_subplan(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(
+                e,
+                BExpr::InPlan { .. } | BExpr::ExistsPlan { .. } | BExpr::ScalarPlan(_)
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Rewrite every column ordinal through `map` (used when predicates
+    /// move across joins/projections).
+    pub fn remap_columns(&self, map: &impl Fn(usize) -> usize) -> BExpr {
+        let rec = |e: &BExpr| e.remap_columns(map);
+        match self {
+            BExpr::Literal(v) => BExpr::Literal(v.clone()),
+            BExpr::Column(i) => BExpr::Column(map(*i)),
+            BExpr::Unary { op, expr } => BExpr::Unary {
+                op: *op,
+                expr: Box::new(rec(expr)),
+            },
+            BExpr::Binary { left, op, right } => BExpr::Binary {
+                left: Box::new(rec(left)),
+                op: *op,
+                right: Box::new(rec(right)),
+            },
+            BExpr::Is {
+                expr,
+                negated,
+                cnull,
+            } => BExpr::Is {
+                expr: Box::new(rec(expr)),
+                negated: *negated,
+                cnull: *cnull,
+            },
+            BExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BExpr::Like {
+                expr: Box::new(rec(expr)),
+                pattern: Box::new(rec(pattern)),
+                negated: *negated,
+            },
+            BExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => BExpr::Between {
+                expr: Box::new(rec(expr)),
+                low: Box::new(rec(low)),
+                high: Box::new(rec(high)),
+                negated: *negated,
+            },
+            BExpr::InList {
+                expr,
+                list,
+                negated,
+            } => BExpr::InList {
+                expr: Box::new(rec(expr)),
+                list: list.iter().map(rec).collect(),
+                negated: *negated,
+            },
+            BExpr::InPlan {
+                expr,
+                plan,
+                negated,
+            } => BExpr::InPlan {
+                expr: Box::new(rec(expr)),
+                plan: plan.clone(),
+                negated: *negated,
+            },
+            BExpr::ExistsPlan { plan, negated } => BExpr::ExistsPlan {
+                plan: plan.clone(),
+                negated: *negated,
+            },
+            BExpr::ScalarPlan(p) => BExpr::ScalarPlan(p.clone()),
+            BExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => BExpr::Case {
+                operand: operand.as_ref().map(|o| Box::new(rec(o))),
+                branches: branches.iter().map(|(w, t)| (rec(w), rec(t))).collect(),
+                else_expr: else_expr.as_ref().map(|e| Box::new(rec(e))),
+            },
+            BExpr::Cast { expr, data_type } => BExpr::Cast {
+                expr: Box::new(rec(expr)),
+                data_type: *data_type,
+            },
+            BExpr::Scalar { func, args } => BExpr::Scalar {
+                func: *func,
+                args: args.iter().map(rec).collect(),
+            },
+            BExpr::CrowdEqual { left, right } => BExpr::CrowdEqual {
+                left: Box::new(rec(left)),
+                right: Box::new(rec(right)),
+            },
+            BExpr::CrowdOrder { expr, instruction } => BExpr::CrowdOrder {
+                expr: Box::new(rec(expr)),
+                instruction: instruction.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for BExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BExpr::Literal(v) => f.write_str(&v.sql_literal()),
+            BExpr::Column(i) => write!(f, "#{i}"),
+            BExpr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+                UnaryOp::Pos => write!(f, "(+{expr})"),
+            },
+            BExpr::Binary { left, op, right } => write!(f, "({left} {} {right})", op.sql()),
+            BExpr::Is {
+                expr,
+                negated,
+                cnull,
+            } => write!(
+                f,
+                "({expr} IS {}{})",
+                if *negated { "NOT " } else { "" },
+                if *cnull { "CNULL" } else { "NULL" }
+            ),
+            BExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE {pattern})",
+                if *negated { "NOT " } else { "" }
+            ),
+            BExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            BExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("))")
+            }
+            BExpr::InPlan { expr, negated, .. } => write!(
+                f,
+                "({expr} {}IN (<subquery>))",
+                if *negated { "NOT " } else { "" }
+            ),
+            BExpr::ExistsPlan { negated, .. } => {
+                write!(f, "({}EXISTS (<subquery>))", if *negated { "NOT " } else { "" })
+            }
+            BExpr::ScalarPlan(_) => f.write_str("(<scalar subquery>)"),
+            BExpr::Case { branches, .. } => write!(f, "CASE [{} branches]", branches.len()),
+            BExpr::Cast { expr, data_type } => {
+                write!(f, "CAST({expr} AS {})", data_type.sql_name())
+            }
+            BExpr::Scalar { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            BExpr::CrowdEqual { left, right } => write!(f, "CROWDEQUAL({left}, {right})"),
+            BExpr::CrowdOrder { expr, instruction } => {
+                write!(f, "CROWDORDER({expr}, '{instruction}')")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(i: usize) -> BExpr {
+        BExpr::Column(i)
+    }
+
+    #[test]
+    fn column_refs_sorted_deduped() {
+        let e = BExpr::Binary {
+            left: Box::new(BExpr::Binary {
+                left: Box::new(col(3)),
+                op: BinaryOp::Add,
+                right: Box::new(col(1)),
+            }),
+            op: BinaryOp::Eq,
+            right: Box::new(col(3)),
+        };
+        assert_eq!(e.column_refs(), vec![1, 3]);
+    }
+
+    #[test]
+    fn crowd_detection() {
+        let e = BExpr::CrowdEqual {
+            left: Box::new(col(0)),
+            right: Box::new(BExpr::Literal(Value::str("IBM"))),
+        };
+        assert!(e.is_crowd());
+        let wrapped = BExpr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(e),
+        };
+        assert!(wrapped.is_crowd());
+        assert!(!col(0).is_crowd());
+    }
+
+    #[test]
+    fn remap_rewrites_ordinals() {
+        let e = BExpr::Binary {
+            left: Box::new(col(0)),
+            op: BinaryOp::Lt,
+            right: Box::new(col(2)),
+        };
+        let shifted = e.remap_columns(&|i| i + 10);
+        assert_eq!(shifted.column_refs(), vec![10, 12]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = BExpr::Binary {
+            left: Box::new(col(1)),
+            op: BinaryOp::Eq,
+            right: Box::new(BExpr::Literal(Value::str("CrowdDB"))),
+        };
+        assert_eq!(e.to_string(), "(#1 = 'CrowdDB')");
+        let c = BExpr::CrowdOrder {
+            expr: Box::new(col(0)),
+            instruction: "Which talk did you like better".into(),
+        };
+        assert!(c.to_string().contains("CROWDORDER(#0"));
+    }
+
+    #[test]
+    fn scalar_fn_lookup() {
+        assert_eq!(ScalarFn::from_name("lower"), Some(ScalarFn::Lower));
+        assert_eq!(ScalarFn::from_name("substring"), Some(ScalarFn::Substr));
+        assert_eq!(ScalarFn::from_name("nope"), None);
+        assert_eq!(AggFn::from_name("avg"), Some(AggFn::Avg));
+        assert_eq!(AggFn::from_name("lower"), None);
+    }
+
+    #[test]
+    fn agg_call_display() {
+        let c = AggCall {
+            func: AggFn::Count,
+            arg: None,
+            distinct: false,
+        };
+        assert_eq!(c.to_string(), "COUNT(*)");
+        let d = AggCall {
+            func: AggFn::Count,
+            arg: Some(col(2)),
+            distinct: true,
+        };
+        assert_eq!(d.to_string(), "COUNT(DISTINCT #2)");
+    }
+}

@@ -1,0 +1,523 @@
+//! The logical plan.
+
+use std::fmt;
+
+use crowddb_common::DataType;
+
+use crate::bound_expr::{AggCall, BExpr};
+use crate::schema::{PlanColumn, PlanSchema};
+
+/// Join types at the logical level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner join.
+    Inner,
+    /// Left outer join.
+    Left,
+    /// Cross product.
+    Cross,
+}
+
+impl JoinType {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinType::Inner => "INNER",
+            JoinType::Left => "LEFT",
+            JoinType::Cross => "CROSS",
+        }
+    }
+}
+
+/// One sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// Key expression (may be [`BExpr::CrowdOrder`]).
+    pub expr: BExpr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A logical query plan node.
+///
+/// Every node computes its output [`PlanSchema`] via
+/// [`LogicalPlan::schema`]. The crowd-specific information lives on
+/// [`LogicalPlan::Scan`]: which base columns the query *needs* (those
+/// drive CrowdProbe for CNULLs) and, for CROWD tables, how many tuples a
+/// bounded plan expects (filled in by stop-after push-down).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan.
+    Scan {
+        /// Table name in the catalog.
+        table: String,
+        /// Visible alias.
+        alias: String,
+        /// Output schema (all table columns, qualified by the alias).
+        schema: PlanSchema,
+        /// Is this a `CROWD` table (open world)?
+        crowd_table: bool,
+        /// Base-column ordinals whose values the query actually uses;
+        /// CNULLs in these columns trigger CrowdProbe. Filled by the
+        /// binder with every referenced column.
+        needed_columns: Vec<usize>,
+        /// For CROWD tables in bounded plans: how many tuples the plan
+        /// wants at most (from stop-after push-down). `None` = no bound
+        /// established (the boundedness analysis will flag it unless the
+        /// scan is driven by a join key).
+        expected_tuples: Option<u64>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input schema.
+        predicate: BExpr,
+    },
+    /// Projection / expression evaluation.
+    Project {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Output expressions over the input schema.
+        exprs: Vec<BExpr>,
+        /// Output schema (one column per expression).
+        schema: PlanSchema,
+    },
+    /// Join of two inputs; `on` is over the concatenated schema.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join type.
+        kind: JoinType,
+        /// Join predicate (None for cross).
+        on: Option<BExpr>,
+    },
+    /// Grouping + aggregation. Output = group-by columns then aggregates.
+    Aggregate {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Group-by expressions over the input schema.
+        group_by: Vec<BExpr>,
+        /// Aggregate calls over the input schema.
+        aggs: Vec<AggCall>,
+        /// Output schema.
+        schema: PlanSchema,
+    },
+    /// Sort.
+    Sort {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Keys, major first.
+        keys: Vec<SortKey>,
+    },
+    /// LIMIT/OFFSET ("stop-after").
+    Limit {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Maximum rows to emit (`None` = no limit, offset only).
+        limit: Option<u64>,
+        /// Rows to skip.
+        offset: u64,
+    },
+    /// Duplicate elimination over whole rows.
+    Distinct {
+        /// Input.
+        input: Box<LogicalPlan>,
+    },
+    /// Literal rows (e.g. `SELECT 1 + 1`).
+    Values {
+        /// Rows of expressions (no input columns available).
+        rows: Vec<Vec<BExpr>>,
+        /// Output schema.
+        schema: PlanSchema,
+    },
+    /// `UNION [ALL]` of two equally-shaped inputs. Output schema is the
+    /// left input's; without `all`, duplicates (across both inputs) are
+    /// eliminated.
+    Union {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Keep duplicates?
+        all: bool,
+    },
+}
+
+impl LogicalPlan {
+    /// The node's output schema.
+    pub fn schema(&self) -> PlanSchema {
+        match self {
+            LogicalPlan::Scan { schema, .. } => schema.clone(),
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { schema, .. } => schema.clone(),
+            LogicalPlan::Join { left, right, .. } => left.schema().join(&right.schema()),
+            LogicalPlan::Aggregate { schema, .. } => schema.clone(),
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::Distinct { input } => input.schema(),
+            LogicalPlan::Values { schema, .. } => schema.clone(),
+            LogicalPlan::Union { left, .. } => left.schema(),
+        }
+    }
+
+    /// Immediate children.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => vec![input],
+            LogicalPlan::Join { left, right, .. }
+            | LogicalPlan::Union { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Visit all nodes pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&LogicalPlan)) {
+        f(self);
+        for c in self.children() {
+            c.walk(f);
+        }
+    }
+
+    /// All scans in the plan, pre-order.
+    pub fn scans(&self) -> Vec<&LogicalPlan> {
+        fn rec<'a>(n: &'a LogicalPlan, out: &mut Vec<&'a LogicalPlan>) {
+            if matches!(n, LogicalPlan::Scan { .. }) {
+                out.push(n);
+            }
+            for c in n.children() {
+                rec(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        rec(self, &mut out);
+        out
+    }
+
+    /// Whether the plan touches the crowd at all: a CROWD table scan, a
+    /// scan whose needed columns include CROWD columns, or a crowd
+    /// comparison anywhere in predicates/keys.
+    pub fn is_crowd_related(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |n| match n {
+            LogicalPlan::Scan {
+                schema,
+                crowd_table,
+                needed_columns,
+                ..
+            } => {
+                if *crowd_table {
+                    found = true;
+                }
+                for &c in needed_columns {
+                    if schema.columns.get(c).map(|pc| pc.crowd).unwrap_or(false) {
+                        found = true;
+                    }
+                }
+            }
+            LogicalPlan::Filter { predicate, .. } if predicate.is_crowd() => found = true,
+            LogicalPlan::Sort { keys, .. } if keys.iter().any(|k| k.expr.is_crowd()) => {
+                found = true
+            }
+            LogicalPlan::Join { on: Some(p), .. } if p.is_crowd() => found = true,
+            _ => {}
+        });
+        found
+    }
+
+    /// Render the plan as an indented EXPLAIN tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan {
+                table,
+                alias,
+                crowd_table,
+                needed_columns,
+                expected_tuples,
+                schema,
+            } => {
+                let crowd_cols: Vec<&str> = needed_columns
+                    .iter()
+                    .filter_map(|&i| schema.columns.get(i))
+                    .filter(|c| c.crowd)
+                    .map(|c| c.name.as_str())
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}Scan {table}{}{}{}{}\n",
+                    if alias != table {
+                        format!(" AS {alias}")
+                    } else {
+                        String::new()
+                    },
+                    if *crowd_table { " [CROWD TABLE]" } else { "" },
+                    if crowd_cols.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" [probe: {}]", crowd_cols.join(", "))
+                    },
+                    match expected_tuples {
+                        Some(n) => format!(" [expect ≤{n} tuples]"),
+                        None => String::new(),
+                    }
+                ));
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let tag = if predicate.is_crowd() { "CrowdFilter" } else { "Filter" };
+                out.push_str(&format!("{pad}{tag} {predicate}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                out.push_str(&format!("{pad}Project {}\n", cols.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                out.push_str(&format!(
+                    "{pad}{} Join{}\n",
+                    kind.name(),
+                    match on {
+                        Some(p) => format!(" ON {p}"),
+                        None => String::new(),
+                    }
+                ));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
+                let g: Vec<String> = group_by.iter().map(|e| e.to_string()).collect();
+                let a: Vec<String> = aggs.iter().map(|c| c.to_string()).collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate group=[{}] aggs=[{}]\n",
+                    g.join(", "),
+                    a.join(", ")
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let crowd = keys.iter().any(|k| k.expr.is_crowd());
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}{} {}\n",
+                    if crowd { "CrowdSort" } else { "Sort" },
+                    ks.join(", ")
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Limit{}{}\n",
+                    match limit {
+                        Some(l) => format!(" {l}"),
+                        None => " ∞".to_string(),
+                    },
+                    if *offset > 0 {
+                        format!(" OFFSET {offset}")
+                    } else {
+                        String::new()
+                    }
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Values { rows, .. } => {
+                out.push_str(&format!("{pad}Values [{} rows]\n", rows.len()));
+            }
+            LogicalPlan::Union { left, right, all } => {
+                out.push_str(&format!(
+                    "{pad}Union{}\n",
+                    if *all { " ALL" } else { "" }
+                ));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+/// Build a Scan node's schema from catalog information.
+pub fn scan_schema(
+    alias: &str,
+    columns: &[(String, DataType, bool)],
+    table: &str,
+) -> PlanSchema {
+    PlanSchema::new(
+        columns
+            .iter()
+            .enumerate()
+            .map(|(i, (name, ty, crowd))| PlanColumn {
+                qualifier: Some(alias.to_ascii_lowercase()),
+                name: name.clone(),
+                data_type: Some(*ty),
+                crowd: *crowd,
+                base: Some((table.to_ascii_lowercase(), i)),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::Value;
+    use crowddb_sql::BinaryOp;
+
+    fn talk_scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "talk".into(),
+            alias: "talk".into(),
+            schema: scan_schema(
+                "talk",
+                &[
+                    ("title".into(), DataType::Str, false),
+                    ("abstract".into(), DataType::Str, true),
+                    ("nb_attendees".into(), DataType::Int, true),
+                ],
+                "talk",
+            ),
+            crowd_table: false,
+            needed_columns: vec![0, 1],
+            expected_tuples: None,
+        }
+    }
+
+    #[test]
+    fn scan_schema_has_provenance() {
+        let s = talk_scan().schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.columns[1].base, Some(("talk".into(), 1)));
+        assert!(s.columns[1].crowd);
+        assert!(!s.columns[0].crowd);
+    }
+
+    #[test]
+    fn filter_passes_schema_through() {
+        let f = LogicalPlan::Filter {
+            input: Box::new(talk_scan()),
+            predicate: BExpr::Binary {
+                left: Box::new(BExpr::Column(0)),
+                op: BinaryOp::Eq,
+                right: Box::new(BExpr::Literal(Value::str("CrowdDB"))),
+            },
+        };
+        assert_eq!(f.schema().arity(), 3);
+    }
+
+    #[test]
+    fn join_concatenates_schemas() {
+        let j = LogicalPlan::Join {
+            left: Box::new(talk_scan()),
+            right: Box::new(talk_scan()),
+            kind: JoinType::Inner,
+            on: None,
+        };
+        assert_eq!(j.schema().arity(), 6);
+    }
+
+    #[test]
+    fn crowd_relatedness() {
+        assert!(talk_scan().is_crowd_related(), "needed crowd column");
+        let plain = LogicalPlan::Scan {
+            table: "t".into(),
+            alias: "t".into(),
+            schema: scan_schema("t", &[("a".into(), DataType::Int, false)], "t"),
+            crowd_table: false,
+            needed_columns: vec![0],
+            expected_tuples: None,
+        };
+        assert!(!plain.is_crowd_related());
+        let crowd_sort = LogicalPlan::Sort {
+            input: Box::new(plain.clone()),
+            keys: vec![SortKey {
+                expr: BExpr::CrowdOrder {
+                    expr: Box::new(BExpr::Column(0)),
+                    instruction: "pick".into(),
+                },
+                desc: false,
+            }],
+        };
+        assert!(crowd_sort.is_crowd_related());
+    }
+
+    #[test]
+    fn explain_marks_crowd_operators() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(talk_scan()),
+                keys: vec![SortKey {
+                    expr: BExpr::CrowdOrder {
+                        expr: Box::new(BExpr::Column(0)),
+                        instruction: "Which talk did you like better".into(),
+                    },
+                    desc: false,
+                }],
+            }),
+            limit: Some(10),
+            offset: 0,
+        };
+        let text = plan.explain();
+        assert!(text.contains("Limit 10"), "{text}");
+        assert!(text.contains("CrowdSort"), "{text}");
+        assert!(text.contains("probe: abstract"), "{text}");
+    }
+
+    #[test]
+    fn scans_collects_all() {
+        let j = LogicalPlan::Join {
+            left: Box::new(talk_scan()),
+            right: Box::new(talk_scan()),
+            kind: JoinType::Cross,
+            on: None,
+        };
+        assert_eq!(j.scans().len(), 2);
+    }
+
+    #[test]
+    fn values_schema() {
+        let v = LogicalPlan::Values {
+            rows: vec![vec![BExpr::Literal(Value::Int(1))]],
+            schema: PlanSchema::new(vec![PlanColumn::computed("x", Some(DataType::Int))]),
+        };
+        assert_eq!(v.schema().arity(), 1);
+        assert!(v.explain().contains("Values [1 rows]"));
+    }
+}

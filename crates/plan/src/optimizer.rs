@@ -1,0 +1,1275 @@
+//! The rule-based optimizer (paper §3.2.2).
+//!
+//! Rules, applied in order:
+//!
+//! 1. **constant folding** — literal subexpressions are evaluated and
+//!    boolean identities simplified;
+//! 2. **predicate push-down** — conjuncts move below joins toward their
+//!    source relations; **crowd predicates** (`CROWDEQUAL`) are never
+//!    pushed and always ordered *after* machine predicates at the same
+//!    level, so the expensive human calls see as few rows as possible;
+//! 3. **join ordering** — inner/cross join chains are re-ordered
+//!    greedily by estimated cardinality with CROWD tables placed last
+//!    (minimizing crowd requests); a final projection restores the
+//!    original column order so the rewrite is transparent;
+//! 4. **stop-after push-down** — `LIMIT` descends through projections;
+//!    when it reaches a CROWD-table scan it sets the scan's
+//!    `expected_tuples` bound, which is what makes an open-world query
+//!    *bounded*.
+
+use crowddb_common::{Truth, Value};
+use crowddb_sql::{BinaryOp, UnaryOp};
+
+use crate::bound_expr::BExpr;
+use crate::cardinality::{estimate_rows, StatsSource};
+use crate::logical::{JoinType, LogicalPlan};
+use crate::schema::PlanSchema;
+
+/// Optimizer knobs.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Enable constant folding.
+    pub fold_constants: bool,
+    /// Enable predicate push-down.
+    pub pushdown_predicates: bool,
+    /// Enable join re-ordering.
+    pub reorder_joins: bool,
+    /// Enable stop-after push-down.
+    pub pushdown_limit: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            fold_constants: true,
+            pushdown_predicates: true,
+            reorder_joins: true,
+            pushdown_limit: true,
+        }
+    }
+}
+
+/// Run the full rewrite pipeline.
+pub fn optimize(
+    plan: LogicalPlan,
+    stats: &dyn StatsSource,
+    config: &OptimizerConfig,
+) -> LogicalPlan {
+    let mut plan = plan;
+    if config.fold_constants {
+        plan = rewrite_exprs(plan, &fold_expr);
+    }
+    if config.pushdown_predicates {
+        plan = pushdown(plan);
+    }
+    if config.reorder_joins {
+        plan = reorder_joins(plan, stats);
+        if config.pushdown_predicates {
+            // Re-run push-down: re-ordering exposes new opportunities.
+            plan = pushdown(plan);
+        }
+    }
+    if config.pushdown_limit {
+        plan = pushdown_limit(plan);
+    }
+    plan
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: constant folding
+// ---------------------------------------------------------------------
+
+/// Apply `f` bottom-up to every expression in the plan.
+fn rewrite_exprs(plan: LogicalPlan, f: &impl Fn(BExpr) -> BExpr) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(rewrite_exprs(*input, f)),
+            predicate: f(predicate),
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(rewrite_exprs(*input, f)),
+            exprs: exprs.into_iter().map(f).collect(),
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(rewrite_exprs(*left, f)),
+            right: Box::new(rewrite_exprs(*right, f)),
+            kind,
+            on: on.map(f),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite_exprs(*input, f)),
+            group_by: group_by.into_iter().map(f).collect(),
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(rewrite_exprs(*input, f)),
+            keys: keys
+                .into_iter()
+                .map(|mut k| {
+                    k.expr = f(k.expr);
+                    k
+                })
+                .collect(),
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(rewrite_exprs(*input, f)),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(rewrite_exprs(*input, f)),
+        },
+        LogicalPlan::Union { left, right, all } => LogicalPlan::Union {
+            left: Box::new(rewrite_exprs(*left, f)),
+            right: Box::new(rewrite_exprs(*right, f)),
+            all,
+        },
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Values { .. }) => leaf,
+    }
+}
+
+/// Fold literal subexpressions and boolean identities.
+pub fn fold_expr(e: BExpr) -> BExpr {
+    // First fold children.
+    let e = match e {
+        BExpr::Unary { op, expr } => BExpr::Unary {
+            op,
+            expr: Box::new(fold_expr(*expr)),
+        },
+        BExpr::Binary { left, op, right } => BExpr::Binary {
+            left: Box::new(fold_expr(*left)),
+            op,
+            right: Box::new(fold_expr(*right)),
+        },
+        other => other,
+    };
+    match e {
+        BExpr::Binary { left, op, right } => {
+            if let (BExpr::Literal(l), BExpr::Literal(r)) = (left.as_ref(), right.as_ref()) {
+                if let Some(v) = eval_const_binary(l, op, r) {
+                    return BExpr::Literal(v);
+                }
+            }
+            // Boolean identities.
+            match op {
+                BinaryOp::And => {
+                    if is_true(&left) {
+                        return *right;
+                    }
+                    if is_true(&right) {
+                        return *left;
+                    }
+                    if is_false(&left) || is_false(&right) {
+                        return BExpr::Literal(Value::Bool(false));
+                    }
+                }
+                BinaryOp::Or => {
+                    if is_false(&left) {
+                        return *right;
+                    }
+                    if is_false(&right) {
+                        return *left;
+                    }
+                    if is_true(&left) || is_true(&right) {
+                        return BExpr::Literal(Value::Bool(true));
+                    }
+                }
+                _ => {}
+            }
+            BExpr::Binary { left, op, right }
+        }
+        BExpr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => match expr.as_ref() {
+            BExpr::Literal(Value::Bool(b)) => BExpr::Literal(Value::Bool(!b)),
+            _ => BExpr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            },
+        },
+        BExpr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => match expr.as_ref() {
+            BExpr::Literal(Value::Int(i)) => BExpr::Literal(Value::Int(-i)),
+            BExpr::Literal(Value::Float(x)) => BExpr::Literal(Value::Float(-x)),
+            _ => BExpr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            },
+        },
+        other => other,
+    }
+}
+
+fn is_true(e: &BExpr) -> bool {
+    matches!(e, BExpr::Literal(Value::Bool(true)))
+}
+fn is_false(e: &BExpr) -> bool {
+    matches!(e, BExpr::Literal(Value::Bool(false)))
+}
+
+fn eval_const_binary(l: &Value, op: BinaryOp, r: &Value) -> Option<Value> {
+    use BinaryOp::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => {
+            if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
+                return match op {
+                    Add => a.checked_add(b).map(Value::Int),
+                    Sub => a.checked_sub(b).map(Value::Int),
+                    Mul => a.checked_mul(b).map(Value::Int),
+                    Div => {
+                        if b == 0 {
+                            None
+                        } else {
+                            Some(Value::Int(a / b))
+                        }
+                    }
+                    Mod => {
+                        if b == 0 {
+                            None
+                        } else {
+                            Some(Value::Int(a % b))
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+            let (a, b) = (l.as_f64()?, r.as_f64()?);
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return None;
+                    }
+                    a / b
+                }
+                Mod => {
+                    if b == 0.0 {
+                        return None;
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            if v.is_nan() {
+                None
+            } else {
+                Some(Value::Float(v))
+            }
+        }
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            if l.is_missing() || r.is_missing() {
+                return None; // keep 3VL semantics at runtime
+            }
+            let ord = l.compare(r)?;
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                NotEq => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Some(Value::Bool(b))
+        }
+        And | Or => {
+            let a = truth_of(l)?;
+            let b = truth_of(r)?;
+            let t = if op == And { a.and(b) } else { a.or(b) };
+            t.to_bool().map(Value::Bool)
+        }
+        Concat => match (l, r) {
+            (Value::Str(a), Value::Str(b)) => Some(Value::Str(format!("{a}{b}"))),
+            _ => None,
+        },
+        CrowdEq => None, // crowd ops are never folded
+    }
+}
+
+fn truth_of(v: &Value) -> Option<Truth> {
+    match v {
+        Value::Bool(b) => Some(Truth::from_bool(*b)),
+        Value::Null | Value::CNull => Some(Truth::Unknown),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: predicate push-down
+// ---------------------------------------------------------------------
+
+/// Split a predicate into AND conjuncts.
+pub fn split_conjuncts(pred: BExpr, out: &mut Vec<BExpr>) {
+    match pred {
+        BExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
+            split_conjuncts(*left, out);
+            split_conjuncts(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Rebuild a conjunction with machine predicates first, crowd predicates
+/// last (the crowd-isolation ordering).
+pub fn conjoin(mut conjuncts: Vec<BExpr>) -> Option<BExpr> {
+    conjuncts.sort_by_key(|c| c.is_crowd()); // false < true: machine first
+    let mut iter = conjuncts.into_iter();
+    let first = iter.next()?;
+    Some(iter.fold(first, |acc, c| BExpr::Binary {
+        left: Box::new(acc),
+        op: BinaryOp::And,
+        right: Box::new(c),
+    }))
+}
+
+fn pushdown(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let mut conjuncts = Vec::new();
+            split_conjuncts(predicate, &mut conjuncts);
+            push_conjuncts(pushdown(*input), conjuncts)
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(pushdown(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(pushdown(*left)),
+            right: Box::new(pushdown(*right)),
+            kind,
+            on,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(pushdown(*input)),
+            group_by,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(pushdown(*input)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(pushdown(*input)),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(pushdown(*input)),
+        },
+        LogicalPlan::Union { left, right, all } => LogicalPlan::Union {
+            left: Box::new(pushdown(*left)),
+            right: Box::new(pushdown(*right)),
+            all,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Push a set of conjuncts as deep as possible over `plan`.
+fn push_conjuncts(plan: LogicalPlan, conjuncts: Vec<BExpr>) -> LogicalPlan {
+    if conjuncts.is_empty() {
+        return plan;
+    }
+    match plan {
+        // Merge adjacent filters.
+        LogicalPlan::Filter { input, predicate } => {
+            let mut all = Vec::new();
+            split_conjuncts(predicate, &mut all);
+            all.extend(conjuncts);
+            push_conjuncts(*input, all)
+        }
+        // Route one-sided, non-crowd conjuncts below an inner/cross join.
+        LogicalPlan::Join {
+            left,
+            right,
+            kind: kind @ (JoinType::Inner | JoinType::Cross),
+            on,
+        } => {
+            let left_arity = left.schema().arity();
+            let total = left_arity + right.schema().arity();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut stay = Vec::new();
+            for c in conjuncts {
+                if c.is_crowd() || c.has_subplan() {
+                    stay.push(c);
+                    continue;
+                }
+                let refs = c.column_refs();
+                let all_left = refs.iter().all(|&i| i < left_arity);
+                let all_right = refs.iter().all(|&i| i >= left_arity && i < total);
+                if all_left {
+                    to_left.push(c);
+                } else if all_right {
+                    to_right.push(c.remap_columns(&|i| i - left_arity));
+                } else {
+                    stay.push(c);
+                }
+            }
+            let new_left = push_conjuncts(*left, to_left);
+            let new_right = push_conjuncts(*right, to_right);
+            // Two-sided equality conjuncts become join conditions.
+            let mut on_parts = Vec::new();
+            if let Some(on) = on {
+                split_conjuncts(on, &mut on_parts);
+            }
+            let mut still_stay = Vec::new();
+            for c in stay {
+                let refs = c.column_refs();
+                let two_sided = refs.iter().any(|&i| i < left_arity)
+                    && refs.iter().any(|&i| i >= left_arity);
+                if two_sided && !c.is_crowd() && !c.has_subplan() {
+                    on_parts.push(c);
+                } else {
+                    still_stay.push(c);
+                }
+            }
+            let kind = if kind == JoinType::Cross && !on_parts.is_empty() {
+                JoinType::Inner
+            } else {
+                kind
+            };
+            let join = LogicalPlan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                kind,
+                on: conjoin(on_parts),
+            };
+            wrap_filter(join, still_stay)
+        }
+        // A filter over a union distributes into both arms (the arms have
+        // identical output shapes, so the conjuncts bind unchanged).
+        LogicalPlan::Union { left, right, all } => LogicalPlan::Union {
+            left: Box::new(push_conjuncts(*left, conjuncts.clone())),
+            right: Box::new(push_conjuncts(*right, conjuncts)),
+            all,
+        },
+        // Push below sort and distinct (both commute with filtering).
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_conjuncts(*input, conjuncts)),
+            keys,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(push_conjuncts(*input, conjuncts)),
+        },
+        // Push through a projection when every conjunct only references
+        // pass-through columns.
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let mut pushable = Vec::new();
+            let mut stay = Vec::new();
+            for c in conjuncts {
+                let refs = c.column_refs();
+                let all_passthrough = refs
+                    .iter()
+                    .all(|&i| matches!(exprs.get(i), Some(BExpr::Column(_))));
+                if all_passthrough && !c.is_crowd() {
+                    let mapped = c.remap_columns(&|i| match &exprs[i] {
+                        BExpr::Column(src) => *src,
+                        _ => unreachable!("checked pass-through"),
+                    });
+                    pushable.push(mapped);
+                } else {
+                    stay.push(c);
+                }
+            }
+            let projected = LogicalPlan::Project {
+                input: Box::new(push_conjuncts(*input, pushable)),
+                exprs,
+                schema,
+            };
+            wrap_filter(projected, stay)
+        }
+        // Everything else: filter stays here.
+        other => wrap_filter(other, conjuncts),
+    }
+}
+
+fn wrap_filter(plan: LogicalPlan, conjuncts: Vec<BExpr>) -> LogicalPlan {
+    match conjoin(conjuncts) {
+        Some(pred) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: pred,
+        },
+        None => plan,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: join ordering
+// ---------------------------------------------------------------------
+
+fn reorder_joins(plan: LogicalPlan, stats: &dyn StatsSource) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Join {
+            kind: JoinType::Inner | JoinType::Cross,
+            ..
+        } => try_reorder_region(plan, stats),
+        // Outer joins are not commutative: recurse into children only.
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(reorder_joins(*left, stats)),
+            right: Box::new(reorder_joins(*right, stats)),
+            kind,
+            on,
+        },
+        LogicalPlan::Filter { input, predicate } => {
+            // Keep the filter attached to the join region below it so its
+            // conjuncts participate in ordering.
+            let rebuilt = LogicalPlan::Filter {
+                input: Box::new(reorder_joins(*input, stats)),
+                predicate,
+            };
+            if matches!(
+                rebuilt,
+                LogicalPlan::Filter { ref input, .. } if matches!(**input, LogicalPlan::Join { .. })
+            ) {
+                try_reorder_region(rebuilt, stats)
+            } else {
+                rebuilt
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(reorder_joins(*input, stats)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(reorder_joins(*input, stats)),
+            group_by,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(reorder_joins(*input, stats)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(reorder_joins(*input, stats)),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(reorder_joins(*input, stats)),
+        },
+        LogicalPlan::Union { left, right, all } => LogicalPlan::Union {
+            left: Box::new(reorder_joins(*left, stats)),
+            right: Box::new(reorder_joins(*right, stats)),
+            all,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Flatten a maximal inner/cross join region (optionally under a filter),
+/// reorder it greedily, and rebuild with a restoring projection.
+fn try_reorder_region(plan: LogicalPlan, stats: &dyn StatsSource) -> LogicalPlan {
+    // 1. Flatten.
+    let mut relations: Vec<LogicalPlan> = Vec::new();
+    let mut conjuncts: Vec<BExpr> = Vec::new();
+    fn flatten(
+        node: LogicalPlan,
+        relations: &mut Vec<LogicalPlan>,
+        conjuncts: &mut Vec<BExpr>,
+        stats: &dyn StatsSource,
+    ) -> bool {
+        match node {
+            LogicalPlan::Join {
+                left,
+                right,
+                kind: JoinType::Inner | JoinType::Cross,
+                on,
+            } => {
+                let base = relations.iter().map(|r| r.schema().arity()).sum::<usize>();
+                let ok_left = flatten(*left, relations, conjuncts, stats);
+                if !ok_left {
+                    return false;
+                }
+                let mid = relations.iter().map(|r| r.schema().arity()).sum::<usize>();
+                let ok_right = flatten(*right, relations, conjuncts, stats);
+                if !ok_right {
+                    return false;
+                }
+                debug_assert!(mid >= base);
+                if let Some(on) = on {
+                    let mut parts = Vec::new();
+                    split_conjuncts(on, &mut parts);
+                    conjuncts.extend(parts);
+                }
+                true
+            }
+            // Leaves of the region: anything else (scans, left joins,
+            // aggregates, projected subqueries...).
+            other => {
+                // Recursively optimize inside the leaf.
+                relations.push(reorder_joins(other, stats));
+                true
+            }
+        }
+    }
+
+    let (region, top_conjuncts) = match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let mut parts = Vec::new();
+            split_conjuncts(predicate, &mut parts);
+            (*input, parts)
+        }
+        other => (other, Vec::new()),
+    };
+    if !flatten(region, &mut relations, &mut conjuncts, stats) || relations.len() < 2 {
+        // Nothing to reorder; rebuild as it was.
+        let rebuilt = rebuild_left_deep(relations, conjuncts);
+        return wrap_filter(rebuilt, top_conjuncts);
+    }
+    conjuncts.extend(top_conjuncts);
+
+    // Old flat offsets per relation.
+    let arities: Vec<usize> = relations.iter().map(|r| r.schema().arity()).collect();
+    let mut old_offsets = Vec::with_capacity(arities.len());
+    let mut acc = 0;
+    for a in &arities {
+        old_offsets.push(acc);
+        acc += a;
+    }
+    let total_arity = acc;
+
+    // 2. Greedy order: crowd-table relations last, then by estimated rows;
+    //    among the rest prefer relations connected by a predicate to the
+    //    already-chosen set.
+    let is_crowd_rel: Vec<bool> = relations
+        .iter()
+        .map(|r| {
+            let mut crowd = false;
+            r.walk(&mut |n| {
+                if let LogicalPlan::Scan { crowd_table: true, .. } = n {
+                    crowd = true;
+                }
+            });
+            crowd
+        })
+        .collect();
+    let sizes: Vec<f64> = relations
+        .iter()
+        .map(|r| estimate_rows(r, stats))
+        .collect();
+
+    let rel_of_col = |col: usize| -> usize {
+        for (i, &off) in old_offsets.iter().enumerate() {
+            if col >= off && col < off + arities[i] {
+                return i;
+            }
+        }
+        unreachable!("column {col} out of range {total_arity}")
+    };
+
+    let n = relations.len();
+    let mut chosen: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+
+    // Seed: smallest non-crowd relation (or smallest overall).
+    remaining.sort_by(|&a, &b| {
+        is_crowd_rel[a]
+            .cmp(&is_crowd_rel[b])
+            .then(sizes[a].total_cmp(&sizes[b]))
+            .then(a.cmp(&b))
+    });
+    chosen.push(remaining.remove(0));
+
+    while !remaining.is_empty() {
+        // Prefer connected, non-crowd, small.
+        let connected = |cand: usize| {
+            conjuncts.iter().any(|c| {
+                let refs = c.column_refs();
+                let touches_cand = refs.iter().any(|&r| rel_of_col(r) == cand);
+                let touches_chosen = refs.iter().any(|&r| chosen.contains(&rel_of_col(r)));
+                touches_cand && touches_chosen
+            })
+        };
+        remaining.sort_by(|&a, &b| {
+            is_crowd_rel[a]
+                .cmp(&is_crowd_rel[b])
+                .then(connected(b).cmp(&connected(a)))
+                .then(sizes[a].total_cmp(&sizes[b]))
+                .then(a.cmp(&b))
+        });
+        chosen.push(remaining.remove(0));
+    }
+
+    // 3. Column permutation old → new.
+    let mut new_offsets = vec![0usize; n];
+    let mut acc2 = 0;
+    for &rel in &chosen {
+        new_offsets[rel] = acc2;
+        acc2 += arities[rel];
+    }
+    let old_to_new = |old: usize| -> usize {
+        let rel = rel_of_col(old);
+        new_offsets[rel] + (old - old_offsets[rel])
+    };
+
+    let remapped: Vec<BExpr> = conjuncts
+        .iter()
+        .map(|c| c.remap_columns(&old_to_new))
+        .collect();
+
+    // 4. Rebuild left-deep in the chosen order, attaching each conjunct at
+    //    the shallowest level where all its columns are available.
+    let ordered_rels: Vec<LogicalPlan> = {
+        // Pull relations out in chosen order.
+        let mut slots: Vec<Option<LogicalPlan>> = relations.into_iter().map(Some).collect();
+        chosen
+            .iter()
+            .map(|&i| slots[i].take().expect("each relation used once"))
+            .collect()
+    };
+    let plan = rebuild_left_deep(ordered_rels, remapped);
+
+    // 5. Restore original column order for transparency.
+    let restore: Vec<BExpr> = (0..total_arity)
+        .map(|old| BExpr::Column(old_to_new(old)))
+        .collect();
+    // Schema: original flat order.
+    let mut schema_cols = Vec::with_capacity(total_arity);
+    {
+        let new_schema = plan.schema();
+        for item in restore.iter() {
+            let BExpr::Column(idx) = item else {
+                unreachable!()
+            };
+            schema_cols.push(new_schema.columns[*idx].clone());
+        }
+    }
+    LogicalPlan::Project {
+        input: Box::new(plan),
+        exprs: restore,
+        schema: PlanSchema::new(schema_cols),
+    }
+}
+
+/// Left-deep rebuild: join relations in order, attaching each conjunct at
+/// the first level where its columns are all in scope; leftovers become a
+/// top filter.
+fn rebuild_left_deep(relations: Vec<LogicalPlan>, conjuncts: Vec<BExpr>) -> LogicalPlan {
+    let mut iter = relations.into_iter();
+    let Some(mut plan) = iter.next() else {
+        return LogicalPlan::Values {
+            rows: vec![],
+            schema: PlanSchema::default(),
+        };
+    };
+    let mut pending = conjuncts;
+    let mut in_scope = plan.schema().arity();
+
+    // Conjuncts that fit the first relation alone become filters on it.
+    let (apply, keep): (Vec<BExpr>, Vec<BExpr>) = pending
+        .into_iter()
+        .partition(|c| c.column_refs().iter().all(|&r| r < in_scope));
+    plan = wrap_filter(plan, apply);
+    pending = keep;
+
+    for right in iter {
+        let right_arity = right.schema().arity();
+        let new_scope = in_scope + right_arity;
+        let (apply, keep): (Vec<BExpr>, Vec<BExpr>) = pending
+            .into_iter()
+            .partition(|c| c.column_refs().iter().all(|&r| r < new_scope));
+        let kind = if apply.iter().any(|c| !c.is_crowd()) {
+            JoinType::Inner
+        } else {
+            JoinType::Cross
+        };
+        // Crowd conjuncts never become join conditions; they filter above.
+        let (crowd_apply, machine_apply): (Vec<BExpr>, Vec<BExpr>) =
+            apply.into_iter().partition(|c| c.is_crowd());
+        plan = LogicalPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(right),
+            kind: if machine_apply.is_empty() {
+                JoinType::Cross
+            } else {
+                kind
+            },
+            on: conjoin(machine_apply),
+        };
+        plan = wrap_filter(plan, crowd_apply);
+        pending = keep;
+        in_scope = new_scope;
+    }
+    wrap_filter(plan, pending)
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: stop-after push-down
+// ---------------------------------------------------------------------
+
+fn pushdown_limit(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let want = limit.map(|l| l + offset);
+            let inner = push_limit_into(*input, want);
+            LogicalPlan::Limit {
+                input: Box::new(inner),
+                limit,
+                offset,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(pushdown_limit(*input)),
+            predicate,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(pushdown_limit(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(pushdown_limit(*left)),
+            right: Box::new(pushdown_limit(*right)),
+            kind,
+            on,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(pushdown_limit(*input)),
+            group_by,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(pushdown_limit(*input)),
+            keys,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(pushdown_limit(*input)),
+        },
+        LogicalPlan::Union { left, right, all } => LogicalPlan::Union {
+            left: Box::new(pushdown_limit(*left)),
+            right: Box::new(pushdown_limit(*right)),
+            all,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Descend from a Limit through order/cardinality-preserving nodes,
+/// annotating CROWD-table scans with the expected tuple bound.
+fn push_limit_into(plan: LogicalPlan, want: Option<u64>) -> LogicalPlan {
+    match plan {
+        // Projection preserves cardinality 1:1.
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(push_limit_into(*input, want)),
+            exprs,
+            schema,
+        },
+        // A machine sort needs *all* input rows, so the bound does not
+        // propagate below it — but the sort's input subtree may still
+        // contain independent Limits.
+        sort @ LogicalPlan::Sort { .. } => {
+            // A crowd sort (CROWDORDER) over a bounded item *set* is fine:
+            // the set of items is produced below; the limit doesn't shrink
+            // what must be sorted. Keep recursing for nested limits only.
+            pushdown_limit(sort)
+        }
+        LogicalPlan::Scan {
+            table,
+            alias,
+            schema,
+            crowd_table,
+            needed_columns,
+            expected_tuples,
+        } => {
+            let expected = match (crowd_table, want) {
+                (true, Some(w)) => Some(expected_tuples.map_or(w, |e| e.min(w))),
+                _ => expected_tuples,
+            };
+            LogicalPlan::Scan {
+                table,
+                alias,
+                schema,
+                crowd_table,
+                needed_columns,
+                expected_tuples: expected,
+            }
+        }
+        // UNION ALL preserves per-arm cardinality contributions: each arm
+        // can be bounded by the same want (we still need at most `want`
+        // rows from either side).
+        LogicalPlan::Union {
+            left,
+            right,
+            all: true,
+        } => LogicalPlan::Union {
+            left: Box::new(push_limit_into(*left, want)),
+            right: Box::new(push_limit_into(*right, want)),
+            all: true,
+        },
+        // Any other node blocks the bound.
+        other => pushdown_limit(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::Binder;
+    use crate::cardinality::FnStats;
+    use crowddb_sql::{parse_statement, Statement};
+    use crowddb_storage::Catalog;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for ddl in [
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING, \
+             nb_attendees CROWD INTEGER)",
+            "CREATE CROWD TABLE NotableAttendee (name STRING PRIMARY KEY, title STRING, \
+             FOREIGN KEY (title) REF Talk(title))",
+            "CREATE TABLE Big (id INTEGER PRIMARY KEY, v STRING)",
+            "CREATE TABLE Small (id INTEGER PRIMARY KEY, w STRING)",
+        ] {
+            let Statement::CreateTable(ct) = parse_statement(ddl).unwrap() else {
+                panic!()
+            };
+            let schema = c.schema_from_ast(&ct).unwrap();
+            c.register(schema).unwrap();
+        }
+        c
+    }
+
+    fn stats() -> FnStats<impl Fn(&str) -> Option<u64>> {
+        FnStats(|t: &str| match t {
+            "big" => Some(100_000),
+            "small" => Some(10),
+            "talk" => Some(500),
+            "notableattendee" => Some(0),
+            _ => None,
+        })
+    }
+
+    fn plan_of(sql: &str) -> LogicalPlan {
+        let cat = catalog();
+        let Statement::Select(q) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let bound = Binder::new(&cat).bind_query(&q).unwrap();
+        optimize(bound, &stats(), &OptimizerConfig::default())
+    }
+
+    #[test]
+    fn fold_constants_basics() {
+        assert_eq!(
+            fold_expr(BExpr::Binary {
+                left: Box::new(BExpr::Literal(Value::Int(2))),
+                op: BinaryOp::Add,
+                right: Box::new(BExpr::Literal(Value::Int(3))),
+            }),
+            BExpr::Literal(Value::Int(5))
+        );
+        // TRUE AND x -> x
+        assert_eq!(
+            fold_expr(BExpr::Binary {
+                left: Box::new(BExpr::Literal(Value::Bool(true))),
+                op: BinaryOp::And,
+                right: Box::new(BExpr::Column(0)),
+            }),
+            BExpr::Column(0)
+        );
+        // x AND FALSE -> FALSE
+        assert_eq!(
+            fold_expr(BExpr::Binary {
+                left: Box::new(BExpr::Column(0)),
+                op: BinaryOp::And,
+                right: Box::new(BExpr::Literal(Value::Bool(false))),
+            }),
+            BExpr::Literal(Value::Bool(false))
+        );
+        // Division by zero is left to runtime.
+        let div = BExpr::Binary {
+            left: Box::new(BExpr::Literal(Value::Int(1))),
+            op: BinaryOp::Div,
+            right: Box::new(BExpr::Literal(Value::Int(0))),
+        };
+        assert_eq!(fold_expr(div.clone()), div);
+    }
+
+    #[test]
+    fn fold_preserves_null_comparisons() {
+        // NULL = NULL must stay for 3VL runtime, not fold to TRUE.
+        let e = BExpr::Binary {
+            left: Box::new(BExpr::Literal(Value::Null)),
+            op: BinaryOp::Eq,
+            right: Box::new(BExpr::Literal(Value::Null)),
+        };
+        assert_eq!(fold_expr(e.clone()), e);
+    }
+
+    #[test]
+    fn predicate_pushdown_splits_to_join_sides() {
+        let plan = plan_of(
+            "SELECT * FROM Big b, Small s WHERE b.id = s.id AND b.v = 'x' AND s.w = 'y'",
+        );
+        let text = plan.explain();
+        // Single-table conjuncts sit directly on their scans.
+        let scan_big_idx = text.find("Scan big").unwrap();
+        let filter_v = text.find("(#1 = 'x')").unwrap_or(usize::MAX);
+        assert!(filter_v != usize::MAX, "b.v filter exists: {text}");
+        // The join condition landed in the join node.
+        assert!(text.contains("Join ON"), "{text}");
+        let _ = scan_big_idx;
+    }
+
+    #[test]
+    fn crowd_predicate_stays_above_and_last() {
+        let plan = plan_of(
+            "SELECT * FROM Big b, Small s \
+             WHERE b.id = s.id AND CROWDEQUAL(b.v, s.w) AND b.v = 'x'",
+        );
+        let text = plan.explain();
+        // The crowd predicate must be in a CrowdFilter above the join, not
+        // inside the join condition.
+        assert!(text.contains("CrowdFilter"), "{text}");
+        let crowd_pos = text.find("CrowdFilter").unwrap();
+        let join_pos = text.find("Join").unwrap();
+        assert!(
+            crowd_pos < join_pos,
+            "crowd filter should be above the join:\n{text}"
+        );
+    }
+
+    #[test]
+    fn machine_conjuncts_precede_crowd_in_same_filter() {
+        let e = conjoin(vec![
+            BExpr::CrowdEqual {
+                left: Box::new(BExpr::Column(0)),
+                right: Box::new(BExpr::Literal(Value::str("IBM"))),
+            },
+            BExpr::Binary {
+                left: Box::new(BExpr::Column(1)),
+                op: BinaryOp::Eq,
+                right: Box::new(BExpr::Literal(Value::Int(1))),
+            },
+        ])
+        .unwrap();
+        // Machine predicate first in the AND chain.
+        let BExpr::Binary { left, .. } = &e else {
+            panic!()
+        };
+        assert!(!left.is_crowd());
+    }
+
+    #[test]
+    fn join_reorder_puts_small_first_and_crowd_last() {
+        let plan = plan_of(
+            "SELECT * FROM NotableAttendee n, Big b, Small s \
+             WHERE n.title = b.v AND b.id = s.id",
+        );
+        let text = plan.explain();
+        // The crowd table should be the deepest *right* side / last joined.
+        // We check textual order: 'small' scan appears before 'big', and
+        // 'notableattendee' appears last among scans.
+        let scans: Vec<&str> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("Scan"))
+            .collect();
+        assert_eq!(scans.len(), 3, "{text}");
+        assert!(
+            scans[2].contains("notableattendee"),
+            "crowd table must be joined last:\n{text}"
+        );
+    }
+
+    #[test]
+    fn reorder_restores_column_order() {
+        let plan = plan_of("SELECT b.id, s.id FROM Big b, Small s WHERE b.id = s.id");
+        // Regardless of reordering, output is (b.id, s.id).
+        let schema = plan.schema();
+        assert_eq!(schema.columns[0].qualifier.as_deref(), Some("b"));
+        assert_eq!(schema.columns[1].qualifier.as_deref(), Some("s"));
+    }
+
+    #[test]
+    fn limit_pushdown_bounds_crowd_scan() {
+        let plan = plan_of("SELECT name FROM NotableAttendee LIMIT 10");
+        let mut bound = None;
+        plan.walk(&mut |n| {
+            if let LogicalPlan::Scan {
+                expected_tuples, ..
+            } = n
+            {
+                bound = *expected_tuples;
+            }
+        });
+        assert_eq!(bound, Some(10));
+    }
+
+    #[test]
+    fn limit_with_offset_bounds_to_sum() {
+        let plan = plan_of("SELECT name FROM NotableAttendee LIMIT 10 OFFSET 5");
+        let mut bound = None;
+        plan.walk(&mut |n| {
+            if let LogicalPlan::Scan {
+                expected_tuples, ..
+            } = n
+            {
+                bound = *expected_tuples;
+            }
+        });
+        assert_eq!(bound, Some(15));
+    }
+
+    #[test]
+    fn limit_does_not_cross_machine_sort() {
+        // Sorting by a machine key needs all rows: the crowd scan stays
+        // unbounded (the boundedness analysis will flag this query).
+        let plan = plan_of("SELECT name FROM NotableAttendee ORDER BY name LIMIT 10");
+        let mut bound = None;
+        plan.walk(&mut |n| {
+            if let LogicalPlan::Scan {
+                expected_tuples, ..
+            } = n
+            {
+                bound = *expected_tuples;
+            }
+        });
+        assert_eq!(bound, None);
+    }
+
+    #[test]
+    fn non_crowd_scan_unaffected_by_limit() {
+        let plan = plan_of("SELECT title FROM Talk LIMIT 10");
+        let mut bound = Some(99);
+        plan.walk(&mut |n| {
+            if let LogicalPlan::Scan {
+                expected_tuples, ..
+            } = n
+            {
+                bound = *expected_tuples;
+            }
+        });
+        assert_eq!(bound, None);
+    }
+
+    #[test]
+    fn optimizer_config_can_disable_rules() {
+        let cat = catalog();
+        let Statement::Select(q) =
+            parse_statement("SELECT * FROM Big b, Small s WHERE b.v = 'x'").unwrap()
+        else {
+            panic!()
+        };
+        let bound = Binder::new(&cat).bind_query(&q).unwrap();
+        let disabled = OptimizerConfig {
+            fold_constants: false,
+            pushdown_predicates: false,
+            reorder_joins: false,
+            pushdown_limit: false,
+        };
+        let unopt = optimize(bound.clone(), &stats(), &disabled);
+        assert_eq!(unopt, bound, "disabled optimizer must be identity");
+    }
+
+    #[test]
+    fn filters_merge() {
+        // Filter over filter collapses into one level with both conjuncts
+        // attached near the scan.
+        let plan = plan_of("SELECT v FROM Big WHERE id > 1 AND id < 5 AND v = 'q'");
+        let text = plan.explain();
+        // All three conjuncts live in one filter directly over the scan.
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.trim_start().starts_with("Filter"))
+                .count(),
+            1,
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Plan schemas: the column layout flowing between logical operators.
+
+use crowddb_common::DataType;
+
+/// One output column of a plan node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanColumn {
+    /// Visible qualifier (table name or alias), if any.
+    pub qualifier: Option<String>,
+    /// Column (or output-expression) name.
+    pub name: String,
+    /// Static type if known (`None` for dynamically-typed expressions).
+    pub data_type: Option<DataType>,
+    /// Whether this is a `CROWD` column of its base table.
+    pub crowd: bool,
+    /// Provenance for crowd write-back: `(base table, column ordinal)`.
+    /// Present only for columns that come straight from a scan.
+    pub base: Option<(String, usize)>,
+}
+
+impl PlanColumn {
+    /// A computed column with no base provenance.
+    pub fn computed(name: impl Into<String>, data_type: Option<DataType>) -> PlanColumn {
+        PlanColumn {
+            qualifier: None,
+            name: name.into(),
+            data_type,
+            crowd: false,
+            base: None,
+        }
+    }
+}
+
+/// The ordered output columns of a plan node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanSchema {
+    /// Columns, in output order.
+    pub columns: Vec<PlanColumn>,
+}
+
+impl PlanSchema {
+    /// Build from columns.
+    pub fn new(columns: Vec<PlanColumn>) -> PlanSchema {
+        PlanSchema { columns }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolve a possibly-qualified column reference to an ordinal.
+    ///
+    /// Unqualified names must be unambiguous; qualified names match both
+    /// qualifier and name. Returns `Err` with a useful message otherwise.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize, String> {
+        let name = name.to_ascii_lowercase();
+        let qualifier = qualifier.map(|q| q.to_ascii_lowercase());
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.name == name
+                    && match &qualifier {
+                        Some(q) => c.qualifier.as_deref() == Some(q.as_str()),
+                        None => true,
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            0 => Err(match qualifier {
+                Some(q) => format!("unknown column '{q}.{name}'"),
+                None => format!("unknown column '{name}'"),
+            }),
+            1 => Ok(matches[0]),
+            _ => Err(format!("ambiguous column '{name}'")),
+        }
+    }
+
+    /// Concatenate two schemas (for joins).
+    pub fn join(&self, other: &PlanSchema) -> PlanSchema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        PlanSchema { columns }
+    }
+
+    /// Human-readable `name: TYPE` list for EXPLAIN.
+    pub fn describe(&self) -> String {
+        self.columns
+            .iter()
+            .map(|c| {
+                let n = match &c.qualifier {
+                    Some(q) => format!("{q}.{}", c.name),
+                    None => c.name.clone(),
+                };
+                match c.data_type {
+                    Some(t) => format!("{n}: {t}"),
+                    None => n,
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_table_schema() -> PlanSchema {
+        PlanSchema::new(vec![
+            PlanColumn {
+                qualifier: Some("t".into()),
+                name: "id".into(),
+                data_type: Some(DataType::Int),
+                crowd: false,
+                base: Some(("talk".into(), 0)),
+            },
+            PlanColumn {
+                qualifier: Some("u".into()),
+                name: "id".into(),
+                data_type: Some(DataType::Int),
+                crowd: false,
+                base: Some(("users".into(), 0)),
+            },
+            PlanColumn {
+                qualifier: Some("u".into()),
+                name: "name".into(),
+                data_type: Some(DataType::Str),
+                crowd: true,
+                base: Some(("users".into(), 1)),
+            },
+        ])
+    }
+
+    #[test]
+    fn unqualified_unique_resolves() {
+        let s = two_table_schema();
+        assert_eq!(s.resolve(None, "name"), Ok(2));
+        assert_eq!(s.resolve(None, "NAME"), Ok(2));
+    }
+
+    #[test]
+    fn unqualified_ambiguous_errors() {
+        let s = two_table_schema();
+        let err = s.resolve(None, "id").unwrap_err();
+        assert!(err.contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn qualified_resolves() {
+        let s = two_table_schema();
+        assert_eq!(s.resolve(Some("t"), "id"), Ok(0));
+        assert_eq!(s.resolve(Some("U"), "id"), Ok(1));
+        assert!(s.resolve(Some("x"), "id").is_err());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = two_table_schema();
+        assert!(s.resolve(None, "ghost").is_err());
+    }
+
+    #[test]
+    fn join_concats() {
+        let s = two_table_schema();
+        let j = s.join(&PlanSchema::new(vec![PlanColumn::computed("x", None)]));
+        assert_eq!(j.arity(), 4);
+        assert_eq!(j.columns[3].name, "x");
+    }
+
+    #[test]
+    fn describe_format() {
+        let s = two_table_schema();
+        let d = s.describe();
+        assert!(d.contains("t.id: INTEGER"));
+        assert!(d.contains("u.name: STRING"));
+    }
+}

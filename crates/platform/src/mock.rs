@@ -1,0 +1,247 @@
+//! A deterministic platform for tests.
+//!
+//! `MockPlatform` answers every assignment synchronously on the next
+//! [`Platform::advance`] call, using a scripted answer function. Tests use
+//! it to drive the crowd operators and the task-manager loop without any
+//! stochastic marketplace behavior.
+
+use std::collections::HashMap;
+
+use crowddb_common::{CrowdError, Result};
+
+use crate::task::{Answer, HitId, Platform, PlatformStats, TaskKind, TaskResponse, TaskSpec, WorkerId};
+
+/// Scripted answer function: `(task, assignment ordinal)` → answer.
+///
+/// The ordinal counts assignments of the same HIT from 0, letting scripts
+/// express disagreement ("first two workers say A, third says B").
+pub type AnswerScript = Box<dyn FnMut(&TaskKind, u32) -> Answer + Send>;
+
+/// Deterministic, instantly-completing platform for tests.
+pub struct MockPlatform {
+    script: AnswerScript,
+    hits: HashMap<HitId, (TaskSpec, u32, u32)>, // (spec, requested, answered)
+    pending: Vec<HitId>,
+    ready: Vec<TaskResponse>,
+    next_hit: u64,
+    next_worker: u64,
+    clock: f64,
+    stats: PlatformStats,
+    /// Seconds of virtual latency per assignment (default 0: instant).
+    pub latency: f64,
+}
+
+impl MockPlatform {
+    /// Create a mock whose every assignment is answered by `script`.
+    pub fn new(script: AnswerScript) -> MockPlatform {
+        MockPlatform {
+            script,
+            hits: HashMap::new(),
+            pending: Vec::new(),
+            ready: Vec::new(),
+            next_hit: 0,
+            next_worker: 0,
+            clock: 0.0,
+            stats: PlatformStats::default(),
+            latency: 0.0,
+        }
+    }
+
+    /// A mock where every worker gives the same scripted ideal answer.
+    pub fn unanimous(f: impl Fn(&TaskKind) -> Answer + Send + 'static) -> MockPlatform {
+        MockPlatform::new(Box::new(move |t, _| f(t)))
+    }
+}
+
+impl Platform for MockPlatform {
+    fn name(&self) -> &str {
+        "mock"
+    }
+
+    fn post(&mut self, tasks: Vec<TaskSpec>) -> Result<Vec<HitId>> {
+        let mut ids = Vec::with_capacity(tasks.len());
+        for spec in tasks {
+            if spec.assignments == 0 {
+                return Err(CrowdError::Platform(
+                    "a HIT must request at least one assignment".into(),
+                ));
+            }
+            let id = HitId(self.next_hit);
+            self.next_hit += 1;
+            self.stats.hits_posted += 1;
+            self.stats.assignments_requested += spec.assignments as u64;
+            self.hits.insert(id, (spec, 0, 0));
+            let (s, req, _) = self.hits.get_mut(&id).expect("just inserted");
+            *req = s.assignments;
+            self.pending.push(id);
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    fn extend(&mut self, hit: HitId, extra: u32) -> Result<()> {
+        let (_, requested, _) = self
+            .hits
+            .get_mut(&hit)
+            .ok_or_else(|| CrowdError::Platform(format!("unknown HIT {hit}")))?;
+        *requested += extra;
+        self.stats.assignments_requested += extra as u64;
+        if !self.pending.contains(&hit) {
+            self.pending.push(hit);
+        }
+        Ok(())
+    }
+
+    fn advance(&mut self, dt: f64) {
+        self.clock += dt.max(0.0);
+        let pending = std::mem::take(&mut self.pending);
+        for hit in pending {
+            let (kind, reward, todo, base) = {
+                let (spec, requested, answered) = self.hits.get(&hit).expect("hit exists");
+                (
+                    spec.kind.clone(),
+                    spec.reward_cents,
+                    requested - answered,
+                    *answered,
+                )
+            };
+            for k in 0..todo {
+                let answer = (self.script)(&kind, base + k);
+                let worker = WorkerId(self.next_worker);
+                self.next_worker += 1;
+                self.clock += self.latency;
+                self.ready.push(TaskResponse {
+                    hit,
+                    worker,
+                    answer,
+                    completed_at: self.clock,
+                });
+                self.stats.assignments_completed += 1;
+                self.stats.cents_spent += reward as u64;
+            }
+            let (_, requested, answered) = self.hits.get_mut(&hit).expect("hit exists");
+            *answered += todo;
+            if *answered >= *requested {
+                self.stats.hits_complete += 1;
+            }
+        }
+    }
+
+    fn collect(&mut self) -> Vec<TaskResponse> {
+        std::mem::take(&mut self.ready)
+    }
+
+    fn now(&self) -> f64 {
+        self.clock
+    }
+
+    fn stats(&self) -> PlatformStats {
+        self.stats
+    }
+
+    fn is_complete(&self, hit: HitId) -> bool {
+        self.hits
+            .get(&hit)
+            .map(|(_, req, ans)| ans >= req)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equal_spec() -> TaskSpec {
+        TaskSpec::new(TaskKind::Equal {
+            left: "a".into(),
+            right: "b".into(),
+            instruction: "?".into(),
+        })
+        .replicate(3)
+    }
+
+    #[test]
+    fn unanimous_answers() {
+        let mut p = MockPlatform::unanimous(|_| Answer::Yes);
+        let hits = p.post(vec![equal_spec()]).unwrap();
+        p.advance(1.0);
+        let rs = p.collect();
+        assert_eq!(rs.len(), 3);
+        assert!(rs.iter().all(|r| r.answer == Answer::Yes));
+        assert!(p.is_complete(hits[0]));
+        assert!(p.collect().is_empty(), "collect drains");
+    }
+
+    #[test]
+    fn ordinal_script_expresses_disagreement() {
+        let mut p = MockPlatform::new(Box::new(|_, ordinal| {
+            if ordinal < 2 {
+                Answer::Yes
+            } else {
+                Answer::No
+            }
+        }));
+        p.post(vec![equal_spec()]).unwrap();
+        p.advance(1.0);
+        let rs = p.collect();
+        let yes = rs.iter().filter(|r| r.answer == Answer::Yes).count();
+        assert_eq!(yes, 2);
+    }
+
+    #[test]
+    fn extend_continues_ordinals() {
+        let mut p = MockPlatform::new(Box::new(|_, ordinal| {
+            if ordinal == 3 {
+                Answer::No
+            } else {
+                Answer::Yes
+            }
+        }));
+        let hits = p.post(vec![equal_spec()]).unwrap();
+        p.advance(1.0);
+        p.collect();
+        p.extend(hits[0], 1).unwrap();
+        assert!(!p.is_complete(hits[0]));
+        p.advance(1.0);
+        let rs = p.collect();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].answer, Answer::No);
+        assert!(p.is_complete(hits[0]));
+    }
+
+    #[test]
+    fn distinct_workers_per_assignment() {
+        let mut p = MockPlatform::unanimous(|_| Answer::Yes);
+        p.post(vec![equal_spec(), equal_spec()]).unwrap();
+        p.advance(1.0);
+        let rs = p.collect();
+        let mut ids: Vec<_> = rs.iter().map(|r| r.worker).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = MockPlatform::unanimous(|_| Answer::Yes);
+        p.post(vec![equal_spec().reward(2)]).unwrap();
+        p.advance(1.0);
+        p.collect();
+        let s = p.stats();
+        assert_eq!(s.hits_posted, 1);
+        assert_eq!(s.assignments_requested, 3);
+        assert_eq!(s.assignments_completed, 3);
+        assert_eq!(s.cents_spent, 6);
+        assert_eq!(s.hits_complete, 1);
+    }
+
+    #[test]
+    fn latency_advances_clock() {
+        let mut p = MockPlatform::unanimous(|_| Answer::Yes);
+        p.latency = 10.0;
+        p.post(vec![equal_spec()]).unwrap();
+        p.advance(1.0);
+        let rs = p.collect();
+        assert!(rs.iter().all(|r| r.completed_at > 1.0));
+    }
+}

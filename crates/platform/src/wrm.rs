@@ -1,0 +1,311 @@
+//! The Worker Relationship Manager (WRM).
+//!
+//! "Unlike computer processors, crowd workers are not fungible resources
+//! and the worker/requester relationship evolves over time and thus,
+//! requires special care. Currently, the WRM component assists the
+//! requester with paying workers in time, granting bonuses and reporting
+//! and answering worker complaints." (paper §3)
+//!
+//! The WRM also aggregates the per-worker statistics behind experiment E3
+//! (worker-community skew).
+
+use std::collections::HashMap;
+
+use crowddb_quality::agreement::AgreementTracker;
+
+use crate::task::WorkerId;
+
+/// Ledger entry kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerEntry {
+    /// Base payment for an approved assignment.
+    Payment {
+        /// Amount in cents.
+        cents: u64,
+    },
+    /// Discretionary bonus.
+    Bonus {
+        /// Amount in cents.
+        cents: u64,
+        /// Why the bonus was granted.
+        reason: String,
+    },
+    /// A complaint filed by the worker, and whether it was resolved.
+    Complaint {
+        /// Complaint text.
+        text: String,
+        /// Resolved yet?
+        resolved: bool,
+    },
+}
+
+/// Per-worker record.
+#[derive(Debug, Default)]
+struct WorkerRecord {
+    tasks_completed: u64,
+    earned_cents: u64,
+    bonus_cents: u64,
+    agreement: AgreementTracker,
+    ledger: Vec<LedgerEntry>,
+    banned: bool,
+}
+
+/// The requester-side worker community manager.
+#[derive(Debug, Default)]
+pub struct WorkerRelationshipManager {
+    workers: HashMap<WorkerId, WorkerRecord>,
+}
+
+impl WorkerRelationshipManager {
+    /// Empty WRM.
+    pub fn new() -> WorkerRelationshipManager {
+        WorkerRelationshipManager::default()
+    }
+
+    /// Record an approved assignment: pay the worker and score their
+    /// agreement with the accepted majority answer.
+    pub fn record_assignment(
+        &mut self,
+        worker: WorkerId,
+        reward_cents: u64,
+        agreed_with_majority: bool,
+    ) {
+        let rec = self.workers.entry(worker).or_default();
+        rec.tasks_completed += 1;
+        rec.earned_cents += reward_cents;
+        rec.agreement.record(agreed_with_majority);
+        rec.ledger.push(LedgerEntry::Payment {
+            cents: reward_cents,
+        });
+    }
+
+    /// Record an approved assignment that has no majority vote to score
+    /// against (new-tuple contributions): the worker is paid and counted,
+    /// but their agreement record is untouched.
+    pub fn record_contribution(&mut self, worker: WorkerId, reward_cents: u64) {
+        let rec = self.workers.entry(worker).or_default();
+        rec.tasks_completed += 1;
+        rec.earned_cents += reward_cents;
+        rec.ledger.push(LedgerEntry::Payment {
+            cents: reward_cents,
+        });
+    }
+
+    /// Grant a bonus.
+    pub fn grant_bonus(&mut self, worker: WorkerId, cents: u64, reason: impl Into<String>) {
+        let rec = self.workers.entry(worker).or_default();
+        rec.bonus_cents += cents;
+        rec.ledger.push(LedgerEntry::Bonus {
+            cents,
+            reason: reason.into(),
+        });
+    }
+
+    /// File a complaint from a worker.
+    pub fn file_complaint(&mut self, worker: WorkerId, text: impl Into<String>) {
+        let rec = self.workers.entry(worker).or_default();
+        rec.ledger.push(LedgerEntry::Complaint {
+            text: text.into(),
+            resolved: false,
+        });
+    }
+
+    /// Resolve all open complaints of a worker; returns how many.
+    pub fn resolve_complaints(&mut self, worker: WorkerId) -> usize {
+        let Some(rec) = self.workers.get_mut(&worker) else {
+            return 0;
+        };
+        let mut n = 0;
+        for e in &mut rec.ledger {
+            if let LedgerEntry::Complaint { resolved, .. } = e {
+                if !*resolved {
+                    *resolved = true;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Open complaints across all workers.
+    pub fn open_complaints(&self) -> usize {
+        self.workers
+            .values()
+            .flat_map(|r| &r.ledger)
+            .filter(|e| matches!(e, LedgerEntry::Complaint { resolved: false, .. }))
+            .count()
+    }
+
+    /// Ban a worker (their future answers are rejected by the caller).
+    pub fn ban(&mut self, worker: WorkerId) {
+        self.workers.entry(worker).or_default().banned = true;
+    }
+
+    /// Whether a worker is banned.
+    pub fn is_banned(&self, worker: WorkerId) -> bool {
+        self.workers.get(&worker).map(|r| r.banned).unwrap_or(false)
+    }
+
+    /// Workers whose agreement rate fell below `threshold` after at least
+    /// `min_tasks` scored tasks — candidates for banning or review.
+    pub fn flagged_workers(&self, min_tasks: u64, threshold: f64) -> Vec<WorkerId> {
+        let mut v: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .filter(|(_, r)| r.agreement.flagged(min_tasks, threshold))
+            .map(|(w, _)| *w)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Workers with high agreement and volume — candidates for bonuses.
+    pub fn bonus_candidates(&self, min_tasks: u64, threshold: f64) -> Vec<WorkerId> {
+        let mut v: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .filter(|(_, r)| {
+                r.agreement.total() >= min_tasks && r.agreement.rate() >= threshold && !r.banned
+            })
+            .map(|(w, _)| *w)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Total paid out (payments + bonuses), cents.
+    pub fn total_paid_cents(&self) -> u64 {
+        self.workers
+            .values()
+            .map(|r| r.earned_cents + r.bonus_cents)
+            .sum()
+    }
+
+    /// Number of distinct workers seen.
+    pub fn community_size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Tasks completed per worker, sorted descending — the data behind
+    /// experiment E3's "share of work done by the top-k workers".
+    pub fn work_distribution(&self) -> Vec<(WorkerId, u64)> {
+        let mut v: Vec<(WorkerId, u64)> = self
+            .workers
+            .iter()
+            .map(|(w, r)| (*w, r.tasks_completed))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Fraction of all completed tasks done by the `k` most active
+    /// workers.
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        let dist = self.work_distribution();
+        let total: u64 = dist.iter().map(|(_, n)| n).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let top: u64 = dist.iter().take(k).map(|(_, n)| n).sum();
+        top as f64 / total as f64
+    }
+
+    /// A worker's agreement rate (Laplace-smoothed), if known.
+    pub fn agreement_rate(&self, worker: WorkerId) -> Option<f64> {
+        self.workers.get(&worker).map(|r| r.agreement.rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payments_accumulate() {
+        let mut wrm = WorkerRelationshipManager::new();
+        wrm.record_assignment(WorkerId(1), 2, true);
+        wrm.record_assignment(WorkerId(1), 2, true);
+        wrm.record_assignment(WorkerId(2), 4, false);
+        wrm.grant_bonus(WorkerId(1), 10, "high quality streak");
+        assert_eq!(wrm.total_paid_cents(), 18);
+        assert_eq!(wrm.community_size(), 2);
+    }
+
+    #[test]
+    fn flagged_and_bonus_candidates() {
+        let mut wrm = WorkerRelationshipManager::new();
+        for _ in 0..10 {
+            wrm.record_assignment(WorkerId(1), 1, true); // good worker
+            wrm.record_assignment(WorkerId(2), 1, false); // bad worker
+        }
+        assert_eq!(wrm.flagged_workers(5, 0.5), vec![WorkerId(2)]);
+        assert_eq!(wrm.bonus_candidates(5, 0.8), vec![WorkerId(1)]);
+    }
+
+    #[test]
+    fn bans() {
+        let mut wrm = WorkerRelationshipManager::new();
+        assert!(!wrm.is_banned(WorkerId(5)));
+        wrm.ban(WorkerId(5));
+        assert!(wrm.is_banned(WorkerId(5)));
+        // Banned workers aren't bonus candidates even with good stats.
+        for _ in 0..10 {
+            wrm.record_assignment(WorkerId(5), 1, true);
+        }
+        assert!(wrm.bonus_candidates(5, 0.8).is_empty());
+    }
+
+    #[test]
+    fn complaints_lifecycle() {
+        let mut wrm = WorkerRelationshipManager::new();
+        wrm.file_complaint(WorkerId(3), "payment delayed");
+        wrm.file_complaint(WorkerId(3), "task unclear");
+        assert_eq!(wrm.open_complaints(), 2);
+        assert_eq!(wrm.resolve_complaints(WorkerId(3)), 2);
+        assert_eq!(wrm.open_complaints(), 0);
+        assert_eq!(wrm.resolve_complaints(WorkerId(3)), 0);
+        assert_eq!(wrm.resolve_complaints(WorkerId(99)), 0);
+    }
+
+    #[test]
+    fn work_distribution_and_top_k() {
+        let mut wrm = WorkerRelationshipManager::new();
+        for _ in 0..8 {
+            wrm.record_assignment(WorkerId(1), 1, true);
+        }
+        for _ in 0..2 {
+            wrm.record_assignment(WorkerId(2), 1, true);
+        }
+        let dist = wrm.work_distribution();
+        assert_eq!(dist[0], (WorkerId(1), 8));
+        assert!((wrm.top_k_share(1) - 0.8).abs() < 1e-12);
+        assert!((wrm.top_k_share(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_share_empty() {
+        let wrm = WorkerRelationshipManager::new();
+        assert_eq!(wrm.top_k_share(3), 0.0);
+    }
+
+    #[test]
+    fn contributions_pay_without_scoring() {
+        let mut wrm = WorkerRelationshipManager::new();
+        for _ in 0..20 {
+            wrm.record_contribution(WorkerId(9), 2);
+        }
+        assert_eq!(wrm.total_paid_cents(), 40);
+        assert_eq!(wrm.work_distribution()[0], (WorkerId(9), 20));
+        // No agreement data -> never flagged, regardless of volume.
+        assert!(wrm.flagged_workers(5, 0.99).is_empty());
+        assert!((wrm.agreement_rate(WorkerId(9)).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_rate_exposed() {
+        let mut wrm = WorkerRelationshipManager::new();
+        assert!(wrm.agreement_rate(WorkerId(1)).is_none());
+        wrm.record_assignment(WorkerId(1), 1, true);
+        assert!(wrm.agreement_rate(WorkerId(1)).unwrap() > 0.5);
+    }
+}

@@ -1,0 +1,156 @@
+//! Inter-rater agreement statistics.
+//!
+//! The Worker Relationship Manager tracks how often each worker agrees
+//! with the accepted majority answer; chronically disagreeing workers are
+//! flagged (the paper's WRM "reports and answers worker complaints" and
+//! manages bonuses — agreement is the signal it acts on).
+
+use std::collections::HashMap;
+
+/// Simple percent agreement: fraction of (worker answer, accepted answer)
+/// pairs that match.
+pub fn percent_agreement(pairs: &[(String, String)]) -> f64 {
+    if pairs.is_empty() {
+        return 1.0;
+    }
+    let ok = pairs.iter().filter(|(a, b)| a == b).count();
+    ok as f64 / pairs.len() as f64
+}
+
+/// Cohen's kappa for two raters over categorical answers.
+///
+/// Measures agreement corrected for chance. Returns 1.0 for perfect
+/// agreement, ~0 for chance-level, negative for systematic disagreement.
+/// When either rater is constant and agreement is perfect, returns 1.0.
+pub fn cohens_kappa(pairs: &[(String, String)]) -> f64 {
+    if pairs.is_empty() {
+        return 1.0;
+    }
+    let n = pairs.len() as f64;
+    let po = percent_agreement(pairs);
+    let mut count_a: HashMap<&str, usize> = HashMap::new();
+    let mut count_b: HashMap<&str, usize> = HashMap::new();
+    for (a, b) in pairs {
+        *count_a.entry(a.as_str()).or_default() += 1;
+        *count_b.entry(b.as_str()).or_default() += 1;
+    }
+    let mut pe = 0.0;
+    for (cat, ca) in &count_a {
+        if let Some(cb) = count_b.get(cat) {
+            pe += (*ca as f64 / n) * (*cb as f64 / n);
+        }
+    }
+    if (1.0 - pe).abs() < 1e-12 {
+        return if (po - 1.0).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (po - pe) / (1.0 - pe)
+}
+
+/// Per-worker agreement tracker used by the WRM.
+#[derive(Debug, Clone, Default)]
+pub struct AgreementTracker {
+    agreed: u64,
+    total: u64,
+}
+
+impl AgreementTracker {
+    /// Record one task outcome for this worker.
+    pub fn record(&mut self, agreed_with_majority: bool) {
+        self.total += 1;
+        if agreed_with_majority {
+            self.agreed += 1;
+        }
+    }
+
+    /// Number of scored tasks.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Agreement rate with a Laplace prior (so a worker's first
+    /// disagreement doesn't immediately zero their score).
+    pub fn rate(&self) -> f64 {
+        (self.agreed as f64 + 1.0) / (self.total as f64 + 2.0)
+    }
+
+    /// Whether this worker should be flagged for review: at least
+    /// `min_tasks` scored tasks and an agreement rate below `threshold`.
+    pub fn flagged(&self, min_tasks: u64, threshold: f64) -> bool {
+        self.total >= min_tasks && self.rate() < threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(v: &[(&str, &str)]) -> Vec<(String, String)> {
+        v.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect()
+    }
+
+    #[test]
+    fn percent_agreement_basic() {
+        let p = pairs(&[("a", "a"), ("b", "b"), ("a", "b"), ("b", "a")]);
+        assert!((percent_agreement(&p) - 0.5).abs() < 1e-12);
+        assert_eq!(percent_agreement(&[]), 1.0);
+    }
+
+    #[test]
+    fn kappa_perfect_agreement() {
+        let p = pairs(&[("a", "a"), ("b", "b"), ("a", "a")]);
+        assert!((cohens_kappa(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_chance_agreement_near_zero() {
+        // Raters uncorrelated, 50/50 each: po = 0.5, pe = 0.5, kappa = 0.
+        let p = pairs(&[("a", "a"), ("a", "b"), ("b", "a"), ("b", "b")]);
+        assert!(cohens_kappa(&p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_systematic_disagreement_negative() {
+        let p = pairs(&[("a", "b"), ("b", "a"), ("a", "b"), ("b", "a")]);
+        assert!(cohens_kappa(&p) < 0.0);
+    }
+
+    #[test]
+    fn kappa_constant_rater_degenerate() {
+        let p = pairs(&[("a", "a"), ("a", "a")]);
+        assert_eq!(cohens_kappa(&p), 1.0);
+    }
+
+    #[test]
+    fn tracker_laplace_smoothing() {
+        let mut t = AgreementTracker::default();
+        assert!((t.rate() - 0.5).abs() < 1e-12); // prior
+        t.record(true);
+        assert!(t.rate() > 0.5);
+        t.record(false);
+        assert!((t.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_flags_bad_workers_only_after_min_tasks() {
+        let mut t = AgreementTracker::default();
+        for _ in 0..3 {
+            t.record(false);
+        }
+        assert!(!t.flagged(5, 0.5), "too few tasks to flag");
+        for _ in 0..3 {
+            t.record(false);
+        }
+        assert!(t.flagged(5, 0.5));
+    }
+
+    #[test]
+    fn tracker_good_worker_not_flagged() {
+        let mut t = AgreementTracker::default();
+        for _ in 0..20 {
+            t.record(true);
+        }
+        t.record(false);
+        assert!(!t.flagged(5, 0.5));
+        assert_eq!(t.total(), 21);
+    }
+}

@@ -1,0 +1,177 @@
+//! Entity-resolution helpers for `CROWDEQUAL`.
+//!
+//! The SIGMOD evaluation resolves company names ("I.B.M." vs "IBM",
+//! "Microsoft Corp." vs "Microsoft"). The crowd does the judging; this
+//! module provides (a) the canonicalization machinery used to cluster
+//! crowd verdicts and (b) a machine baseline (`machine_equal`, Jaro-
+//! Winkler similarity) that the benchmarks compare the crowd against.
+
+use crate::normalize::Normalizer;
+
+/// Legal-suffix tokens dropped during entity canonicalization.
+const LEGAL_SUFFIXES: &[&str] = &[
+    "inc", "incorporated", "corp", "corporation", "co", "company", "ltd", "limited", "llc",
+    "plc", "gmbh", "ag", "sa", "holdings", "group",
+];
+
+/// Canonicalize an entity name: strip punctuation, case-fold, drop legal
+/// suffixes, collapse whitespace.
+///
+/// `"I.B.M. Corp."` and `"IBM"` both canonicalize to `"ibm"`.
+pub fn canonical_entity(name: &str) -> String {
+    let n = Normalizer::for_entities();
+    let folded = n.normalize(name);
+    let tokens: Vec<&str> = folded
+        .split_whitespace()
+        .filter(|t| !LEGAL_SUFFIXES.contains(t))
+        .collect();
+    if tokens.is_empty() {
+        // A name that is *only* legal suffixes keeps its folded form.
+        folded
+    } else {
+        tokens.join(" ")
+    }
+}
+
+/// Jaro similarity between two strings in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matches = Vec::with_capacity(a.len());
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        let mut matched = false;
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches += 1;
+                matched = true;
+                a_matches.push(j);
+                break;
+            }
+        }
+        if !matched {
+            a_matches.push(usize::MAX);
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of order.
+    let mut transpositions = 0usize;
+    let mut b_seq: Vec<usize> = a_matches.into_iter().filter(|&j| j != usize::MAX).collect();
+    let sorted = {
+        let mut s = b_seq.clone();
+        s.sort_unstable();
+        s
+    };
+    for (x, y) in b_seq.iter_mut().zip(sorted.iter()) {
+        if x != y {
+            transpositions += 1;
+        }
+    }
+    let t = (transpositions / 2) as f64;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by common-prefix length.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Machine baseline for entity equality: canonical forms equal, or
+/// Jaro-Winkler over canonical forms above `threshold`.
+///
+/// This is what a conventional DBMS could do *without* the crowd; the
+/// CROWDEQUAL benchmarks report crowd accuracy against this baseline.
+pub fn machine_equal(a: &str, b: &str, threshold: f64) -> bool {
+    let ca = canonical_entity(a);
+    let cb = canonical_entity(b);
+    if ca == cb {
+        return true;
+    }
+    jaro_winkler(&ca, &cb) >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_strips_suffixes_and_punctuation() {
+        assert_eq!(canonical_entity("I.B.M. Corp."), "ibm");
+        assert_eq!(canonical_entity("Microsoft Corporation"), "microsoft");
+        assert_eq!(canonical_entity("Apple Inc"), "apple");
+        assert_eq!(canonical_entity("  Twitter,  Inc. "), "twitter");
+    }
+
+    #[test]
+    fn canonical_of_pure_suffix_name() {
+        // Degenerate input stays non-empty.
+        assert_eq!(canonical_entity("Inc."), "inc");
+    }
+
+    #[test]
+    fn jaro_identity_and_disjoint() {
+        assert!((jaro("crowddb", "crowddb") - 1.0).abs() < 1e-12);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_known_value() {
+        // Classic example: MARTHA vs MARHTA = 0.944...
+        let s = jaro("martha", "marhta");
+        assert!((s - 0.9444444444).abs() < 1e-6, "{s}");
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_prefix() {
+        let plain = jaro("crowddb", "crowdb");
+        let jw = jaro_winkler("crowddb", "crowdb");
+        assert!(jw > plain);
+        assert!(jw <= 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_symmetric() {
+        let pairs = [("dwayne", "duane"), ("dixon", "dicksonx"), ("crowddb", "crowdb")];
+        for (a, b) in pairs {
+            assert!((jaro_winkler(a, b) - jaro_winkler(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn machine_equal_handles_paper_examples() {
+        // "CrowDB" vs "CrowdDB" — the paper's data-entry error example.
+        assert!(machine_equal("CrowDB", "CrowdDB", 0.9));
+        assert!(machine_equal("I.B.M.", "IBM", 0.9));
+        assert!(machine_equal("Microsoft Corp.", "Microsoft", 0.9));
+        assert!(!machine_equal("Microsoft", "Apple", 0.9));
+    }
+
+    #[test]
+    fn machine_equal_respects_threshold() {
+        // Similar but distinct entities must not merge at high thresholds.
+        assert!(!machine_equal("Sun Microsystems", "Sun Chemicals", 0.97));
+    }
+}

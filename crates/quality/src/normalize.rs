@@ -1,0 +1,152 @@
+//! Answer normalization.
+//!
+//! Workers type free text into HTML forms, so the same semantic answer
+//! arrives in many shapes: `"IBM"`, `" ibm "`, `"I.B.M."`. Normalization
+//! maps answers into canonical keys *before* majority voting so that
+//! agreeing workers actually agree. The typed-value path
+//! ([`Normalizer::normalize_typed`]) additionally parses numerics and
+//! booleans through [`Value::parse_answer`].
+
+use crowddb_common::{DataType, Value};
+
+/// Configurable answer normalizer.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    /// Lower-case answers.
+    pub case_fold: bool,
+    /// Trim leading/trailing whitespace and collapse internal runs.
+    pub collapse_whitespace: bool,
+    /// Strip punctuation characters (`.,;:!?'"()[]{}`).
+    pub strip_punctuation: bool,
+}
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        Normalizer {
+            case_fold: true,
+            collapse_whitespace: true,
+            strip_punctuation: false,
+        }
+    }
+}
+
+impl Normalizer {
+    /// The default normalizer (case fold + whitespace collapse).
+    pub fn new() -> Normalizer {
+        Normalizer::default()
+    }
+
+    /// An aggressive normalizer for entity names (also strips punctuation).
+    pub fn for_entities() -> Normalizer {
+        Normalizer {
+            case_fold: true,
+            collapse_whitespace: true,
+            strip_punctuation: true,
+        }
+    }
+
+    /// Canonicalize a free-text answer into a voting key.
+    pub fn normalize(&self, raw: &str) -> String {
+        let mut s: String = if self.strip_punctuation {
+            raw.chars()
+                .filter(|c| !matches!(c, '.' | ',' | ';' | ':' | '!' | '?' | '\'' | '"' | '(' | ')' | '[' | ']' | '{' | '}'))
+                .collect()
+        } else {
+            raw.to_string()
+        };
+        if self.case_fold {
+            s = s.to_lowercase();
+        }
+        if self.collapse_whitespace {
+            s = s.split_whitespace().collect::<Vec<_>>().join(" ");
+        }
+        s
+    }
+
+    /// Parse and canonicalize an answer for a typed column.
+    ///
+    /// For numeric/boolean columns the canonical key is the parsed value's
+    /// literal (so `"1,234"` and `"1234"` vote together); unparseable
+    /// answers return `None` and are discarded before voting.
+    pub fn normalize_typed(&self, raw: &str, ty: DataType) -> Option<(String, Value)> {
+        match ty {
+            DataType::Str => {
+                let key = self.normalize(raw);
+                if key.is_empty() {
+                    return None;
+                }
+                // Store the trimmed original (not the case-folded key) so
+                // the database keeps the worker's capitalization.
+                let stored = Value::parse_answer(raw, ty)?;
+                Some((key, stored))
+            }
+            _ => {
+                let v = Value::parse_answer(raw, ty)?;
+                Some((v.sql_literal(), v))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_folds_case_and_whitespace() {
+        let n = Normalizer::new();
+        assert_eq!(n.normalize("  IBM   Corp "), "ibm corp");
+        assert_eq!(n.normalize("IBM\tCorp\n"), "ibm corp");
+    }
+
+    #[test]
+    fn entity_normalizer_strips_punctuation() {
+        let n = Normalizer::for_entities();
+        assert_eq!(n.normalize("I.B.M."), "ibm");
+        assert_eq!(n.normalize("Yahoo!"), "yahoo");
+        assert_eq!(n.normalize("O'Reilly"), "oreilly");
+    }
+
+    #[test]
+    fn typed_numeric_answers_vote_together() {
+        let n = Normalizer::new();
+        let (k1, v1) = n.normalize_typed("1,234", DataType::Int).unwrap();
+        let (k2, v2) = n.normalize_typed(" 1234 ", DataType::Int).unwrap();
+        assert_eq!(k1, k2);
+        assert_eq!(v1, v2);
+        assert_eq!(v1, Value::Int(1234));
+    }
+
+    #[test]
+    fn typed_bool_answers() {
+        let n = Normalizer::new();
+        let (k1, _) = n.normalize_typed("YES", DataType::Bool).unwrap();
+        let (k2, _) = n.normalize_typed("true", DataType::Bool).unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn unparseable_answers_discarded() {
+        let n = Normalizer::new();
+        assert!(n.normalize_typed("dunno", DataType::Int).is_none());
+        assert!(n.normalize_typed("   ", DataType::Str).is_none());
+    }
+
+    #[test]
+    fn string_answers_keep_original_capitalization() {
+        let n = Normalizer::new();
+        let (key, stored) = n.normalize_typed("  The CrowdDB Paper ", DataType::Str).unwrap();
+        assert_eq!(key, "the crowddb paper");
+        assert_eq!(stored, Value::str("The CrowdDB Paper"));
+    }
+
+    #[test]
+    fn no_op_normalizer() {
+        let n = Normalizer {
+            case_fold: false,
+            collapse_whitespace: false,
+            strip_punctuation: false,
+        };
+        assert_eq!(n.normalize(" As Is "), " As Is ");
+    }
+}

@@ -1,0 +1,231 @@
+//! Pairwise-comparison aggregation and ranking-quality metrics for
+//! `CROWDORDER`.
+//!
+//! The crowd answers binary "which is better?" questions; this module
+//! turns those noisy pairwise verdicts into a total order (Borda-style
+//! win counting) and measures ranking quality against a ground truth
+//! (Kendall tau), which is how the SIGMOD evaluation scores the
+//! picture-ordering experiment.
+
+use std::collections::HashMap;
+
+/// Accumulates pairwise comparison votes between items identified by
+/// `usize` keys.
+#[derive(Debug, Clone, Default)]
+pub struct PairwiseVotes {
+    // (a, b) with a < b -> (votes for a, votes for b)
+    votes: HashMap<(usize, usize), (usize, usize)>,
+}
+
+impl PairwiseVotes {
+    /// Empty accumulator.
+    pub fn new() -> PairwiseVotes {
+        PairwiseVotes::default()
+    }
+
+    /// Record one verdict that `winner` beats `loser`.
+    pub fn record(&mut self, winner: usize, loser: usize) {
+        assert_ne!(winner, loser, "an item cannot be compared to itself");
+        let (key, first_wins) = if winner < loser {
+            ((winner, loser), true)
+        } else {
+            ((loser, winner), false)
+        };
+        let e = self.votes.entry(key).or_insert((0, 0));
+        if first_wins {
+            e.0 += 1;
+        } else {
+            e.1 += 1;
+        }
+    }
+
+    /// Majority winner of the pair, if any votes were cast. Ties go to the
+    /// smaller index for determinism.
+    pub fn winner(&self, a: usize, b: usize) -> Option<usize> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        let (wa, wb) = *self.votes.get(&key)?;
+        if wa >= wb {
+            Some(key.0)
+        } else {
+            Some(key.1)
+        }
+    }
+
+    /// Total number of verdicts recorded.
+    pub fn total_votes(&self) -> usize {
+        self.votes.values().map(|(a, b)| a + b).sum()
+    }
+
+    /// Number of distinct pairs with at least one vote.
+    pub fn pairs_covered(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Produce a full ranking of `n` items (best first) by Borda count:
+    /// each item is scored by the number of pairwise majorities it wins;
+    /// ties break by item index.
+    pub fn borda_ranking(&self, n: usize) -> Vec<usize> {
+        let mut wins = vec![0usize; n];
+        for (&(a, b), &(wa, wb)) in &self.votes {
+            if a < n && b < n {
+                if wa >= wb {
+                    wins[a] += 1;
+                } else {
+                    wins[b] += 1;
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&x, &y| wins[y].cmp(&wins[x]).then(x.cmp(&y)));
+        order
+    }
+}
+
+/// Kendall tau-a rank correlation between two rankings of the same items.
+///
+/// Both inputs list item ids best-first. Returns a value in `[-1, 1]`:
+/// `1` for identical rankings, `-1` for exactly reversed ones.
+///
+/// # Panics
+/// Panics if the rankings are not permutations of each other.
+pub fn kendall_tau(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rankings must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut pos_b = vec![usize::MAX; n.max(a.iter().max().map(|m| m + 1).unwrap_or(0))];
+    for (i, &item) in b.iter().enumerate() {
+        assert!(pos_b.get(item).is_some(), "item {item} out of range");
+        pos_b[item] = i;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (x, y) = (a[i], a[j]);
+            assert!(pos_b[x] != usize::MAX && pos_b[y] != usize::MAX, "rankings differ in items");
+            if pos_b[x] < pos_b[y] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Fraction of adjacent ground-truth pairs the ranking preserves — a
+/// secondary, more forgiving quality metric reported by the benchmarks.
+pub fn adjacent_accuracy(ranking: &[usize], truth: &[usize]) -> f64 {
+    if truth.len() < 2 {
+        return 1.0;
+    }
+    let mut pos = vec![usize::MAX; truth.len().max(ranking.iter().max().map(|m| m + 1).unwrap_or(0))];
+    for (i, &item) in ranking.iter().enumerate() {
+        pos[item] = i;
+    }
+    let mut ok = 0usize;
+    for w in truth.windows(2) {
+        if pos[w[0]] < pos[w[1]] {
+            ok += 1;
+        }
+    }
+    ok as f64 / (truth.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_majority() {
+        let mut pv = PairwiseVotes::new();
+        pv.record(0, 1);
+        pv.record(0, 1);
+        pv.record(1, 0);
+        assert_eq!(pv.winner(0, 1), Some(0));
+        assert_eq!(pv.winner(1, 0), Some(0));
+        assert_eq!(pv.total_votes(), 3);
+        assert_eq!(pv.pairs_covered(), 1);
+    }
+
+    #[test]
+    fn unvoted_pair_has_no_winner() {
+        let pv = PairwiseVotes::new();
+        assert_eq!(pv.winner(0, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be compared to itself")]
+    fn self_comparison_panics() {
+        PairwiseVotes::new().record(3, 3);
+    }
+
+    #[test]
+    fn borda_ranking_with_perfect_votes() {
+        // Ground truth order 2 > 0 > 1 with all pairs voted perfectly.
+        let mut pv = PairwiseVotes::new();
+        pv.record(2, 0);
+        pv.record(2, 1);
+        pv.record(0, 1);
+        assert_eq!(pv.borda_ranking(3), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn borda_ranking_breaks_ties_by_index() {
+        let pv = PairwiseVotes::new();
+        assert_eq!(pv.borda_ranking(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        assert!((kendall_tau(&[0, 1, 2, 3], &[0, 1, 2, 3]) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&[0, 1, 2, 3], &[3, 2, 1, 0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_single_swap() {
+        // One adjacent swap in 4 items: tau = (5 - 1) / 6 = 0.6667
+        let t = kendall_tau(&[0, 1, 2, 3], &[1, 0, 2, 3]);
+        assert!((t - 2.0 / 3.0).abs() < 1e-12, "{t}");
+    }
+
+    #[test]
+    fn kendall_tau_trivial_cases() {
+        assert_eq!(kendall_tau(&[], &[]), 1.0);
+        assert_eq!(kendall_tau(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kendall_tau_length_mismatch_panics() {
+        kendall_tau(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn adjacent_accuracy_metric() {
+        assert!((adjacent_accuracy(&[0, 1, 2], &[0, 1, 2]) - 1.0).abs() < 1e-12);
+        assert!((adjacent_accuracy(&[2, 1, 0], &[0, 1, 2]) - 0.0).abs() < 1e-12);
+        let half = adjacent_accuracy(&[1, 0, 2], &[0, 1, 2]);
+        assert!((half - 0.5).abs() < 1e-12, "{half}");
+    }
+
+    #[test]
+    fn noisy_votes_still_rank_clear_favorite_first() {
+        // Item 0 beats everyone 3-0; others get mixed votes.
+        let mut pv = PairwiseVotes::new();
+        for other in 1..4 {
+            for _ in 0..3 {
+                pv.record(0, other);
+            }
+        }
+        pv.record(1, 2);
+        pv.record(2, 1);
+        pv.record(1, 2); // 1 beats 2 by majority
+        pv.record(3, 2);
+        let ranking = pv.borda_ranking(4);
+        assert_eq!(ranking[0], 0);
+    }
+}

@@ -1,0 +1,430 @@
+//! Hand-written lexer for CrowdSQL.
+
+use crowddb_common::{CrowdError, Result};
+
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Streaming lexer over a SQL string.
+///
+/// Produces a flat token vector via [`Lexer::tokenize`]; the parser indexes
+/// into that vector. Identifiers are lower-cased at lexing time (CrowdDB
+/// identifiers are case-insensitive), keywords are recognized here, and
+/// `--` line comments plus `/* */` block comments are skipped.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Lex the whole input, returning tokens terminated by `Eof`.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CrowdError {
+        CrowdError::Parse(format!(
+            "{} at line {}, column {}",
+            msg.into(),
+            self.line,
+            self.col
+        ))
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia()?;
+        let (line, col) = (self.line, self.col);
+        let tok = |k| Token::new(k, line, col);
+        let c = match self.peek() {
+            None => return Ok(tok(TokenKind::Eof)),
+            Some(c) => c,
+        };
+        let kind = match c {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.bump();
+                TokenKind::Minus
+            }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'%' => {
+                self.bump();
+                TokenKind::Percent
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::LtEq
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::NotEq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(self.err("expected '=' after '!'"));
+                }
+            }
+            b'~' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::CrowdEq
+                } else {
+                    return Err(self.err("expected '=' after '~' (CROWDEQUAL shorthand is '~=')"));
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::Concat
+                } else {
+                    return Err(self.err("expected '|' after '|'"));
+                }
+            }
+            b'\'' => self.lex_string()?,
+            b'"' => self.lex_quoted_ident()?,
+            b'0'..=b'9' => self.lex_number()?,
+            c if c == b'_' || c.is_ascii_alphabetic() => self.lex_word(),
+            other => {
+                return Err(self.err(format!("unexpected character '{}'", other as char)));
+            }
+        };
+        Ok(tok(kind))
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'\'') => {
+                    // '' is an escaped quote.
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(TokenKind::StringLit(s));
+                    }
+                }
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated quoted identifier")),
+                Some(b'"') => return Ok(TokenKind::Ident(s.to_ascii_lowercase())),
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // Only consume '.' when followed by a digit, so "1." is not eaten
+        // and "tbl.1" style input errors in the parser, not the lexer.
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut look = self.pos + 1;
+            if matches!(self.src.get(look), Some(b'+') | Some(b'-')) {
+                look += 1;
+            }
+            if matches!(self.src.get(look), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::FloatLit)
+                .map_err(|e| self.err(format!("invalid float literal '{text}': {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::IntLit)
+                .map_err(|e| self.err(format!("invalid integer literal '{text}': {e}")))
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii word");
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_ascii_lowercase()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::new(sql)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lex_simple_select() {
+        let k = kinds("SELECT abstract FROM paper WHERE title = 'CrowdDB';");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("abstract".into()),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Ident("paper".into()),
+                TokenKind::Keyword(Keyword::Where),
+                TokenKind::Ident("title".into()),
+                TokenKind::Eq,
+                TokenKind::StringLit("CrowdDB".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_crowd_keywords() {
+        let k = kinds("CREATE CROWD TABLE t (a CROWD STRING)");
+        assert!(k.contains(&TokenKind::Keyword(Keyword::Crowd)));
+        let k = kinds("x ~= 'IBM'");
+        assert_eq!(k[1], TokenKind::CrowdEq);
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::IntLit(42));
+        assert_eq!(kinds("3.25")[0], TokenKind::FloatLit(3.25));
+        assert_eq!(kinds("1e3")[0], TokenKind::FloatLit(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::FloatLit(0.25));
+    }
+
+    #[test]
+    fn dot_after_int_is_separate_when_not_float() {
+        // "t.1" style — lexer must not swallow the dot into the number
+        let k = kinds("1 .x");
+        assert_eq!(k[0], TokenKind::IntLit(1));
+        assert_eq!(k[1], TokenKind::Dot);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("'it''s here'")[0],
+            TokenKind::StringLit("it's here".into())
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers_lowercased() {
+        assert_eq!(kinds("\"MyTable\"")[0], TokenKind::Ident("mytable".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("SELECT -- line comment\n 1 /* block\ncomment */ + 2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::IntLit(1),
+                TokenKind::Plus,
+                TokenKind::IntLit(2),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let k = kinds("<> != <= >= < > = || ~=");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::LtEq,
+                TokenKind::GtEq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Concat,
+                TokenKind::CrowdEq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = Lexer::new("SELECT\n  @").tokenize().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::new("'abc").tokenize().is_err());
+        assert!(Lexer::new("/* abc").tokenize().is_err());
+        assert!(Lexer::new("~x").tokenize().is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! Token model for the CrowdSQL lexer.
+
+use std::fmt;
+
+/// SQL keywords recognized by CrowdDB, including the CrowdSQL extensions
+/// (`CROWD`, `CNULL`, `CROWDEQUAL`, `CROWDORDER`, `REF`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // each variant is the keyword it names
+pub enum Keyword {
+    All,
+    And,
+    As,
+    Asc,
+    Between,
+    Boolean,
+    By,
+    Case,
+    Cast,
+    Cnull,
+    Create,
+    Cross,
+    Crowd,
+    Crowdequal,
+    Crowdorder,
+    Delete,
+    Desc,
+    Distinct,
+    Double,
+    Drop,
+    Else,
+    End,
+    Exists,
+    Explain,
+    False,
+    Float,
+    Foreign,
+    From,
+    Group,
+    Having,
+    If,
+    In,
+    Index,
+    Inner,
+    Insert,
+    Int,
+    Integer,
+    Into,
+    Is,
+    Join,
+    Key,
+    Left,
+    Like,
+    Limit,
+    Not,
+    Null,
+    Offset,
+    On,
+    Or,
+    Order,
+    Outer,
+    Primary,
+    Ref,
+    References,
+    Select,
+    Set,
+    String,
+    Table,
+    Text,
+    Then,
+    True,
+    Union,
+    Unique,
+    Update,
+    Values,
+    Varchar,
+    When,
+    Where,
+}
+
+impl Keyword {
+    /// Look up a keyword from an identifier, case-insensitively.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not parsing
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        let up = s.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "ALL" => Keyword::All,
+            "AND" => Keyword::And,
+            "AS" => Keyword::As,
+            "ASC" => Keyword::Asc,
+            "BETWEEN" => Keyword::Between,
+            "BOOLEAN" | "BOOL" => Keyword::Boolean,
+            "BY" => Keyword::By,
+            "CASE" => Keyword::Case,
+            "CAST" => Keyword::Cast,
+            "CNULL" => Keyword::Cnull,
+            "CREATE" => Keyword::Create,
+            "CROSS" => Keyword::Cross,
+            "CROWD" => Keyword::Crowd,
+            "CROWDEQUAL" => Keyword::Crowdequal,
+            "CROWDORDER" => Keyword::Crowdorder,
+            "DELETE" => Keyword::Delete,
+            "DESC" => Keyword::Desc,
+            "DISTINCT" => Keyword::Distinct,
+            "DOUBLE" => Keyword::Double,
+            "DROP" => Keyword::Drop,
+            "ELSE" => Keyword::Else,
+            "END" => Keyword::End,
+            "EXISTS" => Keyword::Exists,
+            "EXPLAIN" => Keyword::Explain,
+            "FALSE" => Keyword::False,
+            "FLOAT" => Keyword::Float,
+            "FOREIGN" => Keyword::Foreign,
+            "FROM" => Keyword::From,
+            "GROUP" => Keyword::Group,
+            "HAVING" => Keyword::Having,
+            "IF" => Keyword::If,
+            "IN" => Keyword::In,
+            "INDEX" => Keyword::Index,
+            "INNER" => Keyword::Inner,
+            "INSERT" => Keyword::Insert,
+            "INT" => Keyword::Int,
+            "INTEGER" => Keyword::Integer,
+            "INTO" => Keyword::Into,
+            "IS" => Keyword::Is,
+            "JOIN" => Keyword::Join,
+            "KEY" => Keyword::Key,
+            "LEFT" => Keyword::Left,
+            "LIKE" => Keyword::Like,
+            "LIMIT" => Keyword::Limit,
+            "NOT" => Keyword::Not,
+            "NULL" => Keyword::Null,
+            "OFFSET" => Keyword::Offset,
+            "ON" => Keyword::On,
+            "OR" => Keyword::Or,
+            "ORDER" => Keyword::Order,
+            "OUTER" => Keyword::Outer,
+            "PRIMARY" => Keyword::Primary,
+            "REF" => Keyword::Ref,
+            "REFERENCES" => Keyword::References,
+            "SELECT" => Keyword::Select,
+            "SET" => Keyword::Set,
+            "STRING" => Keyword::String,
+            "TABLE" => Keyword::Table,
+            "TEXT" => Keyword::Text,
+            "THEN" => Keyword::Then,
+            "TRUE" => Keyword::True,
+            "UNION" => Keyword::Union,
+            "UNIQUE" => Keyword::Unique,
+            "UPDATE" => Keyword::Update,
+            "VALUES" => Keyword::Values,
+            "VARCHAR" => Keyword::Varchar,
+            "WHEN" => Keyword::When,
+            "WHERE" => Keyword::Where,
+            _ => return None,
+        })
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A recognized SQL keyword.
+    Keyword(Keyword),
+    /// An identifier (table/column/function name), lower-cased.
+    Ident(String),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    StringLit(String),
+    /// An integer literal.
+    IntLit(i64),
+    /// A floating-point literal.
+    FloatLit(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `~=` — CrowdSQL shorthand for `CROWDEQUAL`.
+    CrowdEq,
+    /// `||` — string concatenation.
+    Concat,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}").map(|_| ()),
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::StringLit(s) => write!(f, "string '{s}'"),
+            TokenKind::IntLit(v) => write!(f, "integer {v}"),
+            TokenKind::FloatLit(v) => write!(f, "float {v}"),
+            TokenKind::LParen => f.write_str("'('"),
+            TokenKind::RParen => f.write_str("')'"),
+            TokenKind::Comma => f.write_str("','"),
+            TokenKind::Semicolon => f.write_str("';'"),
+            TokenKind::Dot => f.write_str("'.'"),
+            TokenKind::Star => f.write_str("'*'"),
+            TokenKind::Plus => f.write_str("'+'"),
+            TokenKind::Minus => f.write_str("'-'"),
+            TokenKind::Slash => f.write_str("'/'"),
+            TokenKind::Percent => f.write_str("'%'"),
+            TokenKind::Eq => f.write_str("'='"),
+            TokenKind::NotEq => f.write_str("'<>'"),
+            TokenKind::Lt => f.write_str("'<'"),
+            TokenKind::LtEq => f.write_str("'<='"),
+            TokenKind::Gt => f.write_str("'>'"),
+            TokenKind::GtEq => f.write_str("'>='"),
+            TokenKind::CrowdEq => f.write_str("'~='"),
+            TokenKind::Concat => f.write_str("'||'"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Token {
+    /// Construct a token at a position.
+    pub fn new(kind: TokenKind, line: u32, col: u32) -> Token {
+        Token { kind, line, col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::from_str("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_str("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_str("crowd"), Some(Keyword::Crowd));
+        assert_eq!(Keyword::from_str("CNULL"), Some(Keyword::Cnull));
+        assert_eq!(Keyword::from_str("nonsense"), None);
+    }
+
+    #[test]
+    fn type_aliases() {
+        assert_eq!(Keyword::from_str("BOOL"), Some(Keyword::Boolean));
+        assert_eq!(Keyword::from_str("VARCHAR"), Some(Keyword::Varchar));
+        assert_eq!(Keyword::from_str("TEXT"), Some(Keyword::Text));
+    }
+
+    #[test]
+    fn crowd_extensions_present() {
+        for kw in ["CROWDEQUAL", "CROWDORDER", "REF", "CNULL", "CROWD"] {
+            assert!(Keyword::from_str(kw).is_some(), "missing {kw}");
+        }
+    }
+
+    #[test]
+    fn token_kind_display() {
+        assert_eq!(TokenKind::CrowdEq.to_string(), "'~='");
+        assert_eq!(TokenKind::Ident("abc".into()).to_string(), "identifier 'abc'");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests: canonical rendering of a random AST re-parses to the
+//! identical AST (render/parse round trip), and the parser never panics on
+//! arbitrary input.
+
+use crowddb_common::Value;
+use crowddb_sql::{
+    parse_expression, parse_statement, BinaryOp, ColumnRef, Expr, OrderByItem, Query, Relation,
+    SelectItem, Statement, TableRef, UnaryOp,
+};
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Identifiers that can't collide with keywords: always 'x'-prefixed.
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| format!("x{s}"))
+}
+
+fn literal_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i64>().prop_map(|v| Expr::Literal(Value::Int(v))),
+        (-1.0e12..1.0e12f64).prop_map(|v| Expr::Literal(Value::Float(v))),
+        any::<bool>().prop_map(|v| Expr::Literal(Value::Bool(v))),
+        "[ -~]{0,12}".prop_map(|s| Expr::Literal(Value::Str(s))),
+        Just(Expr::Literal(Value::Null)),
+        Just(Expr::Literal(Value::CNull)),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal_strategy(),
+        ident_strategy().prop_map(Expr::col),
+        (ident_strategy(), ident_strategy())
+            .prop_map(|(t, c)| Expr::Column(ColumnRef::qualified(t, c))),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), binop_strategy()).prop_map(|(l, r, op)| Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            (inner.clone(), any::<bool>(), any::<bool>()).prop_map(|(e, negated, cnull)| {
+                Expr::Is {
+                    expr: Box::new(e),
+                    negated,
+                    cnull,
+                }
+            }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..4), any::<bool>()).prop_map(
+                |(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }
+            ),
+            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(name, args)| Expr::Function {
+                    name: format!("f{name}"),
+                    args,
+                    distinct: false,
+                }
+            ),
+        ]
+    })
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Mod),
+        Just(BinaryOp::Concat),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+        Just(BinaryOp::CrowdEq),
+    ]
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        prop::collection::vec(
+            (expr_strategy(), prop::option::of(ident_strategy())),
+            1..4,
+        ),
+        prop::collection::vec((ident_strategy(), prop::option::of(ident_strategy())), 1..3),
+        prop::option::of(expr_strategy()),
+        prop::collection::vec((expr_strategy(), any::<bool>()), 0..3),
+        prop::option::of(0u64..1000),
+        prop::option::of(0u64..1000),
+    )
+        .prop_map(
+            |(distinct, proj, tables, filter, order, limit, offset)| Query {
+                distinct,
+                projection: proj
+                    .into_iter()
+                    .map(|(expr, alias)| SelectItem::Expr { expr, alias })
+                    .collect(),
+                from: tables
+                    .into_iter()
+                    .map(|(name, alias)| TableRef {
+                        relation: Relation::Table { name, alias },
+                        joins: vec![],
+                    })
+                    .collect(),
+                filter,
+                group_by: vec![],
+                having: None,
+                set_ops: vec![],
+                order_by: order
+                    .into_iter()
+                    .map(|(expr, desc)| OrderByItem { expr, desc })
+                    .collect(),
+                limit,
+                offset,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_render_parse_round_trip(e in expr_strategy()) {
+        let rendered = e.to_string();
+        let reparsed = parse_expression(&rendered)
+            .unwrap_or_else(|err| panic!("failed to re-parse '{rendered}': {err}"));
+        prop_assert_eq!(e, reparsed);
+    }
+
+    #[test]
+    fn query_render_parse_round_trip(q in query_strategy()) {
+        let stmt = Statement::Select(Box::new(q));
+        let rendered = stmt.to_string();
+        let reparsed = parse_statement(&rendered)
+            .unwrap_or_else(|err| panic!("failed to re-parse '{rendered}': {err}"));
+        prop_assert_eq!(stmt, reparsed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "[ -~]{0,80}") {
+        let _ = parse_statement(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_select_prefixed_input(s in "[ -~]{0,60}") {
+        let _ = parse_statement(&format!("SELECT {s}"));
+    }
+}

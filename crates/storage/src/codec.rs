@@ -1,0 +1,202 @@
+//! Compact binary row codec.
+//!
+//! Used by [`Database::snapshot`](crate::Database::snapshot) to serialize
+//! table contents, and by tests as a stable wire format for rows. The
+//! encoding is self-describing per value (1 type tag byte + payload), so a
+//! row can be decoded without schema information.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crowddb_common::{CrowdError, Result, Row, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_CNULL: u8 = 1;
+const TAG_BOOL_FALSE: u8 = 2;
+const TAG_BOOL_TRUE: u8 = 3;
+const TAG_INT: u8 = 4;
+const TAG_FLOAT: u8 = 5;
+const TAG_STR: u8 = 6;
+
+/// Append one value to `buf`.
+pub fn encode_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::CNull => buf.put_u8(TAG_CNULL),
+        Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Decode one value from `buf`, advancing it.
+pub fn decode_value(buf: &mut Bytes) -> Result<Value> {
+    if !buf.has_remaining() {
+        return Err(CrowdError::Internal("codec: empty buffer".into()));
+    }
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_CNULL => Value::CNull,
+        TAG_BOOL_FALSE => Value::Bool(false),
+        TAG_BOOL_TRUE => Value::Bool(true),
+        TAG_INT => {
+            if buf.remaining() < 8 {
+                return Err(CrowdError::Internal("codec: truncated int".into()));
+            }
+            Value::Int(buf.get_i64_le())
+        }
+        TAG_FLOAT => {
+            if buf.remaining() < 8 {
+                return Err(CrowdError::Internal("codec: truncated float".into()));
+            }
+            Value::Float(buf.get_f64_le())
+        }
+        TAG_STR => {
+            if buf.remaining() < 4 {
+                return Err(CrowdError::Internal("codec: truncated string length".into()));
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(CrowdError::Internal("codec: truncated string body".into()));
+            }
+            let bytes = buf.copy_to_bytes(len);
+            let s = std::str::from_utf8(&bytes)
+                .map_err(|e| CrowdError::Internal(format!("codec: invalid utf8: {e}")))?;
+            Value::Str(s.to_string())
+        }
+        other => {
+            return Err(CrowdError::Internal(format!(
+                "codec: unknown value tag {other}"
+            )))
+        }
+    })
+}
+
+/// Encode a row: u32 arity followed by each value.
+pub fn encode_row(buf: &mut BytesMut, row: &Row) {
+    buf.put_u32_le(row.arity() as u32);
+    for v in row.values() {
+        encode_value(buf, v);
+    }
+}
+
+/// Decode a row previously written by [`encode_row`].
+pub fn decode_row(buf: &mut Bytes) -> Result<Row> {
+    if buf.remaining() < 4 {
+        return Err(CrowdError::Internal("codec: truncated row arity".into()));
+    }
+    let arity = buf.get_u32_le() as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(buf)?);
+    }
+    Ok(Row::new(values))
+}
+
+/// Encode many rows into a standalone buffer.
+pub fn encode_rows(rows: &[Row]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(rows.len() as u64);
+    for r in rows {
+        encode_row(&mut buf, r);
+    }
+    buf.freeze()
+}
+
+/// Decode a buffer written by [`encode_rows`].
+pub fn decode_rows(mut buf: Bytes) -> Result<Vec<Row>> {
+    if buf.remaining() < 8 {
+        return Err(CrowdError::Internal("codec: truncated row count".into()));
+    }
+    let n = buf.get_u64_le() as usize;
+    let mut rows = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        rows.push(decode_row(&mut buf)?);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::row;
+
+    fn round_trip(v: Value) {
+        let mut buf = BytesMut::new();
+        encode_value(&mut buf, &v);
+        let mut bytes = buf.freeze();
+        let back = decode_value(&mut bytes).unwrap();
+        assert_eq!(v, back);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn value_round_trips() {
+        round_trip(Value::Null);
+        round_trip(Value::CNull);
+        round_trip(Value::Bool(true));
+        round_trip(Value::Bool(false));
+        round_trip(Value::Int(i64::MIN));
+        round_trip(Value::Int(i64::MAX));
+        round_trip(Value::Float(-0.0));
+        round_trip(Value::Float(1.5e300));
+        round_trip(Value::str(""));
+        round_trip(Value::str("héllo wörld 🦀"));
+    }
+
+    #[test]
+    fn row_round_trips() {
+        let r = row![1i64, "abc", Value::CNull, true, 2.5f64, Value::Null];
+        let bytes = encode_rows(std::slice::from_ref(&r));
+        let rows = decode_rows(bytes).unwrap();
+        assert_eq!(rows, vec![r]);
+    }
+
+    #[test]
+    fn many_rows_round_trip() {
+        let rows: Vec<Row> = (0..100)
+            .map(|i| row![i as i64, format!("row-{i}"), i % 2 == 0])
+            .collect();
+        let bytes = encode_rows(&rows);
+        assert_eq!(decode_rows(bytes).unwrap(), rows);
+    }
+
+    #[test]
+    fn truncated_buffers_error_not_panic() {
+        let r = row![123i64, "some string value"];
+        let full = {
+            let mut b = BytesMut::new();
+            encode_row(&mut b, &r);
+            b.freeze()
+        };
+        for cut in 0..full.len() {
+            let mut trunc = full.slice(..cut);
+            // Every prefix must either fail cleanly or decode a shorter row,
+            // never panic.
+            let _ = decode_row(&mut trunc);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_error() {
+        let mut b = Bytes::from_static(&[99u8]);
+        assert!(decode_value(&mut b).is_err());
+    }
+
+    #[test]
+    fn empty_rows_buffer() {
+        let bytes = encode_rows(&[]);
+        assert_eq!(decode_rows(bytes).unwrap(), Vec::<Row>::new());
+    }
+}

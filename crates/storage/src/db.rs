@@ -1,0 +1,434 @@
+//! The database: catalog + heap tables behind a single lock, plus
+//! snapshots.
+//!
+//! CrowdDB executes queries in rounds: run the plan, collect crowd task
+//! requests, post them, ingest answers (write-back), re-run. Within one
+//! run only reads happen; write-back happens between runs. A single
+//! `RwLock` therefore gives us all the concurrency the engine needs while
+//! keeping the invariants trivially safe (many concurrent readers, one
+//! writer between rounds).
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::RwLock;
+
+use crowddb_common::{CrowdError, Result, Row, TableSchema, TupleId, Value};
+
+use crate::catalog::Catalog;
+use crate::codec;
+use crate::index::{Index, IndexKind};
+use crate::table::{HeapTable, TableStats};
+
+#[derive(Debug, Default)]
+struct Inner {
+    catalog: Catalog,
+    tables: BTreeMap<String, HeapTable>,
+}
+
+/// A CrowdDB database instance: the storage-facing API used by the
+/// executor, the task manager (write-back), and DDL.
+#[derive(Debug, Default)]
+pub struct Database {
+    inner: RwLock<Inner>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Create a table from a schema.
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        let mut inner = self.inner.write();
+        let name = schema.name.clone();
+        inner.catalog.register(schema.clone())?;
+        inner.tables.insert(name, HeapTable::new(schema));
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<()> {
+        let mut inner = self.inner.write();
+        let lname = name.to_ascii_lowercase();
+        if inner.catalog.remove(&lname).is_none() {
+            if if_exists {
+                return Ok(());
+            }
+            return Err(CrowdError::Catalog(format!("table '{lname}' does not exist")));
+        }
+        inner.tables.remove(&lname);
+        Ok(())
+    }
+
+    /// Fetch a table's schema.
+    pub fn schema(&self, name: &str) -> Result<TableSchema> {
+        self.inner
+            .read()
+            .catalog
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CrowdError::Catalog(format!("table '{name}' does not exist")))
+    }
+
+    /// Run `f` against the catalog.
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.inner.read().catalog)
+    }
+
+    /// Run `f` with read access to a table.
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&HeapTable) -> R) -> Result<R> {
+        let inner = self.inner.read();
+        let t = inner
+            .tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| CrowdError::Catalog(format!("table '{name}' does not exist")))?;
+        Ok(f(t))
+    }
+
+    /// Run `f` with write access to a table.
+    pub fn with_table_mut<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut HeapTable) -> Result<R>,
+    ) -> Result<R> {
+        let mut inner = self.inner.write();
+        let t = inner
+            .tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| CrowdError::Catalog(format!("table '{name}' does not exist")))?;
+        f(t)
+    }
+
+    /// Insert a row.
+    pub fn insert(&self, table: &str, row: Row) -> Result<TupleId> {
+        self.with_table_mut(table, |t| t.insert(row))
+    }
+
+    /// Write back a crowdsourced value into a specific column of a tuple.
+    pub fn write_back_value(
+        &self,
+        table: &str,
+        tid: TupleId,
+        col: usize,
+        value: Value,
+    ) -> Result<()> {
+        self.with_table_mut(table, |t| t.update_value(tid, col, value))
+    }
+
+    /// Insert a crowdsourced tuple into a CROWD table, ignoring
+    /// primary-key conflicts (two workers may contribute the same entity —
+    /// the first one wins, which is the paper's dedup-by-key behaviour).
+    ///
+    /// Returns `Ok(Some(tid))` when inserted, `Ok(None)` on a duplicate.
+    pub fn write_back_tuple(&self, table: &str, row: Row) -> Result<Option<TupleId>> {
+        self.with_table_mut(table, |t| match t.insert(row) {
+            Ok(tid) => Ok(Some(tid)),
+            Err(CrowdError::Constraint(msg)) if msg.contains("unique constraint") => Ok(None),
+            Err(e) => Err(e),
+        })
+    }
+
+    /// Create a secondary index.
+    pub fn create_index(
+        &self,
+        name: &str,
+        table: &str,
+        columns: &[String],
+        unique: bool,
+        kind: IndexKind,
+    ) -> Result<()> {
+        self.with_table_mut(table, |t| {
+            let mut ords = Vec::with_capacity(columns.len());
+            for c in columns {
+                ords.push(t.schema().column_index(c).ok_or_else(|| {
+                    CrowdError::Catalog(format!("column '{c}' not found in table '{table}'"))
+                })?);
+            }
+            t.add_index(Index::new(name, ords, kind, unique))
+        })
+    }
+
+    /// Statistics for one table.
+    pub fn stats(&self, table: &str) -> Result<TableStats> {
+        self.with_table(table, |t| t.stats())
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().tables.keys().cloned().collect()
+    }
+
+    /// Serialize the whole database (schemas as DDL text + rows in the
+    /// binary codec) into one buffer. Used for persistence in examples and
+    /// crash-recovery tests.
+    pub fn snapshot(&self) -> Bytes {
+        let inner = self.inner.read();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(inner.tables.len() as u32);
+        for (name, table) in &inner.tables {
+            let ddl = table.schema().to_ddl();
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u32_le(ddl.len() as u32);
+            buf.put_slice(ddl.as_bytes());
+            let rows: Vec<Row> = table.scan().map(|(_, r)| r.clone()).collect();
+            let encoded = codec::encode_rows(&rows);
+            buf.put_u64_le(encoded.len() as u64);
+            buf.put_slice(&encoded);
+        }
+        buf.freeze()
+    }
+
+    /// Restore a database from a [`Database::snapshot`] buffer.
+    pub fn restore(snapshot: Bytes) -> Result<Database> {
+        let mut buf = snapshot;
+        let db = Database::new();
+        if buf.remaining() < 4 {
+            return Err(CrowdError::Internal("snapshot: truncated header".into()));
+        }
+        let n_tables = buf.get_u32_le();
+        // Sanity: every entry needs at least 16 bytes of headers; a count
+        // that can't fit in the buffer is corruption, not a large DB.
+        if (n_tables as usize).saturating_mul(16) > buf.remaining() {
+            return Err(CrowdError::Internal(format!(
+                "snapshot: implausible table count {n_tables}"
+            )));
+        }
+        // First pass: decode every table entry.
+        let mut entries = Vec::with_capacity(n_tables as usize);
+        for _ in 0..n_tables {
+            let name = read_string(&mut buf)?;
+            let ddl = read_string(&mut buf)?;
+            if buf.remaining() < 8 {
+                return Err(CrowdError::Internal("snapshot: truncated rows length".into()));
+            }
+            let len = buf.get_u64_le() as usize;
+            if buf.remaining() < len {
+                return Err(CrowdError::Internal("snapshot: truncated rows".into()));
+            }
+            let rows_buf = buf.copy_to_bytes(len);
+            entries.push((name, ddl, rows_buf));
+        }
+        // Second pass: create tables, deferring any whose foreign-key
+        // targets have not been registered yet (snapshot order is
+        // alphabetical, not topological).
+        let mut pending: Vec<(String, String, Bytes)> = entries;
+        while !pending.is_empty() {
+            let mut next_round = Vec::new();
+            let mut progressed = false;
+            for (name, ddl, rows_buf) in pending {
+                let stmt = crowddb_sql::parse_statement(&ddl).map_err(|e| {
+                    CrowdError::Internal(format!("snapshot: bad DDL for '{name}': {e}"))
+                })?;
+                let crowddb_sql::Statement::CreateTable(ct) = stmt else {
+                    return Err(CrowdError::Internal(format!(
+                        "snapshot: DDL for '{name}' is not CREATE TABLE"
+                    )));
+                };
+                match db.with_catalog_snapshot(|c| c.schema_from_ast(&ct)) {
+                    Ok(schema) => {
+                        db.create_table(schema)?;
+                        for row in codec::decode_rows(rows_buf)? {
+                            db.insert(&name, row)?;
+                        }
+                        progressed = true;
+                    }
+                    Err(CrowdError::Catalog(msg)) if msg.contains("unknown table") => {
+                        next_round.push((name, ddl, rows_buf));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !progressed && !next_round.is_empty() {
+                return Err(CrowdError::Internal(
+                    "snapshot: circular or dangling foreign keys".into(),
+                ));
+            }
+            pending = next_round;
+        }
+        Ok(db)
+    }
+
+    fn with_catalog_snapshot<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.inner.read().catalog)
+    }
+}
+
+fn read_string(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(CrowdError::Internal("snapshot: truncated string len".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(CrowdError::Internal("snapshot: truncated string".into()));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec())
+        .map_err(|e| CrowdError::Internal(format!("snapshot: invalid utf8: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::{row, ColumnDef, DataType};
+
+    fn talk_db() -> Database {
+        let db = Database::new();
+        let schema = TableSchema::new(
+            "talk",
+            vec![
+                ColumnDef::new("title", DataType::Str),
+                ColumnDef::new("abstract", DataType::Str).crowd(),
+                ColumnDef::new("nb_attendees", DataType::Int).crowd(),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["title"])
+        .unwrap();
+        db.create_table(schema).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_query() {
+        let db = talk_db();
+        db.insert("talk", row!["CrowdDB", Value::CNull, Value::CNull])
+            .unwrap();
+        let n = db.with_table("talk", |t| t.scan().count()).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.stats("talk").unwrap().cnull_values, 2);
+    }
+
+    #[test]
+    fn drop_table_semantics() {
+        let db = talk_db();
+        db.drop_table("TALK", false).unwrap();
+        assert!(db.drop_table("talk", false).is_err());
+        db.drop_table("talk", true).unwrap(); // IF EXISTS
+        assert!(db.schema("talk").is_err());
+    }
+
+    #[test]
+    fn write_back_value_clears_cnull() {
+        let db = talk_db();
+        let tid = db
+            .insert("talk", row!["CrowdDB", Value::CNull, Value::CNull])
+            .unwrap();
+        db.write_back_value("talk", tid, 1, Value::str("the abstract"))
+            .unwrap();
+        assert_eq!(db.stats("talk").unwrap().cnull_values, 1);
+    }
+
+    #[test]
+    fn write_back_tuple_dedupes_by_pk() {
+        let db = talk_db();
+        let t1 = db
+            .write_back_tuple("talk", row!["CrowdDB", "a", 1i64])
+            .unwrap();
+        assert!(t1.is_some());
+        // A second worker contributes the same key: silently deduped.
+        let t2 = db
+            .write_back_tuple("talk", row!["CrowdDB", "b", 2i64])
+            .unwrap();
+        assert!(t2.is_none());
+        // First answer wins.
+        let v = db
+            .with_table("talk", |t| t.get(t1.unwrap()).unwrap()[1].clone())
+            .unwrap();
+        assert_eq!(v, Value::str("a"));
+    }
+
+    #[test]
+    fn write_back_tuple_propagates_other_errors() {
+        let db = talk_db();
+        let err = db
+            .write_back_tuple("talk", row!["x", "a", "not an int"])
+            .unwrap_err();
+        assert_eq!(err.category(), "constraint");
+    }
+
+    #[test]
+    fn create_index_by_name() {
+        let db = talk_db();
+        db.insert("talk", row!["a", "x", 10i64]).unwrap();
+        db.create_index("talk_att", "talk", &["nb_attendees".into()], false, IndexKind::BTree)
+            .unwrap();
+        let found = db
+            .with_table("talk", |t| t.index_on(&[2]).is_some())
+            .unwrap();
+        assert!(found);
+        assert!(db
+            .create_index("bad", "talk", &["nope".into()], false, IndexKind::Hash)
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let db = Database::new();
+        assert!(db.insert("ghost", row![1i64]).is_err());
+        assert!(db.stats("ghost").is_err());
+        assert!(db.schema("ghost").is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let db = talk_db();
+        db.insert("talk", row!["CrowdDB", Value::CNull, Value::CNull])
+            .unwrap();
+        db.insert("talk", row!["Qurk", "demo abstract", 75i64])
+            .unwrap();
+        let snap = db.snapshot();
+
+        let restored = Database::restore(snap).unwrap();
+        assert_eq!(restored.table_names(), vec!["talk".to_string()]);
+        let schema = restored.schema("talk").unwrap();
+        assert_eq!(schema.crowd_columns(), vec![1, 2]);
+        assert_eq!(schema.primary_key, vec![0]);
+        let rows = restored
+            .with_table("talk", |t| t.scan_rows())
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1[0], Value::str("CrowdDB"));
+        assert!(rows[0].1[1].is_cnull());
+        // PK index restored too.
+        let hits = restored
+            .with_table("talk", |t| t.lookup_pk(&[Value::str("Qurk")]))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_of_empty_db() {
+        let db = Database::new();
+        let restored = Database::restore(db.snapshot()).unwrap();
+        assert!(restored.table_names().is_empty());
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(Database::restore(Bytes::from_static(b"nonsense")).is_err());
+        assert!(Database::restore(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        use std::sync::Arc;
+        let db = Arc::new(talk_db());
+        for i in 0..64 {
+            db.insert("talk", row![format!("t{i}"), Value::CNull, Value::CNull])
+                .unwrap();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                db.with_table("talk", |t| t.scan().count()).unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 64);
+        }
+    }
+}

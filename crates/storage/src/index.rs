@@ -1,0 +1,244 @@
+//! Secondary indexes: hash (point lookups) and B-tree (range scans).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crowddb_common::{TupleId, Value};
+
+/// The physical kind of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash index: O(1) point lookups, no range scans.
+    Hash,
+    /// B-tree index: ordered, supports range scans.
+    BTree,
+}
+
+/// Wrapper giving composite keys a total order based on
+/// [`Value::sort_cmp`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndexKey(pub Vec<Value>);
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            let ord = a.sort_cmp(b);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+/// A secondary index over one or more columns of a table.
+///
+/// Indexes are non-unique at this layer; uniqueness (primary keys, unique
+/// indexes) is enforced by the table before insertion by consulting
+/// [`Index::get`].
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// Index name (unique within the database).
+    pub name: String,
+    /// Ordinals of the indexed columns.
+    pub columns: Vec<usize>,
+    /// Enforce key uniqueness?
+    pub unique: bool,
+    kind: IndexKind,
+    hash: HashMap<IndexKey, Vec<TupleId>>,
+    btree: BTreeMap<IndexKey, Vec<TupleId>>,
+}
+
+impl Index {
+    /// Create an empty index.
+    pub fn new(name: impl Into<String>, columns: Vec<usize>, kind: IndexKind, unique: bool) -> Index {
+        Index {
+            name: name.into(),
+            columns,
+            unique,
+            kind,
+            hash: HashMap::new(),
+            btree: BTreeMap::new(),
+        }
+    }
+
+    /// The physical kind.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Extract this index's key from a full table row.
+    pub fn key_of(&self, row: &[Value]) -> IndexKey {
+        IndexKey(self.columns.iter().map(|&i| row[i].clone()).collect())
+    }
+
+    /// Insert a (key, tuple) pair.
+    pub fn insert(&mut self, key: IndexKey, tid: TupleId) {
+        match self.kind {
+            IndexKind::Hash => self.hash.entry(key).or_default().push(tid),
+            IndexKind::BTree => self.btree.entry(key).or_default().push(tid),
+        }
+    }
+
+    /// Remove a (key, tuple) pair; returns whether it was present.
+    pub fn remove(&mut self, key: &IndexKey, tid: TupleId) -> bool {
+        let bucket = match self.kind {
+            IndexKind::Hash => self.hash.get_mut(key),
+            IndexKind::BTree => self.btree.get_mut(key),
+        };
+        let Some(bucket) = bucket else { return false };
+        let before = bucket.len();
+        bucket.retain(|t| *t != tid);
+        let removed = bucket.len() < before;
+        if bucket.is_empty() {
+            match self.kind {
+                IndexKind::Hash => {
+                    self.hash.remove(key);
+                }
+                IndexKind::BTree => {
+                    self.btree.remove(key);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &IndexKey) -> &[TupleId] {
+        match self.kind {
+            IndexKind::Hash => self.hash.get(key).map(Vec::as_slice).unwrap_or(&[]),
+            IndexKind::BTree => self.btree.get(key).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    /// Range scan (B-tree only): all tuples with `low <= key <= high`;
+    /// either bound may be `None` for an open end. Returns `None` for hash
+    /// indexes.
+    pub fn range(
+        &self,
+        low: Option<&IndexKey>,
+        high: Option<&IndexKey>,
+    ) -> Option<Vec<TupleId>> {
+        if self.kind != IndexKind::BTree {
+            return None;
+        }
+        use std::ops::Bound;
+        let lo = match low {
+            Some(k) => Bound::Included(k.clone()),
+            None => Bound::Unbounded,
+        };
+        let hi = match high {
+            Some(k) => Bound::Included(k.clone()),
+            None => Bound::Unbounded,
+        };
+        Some(
+            self.btree
+                .range((lo, hi))
+                .flat_map(|(_, tids)| tids.iter().copied())
+                .collect(),
+        )
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn distinct_keys(&self) -> usize {
+        match self.kind {
+            IndexKind::Hash => self.hash.len(),
+            IndexKind::BTree => self.btree.len(),
+        }
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.hash.clear();
+        self.btree.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vs: Vec<Value>) -> IndexKey {
+        IndexKey(vs)
+    }
+
+    #[test]
+    fn hash_point_lookup() {
+        let mut idx = Index::new("i", vec![0], IndexKind::Hash, false);
+        idx.insert(key(vec![Value::str("a")]), TupleId(1));
+        idx.insert(key(vec![Value::str("a")]), TupleId(2));
+        idx.insert(key(vec![Value::str("b")]), TupleId(3));
+        assert_eq!(idx.get(&key(vec![Value::str("a")])), &[TupleId(1), TupleId(2)]);
+        assert_eq!(idx.get(&key(vec![Value::str("c")])), &[] as &[TupleId]);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert!(idx.range(None, None).is_none());
+    }
+
+    #[test]
+    fn remove_cleans_empty_buckets() {
+        let mut idx = Index::new("i", vec![0], IndexKind::Hash, false);
+        let k = key(vec![Value::Int(7)]);
+        idx.insert(k.clone(), TupleId(1));
+        assert!(idx.remove(&k, TupleId(1)));
+        assert!(!idx.remove(&k, TupleId(1)));
+        assert_eq!(idx.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn btree_range_scan() {
+        let mut idx = Index::new("i", vec![0], IndexKind::BTree, false);
+        for i in 0..10 {
+            idx.insert(key(vec![Value::Int(i)]), TupleId(i as u64));
+        }
+        let hits = idx
+            .range(
+                Some(&key(vec![Value::Int(3)])),
+                Some(&key(vec![Value::Int(6)])),
+            )
+            .unwrap();
+        assert_eq!(hits, vec![TupleId(3), TupleId(4), TupleId(5), TupleId(6)]);
+        let all = idx.range(None, None).unwrap();
+        assert_eq!(all.len(), 10);
+        let upper = idx.range(Some(&key(vec![Value::Int(8)])), None).unwrap();
+        assert_eq!(upper, vec![TupleId(8), TupleId(9)]);
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        let a = key(vec![Value::str("a"), Value::Int(2)]);
+        let b = key(vec![Value::str("a"), Value::Int(10)]);
+        let c = key(vec![Value::str("b"), Value::Int(0)]);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn prefix_key_sorts_before_extension() {
+        let short = key(vec![Value::str("a")]);
+        let long = key(vec![Value::str("a"), Value::Int(1)]);
+        assert!(short < long);
+    }
+
+    #[test]
+    fn missing_values_in_keys() {
+        // NULL and CNULL participate in index order (sorted first).
+        let mut idx = Index::new("i", vec![0], IndexKind::BTree, false);
+        idx.insert(key(vec![Value::Null]), TupleId(0));
+        idx.insert(key(vec![Value::CNull]), TupleId(1));
+        idx.insert(key(vec![Value::Int(1)]), TupleId(2));
+        let all = idx.range(None, None).unwrap();
+        assert_eq!(all, vec![TupleId(0), TupleId(1), TupleId(2)]);
+    }
+
+    #[test]
+    fn key_of_extracts_columns() {
+        let idx = Index::new("i", vec![2, 0], IndexKind::Hash, false);
+        let row = vec![Value::Int(1), Value::str("x"), Value::Bool(true)];
+        assert_eq!(idx.key_of(&row), key(vec![Value::Bool(true), Value::Int(1)]));
+    }
+}

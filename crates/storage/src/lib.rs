@@ -1,0 +1,28 @@
+//! # crowddb-storage
+//!
+//! The CrowdDB storage engine: an in-memory row store with a catalog,
+//! heap tables, hash and B-tree secondary indexes, and a compact binary
+//! row codec used for snapshots.
+//!
+//! The paper's prototype reused the H2 storage engine; this crate is the
+//! equivalent substrate built from scratch. It is deliberately simple —
+//! CrowdDB's contribution is *above* the storage layer — but complete
+//! enough to be a real engine: constraint enforcement (primary keys, NOT
+//! NULL, types), tombstoned deletes with stable tuple ids, index
+//! maintenance on every mutation, and table statistics that feed the
+//! optimizer's cardinality estimates.
+//!
+//! Everything sourced from the crowd is written back through
+//! [`Database`], which is how CrowdDB "memorizes the results sourced from
+//! the crowd" (paper §3).
+
+pub mod catalog;
+pub mod codec;
+pub mod db;
+pub mod index;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use db::Database;
+pub use index::{Index, IndexKind};
+pub use table::{HeapTable, TableStats};

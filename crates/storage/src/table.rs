@@ -1,0 +1,487 @@
+//! Heap tables with stable tuple ids, constraint enforcement, and index
+//! maintenance.
+
+
+use crowddb_common::{CrowdError, Result, Row, TableSchema, TupleId, Value};
+
+use crate::index::{Index, IndexKey, IndexKind};
+
+/// Statistics maintained incrementally and consumed by the optimizer's
+/// cardinality annotation (paper §3.2.2: "the heuristic first annotates
+/// the query plan with the cardinality predictions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableStats {
+    /// Live (non-deleted) rows.
+    pub live_rows: usize,
+    /// Total slots including tombstones.
+    pub total_slots: usize,
+    /// Number of CNULL values currently stored.
+    pub cnull_values: usize,
+}
+
+/// A heap table: rows in insertion order with tombstoned deletes.
+///
+/// Tuple ids are slot indexes and remain stable for the lifetime of the
+/// row; they are never reused after deletion. The table owns its secondary
+/// indexes and keeps them consistent on every mutation.
+#[derive(Debug, Clone)]
+pub struct HeapTable {
+    schema: TableSchema,
+    slots: Vec<Option<Row>>,
+    indexes: Vec<Index>,
+    cnull_values: usize,
+    live_rows: usize,
+}
+
+impl HeapTable {
+    /// Create an empty table. If the schema declares a primary key, a
+    /// unique hash index named `<table>_pk` is created automatically.
+    pub fn new(schema: TableSchema) -> HeapTable {
+        let mut t = HeapTable {
+            slots: Vec::new(),
+            indexes: Vec::new(),
+            cnull_values: 0,
+            live_rows: 0,
+            schema,
+        };
+        if !t.schema.primary_key.is_empty() {
+            let idx = Index::new(
+                format!("{}_pk", t.schema.name),
+                t.schema.primary_key.clone(),
+                IndexKind::Hash,
+                true,
+            );
+            t.indexes.push(idx);
+        }
+        t
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            live_rows: self.live_rows,
+            total_slots: self.slots.len(),
+            cnull_values: self.cnull_values,
+        }
+    }
+
+    /// Validate a row against the schema: arity, types (with implicit
+    /// widening), NOT NULL. Returns the coerced row.
+    ///
+    /// CNULL is only legal in CROWD columns; a CNULL in a regular column
+    /// is rejected, because nothing would ever crowdsource it.
+    pub fn validate_row(&self, row: Row) -> Result<Row> {
+        if row.arity() != self.schema.arity() {
+            return Err(CrowdError::Constraint(format!(
+                "table '{}' expects {} columns, got {}",
+                self.schema.name,
+                self.schema.arity(),
+                row.arity()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.arity());
+        for (i, v) in row.into_values().into_iter().enumerate() {
+            let col = &self.schema.columns[i];
+            v.validate().map_err(CrowdError::Constraint)?;
+            if v.is_cnull() && !col.crowd && !self.schema.crowd_table {
+                return Err(CrowdError::Constraint(format!(
+                    "column '{}' of table '{}' is not a CROWD column; CNULL not allowed",
+                    col.name, self.schema.name
+                )));
+            }
+            if matches!(v, Value::Null) && col.not_null {
+                return Err(CrowdError::Constraint(format!(
+                    "column '{}' of table '{}' is NOT NULL",
+                    col.name, self.schema.name
+                )));
+            }
+            let coerced = v.clone().coerce_to(col.data_type).ok_or_else(|| {
+                CrowdError::Constraint(format!(
+                    "value {} is not assignable to column '{}' ({}) of table '{}'",
+                    v.sql_literal(),
+                    col.name,
+                    col.data_type,
+                    self.schema.name
+                ))
+            })?;
+            out.push(coerced);
+        }
+        Ok(Row::new(out))
+    }
+
+    fn check_unique(&self, idx: &Index, key: &IndexKey, ignore: Option<TupleId>) -> Result<()> {
+        if !idx.unique {
+            return Ok(());
+        }
+        // Keys containing missing values never conflict (SQL semantics).
+        if key.0.iter().any(Value::is_missing) {
+            return Ok(());
+        }
+        let hit = idx.get(key).iter().any(|t| Some(*t) != ignore);
+        if hit {
+            return Err(CrowdError::Constraint(format!(
+                "unique constraint '{}' violated by key {:?}",
+                idx.name,
+                key.0.iter().map(Value::sql_literal).collect::<Vec<_>>()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Insert a row, returning its tuple id.
+    pub fn insert(&mut self, row: Row) -> Result<TupleId> {
+        let row = self.validate_row(row)?;
+        let tid = TupleId(self.slots.len() as u64);
+        for idx in &self.indexes {
+            let key = idx.key_of(row.values());
+            self.check_unique(idx, &key, None)?;
+        }
+        for idx in &mut self.indexes {
+            let key = idx.key_of(row.values());
+            idx.insert(key, tid);
+        }
+        self.cnull_values += row.cnull_columns().len();
+        self.live_rows += 1;
+        self.slots.push(Some(row));
+        Ok(tid)
+    }
+
+    /// Fetch a live row by tuple id.
+    pub fn get(&self, tid: TupleId) -> Option<&Row> {
+        self.slots.get(tid.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Delete a row. Returns whether it existed.
+    pub fn delete(&mut self, tid: TupleId) -> bool {
+        let Some(slot) = self.slots.get_mut(tid.0 as usize) else {
+            return false;
+        };
+        let Some(row) = slot.take() else {
+            return false;
+        };
+        for idx in &mut self.indexes {
+            let key = idx.key_of(row.values());
+            idx.remove(&key, tid);
+        }
+        self.cnull_values -= row.cnull_columns().len();
+        self.live_rows -= 1;
+        true
+    }
+
+    /// Replace an entire row in place.
+    pub fn update(&mut self, tid: TupleId, new_row: Row) -> Result<()> {
+        let new_row = self.validate_row(new_row)?;
+        let old = self
+            .get(tid)
+            .ok_or_else(|| CrowdError::Exec(format!("tuple {tid} not found")))?
+            .clone();
+        for idx in &self.indexes {
+            let key = idx.key_of(new_row.values());
+            self.check_unique(idx, &key, Some(tid))?;
+        }
+        for idx in &mut self.indexes {
+            let old_key = idx.key_of(old.values());
+            let new_key = idx.key_of(new_row.values());
+            if old_key != new_key {
+                idx.remove(&old_key, tid);
+                idx.insert(new_key, tid);
+            }
+        }
+        self.cnull_values -= old.cnull_columns().len();
+        self.cnull_values += new_row.cnull_columns().len();
+        self.slots[tid.0 as usize] = Some(new_row);
+        Ok(())
+    }
+
+    /// Update a single column of a row — the write-back path used when a
+    /// crowd answer arrives for a `CNULL` value.
+    pub fn update_value(&mut self, tid: TupleId, col: usize, value: Value) -> Result<()> {
+        let row = self
+            .get(tid)
+            .ok_or_else(|| CrowdError::Exec(format!("tuple {tid} not found")))?;
+        let mut new_row = row.clone();
+        if col >= new_row.arity() {
+            return Err(CrowdError::Exec(format!(
+                "column index {col} out of range for table '{}'",
+                self.schema.name
+            )));
+        }
+        new_row.set(col, value);
+        self.update(tid, new_row)
+    }
+
+    /// Iterate over live `(tuple id, row)` pairs in insertion order.
+    pub fn scan(&self) -> impl Iterator<Item = (TupleId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (TupleId(i as u64), r)))
+    }
+
+    /// Materialize all live rows (used by executor table scans).
+    pub fn scan_rows(&self) -> Vec<(TupleId, Row)> {
+        self.scan().map(|(t, r)| (t, r.clone())).collect()
+    }
+
+    /// Add a secondary index, backfilling existing rows.
+    pub fn add_index(&mut self, mut index: Index) -> Result<()> {
+        if self.indexes.iter().any(|i| i.name == index.name) {
+            return Err(CrowdError::Catalog(format!(
+                "index '{}' already exists on table '{}'",
+                index.name, self.schema.name
+            )));
+        }
+        index.clear();
+        for (tid, row) in self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref().map(|r| (TupleId(i as u64), r))
+        }) {
+            let key = index.key_of(row.values());
+            self.check_unique(&index, &key, None)?;
+            index.insert(key, tid);
+        }
+        self.indexes.push(index);
+        Ok(())
+    }
+
+    /// All indexes on this table.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Find an index whose leading columns equal `cols` exactly.
+    pub fn index_on(&self, cols: &[usize]) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.columns == cols)
+    }
+
+    /// Look up tuples by primary-key value (if a PK exists).
+    pub fn lookup_pk(&self, key_values: &[Value]) -> Vec<TupleId> {
+        if self.schema.primary_key.is_empty() {
+            return Vec::new();
+        }
+        match self.index_on(&self.schema.primary_key) {
+            Some(idx) => idx.get(&IndexKey(key_values.to_vec())).to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::{row, ColumnDef, DataType};
+
+    fn talk_table() -> HeapTable {
+        let schema = TableSchema::new(
+            "talk",
+            vec![
+                ColumnDef::new("title", DataType::Str),
+                ColumnDef::new("abstract", DataType::Str).crowd(),
+                ColumnDef::new("nb_attendees", DataType::Int).crowd(),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["title"])
+        .unwrap();
+        HeapTable::new(schema)
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = talk_table();
+        let t1 = t.insert(row!["CrowdDB", Value::CNull, Value::CNull]).unwrap();
+        let t2 = t.insert(row!["Qurk", "abstract text", 120i64]).unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(t.stats().live_rows, 2);
+        assert_eq!(t.stats().cnull_values, 2);
+        let rows: Vec<_> = t.scan().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1[0], Value::str("CrowdDB"));
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut t = talk_table();
+        t.insert(row!["CrowdDB", Value::CNull, Value::CNull]).unwrap();
+        let err = t
+            .insert(row!["CrowdDB", Value::CNull, Value::CNull])
+            .unwrap_err();
+        assert_eq!(err.category(), "constraint");
+        assert_eq!(t.stats().live_rows, 1);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = talk_table();
+        let err = t.insert(row!["x", "abs", "not a number"]).unwrap_err();
+        assert_eq!(err.category(), "constraint");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = talk_table();
+        assert!(t.insert(row!["x"]).is_err());
+    }
+
+    #[test]
+    fn cnull_only_in_crowd_columns() {
+        let mut t = talk_table();
+        let err = t.insert(row![Value::CNull, "a", 1i64]).unwrap_err();
+        assert!(err.message().contains("not a CROWD column"), "{err}");
+    }
+
+    #[test]
+    fn cnull_anywhere_in_crowd_tables() {
+        let schema = TableSchema::new(
+            "attendee",
+            vec![
+                ColumnDef::new("name", DataType::Str),
+                ColumnDef::new("title", DataType::Str),
+            ],
+        )
+        .unwrap()
+        .crowd();
+        let mut t = HeapTable::new(schema);
+        assert!(t.insert(row!["Alice", Value::CNull]).is_ok());
+    }
+
+    #[test]
+    fn not_null_enforced_on_pk() {
+        let mut t = talk_table();
+        let err = t.insert(row![Value::Null, "a", 1i64]).unwrap_err();
+        assert_eq!(err.category(), "constraint");
+    }
+
+    #[test]
+    fn delete_updates_stats_and_index() {
+        let mut t = talk_table();
+        let tid = t.insert(row!["CrowdDB", Value::CNull, 5i64]).unwrap();
+        assert!(t.delete(tid));
+        assert!(!t.delete(tid));
+        assert_eq!(t.stats().live_rows, 0);
+        assert_eq!(t.stats().cnull_values, 0);
+        // PK is free again after deletion.
+        t.insert(row!["CrowdDB", "a", 5i64]).unwrap();
+    }
+
+    #[test]
+    fn tuple_ids_not_reused() {
+        let mut t = talk_table();
+        let t1 = t.insert(row!["a", "x", 1i64]).unwrap();
+        t.delete(t1);
+        let t2 = t.insert(row!["b", "y", 2i64]).unwrap();
+        assert_ne!(t1, t2);
+        assert!(t.get(t1).is_none());
+        assert!(t.get(t2).is_some());
+    }
+
+    #[test]
+    fn update_value_write_back() {
+        let mut t = talk_table();
+        let tid = t.insert(row!["CrowdDB", Value::CNull, Value::CNull]).unwrap();
+        t.update_value(tid, 1, Value::str("the abstract")).unwrap();
+        assert_eq!(t.get(tid).unwrap()[1], Value::str("the abstract"));
+        assert_eq!(t.stats().cnull_values, 1);
+        t.update_value(tid, 2, Value::Int(250)).unwrap();
+        assert_eq!(t.stats().cnull_values, 0);
+    }
+
+    #[test]
+    fn update_maintains_pk_index() {
+        let mut t = talk_table();
+        let tid = t.insert(row!["Old", Value::CNull, 1i64]).unwrap();
+        t.update_value(tid, 0, Value::str("New")).unwrap();
+        assert_eq!(t.lookup_pk(&[Value::str("New")]), vec![tid]);
+        assert!(t.lookup_pk(&[Value::str("Old")]).is_empty());
+    }
+
+    #[test]
+    fn update_pk_conflict_rejected() {
+        let mut t = talk_table();
+        t.insert(row!["A", Value::CNull, 1i64]).unwrap();
+        let tid_b = t.insert(row!["B", Value::CNull, 2i64]).unwrap();
+        let err = t.update_value(tid_b, 0, Value::str("A")).unwrap_err();
+        assert_eq!(err.category(), "constraint");
+        // Row B unchanged after the failed update.
+        assert_eq!(t.get(tid_b).unwrap()[0], Value::str("B"));
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let schema = TableSchema::new(
+            "m",
+            vec![ColumnDef::new("score", DataType::Float)],
+        )
+        .unwrap();
+        let mut t = HeapTable::new(schema);
+        let tid = t.insert(row![3i64]).unwrap();
+        assert_eq!(t.get(tid).unwrap()[0], Value::Float(3.0));
+    }
+
+    #[test]
+    fn secondary_index_backfill_and_lookup() {
+        let mut t = talk_table();
+        t.insert(row!["a", "x", 10i64]).unwrap();
+        t.insert(row!["b", "y", 20i64]).unwrap();
+        t.insert(row!["c", "z", 10i64]).unwrap();
+        t.add_index(Index::new("talk_att", vec![2], IndexKind::BTree, false))
+            .unwrap();
+        let idx = t.index_on(&[2]).unwrap();
+        assert_eq!(idx.get(&IndexKey(vec![Value::Int(10)])).len(), 2);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = talk_table();
+        t.add_index(Index::new("i1", vec![2], IndexKind::Hash, false))
+            .unwrap();
+        assert!(t
+            .add_index(Index::new("i1", vec![1], IndexKind::Hash, false))
+            .is_err());
+    }
+
+    #[test]
+    fn unique_index_backfill_conflict() {
+        let mut t = talk_table();
+        t.insert(row!["a", "x", 10i64]).unwrap();
+        t.insert(row!["b", "y", 10i64]).unwrap();
+        let err = t
+            .add_index(Index::new("u", vec![2], IndexKind::Hash, true))
+            .unwrap_err();
+        assert_eq!(err.category(), "constraint");
+    }
+
+    #[test]
+    fn nulls_do_not_conflict_in_unique_index() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("email", DataType::Str),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["id"])
+        .unwrap();
+        let mut t = HeapTable::new(schema);
+        t.add_index(Index::new("u_email", vec![1], IndexKind::Hash, true))
+            .unwrap();
+        t.insert(row![1i64, Value::Null]).unwrap();
+        t.insert(row![2i64, Value::Null]).unwrap(); // no conflict
+        let err = t.insert(row![3i64, Value::Null]);
+        assert!(err.is_ok());
+    }
+
+    #[test]
+    fn nan_rejected_at_insert() {
+        let schema =
+            TableSchema::new("m", vec![ColumnDef::new("score", DataType::Float)]).unwrap();
+        let mut t = HeapTable::new(schema);
+        assert!(t.insert(row![f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal HTML construction helpers.
+
+/// Escape text for safe inclusion in HTML content or attribute values.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// A labeled read-only field (known value copied into the form).
+pub fn readonly_field(label: &str, value: &str) -> String {
+    format!(
+        "<div class=\"field known\"><label>{}</label>\
+         <input type=\"text\" name=\"{}\" value=\"{}\" readonly></div>",
+        escape(label),
+        escape(label),
+        escape(value)
+    )
+}
+
+/// A labeled input field the worker must fill.
+pub fn input_field(label: &str, hint: &str) -> String {
+    format!(
+        "<div class=\"field asked\"><label>{}</label>\
+         <input type=\"text\" name=\"{}\" placeholder=\"{}\"></div>",
+        escape(label),
+        escape(label),
+        escape(hint)
+    )
+}
+
+/// A two-option radio choice (used by compare tasks).
+pub fn radio_choice(name: &str, options: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (value, label) in options {
+        out.push_str(&format!(
+            "<label class=\"choice\"><input type=\"radio\" name=\"{}\" value=\"{}\"> {}</label>",
+            escape(name),
+            escape(value),
+            escape(label)
+        ));
+    }
+    out
+}
+
+/// Wrap a body in a complete submit-able form page.
+pub fn page(title: &str, instructions: &str, body: &str, mobile: bool) -> String {
+    let class = if mobile { "crowddb mobile" } else { "crowddb mturk" };
+    format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         {viewport}<title>{title}</title></head>\
+         <body class=\"{class}\"><h1>{title}</h1>\
+         <p class=\"instructions\">{instructions}</p>\
+         <form method=\"post\" action=\"submit\">{body}\
+         <button type=\"submit\">Submit</button></form></body></html>",
+        viewport = if mobile {
+            "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">"
+        } else {
+            ""
+        },
+        title = escape(title),
+        instructions = escape(instructions),
+        class = class,
+        body = body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&#39;c");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn readonly_field_escapes_value() {
+        let h = readonly_field("title", "Crowd<DB>");
+        assert!(h.contains("value=\"Crowd&lt;DB&gt;\""));
+        assert!(h.contains("readonly"));
+    }
+
+    #[test]
+    fn input_field_has_no_value() {
+        let h = input_field("abstract", "enter the abstract");
+        assert!(h.contains("placeholder=\"enter the abstract\""));
+        assert!(!h.contains("readonly"));
+    }
+
+    #[test]
+    fn radio_choice_lists_options() {
+        let h = radio_choice("verdict", &[("yes", "Same"), ("no", "Different")]);
+        assert_eq!(h.matches("type=\"radio\"").count(), 2);
+        assert!(h.contains("value=\"yes\""));
+    }
+
+    #[test]
+    fn page_structure() {
+        let p = page("Fill the table", "Do it well", "<div>x</div>", false);
+        assert!(p.starts_with("<!DOCTYPE html>"));
+        assert!(p.contains("<form method=\"post\""));
+        assert!(p.contains("class=\"crowddb mturk\""));
+        assert!(!p.contains("viewport"));
+        let m = page("t", "i", "b", true);
+        assert!(m.contains("viewport"));
+        assert!(m.contains("class=\"crowddb mobile\""));
+    }
+}

@@ -1,0 +1,188 @@
+//! Runtime rendering of platform tasks into worker-facing pages.
+//!
+//! The Task Manager calls these when posting a HIT; the result is the
+//! HTML the platform would display — Figure 2 (Mechanical Turk page) and
+//! Figure 3 (mobile page) of the demo paper.
+
+use crowddb_platform::TaskKind;
+
+use crate::html;
+
+/// Render a task as a Mechanical-Turk-style HTML page.
+pub fn render_task(kind: &TaskKind) -> String {
+    render(kind, false)
+}
+
+/// Render a task as a compact mobile page (paper Fig. 3).
+pub fn render_mobile_task(kind: &TaskKind) -> String {
+    render(kind, true)
+}
+
+fn render(kind: &TaskKind, mobile: bool) -> String {
+    match kind {
+        TaskKind::Probe {
+            table,
+            known,
+            asked,
+            instructions,
+        } => {
+            let mut body = format!(
+                "<p class=\"table-name\">Table: <b>{}</b></p>",
+                html::escape(table)
+            );
+            for (col, val) in known {
+                body.push_str(&html::readonly_field(col, val));
+            }
+            for (col, ty) in asked {
+                body.push_str(&html::input_field(col, &format!("{col} ({ty})")));
+            }
+            html::page(
+                "Please fill out missing fields of the following Table",
+                instructions,
+                &body,
+                mobile,
+            )
+        }
+        TaskKind::NewTuples {
+            table,
+            columns,
+            preset,
+            max_tuples,
+            instructions,
+        } => {
+            let mut body = format!(
+                "<p class=\"table-name\">Table: <b>{}</b> \
+                 <span class=\"max\">(up to {} entries)</span></p>",
+                html::escape(table),
+                max_tuples
+            );
+            for (col, val) in preset {
+                body.push_str(&html::readonly_field(col, val));
+            }
+            for (col, ty) in columns {
+                body.push_str(&html::input_field(col, &format!("{col} ({ty})")));
+            }
+            html::page(
+                &format!("Please add new entries to the {table} table"),
+                instructions,
+                &body,
+                mobile,
+            )
+        }
+        TaskKind::Equal {
+            left,
+            right,
+            instruction,
+        } => {
+            let mut body = format!(
+                "<div class=\"pair\"><span class=\"left\">{}</span> \
+                 <span class=\"vs\">vs</span> \
+                 <span class=\"right\">{}</span></div>",
+                html::escape(left),
+                html::escape(right)
+            );
+            body.push_str(&html::radio_choice(
+                "verdict",
+                &[("yes", "Yes, the same"), ("no", "No, different")],
+            ));
+            html::page("Do these refer to the same thing?", instruction, &body, mobile)
+        }
+        TaskKind::Order {
+            left,
+            right,
+            instruction,
+        } => {
+            let body = html::radio_choice(
+                "choice",
+                &[(&format!("left:{left}"), left), (&format!("right:{right}"), right)],
+            );
+            html::page("Please pick one", instruction, &body, mobile)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::DataType;
+
+    fn probe() -> TaskKind {
+        TaskKind::Probe {
+            table: "talk".into(),
+            known: vec![("title".into(), "CrowdDB".into())],
+            asked: vec![("abstract".into(), DataType::Str)],
+            instructions: "Enter the missing information for the Talk.".into(),
+        }
+    }
+
+    #[test]
+    fn probe_page_matches_paper_figure_2_structure() {
+        let page = render_task(&probe());
+        // Known value copied into the form...
+        assert!(page.contains("value=\"CrowdDB\""));
+        assert!(page.contains("readonly"));
+        // ...asked field becomes an input...
+        assert!(page.contains("name=\"abstract\""));
+        // ...with instructions referring to the table.
+        assert!(page.contains("missing fields of the following Table"));
+        assert!(page.contains("Table: <b>talk</b>"));
+    }
+
+    #[test]
+    fn mobile_page_is_responsive_variant() {
+        let m = render_mobile_task(&probe());
+        assert!(m.contains("viewport"));
+        assert!(m.contains("class=\"crowddb mobile\""));
+        assert!(render_task(&probe()).contains("class=\"crowddb mturk\""));
+    }
+
+    #[test]
+    fn equal_page_has_binary_choice() {
+        let page = render_task(&TaskKind::Equal {
+            left: "I.B.M.".into(),
+            right: "IBM".into(),
+            instruction: "Are these the same company?".into(),
+        });
+        assert!(page.contains("I.B.M."));
+        assert_eq!(page.matches("type=\"radio\"").count(), 2);
+        assert!(page.contains("Are these the same company?"));
+    }
+
+    #[test]
+    fn order_page_shows_both_items() {
+        let page = render_task(&TaskKind::Order {
+            left: "Talk A".into(),
+            right: "Talk B".into(),
+            instruction: "Which talk did you like better".into(),
+        });
+        assert!(page.contains("Talk A"));
+        assert!(page.contains("Talk B"));
+        assert!(page.contains("Which talk did you like better"));
+    }
+
+    #[test]
+    fn new_tuples_page_shows_preset_and_limit() {
+        let page = render_task(&TaskKind::NewTuples {
+            table: "notableattendee".into(),
+            columns: vec![("name".into(), DataType::Str)],
+            preset: vec![("title".into(), "CrowdDB".into())],
+            max_tuples: 3,
+            instructions: String::new(),
+        });
+        assert!(page.contains("up to 3 entries"));
+        assert!(page.contains("value=\"CrowdDB\""));
+        assert!(page.contains("name=\"name\""));
+    }
+
+    #[test]
+    fn html_is_escaped_everywhere() {
+        let page = render_task(&TaskKind::Equal {
+            left: "<b>x</b>".into(),
+            right: "&y".into(),
+            instruction: "<i>q</i>".into(),
+        });
+        assert!(!page.contains("<b>x</b>"));
+        assert!(page.contains("&lt;b&gt;x&lt;/b&gt;"));
+        assert!(page.contains("&amp;y"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The `crowddb` interactive shell — the reproduction of the paper's
+//! live demo: type CrowdSQL, watch tasks go to the (simulated) crowd,
+//! inspect plans, task pages, and the worker community.
+//!
+//! ```text
+//! cargo run --bin crowddb
+//! crowddb> CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING);
+//! crowddb> INSERT INTO Talk (title) VALUES ('CrowdDB');
+//! crowddb> SELECT abstract FROM Talk WHERE title = 'CrowdDB';
+//! ```
+//!
+//! Meta commands: `\help`, `\tables`, `\schema <t>`, `\explain <sql>`,
+//! `\preview <sql>`, `\platform <amt|mobile> [seed]`, `\wrm`, `\stats`,
+//! `\quit`.
+
+use std::io::{self, BufRead, Write};
+
+use crowddb::{CrowdDB, Platform, SimPlatform};
+use crowddb_platform::PerfectModel;
+
+fn make_platform(kind: &str, seed: u64) -> Result<Box<dyn Platform>, String> {
+    match kind {
+        "amt" => Ok(Box::new(SimPlatform::amt(seed, Box::new(PerfectModel)))),
+        "mobile" => Ok(Box::new(SimPlatform::mobile(
+            seed,
+            (47.6114, -122.3305),
+            Box::new(PerfectModel),
+        ))),
+        other => Err(format!(
+            "unknown platform '{other}' (expected 'amt' or 'mobile')"
+        )),
+    }
+}
+
+fn print_help() {
+    println!(
+        "CrowdSQL statements end with ';'. Meta commands:\n\
+         \\help                 this message\n\
+         \\tables               list tables\n\
+         \\schema <table>       show a table's DDL\n\
+         \\explain <sql>        optimized plan + cardinality + boundedness\n\
+         \\preview <sql>        HTML of the first crowd task the query would post\n\
+         \\platform <k> [seed]  switch crowd platform (amt | mobile)\n\
+         \\source <file>        run a ;-separated CrowdSQL script\n\
+         \\wrm                  worker-community report\n\
+         \\stats                platform counters\n\
+         \\quit                 exit\n\
+         The simulated crowd answers with deterministic placeholder values\n\
+         (PerfectModel); run the examples for realistic world models."
+    );
+}
+
+fn run_meta(db: &CrowdDB, platform: &mut Box<dyn Platform>, line: &str) -> bool {
+    let mut parts = line.splitn(2, ' ');
+    let cmd = parts.next().unwrap_or("");
+    let arg = parts.next().unwrap_or("").trim();
+    match cmd {
+        "\\help" | "\\h" | "\\?" => print_help(),
+        "\\quit" | "\\q" => return false,
+        "\\tables" => {
+            for name in db.storage().table_names() {
+                let stats = db.storage().stats(&name).unwrap_or_default_stats();
+                println!("{name} ({} rows, {} CNULLs)", stats.0, stats.1);
+            }
+        }
+        "\\schema" => match db.storage().schema(arg) {
+            Ok(s) => println!("{}", s.to_ddl()),
+            Err(e) => println!("error: {e}"),
+        },
+        "\\explain" => match db.explain(arg) {
+            Ok(text) => println!("{text}"),
+            Err(e) => println!("error: {e}"),
+        },
+        "\\preview" => match db.preview_first_task(arg) {
+            Ok(Some(html)) => println!("{html}"),
+            Ok(None) => println!("(the query needs no crowd task right now)"),
+            Err(e) => println!("error: {e}"),
+        },
+        "\\platform" => {
+            let mut words = arg.split_whitespace();
+            let kind = words.next().unwrap_or("amt");
+            let seed = words
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42u64);
+            match make_platform(kind, seed) {
+                Ok(p) => {
+                    *platform = p;
+                    println!("switched to '{}' (seed {seed})", platform.name());
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        "\\source" => match std::fs::read_to_string(arg) {
+            Ok(script) => {
+                for stmt in script.split(';') {
+                    let stmt = stmt.trim();
+                    if stmt.is_empty() || stmt.starts_with("--") {
+                        continue;
+                    }
+                    println!("crowddb> {stmt};");
+                    match db.execute(stmt, platform.as_mut()) {
+                        Ok(r) => println!("{}", r.to_table()),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+            }
+            Err(e) => println!("error reading '{arg}': {e}"),
+        },
+        "\\wrm" => db.with_wrm(|wrm| {
+            println!(
+                "community: {} worker(s), {}¢ paid, top-3 share {:.0}%",
+                wrm.community_size(),
+                wrm.total_paid_cents(),
+                wrm.top_k_share(3) * 100.0
+            );
+            for (w, n) in wrm.work_distribution().into_iter().take(10) {
+                println!("  {w}: {n} assignment(s)");
+            }
+        }),
+        "\\stats" => {
+            let s = platform.stats();
+            println!(
+                "platform '{}': {} HIT(s) posted, {} assignment(s) done, {}¢ spent, \
+                 t = {:.0} virtual s",
+                platform.name(),
+                s.hits_posted,
+                s.assignments_completed,
+                s.cents_spent,
+                platform.now()
+            );
+        }
+        other => println!("unknown command '{other}' — try \\help"),
+    }
+    true
+}
+
+/// Tiny extension trait so \tables can show stats without unwrap noise.
+trait StatsOrDefault {
+    fn unwrap_or_default_stats(self) -> (usize, usize);
+}
+impl StatsOrDefault for crowddb::Result<crowddb_storage::TableStats> {
+    fn unwrap_or_default_stats(self) -> (usize, usize) {
+        self.map(|s| (s.live_rows, s.cnull_values)).unwrap_or((0, 0))
+    }
+}
+
+fn main() {
+    println!(
+        "CrowdDB shell — crowd-enabled SQL (reproduction of VLDB'11 demo).\n\
+         Type \\help for commands; statements end with ';'."
+    );
+    let db = CrowdDB::new();
+    let mut platform: Box<dyn Platform> =
+        Box::new(SimPlatform::amt(42, Box::new(PerfectModel)));
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("crowddb> ");
+        } else {
+            print!("    ...> ");
+        }
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            if !run_meta(&db, &mut platform, trimmed) {
+                break;
+            }
+            continue;
+        }
+        if trimmed.is_empty() {
+            continue;
+        }
+        buffer.push_str(&line);
+        if !trimmed.ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        match db.execute(sql.trim().trim_end_matches(';'), platform.as_mut()) {
+            Ok(r) => {
+                println!("{}", r.to_table());
+                if r.crowd.tasks_posted > 0 {
+                    println!(
+                        "crowd: {} task(s), {} answer(s), {}¢, {:.1} virtual min, {} round(s)",
+                        r.crowd.tasks_posted,
+                        r.crowd.answers_collected,
+                        r.crowd.cents_spent,
+                        r.crowd.virtual_secs / 60.0,
+                        r.crowd.rounds
+                    );
+                }
+                for w in &r.warnings {
+                    println!("note: {w}");
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

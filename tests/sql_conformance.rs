@@ -1,0 +1,358 @@
+//! SQL conformance over electronic data: CrowdDB must behave like a
+//! conventional DBMS when no crowd is involved ("Existing SQL queries
+//! can be run on CrowdDB", paper §1).
+
+use crowddb::{CrowdDB, Value};
+
+fn db() -> CrowdDB {
+    let db = CrowdDB::new();
+    for sql in [
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, name STRING, dept STRING, \
+         salary INTEGER, manager STRING)",
+        "CREATE TABLE dept (dept STRING PRIMARY KEY, building INTEGER)",
+        "INSERT INTO dept VALUES ('eng', 1), ('sales', 2), ('hr', 3)",
+        "INSERT INTO emp VALUES \
+         (1, 'ada', 'eng', 120, NULL), \
+         (2, 'bob', 'eng', 100, 'ada'), \
+         (3, 'cyd', 'sales', 90, NULL), \
+         (4, 'dan', 'sales', 80, 'cyd'), \
+         (5, 'eve', 'hr', 70, NULL), \
+         (6, 'fay', 'eng', 110, 'ada')",
+    ] {
+        db.execute_local(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    }
+    db
+}
+
+fn rows(db: &CrowdDB, sql: &str) -> Vec<Vec<String>> {
+    let r = db.execute_local(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    assert!(r.complete, "query should not need the crowd: {sql}");
+    r.rows
+        .iter()
+        .map(|row| row.values().iter().map(|v| v.to_string()).collect())
+        .collect()
+}
+
+#[test]
+fn select_with_predicates() {
+    let d = db();
+    assert_eq!(
+        rows(&d, "SELECT name FROM emp WHERE salary >= 100 AND dept = 'eng' ORDER BY name"),
+        vec![vec!["ada"], vec!["bob"], vec!["fay"]]
+    );
+    assert_eq!(
+        rows(&d, "SELECT name FROM emp WHERE salary BETWEEN 75 AND 95 ORDER BY name"),
+        vec![vec!["cyd"], vec!["dan"]]
+    );
+    assert_eq!(
+        rows(&d, "SELECT name FROM emp WHERE name LIKE '_a%' ORDER BY 1"),
+        vec![vec!["dan"], vec!["fay"]]
+    );
+    assert_eq!(
+        rows(&d, "SELECT name FROM emp WHERE dept IN ('hr', 'sales') ORDER BY name"),
+        vec![vec!["cyd"], vec!["dan"], vec!["eve"]]
+    );
+}
+
+#[test]
+fn null_semantics() {
+    let d = db();
+    assert_eq!(
+        rows(&d, "SELECT name FROM emp WHERE manager IS NULL ORDER BY name"),
+        vec![vec!["ada"], vec!["cyd"], vec!["eve"]]
+    );
+    // NULL = NULL is UNKNOWN, not TRUE.
+    assert_eq!(
+        rows(&d, "SELECT name FROM emp WHERE manager = manager AND manager IS NULL"),
+        Vec::<Vec<String>>::new()
+    );
+    assert_eq!(
+        rows(&d, "SELECT COUNT(*), COUNT(manager) FROM emp"),
+        vec![vec!["6", "3"]]
+    );
+}
+
+#[test]
+fn joins() {
+    let d = db();
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT e.name, d.building FROM emp e JOIN dept d ON e.dept = d.dept \
+             WHERE d.building < 3 ORDER BY e.name"
+        ),
+        vec![
+            vec!["ada", "1"],
+            vec!["bob", "1"],
+            vec!["cyd", "2"],
+            vec!["dan", "2"],
+            vec!["fay", "1"]
+        ]
+    );
+    // Self join: who works for ada?
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT e.name FROM emp e JOIN emp m ON e.manager = m.name \
+             WHERE m.name = 'ada' ORDER BY e.name"
+        ),
+        vec![vec!["bob"], vec!["fay"]]
+    );
+    // Left join keeps unmatched rows.
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT d.dept, COUNT(e.id) FROM dept d LEFT JOIN emp e ON d.dept = e.dept \
+             AND e.salary > 150 GROUP BY d.dept ORDER BY d.dept"
+        )
+        .len(),
+        3
+    );
+}
+
+#[test]
+fn aggregation() {
+    let d = db();
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT dept, COUNT(*), SUM(salary), MIN(salary), MAX(salary) FROM emp \
+             GROUP BY dept ORDER BY dept"
+        ),
+        vec![
+            vec!["eng", "3", "330", "100", "120"],
+            vec!["hr", "1", "70", "70", "70"],
+            vec!["sales", "2", "170", "80", "90"],
+        ]
+    );
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT dept FROM emp GROUP BY dept HAVING AVG(salary) >= 85 ORDER BY dept"
+        ),
+        vec![vec!["eng"], vec!["sales"]]
+    );
+    assert_eq!(
+        rows(&d, "SELECT COUNT(DISTINCT dept) FROM emp"),
+        vec![vec!["3"]]
+    );
+}
+
+#[test]
+fn sorting_limits_distinct() {
+    let d = db();
+    assert_eq!(
+        rows(&d, "SELECT name FROM emp ORDER BY salary DESC LIMIT 2"),
+        vec![vec!["ada"], vec!["fay"]]
+    );
+    assert_eq!(
+        rows(&d, "SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 2"),
+        vec![vec!["bob"], vec!["cyd"]]
+    );
+    assert_eq!(
+        rows(&d, "SELECT DISTINCT dept FROM emp ORDER BY dept"),
+        vec![vec!["eng"], vec!["hr"], vec!["sales"]]
+    );
+    // Multi-key sort.
+    assert_eq!(
+        rows(&d, "SELECT name FROM emp ORDER BY dept, salary DESC LIMIT 3"),
+        vec![vec!["ada"], vec!["fay"], vec!["bob"]]
+    );
+}
+
+#[test]
+fn expressions_and_functions() {
+    let d = db();
+    assert_eq!(
+        rows(&d, "SELECT UPPER(name), salary * 2 FROM emp WHERE id = 1"),
+        vec![vec!["ADA", "240"]]
+    );
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT name, CASE WHEN salary >= 110 THEN 'high' WHEN salary >= 85 THEN 'mid' \
+             ELSE 'low' END FROM emp ORDER BY id LIMIT 3"
+        ),
+        vec![
+            vec!["ada", "high"],
+            vec!["bob", "mid"],
+            vec!["cyd", "mid"]
+        ]
+    );
+    assert_eq!(
+        rows(&d, "SELECT COALESCE(manager, 'nobody') FROM emp WHERE id = 1"),
+        vec![vec!["nobody"]]
+    );
+    assert_eq!(
+        rows(&d, "SELECT CAST(salary AS STRING) || '$' FROM emp WHERE id = 5"),
+        vec![vec!["70$"]]
+    );
+}
+
+#[test]
+fn subqueries() {
+    let d = db();
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)"
+        ),
+        vec![vec!["ada"]]
+    );
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT name FROM emp WHERE dept IN \
+             (SELECT dept FROM dept WHERE building = 2) ORDER BY name"
+        ),
+        vec![vec!["cyd"], vec!["dan"]]
+    );
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT d.dept FROM dept d WHERE NOT EXISTS \
+             (SELECT e.id FROM emp e WHERE e.salary > 100) ORDER BY d.dept"
+        ),
+        Vec::<Vec<String>>::new()
+    );
+}
+
+#[test]
+fn dml_update_delete() {
+    let d = db();
+    let r = d
+        .execute_local("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'")
+        .unwrap();
+    assert_eq!(r.affected, 3);
+    assert_eq!(
+        rows(&d, "SELECT salary FROM emp WHERE id = 1"),
+        vec![vec!["130"]]
+    );
+    let r = d.execute_local("DELETE FROM emp WHERE dept = 'hr'").unwrap();
+    assert_eq!(r.affected, 1);
+    assert_eq!(rows(&d, "SELECT COUNT(*) FROM emp"), vec![vec!["5"]]);
+}
+
+#[test]
+fn constraint_violations_surface() {
+    let d = db();
+    let err = d
+        .execute_local("INSERT INTO emp VALUES (1, 'dup', 'eng', 1, NULL)")
+        .unwrap_err();
+    assert_eq!(err.category(), "constraint");
+    let err = d
+        .execute_local("INSERT INTO emp VALUES (7, 'x', 'eng', 'not a number', NULL)")
+        .unwrap_err();
+    assert_eq!(err.category(), "constraint");
+}
+
+#[test]
+fn derived_tables_and_alias_scoping() {
+    let d = db();
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT t.d, t.total FROM \
+             (SELECT dept AS d, SUM(salary) AS total FROM emp GROUP BY dept) AS t \
+             WHERE t.total > 100 ORDER BY t.total DESC"
+        ),
+        vec![vec!["eng", "330"], vec!["sales", "170"]]
+    );
+}
+
+#[test]
+fn values_only_queries() {
+    let d = db();
+    assert_eq!(rows(&d, "SELECT 1 + 2 * 3"), vec![vec!["7"]]);
+    assert_eq!(
+        rows(&d, "SELECT LOWER('ABC') || '-' || UPPER('x')"),
+        vec![vec!["abc-X"]]
+    );
+}
+
+#[test]
+fn explain_never_errors_on_valid_queries() {
+    let d = db();
+    for sql in [
+        "SELECT * FROM emp",
+        "SELECT dept, COUNT(*) FROM emp GROUP BY dept",
+        "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.dept LIMIT 3",
+    ] {
+        let text = d.explain(sql).unwrap();
+        assert!(text.contains("BOUNDED"), "{text}");
+    }
+}
+
+#[test]
+fn three_valued_filter_excludes_unknown() {
+    let d = db();
+    // manager > 'a' is UNKNOWN for NULL managers: excluded.
+    assert_eq!(
+        rows(&d, "SELECT COUNT(*) FROM emp WHERE manager > 'a'"),
+        vec![vec!["3"]]
+    );
+    assert_eq!(
+        rows(&d, "SELECT COUNT(*) FROM emp WHERE NOT (manager > 'a')"),
+        vec![vec!["0"]]
+    );
+}
+
+#[test]
+fn result_value_types() {
+    let d = db();
+    let r = d.execute_local("SELECT id, name, salary FROM emp WHERE id = 1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    assert_eq!(r.rows[0][1], Value::str("ada"));
+    assert_eq!(r.columns, vec!["id", "name", "salary"]);
+}
+
+#[test]
+fn union_and_union_all() {
+    let d = db();
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT dept FROM emp WHERE salary > 100 \
+             UNION SELECT dept FROM emp WHERE salary < 80 ORDER BY dept"
+        ),
+        vec![vec!["eng"], vec!["hr"]]
+    );
+    // UNION dedups; UNION ALL keeps duplicates.
+    assert_eq!(
+        rows(&d, "SELECT dept FROM dept UNION SELECT dept FROM dept").len(),
+        3
+    );
+    assert_eq!(
+        rows(&d, "SELECT dept FROM dept UNION ALL SELECT dept FROM dept").len(),
+        6
+    );
+    // Mixed arms, ORDER BY position and LIMIT over the whole union.
+    assert_eq!(
+        rows(
+            &d,
+            "SELECT name FROM emp WHERE dept = 'hr' \
+             UNION ALL SELECT name FROM emp WHERE dept = 'sales' \
+             ORDER BY 1 DESC LIMIT 2"
+        ),
+        vec![vec!["eve"], vec!["dan"]]
+    );
+}
+
+#[test]
+fn union_arity_mismatch_rejected() {
+    let d = db();
+    let err = d
+        .execute_local("SELECT id, name FROM emp UNION SELECT dept FROM dept")
+        .unwrap_err();
+    assert!(err.message().contains("arities"), "{err}");
+}
+
+#[test]
+fn union_round_trips_through_display() {
+    let sql = "SELECT id FROM emp UNION ALL SELECT building FROM dept ORDER BY 1 LIMIT 4";
+    let ast = crowddb_sql::parse_statement(sql).unwrap();
+    let rendered = ast.to_string();
+    assert_eq!(ast, crowddb_sql::parse_statement(&rendered).unwrap());
+    let d = db();
+    assert_eq!(rows(&d, sql).len(), 4);
+}

@@ -1,0 +1,79 @@
+//! Golden tests for the generated task user interfaces (paper Figures 2
+//! and 3). The full rendered HTML is pinned so any change to the
+//! generated forms is an explicit, reviewed diff.
+
+use crowddb_common::DataType;
+use crowddb_platform::TaskKind;
+use crowddb_ui::{render_mobile_task, render_task};
+
+fn figure2_task() -> TaskKind {
+    // Paper §3.1: the query `SELECT abstract FROM talk WHERE title =
+    // 'CrowdDB'` crowdsources the missing abstract; the known title is
+    // copied into the form read-only.
+    TaskKind::Probe {
+        table: "talk".into(),
+        known: vec![("title".into(), "CrowdDB".into())],
+        asked: vec![("abstract".into(), DataType::Str)],
+        instructions: "Enter the missing information for the Talk.".into(),
+    }
+}
+
+#[test]
+fn figure_2_mturk_page_golden() {
+    let expected = "<!DOCTYPE html>\n\
+        <html><head><meta charset=\"utf-8\">\
+        <title>Please fill out missing fields of the following Table</title></head>\
+        <body class=\"crowddb mturk\">\
+        <h1>Please fill out missing fields of the following Table</h1>\
+        <p class=\"instructions\">Enter the missing information for the Talk.</p>\
+        <form method=\"post\" action=\"submit\">\
+        <p class=\"table-name\">Table: <b>talk</b></p>\
+        <div class=\"field known\"><label>title</label>\
+        <input type=\"text\" name=\"title\" value=\"CrowdDB\" readonly></div>\
+        <div class=\"field asked\"><label>abstract</label>\
+        <input type=\"text\" name=\"abstract\" placeholder=\"abstract (STRING)\"></div>\
+        <button type=\"submit\">Submit</button></form></body></html>";
+    assert_eq!(render_task(&figure2_task()), expected);
+}
+
+#[test]
+fn figure_3_mobile_page_golden() {
+    let expected = "<!DOCTYPE html>\n\
+        <html><head><meta charset=\"utf-8\">\
+        <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\
+        <title>Please fill out missing fields of the following Table</title></head>\
+        <body class=\"crowddb mobile\">\
+        <h1>Please fill out missing fields of the following Table</h1>\
+        <p class=\"instructions\">Enter the missing information for the Talk.</p>\
+        <form method=\"post\" action=\"submit\">\
+        <p class=\"table-name\">Table: <b>talk</b></p>\
+        <div class=\"field known\"><label>title</label>\
+        <input type=\"text\" name=\"title\" value=\"CrowdDB\" readonly></div>\
+        <div class=\"field asked\"><label>abstract</label>\
+        <input type=\"text\" name=\"abstract\" placeholder=\"abstract (STRING)\"></div>\
+        <button type=\"submit\">Submit</button></form></body></html>";
+    assert_eq!(render_mobile_task(&figure2_task()), expected);
+}
+
+#[test]
+fn compare_page_golden() {
+    let page = render_task(&TaskKind::Equal {
+        left: "I.B.M.".into(),
+        right: "IBM".into(),
+        instruction: "Do these refer to the same company?".into(),
+    });
+    let expected = "<!DOCTYPE html>\n\
+        <html><head><meta charset=\"utf-8\">\
+        <title>Do these refer to the same thing?</title></head>\
+        <body class=\"crowddb mturk\"><h1>Do these refer to the same thing?</h1>\
+        <p class=\"instructions\">Do these refer to the same company?</p>\
+        <form method=\"post\" action=\"submit\">\
+        <div class=\"pair\"><span class=\"left\">I.B.M.</span> \
+        <span class=\"vs\">vs</span> <span class=\"right\">IBM</span></div>\
+        <label class=\"choice\"><input type=\"radio\" name=\"verdict\" value=\"yes\"> \
+        Yes, the same</label>\
+        <label class=\"choice\"><input type=\"radio\" name=\"verdict\" value=\"no\"> \
+        No, different</label>\
+        <button type=\"submit\">Submit</button></form></body></html>";
+    assert_eq!(page, expected);
+}
