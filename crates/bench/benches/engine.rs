@@ -134,11 +134,8 @@ fn bench_insert(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            db.insert(
-                "attendee",
-                row![i as i64, format!("p{i}"), "talk-0000"],
-            )
-            .unwrap()
+            db.insert("attendee", row![i as i64, format!("p{i}"), "talk-0000"])
+                .unwrap()
         })
     });
 }

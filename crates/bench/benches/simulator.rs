@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use crowddb_common::DataType;
-use crowddb_platform::{Platform, PerfectModel, SimPlatform, TaskKind, TaskSpec};
+use crowddb_platform::{PerfectModel, Platform, SimPlatform, TaskKind, TaskSpec};
 
 fn probe_spec(i: usize) -> TaskSpec {
     TaskSpec::new(TaskKind::Probe {
@@ -58,5 +58,10 @@ fn bench_full_completion(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_post, bench_simulated_hour, bench_full_completion);
+criterion_group!(
+    benches,
+    bench_post,
+    bench_simulated_hour,
+    bench_full_completion
+);
 criterion_main!(benches);

@@ -46,7 +46,8 @@ fn bench_insert_with_pk_index(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            db.insert("talk", row![format!("t{i}"), "a", i as i64]).unwrap()
+            db.insert("talk", row![format!("t{i}"), "a", i as i64])
+                .unwrap()
         })
     });
 }

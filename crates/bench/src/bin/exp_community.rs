@@ -13,8 +13,7 @@ use std::collections::HashMap;
 use crowddb_bench::harness::{pump_until_complete, ExperimentOutput, Series};
 use crowddb_common::DataType;
 use crowddb_platform::{
-    Platform, PerfectModel, SimPlatform, TaskKind, TaskSpec, WorkerId,
-    WorkerRelationshipManager,
+    PerfectModel, Platform, SimPlatform, TaskKind, TaskSpec, WorkerId, WorkerRelationshipManager,
 };
 
 fn main() {

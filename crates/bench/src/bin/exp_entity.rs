@@ -67,10 +67,8 @@ fn main() {
             reward_cents: 1,
             ..CrowdConfig::default()
         });
-        db.execute_local(
-            "CREATE TABLE pairs (id INTEGER PRIMARY KEY, a STRING, b STRING)",
-        )
-        .expect("ddl");
+        db.execute_local("CREATE TABLE pairs (id INTEGER PRIMARY KEY, a STRING, b STRING)")
+            .expect("ddl");
         for (i, (a, b, _)) in pairs.iter().enumerate() {
             db.execute_local(&format!(
                 "INSERT INTO pairs VALUES ({i}, '{}', '{}')",

@@ -76,7 +76,10 @@ fn main() {
             batch.to_string(),
             truth_pairs.to_string(),
             r.rows.len().to_string(),
-            format!("{:.1}%", 100.0 * found_true as f64 / truth_pairs.max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * found_true as f64 / truth_pairs.max(1) as f64
+            ),
             r.crowd.tasks_posted.to_string(),
             r.crowd.cents_spent.to_string(),
             format!("{:.1}", r.crowd.virtual_secs / 3600.0),

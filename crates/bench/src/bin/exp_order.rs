@@ -58,10 +58,7 @@ fn main() {
             db.execute_local(&format!("INSERT INTO picture VALUES ('{}')", item.label))
                 .expect("insert");
         }
-        let mut amt = SimPlatform::amt(
-            1991,
-            Box::new(RankingWorld::new(&corpus, noise)),
-        );
+        let mut amt = SimPlatform::amt(1991, Box::new(RankingWorld::new(&corpus, noise)));
         let r = db
             .execute(
                 "SELECT label FROM picture \

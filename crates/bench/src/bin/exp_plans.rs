@@ -18,12 +18,12 @@
 
 use crowddb_bench::harness::ExperimentOutput;
 use crowddb_common::row;
+use crowddb_common::Value;
 use crowddb_exec::{execute, CompareCaches};
 use crowddb_plan::cardinality::FnStats;
 use crowddb_plan::{analyze_boundedness, optimize, Binder, OptimizerConfig};
 use crowddb_sql::{parse_statement, Statement};
 use crowddb_storage::Database;
-use crowddb_common::Value;
 
 fn setup() -> Database {
     let db = Database::new();
@@ -43,12 +43,7 @@ fn setup() -> Database {
         let track = if i % 4 == 0 { "demo" } else { "research" };
         db.insert(
             "talk",
-            row![
-                format!("talk-{i:02}"),
-                Value::CNull,
-                Value::CNull,
-                track
-            ],
+            row![format!("talk-{i:02}"), Value::CNull, Value::CNull, track],
         )
         .unwrap();
     }
@@ -58,16 +53,18 @@ fn setup() -> Database {
 fn main() {
     let db = setup();
     let stats_fn = |t: &str| db.stats(t).ok().map(|s| s.live_rows as u64);
-    let pk = |t: &str| -> Vec<usize> {
-        db.schema(t).map(|s| s.primary_key).unwrap_or_default()
-    };
+    let pk = |t: &str| -> Vec<usize> { db.schema(t).map(|s| s.primary_key).unwrap_or_default() };
 
     // Part 1: boundedness verdicts.
     let mut out = ExperimentOutput::new(
         "E8a",
         "compile-time boundedness verdicts and crowd-call bounds",
     );
-    out.headers = vec!["query".into(), "verdict".into(), "est. crowd batches".into()];
+    out.headers = vec![
+        "query".into(),
+        "verdict".into(),
+        "est. crowd batches".into(),
+    ];
     let queries = [
         "SELECT title FROM talk",
         "SELECT abstract FROM talk WHERE title = 'talk-00'",

@@ -9,7 +9,7 @@
 
 use crowddb_bench::harness::ExperimentOutput;
 use crowddb_core::{CrowdConfig, CrowdDB};
-use crowddb_platform::{Platform, PerfectModel, SimPlatform};
+use crowddb_platform::{PerfectModel, Platform, SimPlatform};
 use crowddb_quality::VoteConfig;
 
 const VENUE: (f64, f64) = (47.6114, -122.3305);
@@ -20,10 +20,8 @@ fn run_workload(platform: &mut dyn Platform, reward_cents: u32) -> (usize, u64, 
         reward_cents,
         ..CrowdConfig::default()
     });
-    db.execute_local(
-        "CREATE TABLE talk (title STRING PRIMARY KEY, nb_attendees CROWD INTEGER)",
-    )
-    .expect("ddl");
+    db.execute_local("CREATE TABLE talk (title STRING PRIMARY KEY, nb_attendees CROWD INTEGER)")
+        .expect("ddl");
     for i in 0..40 {
         db.execute_local(&format!("INSERT INTO talk (title) VALUES ('talk-{i:02}')"))
             .expect("insert");
@@ -31,11 +29,7 @@ fn run_workload(platform: &mut dyn Platform, reward_cents: u32) -> (usize, u64, 
     let r = db
         .execute("SELECT title, nb_attendees FROM talk", platform)
         .expect("query");
-    let resolved = r
-        .rows
-        .iter()
-        .filter(|row| !row[1].is_cnull())
-        .count();
+    let resolved = r.rows.iter().filter(|row| !row[1].is_cnull()).count();
     (
         resolved,
         r.crowd.tasks_posted,

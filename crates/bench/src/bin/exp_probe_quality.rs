@@ -61,10 +61,7 @@ fn main() {
             Box::new(ProfessorWorld::new(&corpus)),
         );
         let r = db
-            .execute(
-                "SELECT name, department, email FROM professor",
-                &mut amt,
-            )
+            .execute("SELECT name, department, email FROM professor", &mut amt)
             .expect("query");
 
         // Score against ground truth.

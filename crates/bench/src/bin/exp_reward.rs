@@ -9,7 +9,7 @@
 
 use crowddb_bench::harness::{pump_until_complete, time_to_fraction, ExperimentOutput, Series};
 use crowddb_common::DataType;
-use crowddb_platform::{Platform, PerfectModel, SimPlatform, TaskKind, TaskSpec};
+use crowddb_platform::{PerfectModel, Platform, SimPlatform, TaskKind, TaskSpec};
 
 fn probe_spec(i: usize, reward: u32) -> TaskSpec {
     TaskSpec::new(TaskKind::Probe {

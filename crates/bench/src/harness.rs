@@ -75,7 +75,11 @@ impl ExperimentOutput {
             let line = |cells: &[String]| {
                 let mut s = String::from("|");
                 for (i, c) in cells.iter().enumerate() {
-                    s.push_str(&format!(" {:<w$} |", c, w = widths.get(i).copied().unwrap_or(c.len())));
+                    s.push_str(&format!(
+                        " {:<w$} |",
+                        c,
+                        w = widths.get(i).copied().unwrap_or(c.len())
+                    ));
                 }
                 s
             };
@@ -144,10 +148,7 @@ pub fn pump_until_complete(
 /// Time (virtual seconds) at which the completion series first reaches
 /// `fraction`, if it does.
 pub fn time_to_fraction(series: &[(f64, f64)], fraction: f64) -> Option<f64> {
-    series
-        .iter()
-        .find(|(_, f)| *f >= fraction)
-        .map(|(t, _)| *t)
+    series.iter().find(|(_, f)| *f >= fraction).map(|(t, _)| *t)
 }
 
 #[cfg(test)]

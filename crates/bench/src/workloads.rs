@@ -37,8 +37,7 @@ pub const DEPARTMENTS: &[&str] = &[
 pub fn professors(n: usize, seed: u64) -> Vec<Professor> {
     let mut rng = StdRng::seed_from_u64(seed);
     let first = [
-        "Ada", "Alan", "Grace", "Edsger", "Barbara", "Donald", "John", "Leslie", "Frances",
-        "Tony",
+        "Ada", "Alan", "Grace", "Edsger", "Barbara", "Donald", "John", "Leslie", "Frances", "Tony",
     ];
     let last = [
         "Lovelace", "Turing", "Hopper", "Dijkstra", "Liskov", "Knuth", "Backus", "Lamport",
@@ -86,11 +85,30 @@ pub struct Company {
 pub fn companies(n: usize, seed: u64) -> Vec<Company> {
     let mut rng = StdRng::seed_from_u64(seed);
     let stems = [
-        "Acme", "Globex", "Initech", "Umbrella", "Stark", "Wayne", "Cyberdyne", "Tyrell",
-        "Wonka", "Hooli", "Aperture", "BlueSun", "Gringotts", "Monarch", "Vandelay",
+        "Acme",
+        "Globex",
+        "Initech",
+        "Umbrella",
+        "Stark",
+        "Wayne",
+        "Cyberdyne",
+        "Tyrell",
+        "Wonka",
+        "Hooli",
+        "Aperture",
+        "BlueSun",
+        "Gringotts",
+        "Monarch",
+        "Vandelay",
     ];
     let sectors = [
-        "Systems", "Industries", "Networks", "Dynamics", "Labs", "Software", "Analytics",
+        "Systems",
+        "Industries",
+        "Networks",
+        "Dynamics",
+        "Labs",
+        "Software",
+        "Analytics",
     ];
     (0..n)
         .map(|i| {
@@ -204,7 +222,15 @@ pub struct Photo {
 pub fn photos(n: usize, seed: u64) -> Vec<Photo> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF0);
     let vocabulary = [
-        "dog", "cat", "car", "bridge", "sunset", "crowd", "poster", "laptop", "coffee",
+        "dog",
+        "cat",
+        "car",
+        "bridge",
+        "sunset",
+        "crowd",
+        "poster",
+        "laptop",
+        "coffee",
         "whiteboard",
     ];
     (0..n)
@@ -250,7 +276,9 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 50, "names must be unique");
-        assert!(a.iter().all(|p| DEPARTMENTS.contains(&p.department.as_str())));
+        assert!(a
+            .iter()
+            .all(|p| DEPARTMENTS.contains(&p.department.as_str())));
         assert!(a.iter().all(|p| p.email.contains('@')));
     }
 
@@ -259,7 +287,9 @@ mod tests {
         let c = companies(30, 2);
         assert_eq!(c.len(), 30);
         assert!(c.iter().all(|x| !x.variants.is_empty()));
-        assert!(c.iter().all(|x| x.variants.iter().all(|v| v != &x.canonical)));
+        assert!(c
+            .iter()
+            .all(|x| x.variants.iter().all(|v| v != &x.canonical)));
     }
 
     #[test]

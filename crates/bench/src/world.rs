@@ -79,7 +79,10 @@ impl CrowdModel for ProfessorWorld {
                                         .iter()
                                         .find(|(k, _)| k == "name")
                                         .map(|(_, v)| {
-                                            v.to_lowercase().split_whitespace().collect::<Vec<_>>().join(".")
+                                            v.to_lowercase()
+                                                .split_whitespace()
+                                                .collect::<Vec<_>>()
+                                                .join(".")
                                         })
                                         .unwrap_or_default();
                                     format!("{guess}@university.edu")
@@ -155,10 +158,7 @@ impl RankingWorld {
     /// Build from a corpus.
     pub fn new(corpus: &[RankedItem], temperature: f64) -> RankingWorld {
         RankingWorld {
-            score_of: corpus
-                .iter()
-                .map(|i| (i.label.clone(), i.score))
-                .collect(),
+            score_of: corpus.iter().map(|i| (i.label.clone(), i.score)).collect(),
             temperature,
         }
     }

@@ -178,10 +178,7 @@ impl TableSchema {
         self.foreign_keys.push(ForeignKey {
             columns: ords,
             ref_table: ref_table.to_ascii_lowercase(),
-            ref_columns: ref_columns
-                .iter()
-                .map(|s| s.to_ascii_lowercase())
-                .collect(),
+            ref_columns: ref_columns.iter().map(|s| s.to_ascii_lowercase()).collect(),
         });
         Ok(self)
     }

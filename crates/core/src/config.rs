@@ -2,6 +2,48 @@
 
 use crowddb_quality::VoteConfig;
 
+/// How the Task Manager survives a misbehaving platform: bounded retries
+/// with exponential backoff for failed posts, per-HIT deadlines with
+/// bounded reposts for abandoned HITs, and a circuit breaker that stops
+/// engaging a platform that keeps failing. All waits are in platform-
+/// virtual seconds and count against the round budget; jitter is derived
+/// deterministically so identical runs stay byte-identical.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per `post()` call (1 = no retries).
+    pub max_post_attempts: u32,
+    /// Backoff before retry `k` is `base * 2^(k-1)`, capped below.
+    pub backoff_base_secs: f64,
+    /// Upper bound on a single backoff wait.
+    pub backoff_cap_secs: f64,
+    /// Jitter fraction in `[0, 1)`: each backoff is scaled by a
+    /// deterministic factor in `[1 - jitter, 1 + jitter]`.
+    pub backoff_jitter: f64,
+    /// Virtual seconds a posted HIT may sit incomplete before it is
+    /// considered abandoned and reposted.
+    pub hit_deadline_secs: f64,
+    /// Maximum reposts per task need; after that the need gives up and
+    /// falls back to whatever answers were collected.
+    pub max_reposts: u32,
+    /// Consecutive platform failures (post or extend) after which the
+    /// platform is marked degraded and remaining needs are abandoned.
+    pub breaker_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_post_attempts: 4,
+            backoff_base_secs: 60.0,
+            backoff_cap_secs: 3600.0,
+            backoff_jitter: 0.25,
+            hit_deadline_secs: 2.0 * 24.0 * 3600.0, // two virtual days
+            max_reposts: 2,
+            breaker_threshold: 6,
+        }
+    }
+}
+
 /// Knobs controlling how CrowdDB engages the crowd.
 #[derive(Debug, Clone)]
 pub struct CrowdConfig {
@@ -32,6 +74,8 @@ pub struct CrowdConfig {
     /// needs are abandoned and the result is returned partial with a
     /// warning.
     pub max_budget_cents: Option<u64>,
+    /// Resilience policy against platform failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CrowdConfig {
@@ -47,6 +91,7 @@ impl Default for CrowdConfig {
             max_tuples_per_assignment: 5,
             ban_threshold: 0.25,
             max_budget_cents: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -66,6 +111,7 @@ impl CrowdConfig {
             max_tuples_per_assignment: 5,
             ban_threshold: 0.25,
             max_budget_cents: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -88,5 +134,16 @@ mod tests {
     fn fast_test_single_vote() {
         let c = CrowdConfig::fast_test();
         assert_eq!(c.vote.replication, 1);
+    }
+
+    #[test]
+    fn retry_defaults_are_sane() {
+        let r = RetryPolicy::default();
+        assert!(r.max_post_attempts >= 1);
+        assert!(r.backoff_base_secs > 0.0);
+        assert!(r.backoff_cap_secs >= r.backoff_base_secs);
+        assert!((0.0..1.0).contains(&r.backoff_jitter));
+        assert!(r.hit_deadline_secs > 0.0);
+        assert!(r.breaker_threshold >= 1);
     }
 }

@@ -4,10 +4,10 @@ use parking_lot::Mutex;
 
 use crowddb_common::{CrowdError, Result, Row};
 use crowddb_exec::{execute as execute_plan, CompareCaches};
+use crowddb_plan::cardinality::{FnStats, StatsSource};
 use crowddb_plan::{
     analyze_boundedness, annotate_cardinality, optimize, Binder, LogicalPlan, OptimizerConfig,
 };
-use crowddb_plan::cardinality::{FnStats, StatsSource};
 use crowddb_platform::{Platform, WorkerRelationshipManager};
 use crowddb_sql::{parse_statement, Statement};
 use crowddb_storage::{Database, IndexKind};
@@ -321,12 +321,12 @@ impl CrowdDB {
                     break;
                 }
             }
-            self.fulfill(&fresh, platform, &mut warnings, start_stats.cents_spent)?;
+            let wave = self.fulfill(&fresh, platform, &mut warnings, start_stats.cents_spent)?;
+            summary.absorb_resilience(&wave);
         }
         if !resolved {
             warnings.push(
-                "round budget exhausted; DML applied with some crowd predicates undecided"
-                    .into(),
+                "round budget exhausted; DML applied with some crowd predicates undecided".into(),
             );
         }
         let caches_snapshot = self.caches.lock().clone();
@@ -379,7 +379,8 @@ impl CrowdDB {
                     break;
                 }
             }
-            self.fulfill(&fresh, platform, &mut warnings, start_stats.cents_spent)?;
+            let wave = self.fulfill(&fresh, platform, &mut warnings, start_stats.cents_spent)?;
+            summary.absorb_resilience(&wave);
         }
         if !complete && summary.rounds >= self.config.max_rounds {
             warnings.push(format!(
@@ -408,7 +409,7 @@ impl CrowdDB {
         platform: &mut dyn Platform,
         warnings: &mut Vec<String>,
         statement_start_cents: u64,
-    ) -> Result<()> {
+    ) -> Result<taskman::FulfillSummary> {
         // Budget-aware wave sizing: never post more tasks than the
         // remaining per-statement budget can pay for (escalations may
         // still nudge past the line; the round-level gate catches that).
@@ -433,12 +434,12 @@ impl CrowdDB {
             None => needs,
         };
         if needs.is_empty() {
-            return Ok(());
+            return Ok(taskman::FulfillSummary::default());
         }
         let mut caches = self.caches.lock();
         let mut wrm = self.wrm.lock();
         let templates = self.templates.lock();
-        let fulfill = taskman::fulfill_needs(
+        let mut fulfill = taskman::fulfill_needs(
             &self.db,
             &mut caches,
             &mut wrm,
@@ -447,12 +448,12 @@ impl CrowdDB {
             &self.config,
             needs,
         )?;
-        warnings.extend(fulfill.warnings);
+        warnings.append(&mut fulfill.warnings);
         let mut exhausted = self.exhausted.lock();
-        for k in fulfill.exhausted {
+        for k in fulfill.exhausted.drain(..) {
             exhausted.insert(k);
         }
-        Ok(())
+        Ok(fulfill)
     }
 
     fn fresh_needs(&self, needs: Vec<crowddb_exec::TaskNeed>) -> Vec<crowddb_exec::TaskNeed> {
@@ -523,7 +524,11 @@ impl CrowdDB {
         Ok(restored)
     }
 
-    fn plan_select(&self, stmt: &Statement, allow_unbounded: bool) -> Result<(LogicalPlan, Vec<String>)> {
+    fn plan_select(
+        &self,
+        stmt: &Statement,
+        allow_unbounded: bool,
+    ) -> Result<(LogicalPlan, Vec<String>)> {
         let Statement::Select(query) = stmt else {
             return Err(CrowdError::Internal("plan_select on non-select".into()));
         };
@@ -568,11 +573,7 @@ impl CrowdDB {
 }
 
 fn output_columns(plan: &LogicalPlan) -> Vec<String> {
-    plan.schema()
-        .columns
-        .into_iter()
-        .map(|c| c.name)
-        .collect()
+    plan.schema().columns.into_iter().map(|c| c.name).collect()
 }
 
 #[cfg(test)]
@@ -602,7 +603,9 @@ mod tests {
         let db = CrowdDB::new();
         ddl(&db);
         db.with_templates(|t| {
-            assert!(t.get("talk", crowddb_ui::template::TemplateKind::Probe).is_some());
+            assert!(t
+                .get("talk", crowddb_ui::template::TemplateKind::Probe)
+                .is_some());
             assert!(t
                 .get(
                     "notableattendee",
@@ -632,8 +635,11 @@ mod tests {
             ),
             _ => Answer::Blank,
         });
-        db.execute("INSERT INTO talk VALUES ('CrowdDB', CNULL, CNULL)", &mut crowd)
-            .unwrap();
+        db.execute(
+            "INSERT INTO talk VALUES ('CrowdDB', CNULL, CNULL)",
+            &mut crowd,
+        )
+        .unwrap();
         let r = db
             .execute(
                 "SELECT abstract, nb_attendees FROM talk WHERE title = 'CrowdDB'",

@@ -30,6 +30,6 @@ pub mod crowddb;
 pub mod result;
 pub mod taskman;
 
-pub use config::CrowdConfig;
+pub use config::{CrowdConfig, RetryPolicy};
 pub use crowddb::CrowdDB;
 pub use result::{CrowdSummary, QueryResult};

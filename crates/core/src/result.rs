@@ -15,6 +15,37 @@ pub struct CrowdSummary {
     pub cents_spent: u64,
     /// Virtual platform time consumed, seconds.
     pub virtual_secs: f64,
+    /// Post attempts retried after transient platform failures.
+    pub retries: u64,
+    /// Abandoned HITs reposted after missing their deadline.
+    pub reposts: u64,
+    /// Duplicate `(worker, HIT)` deliveries dropped by the task manager.
+    pub duplicates_dropped: u64,
+    /// Failed platform `post()` calls absorbed.
+    pub post_failures: u64,
+    /// Failed platform `extend()` calls absorbed (each one downgraded an
+    /// escalation to a plurality decision).
+    pub extend_failures: u64,
+    /// Task needs that settled without a strict majority (plurality
+    /// fallback, default, or abandonment).
+    pub gave_up: u64,
+    /// The platform was marked degraded (circuit breaker) at least once
+    /// while answering this statement.
+    pub degraded: bool,
+}
+
+impl CrowdSummary {
+    /// Fold one fulfillment wave's resilience accounting into this
+    /// statement-level summary.
+    pub(crate) fn absorb_resilience(&mut self, wave: &crate::taskman::FulfillSummary) {
+        self.retries += wave.retries;
+        self.reposts += wave.reposts;
+        self.duplicates_dropped += wave.duplicates_dropped;
+        self.post_failures += wave.post_failures;
+        self.extend_failures += wave.extend_failures;
+        self.gave_up += wave.gave_up;
+        self.degraded |= wave.degraded;
+    }
 }
 
 /// The result of one statement.

@@ -3,13 +3,11 @@
 //! (storage write-back for probe answers and new tuples, session caches
 //! for comparisons).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crowddb_common::{Result, Row, TableSchema, Value};
 use crowddb_exec::{CompareCaches, TaskNeed};
-use crowddb_platform::{
-    Answer, HitId, Platform, TaskKind, TaskSpec, WorkerRelationshipManager,
-};
+use crowddb_platform::{Answer, HitId, Platform, TaskKind, TaskSpec, WorkerRelationshipManager};
 use crowddb_quality::{MajorityVote, Normalizer, VoteOutcome};
 use crowddb_storage::Database;
 use crowddb_ui::manager::UiTemplateManager;
@@ -20,7 +18,7 @@ use crate::config::CrowdConfig;
 /// Accounting for one fulfillment pass.
 #[derive(Debug, Clone, Default)]
 pub struct FulfillSummary {
-    /// HITs posted.
+    /// HITs posted (including reposts of abandoned HITs).
     pub tasks_posted: u64,
     /// Assignments collected (valid or not).
     pub answers_collected: u64,
@@ -28,6 +26,60 @@ pub struct FulfillSummary {
     pub exhausted: Vec<String>,
     /// Human-readable warnings.
     pub warnings: Vec<String>,
+    /// `post()` calls retried after a transient failure.
+    pub retries: u64,
+    /// HITs reposted after missing their completion deadline.
+    pub reposts: u64,
+    /// Duplicate `(worker, HIT)` deliveries dropped — AMT promises at
+    /// most one assignment per worker per HIT, so a second delivery is
+    /// noise and must not double-count as a vote.
+    pub duplicates_dropped: u64,
+    /// Failed `post()` calls observed (before and after retries).
+    pub post_failures: u64,
+    /// Failed `extend()` calls; each downgrades its HIT from escalation
+    /// to a give-up-with-plurality decision.
+    pub extend_failures: u64,
+    /// Needs resolved without a strict majority decision: plurality
+    /// fallbacks, defaults, repost exhaustion, degraded abandonment.
+    pub gave_up: u64,
+    /// The circuit breaker tripped: the platform was marked degraded and
+    /// every remaining need was abandoned.
+    pub degraded: bool,
+}
+
+impl FulfillSummary {
+    /// Fold a wave's counters into an accumulator (the statement loop
+    /// calls `fulfill_needs` once per round).
+    pub fn absorb(&mut self, other: &FulfillSummary) {
+        self.tasks_posted += other.tasks_posted;
+        self.answers_collected += other.answers_collected;
+        self.retries += other.retries;
+        self.reposts += other.reposts;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.post_failures += other.post_failures;
+        self.extend_failures += other.extend_failures;
+        self.gave_up += other.gave_up;
+        self.degraded |= other.degraded;
+    }
+
+    /// Append the structured one-line fault digest, if any fault was
+    /// absorbed this pass.
+    fn note_absorbed_faults(&mut self) {
+        let faulted =
+            self.post_failures + self.extend_failures + self.duplicates_dropped + self.reposts;
+        if faulted == 0 {
+            return;
+        }
+        self.warnings.push(format!(
+            "platform faults absorbed: {} post failure(s) ({} retried), {} extend failure(s), \
+             {} duplicate answer(s) dropped, {} HIT(s) reposted",
+            self.post_failures,
+            self.retries,
+            self.extend_failures,
+            self.duplicates_dropped,
+            self.reposts
+        ));
+    }
 }
 
 /// Convert a [`TaskNeed`] into a platform task, using the UI template
@@ -139,8 +191,177 @@ enum HitState {
     },
 }
 
+/// Deterministic unit-interval hash (splitmix64 finalizer). Backoff
+/// jitter must not disturb the byte-identical-per-seed reproducibility
+/// contract, so it is derived from a counter instead of an RNG.
+fn jitter01(x: u64) -> f64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Capped exponential backoff with deterministic jitter for retry
+/// `attempt` (1-based).
+fn backoff_secs(policy: &crate::config::RetryPolicy, attempt: u32, salt: u64) -> f64 {
+    let exp = attempt.saturating_sub(1).min(32);
+    let raw = (policy.backoff_base_secs * (1u64 << exp) as f64).min(policy.backoff_cap_secs);
+    let j = policy.backoff_jitter.clamp(0.0, 1.0);
+    raw * (1.0 - j + 2.0 * j * jitter01(salt))
+}
+
+/// Consecutive-failure circuit breaker: after `threshold` platform
+/// failures in a row the platform is considered degraded and no further
+/// calls are made this pass.
+struct Breaker {
+    consecutive: u32,
+    threshold: u32,
+    tripped: bool,
+}
+
+impl Breaker {
+    fn new(threshold: u32) -> Breaker {
+        Breaker {
+            consecutive: 0,
+            threshold: threshold.max(1),
+            tripped: false,
+        }
+    }
+
+    fn succeeded(&mut self) {
+        self.consecutive = 0;
+    }
+
+    fn failed(&mut self) {
+        self.consecutive += 1;
+        if self.consecutive >= self.threshold {
+            self.tripped = true;
+        }
+    }
+}
+
+/// Post a batch with bounded retries and backoff. Specs are rebuilt per
+/// attempt and handed to the platform by value. Backoff waits advance
+/// platform-virtual time and count against the round budget. Returns
+/// `None` when every attempt failed or the breaker tripped.
+fn post_with_retry(
+    platform: &mut dyn Platform,
+    make_specs: &mut dyn FnMut() -> Vec<TaskSpec>,
+    policy: &crate::config::RetryPolicy,
+    breaker: &mut Breaker,
+    summary: &mut FulfillSummary,
+    elapsed: &mut f64,
+) -> Option<Vec<HitId>> {
+    if breaker.tripped {
+        return None;
+    }
+    let attempts = policy.max_post_attempts.max(1);
+    let mut last_err = String::new();
+    for attempt in 1..=attempts {
+        match platform.post(make_specs()) {
+            Ok(ids) => {
+                breaker.succeeded();
+                summary.tasks_posted += ids.len() as u64;
+                return Some(ids);
+            }
+            Err(e) => {
+                summary.post_failures += 1;
+                breaker.failed();
+                last_err = e.to_string();
+                if breaker.tripped || attempt == attempts {
+                    break;
+                }
+                let salt =
+                    summary.post_failures.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt);
+                let wait = backoff_secs(policy, attempt, salt);
+                platform.advance(wait);
+                *elapsed += wait;
+                summary.retries += 1;
+            }
+        }
+    }
+    summary
+        .warnings
+        .push(format!("task posting failed after retries: {last_err}"));
+    None
+}
+
+/// One task need's lifecycle across posting, reposts, and voting.
+struct NeedTracker {
+    state: HitState,
+    /// The currently active HIT for this need (reposts swap it; stale
+    /// HITs stay mapped so straggler answers still count).
+    hit: HitId,
+    /// Virtual deadline after which the active HIT counts as abandoned.
+    deadline: f64,
+    reposts: u32,
+    /// No further posting/extension decisions for this need; its final
+    /// outcome is settled from whatever votes exist.
+    resolved: bool,
+}
+
+fn initial_state(need: &TaskNeed) -> HitState {
+    match need {
+        TaskNeed::ProbeValues {
+            table,
+            tid,
+            columns,
+            ..
+        } => HitState::Probe {
+            table: table.clone(),
+            tid: *tid,
+            columns: columns.clone(),
+            votes: columns.iter().map(|_| MajorityVote::new()).collect(),
+        },
+        TaskNeed::NewTuples {
+            table,
+            preset,
+            want,
+        } => HitState::NewTuples {
+            table: table.clone(),
+            preset: preset.clone(),
+            want: *want,
+            collected: Vec::new(),
+            assignments_seen: 0,
+        },
+        TaskNeed::Equal {
+            left,
+            right,
+            instruction,
+        } => HitState::Equal {
+            left: left.clone(),
+            right: right.clone(),
+            instruction: instruction.clone(),
+            vote: MajorityVote::new(),
+        },
+        TaskNeed::Order {
+            left,
+            right,
+            instruction,
+        } => HitState::Order {
+            left: left.clone(),
+            right: right.clone(),
+            instruction: instruction.clone(),
+            vote: MajorityVote::new(),
+        },
+    }
+}
+
 /// Post `needs` to `platform`, pump until resolved (or the round budget
 /// runs out), quality-control the answers, and memorize them.
+///
+/// This function upholds the degradation contract: platform failures
+/// (post errors, partial batches, abandoned HITs, duplicate or garbled
+/// deliveries, extend errors) never abort the statement and never discard
+/// answers already collected. Failed posts are retried with capped
+/// exponential backoff; HITs that miss their deadline are reposted a
+/// bounded number of times; duplicate `(worker, HIT)` deliveries are
+/// dropped; a failed escalation downgrades to a plurality decision; and
+/// after `RetryPolicy::breaker_threshold` consecutive failures the
+/// platform is marked degraded and every remaining need is converted to
+/// an exhausted entry. The summary always comes back `Ok`, with warnings
+/// describing whatever was absorbed.
 #[allow(clippy::too_many_arguments)]
 pub fn fulfill_needs(
     db: &Database,
@@ -156,122 +377,185 @@ pub fn fulfill_needs(
         return Ok(summary);
     }
     let normalizer = Normalizer::new();
-
-    // Post everything in one batch (HIT groups form on the platform).
-    let specs: Vec<TaskSpec> = needs
-        .iter()
-        .map(|n| need_to_spec(n, config, templates))
-        .collect();
-    let hit_ids = platform.post(specs.clone())?;
-    summary.tasks_posted += hit_ids.len() as u64;
-
-    let mut states: HashMap<HitId, (usize, HitState)> = HashMap::new();
-    for ((hit, need), _spec) in hit_ids.iter().zip(needs.iter()).zip(specs.iter()) {
-        let state = match need {
-            TaskNeed::ProbeValues {
-                table,
-                tid,
-                columns,
-                ..
-            } => HitState::Probe {
-                table: table.clone(),
-                tid: *tid,
-                columns: columns.clone(),
-                votes: columns.iter().map(|_| MajorityVote::new()).collect(),
-            },
-            TaskNeed::NewTuples {
-                table,
-                preset,
-                want,
-            } => HitState::NewTuples {
-                table: table.clone(),
-                preset: preset.clone(),
-                want: *want,
-                collected: Vec::new(),
-                assignments_seen: 0,
-            },
-            TaskNeed::Equal {
-                left,
-                right,
-                instruction,
-            } => HitState::Equal {
-                left: left.clone(),
-                right: right.clone(),
-                instruction: instruction.clone(),
-                vote: MajorityVote::new(),
-            },
-            TaskNeed::Order {
-                left,
-                right,
-                instruction,
-            } => HitState::Order {
-                left: left.clone(),
-                right: right.clone(),
-                instruction: instruction.clone(),
-                vote: MajorityVote::new(),
-            },
-        };
-        let need_idx = states.len();
-        states.insert(*hit, (need_idx, state));
-    }
-
-    // Remember (worker, hit, voted key) pairs to score agreement later.
-    let mut worker_votes: Vec<(crowddb_platform::WorkerId, HitId, Option<String>)> = Vec::new();
-    let mut open: Vec<HitId> = hit_ids.clone();
+    let policy = &config.retry;
+    let mut breaker = Breaker::new(policy.breaker_threshold);
     let mut elapsed = 0.0_f64;
 
-    while !open.is_empty() && elapsed < config.round_budget_secs {
+    // Post everything in one batch (HIT groups form on the platform).
+    let posted = post_with_retry(
+        platform,
+        &mut || {
+            needs
+                .iter()
+                .map(|n| need_to_spec(n, config, templates))
+                .collect()
+        },
+        policy,
+        &mut breaker,
+        &mut summary,
+        &mut elapsed,
+    );
+    let Some(hit_ids) = posted else {
+        // The platform never accepted the batch. Abandon every need —
+        // gracefully, not with an error — so the statement still returns
+        // a (partial) result.
+        summary.gave_up += needs.len() as u64;
+        for need in needs {
+            summary.exhausted.push(need.dedup_key());
+        }
+        if breaker.tripped {
+            summary.degraded = true;
+            summary.warnings.push(format!(
+                "platform '{}' marked degraded after {} consecutive failures; \
+                 {} task(s) abandoned",
+                platform.name(),
+                breaker.consecutive,
+                needs.len()
+            ));
+        } else {
+            summary.warnings.push(format!(
+                "{} crowd task(s) abandoned: the platform rejected the batch",
+                needs.len()
+            ));
+        }
+        summary.note_absorbed_faults();
+        return Ok(summary);
+    };
+
+    let mut trackers: Vec<NeedTracker> = needs
+        .iter()
+        .zip(hit_ids.iter())
+        .map(|(need, hit)| NeedTracker {
+            state: initial_state(need),
+            hit: *hit,
+            deadline: elapsed + policy.hit_deadline_secs,
+            reposts: 0,
+            resolved: false,
+        })
+        .collect();
+    let mut hit_to_need: HashMap<HitId, usize> =
+        hit_ids.iter().enumerate().map(|(i, h)| (*h, i)).collect();
+    // AMT one-assignment rule: each (worker, HIT) pair may vote once.
+    let mut seen: HashSet<(crowddb_platform::WorkerId, HitId)> = HashSet::new();
+    // Remember (worker, hit, voted key) pairs to score agreement later.
+    let mut worker_votes: Vec<(crowddb_platform::WorkerId, HitId, Option<String>)> = Vec::new();
+
+    while trackers.iter().any(|t| !t.resolved) && elapsed < config.round_budget_secs {
         platform.advance(config.pump_step_secs);
         elapsed += config.pump_step_secs;
-        let responses = platform.collect();
-        if responses.is_empty() && !open.iter().any(|h| !platform.is_complete(*h)) {
-            // Everything complete and drained; decide below.
-        }
-        for resp in responses {
+        for resp in platform.collect() {
             summary.answers_collected += 1;
-            let Some((_, state)) = states.get_mut(&resp.hit) else {
+            let Some(&idx) = hit_to_need.get(&resp.hit) else {
+                // Unknown HIT (e.g. orphaned by a partial batch failure).
                 continue;
             };
+            if !seen.insert((resp.worker, resp.hit)) {
+                summary.duplicates_dropped += 1;
+                continue;
+            }
             if wrm.is_banned(resp.worker) {
                 worker_votes.push((resp.worker, resp.hit, None));
                 continue;
             }
-            let voted_key = ingest_answer(state, &resp.answer, &normalizer);
+            let voted_key = ingest_answer(&mut trackers[idx].state, &resp.answer, &normalizer);
             worker_votes.push((resp.worker, resp.hit, voted_key));
         }
 
-        // Decide completed HITs.
-        let mut still_open = Vec::new();
-        for hit in open {
-            if !platform.is_complete(hit) {
-                still_open.push(hit);
+        // Decide completed HITs; repost abandoned ones.
+        for idx in 0..trackers.len() {
+            if breaker.tripped {
+                break;
+            }
+            if trackers[idx].resolved {
                 continue;
             }
-            let (_, state) = states.get_mut(&hit).expect("state exists");
-            match hit_decision(state, config) {
-                Decision::Decided => {}
-                Decision::Extend(n) => {
-                    platform.extend(hit, n)?;
-                    note_escalations(state);
-                    still_open.push(hit);
+            let hit = trackers[idx].hit;
+            if platform.is_complete(hit) {
+                match hit_decision(&trackers[idx].state, config) {
+                    Decision::Decided => trackers[idx].resolved = true,
+                    Decision::Extend(n) => match platform.extend(hit, n) {
+                        Ok(()) => {
+                            breaker.succeeded();
+                            note_escalations(&mut trackers[idx].state);
+                            trackers[idx].deadline = elapsed + policy.hit_deadline_secs;
+                        }
+                        Err(_) => {
+                            // Escalation unavailable: settle for whatever
+                            // plurality the collected votes give.
+                            summary.extend_failures += 1;
+                            breaker.failed();
+                            trackers[idx].resolved = true;
+                        }
+                    },
+                    Decision::GiveUp => trackers[idx].resolved = true,
                 }
-                Decision::GiveUp => {}
+            } else if elapsed >= trackers[idx].deadline {
+                // The HIT sat incomplete past its deadline (lost or
+                // ignored by workers): repost it, a bounded number of
+                // times.
+                if trackers[idx].reposts >= policy.max_reposts {
+                    trackers[idx].resolved = true;
+                    continue;
+                }
+                let need = &needs[idx];
+                let reposted = post_with_retry(
+                    platform,
+                    &mut || vec![need_to_spec(need, config, templates)],
+                    policy,
+                    &mut breaker,
+                    &mut summary,
+                    &mut elapsed,
+                );
+                match reposted.as_deref() {
+                    Some([new_hit, ..]) => {
+                        summary.reposts += 1;
+                        trackers[idx].reposts += 1;
+                        trackers[idx].hit = *new_hit;
+                        trackers[idx].deadline = elapsed + policy.hit_deadline_secs;
+                        // Keep the stale HIT mapped: straggler answers to
+                        // it still feed the same vote.
+                        hit_to_need.insert(*new_hit, idx);
+                    }
+                    _ => trackers[idx].resolved = true,
+                }
             }
         }
-        open = still_open;
+
+        if breaker.tripped {
+            summary.degraded = true;
+            let abandoned: Vec<usize> = trackers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.resolved)
+                .map(|(i, _)| i)
+                .collect();
+            summary.warnings.push(format!(
+                "platform '{}' marked degraded after {} consecutive failures; \
+                 abandoning {} open task(s)",
+                platform.name(),
+                breaker.consecutive,
+                abandoned.len()
+            ));
+            for i in abandoned {
+                trackers[i].resolved = true;
+                summary.exhausted.push(needs[i].dedup_key());
+            }
+            break;
+        }
     }
-    if !open.is_empty() {
+    let unresolved = trackers.iter().filter(|t| !t.resolved).count();
+    if unresolved > 0 {
         summary.warnings.push(format!(
-            "{} task(s) did not complete within the round budget",
-            open.len()
+            "{unresolved} task(s) did not complete within the round budget"
         ));
     }
 
-    // Ingest decided answers and score workers.
-    let mut winning_key: HashMap<HitId, Vec<String>> = HashMap::new();
-    for (hit, (need_idx, state)) in &states {
-        let need = &needs[*need_idx];
-        match state {
+    // Ingest decided answers and score workers. Iterating trackers in
+    // need order keeps write-backs and warnings deterministic.
+    let mut winning_key: HashMap<usize, Vec<String>> = HashMap::new();
+    for (idx, tracker) in trackers.iter().enumerate() {
+        let need = &needs[idx];
+        match &tracker.state {
             HitState::Probe {
                 table,
                 tid,
@@ -279,18 +563,17 @@ pub fn fulfill_needs(
                 votes,
             } => {
                 let mut winners = Vec::new();
+                let mut fell_back = false;
                 for ((col, name, _ty), vote) in columns.iter().zip(votes.iter()) {
                     match vote.outcome(&config.vote) {
                         VoteOutcome::Decided { value, .. } => {
                             db.write_back_value(table, *tid, *col, value.clone())?;
-                            if let Some((v, _)) = vote.leader() {
-                                let _ = v;
-                            }
                             winners.push(normalizer.normalize(&value.to_string()));
                         }
                         VoteOutcome::Pending { .. } | VoteOutcome::Unresolved => {
                             // Accept the leader if any votes exist,
                             // otherwise give up on this value.
+                            fell_back = true;
                             if let Some((value, _)) = vote.leader() {
                                 db.write_back_value(table, *tid, *col, value.clone())?;
                                 winners.push(normalizer.normalize(&value.to_string()));
@@ -307,7 +590,10 @@ pub fn fulfill_needs(
                         }
                     }
                 }
-                winning_key.insert(*hit, winners);
+                if fell_back {
+                    summary.gave_up += 1;
+                }
+                winning_key.insert(idx, winners);
             }
             HitState::NewTuples {
                 table,
@@ -334,6 +620,7 @@ pub fn fulfill_needs(
                 if inserted < *want {
                     // The open world ran dry: remember so the next round
                     // does not re-request the same work forever.
+                    summary.gave_up += 1;
                     summary.exhausted.push(need.dedup_key());
                     if inserted == 0 {
                         summary.warnings.push(format!(
@@ -356,9 +643,10 @@ pub fn fulfill_needs(
                 VoteOutcome::Decided { value, .. } => {
                     let verdict = value.as_bool().unwrap_or(false);
                     caches.put_equal(left, right, instruction, verdict);
-                    winning_key.insert(*hit, vec![if verdict { "yes" } else { "no" }.into()]);
+                    winning_key.insert(idx, vec![if verdict { "yes" } else { "no" }.into()]);
                 }
                 _ => {
+                    summary.gave_up += 1;
                     if let Some((value, _)) = vote.leader() {
                         let verdict = value.as_bool().unwrap_or(false);
                         caches.put_equal(left, right, instruction, verdict);
@@ -385,14 +673,15 @@ pub fn fulfill_needs(
                 VoteOutcome::Decided { value, .. } => {
                     let left_preferred = value.as_bool().unwrap_or(true);
                     caches.put_prefer(left, right, instruction, left_preferred);
-                    winning_key
-                        .insert(*hit, vec![if left_preferred { "left" } else { "right" }.into()]);
+                    winning_key.insert(
+                        idx,
+                        vec![if left_preferred { "left" } else { "right" }.into()],
+                    );
                 }
                 _ => {
-                    let left_preferred = vote
-                        .leader()
-                        .and_then(|(v, _)| v.as_bool())
-                        .unwrap_or(true);
+                    summary.gave_up += 1;
+                    let left_preferred =
+                        vote.leader().and_then(|(v, _)| v.as_bool()).unwrap_or(true);
                     caches.put_prefer(left, right, instruction, left_preferred);
                     summary.warnings.push(format!(
                         "accepted fallback preference for CROWDORDER('{left}' vs '{right}')"
@@ -407,7 +696,8 @@ pub fn fulfill_needs(
     // scored — scoring them as disagreement would eventually ban honest
     // contributors whose task kind simply has no majority vote.
     for (worker, hit, voted) in worker_votes {
-        match (&voted, winning_key.get(&hit)) {
+        let winners = hit_to_need.get(&hit).and_then(|idx| winning_key.get(idx));
+        match (&voted, winners) {
             (Some(key), Some(winners)) => {
                 wrm.record_assignment(worker, config.reward_cents as u64, winners.contains(key));
             }
@@ -423,6 +713,7 @@ pub fn fulfill_needs(
         wrm.ban(worker);
     }
 
+    summary.note_absorbed_faults();
     Ok(summary)
 }
 
@@ -478,11 +769,7 @@ fn note_escalations(state: &mut HitState) {
 
 /// Feed one answer into a HIT's quality-control state; returns the
 /// normalized key the worker voted for (for agreement scoring).
-fn ingest_answer(
-    state: &mut HitState,
-    answer: &Answer,
-    normalizer: &Normalizer,
-) -> Option<String> {
+fn ingest_answer(state: &mut HitState, answer: &Answer, normalizer: &Normalizer) -> Option<String> {
     match (state, answer) {
         (HitState::Probe { columns, votes, .. }, Answer::Form(fields)) => {
             let mut first_key = None;
@@ -667,6 +954,48 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(spec.assignments, 3);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = crate::config::RetryPolicy {
+            backoff_base_secs: 10.0,
+            backoff_cap_secs: 40.0,
+            backoff_jitter: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(backoff_secs(&policy, 1, 0), 10.0);
+        assert_eq!(backoff_secs(&policy, 2, 0), 20.0);
+        assert_eq!(backoff_secs(&policy, 3, 0), 40.0);
+        assert_eq!(backoff_secs(&policy, 9, 0), 40.0, "capped");
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_and_deterministic() {
+        let policy = crate::config::RetryPolicy {
+            backoff_base_secs: 100.0,
+            backoff_cap_secs: 100.0,
+            backoff_jitter: 0.25,
+            ..Default::default()
+        };
+        for salt in 0..200 {
+            let w = backoff_secs(&policy, 1, salt);
+            assert!((75.0..=125.0).contains(&w), "salt {salt}: {w}");
+            assert_eq!(w, backoff_secs(&policy, 1, salt), "deterministic");
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_resets_on_success() {
+        let mut b = Breaker::new(3);
+        b.failed();
+        b.failed();
+        b.succeeded();
+        b.failed();
+        b.failed();
+        assert!(!b.tripped);
+        b.failed();
+        assert!(b.tripped);
     }
 
     #[test]

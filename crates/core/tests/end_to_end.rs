@@ -36,7 +36,11 @@ fn conference_world() -> ClosureModel<impl Fn(&TaskKind) -> Answer + Send> {
                     .iter()
                     .map(|(col, _)| {
                         let text = match col.as_str() {
-                            "abstract" => abstracts.get(title).copied().unwrap_or("unknown").to_string(),
+                            "abstract" => abstracts
+                                .get(title)
+                                .copied()
+                                .unwrap_or("unknown")
+                                .to_string(),
                             "nb_attendees" => attendance
                                 .get(title)
                                 .map(|n| n.to_string())
@@ -108,11 +112,8 @@ fn setup(db: &CrowdDB) {
     )
     .unwrap();
     for t in ["CrowdDB", "Qurk", "PIQL"] {
-        db.execute(
-            &format!("INSERT INTO Talk (title) VALUES ('{t}')"),
-            &mut p,
-        )
-        .unwrap();
+        db.execute(&format!("INSERT INTO Talk (title) VALUES ('{t}')"), &mut p)
+            .unwrap();
     }
 }
 
@@ -203,8 +204,11 @@ fn crowdequal_entity_resolution_end_to_end() {
     )
     .unwrap();
     for c in ["I.B.M.", "Microsoft", "Apple"] {
-        db.execute(&format!("INSERT INTO company (name) VALUES ('{c}')"), &mut p)
-            .unwrap();
+        db.execute(
+            &format!("INSERT INTO company (name) VALUES ('{c}')"),
+            &mut p,
+        )
+        .unwrap();
     }
     let mut amt = SimPlatform::amt(5, Box::new(conference_world()));
     let r = db
@@ -223,7 +227,8 @@ fn wrm_accumulates_community_statistics() {
     });
     setup(&db);
     let mut amt = SimPlatform::amt(21, Box::new(conference_world()));
-    db.execute("SELECT nb_attendees FROM Talk", &mut amt).unwrap();
+    db.execute("SELECT nb_attendees FROM Talk", &mut amt)
+        .unwrap();
     db.with_wrm(|wrm| {
         assert!(wrm.community_size() > 0);
         assert!(wrm.total_paid_cents() > 0);

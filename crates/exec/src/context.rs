@@ -52,13 +52,9 @@ impl CompareCaches {
     /// over `right`.
     pub fn get_prefer(&self, left: &str, right: &str, instruction: &str) -> Option<bool> {
         let (key, swapped) = Self::pair_key(left, right, instruction);
-        self.order.get(&key).map(|&small_wins| {
-            if swapped {
-                !small_wins
-            } else {
-                small_wins
-            }
-        })
+        self.order
+            .get(&key)
+            .map(|&small_wins| if swapped { !small_wins } else { small_wins })
     }
 
     /// Record an order verdict: `left_preferred` relative to the operands

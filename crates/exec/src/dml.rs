@@ -28,11 +28,7 @@ pub struct DmlResult {
 /// Columns omitted from an explicit column list default to `CNULL` for
 /// CROWD columns (so they will be crowdsourced on first use — the
 /// CrowdSQL default) and `NULL` otherwise.
-pub fn execute_insert(
-    db: &Database,
-    caches: &CompareCaches,
-    ins: &Insert,
-) -> Result<DmlResult> {
+pub fn execute_insert(db: &Database, caches: &CompareCaches, ins: &Insert) -> Result<DmlResult> {
     let schema = db.schema(&ins.table)?;
     let bound_rows: Vec<Vec<crowddb_plan::BExpr>> = {
         db.with_catalog(|catalog| {
@@ -96,11 +92,7 @@ pub fn execute_insert(
 }
 
 /// Execute an UPDATE for one round.
-pub fn execute_update(
-    db: &Database,
-    caches: &CompareCaches,
-    upd: &Update,
-) -> Result<DmlResult> {
+pub fn execute_update(db: &Database, caches: &CompareCaches, upd: &Update) -> Result<DmlResult> {
     update_inner(db, caches, upd, true)
 }
 
@@ -129,10 +121,7 @@ fn update_inner(
         let mut assignments = Vec::with_capacity(upd.assignments.len());
         for (col, expr) in &upd.assignments {
             let idx = schema.column_index(col).ok_or_else(|| {
-                CrowdError::Analyze(format!(
-                    "unknown column '{col}' in UPDATE {}",
-                    schema.name
-                ))
+                CrowdError::Analyze(format!("unknown column '{col}' in UPDATE {}", schema.name))
             })?;
             let (bound, _) = binder.bind_table_filter(&upd.table, expr)?;
             assignments.push((idx, bound));
@@ -168,11 +157,7 @@ fn update_inner(
 }
 
 /// Execute a DELETE for one round.
-pub fn execute_delete(
-    db: &Database,
-    caches: &CompareCaches,
-    del: &Delete,
-) -> Result<DmlResult> {
+pub fn execute_delete(db: &Database, caches: &CompareCaches, del: &Delete) -> Result<DmlResult> {
     delete_inner(db, caches, del, true)
 }
 
@@ -289,8 +274,7 @@ mod tests {
     #[test]
     fn insert_unknown_column() {
         let db = setup();
-        let Statement::Insert(i) =
-            parse_statement("INSERT INTO talk (nope) VALUES (1)").unwrap()
+        let Statement::Insert(i) = parse_statement("INSERT INTO talk (nope) VALUES (1)").unwrap()
         else {
             panic!()
         };
@@ -300,7 +284,10 @@ mod tests {
     #[test]
     fn update_with_filter() {
         let db = setup();
-        insert(&db, "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)");
+        insert(
+            &db,
+            "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)",
+        );
         let Statement::Update(u) =
             parse_statement("UPDATE talk SET nb_attendees = nb_attendees + 5 WHERE title = 'a'")
                 .unwrap()
@@ -317,9 +304,11 @@ mod tests {
     #[test]
     fn update_all_rows_without_filter() {
         let db = setup();
-        insert(&db, "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)");
-        let Statement::Update(u) =
-            parse_statement("UPDATE talk SET abstract = 'revised'").unwrap()
+        insert(
+            &db,
+            "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)",
+        );
+        let Statement::Update(u) = parse_statement("UPDATE talk SET abstract = 'revised'").unwrap()
         else {
             panic!()
         };
@@ -330,7 +319,10 @@ mod tests {
     #[test]
     fn delete_with_filter() {
         let db = setup();
-        insert(&db, "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)");
+        insert(
+            &db,
+            "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)",
+        );
         let Statement::Delete(d) =
             parse_statement("DELETE FROM talk WHERE nb_attendees > 15").unwrap()
         else {
@@ -346,8 +338,7 @@ mod tests {
         let db = setup();
         insert(&db, "INSERT INTO talk VALUES ('CrowDB', 'x', 10)");
         let Statement::Update(u) =
-            parse_statement("UPDATE talk SET abstract = 'fixed' WHERE title ~= 'CrowdDB'")
-                .unwrap()
+            parse_statement("UPDATE talk SET abstract = 'fixed' WHERE title ~= 'CrowdDB'").unwrap()
         else {
             panic!()
         };
@@ -371,7 +362,10 @@ mod tests {
     #[test]
     fn delete_everything() {
         let db = setup();
-        insert(&db, "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)");
+        insert(
+            &db,
+            "INSERT INTO talk VALUES ('a', 'x', 10), ('b', 'y', 20)",
+        );
         let Statement::Delete(d) = parse_statement("DELETE FROM talk").unwrap() else {
             panic!()
         };

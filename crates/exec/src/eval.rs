@@ -188,9 +188,11 @@ pub fn eval_scalar_fn(func: ScalarFn, args: &[Value]) -> Result<Value> {
                     str_arg(func, &args[0]).map(|s| Value::Int(s.chars().count() as i64))
                 }
                 ScalarFn::Abs => match &args[0] {
-                    Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
-                        CrowdError::Exec("integer overflow in ABS".into())
-                    })?)),
+                    Value::Int(i) => {
+                        Ok(Value::Int(i.checked_abs().ok_or_else(|| {
+                            CrowdError::Exec("integer overflow in ABS".into())
+                        })?))
+                    }
                     Value::Float(f) => Ok(Value::Float(f.abs())),
                     other => Err(CrowdError::Type(format!(
                         "ABS expects a number, got {}",
@@ -429,7 +431,10 @@ mod tests {
             eval_cast(&Value::Bool(true), DataType::Int).unwrap(),
             Value::Int(1)
         );
-        assert_eq!(eval_cast(&Value::CNull, DataType::Int).unwrap(), Value::CNull);
+        assert_eq!(
+            eval_cast(&Value::CNull, DataType::Int).unwrap(),
+            Value::CNull
+        );
         assert!(eval_cast(&Value::str("xyz"), DataType::Int).is_err());
     }
 }

@@ -164,7 +164,10 @@ impl<'a> Executor<'a> {
             LogicalPlan::Distinct { input } => {
                 let rows = self.run(input)?;
                 let mut seen = HashSet::new();
-                Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+                Ok(rows
+                    .into_iter()
+                    .filter(|r| seen.insert(r.clone()))
+                    .collect())
             }
             LogicalPlan::Union { left, right, all } => {
                 let mut rows = self.run(left)?;
@@ -335,17 +338,11 @@ impl<'a> Executor<'a> {
                     let r_is_left = r_refs.iter().all(|&i| i < left_arity);
                     let r_is_right = r_refs.iter().all(|&i| i >= left_arity);
                     if l_is_left && r_is_right && !r_refs.is_empty() {
-                        equi.push((
-                            (**cl).clone(),
-                            cr.remap_columns(&|i| i - left_arity),
-                        ));
+                        equi.push(((**cl).clone(), cr.remap_columns(&|i| i - left_arity)));
                         continue;
                     }
                     if l_is_right && r_is_left && !l_refs.is_empty() {
-                        equi.push((
-                            (**cr).clone(),
-                            cl.remap_columns(&|i| i - left_arity),
-                        ));
+                        equi.push(((**cr).clone(), cl.remap_columns(&|i| i - left_arity)));
                         continue;
                     }
                 }
@@ -628,8 +625,13 @@ impl<'a> Executor<'a> {
         // -- helpers ----------------------------------------------------
     }
 
-    fn quicksort<KS>(&mut self, idxs: &mut [usize], keyed: &[(Vec<KS>, Row)], descs: &[bool], depth: usize)
-    where
+    fn quicksort<KS>(
+        &mut self,
+        idxs: &mut [usize],
+        keyed: &[(Vec<KS>, Row)],
+        descs: &[bool],
+        depth: usize,
+    ) where
         KS: SortKeyVal,
     {
         if idxs.len() <= 1 || depth > 64 {
@@ -794,8 +796,11 @@ impl<'a> Executor<'a> {
                 let v = self.eval(expr, row)?;
                 let lo = self.eval(low, row)?;
                 let hi = self.eval(high, row)?;
-                let t = compare_truth(&v, BinaryOp::GtEq, &lo)
-                    .and(compare_truth(&v, BinaryOp::LtEq, &hi));
+                let t = compare_truth(&v, BinaryOp::GtEq, &lo).and(compare_truth(
+                    &v,
+                    BinaryOp::LtEq,
+                    &hi,
+                ));
                 Ok(truth_to_value(if *negated { t.not() } else { t }))
             }
             BExpr::InList {
@@ -956,9 +961,7 @@ impl<'a> Executor<'a> {
             return Ok(rows.clone());
         }
         let rows = self.run(plan)?;
-        self.ctx
-            .subquery_results
-            .insert(key, rows.clone());
+        self.ctx.subquery_results.insert(key, rows.clone());
         Ok(rows)
     }
 }
@@ -1024,7 +1027,10 @@ trait SortKeyVal {
 
 enum KeyVal {
     Machine(Value),
-    Crowd { rendered: String, instruction: String },
+    Crowd {
+        rendered: String,
+        instruction: String,
+    },
 }
 
 impl SortKeyVal for KeyVal {

@@ -105,7 +105,12 @@ impl TaskNeed {
     /// Short description for logs.
     pub fn describe(&self) -> String {
         match self {
-            TaskNeed::ProbeValues { table, tid, columns, .. } => {
+            TaskNeed::ProbeValues {
+                table,
+                tid,
+                columns,
+                ..
+            } => {
                 format!("probe {table}/{tid} ({} cols)", columns.len())
             }
             TaskNeed::NewTuples { table, want, .. } => {

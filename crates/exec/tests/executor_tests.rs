@@ -4,8 +4,8 @@
 
 use crowddb_common::{row, Row, Value};
 use crowddb_exec::{execute, CompareCaches, ExecResult, TaskNeed};
-use crowddb_plan::{optimize, Binder, LogicalPlan, OptimizerConfig};
 use crowddb_plan::cardinality::FnStats;
+use crowddb_plan::{optimize, Binder, LogicalPlan, OptimizerConfig};
 use crowddb_sql::{parse_statement, Statement};
 use crowddb_storage::Database;
 
@@ -31,9 +31,7 @@ fn plan(db: &Database, sql: &str) -> LogicalPlan {
     let Statement::Select(q) = parse_statement(sql).unwrap() else {
         panic!("not a select: {sql}")
     };
-    let bound = db
-        .with_catalog(|c| Binder::new(c).bind_query(&q))
-        .unwrap();
+    let bound = db.with_catalog(|c| Binder::new(c).bind_query(&q)).unwrap();
     // Flat estimate; tests are small and don't exercise the estimator.
     let stats = FnStats(|_t: &str| Some(100));
     optimize(bound, &stats, &OptimizerConfig::default())
@@ -98,7 +96,13 @@ fn probe_converges_after_write_back() {
     let db = setup();
     seed_talks(&db);
     let r = run(&db, "SELECT abstract FROM talk WHERE title = 'CrowdDB'");
-    let TaskNeed::ProbeValues { table, tid, columns, .. } = &r.needs[0] else {
+    let TaskNeed::ProbeValues {
+        table,
+        tid,
+        columns,
+        ..
+    } = &r.needs[0]
+    else {
         panic!()
     };
     // Simulate the task manager writing the crowd's answer back.
@@ -142,7 +146,8 @@ fn predicate_on_cnull_is_unknown_and_probes() {
 fn joins_inner_and_left() {
     let db = setup();
     seed_talks(&db);
-    db.insert("notableattendee", row!["Mike", "CrowdDB"]).unwrap();
+    db.insert("notableattendee", row!["Mike", "CrowdDB"])
+        .unwrap();
     db.insert("notableattendee", row!["Sam", "Qurk"]).unwrap();
     let r = run(
         &db,
@@ -163,7 +168,8 @@ fn joins_inner_and_left() {
 fn crowd_join_requests_new_tuples_for_missing_matches() {
     let db = setup();
     seed_talks(&db);
-    db.insert("notableattendee", row!["Mike", "CrowdDB"]).unwrap();
+    db.insert("notableattendee", row!["Mike", "CrowdDB"])
+        .unwrap();
     let r = run(
         &db,
         "SELECT t.title, n.name FROM talk t JOIN notableattendee n ON t.title = n.title",
@@ -199,7 +205,11 @@ fn bounded_crowd_scan_requests_tuples() {
     assert_eq!(r.rows.len(), 0);
     assert_eq!(r.needs.len(), 1);
     match &r.needs[0] {
-        TaskNeed::NewTuples { table, preset, want } => {
+        TaskNeed::NewTuples {
+            table,
+            preset,
+            want,
+        } => {
             assert_eq!(table, "notableattendee");
             assert!(preset.is_empty());
             assert_eq!(*want, 5);
@@ -207,8 +217,10 @@ fn bounded_crowd_scan_requests_tuples() {
         other => panic!("{other:?}"),
     }
     // Two tuples arrive; the scan still wants three more.
-    db.write_back_tuple("notableattendee", row!["A", "t1"]).unwrap();
-    db.write_back_tuple("notableattendee", row!["B", "t2"]).unwrap();
+    db.write_back_tuple("notableattendee", row!["A", "t1"])
+        .unwrap();
+    db.write_back_tuple("notableattendee", row!["B", "t2"])
+        .unwrap();
     let r2 = run(&db, "SELECT name FROM notableattendee LIMIT 5");
     assert_eq!(r2.rows.len(), 2);
     match &r2.needs[0] {
@@ -273,7 +285,10 @@ fn crowdorder_sort_with_cache() {
 fn machine_sort_and_limit_offset() {
     let db = setup();
     seed_talks(&db);
-    let r = run(&db, "SELECT title FROM talk ORDER BY title DESC LIMIT 2 OFFSET 1");
+    let r = run(
+        &db,
+        "SELECT title FROM talk ORDER BY title DESC LIMIT 2 OFFSET 1",
+    );
     assert_eq!(r.rows, vec![row!["PIQL"], row!["CrowdDB"]]);
 }
 
@@ -339,7 +354,8 @@ fn distinct_rows() {
 fn in_subquery_and_exists() {
     let db = setup();
     seed_talks(&db);
-    db.insert("notableattendee", row!["Mike", "CrowdDB"]).unwrap();
+    db.insert("notableattendee", row!["Mike", "CrowdDB"])
+        .unwrap();
     let r = run(
         &db,
         "SELECT title FROM talk WHERE title IN (SELECT title FROM notableattendee)",
@@ -380,10 +396,7 @@ fn case_expression_in_query() {
         "SELECT title, CASE WHEN nb_attendees > 70 THEN 'big' ELSE 'small' END \
          FROM talk WHERE nb_attendees IS NOT CNULL ORDER BY title",
     );
-    assert_eq!(
-        r.rows,
-        vec![row!["PIQL", "small"], row!["Qurk", "big"]]
-    );
+    assert_eq!(r.rows, vec![row!["PIQL", "small"], row!["Qurk", "big"]]);
 }
 
 #[test]
@@ -452,7 +465,10 @@ fn stats_are_collected() {
 fn division_by_zero_is_runtime_error() {
     let db = setup();
     seed_talks(&db);
-    let p = plan(&db, "SELECT nb_attendees / 0 FROM talk WHERE title = 'Qurk'");
+    let p = plan(
+        &db,
+        "SELECT nb_attendees / 0 FROM talk WHERE title = 'Qurk'",
+    );
     let caches = CompareCaches::default();
     assert!(execute(&db, &caches, &p).is_err());
 }

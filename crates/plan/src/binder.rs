@@ -48,9 +48,7 @@ impl<'a> Binder<'a> {
         // 2. WHERE.
         if let Some(filter) = &query.filter {
             if no_from {
-                return Err(CrowdError::Analyze(
-                    "WHERE requires a FROM clause".into(),
-                ));
+                return Err(CrowdError::Analyze("WHERE requires a FROM clause".into()));
             }
             let pred = self.bind_expr(filter, &from_schema)?;
             if contains_crowd_order(&pred) {
@@ -87,9 +85,9 @@ impl<'a> Binder<'a> {
 
         // 4. HAVING (after aggregation).
         if let Some(having) = &query.having {
-            let env = agg_env.as_ref().ok_or_else(|| {
-                CrowdError::Analyze("HAVING requires aggregation".into())
-            })?;
+            let env = agg_env
+                .as_ref()
+                .ok_or_else(|| CrowdError::Analyze("HAVING requires aggregation".into()))?;
             let pred = self.bind_agg_output_expr(having, env, &working_schema)?;
             plan = LogicalPlan::Filter {
                 input: Box::new(plan),
@@ -514,11 +512,7 @@ impl<'a> Binder<'a> {
         agg_schema: &PlanSchema,
     ) -> Result<BExpr> {
         let rendering = expr.to_string();
-        if let Some(i) = env
-            .group_by_renderings
-            .iter()
-            .position(|g| *g == rendering)
-        {
+        if let Some(i) = env.group_by_renderings.iter().position(|g| *g == rendering) {
             return Ok(BExpr::Column(i));
         }
         if let Some(j) = env.agg_renderings.iter().position(|a| *a == rendering) {
@@ -633,10 +627,7 @@ impl<'a> Binder<'a> {
             if c.table.is_none() {
                 let name = c.column.to_ascii_lowercase();
                 for (i, item) in projection.iter().enumerate() {
-                    if let SelectItem::Expr {
-                        alias: Some(a), ..
-                    } = item
-                    {
+                    if let SelectItem::Expr { alias: Some(a), .. } = item {
                         if a.to_ascii_lowercase() == name {
                             return Ok(out_exprs[i].clone());
                         }
@@ -656,10 +647,7 @@ impl<'a> Binder<'a> {
 
     fn mark_used(&mut self, col: &PlanColumn) {
         if let (Some(q), Some((_, ord))) = (&col.qualifier, &col.base) {
-            self.used_columns
-                .entry(q.clone())
-                .or_default()
-                .insert(*ord);
+            self.used_columns.entry(q.clone()).or_default().insert(*ord);
         }
     }
 
@@ -855,8 +843,12 @@ impl<'a> Binder<'a> {
         }
         // Arity checks.
         let ok = match func {
-            ScalarFn::Lower | ScalarFn::Upper | ScalarFn::Length | ScalarFn::Abs
-            | ScalarFn::Round | ScalarFn::Trim => bs.len() == 1,
+            ScalarFn::Lower
+            | ScalarFn::Upper
+            | ScalarFn::Length
+            | ScalarFn::Abs
+            | ScalarFn::Round
+            | ScalarFn::Trim => bs.len() == 1,
             ScalarFn::Substr => bs.len() == 2 || bs.len() == 3,
             ScalarFn::Coalesce | ScalarFn::ConcatFn => !bs.is_empty(),
         };
@@ -944,8 +936,7 @@ fn apply_needed_columns(plan: &mut LogicalPlan, used: &HashMap<String, BTreeSet<
         | LogicalPlan::Sort { input, .. }
         | LogicalPlan::Limit { input, .. }
         | LogicalPlan::Distinct { input } => apply_needed_columns(input, used),
-        LogicalPlan::Join { left, right, .. }
-        | LogicalPlan::Union { left, right, .. } => {
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::Union { left, right, .. } => {
             apply_needed_columns(left, used);
             apply_needed_columns(right, used);
         }
@@ -1000,10 +991,7 @@ mod tests {
     fn needed_columns_tracked_per_scan() {
         let plan = bind("SELECT abstract FROM Talk WHERE title = 'x'").unwrap();
         let scans = plan.scans();
-        let LogicalPlan::Scan {
-            needed_columns, ..
-        } = scans[0]
-        else {
+        let LogicalPlan::Scan { needed_columns, .. } = scans[0] else {
             panic!()
         };
         assert_eq!(needed_columns, &vec![0, 1]); // title + abstract, not nb_attendees
@@ -1033,8 +1021,8 @@ mod tests {
 
     #[test]
     fn self_join_with_aliases() {
-        let plan = bind("SELECT a.title, b.title FROM Talk a, Talk b WHERE a.title = b.title")
-            .unwrap();
+        let plan =
+            bind("SELECT a.title, b.title FROM Talk a, Talk b WHERE a.title = b.title").unwrap();
         assert_eq!(plan.schema().arity(), 2);
     }
 
@@ -1079,7 +1067,10 @@ mod tests {
         )
         .unwrap();
         let text = plan.explain();
-        assert!(text.contains("Aggregate group=[#1] aggs=[COUNT(*)]"), "{text}");
+        assert!(
+            text.contains("Aggregate group=[#1] aggs=[COUNT(*)]"),
+            "{text}"
+        );
         assert!(text.contains("Filter (#1 > 2)"), "{text}");
         assert_eq!(plan.schema().arity(), 2);
     }
@@ -1110,7 +1101,11 @@ mod tests {
     #[test]
     fn order_by_alias_and_position() {
         let plan = bind("SELECT nb_attendees AS n FROM Talk ORDER BY n DESC").unwrap();
-        assert!(plan.explain().contains("Sort #2 DESC"), "{}", plan.explain());
+        assert!(
+            plan.explain().contains("Sort #2 DESC"),
+            "{}",
+            plan.explain()
+        );
         let plan = bind("SELECT title, nb_attendees FROM Talk ORDER BY 2").unwrap();
         assert!(plan.explain().contains("Sort #2"), "{}", plan.explain());
         assert!(bind("SELECT title FROM Talk ORDER BY 5").is_err());
@@ -1118,10 +1113,9 @@ mod tests {
 
     #[test]
     fn subqueries_bind() {
-        let plan = bind(
-            "SELECT title FROM Talk WHERE title IN (SELECT title FROM NotableAttendee)",
-        )
-        .unwrap();
+        let plan =
+            bind("SELECT title FROM Talk WHERE title IN (SELECT title FROM NotableAttendee)")
+                .unwrap();
         let mut in_plans = 0;
         plan.walk(&mut |n| {
             if let LogicalPlan::Filter { predicate, .. } = n {
@@ -1147,20 +1141,16 @@ mod tests {
     #[test]
     fn select_without_from() {
         let plan = bind("SELECT 1 + 1").unwrap();
-        assert!(matches!(
-            plan,
-            LogicalPlan::Project { .. }
-        ));
+        assert!(matches!(plan, LogicalPlan::Project { .. }));
         assert!(bind("SELECT * ").is_err());
         assert!(bind("SELECT 1 WHERE 1 = 1").is_err());
     }
 
     #[test]
     fn explicit_join_binds_on() {
-        let plan = bind(
-            "SELECT t.title, n.name FROM Talk t JOIN NotableAttendee n ON t.title = n.title",
-        )
-        .unwrap();
+        let plan =
+            bind("SELECT t.title, n.name FROM Talk t JOIN NotableAttendee n ON t.title = n.title")
+                .unwrap();
         let text = plan.explain();
         assert!(text.contains("INNER Join ON (#0 = #4)"), "{text}");
     }

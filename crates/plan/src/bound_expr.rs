@@ -508,7 +508,11 @@ impl fmt::Display for BExpr {
                 if *negated { "NOT " } else { "" }
             ),
             BExpr::ExistsPlan { negated, .. } => {
-                write!(f, "({}EXISTS (<subquery>))", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "({}EXISTS (<subquery>))",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             BExpr::ScalarPlan(_) => f.write_str("(<scalar subquery>)"),
             BExpr::Case { branches, .. } => write!(f, "CASE [{} branches]", branches.len()),

@@ -96,7 +96,10 @@ pub fn estimate_rows(plan: &LogicalPlan, stats: &dyn StatsSource) -> f64 {
         }
         LogicalPlan::Project { input, .. } => estimate_rows(input, stats),
         LogicalPlan::Join {
-            left, right, kind, on,
+            left,
+            right,
+            kind,
+            on,
         } => {
             let l = estimate_rows(left, stats);
             let r = estimate_rows(right, stats);

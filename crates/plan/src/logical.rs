@@ -173,8 +173,9 @@ impl LogicalPlan {
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::Distinct { input } => vec![input],
-            LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::Union { left, right, .. } => vec![left, right],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Union { left, right, .. } => {
+                vec![left, right]
+            }
         }
     }
 
@@ -276,7 +277,11 @@ impl LogicalPlan {
                 ));
             }
             LogicalPlan::Filter { input, predicate } => {
-                let tag = if predicate.is_crowd() { "CrowdFilter" } else { "Filter" };
+                let tag = if predicate.is_crowd() {
+                    "CrowdFilter"
+                } else {
+                    "Filter"
+                };
                 out.push_str(&format!("{pad}{tag} {predicate}\n"));
                 input.explain_into(out, depth + 1);
             }
@@ -357,10 +362,7 @@ impl LogicalPlan {
                 out.push_str(&format!("{pad}Values [{} rows]\n", rows.len()));
             }
             LogicalPlan::Union { left, right, all } => {
-                out.push_str(&format!(
-                    "{pad}Union{}\n",
-                    if *all { " ALL" } else { "" }
-                ));
+                out.push_str(&format!("{pad}Union{}\n", if *all { " ALL" } else { "" }));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
@@ -375,11 +377,7 @@ impl fmt::Display for LogicalPlan {
 }
 
 /// Build a Scan node's schema from catalog information.
-pub fn scan_schema(
-    alias: &str,
-    columns: &[(String, DataType, bool)],
-    table: &str,
-) -> PlanSchema {
+pub fn scan_schema(alias: &str, columns: &[(String, DataType, bool)], table: &str) -> PlanSchema {
     PlanSchema::new(
         columns
             .iter()

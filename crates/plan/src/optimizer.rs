@@ -465,8 +465,8 @@ fn push_conjuncts(plan: LogicalPlan, conjuncts: Vec<BExpr>) -> LogicalPlan {
             let mut still_stay = Vec::new();
             for c in stay {
                 let refs = c.column_refs();
-                let two_sided = refs.iter().any(|&i| i < left_arity)
-                    && refs.iter().any(|&i| i >= left_arity);
+                let two_sided =
+                    refs.iter().any(|&i| i < left_arity) && refs.iter().any(|&i| i >= left_arity);
                 if two_sided && !c.is_crowd() && !c.has_subplan() {
                     on_parts.push(c);
                 } else {
@@ -710,17 +710,17 @@ fn try_reorder_region(plan: LogicalPlan, stats: &dyn StatsSource) -> LogicalPlan
         .map(|r| {
             let mut crowd = false;
             r.walk(&mut |n| {
-                if let LogicalPlan::Scan { crowd_table: true, .. } = n {
+                if let LogicalPlan::Scan {
+                    crowd_table: true, ..
+                } = n
+                {
                     crowd = true;
                 }
             });
             crowd
         })
         .collect();
-    let sizes: Vec<f64> = relations
-        .iter()
-        .map(|r| estimate_rows(r, stats))
-        .collect();
+    let sizes: Vec<f64> = relations.iter().map(|r| estimate_rows(r, stats)).collect();
 
     let rel_of_col = |col: usize| -> usize {
         for (i, &off) in old_offsets.iter().enumerate() {
@@ -1094,9 +1094,8 @@ mod tests {
 
     #[test]
     fn predicate_pushdown_splits_to_join_sides() {
-        let plan = plan_of(
-            "SELECT * FROM Big b, Small s WHERE b.id = s.id AND b.v = 'x' AND s.w = 'y'",
-        );
+        let plan =
+            plan_of("SELECT * FROM Big b, Small s WHERE b.id = s.id AND b.v = 'x' AND s.w = 'y'");
         let text = plan.explain();
         // Single-table conjuncts sit directly on their scans.
         let scan_big_idx = text.find("Scan big").unwrap();

@@ -22,6 +22,10 @@
 //!   filtering, no payments) standing in for the demo's conference
 //!   platform;
 //! * a deterministic [`mock::MockPlatform`] for tests;
+//! * a seeded **fault injector** ([`faults`]) wrapping any platform with
+//!   reproducible outages, lost HITs, duplicate deliveries, garbled
+//!   answers, and latency spikes — the adversary the Task Manager's
+//!   resilience machinery is tested against;
 //! * the **Worker Relationship Manager** ([`wrm`]) — payments, bonuses,
 //!   complaints, per-worker agreement tracking.
 //!
@@ -30,6 +34,7 @@
 //! quality control, write-back, escalation) is identical to what a live
 //! platform backend would exercise.
 
+pub mod faults;
 pub mod mock;
 pub mod model;
 pub mod sim;
@@ -37,6 +42,7 @@ pub mod task;
 pub mod worker;
 pub mod wrm;
 
+pub use faults::{FaultConfig, FaultStats, FaultyPlatform};
 pub use mock::MockPlatform;
 pub use model::{ClosureModel, CrowdModel, PerfectModel};
 pub use sim::{SimConfig, SimPlatform};

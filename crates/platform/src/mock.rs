@@ -9,7 +9,9 @@ use std::collections::HashMap;
 
 use crowddb_common::{CrowdError, Result};
 
-use crate::task::{Answer, HitId, Platform, PlatformStats, TaskKind, TaskResponse, TaskSpec, WorkerId};
+use crate::task::{
+    Answer, HitId, Platform, PlatformStats, TaskKind, TaskResponse, TaskSpec, WorkerId,
+};
 
 /// Scripted answer function: `(task, assignment ordinal)` → answer.
 ///
@@ -174,13 +176,15 @@ mod tests {
 
     #[test]
     fn ordinal_script_expresses_disagreement() {
-        let mut p = MockPlatform::new(Box::new(|_, ordinal| {
-            if ordinal < 2 {
-                Answer::Yes
-            } else {
-                Answer::No
-            }
-        }));
+        let mut p = MockPlatform::new(Box::new(
+            |_, ordinal| {
+                if ordinal < 2 {
+                    Answer::Yes
+                } else {
+                    Answer::No
+                }
+            },
+        ));
         p.post(vec![equal_spec()]).unwrap();
         p.advance(1.0);
         let rs = p.collect();

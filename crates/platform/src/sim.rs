@@ -94,17 +94,15 @@ struct Hit {
 
 impl Hit {
     fn open_slots(&self) -> u32 {
-        self.requested.saturating_sub(self.in_flight + self.completed)
+        self.requested
+            .saturating_sub(self.in_flight + self.completed)
     }
 }
 
 #[derive(Debug)]
 enum EventKind {
     WorkerArrives,
-    AssignmentCompletes {
-        hit: HitId,
-        worker_idx: usize,
-    },
+    AssignmentCompletes { hit: HitId, worker_idx: usize },
 }
 
 struct Event {
@@ -155,7 +153,11 @@ pub struct SimPlatform {
 
 impl SimPlatform {
     /// Create a simulated platform.
-    pub fn new(name: impl Into<String>, config: SimConfig, model: Box<dyn CrowdModel>) -> SimPlatform {
+    pub fn new(
+        name: impl Into<String>,
+        config: SimConfig,
+        model: Box<dyn CrowdModel>,
+    ) -> SimPlatform {
         let pool = WorkerPool::generate(&config.pool, config.seed);
         let rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E3779B97F4A7C15));
         SimPlatform {
@@ -508,7 +510,11 @@ mod tests {
         .replicate(3)
     }
 
-    fn run_until_complete(p: &mut SimPlatform, hits: &[HitId], max_hours: f64) -> Vec<TaskResponse> {
+    fn run_until_complete(
+        p: &mut SimPlatform,
+        hits: &[HitId],
+        max_hours: f64,
+    ) -> Vec<TaskResponse> {
         let mut responses = Vec::new();
         let mut hours = 0.0;
         while hours < max_hours {

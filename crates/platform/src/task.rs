@@ -237,6 +237,33 @@ pub trait Platform {
     fn is_complete(&self, hit: HitId) -> bool;
 }
 
+impl<P: Platform + ?Sized> Platform for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn post(&mut self, tasks: Vec<TaskSpec>) -> Result<Vec<HitId>> {
+        (**self).post(tasks)
+    }
+    fn extend(&mut self, hit: HitId, extra: u32) -> Result<()> {
+        (**self).extend(hit, extra)
+    }
+    fn advance(&mut self, dt: f64) {
+        (**self).advance(dt)
+    }
+    fn collect(&mut self) -> Vec<TaskResponse> {
+        (**self).collect()
+    }
+    fn now(&self) -> f64 {
+        (**self).now()
+    }
+    fn stats(&self) -> PlatformStats {
+        (**self).stats()
+    }
+    fn is_complete(&self, hit: HitId) -> bool {
+        (**self).is_complete(hit)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,8 +111,8 @@ impl WorkerPool {
     /// Generate a population deterministically from `seed`.
     pub fn generate(config: &WorkerPoolConfig, seed: u64) -> WorkerPool {
         let mut rng = StdRng::seed_from_u64(seed);
-        let error_dist = Beta::new(config.error_alpha, config.error_beta)
-            .expect("valid beta parameters");
+        let error_dist =
+            Beta::new(config.error_alpha, config.error_beta).expect("valid beta parameters");
         let service_dist = LogNormal::new(config.service_mu, config.service_sigma)
             .expect("valid lognormal parameters");
         let wage_dist = if config.wage_mu.is_finite() && config.wage_sigma > 0.0 {
@@ -231,10 +231,12 @@ mod tests {
     #[test]
     fn error_rates_are_plausible() {
         let p = pool(500);
-        let mean: f64 =
-            p.workers().iter().map(|w| w.error_rate).sum::<f64>() / p.len() as f64;
+        let mean: f64 = p.workers().iter().map(|w| w.error_rate).sum::<f64>() / p.len() as f64;
         assert!(mean > 0.05 && mean < 0.25, "mean error {mean}");
-        assert!(p.workers().iter().all(|w| (0.0..=1.0).contains(&w.error_rate)));
+        assert!(p
+            .workers()
+            .iter()
+            .all(|w| (0.0..=1.0).contains(&w.error_rate)));
     }
 
     #[test]

@@ -132,7 +132,15 @@ impl WorkerRelationshipManager {
         self.workers
             .values()
             .flat_map(|r| &r.ledger)
-            .filter(|e| matches!(e, LedgerEntry::Complaint { resolved: false, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    LedgerEntry::Complaint {
+                        resolved: false,
+                        ..
+                    }
+                )
+            })
             .count()
     }
 

@@ -10,8 +10,21 @@ use crate::normalize::Normalizer;
 
 /// Legal-suffix tokens dropped during entity canonicalization.
 const LEGAL_SUFFIXES: &[&str] = &[
-    "inc", "incorporated", "corp", "corporation", "co", "company", "ltd", "limited", "llc",
-    "plc", "gmbh", "ag", "sa", "holdings", "group",
+    "inc",
+    "incorporated",
+    "corp",
+    "corporation",
+    "co",
+    "company",
+    "ltd",
+    "limited",
+    "llc",
+    "plc",
+    "gmbh",
+    "ag",
+    "sa",
+    "holdings",
+    "group",
 ];
 
 /// Canonicalize an entity name: strip punctuation, case-fold, drop legal
@@ -154,7 +167,11 @@ mod tests {
 
     #[test]
     fn jaro_winkler_symmetric() {
-        let pairs = [("dwayne", "duane"), ("dixon", "dicksonx"), ("crowddb", "crowdb")];
+        let pairs = [
+            ("dwayne", "duane"),
+            ("dixon", "dicksonx"),
+            ("crowddb", "crowdb"),
+        ];
         for (a, b) in pairs {
             assert!((jaro_winkler(a, b) - jaro_winkler(b, a)).abs() < 1e-12);
         }

@@ -49,7 +49,24 @@ impl Normalizer {
     pub fn normalize(&self, raw: &str) -> String {
         let mut s: String = if self.strip_punctuation {
             raw.chars()
-                .filter(|c| !matches!(c, '.' | ',' | ';' | ':' | '!' | '?' | '\'' | '"' | '(' | ')' | '[' | ']' | '{' | '}'))
+                .filter(|c| {
+                    !matches!(
+                        c,
+                        '.' | ','
+                            | ';'
+                            | ':'
+                            | '!'
+                            | '?'
+                            | '\''
+                            | '"'
+                            | '('
+                            | ')'
+                            | '['
+                            | ']'
+                            | '{'
+                            | '}'
+                    )
+                })
                 .collect()
         } else {
             raw.to_string()
@@ -135,7 +152,9 @@ mod tests {
     #[test]
     fn string_answers_keep_original_capitalization() {
         let n = Normalizer::new();
-        let (key, stored) = n.normalize_typed("  The CrowdDB Paper ", DataType::Str).unwrap();
+        let (key, stored) = n
+            .normalize_typed("  The CrowdDB Paper ", DataType::Str)
+            .unwrap();
         assert_eq!(key, "the crowddb paper");
         assert_eq!(stored, Value::str("The CrowdDB Paper"));
     }

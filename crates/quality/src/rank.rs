@@ -104,7 +104,10 @@ pub fn kendall_tau(a: &[usize], b: &[usize]) -> f64 {
     for i in 0..n {
         for j in (i + 1)..n {
             let (x, y) = (a[i], a[j]);
-            assert!(pos_b[x] != usize::MAX && pos_b[y] != usize::MAX, "rankings differ in items");
+            assert!(
+                pos_b[x] != usize::MAX && pos_b[y] != usize::MAX,
+                "rankings differ in items"
+            );
             if pos_b[x] < pos_b[y] {
                 concordant += 1;
             } else {
@@ -122,7 +125,12 @@ pub fn adjacent_accuracy(ranking: &[usize], truth: &[usize]) -> f64 {
     if truth.len() < 2 {
         return 1.0;
     }
-    let mut pos = vec![usize::MAX; truth.len().max(ranking.iter().max().map(|m| m + 1).unwrap_or(0))];
+    let mut pos = vec![
+        usize::MAX;
+        truth
+            .len()
+            .max(ranking.iter().max().map(|m| m + 1).unwrap_or(0))
+    ];
     for (i, &item) in ranking.iter().enumerate() {
         pos[item] = i;
     }

@@ -178,7 +178,11 @@ mod tests {
             add_str(&mut v, "IBM");
         }
         match v.outcome(&VoteConfig::default()) {
-            VoteOutcome::Decided { value, votes, total } => {
+            VoteOutcome::Decided {
+                value,
+                votes,
+                total,
+            } => {
                 assert_eq!(value, Value::str("IBM"));
                 assert_eq!(votes, 3);
                 assert_eq!(total, 3);
@@ -195,7 +199,11 @@ mod tests {
         add_str(&mut v, "Apple");
         assert!(matches!(
             v.outcome(&VoteConfig::default()),
-            VoteOutcome::Decided { votes: 2, total: 3, .. }
+            VoteOutcome::Decided {
+                votes: 2,
+                total: 3,
+                ..
+            }
         ));
     }
 
@@ -232,7 +240,11 @@ mod tests {
         add_str(&mut v, "IBM");
         assert!(matches!(
             v.outcome(&cfg),
-            VoteOutcome::Decided { votes: 2, total: 3, .. }
+            VoteOutcome::Decided {
+                votes: 2,
+                total: 3,
+                ..
+            }
         ));
     }
 
@@ -257,7 +269,11 @@ mod tests {
         add_str(&mut v, "whatever");
         assert!(matches!(
             v.outcome(&VoteConfig::single()),
-            VoteOutcome::Decided { votes: 1, total: 1, .. }
+            VoteOutcome::Decided {
+                votes: 1,
+                total: 1,
+                ..
+            }
         ));
     }
 

@@ -819,12 +819,7 @@ impl fmt::Display for Query {
             write!(f, " HAVING {h}")?;
         }
         for op in &self.set_ops {
-            write!(
-                f,
-                " UNION {}{}",
-                if op.all { "ALL " } else { "" },
-                op.query
-            )?;
+            write!(f, " UNION {}{}", if op.all { "ALL " } else { "" }, op.query)?;
         }
         if !self.order_by.is_empty() {
             f.write_str(" ORDER BY ")?;
@@ -971,7 +966,11 @@ impl fmt::Display for Expr {
                 if *negated { "NOT " } else { "" }
             ),
             Expr::Exists { query, negated } => {
-                write!(f, "({}EXISTS ({query}))", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "({}EXISTS ({query}))",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::ScalarSubquery(q) => write!(f, "({q})"),
             Expr::Case {

@@ -165,7 +165,10 @@ impl Parser {
                 self.advance();
                 Ok(Statement::Explain(Box::new(self.parse_statement()?)))
             }
-            _ => Err(self.unexpected("a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/EXPLAIN)")),
+            _ => {
+                Err(self
+                    .unexpected("a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/EXPLAIN)"))
+            }
         }
     }
 
@@ -1045,10 +1048,9 @@ mod tests {
 
     #[test]
     fn references_also_accepted() {
-        assert!(parse_statement(
-            "CREATE TABLE t (a STRING, FOREIGN KEY (a) REFERENCES u(b))"
-        )
-        .is_ok());
+        assert!(
+            parse_statement("CREATE TABLE t (a STRING, FOREIGN KEY (a) REFERENCES u(b))").is_ok()
+        );
     }
 
     #[test]
@@ -1295,8 +1297,8 @@ mod tests {
 
     #[test]
     fn table_level_primary_key() {
-        let s = parse_statement("CREATE TABLE t (a INTEGER, b STRING, PRIMARY KEY (a, b))")
-            .unwrap();
+        let s =
+            parse_statement("CREATE TABLE t (a INTEGER, b STRING, PRIMARY KEY (a, b))").unwrap();
         let Statement::CreateTable(ct) = s else {
             panic!()
         };

@@ -288,6 +288,9 @@ mod tests {
     #[test]
     fn token_kind_display() {
         assert_eq!(TokenKind::CrowdEq.to_string(), "'~='");
-        assert_eq!(TokenKind::Ident("abc".into()).to_string(), "identifier 'abc'");
+        assert_eq!(
+            TokenKind::Ident("abc".into()).to_string(),
+            "identifier 'abc'"
+        );
     }
 }

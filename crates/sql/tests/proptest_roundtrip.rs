@@ -50,13 +50,16 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                     cnull,
                 }
             }),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..4), any::<bool>()).prop_map(
-                |(e, list, negated)| Expr::InList {
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,
                     negated,
-                }
-            ),
+                }),
             (ident_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
                 |(name, args)| Expr::Function {
                     name: format!("f{name}"),
@@ -91,10 +94,7 @@ fn binop_strategy() -> impl Strategy<Value = BinaryOp> {
 fn query_strategy() -> impl Strategy<Value = Query> {
     (
         any::<bool>(),
-        prop::collection::vec(
-            (expr_strategy(), prop::option::of(ident_strategy())),
-            1..4,
-        ),
+        prop::collection::vec((expr_strategy(), prop::option::of(ident_strategy())), 1..4),
         prop::collection::vec((ident_strategy(), prop::option::of(ident_strategy())), 1..3),
         prop::option::of(expr_strategy()),
         prop::collection::vec((expr_strategy(), any::<bool>()), 0..3),

@@ -46,9 +46,7 @@ impl Catalog {
 
     /// Look up a schema by (case-insensitive) name.
     pub fn get(&self, name: &str) -> Option<&TableSchema> {
-        self.tables
-            .get(&name.to_ascii_lowercase())
-            .map(|(_, s)| s)
+        self.tables.get(&name.to_ascii_lowercase()).map(|(_, s)| s)
     }
 
     /// Look up a table id by name.

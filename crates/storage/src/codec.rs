@@ -64,7 +64,9 @@ pub fn decode_value(buf: &mut Bytes) -> Result<Value> {
         }
         TAG_STR => {
             if buf.remaining() < 4 {
-                return Err(CrowdError::Internal("codec: truncated string length".into()));
+                return Err(CrowdError::Internal(
+                    "codec: truncated string length".into(),
+                ));
             }
             let len = buf.get_u32_le() as usize;
             if buf.remaining() < len {

@@ -56,7 +56,9 @@ impl Database {
             if if_exists {
                 return Ok(());
             }
-            return Err(CrowdError::Catalog(format!("table '{lname}' does not exist")));
+            return Err(CrowdError::Catalog(format!(
+                "table '{lname}' does not exist"
+            )));
         }
         inner.tables.remove(&lname);
         Ok(())
@@ -202,7 +204,9 @@ impl Database {
             let name = read_string(&mut buf)?;
             let ddl = read_string(&mut buf)?;
             if buf.remaining() < 8 {
-                return Err(CrowdError::Internal("snapshot: truncated rows length".into()));
+                return Err(CrowdError::Internal(
+                    "snapshot: truncated rows length".into(),
+                ));
             }
             let len = buf.get_u64_le() as usize;
             if buf.remaining() < len {
@@ -258,7 +262,9 @@ impl Database {
 
 fn read_string(buf: &mut Bytes) -> Result<String> {
     if buf.remaining() < 4 {
-        return Err(CrowdError::Internal("snapshot: truncated string len".into()));
+        return Err(CrowdError::Internal(
+            "snapshot: truncated string len".into(),
+        ));
     }
     let len = buf.get_u32_le() as usize;
     if buf.remaining() < len {
@@ -353,8 +359,14 @@ mod tests {
     fn create_index_by_name() {
         let db = talk_db();
         db.insert("talk", row!["a", "x", 10i64]).unwrap();
-        db.create_index("talk_att", "talk", &["nb_attendees".into()], false, IndexKind::BTree)
-            .unwrap();
+        db.create_index(
+            "talk_att",
+            "talk",
+            &["nb_attendees".into()],
+            false,
+            IndexKind::BTree,
+        )
+        .unwrap();
         let found = db
             .with_table("talk", |t| t.index_on(&[2]).is_some())
             .unwrap();
@@ -386,9 +398,7 @@ mod tests {
         let schema = restored.schema("talk").unwrap();
         assert_eq!(schema.crowd_columns(), vec![1, 2]);
         assert_eq!(schema.primary_key, vec![0]);
-        let rows = restored
-            .with_table("talk", |t| t.scan_rows())
-            .unwrap();
+        let rows = restored.with_table("talk", |t| t.scan_rows()).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].1[0], Value::str("CrowdDB"));
         assert!(rows[0].1[1].is_cnull());

@@ -56,7 +56,12 @@ pub struct Index {
 
 impl Index {
     /// Create an empty index.
-    pub fn new(name: impl Into<String>, columns: Vec<usize>, kind: IndexKind, unique: bool) -> Index {
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        kind: IndexKind,
+        unique: bool,
+    ) -> Index {
         Index {
             name: name.into(),
             columns,
@@ -119,11 +124,7 @@ impl Index {
     /// Range scan (B-tree only): all tuples with `low <= key <= high`;
     /// either bound may be `None` for an open end. Returns `None` for hash
     /// indexes.
-    pub fn range(
-        &self,
-        low: Option<&IndexKey>,
-        high: Option<&IndexKey>,
-    ) -> Option<Vec<TupleId>> {
+    pub fn range(&self, low: Option<&IndexKey>, high: Option<&IndexKey>) -> Option<Vec<TupleId>> {
         if self.kind != IndexKind::BTree {
             return None;
         }
@@ -173,7 +174,10 @@ mod tests {
         idx.insert(key(vec![Value::str("a")]), TupleId(1));
         idx.insert(key(vec![Value::str("a")]), TupleId(2));
         idx.insert(key(vec![Value::str("b")]), TupleId(3));
-        assert_eq!(idx.get(&key(vec![Value::str("a")])), &[TupleId(1), TupleId(2)]);
+        assert_eq!(
+            idx.get(&key(vec![Value::str("a")])),
+            &[TupleId(1), TupleId(2)]
+        );
         assert_eq!(idx.get(&key(vec![Value::str("c")])), &[] as &[TupleId]);
         assert_eq!(idx.distinct_keys(), 2);
         assert!(idx.range(None, None).is_none());
@@ -239,6 +243,9 @@ mod tests {
     fn key_of_extracts_columns() {
         let idx = Index::new("i", vec![2, 0], IndexKind::Hash, false);
         let row = vec![Value::Int(1), Value::str("x"), Value::Bool(true)];
-        assert_eq!(idx.key_of(&row), key(vec![Value::Bool(true), Value::Int(1)]));
+        assert_eq!(
+            idx.key_of(&row),
+            key(vec![Value::Bool(true), Value::Int(1)])
+        );
     }
 }

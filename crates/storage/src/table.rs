@@ -1,7 +1,6 @@
 //! Heap tables with stable tuple ids, constraint enforcement, and index
 //! maintenance.
 
-
 use crowddb_common::{CrowdError, Result, Row, TableSchema, TupleId, Value};
 
 use crate::index::{Index, IndexKey, IndexKind};
@@ -237,9 +236,12 @@ impl HeapTable {
             )));
         }
         index.clear();
-        for (tid, row) in self.slots.iter().enumerate().filter_map(|(i, s)| {
-            s.as_ref().map(|r| (TupleId(i as u64), r))
-        }) {
+        for (tid, row) in self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (TupleId(i as u64), r)))
+        {
             let key = index.key_of(row.values());
             self.check_unique(&index, &key, None)?;
             index.insert(key, tid);
@@ -293,7 +295,9 @@ mod tests {
     #[test]
     fn insert_and_scan() {
         let mut t = talk_table();
-        let t1 = t.insert(row!["CrowdDB", Value::CNull, Value::CNull]).unwrap();
+        let t1 = t
+            .insert(row!["CrowdDB", Value::CNull, Value::CNull])
+            .unwrap();
         let t2 = t.insert(row!["Qurk", "abstract text", 120i64]).unwrap();
         assert_ne!(t1, t2);
         assert_eq!(t.stats().live_rows, 2);
@@ -306,7 +310,8 @@ mod tests {
     #[test]
     fn pk_uniqueness_enforced() {
         let mut t = talk_table();
-        t.insert(row!["CrowdDB", Value::CNull, Value::CNull]).unwrap();
+        t.insert(row!["CrowdDB", Value::CNull, Value::CNull])
+            .unwrap();
         let err = t
             .insert(row!["CrowdDB", Value::CNull, Value::CNull])
             .unwrap_err();
@@ -382,7 +387,9 @@ mod tests {
     #[test]
     fn update_value_write_back() {
         let mut t = talk_table();
-        let tid = t.insert(row!["CrowdDB", Value::CNull, Value::CNull]).unwrap();
+        let tid = t
+            .insert(row!["CrowdDB", Value::CNull, Value::CNull])
+            .unwrap();
         t.update_value(tid, 1, Value::str("the abstract")).unwrap();
         assert_eq!(t.get(tid).unwrap()[1], Value::str("the abstract"));
         assert_eq!(t.stats().cnull_values, 1);
@@ -412,11 +419,7 @@ mod tests {
 
     #[test]
     fn int_widens_to_float() {
-        let schema = TableSchema::new(
-            "m",
-            vec![ColumnDef::new("score", DataType::Float)],
-        )
-        .unwrap();
+        let schema = TableSchema::new("m", vec![ColumnDef::new("score", DataType::Float)]).unwrap();
         let mut t = HeapTable::new(schema);
         let tid = t.insert(row![3i64]).unwrap();
         assert_eq!(t.get(tid).unwrap()[0], Value::Float(3.0));
@@ -479,8 +482,7 @@ mod tests {
 
     #[test]
     fn nan_rejected_at_insert() {
-        let schema =
-            TableSchema::new("m", vec![ColumnDef::new("score", DataType::Float)]).unwrap();
+        let schema = TableSchema::new("m", vec![ColumnDef::new("score", DataType::Float)]).unwrap();
         let mut t = HeapTable::new(schema);
         assert!(t.insert(row![f64::NAN]).is_err());
     }

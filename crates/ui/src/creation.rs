@@ -164,11 +164,7 @@ mod tests {
 
     #[test]
     fn electronic_table_gets_no_templates() {
-        let schema = TableSchema::new(
-            "plain",
-            vec![ColumnDef::new("a", DataType::Int)],
-        )
-        .unwrap();
+        let schema = TableSchema::new("plain", vec![ColumnDef::new("a", DataType::Int)]).unwrap();
         assert!(UiCreation::templates_for(&schema).is_empty());
     }
 

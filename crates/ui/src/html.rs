@@ -54,7 +54,11 @@ pub fn radio_choice(name: &str, options: &[(&str, &str)]) -> String {
 
 /// Wrap a body in a complete submit-able form page.
 pub fn page(title: &str, instructions: &str, body: &str, mobile: bool) -> String {
-    let class = if mobile { "crowddb mobile" } else { "crowddb mturk" };
+    let class = if mobile {
+        "crowddb mobile"
+    } else {
+        "crowddb mturk"
+    };
     format!(
         "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
          {viewport}<title>{title}</title></head>\

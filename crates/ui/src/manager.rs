@@ -41,8 +41,10 @@ impl UiTemplateManager {
 
     /// Fetch a template by table and kind.
     pub fn get(&self, table: &str, kind: TemplateKind) -> Option<&UiTemplate> {
-        self.templates
-            .get(&UiCreation::template_name(&table.to_ascii_lowercase(), kind))
+        self.templates.get(&UiCreation::template_name(
+            &table.to_ascii_lowercase(),
+            kind,
+        ))
     }
 
     /// The Form Editor hook: apply `edit` to the named template.
@@ -57,7 +59,9 @@ impl UiTemplateManager {
     ) -> Result<()> {
         let name = UiCreation::template_name(&table.to_ascii_lowercase(), kind);
         let t = self.templates.get_mut(&name).ok_or_else(|| {
-            CrowdError::Ui(format!("no template '{name}' — is the table crowd-related?"))
+            CrowdError::Ui(format!(
+                "no template '{name}' — is the table crowd-related?"
+            ))
         })?;
         edit(t);
         Ok(())
@@ -140,9 +144,7 @@ mod tests {
     #[test]
     fn edit_unknown_template_errors() {
         let mut m = UiTemplateManager::new();
-        let err = m
-            .edit("ghost", TemplateKind::Probe, |_| {})
-            .unwrap_err();
+        let err = m.edit("ghost", TemplateKind::Probe, |_| {}).unwrap_err();
         assert_eq!(err.category(), "ui");
     }
 

@@ -85,7 +85,12 @@ fn render(kind: &TaskKind, mobile: bool) -> String {
                 "verdict",
                 &[("yes", "Yes, the same"), ("no", "No, different")],
             ));
-            html::page("Do these refer to the same thing?", instruction, &body, mobile)
+            html::page(
+                "Do these refer to the same thing?",
+                instruction,
+                &body,
+                mobile,
+            )
         }
         TaskKind::Order {
             left,
@@ -94,7 +99,10 @@ fn render(kind: &TaskKind, mobile: bool) -> String {
         } => {
             let body = html::radio_choice(
                 "choice",
-                &[(&format!("left:{left}"), left), (&format!("right:{right}"), right)],
+                &[
+                    (&format!("left:{left}"), left),
+                    (&format!("right:{right}"), right),
+                ],
             );
             html::page("Please pick one", instruction, &body, mobile)
         }

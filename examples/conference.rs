@@ -14,16 +14,17 @@ use crowddb_ui::{render_mobile_task, render_task};
 
 fn conference_world() -> ClosureModel<impl Fn(&TaskKind) -> Answer + Send> {
     let talks = crowddb_bench::workloads::conference_talks();
-    let attendance: HashMap<String, i64> = talks
-        .iter()
-        .map(|(t, _, n)| (t.to_string(), *n))
-        .collect();
+    let attendance: HashMap<String, i64> =
+        talks.iter().map(|(t, _, n)| (t.to_string(), *n)).collect();
     let abstracts: HashMap<String, String> = talks
         .iter()
         .map(|(t, a, _)| (t.to_string(), a.to_string()))
         .collect();
     let notable: HashMap<&'static str, Vec<&'static str>> = HashMap::from([
-        ("CrowdDB", vec!["Mike Franklin", "Donald Kossmann", "Tim Kraska"]),
+        (
+            "CrowdDB",
+            vec!["Mike Franklin", "Donald Kossmann", "Tim Kraska"],
+        ),
         ("Qurk", vec!["Sam Madden", "Adam Marcus"]),
         ("Spanner", vec!["Jeff Dean"]),
     ]);
@@ -140,7 +141,10 @@ fn main() -> crowddb::Result<()> {
         instructions: "Enter the missing information for the Talk.".into(),
     };
     println!("-- Figure 2: Mechanical Turk task (generated HTML, truncated)");
-    println!("{}\n", &render_task(&probe)[..400.min(render_task(&probe).len())]);
+    println!(
+        "{}\n",
+        &render_task(&probe)[..400.min(render_task(&probe).len())]
+    );
     println!("-- Figure 3: mobile task (generated HTML, truncated)");
     println!(
         "{}\n",

@@ -35,9 +35,10 @@ fn main() -> crowddb::Result<()> {
     let mut id = 0;
     let mut mentions: Vec<String> = Vec::new();
     for c in &corpus {
-        for name in [c.canonical.as_str()].iter().chain(
-            c.variants.first().map(|v| v.as_str()).iter(),
-        ) {
+        for name in [c.canonical.as_str()]
+            .iter()
+            .chain(c.variants.first().map(|v| v.as_str()).iter())
+        {
             db.execute(
                 &format!(
                     "INSERT INTO mention VALUES ({id}, '{}')",
@@ -51,7 +52,9 @@ fn main() -> crowddb::Result<()> {
     }
 
     // Crowd-judged duplicate detection: a self-join on ~=.
-    println!("-- SELECT a.id, b.id FROM mention a, mention b WHERE a.id < b.id AND a.name ~= b.name");
+    println!(
+        "-- SELECT a.id, b.id FROM mention a, mention b WHERE a.id < b.id AND a.name ~= b.name"
+    );
     let r = db.execute(
         "SELECT a.name, b.name FROM mention a, mention b \
          WHERE a.id < b.id AND a.name ~= b.name ORDER BY a.name",

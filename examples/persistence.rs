@@ -45,28 +45,47 @@ fn main() -> crowddb::Result<()> {
     db.execute("INSERT INTO paper (title) VALUES ('CrowdDB')", &mut amt)?;
 
     println!("-- first run: the crowd answers");
-    let r = db.execute("SELECT abstract FROM paper WHERE title = 'CrowdDB'", &mut amt)?;
+    let r = db.execute(
+        "SELECT abstract FROM paper WHERE title = 'CrowdDB'",
+        &mut amt,
+    )?;
     println!("{}", r.to_table());
-    println!("cost: {}¢, {} task(s)\n", r.crowd.cents_spent, r.crowd.tasks_posted);
+    println!(
+        "cost: {}¢, {} task(s)\n",
+        r.crowd.cents_spent, r.crowd.tasks_posted
+    );
 
     // A CROWDEQUAL verdict also lands in the session caches.
     let r = db.execute(
         "SELECT title FROM paper WHERE title ~= 'Crowd.DB'",
         &mut amt,
     )?;
-    println!("-- entity verdict obtained ({} rows matched)\n", r.rows.len());
+    println!(
+        "-- entity verdict obtained ({} rows matched)\n",
+        r.rows.len()
+    );
 
     // Persist everything to disk.
     let path = std::env::temp_dir().join("crowddb-session.bin");
     std::fs::write(&path, db.snapshot()).expect("write snapshot");
-    println!("session saved to {} ({} bytes)\n", path.display(), std::fs::metadata(&path).unwrap().len());
+    println!(
+        "session saved to {} ({} bytes)\n",
+        path.display(),
+        std::fs::metadata(&path).unwrap().len()
+    );
 
     // Restore into a brand-new instance; attach a platform that would
     // FAIL if anything were posted — nothing should be.
-    let restored = CrowdDB::restore(&std::fs::read(&path).expect("read snapshot"), CrowdConfig::default())?;
+    let restored = CrowdDB::restore(
+        &std::fs::read(&path).expect("read snapshot"),
+        CrowdConfig::default(),
+    )?;
     let mut dead_crowd = crowddb::MockPlatform::unanimous(|_| Answer::Blank);
     println!("-- after restore: both queries replay from memory");
-    let r = restored.execute("SELECT abstract FROM paper WHERE title = 'CrowdDB'", &mut dead_crowd)?;
+    let r = restored.execute(
+        "SELECT abstract FROM paper WHERE title = 'CrowdDB'",
+        &mut dead_crowd,
+    )?;
     println!("{}", r.to_table());
     let r2 = restored.execute(
         "SELECT title FROM paper WHERE title ~= 'Crowd.DB'",

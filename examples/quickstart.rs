@@ -19,12 +19,14 @@ fn main() -> crowddb::Result<()> {
 
     // What the (simulated) crowd knows about the world.
     let abstracts: HashMap<&'static str, &'static str> = HashMap::from([
-        ("CrowdDB", "A hybrid database system that uses crowdsourcing to answer \
-                     queries a normal DBMS cannot."),
+        (
+            "CrowdDB",
+            "A hybrid database system that uses crowdsourcing to answer \
+                     queries a normal DBMS cannot.",
+        ),
         ("Qurk", "A query processor for human operators."),
     ]);
-    let attendance: HashMap<&'static str, i64> =
-        HashMap::from([("CrowdDB", 220), ("Qurk", 140)]);
+    let attendance: HashMap<&'static str, i64> = HashMap::from([("CrowdDB", 220), ("Qurk", 140)]);
     let world = ClosureModel::new(move |task: &TaskKind| match task {
         TaskKind::Probe { known, asked, .. } => {
             let title = known
@@ -61,7 +63,10 @@ fn main() -> crowddb::Result<()> {
             nb_attendees CROWD INTEGER )",
         &mut amt,
     )?;
-    db.execute("INSERT INTO Talk (title) VALUES ('CrowdDB'), ('Qurk')", &mut amt)?;
+    db.execute(
+        "INSERT INTO Talk (title) VALUES ('CrowdDB'), ('Qurk')",
+        &mut amt,
+    )?;
 
     // The paper's motivating query: "will return an empty answer if the
     // paper table at that time does not contain a record" — unless the

@@ -28,10 +28,7 @@ fn local_crowd_world() -> ClosureModel<impl Fn(&TaskKind) -> Answer + Send> {
         ("Tilikum Cafe", "cafe", 6),
         ("Dahlia Lounge", "seafood", 7),
     ];
-    let rating: HashMap<String, i64> = spots
-        .iter()
-        .map(|(n, _, r)| (n.to_string(), *r))
-        .collect();
+    let rating: HashMap<String, i64> = spots.iter().map(|(n, _, r)| (n.to_string(), *r)).collect();
     ClosureModel::new(move |task: &TaskKind| match task {
         TaskKind::NewTuples { .. } => Answer::Tuples(
             spots
@@ -96,7 +93,9 @@ fn main() -> crowddb::Result<()> {
         println!("note: {w}");
     }
 
-    println!("\n(the mobile platform only hands tasks to workers within the locality \
-              radius; the simulator's volunteer pool lives at the venue)");
+    println!(
+        "\n(the mobile platform only hands tasks to workers within the locality \
+              radius; the simulator's volunteer pool lives at the venue)"
+    );
     Ok(())
 }

@@ -50,8 +50,9 @@
 //! * [`crowddb_core`] — the [`CrowdDB`] facade and Task Manager loop.
 
 pub use crowddb_common::{CrowdError, DataType, Result, Row, Value};
-pub use crowddb_core::{CrowdConfig, CrowdDB, CrowdSummary, QueryResult};
+pub use crowddb_core::{CrowdConfig, CrowdDB, CrowdSummary, QueryResult, RetryPolicy};
 pub use crowddb_platform::{
-    Answer, MockPlatform, Platform, SimConfig, SimPlatform, TaskKind, TaskSpec,
+    Answer, FaultConfig, FaultStats, FaultyPlatform, MockPlatform, Platform, SimConfig,
+    SimPlatform, TaskKind, TaskSpec,
 };
 pub use crowddb_quality::VoteConfig;

@@ -79,10 +79,7 @@ fn run_meta(db: &CrowdDB, platform: &mut Box<dyn Platform>, line: &str) -> bool 
         "\\platform" => {
             let mut words = arg.split_whitespace();
             let kind = words.next().unwrap_or("amt");
-            let seed = words
-                .next()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(42u64);
+            let seed = words.next().and_then(|s| s.parse().ok()).unwrap_or(42u64);
             match make_platform(kind, seed) {
                 Ok(p) => {
                     *platform = p;
@@ -141,7 +138,8 @@ trait StatsOrDefault {
 }
 impl StatsOrDefault for crowddb::Result<crowddb_storage::TableStats> {
     fn unwrap_or_default_stats(self) -> (usize, usize) {
-        self.map(|s| (s.live_rows, s.cnull_values)).unwrap_or((0, 0))
+        self.map(|s| (s.live_rows, s.cnull_values))
+            .unwrap_or((0, 0))
     }
 }
 
@@ -151,8 +149,7 @@ fn main() {
          Type \\help for commands; statements end with ';'."
     );
     let db = CrowdDB::new();
-    let mut platform: Box<dyn Platform> =
-        Box::new(SimPlatform::amt(42, Box::new(PerfectModel)));
+    let mut platform: Box<dyn Platform> = Box::new(SimPlatform::amt(42, Box::new(PerfectModel)));
     let stdin = io::stdin();
     let mut buffer = String::new();
     loop {

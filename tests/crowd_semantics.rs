@@ -2,9 +2,7 @@
 //! answer memorization, open-world boundedness, quality control with
 //! disagreeing workers, escalation, and failure injection.
 
-use crowddb::{
-    Answer, CrowdConfig, CrowdDB, MockPlatform, Platform, TaskKind, Value, VoteConfig,
-};
+use crowddb::{Answer, CrowdConfig, CrowdDB, MockPlatform, Platform, TaskKind, Value, VoteConfig};
 
 fn conference_db(config: CrowdConfig) -> CrowdDB {
     let db = CrowdDB::with_config(config);
@@ -83,7 +81,11 @@ fn majority_vote_beats_a_noisy_worker() {
         )
         .unwrap();
     assert!(r.complete);
-    assert_eq!(r.rows[0][0], Value::Int(150), "majority wins, input trimmed");
+    assert_eq!(
+        r.rows[0][0],
+        Value::Int(150),
+        "majority wins, input trimmed"
+    );
 }
 
 #[test]
@@ -192,7 +194,9 @@ fn all_blank_answers_give_up_gracefully() {
 #[test]
 fn unbounded_rejection_and_bounded_variants() {
     let db = conference_db(CrowdConfig::default());
-    let err = db.execute_local("SELECT name FROM NotableAttendee").unwrap_err();
+    let err = db
+        .execute_local("SELECT name FROM NotableAttendee")
+        .unwrap_err();
     assert_eq!(err.category(), "unbounded-crowd-query");
     // All three paper-sanctioned bounding forms are accepted.
     for sql in [
@@ -273,7 +277,8 @@ fn crowdorder_converges_over_rounds() {
 #[test]
 fn update_with_crowd_predicate_applies_once() {
     let db = conference_db(CrowdConfig::fast_test());
-    db.execute_local("UPDATE Talk SET nb_attendees = 100").unwrap();
+    db.execute_local("UPDATE Talk SET nb_attendees = 100")
+        .unwrap();
     let mut crowd = MockPlatform::unanimous(|kind| match kind {
         TaskKind::Equal { left, right, .. } => {
             let norm = |s: &str| s.to_lowercase().replace('.', "");
@@ -322,7 +327,8 @@ fn wrm_flags_and_bans_bad_workers() {
         ),
         _ => Answer::Blank,
     }));
-    db.execute("SELECT nb_attendees FROM Talk", &mut crowd).unwrap();
+    db.execute("SELECT nb_attendees FROM Talk", &mut crowd)
+        .unwrap();
     db.with_wrm(|wrm| {
         assert!(wrm.community_size() >= 6);
         assert!(wrm.total_paid_cents() > 0);
@@ -341,9 +347,7 @@ fn preview_and_explain_cover_crowd_queries() {
         .expect("task exists");
     assert!(html.contains("CrowdDB"));
     let plan = db
-        .explain(
-            "SELECT t.title, n.name FROM Talk t JOIN NotableAttendee n ON t.title = n.title",
-        )
+        .explain("SELECT t.title, n.name FROM Talk t JOIN NotableAttendee n ON t.title = n.title")
         .unwrap();
     assert!(plan.contains("CROWD TABLE"), "{plan}");
     assert!(plan.contains("BOUNDED"), "{plan}");
@@ -357,12 +361,11 @@ fn budget_enforcement_stops_crowd_spending() {
         max_budget_cents: Some(6), // enough for one HIT (3 assignments x 2c)
         ..CrowdConfig::default()
     });
-    db.execute_local(
-        "CREATE TABLE t (id INTEGER PRIMARY KEY, v CROWD INTEGER)",
-    )
-    .unwrap();
+    db.execute_local("CREATE TABLE t (id INTEGER PRIMARY KEY, v CROWD INTEGER)")
+        .unwrap();
     for i in 0..10 {
-        db.execute_local(&format!("INSERT INTO t (id) VALUES ({i})")).unwrap();
+        db.execute_local(&format!("INSERT INTO t (id) VALUES ({i})"))
+            .unwrap();
     }
     let mut crowd = probe_answers("5");
     // 10 probes wanted, but the budget covers only the first wave's cost
@@ -386,12 +389,11 @@ fn unlimited_budget_resolves_everything() {
         max_budget_cents: None,
         ..CrowdConfig::default()
     });
-    db.execute_local(
-        "CREATE TABLE t (id INTEGER PRIMARY KEY, v CROWD INTEGER)",
-    )
-    .unwrap();
+    db.execute_local("CREATE TABLE t (id INTEGER PRIMARY KEY, v CROWD INTEGER)")
+        .unwrap();
     for i in 0..10 {
-        db.execute_local(&format!("INSERT INTO t (id) VALUES ({i})")).unwrap();
+        db.execute_local(&format!("INSERT INTO t (id) VALUES ({i})"))
+            .unwrap();
     }
     let mut crowd = probe_answers("5");
     let r = db.execute("SELECT v FROM t", &mut crowd).unwrap();
@@ -403,8 +405,11 @@ fn unlimited_budget_resolves_everything() {
 fn session_snapshot_restores_answers_and_caches() {
     let db = conference_db(CrowdConfig::fast_test());
     let mut crowd = probe_answers("persisted answer");
-    db.execute("SELECT abstract FROM Talk WHERE title = 'CrowdDB'", &mut crowd)
-        .unwrap();
+    db.execute(
+        "SELECT abstract FROM Talk WHERE title = 'CrowdDB'",
+        &mut crowd,
+    )
+    .unwrap();
     // A comparison verdict lives only in the session caches.
     db.with_caches(|c| {
         c.put_equal(
@@ -420,19 +425,27 @@ fn session_snapshot_restores_answers_and_caches() {
     // Crowdsourced value served from restored storage, no tasks posted.
     let mut crowd2 = MockPlatform::unanimous(|_| Answer::Blank);
     let r = restored
-        .execute("SELECT abstract FROM Talk WHERE title = 'CrowdDB'", &mut crowd2)
+        .execute(
+            "SELECT abstract FROM Talk WHERE title = 'CrowdDB'",
+            &mut crowd2,
+        )
         .unwrap();
     assert!(r.complete);
     assert_eq!(r.rows[0][0], Value::str("persisted answer"));
     // Cached comparison verdict survives too.
     let r = restored
-        .execute("SELECT title FROM Talk WHERE title ~= 'CrowDB'", &mut crowd2)
+        .execute(
+            "SELECT title FROM Talk WHERE title ~= 'CrowDB'",
+            &mut crowd2,
+        )
         .unwrap();
     assert!(r.complete);
     assert_eq!(r.rows.len(), 1);
     // Templates were regenerated from the schemas.
     restored.with_templates(|t| {
-        assert!(t.get("talk", crowddb_ui::template::TemplateKind::Probe).is_some());
+        assert!(t
+            .get("talk", crowddb_ui::template::TemplateKind::Probe)
+            .is_some());
     });
 }
 

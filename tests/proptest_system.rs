@@ -21,14 +21,12 @@ fn seeded_db(rows: &[(i64, String, i64)]) -> CrowdDB {
 }
 
 fn rows_strategy() -> impl Strategy<Value = Vec<(i64, String, i64)>> {
-    prop::collection::vec(
-        (0i64..1000, "[a-d]", -100i64..100),
-        0..40,
-    )
-    .prop_map(|v| {
+    prop::collection::vec((0i64..1000, "[a-d]", -100i64..100), 0..40).prop_map(|v| {
         // Deduplicate primary keys, keeping first occurrence.
         let mut seen = std::collections::HashSet::new();
-        v.into_iter().filter(|(id, _, _)| seen.insert(*id)).collect()
+        v.into_iter()
+            .filter(|(id, _, _)| seen.insert(*id))
+            .collect()
     })
 }
 
@@ -195,7 +193,8 @@ mod optimizer_soundness {
                 .unwrap();
         }
         for (id, tag) in more {
-            db.insert("u", crowddb_common::row![*id, tag.clone()]).unwrap();
+            db.insert("u", crowddb_common::row![*id, tag.clone()])
+                .unwrap();
         }
         db
     }
@@ -261,7 +260,7 @@ mod optimizer_soundness {
 /// Marketplace simulator invariants.
 mod simulator_properties {
     use super::*;
-    use crowddb_platform::{Platform, PerfectModel, SimPlatform, TaskKind, TaskSpec};
+    use crowddb_platform::{PerfectModel, Platform, SimPlatform, TaskKind, TaskSpec};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]

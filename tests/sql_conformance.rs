@@ -19,13 +19,16 @@ fn db() -> CrowdDB {
          (5, 'eve', 'hr', 70, NULL), \
          (6, 'fay', 'eng', 110, 'ada')",
     ] {
-        db.execute_local(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        db.execute_local(sql)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
     }
     db
 }
 
 fn rows(db: &CrowdDB, sql: &str) -> Vec<Vec<String>> {
-    let r = db.execute_local(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    let r = db
+        .execute_local(sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"));
     assert!(r.complete, "query should not need the crowd: {sql}");
     r.rows
         .iter()
@@ -37,11 +40,17 @@ fn rows(db: &CrowdDB, sql: &str) -> Vec<Vec<String>> {
 fn select_with_predicates() {
     let d = db();
     assert_eq!(
-        rows(&d, "SELECT name FROM emp WHERE salary >= 100 AND dept = 'eng' ORDER BY name"),
+        rows(
+            &d,
+            "SELECT name FROM emp WHERE salary >= 100 AND dept = 'eng' ORDER BY name"
+        ),
         vec![vec!["ada"], vec!["bob"], vec!["fay"]]
     );
     assert_eq!(
-        rows(&d, "SELECT name FROM emp WHERE salary BETWEEN 75 AND 95 ORDER BY name"),
+        rows(
+            &d,
+            "SELECT name FROM emp WHERE salary BETWEEN 75 AND 95 ORDER BY name"
+        ),
         vec![vec!["cyd"], vec!["dan"]]
     );
     assert_eq!(
@@ -49,7 +58,10 @@ fn select_with_predicates() {
         vec![vec!["dan"], vec!["fay"]]
     );
     assert_eq!(
-        rows(&d, "SELECT name FROM emp WHERE dept IN ('hr', 'sales') ORDER BY name"),
+        rows(
+            &d,
+            "SELECT name FROM emp WHERE dept IN ('hr', 'sales') ORDER BY name"
+        ),
         vec![vec!["cyd"], vec!["dan"], vec!["eve"]]
     );
 }
@@ -58,12 +70,18 @@ fn select_with_predicates() {
 fn null_semantics() {
     let d = db();
     assert_eq!(
-        rows(&d, "SELECT name FROM emp WHERE manager IS NULL ORDER BY name"),
+        rows(
+            &d,
+            "SELECT name FROM emp WHERE manager IS NULL ORDER BY name"
+        ),
         vec![vec!["ada"], vec!["cyd"], vec!["eve"]]
     );
     // NULL = NULL is UNKNOWN, not TRUE.
     assert_eq!(
-        rows(&d, "SELECT name FROM emp WHERE manager = manager AND manager IS NULL"),
+        rows(
+            &d,
+            "SELECT name FROM emp WHERE manager = manager AND manager IS NULL"
+        ),
         Vec::<Vec<String>>::new()
     );
     assert_eq!(
@@ -146,7 +164,10 @@ fn sorting_limits_distinct() {
         vec![vec!["ada"], vec!["fay"]]
     );
     assert_eq!(
-        rows(&d, "SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 2"),
+        rows(
+            &d,
+            "SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 2"
+        ),
         vec![vec!["bob"], vec!["cyd"]]
     );
     assert_eq!(
@@ -155,7 +176,10 @@ fn sorting_limits_distinct() {
     );
     // Multi-key sort.
     assert_eq!(
-        rows(&d, "SELECT name FROM emp ORDER BY dept, salary DESC LIMIT 3"),
+        rows(
+            &d,
+            "SELECT name FROM emp ORDER BY dept, salary DESC LIMIT 3"
+        ),
         vec![vec!["ada"], vec!["fay"], vec!["bob"]]
     );
 }
@@ -173,18 +197,20 @@ fn expressions_and_functions() {
             "SELECT name, CASE WHEN salary >= 110 THEN 'high' WHEN salary >= 85 THEN 'mid' \
              ELSE 'low' END FROM emp ORDER BY id LIMIT 3"
         ),
-        vec![
-            vec!["ada", "high"],
-            vec!["bob", "mid"],
-            vec!["cyd", "mid"]
-        ]
+        vec![vec!["ada", "high"], vec!["bob", "mid"], vec!["cyd", "mid"]]
     );
     assert_eq!(
-        rows(&d, "SELECT COALESCE(manager, 'nobody') FROM emp WHERE id = 1"),
+        rows(
+            &d,
+            "SELECT COALESCE(manager, 'nobody') FROM emp WHERE id = 1"
+        ),
         vec![vec!["nobody"]]
     );
     assert_eq!(
-        rows(&d, "SELECT CAST(salary AS STRING) || '$' FROM emp WHERE id = 5"),
+        rows(
+            &d,
+            "SELECT CAST(salary AS STRING) || '$' FROM emp WHERE id = 5"
+        ),
         vec![vec!["70$"]]
     );
 }
@@ -228,7 +254,9 @@ fn dml_update_delete() {
         rows(&d, "SELECT salary FROM emp WHERE id = 1"),
         vec![vec!["130"]]
     );
-    let r = d.execute_local("DELETE FROM emp WHERE dept = 'hr'").unwrap();
+    let r = d
+        .execute_local("DELETE FROM emp WHERE dept = 'hr'")
+        .unwrap();
     assert_eq!(r.affected, 1);
     assert_eq!(rows(&d, "SELECT COUNT(*) FROM emp"), vec![vec!["5"]]);
 }
@@ -300,7 +328,9 @@ fn three_valued_filter_excludes_unknown() {
 #[test]
 fn result_value_types() {
     let d = db();
-    let r = d.execute_local("SELECT id, name, salary FROM emp WHERE id = 1").unwrap();
+    let r = d
+        .execute_local("SELECT id, name, salary FROM emp WHERE id = 1")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(1));
     assert_eq!(r.rows[0][1], Value::str("ada"));
     assert_eq!(r.columns, vec!["id", "name", "salary"]);
