@@ -19,7 +19,7 @@
 use crowddb_bench::harness::ExperimentOutput;
 use crowddb_common::row;
 use crowddb_common::Value;
-use crowddb_exec::{execute, CompareCaches};
+use crowddb_exec::{execute_physical, lower_plan, render_analyzed, CompareCaches};
 use crowddb_plan::cardinality::FnStats;
 use crowddb_plan::{analyze_boundedness, optimize, Binder, OptimizerConfig};
 use crowddb_sql::{parse_statement, Statement};
@@ -144,12 +144,19 @@ fn main() {
         let bound = db.with_catalog(|c| Binder::new(c).bind_query(&q)).unwrap();
         let plan = optimize(bound, &FnStats(stats_fn), &config);
         let caches = CompareCaches::default();
-        let result = execute(&db, &caches, &plan).unwrap();
+        let physical = lower_plan(&db, &plan);
+        let (result, op_stats) = execute_physical(&db, &caches, &physical).unwrap();
         out2.rows.push(vec![
             label.to_string(),
             result.needs.len().to_string(),
             result.stats.rows_scanned.to_string(),
         ]);
+        out2.op_stats.push(format!("-- {label} --"));
+        out2.op_stats.extend(
+            render_analyzed(&physical, &op_stats)
+                .lines()
+                .map(String::from),
+        );
     }
     out2.notes.push(
         "expected: with push-down the track predicate reaches the scan and only the \

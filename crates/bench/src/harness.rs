@@ -39,6 +39,10 @@ pub struct ExperimentOutput {
     pub series: Vec<Series>,
     /// Free-form notes (expected shape vs observed).
     pub notes: Vec<String>,
+    /// Analyzed physical-operator tree lines (one entry per operator,
+    /// from `crowddb_exec::render_analyzed`), when the experiment
+    /// executes plans and wants per-operator accounting in the record.
+    pub op_stats: Vec<String>,
 }
 
 impl ExperimentOutput {
@@ -51,6 +55,7 @@ impl ExperimentOutput {
             rows: Vec::new(),
             series: Vec::new(),
             notes: Vec::new(),
+            op_stats: Vec::new(),
         }
     }
 
@@ -102,12 +107,18 @@ impl ExperimentOutput {
                 println!("  {x:>10.2}  {y:>10.4}");
             }
         }
+        if !self.op_stats.is_empty() {
+            println!("per-operator stats:");
+            for l in &self.op_stats {
+                println!("  {l}");
+            }
+        }
         for n in &self.notes {
             println!("note: {n}");
         }
         println!(
             "JSON: {}",
-            serde_json::to_string(self).expect("experiment output serializes")
+            serde_json::to_string(self).unwrap_or_else(|e| format!("<serialization failed: {e}>"))
         );
         println!();
     }

@@ -3,7 +3,10 @@
 use parking_lot::Mutex;
 
 use crowddb_common::{CrowdError, Result, Row};
-use crowddb_exec::{execute as execute_plan, CompareCaches};
+use crowddb_exec::{
+    execute as execute_plan, execute_physical, lower_plan, render_analyzed, CompareCaches,
+    OpStatsNode,
+};
 use crowddb_plan::cardinality::{FnStats, StatsSource};
 use crowddb_plan::{
     analyze_boundedness, annotate_cardinality, optimize, Binder, LogicalPlan, OptimizerConfig,
@@ -171,23 +174,32 @@ impl CrowdDB {
         }
     }
 
-    /// EXPLAIN output for a statement: optimized plan, cardinality
-    /// annotation, and the boundedness report.
+    /// EXPLAIN output for a statement: optimized plan, lowered physical
+    /// plan, cardinality annotation, and the boundedness report.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let stmt = parse_statement(sql)?;
-        let inner = match &stmt {
-            Statement::Explain(s) => s.as_ref().clone(),
-            other => other.clone(),
-        };
-        let Statement::Select(_) = &inner else {
+        self.explain_statement(&stmt)
+    }
+
+    /// [`CrowdDB::explain`] over an already-parsed statement. `EXPLAIN`
+    /// wrappers (however deeply nested) are stripped rather than
+    /// re-stringified and re-parsed.
+    fn explain_statement(&self, stmt: &Statement) -> Result<String> {
+        let mut inner = stmt;
+        while let Statement::Explain { statement, .. } = inner {
+            inner = statement;
+        }
+        let Statement::Select(_) = inner else {
             return Ok(format!("{inner}"));
         };
-        let (plan, _) = self.plan_select(&inner, true)?;
+        let (plan, _) = self.plan_select(inner, true)?;
         let stats = self.stats_source();
         let report = self.boundedness(&plan, &stats);
         let mut out = String::new();
         out.push_str("== Optimized plan ==\n");
         out.push_str(&plan.explain());
+        out.push_str("\n== Physical plan ==\n");
+        out.push_str(&lower_plan(&self.db, &plan).explain());
         out.push_str("\n== Cardinality ==\n");
         out.push_str(&annotate_cardinality(&plan, &stats));
         out.push_str("\n== Boundedness ==\n");
@@ -203,6 +215,106 @@ impl CrowdDB {
         }
         if let Some(calls) = report.estimated_crowd_calls {
             out.push_str(&format!("  estimated crowd task batches: ≤{calls}\n"));
+        }
+        Ok(out)
+    }
+
+    /// `EXPLAIN ANALYZE`: actually run the statement's round loop against
+    /// `platform`, then render the physical plan annotated with measured
+    /// per-operator statistics (rows in/out, crowd needs by kind,
+    /// compare-cache hits/misses, wall time) and per-round crowd
+    /// accounting.
+    ///
+    /// Only `SELECT` statements are analyzed; for anything else the
+    /// output falls back to plain [`CrowdDB::explain`].
+    pub fn explain_analyze(&self, sql: &str, platform: &mut dyn Platform) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        let mut inner = &stmt;
+        while let Statement::Explain { statement, .. } = inner {
+            inner = statement;
+        }
+        self.explain_analyze_statement(inner, platform)
+    }
+
+    fn explain_analyze_statement(
+        &self,
+        inner: &Statement,
+        platform: &mut dyn Platform,
+    ) -> Result<String> {
+        let Statement::Select(_) = inner else {
+            return self.explain_statement(inner);
+        };
+        let (plan, mut warnings) = self.plan_select(inner, true)?;
+        let physical = lower_plan(&self.db, &plan);
+        let mut merged = OpStatsNode::skeleton(&physical);
+        let start_stats = platform.stats();
+        let start_now = platform.now();
+        let mut rounds: Vec<String> = Vec::new();
+        let mut complete = false;
+        for round in 1..=self.config.max_rounds {
+            let caches_snapshot = self.caches.lock().clone();
+            let (exec, round_stats) = execute_physical(&self.db, &caches_snapshot, &physical)?;
+            merged.merge(&round_stats);
+            rounds.push(format!(
+                "round {round}: {} row(s), {} need(s)",
+                exec.rows.len(),
+                exec.needs.len()
+            ));
+            if exec.needs.is_empty() {
+                complete = true;
+                break;
+            }
+            let fresh = self.fresh_needs(exec.needs);
+            if fresh.is_empty() {
+                warnings.push(
+                    "result is partial: remaining crowd tasks were previously exhausted".into(),
+                );
+                break;
+            }
+            if let Some(budget) = self.config.max_budget_cents {
+                let spent = platform.stats().cents_spent - start_stats.cents_spent;
+                if spent >= budget {
+                    warnings.push(format!(
+                        "crowd budget of {budget}¢ exhausted ({spent}¢ spent); {} task(s) abandoned, result is partial",
+                        fresh.len()
+                    ));
+                    break;
+                }
+            }
+            let wave = self.fulfill(&fresh, platform, &mut warnings, start_stats.cents_spent)?;
+            let _ = wave;
+        }
+        if !complete && rounds.len() >= self.config.max_rounds {
+            warnings.push(format!(
+                "round budget ({}) exhausted; result may be partial",
+                self.config.max_rounds
+            ));
+        }
+        let end = platform.stats();
+        let mut out = String::new();
+        out.push_str("== Physical plan (analyzed) ==\n");
+        out.push_str(&render_analyzed(&physical, &merged));
+        out.push_str("\n== Rounds ==\n");
+        for line in &rounds {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "result: {}\n",
+            if complete { "complete" } else { "partial" }
+        ));
+        out.push_str("\n== Crowd ==\n");
+        out.push_str(&format!(
+            "tasks posted: {}\nanswers collected: {}\ncents spent: {}\nvirtual seconds: {}\n",
+            end.hits_posted - start_stats.hits_posted,
+            end.assignments_completed - start_stats.assignments_completed,
+            end.cents_spent - start_stats.cents_spent,
+            platform.now() - start_now,
+        ));
+        for w in &warnings {
+            out.push_str("warning: ");
+            out.push_str(w);
+            out.push('\n');
         }
         Ok(out)
     }
@@ -231,8 +343,16 @@ impl CrowdDB {
         platform: &mut dyn Platform,
     ) -> Result<QueryResult> {
         match stmt {
-            Statement::Explain(_) => {
-                let text = self.explain(&stmt.to_string().replacen("EXPLAIN ", "", 1))?;
+            Statement::Explain { statement, analyze } => {
+                let text = if *analyze {
+                    let mut inner: &Statement = statement;
+                    while let Statement::Explain { statement, .. } = inner {
+                        inner = statement;
+                    }
+                    self.explain_analyze_statement(inner, platform)?
+                } else {
+                    self.explain_statement(statement)?
+                };
                 Ok(QueryResult {
                     columns: vec!["plan".into()],
                     rows: text.lines().map(|l| Row::new(vec![l.into()])).collect(),

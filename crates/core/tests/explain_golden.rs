@@ -1,0 +1,286 @@
+//! Golden-file snapshots of `EXPLAIN` and `EXPLAIN ANALYZE` output.
+//!
+//! Each test renders a plan (or an analyzed run) for a query exercising
+//! one physical operator and compares it byte-for-byte against a file in
+//! `tests/golden/`. Wall-clock fields (`time=...`) are scrubbed before
+//! comparison — `OpStatsNode::summary` deliberately emits them last on
+//! the line so a plain string split suffices.
+
+use std::collections::HashMap;
+
+use crowddb_core::CrowdDB;
+use crowddb_platform::{Answer, MockPlatform, Platform, TaskKind};
+
+/// Deterministic scripted crowd (same world as the chaos suite).
+fn world_script() -> MockPlatform {
+    let abstracts: HashMap<&'static str, &'static str> = HashMap::from([
+        ("CrowdDB", "Query processing with crowdsourced data"),
+        ("Qurk", "A query processor for human operators"),
+        ("PIQL", "Performance insightful query language"),
+        ("HyPer", "Hybrid OLTP and OLAP main memory database"),
+    ]);
+    let attendance: HashMap<&'static str, i64> = HashMap::from([
+        ("CrowdDB", 220),
+        ("Qurk", 140),
+        ("PIQL", 90),
+        ("HyPer", 180),
+    ]);
+    MockPlatform::unanimous(move |task: &TaskKind| match task {
+        TaskKind::Probe { known, asked, .. } => {
+            let title = known
+                .iter()
+                .find(|(k, _)| k == "title")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("");
+            Answer::Form(
+                asked
+                    .iter()
+                    .map(|(col, _)| {
+                        let text = match col.as_str() {
+                            "abstract" => abstracts
+                                .get(title)
+                                .copied()
+                                .unwrap_or("unknown")
+                                .to_string(),
+                            "nb_attendees" => attendance
+                                .get(title)
+                                .map(|n| n.to_string())
+                                .unwrap_or_else(|| "0".to_string()),
+                            _ => "unknown".to_string(),
+                        };
+                        (col.clone(), text)
+                    })
+                    .collect(),
+            )
+        }
+        TaskKind::NewTuples { .. } => Answer::Tuples(vec![
+            vec![
+                ("name".to_string(), "Mike Franklin".to_string()),
+                ("title".to_string(), "CrowdDB".to_string()),
+            ],
+            vec![
+                ("name".to_string(), "Sam Madden".to_string()),
+                ("title".to_string(), "Qurk".to_string()),
+            ],
+        ]),
+        TaskKind::Equal { left, right, .. } => {
+            let norm = |s: &str| s.replace('.', "").to_lowercase();
+            if norm(left) == norm(right) {
+                Answer::Yes
+            } else {
+                Answer::No
+            }
+        }
+        TaskKind::Order { left, right, .. } => {
+            let score = |t: &str| attendance.get(t).copied().unwrap_or(0);
+            if score(left) >= score(right) {
+                Answer::Left
+            } else {
+                Answer::Right
+            }
+        }
+    })
+}
+
+/// A database covering every operator: crowd columns (probe), a bounded
+/// crowd table (new tuples / crowd join inner), and a machine table
+/// (hash join, machine sort).
+fn seeded_db(platform: &mut dyn Platform) -> CrowdDB {
+    let db = CrowdDB::new();
+    for sql in [
+        "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING, \
+         nb_attendees CROWD INTEGER)",
+        "CREATE CROWD TABLE NotableAttendee (name STRING PRIMARY KEY, title STRING, \
+         FOREIGN KEY (title) REF Talk(title))",
+        "CREATE TABLE Venue (talk STRING PRIMARY KEY, room STRING)",
+        "INSERT INTO Talk (title) VALUES ('CrowdDB'), ('Qurk'), ('PIQL'), ('HyPer')",
+        "INSERT INTO Venue VALUES ('CrowdDB', 'R101'), ('Qurk', 'R102')",
+    ] {
+        db.execute(sql, platform).expect(sql);
+    }
+    db
+}
+
+/// Strip the trailing ` time=...` token each analyzed operator line ends
+/// with, leaving everything else byte-exact.
+fn scrub_times(text: &str) -> String {
+    text.lines()
+        .map(|line| match line.rfind(" time=") {
+            Some(i) => &line[..i],
+            None => line,
+        })
+        .fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        })
+}
+
+/// Compare against the checked-in snapshot; run with `UPDATE_GOLDEN=1`
+/// to rewrite the snapshots instead after an intentional format change.
+fn assert_golden(actual: &str, expected: &str, name: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{name}.txt"));
+        std::fs::write(path, actual).unwrap();
+        return;
+    }
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {name}; actual output:\n<<<\n{actual}>>>"
+    );
+}
+
+fn explain(sql: &str) -> String {
+    let mut platform = world_script();
+    let db = seeded_db(&mut platform);
+    db.explain(sql).expect(sql)
+}
+
+fn explain_analyze(sql: &str) -> String {
+    let mut platform = world_script();
+    let db = seeded_db(&mut platform);
+    let r = db
+        .execute(&format!("EXPLAIN ANALYZE {sql}"), &mut platform)
+        .expect(sql);
+    assert_eq!(r.columns, vec!["plan".to_string()]);
+    let mut text = String::new();
+    for row in &r.rows {
+        text.push_str(&row[0].to_string());
+        text.push('\n');
+    }
+    scrub_times(&text)
+}
+
+#[test]
+fn explain_scan_with_probe() {
+    let actual = explain("SELECT title, abstract FROM Talk");
+    assert_golden(
+        &actual,
+        include_str!("golden/explain_scan_probe.txt"),
+        "explain_scan_probe",
+    );
+}
+
+#[test]
+fn explain_crowd_filter_residual() {
+    let actual = explain("SELECT title FROM Talk WHERE title ~= 'crowddb.'");
+    assert_golden(
+        &actual,
+        include_str!("golden/explain_filter.txt"),
+        "explain_filter",
+    );
+}
+
+#[test]
+fn explain_hash_join() {
+    let actual = explain("SELECT t.title, v.room FROM Talk t JOIN Venue v ON t.title = v.talk");
+    assert_golden(
+        &actual,
+        include_str!("golden/explain_hash_join.txt"),
+        "explain_hash_join",
+    );
+}
+
+#[test]
+fn explain_crowd_join() {
+    let actual =
+        explain("SELECT t.title, n.name FROM Talk t JOIN NotableAttendee n ON t.title = n.title");
+    assert_golden(
+        &actual,
+        include_str!("golden/explain_crowd_join.txt"),
+        "explain_crowd_join",
+    );
+}
+
+#[test]
+fn explain_crowd_sort_and_limit() {
+    let actual = explain(
+        "SELECT title FROM Talk ORDER BY CROWDORDER(title, 'Which talk did you like better') \
+         LIMIT 2",
+    );
+    assert_golden(
+        &actual,
+        include_str!("golden/explain_crowd_sort_limit.txt"),
+        "explain_crowd_sort_limit",
+    );
+}
+
+#[test]
+fn explain_aggregate() {
+    let actual = explain("SELECT COUNT(*), MAX(nb_attendees) FROM Talk");
+    assert_golden(
+        &actual,
+        include_str!("golden/explain_aggregate.txt"),
+        "explain_aggregate",
+    );
+}
+
+#[test]
+fn explain_analyze_scan_with_probe() {
+    let actual = explain_analyze("SELECT title, abstract FROM Talk");
+    assert_golden(
+        &actual,
+        include_str!("golden/analyze_scan_probe.txt"),
+        "analyze_scan_probe",
+    );
+}
+
+#[test]
+fn explain_analyze_crowd_join() {
+    let mut platform = world_script();
+    let db = seeded_db(&mut platform);
+    let raw = db
+        .explain_analyze(
+            "SELECT t.title, n.name FROM Talk t JOIN NotableAttendee n ON t.title = n.title",
+            &mut platform,
+        )
+        .unwrap();
+    // Acceptance check: the crowd join line reports non-zero rows, needs,
+    // and wall time before any scrubbing.
+    let join_line = raw
+        .lines()
+        .find(|l| l.contains("CrowdJoin"))
+        .expect("analyzed tree has a CrowdJoin line");
+    assert!(
+        !join_line.contains("new=0 "),
+        "crowd join posts new-tuple needs: {join_line}"
+    );
+    assert!(
+        !join_line.contains("out=0 "),
+        "crowd join produced rows: {join_line}"
+    );
+    assert!(
+        !join_line.contains("time=0ns"),
+        "wall time recorded: {join_line}"
+    );
+    assert_golden(
+        &scrub_times(&raw),
+        include_str!("golden/analyze_crowd_join.txt"),
+        "analyze_crowd_join",
+    );
+}
+
+#[test]
+fn explain_analyze_crowd_sort() {
+    let actual = explain_analyze(
+        "SELECT title FROM Talk ORDER BY CROWDORDER(title, 'Which talk did you like better') \
+         LIMIT 2",
+    );
+    assert_golden(
+        &actual,
+        include_str!("golden/analyze_crowd_sort.txt"),
+        "analyze_crowd_sort",
+    );
+}
+
+#[test]
+fn explain_analyze_aggregate() {
+    let actual = explain_analyze("SELECT COUNT(*), MAX(nb_attendees) FROM Talk");
+    assert_golden(
+        &actual,
+        include_str!("golden/analyze_aggregate.txt"),
+        "analyze_aggregate",
+    );
+}

@@ -3,7 +3,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crowddb_common::Row;
+use crowddb_common::{Result, Row, TableSchema};
+use crowddb_plan::LogicalPlan;
+use crowddb_storage::Database;
 
 use crate::need::TaskNeed;
 
@@ -80,6 +82,47 @@ impl CompareCaches {
     }
 }
 
+/// Needs emitted so far, broken down by kind. Snapshot-diffed around
+/// each operator by `ops::run_op` to attribute needs per operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NeedCounts {
+    /// Missing-value probe needs accepted (post-dedup).
+    pub probe: u64,
+    /// New-tuple enumeration needs accepted.
+    pub new_tuples: u64,
+    /// `CROWDEQUAL` comparison needs accepted.
+    pub equal: u64,
+    /// `CROWDORDER` comparison needs accepted.
+    pub order: u64,
+}
+
+impl NeedCounts {
+    /// Component-wise difference (`self` must be the later snapshot).
+    pub fn diff(&self, earlier: &NeedCounts) -> NeedCounts {
+        NeedCounts {
+            probe: self.probe - earlier.probe,
+            new_tuples: self.new_tuples - earlier.new_tuples,
+            equal: self.equal - earlier.equal,
+            order: self.order - earlier.order,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &NeedCounts) -> NeedCounts {
+        NeedCounts {
+            probe: self.probe + other.probe,
+            new_tuples: self.new_tuples + other.new_tuples,
+            equal: self.equal + other.equal,
+            order: self.order + other.order,
+        }
+    }
+
+    /// Total needs across all kinds.
+    pub fn total(&self) -> u64 {
+        self.probe + self.new_tuples + self.equal + self.order
+    }
+}
+
 /// Counters reported per run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
@@ -106,6 +149,8 @@ pub struct RunContext<'caches> {
     pub subquery_results: HashMap<String, Vec<Row>>,
     /// Counters.
     pub stats: RunStats,
+    /// Accepted needs by kind (for per-operator attribution).
+    pub need_counts: NeedCounts,
 }
 
 impl<'caches> RunContext<'caches> {
@@ -117,15 +162,25 @@ impl<'caches> RunContext<'caches> {
             seen_needs: HashSet::new(),
             subquery_results: HashMap::new(),
             stats: RunStats::default(),
+            need_counts: NeedCounts::default(),
         }
     }
 
-    /// Record a need (deduplicated).
-    pub fn push_need(&mut self, need: TaskNeed) {
+    /// Record a need (deduplicated). Returns whether the need was
+    /// accepted (`false` ⇒ an identical need was already recorded).
+    pub fn push_need(&mut self, need: TaskNeed) -> bool {
         let key = need.dedup_key();
-        if self.seen_needs.insert(key) {
-            self.needs.push(need);
+        if !self.seen_needs.insert(key) {
+            return false;
         }
+        match &need {
+            TaskNeed::ProbeValues { .. } => self.need_counts.probe += 1,
+            TaskNeed::NewTuples { .. } => self.need_counts.new_tuples += 1,
+            TaskNeed::Equal { .. } => self.need_counts.equal += 1,
+            TaskNeed::Order { .. } => self.need_counts.order += 1,
+        }
+        self.needs.push(need);
+        true
     }
 
     /// Needs collected so far.
@@ -136,6 +191,100 @@ impl<'caches> RunContext<'caches> {
     /// Consume the context, yielding the needs.
     pub fn into_needs(self) -> Vec<TaskNeed> {
         self.needs
+    }
+}
+
+/// Everything one execution round threads through the operator tree:
+/// the database, the per-round [`RunContext`], and a table-schema cache.
+///
+/// Operators (see [`crate::ops`]) and the expression evaluator
+/// ([`crate::eval::eval`]) take `&mut ExecCtx` rather than owning any
+/// state, so the same context serves the main plan, subqueries, and DML.
+pub struct ExecCtx<'a> {
+    /// The database being queried.
+    pub db: &'a Database,
+    /// Per-round mutable state (needs, counters, subquery memo).
+    pub rt: RunContext<'a>,
+    schema_cache: HashMap<String, TableSchema>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Fresh context sharing the session's comparison caches.
+    pub fn new(db: &'a Database, caches: &'a CompareCaches) -> ExecCtx<'a> {
+        ExecCtx {
+            db,
+            rt: RunContext::new(caches),
+            schema_cache: HashMap::new(),
+        }
+    }
+
+    /// Finish the round, yielding collected needs and counters.
+    pub fn finish(self) -> (Vec<TaskNeed>, RunStats) {
+        let stats = self.rt.stats;
+        (self.rt.into_needs(), stats)
+    }
+
+    /// Catalog schema for `table`, cached per round.
+    pub fn table_schema(&mut self, table: &str) -> Result<TableSchema> {
+        if let Some(s) = self.schema_cache.get(table) {
+            return Ok(s.clone());
+        }
+        let s = self.db.schema(table)?;
+        self.schema_cache.insert(table.to_string(), s.clone());
+        Ok(s)
+    }
+
+    /// Run an uncorrelated subplan, memoized per round by plan text.
+    ///
+    /// Lowers the logical subplan and executes it through the operator
+    /// tree; its needs and cache counters land on whichever operator's
+    /// expression evaluation triggered it.
+    pub fn run_subplan(&mut self, plan: &LogicalPlan) -> Result<Vec<Row>> {
+        let key = plan.explain();
+        if let Some(rows) = self.rt.subquery_results.get(&key) {
+            return Ok(rows.clone());
+        }
+        let physical = crate::executor::lower_plan(self.db, plan);
+        let op = crate::ops::build(&physical);
+        let mut node = crate::ops::OpStatsNode::skeleton(&physical);
+        let rows = crate::ops::run_op(op.as_ref(), self, &mut node)?;
+        self.rt.subquery_results.insert(key, rows.clone());
+        Ok(rows)
+    }
+
+    /// Crowd comparison used by sorts: preferred items sort first.
+    /// Cache misses record an [`TaskNeed::Order`] need and fall back to
+    /// a deterministic lexicographic order for this round.
+    pub fn crowd_compare(
+        &mut self,
+        left: &str,
+        right: &str,
+        instruction: &str,
+    ) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if left == right {
+            return Ordering::Equal;
+        }
+        match self.rt.caches.get_prefer(left, right, instruction) {
+            Some(true) => {
+                self.rt.stats.compare_cache_hits += 1;
+                Ordering::Less
+            }
+            Some(false) => {
+                self.rt.stats.compare_cache_hits += 1;
+                Ordering::Greater
+            }
+            None => {
+                self.rt.stats.compare_cache_misses += 1;
+                self.rt.push_need(TaskNeed::Order {
+                    left: left.to_string(),
+                    right: right.to_string(),
+                    instruction: instruction.to_string(),
+                });
+                // Deterministic fallback for this round.
+                left.cmp(right)
+            }
+        }
     }
 }
 

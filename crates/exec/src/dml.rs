@@ -10,8 +10,8 @@ use crowddb_plan::Binder;
 use crowddb_sql::{Delete, Insert, Update};
 use crowddb_storage::Database;
 
-use crate::context::CompareCaches;
-use crate::executor::Executor;
+use crate::context::{CompareCaches, ExecCtx};
+use crate::eval::{eval, eval_truth};
 use crate::need::TaskNeed;
 
 /// Result of a DML statement round.
@@ -57,7 +57,7 @@ pub fn execute_insert(db: &Database, caches: &CompareCaches, ins: &Insert) -> Re
         None => (0..schema.arity()).collect(),
     };
 
-    let mut ex = Executor::new(db, caches);
+    let mut ctx = ExecCtx::new(db, caches);
     let empty = Row::default();
     let mut affected = 0;
     for exprs in &bound_rows {
@@ -82,12 +82,12 @@ pub fn execute_insert(db: &Database, caches: &CompareCaches, ins: &Insert) -> Re
             })
             .collect();
         for (expr, &pos) in exprs.iter().zip(&positions) {
-            values[pos] = ex.eval(expr, &empty)?;
+            values[pos] = eval(&mut ctx, expr, &empty)?;
         }
         db.insert(&schema.name, Row::new(values))?;
         affected += 1;
     }
-    let (needs, _) = ex.finish();
+    let (needs, _) = ctx.finish();
     Ok(DmlResult { affected, needs })
 }
 
@@ -130,17 +130,17 @@ fn update_inner(
     })?;
 
     let rows = db.with_table(&upd.table, |t| t.scan_rows())?;
-    let mut ex = Executor::new(db, caches);
+    let mut ctx = ExecCtx::new(db, caches);
     let mut to_apply = Vec::new();
     for (tid, row) in rows {
         let hit = match &filter {
-            Some(f) => ex.eval_truth(f, &row)?.passes_filter(),
+            Some(f) => eval_truth(&mut ctx, f, &row)?.passes_filter(),
             None => true,
         };
         if hit {
             let mut new_row = row.clone();
             for (idx, expr) in &assignments {
-                let v = ex.eval(expr, &row)?;
+                let v = eval(&mut ctx, expr, &row)?;
                 new_row.set(*idx, v);
             }
             to_apply.push((tid, new_row));
@@ -152,7 +152,7 @@ fn update_inner(
             db.with_table_mut(&upd.table, |t| t.update(tid, new_row))?;
         }
     }
-    let (needs, _) = ex.finish();
+    let (needs, _) = ctx.finish();
     Ok(DmlResult { affected, needs })
 }
 
@@ -180,11 +180,11 @@ fn delete_inner(
         }
     })?;
     let rows = db.with_table(&del.table, |t| t.scan_rows())?;
-    let mut ex = Executor::new(db, caches);
+    let mut ctx = ExecCtx::new(db, caches);
     let mut victims = Vec::new();
     for (tid, row) in rows {
         let hit = match &filter {
-            Some(f) => ex.eval_truth(f, &row)?.passes_filter(),
+            Some(f) => eval_truth(&mut ctx, f, &row)?.passes_filter(),
             None => true,
         };
         if hit {
@@ -200,7 +200,7 @@ fn delete_inner(
             })?;
         }
     }
-    let (needs, _) = ex.finish();
+    let (needs, _) = ctx.finish();
     Ok(DmlResult { affected, needs })
 }
 

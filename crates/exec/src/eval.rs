@@ -1,11 +1,269 @@
-//! Value-level evaluation helpers: arithmetic, comparison, LIKE, and the
-//! scalar function library. The full expression evaluator (which also
-//! handles subqueries and crowd comparisons) lives on
-//! [`Executor`](crate::executor::Executor).
+//! Expression evaluation — the single home for it.
+//!
+//! [`eval`] is the full evaluator (literals through subqueries and
+//! `CROWDEQUAL`), threaded through an [`ExecCtx`] so crowd comparisons
+//! hit the session caches and record needs. The value-level helpers
+//! (arithmetic, comparison, LIKE, scalar functions, casts) below it are
+//! pure. Every operator and the DML paths call these same entry points;
+//! there are no per-caller copies.
 
-use crowddb_common::{CrowdError, DataType, Result, Truth, Value};
-use crowddb_plan::ScalarFn;
-use crowddb_sql::BinaryOp;
+use crowddb_common::{CrowdError, DataType, Result, Row, Truth, Value};
+use crowddb_plan::{BExpr, ScalarFn};
+use crowddb_sql::{BinaryOp, UnaryOp};
+
+use crate::context::ExecCtx;
+use crate::need::TaskNeed;
+
+/// Evaluate an expression to a value.
+///
+/// Handles the crowd cases inline: `CROWDEQUAL` consults the session
+/// equality cache (recording an [`TaskNeed::Equal`] need and yielding
+/// `NULL` on a miss), and subquery forms run through
+/// [`ExecCtx::run_subplan`].
+pub fn eval(ctx: &mut ExecCtx<'_>, e: &BExpr, row: &Row) -> Result<Value> {
+    match e {
+        BExpr::Literal(v) => Ok(v.clone()),
+        BExpr::Column(i) => row
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| CrowdError::Internal(format!("column #{i} out of range"))),
+        BExpr::Unary { op, expr } => {
+            let v = eval(ctx, expr, row)?;
+            match op {
+                UnaryOp::Not => Ok(truth_to_value(value_truth(&v)?.not())),
+                UnaryOp::Neg => match v {
+                    Value::Int(i) => i
+                        .checked_neg()
+                        .map(Value::Int)
+                        .ok_or_else(|| CrowdError::Exec("integer overflow in -".into())),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    Value::Null | Value::CNull => Ok(Value::Null),
+                    other => Err(CrowdError::Type(format!(
+                        "cannot negate {}",
+                        other.sql_literal()
+                    ))),
+                },
+                UnaryOp::Pos => Ok(v),
+            }
+        }
+        BExpr::Binary { left, op, right } => {
+            // Short-circuit AND/OR — crucial for crowd predicates: a
+            // FALSE machine conjunct suppresses the crowd call.
+            match op {
+                BinaryOp::And => {
+                    let l = value_truth(&eval(ctx, left, row)?)?;
+                    if l == Truth::False {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = value_truth(&eval(ctx, right, row)?)?;
+                    return Ok(truth_to_value(l.and(r)));
+                }
+                BinaryOp::Or => {
+                    let l = value_truth(&eval(ctx, left, row)?)?;
+                    if l == Truth::True {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = value_truth(&eval(ctx, right, row)?)?;
+                    return Ok(truth_to_value(l.or(r)));
+                }
+                _ => {}
+            }
+            let l = eval(ctx, left, row)?;
+            let r = eval(ctx, right, row)?;
+            eval_binary(&l, *op, &r)
+        }
+        BExpr::Is {
+            expr,
+            negated,
+            cnull,
+        } => {
+            let v = eval(ctx, expr, row)?;
+            let hit = if *cnull {
+                v.is_cnull()
+            } else {
+                matches!(v, Value::Null)
+            };
+            Ok(Value::Bool(hit != *negated))
+        }
+        BExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(ctx, expr, row)?;
+            let p = eval(ctx, pattern, row)?;
+            if v.is_missing() || p.is_missing() {
+                return Ok(Value::Null);
+            }
+            let (Some(s), Some(pat)) = (v.as_str(), p.as_str()) else {
+                return Err(CrowdError::Type("LIKE expects strings".into()));
+            };
+            Ok(Value::Bool(like_match(s, pat) != *negated))
+        }
+        BExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(ctx, expr, row)?;
+            let lo = eval(ctx, low, row)?;
+            let hi = eval(ctx, high, row)?;
+            let t =
+                compare_truth(&v, BinaryOp::GtEq, &lo).and(compare_truth(&v, BinaryOp::LtEq, &hi));
+            Ok(truth_to_value(if *negated { t.not() } else { t }))
+        }
+        BExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(ctx, expr, row)?;
+            let mut any_unknown = v.is_missing();
+            let mut found = false;
+            for cand in list {
+                let c = eval(ctx, cand, row)?;
+                match compare_truth(&v, BinaryOp::Eq, &c) {
+                    Truth::True => {
+                        found = true;
+                        break;
+                    }
+                    Truth::Unknown => any_unknown = true,
+                    Truth::False => {}
+                }
+            }
+            let t = if found {
+                Truth::True
+            } else if any_unknown {
+                Truth::Unknown
+            } else {
+                Truth::False
+            };
+            Ok(truth_to_value(if *negated { t.not() } else { t }))
+        }
+        BExpr::InPlan {
+            expr,
+            plan,
+            negated,
+        } => {
+            let v = eval(ctx, expr, row)?;
+            let rows = ctx.run_subplan(plan)?;
+            let mut any_unknown = v.is_missing();
+            let mut found = false;
+            for r in &rows {
+                match compare_truth(&v, BinaryOp::Eq, &r[0]) {
+                    Truth::True => {
+                        found = true;
+                        break;
+                    }
+                    Truth::Unknown => any_unknown = true,
+                    Truth::False => {}
+                }
+            }
+            let t = if found {
+                Truth::True
+            } else if any_unknown {
+                Truth::Unknown
+            } else {
+                Truth::False
+            };
+            Ok(truth_to_value(if *negated { t.not() } else { t }))
+        }
+        BExpr::ExistsPlan { plan, negated } => {
+            let rows = ctx.run_subplan(plan)?;
+            Ok(Value::Bool(rows.is_empty() == *negated))
+        }
+        BExpr::ScalarPlan(plan) => {
+            let rows = ctx.run_subplan(plan)?;
+            match rows.len() {
+                0 => Ok(Value::Null),
+                1 => Ok(rows[0][0].clone()),
+                n => Err(CrowdError::Exec(format!(
+                    "scalar subquery returned {n} rows"
+                ))),
+            }
+        }
+        BExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            let op_val = match operand {
+                Some(o) => Some(eval(ctx, o, row)?),
+                None => None,
+            };
+            for (when, then) in branches {
+                let hit = match &op_val {
+                    Some(v) => {
+                        let w = eval(ctx, when, row)?;
+                        compare_truth(v, BinaryOp::Eq, &w) == Truth::True
+                    }
+                    None => {
+                        let w = eval(ctx, when, row)?;
+                        value_truth(&w)? == Truth::True
+                    }
+                };
+                if hit {
+                    return eval(ctx, then, row);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(ctx, e, row),
+                None => Ok(Value::Null),
+            }
+        }
+        BExpr::Cast { expr, data_type } => {
+            let v = eval(ctx, expr, row)?;
+            eval_cast(&v, *data_type)
+        }
+        BExpr::Scalar { func, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(ctx, a, row)?);
+            }
+            eval_scalar_fn(*func, &vals)
+        }
+        BExpr::CrowdEqual { left, right } => {
+            let l = eval(ctx, left, row)?;
+            let r = eval(ctx, right, row)?;
+            if l.is_missing() || r.is_missing() {
+                return Ok(Value::Null);
+            }
+            // Fast path: machine-equal values need no crowd.
+            if compare_truth(&l, BinaryOp::Eq, &r) == Truth::True {
+                return Ok(Value::Bool(true));
+            }
+            let ls = l.to_string();
+            let rs = r.to_string();
+            let instruction = "Do these two values refer to the same entity?";
+            match ctx.rt.caches.get_equal(&ls, &rs, instruction) {
+                Some(verdict) => {
+                    ctx.rt.stats.compare_cache_hits += 1;
+                    Ok(Value::Bool(verdict))
+                }
+                None => {
+                    ctx.rt.stats.compare_cache_misses += 1;
+                    ctx.rt.push_need(TaskNeed::Equal {
+                        left: ls,
+                        right: rs,
+                        instruction: instruction.to_string(),
+                    });
+                    // Unknown until the crowd answers.
+                    Ok(Value::Null)
+                }
+            }
+        }
+        BExpr::CrowdOrder { .. } => Err(CrowdError::Internal(
+            "CROWDORDER evaluated outside a sort".into(),
+        )),
+    }
+}
+
+/// Evaluate a predicate to a truth value.
+pub fn eval_truth(ctx: &mut ExecCtx<'_>, e: &BExpr, row: &Row) -> Result<Truth> {
+    let v = eval(ctx, e, row)?;
+    value_truth(&v)
+}
 
 /// Evaluate a binary operator over two concrete values (3VL for
 /// comparisons, missing-propagation for arithmetic).

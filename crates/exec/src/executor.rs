@@ -1,24 +1,21 @@
-//! The plan executor and the crowd operators.
+//! The execution driver: lowers an optimized [`LogicalPlan`] to a
+//! [`PhysicalPlan`] and runs it through the operator tree in
+//! [`crate::ops`].
 //!
-//! Vector-at-a-time materializing execution: each node produces its full
-//! output. This keeps the round-based crowd semantics simple (a round is
-//! one full materialization) and is plenty fast at the scale CrowdDB
-//! operates — the bottleneck is always the human round-trips, as the
-//! paper observes.
+//! Execution is vector-at-a-time and materializing: each operator
+//! produces its full output per round. This keeps the round-based crowd
+//! semantics simple (a round is one full materialization) and is plenty
+//! fast at the scale CrowdDB operates — the bottleneck is always the
+//! human round-trips, as the paper observes.
 
-use std::cmp::Ordering;
-use std::collections::{HashMap, HashSet};
-
-use crowddb_common::{CrowdError, Result, Row, TableSchema, Truth, Value};
-use crowddb_plan::{AggCall, AggFn, BExpr, JoinType, LogicalPlan, SortKey};
-use crowddb_sql::{BinaryOp, UnaryOp};
+use crowddb_common::{Result, Row};
+use crowddb_plan::cardinality::FnStats;
+use crowddb_plan::{LogicalPlan, PhysicalPlan};
 use crowddb_storage::Database;
 
-use crate::context::{CompareCaches, RunContext, RunStats};
-use crate::eval::{
-    compare_truth, eval_binary, eval_cast, eval_scalar_fn, like_match, truth_to_value, value_truth,
-};
+use crate::context::{CompareCaches, ExecCtx, RunStats};
 use crate::need::TaskNeed;
+use crate::ops::{self, OpStatsNode};
 
 /// Outcome of one execution round.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,1013 +35,37 @@ impl ExecResult {
     }
 }
 
-/// Execute `plan` against `db` for one round.
+/// Execute `plan` against `db` for one round (lowering internally).
 pub fn execute(db: &Database, caches: &CompareCaches, plan: &LogicalPlan) -> Result<ExecResult> {
-    let mut ex = Executor::new(db, caches);
-    let rows = ex.run(plan)?;
-    let (needs, stats) = ex.finish();
-    Ok(ExecResult { rows, needs, stats })
+    let physical = lower_plan(db, plan);
+    let (result, _stats) = execute_physical(db, caches, &physical)?;
+    Ok(result)
 }
 
-/// One-round plan executor.
-pub struct Executor<'a> {
-    db: &'a Database,
-    ctx: RunContext<'a>,
-    schema_cache: HashMap<String, TableSchema>,
+/// Lower a logical plan against the live catalog: cardinality estimates
+/// come from current table stats, boundedness from primary-key metadata.
+pub fn lower_plan(db: &Database, plan: &LogicalPlan) -> PhysicalPlan {
+    let stats = FnStats(|table: &str| db.stats(table).ok().map(|s| s.live_rows as u64));
+    let pk = |table: &str| {
+        db.schema(table)
+            .map(|s| s.primary_key.clone())
+            .unwrap_or_default()
+    };
+    crowddb_plan::physical::lower(plan, &stats, &pk)
 }
 
-impl<'a> Executor<'a> {
-    /// Create an executor sharing the session's comparison caches.
-    pub fn new(db: &'a Database, caches: &'a CompareCaches) -> Executor<'a> {
-        Executor {
-            db,
-            ctx: RunContext::new(caches),
-            schema_cache: HashMap::new(),
-        }
-    }
-
-    /// Finish the round, yielding collected needs and counters.
-    pub fn finish(self) -> (Vec<TaskNeed>, RunStats) {
-        let stats = self.ctx.stats;
-        (self.ctx.into_needs(), stats)
-    }
-
-    fn table_schema(&mut self, table: &str) -> Result<TableSchema> {
-        if let Some(s) = self.schema_cache.get(table) {
-            return Ok(s.clone());
-        }
-        let s = self.db.schema(table)?;
-        self.schema_cache.insert(table.to_string(), s.clone());
-        Ok(s)
-    }
-
-    /// Execute a plan node, materializing its output.
-    pub fn run(&mut self, plan: &LogicalPlan) -> Result<Vec<Row>> {
-        match plan {
-            LogicalPlan::Scan {
-                table,
-                needed_columns,
-                crowd_table,
-                expected_tuples,
-                ..
-            } => self.run_scan(table, needed_columns, *crowd_table, *expected_tuples, None),
-            LogicalPlan::Filter { input, predicate } => {
-                // Filter-over-scan fusion: evaluate the predicate *before*
-                // generating probe needs, so rows a machine predicate
-                // decidedly rejects never cost a crowd task. This is why
-                // predicate push-down "minimizes the requests against the
-                // crowd" (paper §3.2.2) — the filter must sit on the scan
-                // for the saving to materialize.
-                if let LogicalPlan::Scan {
-                    table,
-                    needed_columns,
-                    crowd_table,
-                    expected_tuples,
-                    ..
-                } = input.as_ref()
-                {
-                    return self.run_scan(
-                        table,
-                        needed_columns,
-                        *crowd_table,
-                        *expected_tuples,
-                        Some(predicate),
-                    );
-                }
-                let rows = self.run(input)?;
-                let mut out = Vec::with_capacity(rows.len());
-                for row in rows {
-                    if self.eval_truth(predicate, &row)?.passes_filter() {
-                        out.push(row);
-                    }
-                }
-                Ok(out)
-            }
-            LogicalPlan::Project { input, exprs, .. } => {
-                let rows = self.run(input)?;
-                let mut out = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let mut values = Vec::with_capacity(exprs.len());
-                    for e in exprs {
-                        values.push(self.eval(e, &row)?);
-                    }
-                    out.push(Row::new(values));
-                }
-                Ok(out)
-            }
-            LogicalPlan::Join {
-                left,
-                right,
-                kind,
-                on,
-            } => self.run_join(left, right, *kind, on.as_ref()),
-            LogicalPlan::Aggregate {
-                input,
-                group_by,
-                aggs,
-                ..
-            } => self.run_aggregate(input, group_by, aggs),
-            LogicalPlan::Sort { input, keys } => {
-                let rows = self.run(input)?;
-                self.run_sort(rows, keys)
-            }
-            LogicalPlan::Limit {
-                input,
-                limit,
-                offset,
-            } => {
-                let rows = self.run(input)?;
-                let start = (*offset as usize).min(rows.len());
-                let end = match limit {
-                    Some(l) => (start + *l as usize).min(rows.len()),
-                    None => rows.len(),
-                };
-                Ok(rows[start..end].to_vec())
-            }
-            LogicalPlan::Distinct { input } => {
-                let rows = self.run(input)?;
-                let mut seen = HashSet::new();
-                Ok(rows
-                    .into_iter()
-                    .filter(|r| seen.insert(r.clone()))
-                    .collect())
-            }
-            LogicalPlan::Union { left, right, all } => {
-                let mut rows = self.run(left)?;
-                rows.extend(self.run(right)?);
-                if !*all {
-                    let mut seen = HashSet::new();
-                    rows.retain(|r| seen.insert(r.clone()));
-                }
-                Ok(rows)
-            }
-            LogicalPlan::Values { rows, .. } => {
-                let empty = Row::default();
-                let mut out = Vec::with_capacity(rows.len());
-                for row_exprs in rows {
-                    let mut values = Vec::with_capacity(row_exprs.len());
-                    for e in row_exprs {
-                        values.push(self.eval(e, &empty)?);
-                    }
-                    out.push(Row::new(values));
-                }
-                Ok(out)
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Scan + CrowdProbe
-    // ------------------------------------------------------------------
-
-    fn run_scan(
-        &mut self,
-        table: &str,
-        needed_columns: &[usize],
-        crowd_table: bool,
-        expected_tuples: Option<u64>,
-        predicate: Option<&BExpr>,
-    ) -> Result<Vec<Row>> {
-        let schema = self.table_schema(table)?;
-        // Point-lookup fast path: a predicate that pins the whole primary
-        // key with literal equalities reads via the PK index instead of
-        // scanning. (Scan output ordinals equal base ordinals, so the
-        // predicate's column ids map directly onto the key.)
-        let pk_values = predicate.and_then(|p| pk_pin_values(p, &schema.primary_key));
-        let (rows, total_live) = match &pk_values {
-            Some(key) => {
-                let rows = self.db.with_table(table, |t| {
-                    t.lookup_pk(key)
-                        .into_iter()
-                        .filter_map(|tid| t.get(tid).map(|r| (tid, r.clone())))
-                        .collect::<Vec<_>>()
-                })?;
-                let total = self.db.stats(table)?.live_rows as u64;
-                self.ctx.stats.index_lookups += 1;
-                (rows, total)
-            }
-            None => {
-                let rows = self.db.with_table(table, |t| t.scan_rows())?;
-                let total = rows.len() as u64;
-                (rows, total)
-            }
-        };
-        self.ctx.stats.rows_scanned += rows.len() as u64;
-
-        let mut out = Vec::with_capacity(rows.len());
-        for (tid, row) in rows {
-            // Fused filter: a decidedly-False predicate drops the row
-            // before any crowd work is generated for it; Unknown keeps
-            // probing (the missing value may decide the predicate).
-            let truth = match predicate {
-                Some(p) => self.eval_truth(p, &row)?,
-                None => Truth::True,
-            };
-            if truth == Truth::False {
-                continue;
-            }
-            // CrowdProbe, missing-value flavor: any needed column that is
-            // CNULL (and crowdsourceable) becomes a probe need.
-            let mut missing: Vec<(usize, String, crowddb_common::DataType)> = Vec::new();
-            for &c in needed_columns {
-                if row.get(c).map(Value::is_cnull).unwrap_or(false) {
-                    let col = &schema.columns[c];
-                    if col.crowd || schema.crowd_table {
-                        self.ctx.stats.cnulls_seen += 1;
-                        missing.push((c, col.name.clone(), col.data_type));
-                    }
-                }
-            }
-            if !missing.is_empty() {
-                let context: Vec<(String, String)> = schema
-                    .columns
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| {
-                        schema.primary_key.contains(i)
-                            || (needed_columns.contains(i)
-                                && !row.get(*i).map(Value::is_missing).unwrap_or(true))
-                    })
-                    .map(|(i, c)| (c.name.clone(), row[i].to_string()))
-                    .collect();
-                self.ctx.push_need(TaskNeed::ProbeValues {
-                    table: table.to_string(),
-                    tid,
-                    context,
-                    columns: missing,
-                });
-            }
-            // Unknown rows are probed above but excluded from this
-            // round's output (SQL WHERE semantics); they qualify on
-            // re-execution once the crowd fills the value in.
-            if truth.passes_filter() {
-                out.push(row);
-            }
-        }
-
-        // CrowdProbe, new-tuple flavor: a bounded CROWD-table scan short
-        // of its quota asks the crowd for more tuples.
-        if crowd_table {
-            if let Some(expected) = expected_tuples {
-                // The quota counts stored tuples, not filter survivors:
-                // the bound caps how much of the open world is enumerated.
-                let have = total_live;
-                if have < expected {
-                    self.ctx.push_need(TaskNeed::NewTuples {
-                        table: table.to_string(),
-                        preset: vec![],
-                        want: expected - have,
-                    });
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    // ------------------------------------------------------------------
-    // Joins + CrowdJoin
-    // ------------------------------------------------------------------
-
-    fn run_join(
-        &mut self,
-        left: &LogicalPlan,
-        right: &LogicalPlan,
-        kind: JoinType,
-        on: Option<&BExpr>,
-    ) -> Result<Vec<Row>> {
-        let left_rows = self.run(left)?;
-        let right_rows = self.run(right)?;
-        let left_arity = left.schema().arity();
-        let right_arity = right.schema().arity();
-
-        // Split the join condition into hashable equi-conjuncts and a
-        // residual predicate.
-        let mut equi: Vec<(BExpr, BExpr)> = Vec::new(); // (left expr, right expr on right row)
-        let mut residual: Vec<BExpr> = Vec::new();
-        if let Some(on) = on {
-            let mut conjuncts = Vec::new();
-            crowddb_plan::optimizer::split_conjuncts(on.clone(), &mut conjuncts);
-            for c in conjuncts {
-                if let BExpr::Binary {
-                    left: cl,
-                    op: BinaryOp::Eq,
-                    right: cr,
-                } = &c
-                {
-                    let l_refs = cl.column_refs();
-                    let r_refs = cr.column_refs();
-                    let l_is_left = l_refs.iter().all(|&i| i < left_arity);
-                    let l_is_right = l_refs.iter().all(|&i| i >= left_arity);
-                    let r_is_left = r_refs.iter().all(|&i| i < left_arity);
-                    let r_is_right = r_refs.iter().all(|&i| i >= left_arity);
-                    if l_is_left && r_is_right && !r_refs.is_empty() {
-                        equi.push(((**cl).clone(), cr.remap_columns(&|i| i - left_arity)));
-                        continue;
-                    }
-                    if l_is_right && r_is_left && !l_refs.is_empty() {
-                        equi.push(((**cr).clone(), cl.remap_columns(&|i| i - left_arity)));
-                        continue;
-                    }
-                }
-                residual.push(c);
-            }
-        }
-
-        // Identify the CrowdJoin pattern: inner side is a CROWD-table
-        // scan (possibly filtered) and there's a single-column equi key
-        // into it.
-        let crowd_inner = crowd_scan_of(right);
-
-        let mut out = Vec::new();
-        if !equi.is_empty() {
-            // Hash join: build on the right side.
-            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-            for (idx, r) in right_rows.iter().enumerate() {
-                let mut key = Vec::with_capacity(equi.len());
-                let mut missing = false;
-                for (_, re) in &equi {
-                    let v = self.eval(re, r)?;
-                    if v.is_missing() {
-                        missing = true;
-                        break;
-                    }
-                    key.push(v);
-                }
-                if !missing {
-                    table.entry(key).or_default().push(idx);
-                }
-            }
-            for l in &left_rows {
-                let mut key = Vec::with_capacity(equi.len());
-                let mut missing = false;
-                for (le, _) in &equi {
-                    let v = self.eval(le, l)?;
-                    if v.is_missing() {
-                        missing = true;
-                        break;
-                    }
-                    key.push(v);
-                }
-                let mut matched = false;
-                if !missing {
-                    if let Some(idxs) = table.get(&key) {
-                        for &ri in idxs {
-                            let joined = l.concat(&right_rows[ri]);
-                            if self.residual_passes(&residual, &joined)? {
-                                out.push(joined);
-                                matched = true;
-                            }
-                        }
-                    }
-                }
-                if !matched {
-                    // CrowdJoin: "implements an index nested-loop join
-                    // over two tables, at least one of which is marked as
-                    // crowdsourced" — a missing inner match becomes a
-                    // new-tuple request with the join key preset.
-                    if !missing && equi.len() == 1 {
-                        if let Some((scan_table, scan_schema)) = &crowd_inner {
-                            if let BExpr::Column(rc) = &equi[0].1 {
-                                let col_name = scan_schema.columns[*rc].name.clone();
-                                self.ctx.push_need(TaskNeed::NewTuples {
-                                    table: scan_table.clone(),
-                                    preset: vec![(col_name, key[0].clone())],
-                                    want: default_join_quota(),
-                                });
-                            }
-                        }
-                    }
-                    if kind == JoinType::Left {
-                        let pad = Row::new(vec![Value::Null; right_arity]);
-                        out.push(l.concat(&pad));
-                    }
-                }
-            }
-        } else {
-            // Nested loop (cross product or arbitrary predicate).
-            for l in &left_rows {
-                let mut matched = false;
-                for r in &right_rows {
-                    let joined = l.concat(r);
-                    let ok = match on {
-                        Some(p) => self.eval_truth(p, &joined)?.passes_filter(),
-                        None => true,
-                    };
-                    if ok {
-                        out.push(joined);
-                        matched = true;
-                    }
-                }
-                if !matched && kind == JoinType::Left {
-                    let pad = Row::new(vec![Value::Null; right_arity]);
-                    out.push(l.concat(&pad));
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    fn residual_passes(&mut self, residual: &[BExpr], row: &Row) -> Result<bool> {
-        for p in residual {
-            if !self.eval_truth(p, row)?.passes_filter() {
-                return Ok(false);
-            }
-        }
-        Ok(true)
-    }
-
-    // ------------------------------------------------------------------
-    // Aggregation
-    // ------------------------------------------------------------------
-
-    fn run_aggregate(
-        &mut self,
-        input: &LogicalPlan,
-        group_by: &[BExpr],
-        aggs: &[AggCall],
-    ) -> Result<Vec<Row>> {
-        let rows = self.run(input)?;
-        // Group rows.
-        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
-        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-        for (i, row) in rows.iter().enumerate() {
-            let mut key = Vec::with_capacity(group_by.len());
-            for g in group_by {
-                key.push(self.eval(g, row)?);
-            }
-            match index.get(&key) {
-                Some(&g) => groups[g].1.push(i),
-                None => {
-                    index.insert(key.clone(), groups.len());
-                    groups.push((key, vec![i]));
-                }
-            }
-        }
-        // Aggregate without GROUP BY over empty input: one empty group.
-        if groups.is_empty() && group_by.is_empty() {
-            groups.push((vec![], vec![]));
-        }
-
-        let mut out = Vec::with_capacity(groups.len());
-        for (key, members) in groups {
-            let mut values = key;
-            for agg in aggs {
-                values.push(self.eval_agg(agg, &members, &rows)?);
-            }
-            out.push(Row::new(values));
-        }
-        Ok(out)
-    }
-
-    fn eval_agg(&mut self, agg: &AggCall, members: &[usize], rows: &[Row]) -> Result<Value> {
-        // COUNT(*) counts rows.
-        if agg.func == AggFn::Count && agg.arg.is_none() {
-            return Ok(Value::Int(members.len() as i64));
-        }
-        let arg = agg
-            .arg
-            .as_ref()
-            .ok_or_else(|| CrowdError::Internal("non-COUNT aggregate without arg".into()))?;
-        let mut vals: Vec<Value> = Vec::with_capacity(members.len());
-        for &i in members {
-            let v = self.eval(arg, &rows[i])?;
-            if !v.is_missing() {
-                vals.push(v);
-            }
-        }
-        if agg.distinct {
-            let mut seen = HashSet::new();
-            vals.retain(|v| seen.insert(v.clone()));
-        }
-        Ok(match agg.func {
-            AggFn::Count => Value::Int(vals.len() as i64),
-            AggFn::Sum => {
-                if vals.is_empty() {
-                    Value::Null
-                } else if vals.iter().all(|v| matches!(v, Value::Int(_))) {
-                    let mut acc: i64 = 0;
-                    for v in &vals {
-                        acc = acc
-                            .checked_add(v.as_i64().expect("all ints"))
-                            .ok_or_else(|| CrowdError::Exec("integer overflow in SUM".into()))?;
-                    }
-                    Value::Int(acc)
-                } else {
-                    let mut acc = 0.0;
-                    for v in &vals {
-                        acc += v.as_f64().ok_or_else(|| {
-                            CrowdError::Type("SUM over non-numeric values".into())
-                        })?;
-                    }
-                    Value::Float(acc)
-                }
-            }
-            AggFn::Avg => {
-                if vals.is_empty() {
-                    Value::Null
-                } else {
-                    let mut acc = 0.0;
-                    for v in &vals {
-                        acc += v.as_f64().ok_or_else(|| {
-                            CrowdError::Type("AVG over non-numeric values".into())
-                        })?;
-                    }
-                    Value::Float(acc / vals.len() as f64)
-                }
-            }
-            AggFn::Min => vals
-                .into_iter()
-                .min_by(|a, b| a.sort_cmp(b))
-                .unwrap_or(Value::Null),
-            AggFn::Max => vals
-                .into_iter()
-                .max_by(|a, b| a.sort_cmp(b))
-                .unwrap_or(Value::Null),
-        })
-    }
-
-    // ------------------------------------------------------------------
-    // Sorting + CrowdCompare (CROWDORDER)
-    // ------------------------------------------------------------------
-
-    fn run_sort(&mut self, rows: Vec<Row>, keys: &[SortKey]) -> Result<Vec<Row>> {
-        if rows.len() <= 1 {
-            return Ok(rows);
-        }
-        // Materialize sort keys per row.
-        let mut keyed: Vec<(Vec<KeyVal>, Row)> = Vec::with_capacity(rows.len());
-        for row in rows {
-            let mut ks = Vec::with_capacity(keys.len());
-            for key in keys {
-                match &key.expr {
-                    BExpr::CrowdOrder { expr, instruction } => {
-                        let v = self.eval(expr, &row)?;
-                        ks.push(KeyVal::Crowd {
-                            rendered: v.to_string(),
-                            instruction: instruction.clone(),
-                        });
-                    }
-                    machine => ks.push(KeyVal::Machine(self.eval(machine, &row)?)),
-                }
-            }
-            keyed.push((ks, row));
-        }
-
-        let has_crowd = keys
-            .iter()
-            .any(|k| matches!(k.expr, BExpr::CrowdOrder { .. }));
-
-        if !has_crowd {
-            // Stable machine sort.
-            keyed.sort_by(|(a, _), (b, _)| {
-                for (i, key) in keys.iter().enumerate() {
-                    let (KeyVal::Machine(va), KeyVal::Machine(vb)) = (&a[i], &b[i]) else {
-                        unreachable!("machine sort");
-                    };
-                    let ord = va.sort_cmp(vb);
-                    let ord = if key.desc { ord.reverse() } else { ord };
-                    if ord != Ordering::Equal {
-                        return ord;
-                    }
-                }
-                Ordering::Equal
-            });
-            return Ok(keyed.into_iter().map(|(_, r)| r).collect());
-        }
-
-        // Crowd sort: the paper's CrowdCompare-inside-quicksort. The
-        // comparator consults the session order cache; missing pairs are
-        // recorded as needs and compared by rendered text for this round
-        // (the fallback keeps the round deterministic; once the crowd
-        // answers arrive the cache decides).
-        let mut order: Vec<usize> = (0..keyed.len()).collect();
-        let descs: Vec<bool> = keys.iter().map(|k| k.desc).collect();
-        self.quicksort(&mut order, &keyed, &descs, 0);
-        Ok(order.into_iter().map(|i| keyed[i].1.clone()).collect())
-
-        // -- helpers ----------------------------------------------------
-    }
-
-    fn quicksort<KS>(
-        &mut self,
-        idxs: &mut [usize],
-        keyed: &[(Vec<KS>, Row)],
-        descs: &[bool],
-        depth: usize,
-    ) where
-        KS: SortKeyVal,
-    {
-        if idxs.len() <= 1 || depth > 64 {
-            return;
-        }
-        // Deterministic pivot: first index.
-        let pivot = idxs[0];
-        let rest = &idxs[1..];
-        let mut less = Vec::new();
-        let mut greater = Vec::new();
-        for &i in rest {
-            match self.compare_keyed(&keyed[i].0, &keyed[pivot].0, descs) {
-                Ordering::Less => less.push(i),
-                _ => greater.push(i),
-            }
-        }
-        self.quicksort(&mut less, keyed, descs, depth + 1);
-        self.quicksort(&mut greater, keyed, descs, depth + 1);
-        let mut merged = Vec::with_capacity(idxs.len());
-        merged.extend_from_slice(&less);
-        merged.push(pivot);
-        merged.extend_from_slice(&greater);
-        idxs.copy_from_slice(&merged);
-    }
-
-    fn compare_keyed<KS>(&mut self, a: &[KS], b: &[KS], descs: &[bool]) -> Ordering
-    where
-        KS: SortKeyVal,
-    {
-        for (i, (ka, kb)) in a.iter().zip(b.iter()).enumerate() {
-            let ord = ka.compare(kb, self);
-            let ord = if descs.get(i).copied().unwrap_or(false) {
-                ord.reverse()
-            } else {
-                ord
-            };
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        Ordering::Equal
-    }
-
-    /// Crowd comparison used by the sort: preferred items sort first.
-    fn crowd_compare(&mut self, left: &str, right: &str, instruction: &str) -> Ordering {
-        if left == right {
-            return Ordering::Equal;
-        }
-        match self.ctx.caches.get_prefer(left, right, instruction) {
-            Some(true) => {
-                self.ctx.stats.compare_cache_hits += 1;
-                Ordering::Less
-            }
-            Some(false) => {
-                self.ctx.stats.compare_cache_hits += 1;
-                Ordering::Greater
-            }
-            None => {
-                self.ctx.stats.compare_cache_misses += 1;
-                self.ctx.push_need(TaskNeed::Order {
-                    left: left.to_string(),
-                    right: right.to_string(),
-                    instruction: instruction.to_string(),
-                });
-                // Deterministic fallback for this round.
-                left.cmp(right)
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Expressions (incl. CrowdCompare equality + subqueries)
-    // ------------------------------------------------------------------
-
-    /// Evaluate an expression to a value.
-    pub fn eval(&mut self, e: &BExpr, row: &Row) -> Result<Value> {
-        match e {
-            BExpr::Literal(v) => Ok(v.clone()),
-            BExpr::Column(i) => row
-                .get(*i)
-                .cloned()
-                .ok_or_else(|| CrowdError::Internal(format!("column #{i} out of range"))),
-            BExpr::Unary { op, expr } => {
-                let v = self.eval(expr, row)?;
-                match op {
-                    UnaryOp::Not => Ok(truth_to_value(value_truth(&v)?.not())),
-                    UnaryOp::Neg => match v {
-                        Value::Int(i) => i
-                            .checked_neg()
-                            .map(Value::Int)
-                            .ok_or_else(|| CrowdError::Exec("integer overflow in -".into())),
-                        Value::Float(f) => Ok(Value::Float(-f)),
-                        Value::Null | Value::CNull => Ok(Value::Null),
-                        other => Err(CrowdError::Type(format!(
-                            "cannot negate {}",
-                            other.sql_literal()
-                        ))),
-                    },
-                    UnaryOp::Pos => Ok(v),
-                }
-            }
-            BExpr::Binary { left, op, right } => {
-                // Short-circuit AND/OR — crucial for crowd predicates: a
-                // FALSE machine conjunct suppresses the crowd call.
-                match op {
-                    BinaryOp::And => {
-                        let l = value_truth(&self.eval(left, row)?)?;
-                        if l == Truth::False {
-                            return Ok(Value::Bool(false));
-                        }
-                        let r = value_truth(&self.eval(right, row)?)?;
-                        return Ok(truth_to_value(l.and(r)));
-                    }
-                    BinaryOp::Or => {
-                        let l = value_truth(&self.eval(left, row)?)?;
-                        if l == Truth::True {
-                            return Ok(Value::Bool(true));
-                        }
-                        let r = value_truth(&self.eval(right, row)?)?;
-                        return Ok(truth_to_value(l.or(r)));
-                    }
-                    _ => {}
-                }
-                let l = self.eval(left, row)?;
-                let r = self.eval(right, row)?;
-                eval_binary(&l, *op, &r)
-            }
-            BExpr::Is {
-                expr,
-                negated,
-                cnull,
-            } => {
-                let v = self.eval(expr, row)?;
-                let hit = if *cnull {
-                    v.is_cnull()
-                } else {
-                    matches!(v, Value::Null)
-                };
-                Ok(Value::Bool(hit != *negated))
-            }
-            BExpr::Like {
-                expr,
-                pattern,
-                negated,
-            } => {
-                let v = self.eval(expr, row)?;
-                let p = self.eval(pattern, row)?;
-                if v.is_missing() || p.is_missing() {
-                    return Ok(Value::Null);
-                }
-                let (Some(s), Some(pat)) = (v.as_str(), p.as_str()) else {
-                    return Err(CrowdError::Type("LIKE expects strings".into()));
-                };
-                Ok(Value::Bool(like_match(s, pat) != *negated))
-            }
-            BExpr::Between {
-                expr,
-                low,
-                high,
-                negated,
-            } => {
-                let v = self.eval(expr, row)?;
-                let lo = self.eval(low, row)?;
-                let hi = self.eval(high, row)?;
-                let t = compare_truth(&v, BinaryOp::GtEq, &lo).and(compare_truth(
-                    &v,
-                    BinaryOp::LtEq,
-                    &hi,
-                ));
-                Ok(truth_to_value(if *negated { t.not() } else { t }))
-            }
-            BExpr::InList {
-                expr,
-                list,
-                negated,
-            } => {
-                let v = self.eval(expr, row)?;
-                let mut any_unknown = v.is_missing();
-                let mut found = false;
-                for cand in list {
-                    let c = self.eval(cand, row)?;
-                    match compare_truth(&v, BinaryOp::Eq, &c) {
-                        Truth::True => {
-                            found = true;
-                            break;
-                        }
-                        Truth::Unknown => any_unknown = true,
-                        Truth::False => {}
-                    }
-                }
-                let t = if found {
-                    Truth::True
-                } else if any_unknown {
-                    Truth::Unknown
-                } else {
-                    Truth::False
-                };
-                Ok(truth_to_value(if *negated { t.not() } else { t }))
-            }
-            BExpr::InPlan {
-                expr,
-                plan,
-                negated,
-            } => {
-                let v = self.eval(expr, row)?;
-                let rows = self.run_subplan(plan)?;
-                let mut any_unknown = v.is_missing();
-                let mut found = false;
-                for r in &rows {
-                    match compare_truth(&v, BinaryOp::Eq, &r[0]) {
-                        Truth::True => {
-                            found = true;
-                            break;
-                        }
-                        Truth::Unknown => any_unknown = true,
-                        Truth::False => {}
-                    }
-                }
-                let t = if found {
-                    Truth::True
-                } else if any_unknown {
-                    Truth::Unknown
-                } else {
-                    Truth::False
-                };
-                Ok(truth_to_value(if *negated { t.not() } else { t }))
-            }
-            BExpr::ExistsPlan { plan, negated } => {
-                let rows = self.run_subplan(plan)?;
-                Ok(Value::Bool(rows.is_empty() == *negated))
-            }
-            BExpr::ScalarPlan(plan) => {
-                let rows = self.run_subplan(plan)?;
-                match rows.len() {
-                    0 => Ok(Value::Null),
-                    1 => Ok(rows[0][0].clone()),
-                    n => Err(CrowdError::Exec(format!(
-                        "scalar subquery returned {n} rows"
-                    ))),
-                }
-            }
-            BExpr::Case {
-                operand,
-                branches,
-                else_expr,
-            } => {
-                let op_val = match operand {
-                    Some(o) => Some(self.eval(o, row)?),
-                    None => None,
-                };
-                for (when, then) in branches {
-                    let hit = match &op_val {
-                        Some(v) => {
-                            let w = self.eval(when, row)?;
-                            compare_truth(v, BinaryOp::Eq, &w) == Truth::True
-                        }
-                        None => {
-                            let w = self.eval(when, row)?;
-                            value_truth(&w)? == Truth::True
-                        }
-                    };
-                    if hit {
-                        return self.eval(then, row);
-                    }
-                }
-                match else_expr {
-                    Some(e) => self.eval(e, row),
-                    None => Ok(Value::Null),
-                }
-            }
-            BExpr::Cast { expr, data_type } => {
-                let v = self.eval(expr, row)?;
-                eval_cast(&v, *data_type)
-            }
-            BExpr::Scalar { func, args } => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval(a, row)?);
-                }
-                eval_scalar_fn(*func, &vals)
-            }
-            BExpr::CrowdEqual { left, right } => {
-                let l = self.eval(left, row)?;
-                let r = self.eval(right, row)?;
-                if l.is_missing() || r.is_missing() {
-                    return Ok(Value::Null);
-                }
-                // Fast path: machine-equal values need no crowd.
-                if compare_truth(&l, BinaryOp::Eq, &r) == Truth::True {
-                    return Ok(Value::Bool(true));
-                }
-                let ls = l.to_string();
-                let rs = r.to_string();
-                let instruction = "Do these two values refer to the same entity?";
-                match self.ctx.caches.get_equal(&ls, &rs, instruction) {
-                    Some(verdict) => {
-                        self.ctx.stats.compare_cache_hits += 1;
-                        Ok(Value::Bool(verdict))
-                    }
-                    None => {
-                        self.ctx.stats.compare_cache_misses += 1;
-                        self.ctx.push_need(TaskNeed::Equal {
-                            left: ls,
-                            right: rs,
-                            instruction: instruction.to_string(),
-                        });
-                        // Unknown until the crowd answers.
-                        Ok(Value::Null)
-                    }
-                }
-            }
-            BExpr::CrowdOrder { .. } => Err(CrowdError::Internal(
-                "CROWDORDER evaluated outside a sort".into(),
-            )),
-        }
-    }
-
-    /// Evaluate a predicate to a truth value.
-    pub fn eval_truth(&mut self, e: &BExpr, row: &Row) -> Result<Truth> {
-        let v = self.eval(e, row)?;
-        value_truth(&v)
-    }
-
-    fn run_subplan(&mut self, plan: &LogicalPlan) -> Result<Vec<Row>> {
-        let key = plan.explain();
-        if let Some(rows) = self.ctx.subquery_results.get(&key) {
-            return Ok(rows.clone());
-        }
-        let rows = self.run(plan)?;
-        self.ctx.subquery_results.insert(key, rows.clone());
-        Ok(rows)
-    }
-}
-
-/// Per-outer-row quota of crowdsourced join matches (the paper's
-/// CrowdJoin asks for a handful of matching tuples per outer tuple).
-fn default_join_quota() -> u64 {
-    3
-}
-
-/// If `predicate` pins every primary-key column (by base ordinal) with an
-/// equality against a literal, return the key values in PK order.
-fn pk_pin_values(predicate: &BExpr, pk: &[usize]) -> Option<Vec<Value>> {
-    if pk.is_empty() {
-        return None;
-    }
-    let mut conjuncts = Vec::new();
-    crowddb_plan::optimizer::split_conjuncts(predicate.clone(), &mut conjuncts);
-    let mut values: Vec<Option<Value>> = vec![None; pk.len()];
-    for c in &conjuncts {
-        if let BExpr::Binary {
-            left,
-            op: BinaryOp::Eq,
-            right,
-        } = c
-        {
-            let (col, lit) = match (left.as_ref(), right.as_ref()) {
-                (BExpr::Column(i), BExpr::Literal(v)) => (*i, v.clone()),
-                (BExpr::Literal(v), BExpr::Column(i)) => (*i, v.clone()),
-                _ => continue,
-            };
-            if lit.is_missing() {
-                continue;
-            }
-            if let Some(pos) = pk.iter().position(|&p| p == col) {
-                values[pos] = Some(lit);
-            }
-        }
-    }
-    values.into_iter().collect()
-}
-
-/// If `plan` is a CROWD-table scan (possibly under filters/projections
-/// that keep base columns in place), return its table name and schema.
-fn crowd_scan_of(plan: &LogicalPlan) -> Option<(String, crowddb_plan::PlanSchema)> {
-    match plan {
-        LogicalPlan::Scan {
-            table,
-            crowd_table: true,
-            schema,
-            ..
-        } => Some((table.clone(), schema.clone())),
-        LogicalPlan::Filter { input, .. } => crowd_scan_of(input),
-        _ => None,
-    }
-}
-
-/// Sort key value abstraction so machine and crowd keys share the
-/// quicksort above.
-trait SortKeyVal {
-    fn compare(&self, other: &Self, ex: &mut Executor<'_>) -> Ordering;
-}
-
-enum KeyVal {
-    Machine(Value),
-    Crowd {
-        rendered: String,
-        instruction: String,
-    },
-}
-
-impl SortKeyVal for KeyVal {
-    fn compare(&self, other: &Self, ex: &mut Executor<'_>) -> Ordering {
-        match (self, other) {
-            (KeyVal::Machine(a), KeyVal::Machine(b)) => a.sort_cmp(b),
-            (
-                KeyVal::Crowd {
-                    rendered: a,
-                    instruction,
-                },
-                KeyVal::Crowd { rendered: b, .. },
-            ) => ex.crowd_compare(a, b, instruction),
-            _ => Ordering::Equal, // keys are homogeneous per position
-        }
-    }
+/// Execute an already-lowered physical plan for one round, returning the
+/// result alongside the per-operator stats tree (for `EXPLAIN ANALYZE`
+/// and the bench harness).
+pub fn execute_physical(
+    db: &Database,
+    caches: &CompareCaches,
+    physical: &PhysicalPlan,
+) -> Result<(ExecResult, OpStatsNode)> {
+    let mut ctx = ExecCtx::new(db, caches);
+    let op = ops::build(physical);
+    let mut stats_tree = OpStatsNode::skeleton(physical);
+    let rows = ops::run_op(op.as_ref(), &mut ctx, &mut stats_tree)?;
+    let (needs, stats) = ctx.finish();
+    Ok((ExecResult { rows, needs, stats }, stats_tree))
 }

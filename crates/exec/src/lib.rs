@@ -22,12 +22,21 @@
 //! result is final. This mirrors the paper's Task Manager loop and makes
 //! every code path testable with a deterministic platform.
 
+//!
+//! Execution itself is organized around the physical plan: the driver
+//! ([`executor`]) lowers the optimized logical plan via
+//! [`crowddb_plan::physical::lower`] and runs the resulting tree through
+//! the per-operator modules in [`ops`], which record an [`OpStatsNode`]
+//! tree of per-operator statistics alongside the rows.
+
 pub mod context;
 pub mod dml;
 pub mod eval;
 pub mod executor;
 pub mod need;
+pub mod ops;
 
-pub use context::{CompareCaches, RunContext, RunStats};
-pub use executor::{execute, ExecResult, Executor};
+pub use context::{CompareCaches, ExecCtx, NeedCounts, RunContext, RunStats};
+pub use executor::{execute, execute_physical, lower_plan, ExecResult};
 pub use need::TaskNeed;
+pub use ops::{render_analyzed, OpStatsNode, Operator};

@@ -1,0 +1,147 @@
+//! Aggregate: grouping (first-seen group order) and aggregate functions.
+
+use std::collections::{HashMap, HashSet};
+
+use crowddb_common::{CrowdError, Result, Row, Value};
+use crowddb_plan::{AggCall, AggFn, BExpr, PhysicalPlan};
+
+use crate::context::ExecCtx;
+use crate::eval::eval;
+use crate::ops::{build, run_op, BoxedOp, OpStatsNode, Operator};
+
+/// Aggregation operator; see [`PhysicalPlan::Aggregate`].
+pub struct AggregateOp<'p> {
+    input: BoxedOp<'p>,
+    group_by: &'p [BExpr],
+    aggs: &'p [AggCall],
+}
+
+impl<'p> AggregateOp<'p> {
+    /// Build from a [`PhysicalPlan::Aggregate`] node.
+    pub fn new(plan: &'p PhysicalPlan) -> AggregateOp<'p> {
+        let PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } = plan
+        else {
+            unreachable!("AggregateOp built from {plan:?}")
+        };
+        AggregateOp {
+            input: build(input),
+            group_by,
+            aggs,
+        }
+    }
+}
+
+impl Operator for AggregateOp<'_> {
+    fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>> {
+        let rows = run_op(self.input.as_ref(), ctx, &mut stats.children[0])?;
+        stats.rows_in += rows.len() as u64;
+        // Group rows, preserving first-seen group order.
+        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(self.group_by.len());
+            for g in self.group_by {
+                key.push(eval(ctx, g, row)?);
+            }
+            match index.get(&key) {
+                Some(&g) => groups[g].1.push(i),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![i]));
+                }
+            }
+        }
+        // Aggregate without GROUP BY over empty input: one empty group.
+        if groups.is_empty() && self.group_by.is_empty() {
+            groups.push((vec![], vec![]));
+        }
+
+        let mut out = Vec::with_capacity(groups.len());
+        for (key, members) in groups {
+            let mut values = key;
+            for agg in self.aggs {
+                values.push(eval_agg(ctx, agg, &members, &rows)?);
+            }
+            out.push(Row::new(values));
+        }
+        Ok(out)
+    }
+}
+
+/// Evaluate one aggregate call over a group's member rows.
+fn eval_agg(
+    ctx: &mut ExecCtx<'_>,
+    agg: &AggCall,
+    members: &[usize],
+    rows: &[Row],
+) -> Result<Value> {
+    // COUNT(*) counts rows.
+    if agg.func == AggFn::Count && agg.arg.is_none() {
+        return Ok(Value::Int(members.len() as i64));
+    }
+    let arg = agg
+        .arg
+        .as_ref()
+        .ok_or_else(|| CrowdError::Internal("non-COUNT aggregate without arg".into()))?;
+    let mut vals: Vec<Value> = Vec::with_capacity(members.len());
+    for &i in members {
+        let v = eval(ctx, arg, &rows[i])?;
+        if !v.is_missing() {
+            vals.push(v);
+        }
+    }
+    if agg.distinct {
+        let mut seen = HashSet::new();
+        vals.retain(|v| seen.insert(v.clone()));
+    }
+    Ok(match agg.func {
+        AggFn::Count => Value::Int(vals.len() as i64),
+        AggFn::Sum => {
+            if vals.is_empty() {
+                Value::Null
+            } else if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                let mut acc: i64 = 0;
+                for v in &vals {
+                    acc = acc
+                        .checked_add(v.as_i64().expect("all ints"))
+                        .ok_or_else(|| CrowdError::Exec("integer overflow in SUM".into()))?;
+                }
+                Value::Int(acc)
+            } else {
+                let mut acc = 0.0;
+                for v in &vals {
+                    acc += v
+                        .as_f64()
+                        .ok_or_else(|| CrowdError::Type("SUM over non-numeric values".into()))?;
+                }
+                Value::Float(acc)
+            }
+        }
+        AggFn::Avg => {
+            if vals.is_empty() {
+                Value::Null
+            } else {
+                let mut acc = 0.0;
+                for v in &vals {
+                    acc += v
+                        .as_f64()
+                        .ok_or_else(|| CrowdError::Type("AVG over non-numeric values".into()))?;
+                }
+                Value::Float(acc / vals.len() as f64)
+            }
+        }
+        AggFn::Min => vals
+            .into_iter()
+            .min_by(|a, b| a.sort_cmp(b))
+            .unwrap_or(Value::Null),
+        AggFn::Max => vals
+            .into_iter()
+            .max_by(|a, b| a.sort_cmp(b))
+            .unwrap_or(Value::Null),
+    })
+}

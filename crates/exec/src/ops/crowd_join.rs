@@ -1,0 +1,73 @@
+//! CrowdJoin: the paper's index nested-loop join with a crowdsourced
+//! inner side. Executes as a hash join plus an enumeration policy —
+//! outer rows without an inner match generate new-tuple needs with the
+//! join key preset, `batch_size` tuples at a time.
+
+use crowddb_common::{Result, Row};
+use crowddb_plan::{BExpr, JoinType, PhysicalPlan};
+
+use crate::context::ExecCtx;
+use crate::ops::hash_join::{join_hashed, CrowdSpec};
+use crate::ops::{build, run_op, BoxedOp, OpStatsNode, Operator};
+
+/// Crowd-join operator; see [`PhysicalPlan::CrowdJoin`].
+pub struct CrowdJoinOp<'p> {
+    left: BoxedOp<'p>,
+    right: BoxedOp<'p>,
+    kind: JoinType,
+    equi: &'p (BExpr, BExpr),
+    residual: &'p [BExpr],
+    right_arity: usize,
+    spec: CrowdSpec<'p>,
+}
+
+impl<'p> CrowdJoinOp<'p> {
+    /// Build from a [`PhysicalPlan::CrowdJoin`] node.
+    pub fn new(plan: &'p PhysicalPlan) -> CrowdJoinOp<'p> {
+        let PhysicalPlan::CrowdJoin {
+            left,
+            right,
+            kind,
+            equi,
+            residual,
+            inner_table,
+            key_column,
+            batch_size,
+            ..
+        } = plan
+        else {
+            unreachable!("CrowdJoinOp built from {plan:?}")
+        };
+        CrowdJoinOp {
+            right_arity: right.schema().arity(),
+            left: build(left),
+            right: build(right),
+            kind: *kind,
+            equi,
+            residual,
+            spec: CrowdSpec {
+                table: inner_table,
+                key_column,
+                batch: *batch_size,
+            },
+        }
+    }
+}
+
+impl Operator for CrowdJoinOp<'_> {
+    fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>> {
+        let left_rows = run_op(self.left.as_ref(), ctx, &mut stats.children[0])?;
+        let right_rows = run_op(self.right.as_ref(), ctx, &mut stats.children[1])?;
+        stats.rows_in += (left_rows.len() + right_rows.len()) as u64;
+        join_hashed(
+            ctx,
+            left_rows,
+            right_rows,
+            self.kind,
+            std::slice::from_ref(self.equi),
+            self.residual,
+            self.right_arity,
+            Some(&self.spec),
+        )
+    }
+}

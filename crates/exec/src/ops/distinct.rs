@@ -1,0 +1,38 @@
+//! Distinct: whole-row duplicate elimination (first occurrence wins).
+
+use std::collections::HashSet;
+
+use crowddb_common::{Result, Row};
+use crowddb_plan::PhysicalPlan;
+
+use crate::context::ExecCtx;
+use crate::ops::{build, run_op, BoxedOp, OpStatsNode, Operator};
+
+/// Duplicate-elimination operator; see [`PhysicalPlan::Distinct`].
+pub struct DistinctOp<'p> {
+    input: BoxedOp<'p>,
+}
+
+impl<'p> DistinctOp<'p> {
+    /// Build from a [`PhysicalPlan::Distinct`] node.
+    pub fn new(plan: &'p PhysicalPlan) -> DistinctOp<'p> {
+        let PhysicalPlan::Distinct { input, .. } = plan else {
+            unreachable!("DistinctOp built from {plan:?}")
+        };
+        DistinctOp {
+            input: build(input),
+        }
+    }
+}
+
+impl Operator for DistinctOp<'_> {
+    fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>> {
+        let rows = run_op(self.input.as_ref(), ctx, &mut stats.children[0])?;
+        stats.rows_in += rows.len() as u64;
+        let mut seen = HashSet::new();
+        Ok(rows
+            .into_iter()
+            .filter(|r| seen.insert(r.clone()))
+            .collect())
+    }
+}

@@ -1,0 +1,45 @@
+//! Filter: row selection by predicate (standalone — filters directly
+//! over scans are fused into [`super::table_scan`] at lowering).
+
+use crowddb_common::{Result, Row};
+use crowddb_plan::{BExpr, PhysicalPlan};
+
+use crate::context::ExecCtx;
+use crate::eval::eval_truth;
+use crate::ops::{build, run_op, BoxedOp, OpStatsNode, Operator};
+
+/// Filter operator; see [`PhysicalPlan::Filter`].
+pub struct FilterOp<'p> {
+    input: BoxedOp<'p>,
+    predicate: &'p BExpr,
+}
+
+impl<'p> FilterOp<'p> {
+    /// Build from a [`PhysicalPlan::Filter`] node.
+    pub fn new(plan: &'p PhysicalPlan) -> FilterOp<'p> {
+        let PhysicalPlan::Filter {
+            input, predicate, ..
+        } = plan
+        else {
+            unreachable!("FilterOp built from {plan:?}")
+        };
+        FilterOp {
+            input: build(input),
+            predicate,
+        }
+    }
+}
+
+impl Operator for FilterOp<'_> {
+    fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>> {
+        let rows = run_op(self.input.as_ref(), ctx, &mut stats.children[0])?;
+        stats.rows_in += rows.len() as u64;
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval_truth(ctx, self.predicate, &row)?.passes_filter() {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,233 @@
+//! Physical operator implementations — one module per operator.
+//!
+//! [`build`] turns a [`PhysicalPlan`] into a tree of boxed [`Operator`]s
+//! borrowing the plan; [`run_op`] executes a node while recording
+//! per-operator statistics into an [`OpStatsNode`] tree that mirrors the
+//! plan shape. Execution stays materialize-per-round: each operator
+//! returns its full output, and crowd work surfaces as needs on the
+//! shared [`ExecCtx`].
+//!
+//! ## Operator contract
+//!
+//! * `execute` materializes the node's full output for this round from
+//!   current knowledge; it must not block on the crowd — undecidable
+//!   work is recorded as needs via `ctx.rt.push_need`.
+//! * Children are run through [`run_op`] against `stats.children[i]`,
+//!   where `i` is the child's position in [`PhysicalPlan::children`].
+//! * `execute` sets `stats.rows_in` itself (input rows consumed);
+//!   everything else (rows out, needs, cache counters, wall time) is
+//!   attributed by [`run_op`] via snapshot diffs.
+
+mod aggregate;
+mod crowd_join;
+mod crowd_sort;
+mod distinct;
+mod filter;
+mod hash_join;
+mod nested_loop_join;
+mod project;
+mod sort;
+mod stop_after;
+mod table_scan;
+mod union;
+mod values;
+
+use std::time::{Duration, Instant};
+
+use crowddb_common::{Result, Row};
+use crowddb_plan::PhysicalPlan;
+
+use crate::context::{ExecCtx, NeedCounts};
+
+/// A physical operator: materializes its output for one round.
+pub trait Operator {
+    /// Produce this node's full output from current knowledge, recording
+    /// input row counts into `stats` and crowd needs into `ctx`.
+    fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>>;
+}
+
+/// A built operator tree borrowing the physical plan it was built from.
+pub type BoxedOp<'p> = Box<dyn Operator + 'p>;
+
+/// Build the operator tree for a physical plan.
+pub fn build<'p>(plan: &'p PhysicalPlan) -> BoxedOp<'p> {
+    match plan {
+        PhysicalPlan::TableScan { .. } => Box::new(table_scan::TableScanOp::new(plan)),
+        PhysicalPlan::Filter { .. } => Box::new(filter::FilterOp::new(plan)),
+        PhysicalPlan::Project { .. } => Box::new(project::ProjectOp::new(plan)),
+        PhysicalPlan::HashJoin { .. } => Box::new(hash_join::HashJoinOp::new(plan)),
+        PhysicalPlan::CrowdJoin { .. } => Box::new(crowd_join::CrowdJoinOp::new(plan)),
+        PhysicalPlan::NestedLoopJoin { .. } => {
+            Box::new(nested_loop_join::NestedLoopJoinOp::new(plan))
+        }
+        PhysicalPlan::Sort { .. } => Box::new(sort::SortOp::new(plan)),
+        PhysicalPlan::CrowdSort { .. } => Box::new(crowd_sort::CrowdSortOp::new(plan)),
+        PhysicalPlan::Aggregate { .. } => Box::new(aggregate::AggregateOp::new(plan)),
+        PhysicalPlan::StopAfter { .. } => Box::new(stop_after::StopAfterOp::new(plan)),
+        PhysicalPlan::Distinct { .. } => Box::new(distinct::DistinctOp::new(plan)),
+        PhysicalPlan::Values { .. } => Box::new(values::ValuesOp::new(plan)),
+        PhysicalPlan::Union { .. } => Box::new(union::UnionOp::new(plan)),
+    }
+}
+
+/// Per-operator statistics, one node per physical operator, accumulated
+/// across rounds.
+///
+/// The counters captured around `execute` are *cumulative over the
+/// subtree* (children run inside their parent's `execute`); the
+/// self-attributed accessors ([`OpStatsNode::needs`],
+/// [`OpStatsNode::cache_hits`], [`OpStatsNode::cache_misses`],
+/// [`OpStatsNode::wall`]) subtract the children's cumulative totals.
+#[derive(Debug, Clone, Default)]
+pub struct OpStatsNode {
+    /// Operator name (e.g. `TableScan`, `CrowdJoin`).
+    pub name: String,
+    /// Input rows consumed (set by the operator itself).
+    pub rows_in: u64,
+    /// Output rows produced.
+    pub rows_out: u64,
+    /// Rounds this node executed.
+    pub rounds: u64,
+    /// Per-child stats, in [`PhysicalPlan::children`] order.
+    pub children: Vec<OpStatsNode>,
+    pub(crate) cum_needs: NeedCounts,
+    pub(crate) cum_hits: u64,
+    pub(crate) cum_misses: u64,
+    pub(crate) cum_wall: Duration,
+}
+
+impl OpStatsNode {
+    /// An all-zero stats tree mirroring `plan`.
+    pub fn skeleton(plan: &PhysicalPlan) -> OpStatsNode {
+        OpStatsNode {
+            name: plan.name().to_string(),
+            children: plan.children().into_iter().map(Self::skeleton).collect(),
+            ..OpStatsNode::default()
+        }
+    }
+
+    /// Needs emitted by this operator itself (children excluded).
+    pub fn needs(&self) -> NeedCounts {
+        let child: NeedCounts = self
+            .children
+            .iter()
+            .fold(NeedCounts::default(), |acc, c| acc.add(&c.cum_needs));
+        self.cum_needs.diff(&child)
+    }
+
+    /// Compare-cache hits by this operator itself.
+    pub fn cache_hits(&self) -> u64 {
+        self.cum_hits - self.children.iter().map(|c| c.cum_hits).sum::<u64>()
+    }
+
+    /// Compare-cache misses by this operator itself.
+    pub fn cache_misses(&self) -> u64 {
+        self.cum_misses - self.children.iter().map(|c| c.cum_misses).sum::<u64>()
+    }
+
+    /// Wall time spent in this operator itself.
+    pub fn wall(&self) -> Duration {
+        self.children
+            .iter()
+            .fold(self.cum_wall, |acc, c| acc.saturating_sub(c.cum_wall))
+    }
+
+    /// Accumulate another round's stats tree into this one (same shape).
+    pub fn merge(&mut self, other: &OpStatsNode) {
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.rounds += other.rounds;
+        self.cum_needs = self.cum_needs.add(&other.cum_needs);
+        self.cum_hits += other.cum_hits;
+        self.cum_misses += other.cum_misses;
+        self.cum_wall += other.cum_wall;
+        for (mine, theirs) in self.children.iter_mut().zip(&other.children) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// One-line stats summary (everything but the operator name).
+    ///
+    /// `time=` is always the final token so snapshot tests can scrub it.
+    pub fn summary(&self) -> String {
+        let needs = self.needs();
+        format!(
+            "rounds={} in={} out={} probe={} new={} eq={} ord={} hit={} miss={} time={:?}",
+            self.rounds,
+            self.rows_in,
+            self.rows_out,
+            needs.probe,
+            needs.new_tuples,
+            needs.equal,
+            needs.order,
+            self.cache_hits(),
+            self.cache_misses(),
+            self.wall(),
+        )
+    }
+
+    /// Render the stats tree alone (used by the bench harness).
+    pub fn render(&self) -> Vec<String> {
+        fn rec(node: &OpStatsNode, depth: usize, out: &mut Vec<String>) {
+            out.push(format!(
+                "{}{} | {}",
+                "  ".repeat(depth),
+                node.name,
+                node.summary()
+            ));
+            for c in &node.children {
+                rec(c, depth + 1, out);
+            }
+        }
+        let mut out = Vec::new();
+        rec(self, 0, &mut out);
+        out
+    }
+}
+
+/// Execute `op` for one round, attributing counters to `node`.
+///
+/// Snapshots the shared need/cache counters around the call; the diffs
+/// (cumulative over the subtree, since children run inside the parent)
+/// accumulate on `node`.
+pub fn run_op(
+    op: &dyn Operator,
+    ctx: &mut ExecCtx<'_>,
+    node: &mut OpStatsNode,
+) -> Result<Vec<Row>> {
+    let needs0 = ctx.rt.need_counts;
+    let hits0 = ctx.rt.stats.compare_cache_hits;
+    let misses0 = ctx.rt.stats.compare_cache_misses;
+    let t0 = Instant::now();
+    let rows = op.execute(ctx, node)?;
+    node.cum_wall += t0.elapsed();
+    node.cum_needs = node.cum_needs.add(&ctx.rt.need_counts.diff(&needs0));
+    node.cum_hits += ctx.rt.stats.compare_cache_hits - hits0;
+    node.cum_misses += ctx.rt.stats.compare_cache_misses - misses0;
+    node.rows_out += rows.len() as u64;
+    node.rounds += 1;
+    Ok(rows)
+}
+
+/// Render the physical plan with per-operator stats appended to each
+/// node — the body of `EXPLAIN ANALYZE`.
+///
+/// `plan` and `stats` must have the same shape (the stats tree is built
+/// by [`OpStatsNode::skeleton`] from the same plan).
+pub fn render_analyzed(plan: &PhysicalPlan, stats: &OpStatsNode) -> String {
+    fn rec(plan: &PhysicalPlan, stats: &OpStatsNode, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&format!(
+            "{pad}{}{} | {}\n",
+            plan.describe(),
+            plan.annot().render(),
+            stats.summary()
+        ));
+        for (c, cs) in plan.children().into_iter().zip(&stats.children) {
+            rec(c, cs, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    rec(plan, stats, 0, &mut out);
+    out
+}

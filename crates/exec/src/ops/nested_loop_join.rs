@@ -1,0 +1,68 @@
+//! NestedLoopJoin: cross products and joins without a usable equi key.
+
+use crowddb_common::{Result, Row, Value};
+use crowddb_plan::{BExpr, JoinType, PhysicalPlan};
+
+use crate::context::ExecCtx;
+use crate::eval::eval_truth;
+use crate::ops::{build, run_op, BoxedOp, OpStatsNode, Operator};
+
+/// Nested-loop join operator; see [`PhysicalPlan::NestedLoopJoin`].
+pub struct NestedLoopJoinOp<'p> {
+    left: BoxedOp<'p>,
+    right: BoxedOp<'p>,
+    kind: JoinType,
+    on: Option<&'p BExpr>,
+    right_arity: usize,
+}
+
+impl<'p> NestedLoopJoinOp<'p> {
+    /// Build from a [`PhysicalPlan::NestedLoopJoin`] node.
+    pub fn new(plan: &'p PhysicalPlan) -> NestedLoopJoinOp<'p> {
+        let PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } = plan
+        else {
+            unreachable!("NestedLoopJoinOp built from {plan:?}")
+        };
+        NestedLoopJoinOp {
+            right_arity: right.schema().arity(),
+            left: build(left),
+            right: build(right),
+            kind: *kind,
+            on: on.as_ref(),
+        }
+    }
+}
+
+impl Operator for NestedLoopJoinOp<'_> {
+    fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>> {
+        let left_rows = run_op(self.left.as_ref(), ctx, &mut stats.children[0])?;
+        let right_rows = run_op(self.right.as_ref(), ctx, &mut stats.children[1])?;
+        stats.rows_in += (left_rows.len() + right_rows.len()) as u64;
+        let mut out = Vec::new();
+        for l in &left_rows {
+            let mut matched = false;
+            for r in &right_rows {
+                let joined = l.concat(r);
+                let ok = match self.on {
+                    Some(p) => eval_truth(ctx, p, &joined)?.passes_filter(),
+                    None => true,
+                };
+                if ok {
+                    out.push(joined);
+                    matched = true;
+                }
+            }
+            if !matched && self.kind == JoinType::Left {
+                let pad = Row::new(vec![Value::Null; self.right_arity]);
+                out.push(l.concat(&pad));
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,47 @@
+//! StopAfter: the paper's LIMIT/OFFSET operator.
+
+use crowddb_common::{Result, Row};
+use crowddb_plan::PhysicalPlan;
+
+use crate::context::ExecCtx;
+use crate::ops::{build, run_op, BoxedOp, OpStatsNode, Operator};
+
+/// Limit/offset operator; see [`PhysicalPlan::StopAfter`].
+pub struct StopAfterOp<'p> {
+    input: BoxedOp<'p>,
+    limit: Option<u64>,
+    offset: u64,
+}
+
+impl<'p> StopAfterOp<'p> {
+    /// Build from a [`PhysicalPlan::StopAfter`] node.
+    pub fn new(plan: &'p PhysicalPlan) -> StopAfterOp<'p> {
+        let PhysicalPlan::StopAfter {
+            input,
+            limit,
+            offset,
+            ..
+        } = plan
+        else {
+            unreachable!("StopAfterOp built from {plan:?}")
+        };
+        StopAfterOp {
+            input: build(input),
+            limit: *limit,
+            offset: *offset,
+        }
+    }
+}
+
+impl Operator for StopAfterOp<'_> {
+    fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>> {
+        let rows = run_op(self.input.as_ref(), ctx, &mut stats.children[0])?;
+        stats.rows_in += rows.len() as u64;
+        let start = (self.offset as usize).min(rows.len());
+        let end = match self.limit {
+            Some(l) => (start + l as usize).min(rows.len()),
+            None => rows.len(),
+        };
+        Ok(rows[start..end].to_vec())
+    }
+}

@@ -1,0 +1,178 @@
+//! TableScan: base-table scan with CrowdProbe insertion points and an
+//! optional fused residual filter.
+
+use crowddb_common::{Result, Row, Truth, Value};
+use crowddb_plan::{BExpr, PhysicalPlan};
+use crowddb_sql::BinaryOp;
+
+use crate::context::ExecCtx;
+use crate::eval::eval_truth;
+use crate::need::TaskNeed;
+use crate::ops::{OpStatsNode, Operator};
+
+/// Scan operator; see [`PhysicalPlan::TableScan`].
+pub struct TableScanOp<'p> {
+    table: &'p str,
+    needed_columns: &'p [usize],
+    crowd_table: bool,
+    expected_tuples: Option<u64>,
+    residual: Option<&'p BExpr>,
+}
+
+impl<'p> TableScanOp<'p> {
+    /// Build from a [`PhysicalPlan::TableScan`] node.
+    pub fn new(plan: &'p PhysicalPlan) -> TableScanOp<'p> {
+        let PhysicalPlan::TableScan {
+            table,
+            needed_columns,
+            crowd_table,
+            expected_tuples,
+            residual,
+            ..
+        } = plan
+        else {
+            unreachable!("TableScanOp built from {plan:?}")
+        };
+        TableScanOp {
+            table,
+            needed_columns,
+            crowd_table: *crowd_table,
+            expected_tuples: *expected_tuples,
+            residual: residual.as_ref(),
+        }
+    }
+}
+
+impl Operator for TableScanOp<'_> {
+    fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>> {
+        let schema = ctx.table_schema(self.table)?;
+        // Point-lookup fast path: a residual that pins the whole primary
+        // key with literal equalities reads via the PK index instead of
+        // scanning. (Scan output ordinals equal base ordinals, so the
+        // predicate's column ids map directly onto the key.)
+        let pk_values = self
+            .residual
+            .and_then(|p| pk_pin_values(p, &schema.primary_key));
+        let (rows, total_live) = match &pk_values {
+            Some(key) => {
+                let rows = ctx.db.with_table(self.table, |t| {
+                    t.lookup_pk(key)
+                        .into_iter()
+                        .filter_map(|tid| t.get(tid).map(|r| (tid, r.clone())))
+                        .collect::<Vec<_>>()
+                })?;
+                let total = ctx.db.stats(self.table)?.live_rows as u64;
+                ctx.rt.stats.index_lookups += 1;
+                (rows, total)
+            }
+            None => {
+                let rows = ctx.db.with_table(self.table, |t| t.scan_rows())?;
+                let total = rows.len() as u64;
+                (rows, total)
+            }
+        };
+        ctx.rt.stats.rows_scanned += rows.len() as u64;
+        stats.rows_in += rows.len() as u64;
+
+        let mut out = Vec::with_capacity(rows.len());
+        for (tid, row) in rows {
+            // Fused filter: a decidedly-False predicate drops the row
+            // before any crowd work is generated for it; Unknown keeps
+            // probing (the missing value may decide the predicate).
+            let truth = match self.residual {
+                Some(p) => eval_truth(ctx, p, &row)?,
+                None => Truth::True,
+            };
+            if truth == Truth::False {
+                continue;
+            }
+            // CrowdProbe, missing-value flavor: any needed column that is
+            // CNULL (and crowdsourceable) becomes a probe need.
+            let mut missing: Vec<(usize, String, crowddb_common::DataType)> = Vec::new();
+            for &c in self.needed_columns {
+                if row.get(c).map(Value::is_cnull).unwrap_or(false) {
+                    let col = &schema.columns[c];
+                    if col.crowd || schema.crowd_table {
+                        ctx.rt.stats.cnulls_seen += 1;
+                        missing.push((c, col.name.clone(), col.data_type));
+                    }
+                }
+            }
+            if !missing.is_empty() {
+                let context: Vec<(String, String)> = schema
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| {
+                        schema.primary_key.contains(i)
+                            || (self.needed_columns.contains(i)
+                                && !row.get(*i).map(Value::is_missing).unwrap_or(true))
+                    })
+                    .map(|(i, c)| (c.name.clone(), row[i].to_string()))
+                    .collect();
+                ctx.rt.push_need(TaskNeed::ProbeValues {
+                    table: self.table.to_string(),
+                    tid,
+                    context,
+                    columns: missing,
+                });
+            }
+            // Unknown rows are probed above but excluded from this
+            // round's output (SQL WHERE semantics); they qualify on
+            // re-execution once the crowd fills the value in.
+            if truth.passes_filter() {
+                out.push(row);
+            }
+        }
+
+        // CrowdProbe, new-tuple flavor: a bounded CROWD-table scan short
+        // of its quota asks the crowd for more tuples.
+        if self.crowd_table {
+            if let Some(expected) = self.expected_tuples {
+                // The quota counts stored tuples, not filter survivors:
+                // the bound caps how much of the open world is enumerated.
+                let have = total_live;
+                if have < expected {
+                    ctx.rt.push_need(TaskNeed::NewTuples {
+                        table: self.table.to_string(),
+                        preset: vec![],
+                        want: expected - have,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// If `predicate` pins every primary-key column (by base ordinal) with an
+/// equality against a literal, return the key values in PK order.
+fn pk_pin_values(predicate: &BExpr, pk: &[usize]) -> Option<Vec<Value>> {
+    if pk.is_empty() {
+        return None;
+    }
+    let mut conjuncts = Vec::new();
+    crowddb_plan::optimizer::split_conjuncts(predicate.clone(), &mut conjuncts);
+    let mut values: Vec<Option<Value>> = vec![None; pk.len()];
+    for c in &conjuncts {
+        if let BExpr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = c
+        {
+            let (col, lit) = match (left.as_ref(), right.as_ref()) {
+                (BExpr::Column(i), BExpr::Literal(v)) => (*i, v.clone()),
+                (BExpr::Literal(v), BExpr::Column(i)) => (*i, v.clone()),
+                _ => continue,
+            };
+            if lit.is_missing() {
+                continue;
+            }
+            if let Some(pos) = pk.iter().position(|&p| p == col) {
+                values[pos] = Some(lit);
+            }
+        }
+    }
+    values.into_iter().collect()
+}

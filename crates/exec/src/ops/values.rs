@@ -1,0 +1,38 @@
+//! Values: literal rows (`SELECT` without `FROM`, `VALUES` lists).
+
+use crowddb_common::{Result, Row};
+use crowddb_plan::{BExpr, PhysicalPlan};
+
+use crate::context::ExecCtx;
+use crate::eval::eval;
+use crate::ops::{OpStatsNode, Operator};
+
+/// Literal-rows operator; see [`PhysicalPlan::Values`].
+pub struct ValuesOp<'p> {
+    rows: &'p [Vec<BExpr>],
+}
+
+impl<'p> ValuesOp<'p> {
+    /// Build from a [`PhysicalPlan::Values`] node.
+    pub fn new(plan: &'p PhysicalPlan) -> ValuesOp<'p> {
+        let PhysicalPlan::Values { rows, .. } = plan else {
+            unreachable!("ValuesOp built from {plan:?}")
+        };
+        ValuesOp { rows }
+    }
+}
+
+impl Operator for ValuesOp<'_> {
+    fn execute(&self, ctx: &mut ExecCtx<'_>, _stats: &mut OpStatsNode) -> Result<Vec<Row>> {
+        let empty = Row::default();
+        let mut out = Vec::with_capacity(self.rows.len());
+        for row_exprs in self.rows {
+            let mut values = Vec::with_capacity(row_exprs.len());
+            for e in row_exprs {
+                values.push(eval(ctx, e, &empty)?);
+            }
+            out.push(Row::new(values));
+        }
+        Ok(out)
+    }
+}

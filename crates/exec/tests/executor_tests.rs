@@ -511,3 +511,75 @@ fn pk_lookup_miss_returns_empty() {
     assert_eq!(r.stats.index_lookups, 1);
     assert_eq!(r.stats.rows_scanned, 0);
 }
+
+// Regression tests for the shared evaluation path (`crowddb_exec::eval`):
+// query execution (operators) and DML planning evaluate predicates via
+// the same `eval`/`eval_truth`, so crowd-compare needs must dedup
+// identically on both sides.
+
+#[test]
+fn crowdequal_needs_dedup_identical_operand_pairs() {
+    let db = setup();
+    db.insert("talk", row!["A", "same abstract", 1i64]).unwrap();
+    db.insert("talk", row!["B", "same abstract", 2i64]).unwrap();
+    db.insert("talk", row!["C", "other abstract", 3i64])
+        .unwrap();
+    let r = run(
+        &db,
+        "SELECT title FROM talk WHERE abstract ~= 'same.abstract'",
+    );
+    let equals: Vec<_> = r
+        .needs
+        .iter()
+        .filter(|n| matches!(n, TaskNeed::Equal { .. }))
+        .collect();
+    // Rows A and B carry the identical (left, right) operand pair: one
+    // need for them, one for row C's distinct pair.
+    assert_eq!(equals.len(), 2, "one need per distinct operand pair");
+}
+
+#[test]
+fn crowdequal_needs_identical_for_query_and_dml_paths() {
+    let db = setup();
+    db.insert("talk", row!["A", "same abstract", 1i64]).unwrap();
+    db.insert("talk", row!["B", "same abstract", 2i64]).unwrap();
+    db.insert("talk", row!["C", "other abstract", 3i64])
+        .unwrap();
+    let query = run(
+        &db,
+        "SELECT title FROM talk WHERE abstract ~= 'same.abstract'",
+    );
+    let Statement::Update(upd) =
+        parse_statement("UPDATE talk SET nb_attendees = 0 WHERE abstract ~= 'same.abstract'")
+            .unwrap()
+    else {
+        panic!()
+    };
+    let dml = crowddb_exec::dml::plan_update(&db, &CompareCaches::default(), &upd).unwrap();
+    assert_eq!(
+        query.needs, dml.needs,
+        "select and DML evaluate the predicate through the same path"
+    );
+}
+
+#[test]
+fn crowdorder_needs_dedup_identical_pairs() {
+    let db = setup();
+    // Two pairs of rows sharing a key value: the pivot comparison
+    // (same, other) happens twice during sorting but equal rendered
+    // values compare machine-side, so exactly one Order need survives.
+    db.insert("talk", row!["A", "same", 1i64]).unwrap();
+    db.insert("talk", row!["B", "same", 2i64]).unwrap();
+    db.insert("talk", row!["C", "other", 3i64]).unwrap();
+    db.insert("talk", row!["D", "other", 4i64]).unwrap();
+    let r = run(
+        &db,
+        "SELECT title FROM talk ORDER BY CROWDORDER(abstract, 'Which is better')",
+    );
+    let orders: Vec<_> = r
+        .needs
+        .iter()
+        .filter(|n| matches!(n, TaskNeed::Order { .. }))
+        .collect();
+    assert_eq!(orders.len(), 1, "duplicate comparisons dedup to one need");
+}

@@ -25,7 +25,10 @@
 //! 3. **annotation** ([`cardinality`], [`bounded`]) — per-node cardinality
 //!    estimates and the boundedness verdict.
 //!
-//! Physical operator selection lives in `crowddb-exec`.
+//! Physical operator *selection* lives in [`physical`]: [`physical::lower`]
+//! turns the optimized logical plan into a [`physical::PhysicalPlan`] tree
+//! with explicit crowd operators. Execution of that tree lives in
+//! `crowddb-exec`.
 
 pub mod binder;
 pub mod bound_expr;
@@ -33,6 +36,7 @@ pub mod bounded;
 pub mod cardinality;
 pub mod logical;
 pub mod optimizer;
+pub mod physical;
 pub mod schema;
 
 pub use binder::Binder;
@@ -41,4 +45,5 @@ pub use bounded::{analyze_boundedness, BoundednessReport};
 pub use cardinality::annotate_cardinality;
 pub use logical::{JoinType, LogicalPlan, SortKey};
 pub use optimizer::{optimize, OptimizerConfig};
+pub use physical::{lower, PhysAnnot, PhysicalPlan};
 pub use schema::{PlanColumn, PlanSchema};

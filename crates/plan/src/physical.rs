@@ -1,0 +1,976 @@
+//! The physical plan layer: explicit operator choices for the executor.
+//!
+//! The paper separates a rule-based compiler that *selects* crowd
+//! operators (CrowdProbe, CrowdJoin, CrowdCompare embedded in host
+//! operators, §3.2.1) from the engine that runs them. [`lower`] performs
+//! that selection: it walks the optimized [`LogicalPlan`] and emits a
+//! [`PhysicalPlan`] tree in which every decision the executor used to
+//! make implicitly is now an explicit, inspectable node:
+//!
+//! * filter-over-scan fusion → [`PhysicalPlan::TableScan`] with a
+//!   `residual` predicate (so machine predicates reject rows *before*
+//!   any probe task is generated);
+//! * equi-join detection → [`PhysicalPlan::HashJoin`] vs
+//!   [`PhysicalPlan::NestedLoopJoin`];
+//! * the CrowdJoin pattern (single-column equi key into a CROWD-table
+//!   scan) → [`PhysicalPlan::CrowdJoin`] with its batch-size annotation;
+//! * `CROWDORDER` sort keys → [`PhysicalPlan::CrowdSort`] vs
+//!   [`PhysicalPlan::Sort`];
+//! * `LIMIT` → [`PhysicalPlan::StopAfter`] (the paper's operator name).
+//!
+//! Every node carries a [`PhysAnnot`] with the cardinality estimate and
+//! boundedness verdict of the logical subtree it was lowered from, so
+//! `EXPLAIN` can render the annotated operator tree without re-running
+//! the analysis passes.
+
+use crate::bound_expr::{AggCall, BExpr};
+use crate::bounded::analyze_boundedness;
+use crate::cardinality::{estimate_rows, StatsSource};
+use crate::logical::{JoinType, LogicalPlan, SortKey};
+use crate::optimizer::split_conjuncts;
+use crate::schema::PlanSchema;
+use crowddb_sql::BinaryOp;
+
+/// Per-outer-tuple quota of crowdsourced matches requested by a
+/// [`PhysicalPlan::CrowdJoin`] (the paper's CrowdJoin asks for a handful
+/// of matching tuples per outer tuple).
+pub const DEFAULT_JOIN_BATCH: u64 = 3;
+
+/// Static annotations attached to every physical node, computed from the
+/// existing cardinality and boundedness passes over the logical subtree
+/// the node was lowered from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysAnnot {
+    /// Estimated output rows (see [`crate::cardinality::estimate_rows`]).
+    pub est_rows: f64,
+    /// Whether the crowd work below this node is bounded
+    /// (see [`crate::bounded::analyze_boundedness`]).
+    pub bounded: bool,
+}
+
+impl PhysAnnot {
+    /// Render as the ` {~N rows, bounded}` suffix used in EXPLAIN output.
+    pub fn render(&self) -> String {
+        format!(
+            " {{~{:.0} rows, {}}}",
+            self.est_rows,
+            if self.bounded { "bounded" } else { "UNBOUNDED" }
+        )
+    }
+}
+
+/// A physical operator tree, lowered from an optimized [`LogicalPlan`]
+/// by [`lower`]. Execution semantics (materialize-per-round) live in
+/// `crowddb-exec`; this type only records *which* operator runs where.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Base-table scan with CrowdProbe insertion points: needed CROWD
+    /// columns holding `CNULL` probe the crowd; a bounded CROWD-table
+    /// scan short of `expected_tuples` asks for new tuples. A fused
+    /// `residual` predicate is evaluated before any probe need is
+    /// generated (predicate push-down "minimizes the requests against
+    /// the crowd", paper §3.2.2).
+    TableScan {
+        /// Base table name.
+        table: String,
+        /// Visible alias (equals `table` when not aliased).
+        alias: String,
+        /// Output schema (base-table columns).
+        schema: PlanSchema,
+        /// Scanning a `CREATE CROWD TABLE`?
+        crowd_table: bool,
+        /// Column ordinals the query actually uses (probe candidates).
+        needed_columns: Vec<usize>,
+        /// Tuple quota for bounded CROWD-table scans.
+        expected_tuples: Option<u64>,
+        /// Fused filter predicate, if the logical plan had a filter
+        /// directly over this scan.
+        residual: Option<BExpr>,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Standalone filter (input is not a scan, so no fusion applies).
+    Filter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Predicate; rows whose truth value is not `True` are dropped.
+        predicate: BExpr,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Projection of expressions over the input.
+    Project {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Output expressions.
+        exprs: Vec<BExpr>,
+        /// Output schema.
+        schema: PlanSchema,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Hash join on one or more equi-conjuncts, building on the right
+    /// side; `residual` conjuncts are evaluated on each joined row.
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<PhysicalPlan>,
+        /// Right (build) input.
+        right: Box<PhysicalPlan>,
+        /// Join type.
+        kind: JoinType,
+        /// Equi-key pairs `(left expr, right expr)`; the right expr is
+        /// already remapped to right-row ordinals.
+        equi: Vec<(BExpr, BExpr)>,
+        /// Non-equi conjuncts of the join condition.
+        residual: Vec<BExpr>,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// The paper's CrowdJoin: an index nested-loop join whose inner side
+    /// is a CROWD-table scan. Outer rows without a match generate
+    /// new-tuple needs with the join key preset, `batch_size` at a time.
+    CrowdJoin {
+        /// Left (outer) input.
+        left: Box<PhysicalPlan>,
+        /// Right (inner, crowd) input.
+        right: Box<PhysicalPlan>,
+        /// Join type.
+        kind: JoinType,
+        /// The single equi-key pair `(left expr, right expr)`.
+        equi: (BExpr, BExpr),
+        /// Non-equi conjuncts of the join condition.
+        residual: Vec<BExpr>,
+        /// The inner CROWD table new tuples are requested for.
+        inner_table: String,
+        /// Inner column name the join key is preset on.
+        key_column: String,
+        /// How many tuples to request per unmatched outer row.
+        batch_size: u64,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Nested-loop join for conditions with no usable equi-conjunct
+    /// (cross products and arbitrary predicates).
+    NestedLoopJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join type.
+        kind: JoinType,
+        /// Join condition (`None` for a cross product).
+        on: Option<BExpr>,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Machine sort (no `CROWDORDER` keys).
+    Sort {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Sort keys.
+        keys: Vec<SortKey>,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Crowd-assisted sort: CrowdCompare inside a deterministic
+    /// quicksort, consulting the session order cache and emitting
+    /// compare needs for missing pairs.
+    CrowdSort {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Sort keys (at least one is a `CROWDORDER`).
+        keys: Vec<SortKey>,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Grouping expressions.
+        group_by: Vec<BExpr>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+        /// Output schema.
+        schema: PlanSchema,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// The paper's StopAfter operator (`LIMIT`/`OFFSET`).
+    StopAfter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Maximum rows to emit (`None` = unlimited, offset only).
+        limit: Option<u64>,
+        /// Rows to skip first.
+        offset: u64,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Literal rows (`SELECT` without `FROM`).
+    Values {
+        /// Row expressions.
+        rows: Vec<Vec<BExpr>>,
+        /// Output schema.
+        schema: PlanSchema,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Bag/set union of two inputs.
+    Union {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// `UNION ALL` (keep duplicates)?
+        all: bool,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output schema of this operator.
+    pub fn schema(&self) -> PlanSchema {
+        match self {
+            PhysicalPlan::TableScan { schema, .. }
+            | PhysicalPlan::Project { schema, .. }
+            | PhysicalPlan::Aggregate { schema, .. }
+            | PhysicalPlan::Values { schema, .. } => schema.clone(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::CrowdSort { input, .. }
+            | PhysicalPlan::StopAfter { input, .. }
+            | PhysicalPlan::Distinct { input, .. } => input.schema(),
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::CrowdJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+                left.schema().join(&right.schema())
+            }
+            PhysicalPlan::Union { left, .. } => left.schema(),
+        }
+    }
+
+    /// The node's annotations.
+    pub fn annot(&self) -> &PhysAnnot {
+        match self {
+            PhysicalPlan::TableScan { annot, .. }
+            | PhysicalPlan::Filter { annot, .. }
+            | PhysicalPlan::Project { annot, .. }
+            | PhysicalPlan::HashJoin { annot, .. }
+            | PhysicalPlan::CrowdJoin { annot, .. }
+            | PhysicalPlan::NestedLoopJoin { annot, .. }
+            | PhysicalPlan::Sort { annot, .. }
+            | PhysicalPlan::CrowdSort { annot, .. }
+            | PhysicalPlan::Aggregate { annot, .. }
+            | PhysicalPlan::StopAfter { annot, .. }
+            | PhysicalPlan::Distinct { annot, .. }
+            | PhysicalPlan::Values { annot, .. }
+            | PhysicalPlan::Union { annot, .. } => annot,
+        }
+    }
+
+    /// Child operators, in execution order.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::CrowdSort { input, .. }
+            | PhysicalPlan::Aggregate { input, .. }
+            | PhysicalPlan::StopAfter { input, .. }
+            | PhysicalPlan::Distinct { input, .. } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::CrowdJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::Union { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Operator name, as shown in EXPLAIN and the stats tree.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalPlan::TableScan { .. } => "TableScan",
+            PhysicalPlan::Filter { predicate, .. } => {
+                if predicate.is_crowd() {
+                    "CrowdFilter"
+                } else {
+                    "Filter"
+                }
+            }
+            PhysicalPlan::Project { .. } => "Project",
+            PhysicalPlan::HashJoin { .. } => "HashJoin",
+            PhysicalPlan::CrowdJoin { .. } => "CrowdJoin",
+            PhysicalPlan::NestedLoopJoin { .. } => "NestedLoopJoin",
+            PhysicalPlan::Sort { .. } => "Sort",
+            PhysicalPlan::CrowdSort { .. } => "CrowdSort",
+            PhysicalPlan::Aggregate { .. } => "Aggregate",
+            PhysicalPlan::StopAfter { .. } => "StopAfter",
+            PhysicalPlan::Distinct { .. } => "Distinct",
+            PhysicalPlan::Values { .. } => "Values",
+            PhysicalPlan::Union { .. } => "Union",
+        }
+    }
+
+    /// One-line description of this node (no children, no annotations).
+    pub fn describe(&self) -> String {
+        match self {
+            PhysicalPlan::TableScan {
+                table,
+                alias,
+                schema,
+                crowd_table,
+                needed_columns,
+                expected_tuples,
+                residual,
+                ..
+            } => {
+                let probe_cols: Vec<&str> = needed_columns
+                    .iter()
+                    .filter_map(|&i| schema.columns.get(i))
+                    .filter(|c| c.crowd || *crowd_table)
+                    .map(|c| c.name.as_str())
+                    .collect();
+                format!(
+                    "TableScan {table}{}{}{}{}{}",
+                    if alias != table {
+                        format!(" AS {alias}")
+                    } else {
+                        String::new()
+                    },
+                    if *crowd_table { " [CROWD TABLE]" } else { "" },
+                    if probe_cols.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" [probe: {}]", probe_cols.join(", "))
+                    },
+                    match expected_tuples {
+                        Some(n) => format!(" [expect ≤{n} tuples]"),
+                        None => String::new(),
+                    },
+                    match residual {
+                        Some(p) => format!(" [residual: {p}]"),
+                        None => String::new(),
+                    }
+                )
+            }
+            PhysicalPlan::Filter { predicate, .. } => format!("{} {predicate}", self.name()),
+            PhysicalPlan::Project { exprs, .. } => {
+                let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                format!("Project {}", cols.join(", "))
+            }
+            PhysicalPlan::HashJoin {
+                kind,
+                equi,
+                residual,
+                ..
+            } => {
+                let keys: Vec<String> = equi.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                format!(
+                    "HashJoin {} on=[{}]{}",
+                    kind.name(),
+                    keys.join(", "),
+                    render_residual(residual)
+                )
+            }
+            PhysicalPlan::CrowdJoin {
+                kind,
+                equi,
+                residual,
+                inner_table,
+                key_column,
+                batch_size,
+                ..
+            } => format!(
+                "CrowdJoin {} on=[{}={}] inner={inner_table} key={key_column} \
+                 batch={batch_size}{}",
+                kind.name(),
+                equi.0,
+                equi.1,
+                render_residual(residual)
+            ),
+            PhysicalPlan::NestedLoopJoin { kind, on, .. } => format!(
+                "NestedLoopJoin {}{}",
+                kind.name(),
+                match on {
+                    Some(p) => format!(" ON {p}"),
+                    None => String::new(),
+                }
+            ),
+            PhysicalPlan::Sort { keys, .. } | PhysicalPlan::CrowdSort { keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                format!("{} {}", self.name(), ks.join(", "))
+            }
+            PhysicalPlan::Aggregate { group_by, aggs, .. } => {
+                let g: Vec<String> = group_by.iter().map(|e| e.to_string()).collect();
+                let a: Vec<String> = aggs.iter().map(|c| c.to_string()).collect();
+                format!("Aggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", "))
+            }
+            PhysicalPlan::StopAfter { limit, offset, .. } => format!(
+                "StopAfter{}{}",
+                match limit {
+                    Some(l) => format!(" {l}"),
+                    None => " ∞".to_string(),
+                },
+                if *offset > 0 {
+                    format!(" OFFSET {offset}")
+                } else {
+                    String::new()
+                }
+            ),
+            PhysicalPlan::Distinct { .. } => "Distinct".to_string(),
+            PhysicalPlan::Values { rows, .. } => format!("Values [{} rows]", rows.len()),
+            PhysicalPlan::Union { all, .. } => {
+                format!("Union{}", if *all { " ALL" } else { "" })
+            }
+        }
+    }
+
+    /// Render the tree as an indented EXPLAIN block, annotations
+    /// included.
+    pub fn explain(&self) -> String {
+        fn rec(plan: &PhysicalPlan, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            out.push_str(&format!(
+                "{pad}{}{}\n",
+                plan.describe(),
+                plan.annot().render()
+            ));
+            for c in plan.children() {
+                rec(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        rec(self, 0, &mut out);
+        out
+    }
+}
+
+fn render_residual(residual: &[BExpr]) -> String {
+    if residual.is_empty() {
+        String::new()
+    } else {
+        let rs: Vec<String> = residual.iter().map(|e| e.to_string()).collect();
+        format!(" residual=[{}]", rs.join(", "))
+    }
+}
+
+/// Lower an optimized logical plan to a physical operator tree.
+///
+/// `stats` feeds the per-node cardinality estimates and `pk_columns`
+/// the boundedness analysis; both come from the catalog in practice
+/// (see `crowddb_exec`'s driver).
+pub fn lower(
+    plan: &LogicalPlan,
+    stats: &dyn StatsSource,
+    pk_columns: &dyn Fn(&str) -> Vec<usize>,
+) -> PhysicalPlan {
+    let annot = PhysAnnot {
+        est_rows: estimate_rows(plan, stats),
+        bounded: analyze_boundedness(plan, stats, pk_columns).bounded,
+    };
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            alias,
+            schema,
+            crowd_table,
+            needed_columns,
+            expected_tuples,
+        } => PhysicalPlan::TableScan {
+            table: table.clone(),
+            alias: alias.clone(),
+            schema: schema.clone(),
+            crowd_table: *crowd_table,
+            needed_columns: needed_columns.clone(),
+            expected_tuples: *expected_tuples,
+            residual: None,
+            annot,
+        },
+        LogicalPlan::Filter { input, predicate } => {
+            // Filter-over-scan fusion: the predicate becomes the scan's
+            // residual so decidedly-rejected rows never generate probes.
+            if let LogicalPlan::Scan {
+                table,
+                alias,
+                schema,
+                crowd_table,
+                needed_columns,
+                expected_tuples,
+            } = input.as_ref()
+            {
+                return PhysicalPlan::TableScan {
+                    table: table.clone(),
+                    alias: alias.clone(),
+                    schema: schema.clone(),
+                    crowd_table: *crowd_table,
+                    needed_columns: needed_columns.clone(),
+                    expected_tuples: *expected_tuples,
+                    residual: Some(predicate.clone()),
+                    annot,
+                };
+            }
+            PhysicalPlan::Filter {
+                input: Box::new(lower(input, stats, pk_columns)),
+                predicate: predicate.clone(),
+                annot,
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => PhysicalPlan::Project {
+            input: Box::new(lower(input, stats, pk_columns)),
+            exprs: exprs.clone(),
+            schema: schema.clone(),
+            annot,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let left_arity = left.schema().arity();
+            let (equi, residual) = split_join_condition(on.as_ref(), left_arity);
+            let pleft = Box::new(lower(left, stats, pk_columns));
+            let pright = Box::new(lower(right, stats, pk_columns));
+            if equi.is_empty() {
+                return PhysicalPlan::NestedLoopJoin {
+                    left: pleft,
+                    right: pright,
+                    kind: *kind,
+                    on: on.clone(),
+                    annot,
+                };
+            }
+            // The CrowdJoin pattern: exactly one equi key, landing on a
+            // base column of a CROWD-table scan on the inner side.
+            if equi.len() == 1 {
+                if let Some((scan_table, scan_schema)) = crowd_scan_of(right) {
+                    if let BExpr::Column(rc) = &equi[0].1 {
+                        let key_column = scan_schema.columns[*rc].name.clone();
+                        let equi0 = equi.into_iter().next().expect("len checked");
+                        return PhysicalPlan::CrowdJoin {
+                            left: pleft,
+                            right: pright,
+                            kind: *kind,
+                            equi: equi0,
+                            residual,
+                            inner_table: scan_table,
+                            key_column,
+                            batch_size: DEFAULT_JOIN_BATCH,
+                            annot,
+                        };
+                    }
+                }
+            }
+            PhysicalPlan::HashJoin {
+                left: pleft,
+                right: pright,
+                kind: *kind,
+                equi,
+                residual,
+                annot,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => PhysicalPlan::Aggregate {
+            input: Box::new(lower(input, stats, pk_columns)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+            schema: schema.clone(),
+            annot,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            let input = Box::new(lower(input, stats, pk_columns));
+            if keys
+                .iter()
+                .any(|k| matches!(k.expr, BExpr::CrowdOrder { .. }))
+            {
+                PhysicalPlan::CrowdSort {
+                    input,
+                    keys: keys.clone(),
+                    annot,
+                }
+            } else {
+                PhysicalPlan::Sort {
+                    input,
+                    keys: keys.clone(),
+                    annot,
+                }
+            }
+        }
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => PhysicalPlan::StopAfter {
+            input: Box::new(lower(input, stats, pk_columns)),
+            limit: *limit,
+            offset: *offset,
+            annot,
+        },
+        LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+            input: Box::new(lower(input, stats, pk_columns)),
+            annot,
+        },
+        LogicalPlan::Values { rows, schema } => PhysicalPlan::Values {
+            rows: rows.clone(),
+            schema: schema.clone(),
+            annot,
+        },
+        LogicalPlan::Union { left, right, all } => PhysicalPlan::Union {
+            left: Box::new(lower(left, stats, pk_columns)),
+            right: Box::new(lower(right, stats, pk_columns)),
+            all: *all,
+            annot,
+        },
+    }
+}
+
+/// Split a join condition into hashable equi-conjuncts (right exprs
+/// remapped to right-row ordinals) and residual conjuncts — the same
+/// decomposition the executor applies at runtime, now made static.
+pub fn split_join_condition(
+    on: Option<&BExpr>,
+    left_arity: usize,
+) -> (Vec<(BExpr, BExpr)>, Vec<BExpr>) {
+    let mut equi: Vec<(BExpr, BExpr)> = Vec::new();
+    let mut residual: Vec<BExpr> = Vec::new();
+    if let Some(on) = on {
+        let mut conjuncts = Vec::new();
+        split_conjuncts(on.clone(), &mut conjuncts);
+        for c in conjuncts {
+            if let BExpr::Binary {
+                left: cl,
+                op: BinaryOp::Eq,
+                right: cr,
+            } = &c
+            {
+                let l_refs = cl.column_refs();
+                let r_refs = cr.column_refs();
+                let l_is_left = l_refs.iter().all(|&i| i < left_arity);
+                let l_is_right = l_refs.iter().all(|&i| i >= left_arity);
+                let r_is_left = r_refs.iter().all(|&i| i < left_arity);
+                let r_is_right = r_refs.iter().all(|&i| i >= left_arity);
+                if l_is_left && r_is_right && !r_refs.is_empty() {
+                    equi.push(((**cl).clone(), cr.remap_columns(&|i| i - left_arity)));
+                    continue;
+                }
+                if l_is_right && r_is_left && !l_refs.is_empty() {
+                    equi.push(((**cr).clone(), cl.remap_columns(&|i| i - left_arity)));
+                    continue;
+                }
+            }
+            residual.push(c);
+        }
+    }
+    (equi, residual)
+}
+
+/// If `plan` is a CROWD-table scan (possibly under filters that keep
+/// base columns in place), return its table name and schema.
+fn crowd_scan_of(plan: &LogicalPlan) -> Option<(String, PlanSchema)> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            crowd_table: true,
+            schema,
+            ..
+        } => Some((table.clone(), schema.clone())),
+        LogicalPlan::Filter { input, .. } => crowd_scan_of(input),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::FnStats;
+    use crate::logical::scan_schema;
+    use crowddb_common::{DataType, Value};
+
+    fn stats() -> FnStats<impl Fn(&str) -> Option<u64>> {
+        FnStats(|_t: &str| Some(100))
+    }
+
+    fn pk(_t: &str) -> Vec<usize> {
+        vec![0]
+    }
+
+    fn lower_t(plan: &LogicalPlan) -> PhysicalPlan {
+        lower(plan, &stats(), &pk)
+    }
+
+    fn talk_scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "talk".into(),
+            alias: "talk".into(),
+            schema: scan_schema(
+                "talk",
+                &[
+                    ("title".into(), DataType::Str, false),
+                    ("nb_attendees".into(), DataType::Int, true),
+                ],
+                "talk",
+            ),
+            crowd_table: false,
+            needed_columns: vec![0, 1],
+            expected_tuples: None,
+        }
+    }
+
+    fn attendee_scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "notableattendee".into(),
+            alias: "notableattendee".into(),
+            schema: scan_schema(
+                "notableattendee",
+                &[
+                    ("name".into(), DataType::Str, false),
+                    ("title".into(), DataType::Str, false),
+                ],
+                "notableattendee",
+            ),
+            crowd_table: true,
+            needed_columns: vec![0, 1],
+            expected_tuples: Some(5),
+        }
+    }
+
+    fn col(i: usize) -> BExpr {
+        BExpr::Column(i)
+    }
+
+    fn eq(l: BExpr, r: BExpr) -> BExpr {
+        BExpr::Binary {
+            left: Box::new(l),
+            op: BinaryOp::Eq,
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn scan_lowers_to_table_scan() {
+        let p = lower_t(&talk_scan());
+        let PhysicalPlan::TableScan {
+            table, residual, ..
+        } = &p
+        else {
+            panic!("{p:?}")
+        };
+        assert_eq!(table, "talk");
+        assert!(residual.is_none());
+        assert!(p.annot().bounded);
+    }
+
+    #[test]
+    fn filter_over_scan_fuses_residual() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(talk_scan()),
+            predicate: eq(col(0), BExpr::Literal(Value::str("CrowdDB"))),
+        };
+        let p = lower_t(&plan);
+        let PhysicalPlan::TableScan { residual, .. } = &p else {
+            panic!("{p:?}")
+        };
+        assert!(residual.is_some(), "predicate must fuse into the scan");
+    }
+
+    #[test]
+    fn filter_over_join_stays_a_filter() {
+        let join = LogicalPlan::Join {
+            left: Box::new(talk_scan()),
+            right: Box::new(talk_scan()),
+            kind: JoinType::Cross,
+            on: None,
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: eq(col(0), col(2)),
+        };
+        let p = lower_t(&plan);
+        assert!(matches!(p, PhysicalPlan::Filter { .. }), "{p:?}");
+    }
+
+    #[test]
+    fn equi_join_lowers_to_hash_join() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(talk_scan()),
+            right: Box::new(talk_scan()),
+            kind: JoinType::Inner,
+            on: Some(eq(col(0), col(2))),
+        };
+        let p = lower_t(&plan);
+        let PhysicalPlan::HashJoin { equi, residual, .. } = &p else {
+            panic!("{p:?}")
+        };
+        assert_eq!(equi.len(), 1);
+        assert_eq!(equi[0].1, col(0), "right key remapped to right ordinals");
+        assert!(residual.is_empty());
+    }
+
+    #[test]
+    fn crowd_inner_equi_join_lowers_to_crowd_join() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(talk_scan()),
+            right: Box::new(attendee_scan()),
+            kind: JoinType::Inner,
+            on: Some(eq(col(0), col(3))),
+        };
+        let p = lower_t(&plan);
+        let PhysicalPlan::CrowdJoin {
+            inner_table,
+            key_column,
+            batch_size,
+            ..
+        } = &p
+        else {
+            panic!("{p:?}")
+        };
+        assert_eq!(inner_table, "notableattendee");
+        assert_eq!(key_column, "title");
+        assert_eq!(*batch_size, DEFAULT_JOIN_BATCH);
+    }
+
+    #[test]
+    fn multi_key_join_with_crowd_inner_stays_hash_join() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(talk_scan()),
+            right: Box::new(attendee_scan()),
+            kind: JoinType::Inner,
+            on: Some(BExpr::Binary {
+                left: Box::new(eq(col(0), col(3))),
+                op: BinaryOp::And,
+                right: Box::new(eq(col(0), col(2))),
+            }),
+        };
+        let p = lower_t(&plan);
+        assert!(matches!(p, PhysicalPlan::HashJoin { .. }), "{p:?}");
+    }
+
+    #[test]
+    fn join_without_equi_key_lowers_to_nested_loop() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(talk_scan()),
+            right: Box::new(talk_scan()),
+            kind: JoinType::Inner,
+            on: Some(BExpr::Binary {
+                left: Box::new(col(1)),
+                op: BinaryOp::Lt,
+                right: Box::new(col(3)),
+            }),
+        };
+        let p = lower_t(&plan);
+        assert!(matches!(p, PhysicalPlan::NestedLoopJoin { .. }), "{p:?}");
+    }
+
+    #[test]
+    fn residual_conjuncts_split_from_equi() {
+        let on = BExpr::Binary {
+            left: Box::new(eq(col(0), col(2))),
+            op: BinaryOp::And,
+            right: Box::new(BExpr::Binary {
+                left: Box::new(col(1)),
+                op: BinaryOp::Lt,
+                right: Box::new(col(3)),
+            }),
+        };
+        let (equi, residual) = split_join_condition(Some(&on), 2);
+        assert_eq!(equi.len(), 1);
+        assert_eq!(residual.len(), 1);
+    }
+
+    #[test]
+    fn crowdorder_key_selects_crowd_sort() {
+        let plan = LogicalPlan::Sort {
+            input: Box::new(talk_scan()),
+            keys: vec![SortKey {
+                expr: BExpr::CrowdOrder {
+                    expr: Box::new(col(0)),
+                    instruction: "which?".into(),
+                },
+                desc: false,
+            }],
+        };
+        let p = lower_t(&plan);
+        assert!(matches!(p, PhysicalPlan::CrowdSort { .. }), "{p:?}");
+    }
+
+    #[test]
+    fn machine_keys_select_machine_sort() {
+        let plan = LogicalPlan::Sort {
+            input: Box::new(talk_scan()),
+            keys: vec![SortKey {
+                expr: col(0),
+                desc: true,
+            }],
+        };
+        let p = lower_t(&plan);
+        assert!(matches!(p, PhysicalPlan::Sort { .. }), "{p:?}");
+    }
+
+    #[test]
+    fn limit_lowers_to_stop_after() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(attendee_scan()),
+            limit: Some(5),
+            offset: 1,
+        };
+        let p = lower_t(&plan);
+        let PhysicalPlan::StopAfter { limit, offset, .. } = &p else {
+            panic!("{p:?}")
+        };
+        assert_eq!(*limit, Some(5));
+        assert_eq!(*offset, 1);
+        assert!(p.explain().contains("StopAfter 5 OFFSET 1"));
+    }
+
+    #[test]
+    fn unbounded_crowd_scan_annotated() {
+        let mut scan = attendee_scan();
+        if let LogicalPlan::Scan {
+            expected_tuples, ..
+        } = &mut scan
+        {
+            *expected_tuples = None;
+        }
+        let p = lower_t(&scan);
+        assert!(!p.annot().bounded);
+        assert!(p.explain().contains("UNBOUNDED"), "{}", p.explain());
+    }
+
+    #[test]
+    fn explain_renders_annotated_tree() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(talk_scan()),
+                predicate: eq(col(0), BExpr::Literal(Value::str("CrowdDB"))),
+            }),
+            limit: Some(2),
+            offset: 0,
+        };
+        let text = lower_t(&plan).explain();
+        assert!(text.contains("StopAfter 2"), "{text}");
+        assert!(text.contains("TableScan talk"), "{text}");
+        assert!(text.contains("[residual: "), "{text}");
+        assert!(text.contains("rows, bounded}"), "{text}");
+    }
+}

@@ -30,8 +30,13 @@ pub enum Statement {
         /// Suppress the error when the table does not exist.
         if_exists: bool,
     },
-    /// `EXPLAIN <statement>`
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <statement>`
+    Explain {
+        /// The statement being explained.
+        statement: Box<Statement>,
+        /// `EXPLAIN ANALYZE`: execute and report per-operator stats.
+        analyze: bool,
+    },
 }
 
 /// `INSERT` statement.
@@ -644,7 +649,11 @@ impl fmt::Display for Statement {
                     name
                 )
             }
-            Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
+            Statement::Explain { statement, analyze } => write!(
+                f,
+                "EXPLAIN {}{statement}",
+                if *analyze { "ANALYZE " } else { "" }
+            ),
         }
     }
 }

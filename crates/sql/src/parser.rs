@@ -163,7 +163,16 @@ impl Parser {
             TokenKind::Keyword(Keyword::Drop) => self.parse_drop(),
             TokenKind::Keyword(Keyword::Explain) => {
                 self.advance();
-                Ok(Statement::Explain(Box::new(self.parse_statement()?)))
+                // ANALYZE is a contextual keyword: only meaningful right
+                // after EXPLAIN, a plain identifier everywhere else.
+                let analyze = matches!(self.peek(), TokenKind::Ident(s) if s == "analyze");
+                if analyze {
+                    self.advance();
+                }
+                Ok(Statement::Explain {
+                    statement: Box::new(self.parse_statement()?),
+                    analyze,
+                })
             }
             _ => {
                 Err(self
@@ -1266,7 +1275,16 @@ mod tests {
     #[test]
     fn explain() {
         let s = parse_statement("EXPLAIN SELECT * FROM t").unwrap();
-        assert!(matches!(s, Statement::Explain(_)));
+        assert!(matches!(s, Statement::Explain { analyze: false, .. }));
+    }
+
+    #[test]
+    fn explain_analyze() {
+        let s = parse_statement("EXPLAIN ANALYZE SELECT * FROM t").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+        assert_eq!(s.to_string(), "EXPLAIN ANALYZE SELECT * FROM t");
+        // ANALYZE still works as a regular identifier elsewhere.
+        assert!(parse_statement("SELECT analyze FROM t").is_ok());
     }
 
     #[test]
