@@ -44,6 +44,9 @@ pub enum CrowdError {
     Ui(String),
     /// Crowdsourcing budget exhausted before the query could complete.
     BudgetExhausted(String),
+    /// A durability operation failed (write-ahead log or snapshot I/O,
+    /// corrupted on-disk state).
+    Io(String),
     /// An internal invariant was violated; indicates a CrowdDB bug.
     Internal(String),
 }
@@ -64,6 +67,7 @@ impl CrowdError {
             CrowdError::Quality(_) => "quality",
             CrowdError::Ui(_) => "ui",
             CrowdError::BudgetExhausted(_) => "budget",
+            CrowdError::Io(_) => "io",
             CrowdError::Internal(_) => "internal",
         }
     }
@@ -83,6 +87,7 @@ impl CrowdError {
             | CrowdError::Quality(m)
             | CrowdError::Ui(m)
             | CrowdError::BudgetExhausted(m)
+            | CrowdError::Io(m)
             | CrowdError::Internal(m) => m,
         }
     }

@@ -1,6 +1,32 @@
 //! Engine configuration.
 
 use crowddb_quality::VoteConfig;
+use crowddb_wal::FsyncPolicy;
+
+/// When a durable session takes checkpoints (snapshot + log truncation)
+/// and how eagerly the write-ahead log reaches stable storage.
+#[derive(Debug, Clone)]
+pub struct DurabilityPolicy {
+    /// fsync policy for the write-ahead log.
+    pub fsync: FsyncPolicy,
+    /// Take a checkpoint once this many records have accumulated in the
+    /// log since the last one. `0` disables count-triggered checkpoints
+    /// (the log then only shrinks on [`close`](crate::CrowdDB::close)).
+    pub checkpoint_every_records: u64,
+    /// Take a final checkpoint in [`close`](crate::CrowdDB::close) so a
+    /// reopened session starts from a snapshot instead of a log replay.
+    pub checkpoint_on_close: bool,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        DurabilityPolicy {
+            fsync: FsyncPolicy::default(),
+            checkpoint_every_records: 1024,
+            checkpoint_on_close: true,
+        }
+    }
+}
 
 /// How the Task Manager survives a misbehaving platform: bounded retries
 /// with exponential backoff for failed posts, per-HIT deadlines with
@@ -76,6 +102,10 @@ pub struct CrowdConfig {
     pub max_budget_cents: Option<u64>,
     /// Resilience policy against platform failures.
     pub retry: RetryPolicy,
+    /// Checkpoint + fsync policy for sessions opened with
+    /// [`CrowdDB::open`](crate::CrowdDB::open). Ignored by purely
+    /// in-memory sessions.
+    pub durability: DurabilityPolicy,
 }
 
 impl Default for CrowdConfig {
@@ -92,6 +122,7 @@ impl Default for CrowdConfig {
             ban_threshold: 0.25,
             max_budget_cents: None,
             retry: RetryPolicy::default(),
+            durability: DurabilityPolicy::default(),
         }
     }
 }
@@ -112,6 +143,7 @@ impl CrowdConfig {
             ban_threshold: 0.25,
             max_budget_cents: None,
             retry: RetryPolicy::default(),
+            durability: DurabilityPolicy::default(),
         }
     }
 }

@@ -1,5 +1,7 @@
 //! The [`CrowdDB`] facade.
 
+use std::path::Path;
+
 use parking_lot::Mutex;
 
 use crowddb_common::{CrowdError, Result, Row};
@@ -13,9 +15,10 @@ use crowddb_plan::{
 };
 use crowddb_platform::{Platform, WorkerRelationshipManager};
 use crowddb_sql::{parse_statement, Statement};
-use crowddb_storage::{Database, IndexKind};
+use crowddb_storage::{codec, Database, IndexKind, LogRecord};
 use crowddb_ui::manager::UiTemplateManager;
 use crowddb_ui::render_task;
+use crowddb_wal::{DurableStore, FsyncPolicy};
 
 use crate::config::CrowdConfig;
 use crate::result::{CrowdSummary, QueryResult};
@@ -51,6 +54,14 @@ pub struct CrowdDB {
     exhausted: Mutex<std::collections::HashSet<String>>,
     config: CrowdConfig,
     optimizer: OptimizerConfig,
+    /// Write-ahead log + snapshot store for sessions created with
+    /// [`CrowdDB::open`]. `None` for purely in-memory sessions.
+    ///
+    /// Lock order: `caches` (then `wrm`, `templates`) may be held while
+    /// taking `durable`, never the reverse — [`CrowdDB::checkpoint`] is the
+    /// one place that nests the other way and is only safe because a
+    /// session executes statements from one thread at a time.
+    durable: Option<Mutex<DurableStore>>,
 }
 
 impl Default for CrowdDB {
@@ -58,6 +69,10 @@ impl Default for CrowdDB {
         Self::new()
     }
 }
+
+// Dropping a CrowdDB drops its `DurableStore` (if any), whose `Wal` fsyncs
+// on drop — a session abandoned without [`CrowdDB::close`] still keeps
+// every logged record, it just skips the final checkpoint.
 
 impl CrowdDB {
     /// A CrowdDB with default configuration.
@@ -75,6 +90,161 @@ impl CrowdDB {
             exhausted: Mutex::new(std::collections::HashSet::new()),
             config,
             optimizer: OptimizerConfig::default(),
+            durable: None,
+        }
+    }
+
+    /// Open (or create) a durable CrowdDB session rooted at directory
+    /// `path` with default configuration.
+    ///
+    /// On first open the directory is created and an empty log laid down.
+    /// On reopen the latest snapshot (if any) is restored and the log
+    /// tail replayed, reproducing the exact pre-crash state — including
+    /// every crowd answer already paid for.
+    pub fn open(path: impl AsRef<Path>) -> Result<CrowdDB> {
+        CrowdDB::open_with_config(path, CrowdConfig::default())
+    }
+
+    /// [`CrowdDB::open`] with a custom configuration. Fsync and
+    /// checkpoint behaviour come from `config.durability`.
+    pub fn open_with_config(path: impl AsRef<Path>, config: CrowdConfig) -> Result<CrowdDB> {
+        let fsync = config.durability.fsync;
+        let (store, recovered) = DurableStore::open(path.as_ref(), fsync)?;
+        let mut crowddb = match &recovered.snapshot {
+            Some(bytes) => CrowdDB::restore(bytes, config)?,
+            None => CrowdDB::with_config(config),
+        };
+        for rec in &recovered.records {
+            crowddb.replay_record(rec).map_err(|e| {
+                CrowdError::Io(format!(
+                    "recovery: replaying {} record failed: {e}",
+                    rec.kind()
+                ))
+            })?;
+        }
+        // Tables created during replay need their crowd UI templates
+        // (snapshot restore already registered its own).
+        let schemas: Vec<_> = crowddb.db.with_catalog(|c| c.schemas().cloned().collect());
+        {
+            let mut templates = crowddb.templates.lock();
+            for s in &schemas {
+                templates.register_schema(s);
+            }
+        }
+        crowddb.durable = Some(Mutex::new(store));
+        Ok(crowddb)
+    }
+
+    /// Apply one recovered log record to this session's in-memory state.
+    fn replay_record(&self, rec: &LogRecord) -> Result<()> {
+        // Storage-level records (DDL, physical write-backs) replay inside
+        // the storage engine; the rest are session-level.
+        if self.db.apply(rec)? {
+            return Ok(());
+        }
+        match rec {
+            LogRecord::Dml { sql } => {
+                let stmt = parse_statement(sql)?;
+                let caches = self.caches.lock().clone();
+                match &stmt {
+                    Statement::Insert(ins) => {
+                        crowddb_exec::dml::execute_insert(&self.db, &caches, ins)?;
+                    }
+                    Statement::Update(upd) => {
+                        crowddb_exec::dml::execute_update(&self.db, &caches, upd)?;
+                    }
+                    Statement::Delete(del) => {
+                        crowddb_exec::dml::execute_delete(&self.db, &caches, del)?;
+                    }
+                    other => {
+                        return Err(CrowdError::Io(format!(
+                            "wal: DML record holds non-DML statement: {other}"
+                        )))
+                    }
+                }
+                Ok(())
+            }
+            LogRecord::PutEqual {
+                left,
+                right,
+                instruction,
+                verdict,
+            } => {
+                self.caches
+                    .lock()
+                    .put_equal(left, right, instruction, *verdict);
+                Ok(())
+            }
+            LogRecord::PutOrder {
+                left,
+                right,
+                instruction,
+                left_preferred,
+            } => {
+                self.caches
+                    .lock()
+                    .put_prefer(left, right, instruction, *left_preferred);
+                Ok(())
+            }
+            other => Err(CrowdError::Io(format!(
+                "wal: unhandled {} record during replay",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Append one record to the write-ahead log (no-op for in-memory
+    /// sessions). Called *after* the in-memory mutation succeeded, so an
+    /// error here means "applied but possibly not durable".
+    fn log_record(&self, rec: LogRecord) -> Result<()> {
+        if let Some(store) = &self.durable {
+            store.lock().append(&rec)?;
+        }
+        Ok(())
+    }
+
+    /// Take a checkpoint now: write a snapshot of the full session state
+    /// and truncate the log. No-op for in-memory sessions.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(store) = &self.durable else {
+            return Ok(());
+        };
+        // Hold the store lock across the state capture so no append can
+        // slip between the snapshot and the truncation (see the lock-order
+        // note on the `durable` field).
+        let mut store = store.lock();
+        let payload = self.snapshot();
+        store.checkpoint(&payload)
+    }
+
+    /// Checkpoint if the log has grown past the configured threshold.
+    fn maybe_checkpoint(&self) -> Result<()> {
+        let every = self.config.durability.checkpoint_every_records;
+        if every == 0 {
+            return Ok(());
+        }
+        let Some(store) = &self.durable else {
+            return Ok(());
+        };
+        if store.lock().records_since_checkpoint() < every {
+            return Ok(());
+        }
+        self.checkpoint()
+    }
+
+    /// Close a durable session cleanly: final checkpoint (per
+    /// `durability.checkpoint_on_close`) or at least an fsync of the log.
+    /// In-memory sessions close trivially. Dropping a `CrowdDB` without
+    /// calling `close` still fsyncs the log best-effort, but skips the
+    /// final checkpoint, so the next open replays the tail.
+    pub fn close(self) -> Result<()> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        if self.config.durability.checkpoint_on_close {
+            self.checkpoint()
+        } else {
+            self.durable.as_ref().expect("checked above").lock().sync()
         }
     }
 
@@ -108,7 +278,9 @@ impl CrowdDB {
     /// Execute any CrowdSQL statement, engaging `platform` as needed.
     pub fn execute(&self, sql: &str, platform: &mut dyn Platform) -> Result<QueryResult> {
         let stmt = parse_statement(sql)?;
-        self.execute_statement(&stmt, platform)
+        let r = self.execute_statement(&stmt, platform)?;
+        self.maybe_checkpoint()?;
+        Ok(r)
     }
 
     /// Execute a statement using local data only. Statements that would
@@ -145,7 +317,7 @@ impl CrowdDB {
             }
         }
         let stmt = parse_statement(sql)?;
-        match &stmt {
+        let r = match &stmt {
             Statement::Select(_) => {
                 // One local round; report pending work as warnings.
                 let (plan, mut warnings) = self.plan_select(&stmt, false)?;
@@ -171,7 +343,9 @@ impl CrowdDB {
                 })
             }
             _ => self.execute_statement(&stmt, &mut NoPlatform),
-        }
+        }?;
+        self.maybe_checkpoint()?;
+        Ok(r)
     }
 
     /// EXPLAIN output for a statement: optimized plan, lowered physical
@@ -233,7 +407,9 @@ impl CrowdDB {
         while let Statement::Explain { statement, .. } = inner {
             inner = statement;
         }
-        self.explain_analyze_statement(inner, platform)
+        let text = self.explain_analyze_statement(inner, platform)?;
+        self.maybe_checkpoint()?;
+        Ok(text)
     }
 
     fn explain_analyze_statement(
@@ -367,6 +543,9 @@ impl CrowdDB {
                 }
                 self.templates.lock().register_schema(&schema);
                 self.db.create_table(schema)?;
+                self.log_record(LogRecord::Ddl {
+                    sql: stmt.to_string(),
+                })?;
                 Ok(QueryResult::ddl())
             }
             Statement::CreateIndex(ci) => {
@@ -377,32 +556,53 @@ impl CrowdDB {
                     ci.unique,
                     IndexKind::BTree,
                 )?;
+                self.log_record(LogRecord::Ddl {
+                    sql: stmt.to_string(),
+                })?;
                 Ok(QueryResult::ddl())
             }
             Statement::DropTable { name, if_exists } => {
                 self.db.drop_table(name, *if_exists)?;
                 self.templates.lock().drop_table(name);
+                self.log_record(LogRecord::Ddl {
+                    sql: stmt.to_string(),
+                })?;
                 Ok(QueryResult::ddl())
             }
             Statement::Insert(ins) => {
                 let caches = self.caches.lock().clone();
                 let r = crowddb_exec::dml::execute_insert(&self.db, &caches, ins)?;
+                self.log_record(LogRecord::Dml {
+                    sql: stmt.to_string(),
+                })?;
                 Ok(QueryResult {
                     affected: r.affected,
                     complete: r.needs.is_empty(),
                     ..Default::default()
                 })
             }
-            Statement::Update(upd) => self.run_dml(
-                platform,
-                |caches| crowddb_exec::dml::plan_update(&self.db, caches, upd),
-                |caches| crowddb_exec::dml::execute_update(&self.db, caches, upd),
-            ),
-            Statement::Delete(del) => self.run_dml(
-                platform,
-                |caches| crowddb_exec::dml::plan_delete(&self.db, caches, del),
-                |caches| crowddb_exec::dml::execute_delete(&self.db, caches, del),
-            ),
+            Statement::Update(upd) => {
+                let r = self.run_dml(
+                    platform,
+                    |caches| crowddb_exec::dml::plan_update(&self.db, caches, upd),
+                    |caches| crowddb_exec::dml::execute_update(&self.db, caches, upd),
+                )?;
+                self.log_record(LogRecord::Dml {
+                    sql: stmt.to_string(),
+                })?;
+                Ok(r)
+            }
+            Statement::Delete(del) => {
+                let r = self.run_dml(
+                    platform,
+                    |caches| crowddb_exec::dml::plan_delete(&self.db, caches, del),
+                    |caches| crowddb_exec::dml::execute_delete(&self.db, caches, del),
+                )?;
+                self.log_record(LogRecord::Dml {
+                    sql: stmt.to_string(),
+                })?;
+                Ok(r)
+            }
             Statement::Select(_) => self.run_select(stmt, platform),
         }
     }
@@ -569,6 +769,19 @@ impl CrowdDB {
             needs,
         )?;
         warnings.append(&mut fulfill.warnings);
+        // Persist every answer the crowd just produced before the round
+        // ends: a crash from here on loses at most in-flight work, never
+        // a paid answer. The sync is unconditional for Always/Batch
+        // policies; `Never` opts out of round-boundary durability too.
+        if let Some(store) = &self.durable {
+            let mut store = store.lock();
+            for rec in fulfill.log.drain(..) {
+                store.append(&rec)?;
+            }
+            if !matches!(self.config.durability.fsync, FsyncPolicy::Never) {
+                store.sync()?;
+            }
+        }
         let mut exhausted = self.exhausted.lock();
         for k in fulfill.exhausted.drain(..) {
             exhausted.insert(k);
@@ -588,16 +801,22 @@ impl CrowdDB {
     /// everything memorized from the crowd) plus the comparison caches.
     /// Restoring yields a CrowdDB that answers previously crowdsourced
     /// queries without posting a single task.
+    ///
+    /// The encoding is deterministic — cache entries are emitted in
+    /// sorted key order through the storage codec — so two sessions in
+    /// the same logical state produce byte-identical snapshots. Crash
+    /// recovery relies on this to verify replayed state.
     pub fn snapshot(&self) -> Vec<u8> {
         let storage = self.db.snapshot();
-        let caches = self.caches.lock();
-        let caches_json =
-            serde_json::to_vec(&(&caches.equal, &caches.order)).expect("caches serialize");
-        let mut out = Vec::with_capacity(16 + storage.len() + caches_json.len());
+        let caches_bytes = {
+            let caches = self.caches.lock();
+            encode_caches(&caches)
+        };
+        let mut out = Vec::with_capacity(16 + storage.len() + caches_bytes.len());
         out.extend_from_slice(&(storage.len() as u64).to_le_bytes());
         out.extend_from_slice(&storage);
-        out.extend_from_slice(&(caches_json.len() as u64).to_le_bytes());
-        out.extend_from_slice(&caches_json);
+        out.extend_from_slice(&(caches_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&caches_bytes);
         out
     }
 
@@ -618,30 +837,24 @@ impl CrowdDB {
             .get(storage_end + 8..storage_end + 8 + caches_len)
             .ok_or_else(|| CrowdError::Internal("session snapshot truncated".into()))?;
         let db = Database::restore(bytes::Bytes::copy_from_slice(storage_bytes))?;
-        let (equal, order): (
-            std::collections::HashMap<String, bool>,
-            std::collections::HashMap<String, bool>,
-        ) = serde_json::from_slice(caches_bytes)
+        let caches = decode_caches(caches_bytes)
             .map_err(|e| CrowdError::Internal(format!("bad caches in snapshot: {e}")))?;
-        let crowddb = CrowdDB::with_config(config);
-        // Recreate tables + templates from the restored storage.
+        // Recreate crowd UI templates from the restored storage.
+        let mut templates = UiTemplateManager::new();
         let schemas: Vec<_> = db.with_catalog(|c| c.schemas().cloned().collect());
-        {
-            let mut templates = crowddb.templates.lock();
-            for s in &schemas {
-                templates.register_schema(s);
-            }
+        for s in &schemas {
+            templates.register_schema(s);
         }
-        let restored = CrowdDB {
+        Ok(CrowdDB {
             db,
-            caches: Mutex::new(CompareCaches { equal, order }),
-            templates: Mutex::new(std::mem::take(&mut crowddb.templates.lock())),
+            caches: Mutex::new(caches),
+            templates: Mutex::new(templates),
             wrm: Mutex::new(WorkerRelationshipManager::new()),
             exhausted: Mutex::new(std::collections::HashSet::new()),
-            config: crowddb.config,
+            config,
             optimizer: OptimizerConfig::default(),
-        };
-        Ok(restored)
+            durable: None,
+        })
     }
 
     fn plan_select(
@@ -694,6 +907,66 @@ impl CrowdDB {
 
 fn output_columns(plan: &LogicalPlan) -> Vec<String> {
     plan.schema().columns.into_iter().map(|c| c.name).collect()
+}
+
+/// Deterministic comparison-cache encoding: each map is a count followed
+/// by `(Str key, Bool verdict)` codec values in sorted key order.
+fn encode_caches(caches: &CompareCaches) -> Vec<u8> {
+    use bytes::BytesMut;
+    fn encode_map(buf: &mut BytesMut, map: &std::collections::HashMap<String, bool>) {
+        use bytes::BufMut;
+        let mut keys: Vec<&String> = map.keys().collect();
+        keys.sort();
+        buf.put_u64_le(keys.len() as u64);
+        for k in keys {
+            codec::encode_value(buf, &crowddb_common::Value::Str(k.clone()));
+            codec::encode_value(buf, &crowddb_common::Value::Bool(map[k]));
+        }
+    }
+    let mut buf = BytesMut::new();
+    encode_map(&mut buf, &caches.equal);
+    encode_map(&mut buf, &caches.order);
+    buf.freeze().to_vec()
+}
+
+fn decode_caches(bytes: &[u8]) -> Result<CompareCaches> {
+    use bytes::Buf;
+    fn decode_map(buf: &mut bytes::Bytes) -> Result<std::collections::HashMap<String, bool>> {
+        if buf.remaining() < 8 {
+            return Err(CrowdError::Internal("cache section truncated".into()));
+        }
+        let n = buf.get_u64_le();
+        let mut map = std::collections::HashMap::new();
+        for _ in 0..n {
+            let k = match codec::decode_value(buf)? {
+                crowddb_common::Value::Str(s) => s,
+                other => {
+                    return Err(CrowdError::Internal(format!(
+                        "cache key must be a string, got {other:?}"
+                    )))
+                }
+            };
+            let v = match codec::decode_value(buf)? {
+                crowddb_common::Value::Bool(b) => b,
+                other => {
+                    return Err(CrowdError::Internal(format!(
+                        "cache verdict must be a bool, got {other:?}"
+                    )))
+                }
+            };
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+    let mut buf = bytes::Bytes::copy_from_slice(bytes);
+    let equal = decode_map(&mut buf)?;
+    let order = decode_map(&mut buf)?;
+    if buf.remaining() != 0 {
+        return Err(CrowdError::Internal(
+            "trailing bytes after cache section".into(),
+        ));
+    }
+    Ok(CompareCaches { equal, order })
 }
 
 #[cfg(test)]

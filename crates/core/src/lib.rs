@@ -30,6 +30,7 @@ pub mod crowddb;
 pub mod result;
 pub mod taskman;
 
-pub use config::{CrowdConfig, RetryPolicy};
+pub use config::{CrowdConfig, DurabilityPolicy, RetryPolicy};
 pub use crowddb::CrowdDB;
+pub use crowddb_wal::FsyncPolicy;
 pub use result::{CrowdSummary, QueryResult};

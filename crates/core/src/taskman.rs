@@ -9,7 +9,7 @@ use crowddb_common::{Result, Row, TableSchema, Value};
 use crowddb_exec::{CompareCaches, TaskNeed};
 use crowddb_platform::{Answer, HitId, Platform, TaskKind, TaskSpec, WorkerRelationshipManager};
 use crowddb_quality::{MajorityVote, Normalizer, VoteOutcome};
-use crowddb_storage::Database;
+use crowddb_storage::{Database, LogRecord};
 use crowddb_ui::manager::UiTemplateManager;
 use crowddb_ui::template::TemplateKind;
 
@@ -45,6 +45,12 @@ pub struct FulfillSummary {
     /// The circuit breaker tripped: the platform was marked degraded and
     /// every remaining need was abandoned.
     pub degraded: bool,
+    /// Durable effects of this pass (crowd-answer write-backs, new-tuple
+    /// insertions, comparison verdicts) in the order they were applied.
+    /// A durable session appends these to its write-ahead log as soon as
+    /// the pass returns — i.e. as each round completes — so a crash loses
+    /// at most the in-flight round, never answers the crowd was paid for.
+    pub log: Vec<LogRecord>,
 }
 
 impl FulfillSummary {
@@ -568,6 +574,12 @@ pub fn fulfill_needs(
                     match vote.outcome(&config.vote) {
                         VoteOutcome::Decided { value, .. } => {
                             db.write_back_value(table, *tid, *col, value.clone())?;
+                            summary.log.push(LogRecord::WriteBackValue {
+                                table: table.clone(),
+                                tid: *tid,
+                                col: *col,
+                                value: value.clone(),
+                            });
                             winners.push(normalizer.normalize(&value.to_string()));
                         }
                         VoteOutcome::Pending { .. } | VoteOutcome::Unresolved => {
@@ -576,6 +588,12 @@ pub fn fulfill_needs(
                             fell_back = true;
                             if let Some((value, _)) = vote.leader() {
                                 db.write_back_value(table, *tid, *col, value.clone())?;
+                                summary.log.push(LogRecord::WriteBackValue {
+                                    table: table.clone(),
+                                    tid: *tid,
+                                    col: *col,
+                                    value: value.clone(),
+                                });
                                 winners.push(normalizer.normalize(&value.to_string()));
                                 summary.warnings.push(format!(
                                     "accepted plurality answer for {table}.{name} without a \
@@ -610,7 +628,11 @@ pub fn fulfill_needs(
                     }
                     match build_tuple(&schema, preset, fields, &normalizer) {
                         Some(row) => {
-                            if db.write_back_tuple(table, row)?.is_some() {
+                            if db.write_back_tuple(table, row.clone())?.is_some() {
+                                summary.log.push(LogRecord::WriteBackTuple {
+                                    table: table.clone(),
+                                    row,
+                                });
                                 inserted += 1;
                             }
                         }
@@ -643,6 +665,9 @@ pub fn fulfill_needs(
                 VoteOutcome::Decided { value, .. } => {
                     let verdict = value.as_bool().unwrap_or(false);
                     caches.put_equal(left, right, instruction, verdict);
+                    summary
+                        .log
+                        .push(put_equal_record(left, right, instruction, verdict));
                     winning_key.insert(idx, vec![if verdict { "yes" } else { "no" }.into()]);
                 }
                 _ => {
@@ -650,6 +675,9 @@ pub fn fulfill_needs(
                     if let Some((value, _)) = vote.leader() {
                         let verdict = value.as_bool().unwrap_or(false);
                         caches.put_equal(left, right, instruction, verdict);
+                        summary
+                            .log
+                            .push(put_equal_record(left, right, instruction, verdict));
                         summary.warnings.push(format!(
                             "accepted plurality verdict for CROWDEQUAL('{left}', '{right}')"
                         ));
@@ -657,6 +685,9 @@ pub fn fulfill_needs(
                         // No answers at all: default to not-equal so the
                         // query converges (and note it).
                         caches.put_equal(left, right, instruction, false);
+                        summary
+                            .log
+                            .push(put_equal_record(left, right, instruction, false));
                         summary.exhausted.push(need.dedup_key());
                         summary.warnings.push(format!(
                             "no verdicts for CROWDEQUAL('{left}', '{right}'); assumed FALSE"
@@ -673,6 +704,9 @@ pub fn fulfill_needs(
                 VoteOutcome::Decided { value, .. } => {
                     let left_preferred = value.as_bool().unwrap_or(true);
                     caches.put_prefer(left, right, instruction, left_preferred);
+                    summary
+                        .log
+                        .push(put_order_record(left, right, instruction, left_preferred));
                     winning_key.insert(
                         idx,
                         vec![if left_preferred { "left" } else { "right" }.into()],
@@ -683,6 +717,9 @@ pub fn fulfill_needs(
                     let left_preferred =
                         vote.leader().and_then(|(v, _)| v.as_bool()).unwrap_or(true);
                     caches.put_prefer(left, right, instruction, left_preferred);
+                    summary
+                        .log
+                        .push(put_order_record(left, right, instruction, left_preferred));
                     summary.warnings.push(format!(
                         "accepted fallback preference for CROWDORDER('{left}' vs '{right}')"
                     ));
@@ -715,6 +752,24 @@ pub fn fulfill_needs(
 
     summary.note_absorbed_faults();
     Ok(summary)
+}
+
+fn put_equal_record(left: &str, right: &str, instruction: &str, verdict: bool) -> LogRecord {
+    LogRecord::PutEqual {
+        left: left.to_string(),
+        right: right.to_string(),
+        instruction: instruction.to_string(),
+        verdict,
+    }
+}
+
+fn put_order_record(left: &str, right: &str, instruction: &str, left_preferred: bool) -> LogRecord {
+    LogRecord::PutOrder {
+        left: left.to_string(),
+        right: right.to_string(),
+        instruction: instruction.to_string(),
+        left_preferred,
+    }
 }
 
 enum Decision {

@@ -1,0 +1,254 @@
+//! End-to-end durability: a `CrowdDB::open` session logs every committed
+//! statement and crowd answer, checkpoints on its configured policy, and
+//! recovers to the exact pre-crash state — so answers the crowd was
+//! already paid for are never bought twice.
+
+use crowddb_common::Value;
+use crowddb_core::{CrowdConfig, CrowdDB};
+use crowddb_platform::{Answer, MockPlatform, TaskKind};
+use crowddb_wal::testutil::TestDir;
+use crowddb_wal::{FsyncPolicy, WAL_MAGIC};
+
+/// A crowd that fills probe forms with fixed values and approves
+/// everything else.
+fn crowd() -> MockPlatform {
+    MockPlatform::unanimous(|kind| match kind {
+        TaskKind::Probe { asked, .. } => Answer::Form(
+            asked
+                .iter()
+                .map(|(c, _)| {
+                    let text = if c == "abstract" {
+                        "answering queries with crowdsourcing".to_string()
+                    } else {
+                        "120".to_string()
+                    };
+                    (c.clone(), text)
+                })
+                .collect(),
+        ),
+        _ => Answer::Blank,
+    })
+}
+
+fn config() -> CrowdConfig {
+    let mut c = CrowdConfig::fast_test();
+    c.durability.fsync = FsyncPolicy::Never; // tests: speed over power-loss
+    c
+}
+
+const DDL: &str = "CREATE TABLE talk (title STRING PRIMARY KEY, abstract CROWD STRING, \
+                   nb_attendees CROWD INTEGER)";
+const PROBE: &str = "SELECT abstract, nb_attendees FROM talk WHERE title = 'CrowdDB'";
+
+/// Run the standard workload: DDL, an insert with crowd-missing columns,
+/// and a probe query the crowd completes.
+fn run_workload(db: &CrowdDB) {
+    let mut p = crowd();
+    db.execute(DDL, &mut p).unwrap();
+    db.execute("INSERT INTO talk VALUES ('CrowdDB', CNULL, CNULL)", &mut p)
+        .unwrap();
+    let r = db.execute(PROBE, &mut p).unwrap();
+    assert!(r.complete, "warnings: {:?}", r.warnings);
+    assert!(
+        r.crowd.tasks_posted >= 1,
+        "the crowd must have been engaged"
+    );
+}
+
+#[test]
+fn open_write_drop_reopen_reuses_crowd_answers() {
+    let dir = TestDir::new("core-reopen");
+    let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+    run_workload(&db);
+    let before = db.snapshot();
+    drop(db); // no close(): recovery must come from the log alone
+
+    let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+    assert_eq!(
+        db.snapshot(),
+        before,
+        "recovered state must be byte-identical"
+    );
+    let mut p = crowd();
+    let r = db.execute(PROBE, &mut p).unwrap();
+    assert!(r.complete);
+    assert_eq!(r.crowd.tasks_posted, 0, "paid answers must be reused");
+    assert_eq!(r.crowd.rounds, 1);
+    assert_eq!(
+        r.rows[0][0],
+        Value::str("answering queries with crowdsourcing")
+    );
+    assert_eq!(r.rows[0][1], Value::Int(120));
+}
+
+#[test]
+fn close_checkpoints_and_truncates_the_log() {
+    let dir = TestDir::new("core-close");
+    let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+    run_workload(&db);
+    let before = db.snapshot();
+    db.close().unwrap();
+
+    let wal_len = std::fs::metadata(dir.path().join(crowddb_wal::WAL_FILE))
+        .unwrap()
+        .len();
+    assert_eq!(
+        wal_len,
+        WAL_MAGIC.len() as u64,
+        "close must truncate the log"
+    );
+    assert!(dir.path().join(crowddb_wal::SNAPSHOT_FILE).exists());
+
+    let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+    assert_eq!(db.snapshot(), before);
+    let mut p = crowd();
+    let r = db.execute(PROBE, &mut p).unwrap();
+    assert_eq!(r.crowd.tasks_posted, 0);
+}
+
+#[test]
+fn checkpoint_threshold_keeps_the_log_short() {
+    let dir = TestDir::new("core-threshold");
+    let mut cfg = config();
+    cfg.durability.checkpoint_every_records = 1; // checkpoint after every statement
+    let db = CrowdDB::open_with_config(dir.path(), cfg.clone()).unwrap();
+    run_workload(&db);
+    let before = db.snapshot();
+    drop(db);
+
+    // Every statement ended at or below the threshold, so the log holds
+    // at most the final statement's records; recovery is snapshot-driven.
+    let db = CrowdDB::open_with_config(dir.path(), cfg).unwrap();
+    assert_eq!(db.snapshot(), before);
+}
+
+#[test]
+fn ddl_and_dml_replay_across_reopen() {
+    let dir = TestDir::new("core-ddl-dml");
+    let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+    let mut p = crowd();
+    db.execute(
+        "CREATE TABLE dept (name STRING PRIMARY KEY, size INTEGER)",
+        &mut p,
+    )
+    .unwrap();
+    db.execute("INSERT INTO dept VALUES ('db', 7)", &mut p)
+        .unwrap();
+    db.execute("INSERT INTO dept VALUES ('os', 9)", &mut p)
+        .unwrap();
+    db.execute("CREATE INDEX dept_size ON dept (size)", &mut p)
+        .unwrap();
+    db.execute("UPDATE dept SET size = 11 WHERE name = 'os'", &mut p)
+        .unwrap();
+    db.execute("INSERT INTO dept VALUES ('pl', 3)", &mut p)
+        .unwrap();
+    db.execute("DELETE FROM dept WHERE name = 'db'", &mut p)
+        .unwrap();
+    let before = db.snapshot();
+    drop(db);
+
+    let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+    assert_eq!(db.snapshot(), before);
+    let r = db
+        .execute_local("SELECT name, size FROM dept ORDER BY size")
+        .unwrap();
+    let got: Vec<(String, Value)> = r
+        .rows
+        .iter()
+        .map(|row| (row[0].to_string(), row[1].clone()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("pl".to_string(), Value::Int(3)),
+            ("os".to_string(), Value::Int(11)),
+        ]
+    );
+}
+
+#[test]
+fn truncation_sweep_recovers_a_usable_prefix_at_every_offset() {
+    // Build a full log (no checkpoints, so the whole history is in it).
+    let mut cfg = config();
+    cfg.durability.checkpoint_every_records = 0;
+    cfg.durability.checkpoint_on_close = false;
+    let master = TestDir::new("core-sweep-master");
+    let db = CrowdDB::open_with_config(master.path(), cfg.clone()).unwrap();
+    run_workload(&db);
+    let full_state = db.snapshot();
+    drop(db);
+    let image = std::fs::read(master.path().join(crowddb_wal::WAL_FILE)).unwrap();
+    assert!(image.len() > WAL_MAGIC.len(), "log must hold the workload");
+
+    let mut prev_answers = 0usize;
+    for cut in WAL_MAGIC.len()..=image.len() {
+        let dir = TestDir::new("core-sweep-cut");
+        std::fs::write(dir.path().join(crowddb_wal::WAL_FILE), &image[..cut]).unwrap();
+        let db = CrowdDB::open_with_config(dir.path(), cfg.clone())
+            .unwrap_or_else(|e| panic!("cut {cut}: recovery failed: {e}"));
+
+        // Prefix consistency, observed from the SQL surface: the number
+        // of crowd answers already present never goes down as more of
+        // the log survives.
+        let answers = match db.execute_local(PROBE) {
+            Ok(r) => r
+                .rows
+                .iter()
+                .flat_map(|row| row.values().iter())
+                .filter(|v| !v.is_cnull())
+                .count(),
+            // Before the CREATE TABLE record survives, the probe query
+            // legitimately fails to bind.
+            Err(_) => 0,
+        };
+        assert!(
+            answers >= prev_answers,
+            "cut {cut}: recovered fewer answers ({answers}) than a shorter log ({prev_answers})"
+        );
+        prev_answers = answers;
+    }
+
+    // An uncut log recovers the exact pre-crash state.
+    let dir = TestDir::new("core-sweep-full");
+    std::fs::write(dir.path().join(crowddb_wal::WAL_FILE), &image).unwrap();
+    let db = CrowdDB::open_with_config(dir.path(), cfg).unwrap();
+    assert_eq!(db.snapshot(), full_state);
+    assert_eq!(prev_answers, 2, "both crowd answers survive the full log");
+}
+
+#[test]
+fn compare_cache_verdicts_survive_reopen() {
+    let dir = TestDir::new("core-caches");
+    let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+    let mut p = MockPlatform::unanimous(|kind| match kind {
+        TaskKind::Equal { .. } => Answer::Yes,
+        _ => Answer::Blank,
+    });
+    db.execute(
+        "CREATE TABLE co (name STRING PRIMARY KEY, hq STRING)",
+        &mut p,
+    )
+    .unwrap();
+    db.execute("INSERT INTO co VALUES ('IBM', 'Armonk')", &mut p)
+        .unwrap();
+    db.execute(
+        "INSERT INTO co VALUES ('Intl. Business Machines', 'NY')",
+        &mut p,
+    )
+    .unwrap();
+    let r = db
+        .execute("SELECT name FROM co WHERE name ~= 'IBM'", &mut p)
+        .unwrap();
+    assert!(r.complete, "warnings: {:?}", r.warnings);
+    assert_eq!(r.rows.len(), 2, "the crowd said both names mean IBM");
+    let before = db.snapshot();
+    drop(db);
+
+    let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+    assert_eq!(db.snapshot(), before);
+    let r = db
+        .execute("SELECT name FROM co WHERE name ~= 'IBM'", &mut p)
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.crowd.tasks_posted, 0, "verdicts must be reused");
+}

@@ -4,8 +4,15 @@
 //! WHERE name ~= 'IBM'` only touches rows whose crowd predicate is
 //! already decided; undecided comparisons are returned as needs and the
 //! statement converges on re-execution.
+//!
+//! Multi-row statements are atomic: if any row fails (constraint
+//! violation, evaluation error), mutations already applied by the same
+//! statement are compensated before the error propagates, so the
+//! database never holds a half-applied statement. The write-ahead log
+//! depends on this — a statement is logged only after it succeeds, so a
+//! partial in-memory effect would be invisible to recovery.
 
-use crowddb_common::{CrowdError, Result, Row, Value};
+use crowddb_common::{CrowdError, Result, Row, TupleId, Value};
 use crowddb_plan::Binder;
 use crowddb_sql::{Delete, Insert, Update};
 use crowddb_storage::Database;
@@ -59,34 +66,47 @@ pub fn execute_insert(db: &Database, caches: &CompareCaches, ins: &Insert) -> Re
 
     let mut ctx = ExecCtx::new(db, caches);
     let empty = Row::default();
-    let mut affected = 0;
-    for exprs in &bound_rows {
-        if exprs.len() != positions.len() {
-            return Err(CrowdError::Analyze(format!(
-                "INSERT INTO {} expects {} values, got {}",
-                schema.name,
-                positions.len(),
-                exprs.len()
-            )));
+    let mut inserted: Vec<TupleId> = Vec::new();
+    let outcome = (|| {
+        for exprs in &bound_rows {
+            if exprs.len() != positions.len() {
+                return Err(CrowdError::Analyze(format!(
+                    "INSERT INTO {} expects {} values, got {}",
+                    schema.name,
+                    positions.len(),
+                    exprs.len()
+                )));
+            }
+            // Defaults: CNULL for crowd columns, NULL otherwise.
+            let mut values: Vec<Value> = schema
+                .columns
+                .iter()
+                .map(|c| {
+                    if c.crowd || schema.crowd_table {
+                        Value::CNull
+                    } else {
+                        Value::Null
+                    }
+                })
+                .collect();
+            for (expr, &pos) in exprs.iter().zip(&positions) {
+                values[pos] = eval(&mut ctx, expr, &empty)?;
+            }
+            inserted.push(db.insert(&schema.name, Row::new(values))?);
         }
-        // Defaults: CNULL for crowd columns, NULL otherwise.
-        let mut values: Vec<Value> = schema
-            .columns
-            .iter()
-            .map(|c| {
-                if c.crowd || schema.crowd_table {
-                    Value::CNull
-                } else {
-                    Value::Null
-                }
-            })
-            .collect();
-        for (expr, &pos) in exprs.iter().zip(&positions) {
-            values[pos] = eval(&mut ctx, expr, &empty)?;
+        Ok(())
+    })();
+    if let Err(e) = outcome {
+        // Atomicity: un-insert this statement's rows, newest first.
+        for tid in inserted.into_iter().rev() {
+            let _ = db.with_table_mut(&schema.name, |t| {
+                t.rollback_insert(tid);
+                Ok(())
+            });
         }
-        db.insert(&schema.name, Row::new(values))?;
-        affected += 1;
+        return Err(e);
     }
+    let affected = inserted.len();
     let (needs, _) = ctx.finish();
     Ok(DmlResult { affected, needs })
 }
@@ -143,13 +163,24 @@ fn update_inner(
                 let v = eval(&mut ctx, expr, &row)?;
                 new_row.set(*idx, v);
             }
-            to_apply.push((tid, new_row));
+            to_apply.push((tid, row, new_row));
         }
     }
     let affected = to_apply.len();
     if apply {
-        for (tid, new_row) in to_apply {
-            db.with_table_mut(&upd.table, |t| t.update(tid, new_row))?;
+        let mut applied: Vec<(TupleId, Row)> = Vec::new();
+        for (tid, old_row, new_row) in to_apply {
+            match db.with_table_mut(&upd.table, |t| t.update(tid, new_row)) {
+                Ok(()) => applied.push((tid, old_row)),
+                Err(e) => {
+                    // Atomicity: put the rows this statement already
+                    // touched back the way they were.
+                    for (tid, old) in applied.into_iter().rev() {
+                        let _ = db.with_table_mut(&upd.table, |t| t.update(tid, old));
+                    }
+                    return Err(e);
+                }
+            }
         }
     }
     let (needs, _) = ctx.finish();
@@ -269,6 +300,48 @@ mod tests {
             panic!()
         };
         assert!(execute_insert(&db, &CompareCaches::default(), &i).is_err());
+    }
+
+    #[test]
+    fn failed_multi_row_insert_rolls_back_entirely() {
+        let db = setup();
+        insert(&db, "INSERT INTO talk (title) VALUES ('keep')");
+        let Statement::Insert(i) =
+            parse_statement("INSERT INTO talk (title) VALUES ('a'), ('b'), ('keep'), ('c')")
+                .unwrap()
+        else {
+            panic!()
+        };
+        // 'keep' violates the primary key after 'a' and 'b' landed.
+        assert!(execute_insert(&db, &CompareCaches::default(), &i).is_err());
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        assert_eq!(rows.len(), 1, "partial statement must be rolled back");
+        // Tuple-id space is clean too: the next insert reuses slot 1, as
+        // a log replay (which never sees the failed statement) would.
+        insert(&db, "INSERT INTO talk (title) VALUES ('next')");
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        assert_eq!(rows[1].0, crowddb_common::TupleId(1));
+    }
+
+    #[test]
+    fn failed_update_restores_touched_rows() {
+        let db = setup();
+        insert(
+            &db,
+            "INSERT INTO talk (title, nb_attendees) VALUES ('a', 1), ('b', 2), ('c', 3)",
+        );
+        // Renaming every title to 'z' violates the primary key on the
+        // second row; the first row's rename must be undone.
+        let Statement::Update(u) = parse_statement("UPDATE talk SET title = 'z'").unwrap() else {
+            panic!()
+        };
+        assert!(execute_update(&db, &CompareCaches::default(), &u).is_err());
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        let titles: Vec<_> = rows.iter().map(|(_, r)| r[0].clone()).collect();
+        assert_eq!(
+            titles,
+            vec![Value::str("a"), Value::str("b"), Value::str("c")]
+        );
     }
 
     #[test]

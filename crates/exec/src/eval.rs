@@ -340,7 +340,9 @@ fn eval_arith(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
                     Ok(Value::Int(a % b))
                 }
             }
-            _ => unreachable!(),
+            op => Err(CrowdError::Internal(format!(
+                "non-arithmetic operator {op:?} reached integer arithmetic"
+            ))),
         };
     }
     let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
@@ -366,7 +368,11 @@ fn eval_arith(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
             }
             a % b
         }
-        _ => unreachable!(),
+        op => {
+            return Err(CrowdError::Internal(format!(
+                "non-arithmetic operator {op:?} reached float arithmetic"
+            )))
+        }
     };
     if v.is_nan() {
         return Err(CrowdError::Exec("NaN produced by arithmetic".into()));
@@ -482,7 +488,9 @@ pub fn eval_scalar_fn(func: ScalarFn, args: &[Value]) -> Result<Value> {
                     let end = (begin as i64 + len.max(0)).min(chars.len() as i64) as usize;
                     Ok(Value::Str(chars[begin..end].iter().collect()))
                 }
-                ScalarFn::Coalesce | ScalarFn::ConcatFn => unreachable!("handled above"),
+                ScalarFn::Coalesce | ScalarFn::ConcatFn => Err(CrowdError::Internal(
+                    "variadic scalar function fell through its dispatch".into(),
+                )),
             }
         }
     }

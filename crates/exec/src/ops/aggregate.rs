@@ -107,8 +107,11 @@ fn eval_agg(
             } else if vals.iter().all(|v| matches!(v, Value::Int(_))) {
                 let mut acc: i64 = 0;
                 for v in &vals {
+                    let i = v.as_i64().ok_or_else(|| {
+                        CrowdError::Internal("SUM integer fast path saw a non-integer".into())
+                    })?;
                     acc = acc
-                        .checked_add(v.as_i64().expect("all ints"))
+                        .checked_add(i)
                         .ok_or_else(|| CrowdError::Exec("integer overflow in SUM".into()))?;
                 }
                 Value::Int(acc)

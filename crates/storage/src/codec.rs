@@ -191,6 +191,41 @@ mod tests {
     }
 
     #[test]
+    fn short_reads_error_for_every_value_kind() {
+        for v in [Value::Int(42), Value::Float(2.5), Value::str("abcdef")] {
+            let mut b = BytesMut::new();
+            encode_value(&mut b, &v);
+            let full = b.freeze();
+            for cut in 1..full.len() {
+                let mut trunc = full.slice(..cut);
+                assert!(
+                    decode_value(&mut trunc).is_err(),
+                    "cut {cut} of {v:?} must be a clean error"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_string_is_error() {
+        let mut b = BytesMut::new();
+        b.put_u8(TAG_STR);
+        b.put_u32_le(2);
+        b.put_slice(&[0xff, 0xfe]);
+        let mut bytes = b.freeze();
+        assert!(decode_value(&mut bytes).is_err());
+    }
+
+    #[test]
+    fn declared_length_beyond_buffer_is_error() {
+        let mut b = BytesMut::new();
+        b.put_u8(TAG_STR);
+        b.put_u32_le(1000); // body is absent
+        let mut bytes = b.freeze();
+        assert!(decode_value(&mut bytes).is_err());
+    }
+
+    #[test]
     fn unknown_tag_is_error() {
         let mut b = Bytes::from_static(&[99u8]);
         assert!(decode_value(&mut b).is_err());

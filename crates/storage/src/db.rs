@@ -18,7 +18,13 @@ use crowddb_common::{CrowdError, Result, Row, TableSchema, TupleId, Value};
 use crate::catalog::Catalog;
 use crate::codec;
 use crate::index::{Index, IndexKind};
+use crate::logrec::LogRecord;
 use crate::table::{HeapTable, TableStats};
+
+/// Magic + version prefix of a [`Database::snapshot`] buffer. Version 2
+/// preserves tuple ids (slot indexes) so that write-ahead-log records
+/// addressing tuples by id replay correctly against a restored snapshot.
+const SNAPSHOT_MAGIC: &[u8; 5] = b"CDBS\x02";
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -162,12 +168,74 @@ impl Database {
         self.inner.read().tables.keys().cloned().collect()
     }
 
+    /// Apply one write-ahead-log record to this database.
+    ///
+    /// Returns `Ok(true)` when the record was a storage-level record
+    /// (DDL, crowd-answer write-back, crowd-table tuple insertion) and was
+    /// applied, `Ok(false)` when the record requires engine-level replay
+    /// (logical DML, comparison-cache verdicts) and was left untouched.
+    /// Recovery must apply records in log order.
+    pub fn apply(&self, rec: &LogRecord) -> Result<bool> {
+        match rec {
+            LogRecord::Ddl { sql } => {
+                let stmt = crowddb_sql::parse_statement(sql)
+                    .map_err(|e| CrowdError::Io(format!("wal: bad DDL record '{sql}': {e}")))?;
+                match stmt {
+                    crowddb_sql::Statement::CreateTable(ct) => {
+                        let schema = self.with_catalog(|c| c.schema_from_ast(&ct))?;
+                        self.create_table(schema)?;
+                    }
+                    crowddb_sql::Statement::CreateIndex(ci) => {
+                        self.create_index(
+                            &ci.name,
+                            &ci.table,
+                            &ci.columns,
+                            ci.unique,
+                            IndexKind::BTree,
+                        )?;
+                    }
+                    crowddb_sql::Statement::DropTable { name, if_exists } => {
+                        self.drop_table(&name, if_exists)?;
+                    }
+                    other => {
+                        return Err(CrowdError::Io(format!(
+                            "wal: DDL record holds non-DDL statement '{other}'"
+                        )))
+                    }
+                }
+                Ok(true)
+            }
+            LogRecord::WriteBackValue {
+                table,
+                tid,
+                col,
+                value,
+            } => {
+                self.write_back_value(table, *tid, *col, value.clone())?;
+                Ok(true)
+            }
+            LogRecord::WriteBackTuple { table, row } => {
+                self.write_back_tuple(table, row.clone())?;
+                Ok(true)
+            }
+            LogRecord::Dml { .. } | LogRecord::PutEqual { .. } | LogRecord::PutOrder { .. } => {
+                Ok(false)
+            }
+        }
+    }
+
     /// Serialize the whole database (schemas as DDL text + rows in the
-    /// binary codec) into one buffer. Used for persistence in examples and
-    /// crash-recovery tests.
+    /// binary codec) into one buffer. Used by the durability subsystem
+    /// (checkpoints) and session persistence.
+    ///
+    /// Tuple ids and the slot high-water mark are preserved, so a
+    /// restored database is *identical* to the source — including the ids
+    /// that future write-ahead-log records will address — not merely
+    /// equivalent row-content-wise.
     pub fn snapshot(&self) -> Bytes {
         let inner = self.inner.read();
         let mut buf = BytesMut::new();
+        buf.put_slice(SNAPSHOT_MAGIC);
         buf.put_u32_le(inner.tables.len() as u32);
         for (name, table) in &inner.tables {
             let ddl = table.schema().to_ddl();
@@ -175,10 +243,16 @@ impl Database {
             buf.put_slice(name.as_bytes());
             buf.put_u32_le(ddl.len() as u32);
             buf.put_slice(ddl.as_bytes());
-            let rows: Vec<Row> = table.scan().map(|(_, r)| r.clone()).collect();
-            let encoded = codec::encode_rows(&rows);
-            buf.put_u64_le(encoded.len() as u64);
-            buf.put_slice(&encoded);
+            buf.put_u64_le(table.stats().total_slots as u64);
+            let live: Vec<(TupleId, &Row)> = table.scan().collect();
+            let mut rows_buf = BytesMut::new();
+            rows_buf.put_u64_le(live.len() as u64);
+            for (tid, row) in live {
+                rows_buf.put_u64_le(tid.0);
+                codec::encode_row(&mut rows_buf, row);
+            }
+            buf.put_u64_le(rows_buf.len() as u64);
+            buf.put_slice(rows_buf.chunk());
         }
         buf.freeze()
     }
@@ -187,13 +261,19 @@ impl Database {
     pub fn restore(snapshot: Bytes) -> Result<Database> {
         let mut buf = snapshot;
         let db = Database::new();
-        if buf.remaining() < 4 {
+        if buf.remaining() < SNAPSHOT_MAGIC.len() + 4 {
             return Err(CrowdError::Internal("snapshot: truncated header".into()));
         }
+        let magic = buf.copy_to_bytes(SNAPSHOT_MAGIC.len());
+        if &magic[..] != SNAPSHOT_MAGIC {
+            return Err(CrowdError::Internal(
+                "snapshot: bad magic (not a CrowdDB v2 snapshot)".into(),
+            ));
+        }
         let n_tables = buf.get_u32_le();
-        // Sanity: every entry needs at least 16 bytes of headers; a count
+        // Sanity: every entry needs at least 24 bytes of headers; a count
         // that can't fit in the buffer is corruption, not a large DB.
-        if (n_tables as usize).saturating_mul(16) > buf.remaining() {
+        if (n_tables as usize).saturating_mul(24) > buf.remaining() {
             return Err(CrowdError::Internal(format!(
                 "snapshot: implausible table count {n_tables}"
             )));
@@ -203,26 +283,27 @@ impl Database {
         for _ in 0..n_tables {
             let name = read_string(&mut buf)?;
             let ddl = read_string(&mut buf)?;
-            if buf.remaining() < 8 {
+            if buf.remaining() < 16 {
                 return Err(CrowdError::Internal(
-                    "snapshot: truncated rows length".into(),
+                    "snapshot: truncated table header".into(),
                 ));
             }
+            let total_slots = buf.get_u64_le() as usize;
             let len = buf.get_u64_le() as usize;
             if buf.remaining() < len {
                 return Err(CrowdError::Internal("snapshot: truncated rows".into()));
             }
             let rows_buf = buf.copy_to_bytes(len);
-            entries.push((name, ddl, rows_buf));
+            entries.push((name, ddl, total_slots, rows_buf));
         }
         // Second pass: create tables, deferring any whose foreign-key
         // targets have not been registered yet (snapshot order is
         // alphabetical, not topological).
-        let mut pending: Vec<(String, String, Bytes)> = entries;
+        let mut pending = entries;
         while !pending.is_empty() {
             let mut next_round = Vec::new();
             let mut progressed = false;
-            for (name, ddl, rows_buf) in pending {
+            for (name, ddl, total_slots, rows_buf) in pending {
                 let stmt = crowddb_sql::parse_statement(&ddl).map_err(|e| {
                     CrowdError::Internal(format!("snapshot: bad DDL for '{name}': {e}"))
                 })?;
@@ -231,16 +312,34 @@ impl Database {
                         "snapshot: DDL for '{name}' is not CREATE TABLE"
                     )));
                 };
-                match db.with_catalog_snapshot(|c| c.schema_from_ast(&ct)) {
+                match db.with_catalog(|c| c.schema_from_ast(&ct)) {
                     Ok(schema) => {
                         db.create_table(schema)?;
-                        for row in codec::decode_rows(rows_buf)? {
-                            db.insert(&name, row)?;
+                        let mut rows = rows_buf.clone();
+                        if rows.remaining() < 8 {
+                            return Err(CrowdError::Internal(
+                                "snapshot: truncated row count".into(),
+                            ));
                         }
+                        let n_rows = rows.get_u64_le();
+                        db.with_table_mut(&name, |t| {
+                            for _ in 0..n_rows {
+                                if rows.remaining() < 8 {
+                                    return Err(CrowdError::Internal(
+                                        "snapshot: truncated tuple id".into(),
+                                    ));
+                                }
+                                let tid = TupleId(rows.get_u64_le());
+                                let row = codec::decode_row(&mut rows)?;
+                                t.restore_at(tid, row)?;
+                            }
+                            t.pad_slots(total_slots);
+                            Ok(())
+                        })?;
                         progressed = true;
                     }
                     Err(CrowdError::Catalog(msg)) if msg.contains("unknown table") => {
-                        next_round.push((name, ddl, rows_buf));
+                        next_round.push((name, ddl, total_slots, rows_buf));
                     }
                     Err(e) => return Err(e),
                 }
@@ -253,10 +352,6 @@ impl Database {
             pending = next_round;
         }
         Ok(db)
-    }
-
-    fn with_catalog_snapshot<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
-        f(&self.inner.read().catalog)
     }
 }
 

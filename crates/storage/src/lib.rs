@@ -20,9 +20,11 @@ pub mod catalog;
 pub mod codec;
 pub mod db;
 pub mod index;
+pub mod logrec;
 pub mod table;
 
 pub use catalog::Catalog;
 pub use db::Database;
 pub use index::{Index, IndexKind};
+pub use logrec::LogRecord;
 pub use table::{HeapTable, TableStats};

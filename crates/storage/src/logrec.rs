@@ -1,0 +1,319 @@
+//! Write-ahead-log records.
+//!
+//! A [`LogRecord`] describes one committed, replayable effect. The
+//! durability subsystem (`crowddb-wal`) frames encoded records with a
+//! length + CRC header and appends them to the log; recovery decodes the
+//! surviving prefix and replays it — storage-level records through
+//! [`Database::apply`](crate::Database::apply), engine-level records
+//! (logical DML, comparison-cache verdicts) through the `CrowdDB` facade.
+//!
+//! The encoding is built entirely on [`codec`]: every field
+//! is a tagged [`Value`] or a [`Row`], so the log inherits the codec's
+//! self-description and its truncation-safety properties.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crowddb_common::{CrowdError, Result, Row, TupleId, Value};
+
+use crate::codec;
+
+const TAG_DDL: u8 = 1;
+const TAG_DML: u8 = 2;
+const TAG_WRITE_BACK_VALUE: u8 = 3;
+const TAG_WRITE_BACK_TUPLE: u8 = 4;
+const TAG_PUT_EQUAL: u8 = 5;
+const TAG_PUT_ORDER: u8 = 6;
+
+/// One replayable effect, in commit order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A committed DDL statement in canonical form (`CREATE TABLE ...`,
+    /// `CREATE INDEX ...`, `DROP TABLE ...`). Applied by storage.
+    Ddl {
+        /// Canonical SQL text of the statement.
+        sql: String,
+    },
+    /// A committed DML statement in canonical form. Replayed logically by
+    /// the engine: given the same prior state and comparison caches
+    /// (guaranteed by log order), re-execution is deterministic and
+    /// reproduces the identical mutation — including tuple ids.
+    Dml {
+        /// Canonical SQL text of the statement.
+        sql: String,
+    },
+    /// A crowd answer written back into a `CNULL` cell — the value the
+    /// crowd was paid for. Logged by the task manager as soon as the vote
+    /// decides, so a crash never re-buys a decided answer.
+    WriteBackValue {
+        /// Table holding the tuple.
+        table: String,
+        /// Tuple id (stable across snapshots — see
+        /// [`HeapTable::restore_at`](crate::HeapTable::restore_at)).
+        tid: TupleId,
+        /// Column ordinal.
+        col: usize,
+        /// The accepted value.
+        value: Value,
+    },
+    /// A crowdsourced tuple inserted into a CROWD table.
+    WriteBackTuple {
+        /// Target CROWD table.
+        table: String,
+        /// The contributed row (preset + answered + CNULL fills).
+        row: Row,
+    },
+    /// A `CROWDEQUAL` verdict for the session comparison cache.
+    PutEqual {
+        /// Left operand.
+        left: String,
+        /// Right operand.
+        right: String,
+        /// The instruction shown to workers (part of the cache key).
+        instruction: String,
+        /// Whether the crowd judged the operands equal.
+        verdict: bool,
+    },
+    /// A `CROWDORDER` verdict for the session comparison cache.
+    PutOrder {
+        /// Left operand.
+        left: String,
+        /// Right operand.
+        right: String,
+        /// The instruction shown to workers (part of the cache key).
+        instruction: String,
+        /// Whether the crowd preferred the left operand.
+        left_preferred: bool,
+    },
+}
+
+impl LogRecord {
+    /// Short name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LogRecord::Ddl { .. } => "ddl",
+            LogRecord::Dml { .. } => "dml",
+            LogRecord::WriteBackValue { .. } => "write-back-value",
+            LogRecord::WriteBackTuple { .. } => "write-back-tuple",
+            LogRecord::PutEqual { .. } => "put-equal",
+            LogRecord::PutOrder { .. } => "put-order",
+        }
+    }
+
+    /// Encode this record into a standalone buffer (no framing — the log
+    /// layer adds length + CRC).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            LogRecord::Ddl { sql } => {
+                buf.put_u8(TAG_DDL);
+                put_str(&mut buf, sql);
+            }
+            LogRecord::Dml { sql } => {
+                buf.put_u8(TAG_DML);
+                put_str(&mut buf, sql);
+            }
+            LogRecord::WriteBackValue {
+                table,
+                tid,
+                col,
+                value,
+            } => {
+                buf.put_u8(TAG_WRITE_BACK_VALUE);
+                put_str(&mut buf, table);
+                codec::encode_value(&mut buf, &Value::Int(tid.0 as i64));
+                codec::encode_value(&mut buf, &Value::Int(*col as i64));
+                codec::encode_value(&mut buf, value);
+            }
+            LogRecord::WriteBackTuple { table, row } => {
+                buf.put_u8(TAG_WRITE_BACK_TUPLE);
+                put_str(&mut buf, table);
+                codec::encode_row(&mut buf, row);
+            }
+            LogRecord::PutEqual {
+                left,
+                right,
+                instruction,
+                verdict,
+            } => {
+                buf.put_u8(TAG_PUT_EQUAL);
+                put_str(&mut buf, left);
+                put_str(&mut buf, right);
+                put_str(&mut buf, instruction);
+                codec::encode_value(&mut buf, &Value::Bool(*verdict));
+            }
+            LogRecord::PutOrder {
+                left,
+                right,
+                instruction,
+                left_preferred,
+            } => {
+                buf.put_u8(TAG_PUT_ORDER);
+                put_str(&mut buf, left);
+                put_str(&mut buf, right);
+                put_str(&mut buf, instruction);
+                codec::encode_value(&mut buf, &Value::Bool(*left_preferred));
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode a record written by [`LogRecord::encode`]. The whole buffer
+    /// must be consumed; trailing bytes are corruption.
+    pub fn decode(mut buf: Bytes) -> Result<LogRecord> {
+        if !buf.has_remaining() {
+            return Err(CrowdError::Io("log record: empty payload".into()));
+        }
+        let tag = buf.get_u8();
+        let rec = match tag {
+            TAG_DDL => LogRecord::Ddl {
+                sql: get_str(&mut buf)?,
+            },
+            TAG_DML => LogRecord::Dml {
+                sql: get_str(&mut buf)?,
+            },
+            TAG_WRITE_BACK_VALUE => {
+                let table = get_str(&mut buf)?;
+                let tid = get_int(&mut buf)?;
+                let col = get_int(&mut buf)?;
+                let value = codec::decode_value(&mut buf)?;
+                LogRecord::WriteBackValue {
+                    table,
+                    tid: TupleId(tid as u64),
+                    col: col as usize,
+                    value,
+                }
+            }
+            TAG_WRITE_BACK_TUPLE => {
+                let table = get_str(&mut buf)?;
+                let row = codec::decode_row(&mut buf)?;
+                LogRecord::WriteBackTuple { table, row }
+            }
+            TAG_PUT_EQUAL => LogRecord::PutEqual {
+                left: get_str(&mut buf)?,
+                right: get_str(&mut buf)?,
+                instruction: get_str(&mut buf)?,
+                verdict: get_bool(&mut buf)?,
+            },
+            TAG_PUT_ORDER => LogRecord::PutOrder {
+                left: get_str(&mut buf)?,
+                right: get_str(&mut buf)?,
+                instruction: get_str(&mut buf)?,
+                left_preferred: get_bool(&mut buf)?,
+            },
+            other => return Err(CrowdError::Io(format!("log record: unknown tag {other}"))),
+        };
+        if buf.has_remaining() {
+            return Err(CrowdError::Io(format!(
+                "log record: {} trailing byte(s) after {} record",
+                buf.remaining(),
+                rec.kind()
+            )));
+        }
+        Ok(rec)
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    codec::encode_value(buf, &Value::Str(s.to_string()));
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    match codec::decode_value(buf)? {
+        Value::Str(s) => Ok(s),
+        other => Err(CrowdError::Io(format!(
+            "log record: expected string, got {other:?}"
+        ))),
+    }
+}
+
+fn get_int(buf: &mut Bytes) -> Result<i64> {
+    match codec::decode_value(buf)? {
+        Value::Int(i) => Ok(i),
+        other => Err(CrowdError::Io(format!(
+            "log record: expected integer, got {other:?}"
+        ))),
+    }
+}
+
+fn get_bool(buf: &mut Bytes) -> Result<bool> {
+    match codec::decode_value(buf)? {
+        Value::Bool(b) => Ok(b),
+        other => Err(CrowdError::Io(format!(
+            "log record: expected boolean, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::row;
+
+    fn all_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Ddl {
+                sql: "CREATE TABLE t (a INTEGER)".into(),
+            },
+            LogRecord::Dml {
+                sql: "INSERT INTO t VALUES (1)".into(),
+            },
+            LogRecord::WriteBackValue {
+                table: "talk".into(),
+                tid: TupleId(7),
+                col: 2,
+                value: Value::str("an abstract"),
+            },
+            LogRecord::WriteBackTuple {
+                table: "notableattendee".into(),
+                row: row!["Mike Franklin", Value::CNull, 3i64, true, 2.5f64],
+            },
+            LogRecord::PutEqual {
+                left: "I.B.M.".into(),
+                right: "IBM".into(),
+                instruction: "same entity?".into(),
+                verdict: true,
+            },
+            LogRecord::PutOrder {
+                left: "sunset".into(),
+                right: "fog".into(),
+                instruction: "better picture?".into(),
+                left_preferred: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for rec in all_records() {
+            let bytes = rec.encode();
+            let back = LogRecord::decode(bytes).unwrap();
+            assert_eq!(rec, back);
+        }
+    }
+
+    #[test]
+    fn truncated_records_error_not_panic() {
+        for rec in all_records() {
+            let bytes = rec.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    LogRecord::decode(bytes.slice(..cut)).is_err(),
+                    "{}: cut at {cut} decoded",
+                    rec.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = all_records()[0].encode().to_vec();
+        bytes.push(0);
+        assert!(LogRecord::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(LogRecord::decode(Bytes::from_static(&[99])).is_err());
+        assert!(LogRecord::decode(Bytes::new()).is_err());
+    }
+}

@@ -134,8 +134,24 @@ impl HeapTable {
 
     /// Insert a row, returning its tuple id.
     pub fn insert(&mut self, row: Row) -> Result<TupleId> {
-        let row = self.validate_row(row)?;
         let tid = TupleId(self.slots.len() as u64);
+        self.restore_at(tid, row)?;
+        Ok(tid)
+    }
+
+    /// Place a row at a specific slot, padding intermediate slots with
+    /// tombstones. This is the snapshot/recovery path: tuple ids are slot
+    /// indexes and must survive a restart unchanged, because the
+    /// write-ahead log addresses crowd-answer write-backs by tuple id.
+    pub fn restore_at(&mut self, tid: TupleId, row: Row) -> Result<()> {
+        let row = self.validate_row(row)?;
+        let slot = tid.0 as usize;
+        if self.slots.get(slot).is_some_and(|s| s.is_some()) {
+            return Err(CrowdError::Internal(format!(
+                "tuple slot {tid} of table '{}' is already occupied",
+                self.schema.name
+            )));
+        }
         for idx in &self.indexes {
             let key = idx.key_of(row.values());
             self.check_unique(idx, &key, None)?;
@@ -144,10 +160,36 @@ impl HeapTable {
             let key = idx.key_of(row.values());
             idx.insert(key, tid);
         }
+        if self.slots.len() <= slot {
+            self.slots.resize(slot + 1, None);
+        }
         self.cnull_values += row.cnull_columns().len();
         self.live_rows += 1;
-        self.slots.push(Some(row));
-        Ok(tid)
+        self.slots[slot] = Some(row);
+        Ok(())
+    }
+
+    /// Extend the slot vector with trailing tombstones up to `total`
+    /// slots, so the next allocated tuple id matches the pre-snapshot
+    /// instance even when the last rows were deleted.
+    pub fn pad_slots(&mut self, total: usize) {
+        if self.slots.len() < total {
+            self.slots.resize(total, None);
+        }
+    }
+
+    /// Undo an insert made earlier in the same statement. Beyond a plain
+    /// delete, the tail slot itself is reclaimed so the failed statement
+    /// leaves no trace in tuple-id space: a log that never recorded the
+    /// statement must allocate the same ids on replay that this instance
+    /// allocates going forward. Roll back a batch in reverse insertion
+    /// order so each tuple is the tail when its turn comes.
+    pub fn rollback_insert(&mut self, tid: TupleId) -> bool {
+        let existed = self.delete(tid);
+        if existed && tid.0 as usize + 1 == self.slots.len() {
+            self.slots.pop();
+        }
+        existed
     }
 
     /// Fetch a live row by tuple id.
@@ -290,6 +332,24 @@ mod tests {
         .with_primary_key(&["title"])
         .unwrap();
         HeapTable::new(schema)
+    }
+
+    #[test]
+    fn rollback_insert_reclaims_the_tail_slot() {
+        let mut t = talk_table();
+        let keep = t.insert(row!["keep", Value::CNull, Value::CNull]).unwrap();
+        let a = t.insert(row!["a", Value::CNull, Value::CNull]).unwrap();
+        let b = t.insert(row!["b", Value::CNull, Value::CNull]).unwrap();
+        assert!(t.rollback_insert(b));
+        assert!(t.rollback_insert(a));
+        // Tuple-id space is as if the inserts never happened.
+        let next = t.insert(row!["next", Value::CNull, Value::CNull]).unwrap();
+        assert_eq!(next, a, "slot must be reallocated, not burned");
+        assert!(t.get(keep).is_some());
+        // Rolling back a non-tail tuple degrades to a plain delete.
+        assert!(t.rollback_insert(keep));
+        assert_eq!(t.live_rows, 1);
+        assert!(!t.rollback_insert(keep), "already gone");
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! The durable store: one directory holding a snapshot + a write-ahead
+//! log, with the recovery protocol that stitches them back together.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! <dir>/snapshot.bin   latest checkpoint (atomic-rename protocol)
+//! <dir>/wal.bin        records appended since that checkpoint
+//! ```
+//!
+//! Recovery contract: [`DurableStore::open`] returns the snapshot payload
+//! (if any) and exactly the log records **not yet covered** by it —
+//! records whose LSN is at or below the snapshot's are skipped, which is
+//! what makes a crash between snapshot-rename and log-truncate harmless.
+//! The caller restores the snapshot, replays the records in order, and
+//! ends up in the pre-crash state.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crowddb_common::{CrowdError, Result};
+use crowddb_storage::LogRecord;
+
+use crate::log::{FsyncPolicy, Wal};
+use crate::snapshot;
+
+/// File name of the checkpoint snapshot inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// File name of the write-ahead log inside a store directory.
+pub const WAL_FILE: &str = "wal.bin";
+
+/// What [`DurableStore::open`] found on disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Payload of the latest checkpoint, if one was ever taken.
+    pub snapshot: Option<Vec<u8>>,
+    /// Log records newer than the snapshot, in append order.
+    pub records: Vec<LogRecord>,
+}
+
+impl Recovered {
+    /// True when the directory held no prior state at all.
+    pub fn is_fresh(&self) -> bool {
+        self.snapshot.is_none() && self.records.is_empty()
+    }
+}
+
+/// An open durability directory: snapshot + WAL.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: Wal,
+    records_since_checkpoint: u64,
+}
+
+impl DurableStore {
+    /// Open (or initialize) the store at `dir` and recover whatever
+    /// survived: the newest snapshot plus the log tail beyond it.
+    pub fn open(dir: impl AsRef<Path>, policy: FsyncPolicy) -> Result<(DurableStore, Recovered)> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)
+            .map_err(|e| CrowdError::Io(format!("store: create '{}': {e}", dir.display())))?;
+        let snap = snapshot::read(&dir.join(SNAPSHOT_FILE))?;
+        let (mut wal, raw) = Wal::open(dir.join(WAL_FILE), policy)?;
+        let (snap_lsn, payload) = match snap {
+            Some((lsn, payload)) => (lsn, Some(payload)),
+            None => (0, None),
+        };
+        // Continue the LSN sequence the snapshot recorded even if the log
+        // was truncated at the checkpoint.
+        wal.bump_lsn(snap_lsn + 1);
+        let records: Vec<LogRecord> = raw
+            .into_iter()
+            .filter(|(lsn, _)| *lsn > snap_lsn)
+            .map(|(_, rec)| rec)
+            .collect();
+        let store = DurableStore {
+            dir,
+            wal,
+            records_since_checkpoint: records.len() as u64,
+        };
+        let recovered = Recovered {
+            snapshot: payload,
+            records,
+        };
+        Ok((store, recovered))
+    }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the write-ahead log file.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// Path of the snapshot file.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    /// LSN of the most recent record (snapshot-covered or logged).
+    pub fn last_lsn(&self) -> u64 {
+        self.wal.last_lsn()
+    }
+
+    /// Records appended (or recovered) since the last checkpoint — the
+    /// engine's checkpoint policy triggers off this.
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint
+    }
+
+    /// Append one record to the log; durability per the fsync policy.
+    pub fn append(&mut self, rec: &LogRecord) -> Result<u64> {
+        let lsn = self.wal.append(rec)?;
+        self.records_since_checkpoint += 1;
+        Ok(lsn)
+    }
+
+    /// Force the log to stable storage regardless of fsync policy.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// Take a checkpoint: atomically persist `payload` as the new
+    /// snapshot covering everything logged so far, then truncate the log.
+    ///
+    /// Crash safety: the snapshot lands via write-tmp → fsync → rename →
+    /// fsync-dir before the log is touched, and recovery skips records
+    /// the snapshot already covers — so a crash anywhere in between
+    /// leaves a recoverable store.
+    pub fn checkpoint(&mut self, payload: &[u8]) -> Result<()> {
+        self.wal.sync()?;
+        snapshot::write(&self.snapshot_path(), self.wal.last_lsn(), payload)?;
+        self.wal.reset()?;
+        self.records_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestDir;
+
+    fn rec(i: i64) -> LogRecord {
+        LogRecord::Dml {
+            sql: format!("INSERT INTO t VALUES ({i})"),
+        }
+    }
+
+    #[test]
+    fn fresh_store_is_fresh() {
+        let dir = TestDir::new("store-fresh");
+        let (store, recovered) = DurableStore::open(dir.path(), FsyncPolicy::Always).unwrap();
+        assert!(recovered.is_fresh());
+        assert_eq!(store.last_lsn(), 0);
+        assert_eq!(store.records_since_checkpoint(), 0);
+    }
+
+    #[test]
+    fn log_tail_recovers_without_snapshot() {
+        let dir = TestDir::new("store-tail");
+        let (mut store, _) = DurableStore::open(dir.path(), FsyncPolicy::Always).unwrap();
+        store.append(&rec(1)).unwrap();
+        store.append(&rec(2)).unwrap();
+        drop(store);
+        let (store, recovered) = DurableStore::open(dir.path(), FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.snapshot, None);
+        assert_eq!(recovered.records, vec![rec(1), rec(2)]);
+        assert_eq!(store.records_since_checkpoint(), 2);
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_skips_covered_records() {
+        let dir = TestDir::new("store-ckpt");
+        let (mut store, _) = DurableStore::open(dir.path(), FsyncPolicy::Always).unwrap();
+        store.append(&rec(1)).unwrap();
+        store.append(&rec(2)).unwrap();
+        store.checkpoint(b"state@2").unwrap();
+        assert_eq!(store.records_since_checkpoint(), 0);
+        store.append(&rec(3)).unwrap();
+        drop(store);
+        let (store, recovered) = DurableStore::open(dir.path(), FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.snapshot.as_deref(), Some(&b"state@2"[..]));
+        assert_eq!(recovered.records, vec![rec(3)]);
+        assert_eq!(store.last_lsn(), 3);
+    }
+
+    #[test]
+    fn stale_log_records_below_snapshot_lsn_are_skipped() {
+        // Simulate a crash between snapshot-rename and log-truncate: the
+        // snapshot covers LSNs 1-2 but the log still holds them.
+        let dir = TestDir::new("store-stale");
+        let (mut store, _) = DurableStore::open(dir.path(), FsyncPolicy::Always).unwrap();
+        store.append(&rec(1)).unwrap();
+        store.append(&rec(2)).unwrap();
+        drop(store);
+        snapshot::write(&dir.path().join(SNAPSHOT_FILE), 2, b"state@2").unwrap();
+        let (store, recovered) = DurableStore::open(dir.path(), FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.snapshot.as_deref(), Some(&b"state@2"[..]));
+        assert!(
+            recovered.records.is_empty(),
+            "covered records must be skipped"
+        );
+        // And the next LSN continues past the snapshot.
+        assert_eq!(store.last_lsn(), 2);
+    }
+}

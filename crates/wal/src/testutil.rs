@@ -1,0 +1,68 @@
+//! Self-cleaning temporary directories for the durability test suites.
+//!
+//! The workspace deliberately avoids external dependencies, so this is
+//! the crate's own minimal `tempfile`: a uniquely named directory under
+//! the system temp root that removes itself (and everything in it) on
+//! drop. CI runs a tmpdir-hygiene check that fails if any `crowddb-*`
+//! directory outlives the tests, so every test touching disk must go
+//! through [`TestDir`].
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A temporary directory deleted on drop.
+#[derive(Debug)]
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Create `<tmp>/crowddb-<label>-<pid>-<nonce>`.
+    pub fn new(label: &str) -> TestDir {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let nonce = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "crowddb-{label}-{}-{nanos}-{nonce}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create test dir");
+        TestDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleans_up_on_drop() {
+        let dir = TestDir::new("testutil");
+        let keep = dir.path().to_path_buf();
+        std::fs::write(keep.join("f"), b"x").unwrap();
+        drop(dir);
+        assert!(!keep.exists());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let a = TestDir::new("dup");
+        let b = TestDir::new("dup");
+        assert_ne!(a.path(), b.path());
+    }
+}

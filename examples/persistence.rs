@@ -4,9 +4,12 @@
 //! cargo run --example persistence
 //! ```
 //!
-//! Runs a crowdsourced query, snapshots the session to a file, restores
-//! it into a fresh process-equivalent instance, and shows that the same
-//! query (and even a cached `CROWDEQUAL` verdict) replays for free.
+//! Part 1 snapshots a session to a file by hand and restores it. Part 2
+//! uses the durability subsystem instead: `CrowdDB::open` roots the
+//! session in a directory, every committed statement and crowd answer is
+//! written ahead to a log, and reopening the directory — even after a
+//! crash — recovers the exact state, so the same query (and even a
+//! cached `CROWDEQUAL` verdict) replays for free.
 
 use crowddb::{Answer, CrowdConfig, CrowdDB, SimPlatform, TaskKind, VoteConfig};
 use crowddb_platform::ClosureModel;
@@ -97,5 +100,41 @@ fn main() -> crowddb::Result<()> {
         r.crowd.tasks_posted + r2.crowd.tasks_posted
     );
     std::fs::remove_file(&path).ok();
+
+    // -- Part 2: the same guarantee without manual snapshot plumbing. --
+    // CrowdDB::open gives a write-ahead-logged session: answers are
+    // durable the moment their crowd round completes, so even `drop`
+    // without a clean close (a crash) loses nothing that was paid for.
+    let dir = std::env::temp_dir().join("crowddb-persistence-example");
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let durable = CrowdDB::open(&dir)?;
+        let mut amt = SimPlatform::amt(17, Box::new(world()));
+        durable.execute(
+            "CREATE TABLE paper (title STRING PRIMARY KEY, abstract CROWD STRING)",
+            &mut amt,
+        )?;
+        durable.execute("INSERT INTO paper (title) VALUES ('CrowdDB')", &mut amt)?;
+        let r = durable.execute(
+            "SELECT abstract FROM paper WHERE title = 'CrowdDB'",
+            &mut amt,
+        )?;
+        println!("\n-- durable session: crowd paid {}¢", r.crowd.cents_spent);
+        // Simulate a crash: drop without close() — the log has it all.
+    }
+    let reopened = CrowdDB::open(&dir)?;
+    let mut dead_crowd = crowddb::MockPlatform::unanimous(|_| Answer::Blank);
+    let r = reopened.execute(
+        "SELECT abstract FROM paper WHERE title = 'CrowdDB'",
+        &mut dead_crowd,
+    )?;
+    println!("-- reopened after simulated crash:");
+    println!("{}", r.to_table());
+    println!(
+        "crowd tasks after recovery: {} (the log replayed every answer)",
+        r.crowd.tasks_posted
+    );
+    reopened.close()?; // final checkpoint: next open restores from snapshot
+    std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

@@ -47,10 +47,22 @@
 //! * [`crowddb_platform`] — task model, AMT/mobile simulators, WRM;
 //! * [`crowddb_ui`] — schema-driven task UI generation;
 //! * [`crowddb_quality`] — majority voting, entity resolution, ranking;
+//! * [`crowddb_wal`] — write-ahead log, snapshots, crash recovery;
 //! * [`crowddb_core`] — the [`CrowdDB`] facade and Task Manager loop.
+//!
+//! ## Durability
+//!
+//! Crowd answers cost real money, so a session can be made durable:
+//! [`CrowdDB::open`] roots the database in a directory, logs every
+//! committed statement and crowd answer to a write-ahead log, and
+//! recovers the exact pre-crash state on reopen — answers the crowd
+//! already provided are never bought twice. See the `persistence`
+//! example and the "Durability & recovery" section of `DESIGN.md`.
 
 pub use crowddb_common::{CrowdError, DataType, Result, Row, Value};
-pub use crowddb_core::{CrowdConfig, CrowdDB, CrowdSummary, QueryResult, RetryPolicy};
+pub use crowddb_core::{
+    CrowdConfig, CrowdDB, CrowdSummary, DurabilityPolicy, FsyncPolicy, QueryResult, RetryPolicy,
+};
 pub use crowddb_platform::{
     Answer, FaultConfig, FaultStats, FaultyPlatform, MockPlatform, Platform, SimConfig,
     SimPlatform, TaskKind, TaskSpec,
