@@ -122,6 +122,15 @@ fn main() {
             .execute("SELECT title, abstract, nb_attendees FROM talk", &mut p)
             .expect("probe after reopen");
         assert!(r.complete);
+        let m = db.metrics();
+        out.notes.push(format!(
+            "{label}: reopened session logged {} append(s) / {} fsync(s) / {} checkpoint(s), \
+             {} cents spent",
+            m.counter("crowddb_wal_appends_total"),
+            m.counter("crowddb_wal_fsyncs_total"),
+            m.counter("crowddb_wal_checkpoints_total"),
+            m.counter("crowddb_crowd_cents_spent_total"),
+        ));
         out.rows.push(vec![
             format!("{label} ({wal_bytes} B log)"),
             format!("{:.2}", secs * 1e3),

@@ -100,6 +100,11 @@ pub struct CrowdConfig {
     /// needs are abandoned and the result is returned partial with a
     /// warning.
     pub max_budget_cents: Option<u64>,
+    /// Slow-statement threshold in crowd-virtual seconds: statements
+    /// whose crowd waits exceed it are counted in
+    /// `crowddb_slow_statements_total` and logged as `slow_statement`
+    /// events. `None` disables the slow log.
+    pub slow_statement_virtual_secs: Option<f64>,
     /// Resilience policy against platform failures.
     pub retry: RetryPolicy,
     /// Checkpoint + fsync policy for sessions opened with
@@ -121,6 +126,7 @@ impl Default for CrowdConfig {
             max_tuples_per_assignment: 5,
             ban_threshold: 0.25,
             max_budget_cents: None,
+            slow_statement_virtual_secs: None,
             retry: RetryPolicy::default(),
             durability: DurabilityPolicy::default(),
         }
@@ -142,6 +148,7 @@ impl CrowdConfig {
             max_tuples_per_assignment: 5,
             ban_threshold: 0.25,
             max_budget_cents: None,
+            slow_statement_virtual_secs: None,
             retry: RetryPolicy::default(),
             durability: DurabilityPolicy::default(),
         }

@@ -1,14 +1,17 @@
 //! The [`CrowdDB`] facade.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crowddb_common::{CrowdError, Result, Row};
 use crowddb_exec::{
-    execute as execute_plan, execute_physical, lower_plan, render_analyzed, CompareCaches,
-    OpStatsNode,
+    execute as execute_plan, execute_physical, flush_op_stats, lower_plan, render_analyzed,
+    CompareCaches, OpStatsNode,
 };
+use crowddb_obs::{Event, MetricsSnapshot, Obs};
 use crowddb_plan::cardinality::{FnStats, StatsSource};
 use crowddb_plan::{
     analyze_boundedness, annotate_cardinality, optimize, Binder, LogicalPlan, OptimizerConfig,
@@ -62,6 +65,14 @@ pub struct CrowdDB {
     /// one place that nests the other way and is only safe because a
     /// session executes statements from one thread at a time.
     durable: Option<Mutex<DurableStore>>,
+    /// Shared observability handle: metrics registry + event log. Every
+    /// layer below (taskman, exec flushes, WAL, fault injector when
+    /// shared) reports into it; snapshots surface via
+    /// [`CrowdDB::metrics`].
+    obs: Arc<Obs>,
+    /// Monotone statement ids pairing `StatementBegin`/`StatementEnd`
+    /// events.
+    next_statement_id: AtomicU64,
 }
 
 impl Default for CrowdDB {
@@ -82,6 +93,14 @@ impl CrowdDB {
 
     /// A CrowdDB with custom crowd configuration.
     pub fn with_config(config: CrowdConfig) -> CrowdDB {
+        CrowdDB::with_obs(config, Obs::new())
+    }
+
+    /// A CrowdDB reporting into a caller-provided observability handle —
+    /// share the same `Arc<Obs>` with a
+    /// [`FaultyPlatform`](crowddb_platform::faults) (or a metrics
+    /// scraper) to see engine and platform counters side by side.
+    pub fn with_obs(config: CrowdConfig, obs: Arc<Obs>) -> CrowdDB {
         CrowdDB {
             db: Database::new(),
             caches: Mutex::new(CompareCaches::default()),
@@ -91,6 +110,8 @@ impl CrowdDB {
             config,
             optimizer: OptimizerConfig::default(),
             durable: None,
+            obs,
+            next_statement_id: AtomicU64::new(0),
         }
     }
 
@@ -109,7 +130,7 @@ impl CrowdDB {
     /// checkpoint behaviour come from `config.durability`.
     pub fn open_with_config(path: impl AsRef<Path>, config: CrowdConfig) -> Result<CrowdDB> {
         let fsync = config.durability.fsync;
-        let (store, recovered) = DurableStore::open(path.as_ref(), fsync)?;
+        let (mut store, recovered) = DurableStore::open(path.as_ref(), fsync)?;
         let mut crowddb = match &recovered.snapshot {
             Some(bytes) => CrowdDB::restore(bytes, config)?,
             None => CrowdDB::with_config(config),
@@ -131,8 +152,28 @@ impl CrowdDB {
                 templates.register_schema(s);
             }
         }
+        store.set_obs(crowddb.obs.clone());
         crowddb.durable = Some(Mutex::new(store));
         Ok(crowddb)
+    }
+
+    /// Snapshot of the session's metrics registry — statement spans,
+    /// crowd resilience counters, per-operator execution stats, vote
+    /// outcomes, WAL activity, and crowd spend (the paper's "cost"
+    /// column), all queryable by name.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// The shared observability handle (to inspect the event log, or to
+    /// hand to a fault injector so its counters land in the same place).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// The structured event log as JSON lines.
+    pub fn events_jsonl(&self) -> String {
+        self.obs.events().to_jsonl()
     }
 
     /// Apply one recovered log record to this session's in-memory state.
@@ -278,9 +319,76 @@ impl CrowdDB {
     /// Execute any CrowdSQL statement, engaging `platform` as needed.
     pub fn execute(&self, sql: &str, platform: &mut dyn Platform) -> Result<QueryResult> {
         let stmt = parse_statement(sql)?;
-        let r = self.execute_statement(&stmt, platform)?;
+        let id = self.begin_statement(sql);
+        let r = self.execute_statement(&stmt, platform);
+        self.finish_statement(id, &r);
+        let r = r?;
         self.maybe_checkpoint()?;
         Ok(r)
+    }
+
+    /// Emit the `StatementBegin` span event and hand back its id.
+    fn begin_statement(&self, sql: &str) -> u64 {
+        let id = self.next_statement_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.obs.events().emit(Event::StatementBegin {
+            id,
+            sql: sql.trim().to_string(),
+        });
+        id
+    }
+
+    /// Close a statement span: `StatementEnd` event, per-statement
+    /// metrics, crowd-cost accounting, and the slow-statement log.
+    fn finish_statement(&self, id: u64, outcome: &Result<QueryResult>) {
+        let reg = self.obs.registry();
+        reg.counter_inc("crowddb_statements_total");
+        match outcome {
+            Ok(r) => {
+                let c = &r.crowd;
+                reg.counter_add("crowddb_statement_rounds_total", c.rounds as u64);
+                reg.counter_add("crowddb_crowd_cents_spent_total", c.cents_spent);
+                reg.gauge_set("crowddb_statement_cents_spent_last", c.cents_spent as f64);
+                reg.observe("crowddb_statement_cents_spent", c.cents_spent as f64);
+                reg.observe("crowddb_statement_rounds", c.rounds as f64);
+                reg.observe("crowddb_statement_virtual_secs", c.virtual_secs);
+                if !r.complete {
+                    reg.counter_inc("crowddb_statements_incomplete_total");
+                }
+                self.obs.events().emit(Event::StatementEnd {
+                    id,
+                    ok: true,
+                    complete: r.complete,
+                    rounds: c.rounds as u64,
+                    tasks_posted: c.tasks_posted,
+                    answers: c.answers_collected,
+                    cents: c.cents_spent,
+                    virtual_secs: c.virtual_secs,
+                });
+                if let Some(threshold) = self.config.slow_statement_virtual_secs {
+                    if c.virtual_secs >= threshold {
+                        reg.counter_inc("crowddb_slow_statements_total");
+                        self.obs.events().emit(Event::SlowStatement {
+                            id,
+                            virtual_secs: c.virtual_secs,
+                            threshold_secs: threshold,
+                        });
+                    }
+                }
+            }
+            Err(_) => {
+                reg.counter_inc("crowddb_statement_errors_total");
+                self.obs.events().emit(Event::StatementEnd {
+                    id,
+                    ok: false,
+                    complete: false,
+                    rounds: 0,
+                    tasks_posted: 0,
+                    answers: 0,
+                    cents: 0,
+                    virtual_secs: 0.0,
+                });
+            }
+        }
     }
 
     /// Execute a statement using local data only. Statements that would
@@ -317,12 +425,15 @@ impl CrowdDB {
             }
         }
         let stmt = parse_statement(sql)?;
+        let id = self.begin_statement(sql);
         let r = match &stmt {
-            Statement::Select(_) => {
+            Statement::Select(_) => (|| {
                 // One local round; report pending work as warnings.
                 let (plan, mut warnings) = self.plan_select(&stmt, false)?;
                 let caches = self.caches.lock().clone();
-                let exec = execute_plan(&self.db, &caches, &plan)?;
+                let physical = lower_plan(&self.db, &plan);
+                let (exec, op_stats) = execute_physical(&self.db, &caches, &physical)?;
+                flush_op_stats(self.obs.registry(), &op_stats);
                 let complete = exec.is_final();
                 if !complete {
                     warnings.push(format!(
@@ -341,9 +452,11 @@ impl CrowdDB {
                     warnings,
                     complete,
                 })
-            }
+            })(),
             _ => self.execute_statement(&stmt, &mut NoPlatform),
-        }?;
+        };
+        self.finish_statement(id, &r);
+        let r = r?;
         self.maybe_checkpoint()?;
         Ok(r)
     }
@@ -430,6 +543,7 @@ impl CrowdDB {
         for round in 1..=self.config.max_rounds {
             let caches_snapshot = self.caches.lock().clone();
             let (exec, round_stats) = execute_physical(&self.db, &caches_snapshot, &physical)?;
+            flush_op_stats(self.obs.registry(), &round_stats);
             merged.merge(&round_stats);
             rounds.push(format!(
                 "round {round}: {} row(s), {} need(s)",
@@ -457,7 +571,13 @@ impl CrowdDB {
                     break;
                 }
             }
-            let wave = self.fulfill(&fresh, platform, &mut warnings, start_stats.cents_spent)?;
+            let wave = self.fulfill(
+                &fresh,
+                platform,
+                &mut warnings,
+                start_stats.cents_spent,
+                round,
+            )?;
             let _ = wave;
         }
         if !complete && rounds.len() >= self.config.max_rounds {
@@ -641,7 +761,13 @@ impl CrowdDB {
                     break;
                 }
             }
-            let wave = self.fulfill(&fresh, platform, &mut warnings, start_stats.cents_spent)?;
+            let wave = self.fulfill(
+                &fresh,
+                platform,
+                &mut warnings,
+                start_stats.cents_spent,
+                summary.rounds,
+            )?;
             summary.absorb_resilience(&wave);
         }
         if !resolved {
@@ -676,7 +802,11 @@ impl CrowdDB {
         for _ in 0..self.config.max_rounds {
             summary.rounds += 1;
             let caches_snapshot = self.caches.lock().clone();
-            let exec = execute_plan(&self.db, &caches_snapshot, &plan)?;
+            // Lowering is repeated per round on purpose: cardinality
+            // estimates shift as crowd answers are written back.
+            let physical = lower_plan(&self.db, &plan);
+            let (exec, op_stats) = execute_physical(&self.db, &caches_snapshot, &physical)?;
+            flush_op_stats(self.obs.registry(), &op_stats);
             rows = exec.rows;
             if exec.needs.is_empty() {
                 complete = true;
@@ -699,7 +829,13 @@ impl CrowdDB {
                     break;
                 }
             }
-            let wave = self.fulfill(&fresh, platform, &mut warnings, start_stats.cents_spent)?;
+            let wave = self.fulfill(
+                &fresh,
+                platform,
+                &mut warnings,
+                start_stats.cents_spent,
+                summary.rounds,
+            )?;
             summary.absorb_resilience(&wave);
         }
         if !complete && summary.rounds >= self.config.max_rounds {
@@ -729,6 +865,7 @@ impl CrowdDB {
         platform: &mut dyn Platform,
         warnings: &mut Vec<String>,
         statement_start_cents: u64,
+        round: usize,
     ) -> Result<taskman::FulfillSummary> {
         // Budget-aware wave sizing: never post more tasks than the
         // remaining per-statement budget can pay for (escalations may
@@ -756,6 +893,10 @@ impl CrowdDB {
         if needs.is_empty() {
             return Ok(taskman::FulfillSummary::default());
         }
+        self.obs.events().emit(Event::RoundBegin {
+            round: round as u64,
+            needs: needs.len() as u64,
+        });
         let mut caches = self.caches.lock();
         let mut wrm = self.wrm.lock();
         let templates = self.templates.lock();
@@ -767,8 +908,43 @@ impl CrowdDB {
             platform,
             &self.config,
             needs,
+            &self.obs,
         )?;
         warnings.append(&mut fulfill.warnings);
+        // Mirror the wave's accounting into the registry — these are the
+        // *same* fields `CrowdSummary::absorb_resilience` folds into the
+        // statement summary, so registry counters and summary totals
+        // reconcile exactly (the chaos suite asserts this).
+        let reg = self.obs.registry();
+        reg.counter_add("crowddb_crowd_tasks_posted_total", fulfill.tasks_posted);
+        reg.counter_add("crowddb_crowd_answers_total", fulfill.answers_collected);
+        reg.counter_add("crowddb_crowd_retries_total", fulfill.retries);
+        reg.counter_add("crowddb_crowd_reposts_total", fulfill.reposts);
+        reg.counter_add(
+            "crowddb_crowd_duplicates_dropped_total",
+            fulfill.duplicates_dropped,
+        );
+        reg.counter_add("crowddb_crowd_post_failures_total", fulfill.post_failures);
+        reg.counter_add(
+            "crowddb_crowd_extend_failures_total",
+            fulfill.extend_failures,
+        );
+        reg.counter_add("crowddb_crowd_gave_up_total", fulfill.gave_up);
+        reg.counter_add(
+            "crowddb_crowd_exhausted_needs_total",
+            fulfill.exhausted.len() as u64,
+        );
+        if fulfill.degraded {
+            reg.counter_inc("crowddb_crowd_degraded_waves_total");
+        }
+        self.obs.events().emit(Event::RoundEnd {
+            round: round as u64,
+            posted: fulfill.tasks_posted,
+            answers: fulfill.answers_collected,
+            retries: fulfill.retries,
+            reposts: fulfill.reposts,
+            degraded: fulfill.degraded,
+        });
         // Persist every answer the crowd just produced before the round
         // ends: a crash from here on loses at most in-flight work, never
         // a paid answer. The sync is unconditional for Always/Batch
@@ -854,6 +1030,8 @@ impl CrowdDB {
             config,
             optimizer: OptimizerConfig::default(),
             durable: None,
+            obs: Obs::new(),
+            next_statement_id: AtomicU64::new(0),
         })
     }
 

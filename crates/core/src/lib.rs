@@ -32,5 +32,6 @@ pub mod taskman;
 
 pub use config::{CrowdConfig, DurabilityPolicy, RetryPolicy};
 pub use crowddb::CrowdDB;
+pub use crowddb_obs::{Event, EventRecord, MetricsSnapshot, Obs};
 pub use crowddb_wal::FsyncPolicy;
 pub use result::{CrowdSummary, QueryResult};

@@ -7,8 +7,9 @@ use std::collections::{HashMap, HashSet};
 
 use crowddb_common::{Result, Row, TableSchema, Value};
 use crowddb_exec::{CompareCaches, TaskNeed};
+use crowddb_obs::{Event, Obs};
 use crowddb_platform::{Answer, HitId, Platform, TaskKind, TaskSpec, WorkerRelationshipManager};
-use crowddb_quality::{MajorityVote, Normalizer, VoteOutcome};
+use crowddb_quality::{record_vote_outcome, MajorityVote, Normalizer, VoteOutcome};
 use crowddb_storage::{Database, LogRecord};
 use crowddb_ui::manager::UiTemplateManager;
 use crowddb_ui::template::TemplateKind;
@@ -258,6 +259,7 @@ fn post_with_retry(
     breaker: &mut Breaker,
     summary: &mut FulfillSummary,
     elapsed: &mut f64,
+    obs: &Obs,
 ) -> Option<Vec<HitId>> {
     if breaker.tripped {
         return None;
@@ -265,10 +267,19 @@ fn post_with_retry(
     let attempts = policy.max_post_attempts.max(1);
     let mut last_err = String::new();
     for attempt in 1..=attempts {
-        match platform.post(make_specs()) {
+        let specs = make_specs();
+        let liability: u64 = specs
+            .iter()
+            .map(|s| s.reward_cents as u64 * s.assignments as u64)
+            .sum();
+        match platform.post(specs) {
             Ok(ids) => {
                 breaker.succeeded();
                 summary.tasks_posted += ids.len() as u64;
+                obs.events().emit(Event::HitsPosted {
+                    count: ids.len() as u64,
+                    reward_cents: liability,
+                });
                 return Some(ids);
             }
             Err(e) => {
@@ -284,6 +295,9 @@ fn post_with_retry(
                 platform.advance(wait);
                 *elapsed += wait;
                 summary.retries += 1;
+                obs.events().emit(Event::PostRetried {
+                    attempt: u64::from(attempt),
+                });
             }
         }
     }
@@ -377,6 +391,7 @@ pub fn fulfill_needs(
     platform: &mut dyn Platform,
     config: &CrowdConfig,
     needs: &[TaskNeed],
+    obs: &Obs,
 ) -> Result<FulfillSummary> {
     let mut summary = FulfillSummary::default();
     if needs.is_empty() {
@@ -400,6 +415,7 @@ pub fn fulfill_needs(
         &mut breaker,
         &mut summary,
         &mut elapsed,
+        obs,
     );
     let Some(hit_ids) = posted else {
         // The platform never accepted the batch. Abandon every need —
@@ -411,6 +427,9 @@ pub fn fulfill_needs(
         }
         if breaker.tripped {
             summary.degraded = true;
+            obs.events().emit(Event::Degraded {
+                abandoned: needs.len() as u64,
+            });
             summary.warnings.push(format!(
                 "platform '{}' marked degraded after {} consecutive failures; \
                  {} task(s) abandoned",
@@ -453,12 +472,15 @@ pub fn fulfill_needs(
             summary.answers_collected += 1;
             let Some(&idx) = hit_to_need.get(&resp.hit) else {
                 // Unknown HIT (e.g. orphaned by a partial batch failure).
+                obs.events().emit(Event::HitAnswered { duplicate: false });
                 continue;
             };
             if !seen.insert((resp.worker, resp.hit)) {
                 summary.duplicates_dropped += 1;
+                obs.events().emit(Event::HitAnswered { duplicate: true });
                 continue;
             }
+            obs.events().emit(Event::HitAnswered { duplicate: false });
             if wrm.is_banned(resp.worker) {
                 worker_votes.push((resp.worker, resp.hit, None));
                 continue;
@@ -500,6 +522,9 @@ pub fn fulfill_needs(
                 // ignored by workers): repost it, a bounded number of
                 // times.
                 if trackers[idx].reposts >= policy.max_reposts {
+                    obs.events().emit(Event::HitExpired {
+                        reposts: u64::from(trackers[idx].reposts),
+                    });
                     trackers[idx].resolved = true;
                     continue;
                 }
@@ -511,11 +536,15 @@ pub fn fulfill_needs(
                     &mut breaker,
                     &mut summary,
                     &mut elapsed,
+                    obs,
                 );
                 match reposted.as_deref() {
                     Some([new_hit, ..]) => {
                         summary.reposts += 1;
                         trackers[idx].reposts += 1;
+                        obs.events().emit(Event::HitReposted {
+                            repost: u64::from(trackers[idx].reposts),
+                        });
                         trackers[idx].hit = *new_hit;
                         trackers[idx].deadline = elapsed + policy.hit_deadline_secs;
                         // Keep the stale HIT mapped: straggler answers to
@@ -535,6 +564,9 @@ pub fn fulfill_needs(
                 .filter(|(_, t)| !t.resolved)
                 .map(|(i, _)| i)
                 .collect();
+            obs.events().emit(Event::Degraded {
+                abandoned: abandoned.len() as u64,
+            });
             summary.warnings.push(format!(
                 "platform '{}' marked degraded after {} consecutive failures; \
                  abandoning {} open task(s)",
@@ -571,7 +603,9 @@ pub fn fulfill_needs(
                 let mut winners = Vec::new();
                 let mut fell_back = false;
                 for ((col, name, _ty), vote) in columns.iter().zip(votes.iter()) {
-                    match vote.outcome(&config.vote) {
+                    let outcome = vote.outcome(&config.vote);
+                    record_vote(obs, "probe", vote, &outcome);
+                    match outcome {
                         VoteOutcome::Decided { value, .. } => {
                             db.write_back_value(table, *tid, *col, value.clone())?;
                             summary.log.push(LogRecord::WriteBackValue {
@@ -661,70 +695,84 @@ pub fn fulfill_needs(
                 right,
                 instruction,
                 vote,
-            } => match vote.outcome(&config.vote) {
-                VoteOutcome::Decided { value, .. } => {
-                    let verdict = value.as_bool().unwrap_or(false);
-                    caches.put_equal(left, right, instruction, verdict);
-                    summary
-                        .log
-                        .push(put_equal_record(left, right, instruction, verdict));
-                    winning_key.insert(idx, vec![if verdict { "yes" } else { "no" }.into()]);
-                }
-                _ => {
-                    summary.gave_up += 1;
-                    if let Some((value, _)) = vote.leader() {
+            } => {
+                let outcome = vote.outcome(&config.vote);
+                record_vote(obs, "equal", vote, &outcome);
+                match outcome {
+                    VoteOutcome::Decided { value, .. } => {
                         let verdict = value.as_bool().unwrap_or(false);
                         caches.put_equal(left, right, instruction, verdict);
                         summary
                             .log
                             .push(put_equal_record(left, right, instruction, verdict));
-                        summary.warnings.push(format!(
-                            "accepted plurality verdict for CROWDEQUAL('{left}', '{right}')"
-                        ));
-                    } else {
-                        // No answers at all: default to not-equal so the
-                        // query converges (and note it).
-                        caches.put_equal(left, right, instruction, false);
-                        summary
-                            .log
-                            .push(put_equal_record(left, right, instruction, false));
-                        summary.exhausted.push(need.dedup_key());
-                        summary.warnings.push(format!(
-                            "no verdicts for CROWDEQUAL('{left}', '{right}'); assumed FALSE"
-                        ));
+                        winning_key.insert(idx, vec![if verdict { "yes" } else { "no" }.into()]);
+                    }
+                    _ => {
+                        summary.gave_up += 1;
+                        if let Some((value, _)) = vote.leader() {
+                            let verdict = value.as_bool().unwrap_or(false);
+                            caches.put_equal(left, right, instruction, verdict);
+                            summary
+                                .log
+                                .push(put_equal_record(left, right, instruction, verdict));
+                            summary.warnings.push(format!(
+                                "accepted plurality verdict for CROWDEQUAL('{left}', '{right}')"
+                            ));
+                        } else {
+                            // No answers at all: default to not-equal so the
+                            // query converges (and note it).
+                            caches.put_equal(left, right, instruction, false);
+                            summary
+                                .log
+                                .push(put_equal_record(left, right, instruction, false));
+                            summary.exhausted.push(need.dedup_key());
+                            summary.warnings.push(format!(
+                                "no verdicts for CROWDEQUAL('{left}', '{right}'); assumed FALSE"
+                            ));
+                        }
                     }
                 }
-            },
+            }
             HitState::Order {
                 left,
                 right,
                 instruction,
                 vote,
-            } => match vote.outcome(&config.vote) {
-                VoteOutcome::Decided { value, .. } => {
-                    let left_preferred = value.as_bool().unwrap_or(true);
-                    caches.put_prefer(left, right, instruction, left_preferred);
-                    summary
-                        .log
-                        .push(put_order_record(left, right, instruction, left_preferred));
-                    winning_key.insert(
-                        idx,
-                        vec![if left_preferred { "left" } else { "right" }.into()],
-                    );
+            } => {
+                let outcome = vote.outcome(&config.vote);
+                record_vote(obs, "order", vote, &outcome);
+                match outcome {
+                    VoteOutcome::Decided { value, .. } => {
+                        let left_preferred = value.as_bool().unwrap_or(true);
+                        caches.put_prefer(left, right, instruction, left_preferred);
+                        summary.log.push(put_order_record(
+                            left,
+                            right,
+                            instruction,
+                            left_preferred,
+                        ));
+                        winning_key.insert(
+                            idx,
+                            vec![if left_preferred { "left" } else { "right" }.into()],
+                        );
+                    }
+                    _ => {
+                        summary.gave_up += 1;
+                        let left_preferred =
+                            vote.leader().and_then(|(v, _)| v.as_bool()).unwrap_or(true);
+                        caches.put_prefer(left, right, instruction, left_preferred);
+                        summary.log.push(put_order_record(
+                            left,
+                            right,
+                            instruction,
+                            left_preferred,
+                        ));
+                        summary.warnings.push(format!(
+                            "accepted fallback preference for CROWDORDER('{left}' vs '{right}')"
+                        ));
+                    }
                 }
-                _ => {
-                    summary.gave_up += 1;
-                    let left_preferred =
-                        vote.leader().and_then(|(v, _)| v.as_bool()).unwrap_or(true);
-                    caches.put_prefer(left, right, instruction, left_preferred);
-                    summary
-                        .log
-                        .push(put_order_record(left, right, instruction, left_preferred));
-                    summary.warnings.push(format!(
-                        "accepted fallback preference for CROWDORDER('{left}' vs '{right}')"
-                    ));
-                }
-            },
+            }
         }
     }
 
@@ -752,6 +800,22 @@ pub fn fulfill_needs(
 
     summary.note_absorbed_faults();
     Ok(summary)
+}
+
+/// Report one final vote outcome: registry counters (via
+/// `crowddb_quality`) plus the structured `VoteResolved` event.
+fn record_vote(obs: &Obs, kind: &'static str, vote: &MajorityVote, outcome: &VoteOutcome) {
+    record_vote_outcome(obs.registry(), outcome);
+    let (decided, votes, total) = match outcome {
+        VoteOutcome::Decided { votes, total, .. } => (true, *votes as u64, *total as u64),
+        _ => (false, 0, vote.total() as u64),
+    };
+    obs.events().emit(Event::VoteResolved {
+        kind,
+        decided,
+        votes,
+        total,
+    });
 }
 
 fn put_equal_record(left: &str, right: &str, instruction: &str, verdict: bool) -> LogRecord {

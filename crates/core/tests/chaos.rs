@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use crowddb_core::{CrowdConfig, CrowdDB, QueryResult, RetryPolicy};
+use crowddb_core::{CrowdConfig, CrowdDB, CrowdSummary, Obs, QueryResult, RetryPolicy};
 use crowddb_platform::{Answer, FaultConfig, FaultyPlatform, MockPlatform, Platform, TaskKind};
 use crowddb_quality::VoteConfig;
 
@@ -319,6 +319,81 @@ fn duplicate_deliveries_do_not_double_vote() {
     assert!(r.complete, "warnings: {:?}", r.warnings);
     assert_eq!(r.rows.len(), 1, "only CrowdDB matches: {:?}", r.rows);
     assert!(r.crowd.duplicates_dropped >= 4, "summary: {:?}", r.crowd);
+}
+
+#[test]
+fn metrics_reconcile_exactly_with_summaries_and_fault_stats() {
+    // The registry counters are mirrored from the *same* wave accounting
+    // that `CrowdSummary::absorb_resilience` folds into each statement
+    // summary, and from the same increments that feed `FaultStats` — so
+    // at a hostile 30% fault rate they must reconcile exactly, per seed.
+    for seed in [1_u64, 2, 3] {
+        let obs = Obs::new();
+        let db = CrowdDB::with_obs(chaos_config(), obs.clone());
+        let mut p = FaultyPlatform::new(world_script(), FaultConfig::uniform(seed, 0.3))
+            .with_obs(obs.clone());
+        let results: Vec<QueryResult> = SUITE
+            .iter()
+            .map(|sql| db.execute(sql, &mut p).unwrap())
+            .collect();
+        let snap = db.metrics();
+
+        assert_eq!(
+            snap.counter("crowddb_statements_total"),
+            SUITE.len() as u64,
+            "seed {seed}"
+        );
+        let sum = |field: fn(&CrowdSummary) -> u64| -> u64 {
+            results.iter().map(|r| field(&r.crowd)).sum()
+        };
+        assert_eq!(
+            snap.counter("crowddb_statement_rounds_total"),
+            results.iter().map(|r| r.crowd.rounds as u64).sum::<u64>(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            snap.counter("crowddb_crowd_cents_spent_total"),
+            sum(|c| c.cents_spent),
+            "seed {seed}: cost accounting must match the summaries"
+        );
+        for (counter, field) in [
+            (
+                "crowddb_crowd_retries_total",
+                (|c| c.retries) as fn(&CrowdSummary) -> u64,
+            ),
+            ("crowddb_crowd_reposts_total", |c| c.reposts),
+            ("crowddb_crowd_duplicates_dropped_total", |c| {
+                c.duplicates_dropped
+            }),
+            ("crowddb_crowd_post_failures_total", |c| c.post_failures),
+            ("crowddb_crowd_extend_failures_total", |c| c.extend_failures),
+            ("crowddb_crowd_gave_up_total", |c| c.gave_up),
+        ] {
+            assert_eq!(snap.counter(counter), sum(field), "seed {seed}: {counter}");
+        }
+        assert_eq!(
+            snap.counter("crowddb_crowd_degraded_waves_total") > 0,
+            results.iter().any(|r| r.crowd.degraded),
+            "seed {seed}"
+        );
+
+        let inj = p.injected();
+        for (counter, value) in [
+            ("crowddb_faults_posts_failed_total", inj.posts_failed),
+            ("crowddb_faults_posts_partial_total", inj.posts_partial),
+            ("crowddb_faults_hits_orphaned_total", inj.hits_orphaned),
+            ("crowddb_faults_hits_lost_total", inj.hits_lost),
+            (
+                "crowddb_faults_duplicates_injected_total",
+                inj.duplicates_injected,
+            ),
+            ("crowddb_faults_answers_garbled_total", inj.answers_garbled),
+            ("crowddb_faults_extends_failed_total", inj.extends_failed),
+            ("crowddb_faults_latency_spikes_total", inj.latency_spikes),
+        ] {
+            assert_eq!(snap.counter(counter), value, "seed {seed}: {counter}");
+        }
+    }
 }
 
 #[test]

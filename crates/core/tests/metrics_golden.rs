@@ -1,0 +1,87 @@
+//! Golden-file snapshots of the observability layer: the full metrics
+//! registry (Prometheus text format) and the structured event log (JSON
+//! lines) after a fixed crowd workload.
+//!
+//! Everything here is deterministic by construction — the default
+//! [`Obs`] clock is a logical tick counter, wall-clock quantities are
+//! never flushed into the registry, and the scripted platform always
+//! answers the same — so the snapshots are compared byte-for-byte with
+//! no scrubbing. Run with `UPDATE_GOLDEN=1` to regenerate after an
+//! intentional change to the metric taxonomy or event encoding.
+
+use crowddb_core::{CrowdConfig, CrowdDB};
+use crowddb_platform::{Answer, MockPlatform, TaskKind};
+
+fn scripted() -> MockPlatform {
+    MockPlatform::unanimous(|task: &TaskKind| match task {
+        TaskKind::Probe { asked, .. } => Answer::Form(
+            asked
+                .iter()
+                .map(|(col, _)| (col.clone(), "a crowd-enabled database".to_string()))
+                .collect(),
+        ),
+        TaskKind::Equal { .. } => Answer::Yes,
+        _ => Answer::Blank,
+    })
+}
+
+fn config() -> CrowdConfig {
+    let mut c = CrowdConfig::fast_test();
+    // Low enough that the probe statement's crowd waits trip the slow
+    // log, exercising `crowddb_slow_statements_total`.
+    c.slow_statement_virtual_secs = Some(1.0);
+    c
+}
+
+/// The fixed workload both snapshots are taken after.
+fn run_workload() -> CrowdDB {
+    let db = CrowdDB::with_config(config());
+    let mut p = scripted();
+    for sql in [
+        "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)",
+        "INSERT INTO Talk (title) VALUES ('CrowdDB'), ('Qurk')",
+        "SELECT title, abstract FROM Talk ORDER BY title",
+        "SELECT title FROM Talk WHERE title ~= 'crowddb.'",
+    ] {
+        db.execute(sql, &mut p).expect(sql);
+    }
+    db
+}
+
+/// Compare against the checked-in snapshot; run with `UPDATE_GOLDEN=1`
+/// to rewrite the snapshots instead after an intentional format change.
+fn assert_golden(actual: &str, expected: &str, name: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{name}.txt"));
+        std::fs::write(path, actual).unwrap();
+        return;
+    }
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {name}; actual output:\n<<<\n{actual}>>>"
+    );
+}
+
+#[test]
+fn metrics_snapshot_is_byte_identical() {
+    let db = run_workload();
+    let actual = db.metrics().to_prometheus();
+    assert_golden(
+        &actual,
+        include_str!("golden/metrics_prometheus.txt"),
+        "metrics_prometheus",
+    );
+}
+
+#[test]
+fn event_log_is_byte_identical() {
+    let db = run_workload();
+    let actual = db.events_jsonl();
+    assert_golden(
+        &actual,
+        include_str!("golden/events_jsonl.txt"),
+        "events_jsonl",
+    );
+}

@@ -39,4 +39,4 @@ pub mod ops;
 pub use context::{CompareCaches, ExecCtx, NeedCounts, RunContext, RunStats};
 pub use executor::{execute, execute_physical, lower_plan, ExecResult};
 pub use need::TaskNeed;
-pub use ops::{render_analyzed, OpStatsNode, Operator};
+pub use ops::{flush_op_stats, render_analyzed, OpStatsNode, Operator};

@@ -35,6 +35,7 @@ mod values;
 use std::time::{Duration, Instant};
 
 use crowddb_common::{Result, Row};
+use crowddb_obs::MetricsRegistry;
 use crowddb_plan::PhysicalPlan;
 
 use crate::context::{ExecCtx, NeedCounts};
@@ -207,6 +208,47 @@ pub fn run_op(
     node.rows_out += rows.len() as u64;
     node.rounds += 1;
     Ok(rows)
+}
+
+/// Flush one round's per-operator stats tree into the metrics registry.
+///
+/// Per operator (by sanitized lowercase name): rows in/out counters and
+/// a rows-out histogram. Crowd needs, compare-cache hits and misses are
+/// self-attributed per node and summed into engine-wide counters. Wall
+/// time is deliberately *not* flushed — it is nondeterministic and would
+/// break golden metric snapshots.
+pub fn flush_op_stats(registry: &MetricsRegistry, stats: &OpStatsNode) {
+    let op = sanitize_metric_component(&stats.name);
+    registry.counter_add(&format!("crowddb_exec_rows_in_total_{op}"), stats.rows_in);
+    registry.counter_add(&format!("crowddb_exec_rows_out_total_{op}"), stats.rows_out);
+    registry.observe(
+        &format!("crowddb_exec_rows_out_{op}"),
+        stats.rows_out as f64,
+    );
+    let needs = stats.needs();
+    registry.counter_add("crowddb_exec_needs_probe_total", needs.probe);
+    registry.counter_add("crowddb_exec_needs_new_tuples_total", needs.new_tuples);
+    registry.counter_add("crowddb_exec_needs_equal_total", needs.equal);
+    registry.counter_add("crowddb_exec_needs_order_total", needs.order);
+    registry.counter_add("crowddb_exec_cache_hits_total", stats.cache_hits());
+    registry.counter_add("crowddb_exec_cache_misses_total", stats.cache_misses());
+    for child in &stats.children {
+        flush_op_stats(registry, child);
+    }
+}
+
+/// Lowercase `name` and replace anything outside `[a-z0-9]` with `_` so
+/// operator names slot into Prometheus-legal metric names.
+fn sanitize_metric_component(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 /// Render the physical plan with per-operator stats appended to each

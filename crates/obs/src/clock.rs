@@ -1,0 +1,85 @@
+//! Injectable clocks.
+//!
+//! Observability timestamps must never break the engine's determinism
+//! contract (byte-identical runs per seed), so the default clock is a
+//! [`TickClock`]: a monotone sequence number, not wall time. Production
+//! deployments that want real timestamps opt into [`WallClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Source of event timestamps, in microseconds.
+///
+/// The unit is nominal: a [`TickClock`] returns a logical sequence
+/// number (1, 2, 3, …) that merely *orders* events, which is all the
+/// test suite and golden files need.
+pub trait Clock: Send + Sync {
+    /// Current time in (nominal) microseconds.
+    fn now_micros(&self) -> u64;
+}
+
+/// Deterministic logical clock: each call returns the next integer,
+/// starting at 1. The default for [`crate::Obs`].
+#[derive(Debug, Default)]
+pub struct TickClock {
+    next: AtomicU64,
+}
+
+impl TickClock {
+    /// A tick clock whose first reading is `1`.
+    pub fn new() -> TickClock {
+        TickClock {
+            next: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clock for TickClock {
+    fn now_micros(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Clock that always returns the same instant. Useful when a test wants
+/// timestamps scrubbed entirely rather than sequenced.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedClock(pub u64);
+
+impl Clock for FixedClock {
+    fn now_micros(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Real wall-clock microseconds since the Unix epoch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_clock_is_a_sequence() {
+        let c = TickClock::new();
+        assert_eq!(c.now_micros(), 1);
+        assert_eq!(c.now_micros(), 2);
+        assert_eq!(c.now_micros(), 3);
+    }
+
+    #[test]
+    fn fixed_clock_is_constant() {
+        let c = FixedClock(42);
+        assert_eq!(c.now_micros(), 42);
+        assert_eq!(c.now_micros(), 42);
+    }
+}

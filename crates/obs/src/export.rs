@@ -1,0 +1,267 @@
+//! Exporters: Prometheus text exposition for the registry, JSON lines
+//! for the event log. Both are hand-rolled (no serde) and fully
+//! deterministic: metric order is name-sorted, float formatting is
+//! `Display`-stable, and JSON field order is fixed per event variant.
+
+use crate::event::{Event, EventRecord};
+use crate::registry::{MetricValue, MetricsSnapshot};
+
+/// Format a float the way both exporters want it: integral values print
+/// without a fractional part (`5` not `5.0`), everything else via
+/// `Display`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format:
+/// `# TYPE` headers, cumulative `_bucket{le=...}` histogram series, and
+/// name-sorted output.
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot.iter() {
+        match value {
+            MetricValue::Counter(c) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {c}\n"));
+            }
+            MetricValue::Gauge(g) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(*g)));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                    cumulative += count;
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        fmt_f64(*bound)
+                    ));
+                }
+                cumulative += h.counts.last().copied().unwrap_or(0);
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum)));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+enum Field<'a> {
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    Str(&'a str),
+}
+
+fn obj(ts: u64, name: &str, fields: &[(&str, Field<'_>)]) -> String {
+    let mut out = format!("{{\"ts\":{ts},\"event\":\"{name}\"");
+    for (key, value) in fields {
+        out.push_str(&format!(",\"{key}\":"));
+        match value {
+            Field::U64(v) => out.push_str(&v.to_string()),
+            Field::F64(v) => out.push_str(&fmt_f64(*v)),
+            Field::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Field::Str(v) => out.push_str(&format!("\"{}\"", json_escape(v))),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// One event record as a single-line JSON object.
+pub fn event_to_json(rec: &EventRecord) -> String {
+    let ts = rec.ts;
+    match &rec.event {
+        Event::StatementBegin { id, sql } => obj(
+            ts,
+            "statement_begin",
+            &[("id", Field::U64(*id)), ("sql", Field::Str(sql))],
+        ),
+        Event::StatementEnd {
+            id,
+            ok,
+            complete,
+            rounds,
+            tasks_posted,
+            answers,
+            cents,
+            virtual_secs,
+        } => obj(
+            ts,
+            "statement_end",
+            &[
+                ("id", Field::U64(*id)),
+                ("ok", Field::Bool(*ok)),
+                ("complete", Field::Bool(*complete)),
+                ("rounds", Field::U64(*rounds)),
+                ("tasks_posted", Field::U64(*tasks_posted)),
+                ("answers", Field::U64(*answers)),
+                ("cents", Field::U64(*cents)),
+                ("virtual_secs", Field::F64(*virtual_secs)),
+            ],
+        ),
+        Event::SlowStatement {
+            id,
+            virtual_secs,
+            threshold_secs,
+        } => obj(
+            ts,
+            "slow_statement",
+            &[
+                ("id", Field::U64(*id)),
+                ("virtual_secs", Field::F64(*virtual_secs)),
+                ("threshold_secs", Field::F64(*threshold_secs)),
+            ],
+        ),
+        Event::RoundBegin { round, needs } => obj(
+            ts,
+            "round_begin",
+            &[("round", Field::U64(*round)), ("needs", Field::U64(*needs))],
+        ),
+        Event::RoundEnd {
+            round,
+            posted,
+            answers,
+            retries,
+            reposts,
+            degraded,
+        } => obj(
+            ts,
+            "round_end",
+            &[
+                ("round", Field::U64(*round)),
+                ("posted", Field::U64(*posted)),
+                ("answers", Field::U64(*answers)),
+                ("retries", Field::U64(*retries)),
+                ("reposts", Field::U64(*reposts)),
+                ("degraded", Field::Bool(*degraded)),
+            ],
+        ),
+        Event::HitsPosted {
+            count,
+            reward_cents,
+        } => obj(
+            ts,
+            "hits_posted",
+            &[
+                ("count", Field::U64(*count)),
+                ("reward_cents", Field::U64(*reward_cents)),
+            ],
+        ),
+        Event::HitAnswered { duplicate } => obj(
+            ts,
+            "hit_answered",
+            &[("duplicate", Field::Bool(*duplicate))],
+        ),
+        Event::PostRetried { attempt } => {
+            obj(ts, "post_retried", &[("attempt", Field::U64(*attempt))])
+        }
+        Event::HitReposted { repost } => {
+            obj(ts, "hit_reposted", &[("repost", Field::U64(*repost))])
+        }
+        Event::HitExpired { reposts } => {
+            obj(ts, "hit_expired", &[("reposts", Field::U64(*reposts))])
+        }
+        Event::Degraded { abandoned } => {
+            obj(ts, "degraded", &[("abandoned", Field::U64(*abandoned))])
+        }
+        Event::VoteResolved {
+            kind,
+            decided,
+            votes,
+            total,
+        } => obj(
+            ts,
+            "vote_resolved",
+            &[
+                ("kind", Field::Str(kind)),
+                ("decided", Field::Bool(*decided)),
+                ("votes", Field::U64(*votes)),
+                ("total", Field::U64(*total)),
+            ],
+        ),
+        Event::WalAppend { kind, bytes } => obj(
+            ts,
+            "wal_append",
+            &[("kind", Field::Str(kind)), ("bytes", Field::U64(*bytes))],
+        ),
+        Event::WalFsync { micros } => obj(ts, "wal_fsync", &[("micros", Field::U64(*micros))]),
+        Event::WalCheckpoint { bytes, records } => obj(
+            ts,
+            "wal_checkpoint",
+            &[
+                ("bytes", Field::U64(*bytes)),
+                ("records", Field::U64(*records)),
+            ],
+        ),
+        Event::FaultInjected { kind } => obj(ts, "fault_injected", &[("kind", Field::Str(kind))]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn prometheus_renders_all_kinds() {
+        let r = MetricsRegistry::new();
+        r.counter_add("crowddb_a_total", 3);
+        r.gauge_set("crowddb_g", 2.5);
+        r.observe_with("crowddb_h", &[1.0, 10.0], 0.5);
+        r.observe_with("crowddb_h", &[1.0, 10.0], 100.0);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE crowddb_a_total counter\ncrowddb_a_total 3\n"));
+        assert!(text.contains("# TYPE crowddb_g gauge\ncrowddb_g 2.5\n"));
+        assert!(text.contains("crowddb_h_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("crowddb_h_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("crowddb_h_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("crowddb_h_sum 100.5\n"));
+        assert!(text.contains("crowddb_h_count 2\n"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let rec = EventRecord {
+            ts: 7,
+            event: Event::StatementBegin {
+                id: 1,
+                sql: "SELECT \"x\"\n\tFROM t\\u".to_string(),
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"ts\":7,\"event\":\"statement_begin\",\"id\":1,\
+             \"sql\":\"SELECT \\\"x\\\"\\n\\tFROM t\\\\u\"}"
+        );
+    }
+
+    #[test]
+    fn floats_format_stably() {
+        assert_eq!(fmt_f64(5.0), "5");
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(-3.0), "-3");
+        assert_eq!(fmt_f64(f64::INFINITY), "inf");
+    }
+}

@@ -28,8 +28,10 @@
 //!    virtual time before delivery.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use crowddb_common::{CrowdError, Result};
+use crowddb_obs::{Event, Obs};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -141,6 +143,7 @@ pub struct FaultyPlatform<P> {
     delayed: Vec<(f64, TaskResponse)>,
     consecutive_failures: u32,
     injected: FaultStats,
+    obs: Option<Arc<Obs>>,
 }
 
 impl<P: Platform> FaultyPlatform<P> {
@@ -156,6 +159,26 @@ impl<P: Platform> FaultyPlatform<P> {
             delayed: Vec::new(),
             consecutive_failures: 0,
             injected: FaultStats::default(),
+            obs: None,
+        }
+    }
+
+    /// Report injected faults into a shared observability handle: each
+    /// injection bumps `crowddb_faults_<kind>_total` (kind names match
+    /// the [`FaultStats`] field names exactly, so counters reconcile
+    /// with the struct) and emits a `fault_injected` event.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> FaultyPlatform<P> {
+        self.obs = Some(obs);
+        self
+    }
+
+    fn record_fault(&self, kind: &'static str, n: u64) {
+        if let Some(obs) = &self.obs {
+            obs.registry()
+                .counter_add(&format!("crowddb_faults_{kind}_total"), n);
+            for _ in 0..n {
+                obs.events().emit(Event::FaultInjected { kind });
+            }
         }
     }
 
@@ -197,6 +220,7 @@ impl<P: Platform> FaultyPlatform<P> {
             if self.roll(self.cfg.lose_hit_rate) {
                 self.lost.insert(id);
                 self.injected.hits_lost += 1;
+                self.record_fault("hits_lost", 1);
             }
         }
     }
@@ -228,6 +252,7 @@ impl<P: Platform> Platform for FaultyPlatform<P> {
         if self.outage_allowed() && self.roll(self.cfg.post_fail_rate) {
             self.consecutive_failures += 1;
             self.injected.posts_failed += 1;
+            self.record_fault("posts_failed", 1);
             return Err(CrowdError::Platform(
                 "injected fault: transient post outage".into(),
             ));
@@ -243,8 +268,10 @@ impl<P: Platform> Platform for FaultyPlatform<P> {
             let orphans = self.inner.post(tasks)?;
             self.maybe_lose(&orphans);
             self.injected.hits_orphaned += orphans.len() as u64;
+            self.record_fault("hits_orphaned", orphans.len() as u64);
             self.consecutive_failures += 1;
             self.injected.posts_partial += 1;
+            self.record_fault("posts_partial", 1);
             return Err(CrowdError::Platform(format!(
                 "injected fault: batch post failed after {cut} of {total} task(s)"
             )));
@@ -259,6 +286,7 @@ impl<P: Platform> Platform for FaultyPlatform<P> {
         if self.outage_allowed() && self.roll(self.cfg.extend_fail_rate) {
             self.consecutive_failures += 1;
             self.injected.extends_failed += 1;
+            self.record_fault("extends_failed", 1);
             return Err(CrowdError::Platform(format!(
                 "injected fault: extend failed for {hit}"
             )));
@@ -294,14 +322,17 @@ impl<P: Platform> Platform for FaultyPlatform<P> {
             if self.roll(self.cfg.garble_rate) {
                 resp.answer = self.garble(&resp.answer);
                 self.injected.answers_garbled += 1;
+                self.record_fault("answers_garbled", 1);
             }
             let duplicate = self.roll(self.cfg.duplicate_rate);
             if duplicate {
                 self.injected.duplicates_injected += 1;
+                self.record_fault("duplicates_injected", 1);
                 out.push(resp.clone());
             }
             if self.roll(self.cfg.latency_spike_rate) {
                 self.injected.latency_spikes += 1;
+                self.record_fault("latency_spikes", 1);
                 self.delayed.push((now + self.cfg.latency_spike_secs, resp));
             } else {
                 out.push(resp);

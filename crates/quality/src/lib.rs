@@ -16,13 +16,17 @@
 //! * [`rank`] — pairwise-comparison aggregation and rank-quality metrics
 //!   (Kendall tau) used by `CROWDORDER`;
 //! * [`agreement`] — inter-rater agreement statistics surfaced by the
-//!   Worker Relationship Manager.
+//!   Worker Relationship Manager;
+//! * [`metrics`] — votes-per-verdict counters and agreement histograms
+//!   recorded into the shared observability registry.
 
 pub mod agreement;
 pub mod entity;
+pub mod metrics;
 pub mod normalize;
 pub mod rank;
 pub mod vote;
 
+pub use metrics::record_vote_outcome;
 pub use normalize::Normalizer;
 pub use vote::{MajorityVote, VoteConfig, VoteOutcome};

@@ -1,0 +1,66 @@
+//! Quality-control observability: votes-per-verdict counters and
+//! agreement-score histograms, recorded into a
+//! [`MetricsRegistry`].
+
+use crowddb_obs::MetricsRegistry;
+
+use crate::vote::VoteOutcome;
+
+/// Agreement-score histogram buckets: fraction of ballots that voted
+/// for the winning answer, so meaningful values live in `(0.5, 1.0]`
+/// for decided votes.
+pub const AGREEMENT_BUCKETS: &[f64] = &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Record one *final* vote outcome.
+///
+/// Counters: `crowddb_votes_total` plus one of
+/// `crowddb_votes_{decided,pending,unresolved}_total`. Decided votes
+/// also observe their agreement score (`votes / total`) into the
+/// `crowddb_vote_agreement` histogram — the quality signal the paper's
+/// majority-vote quality control is built on.
+pub fn record_vote_outcome(registry: &MetricsRegistry, outcome: &VoteOutcome) {
+    registry.counter_inc("crowddb_votes_total");
+    match outcome {
+        VoteOutcome::Decided { votes, total, .. } => {
+            registry.counter_inc("crowddb_votes_decided_total");
+            if *total > 0 {
+                registry.observe_with(
+                    "crowddb_vote_agreement",
+                    AGREEMENT_BUCKETS,
+                    *votes as f64 / *total as f64,
+                );
+            }
+        }
+        VoteOutcome::Pending { .. } => registry.counter_inc("crowddb_votes_pending_total"),
+        VoteOutcome::Unresolved => registry.counter_inc("crowddb_votes_unresolved_total"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::Value;
+
+    #[test]
+    fn outcomes_are_counted_by_verdict() {
+        let r = MetricsRegistry::new();
+        record_vote_outcome(
+            &r,
+            &VoteOutcome::Decided {
+                value: Value::str("x"),
+                votes: 2,
+                total: 3,
+            },
+        );
+        record_vote_outcome(&r, &VoteOutcome::Pending { needed: 1 });
+        record_vote_outcome(&r, &VoteOutcome::Unresolved);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("crowddb_votes_total"), 3);
+        assert_eq!(snap.counter("crowddb_votes_decided_total"), 1);
+        assert_eq!(snap.counter("crowddb_votes_pending_total"), 1);
+        assert_eq!(snap.counter("crowddb_votes_unresolved_total"), 1);
+        let h = snap.histogram("crowddb_vote_agreement").unwrap();
+        assert_eq!(h.count, 1);
+        assert!((h.sum - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,232 @@
+//! Property tests for the quality-control primitives, driven by a small
+//! hand-rolled splitmix64 generator so they run with zero external
+//! dependencies and are reproducible by seed.
+//!
+//! Properties:
+//!
+//! * majority voting is **permutation-invariant**: the outcome does not
+//!   depend on the order ballots arrive in;
+//! * a decided vote never returns a value **outside the candidate set**;
+//! * normalization is **idempotent** for every normalizer preset;
+//! * Borda rank aggregation is **total** (a permutation of `0..n`);
+//! * pairwise majorities and Kendall tau are **antisymmetric**.
+
+use std::collections::HashMap;
+
+use crowddb_common::Value;
+use crowddb_quality::rank::{kendall_tau, PairwiseVotes};
+use crowddb_quality::{MajorityVote, Normalizer, VoteConfig, VoteOutcome};
+
+/// splitmix64 — tiny, seedable, and plenty random for test-case
+/// generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.below(i + 1));
+        }
+    }
+}
+
+/// A random ballot multiset over a small key alphabet. The stored value
+/// is derived from the key, mirroring how the normalizer feeds the vote
+/// (one canonical key → one stored value).
+fn random_ballots(rng: &mut Rng) -> Vec<(String, Value)> {
+    let n = 1 + rng.below(12);
+    (0..n)
+        .map(|_| {
+            let key = format!("key-{}", rng.below(5));
+            let stored = Value::str(key.to_uppercase());
+            (key, stored)
+        })
+        .collect()
+}
+
+fn random_vote_config(rng: &mut Rng) -> VoteConfig {
+    VoteConfig {
+        replication: 1 + rng.below(5),
+        max_escalations: rng.below(4),
+    }
+}
+
+fn tally(ballots: &[(String, Value)]) -> MajorityVote {
+    let mut vote = MajorityVote::new();
+    for (key, stored) in ballots {
+        vote.add(key.clone(), stored.clone());
+    }
+    vote
+}
+
+#[test]
+fn vote_outcome_is_permutation_invariant() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for _ in 0..300 {
+        let ballots = random_ballots(&mut rng);
+        let config = random_vote_config(&mut rng);
+        let baseline = tally(&ballots).outcome(&config);
+        let mut shuffled = ballots.clone();
+        rng.shuffle(&mut shuffled);
+        let outcome = tally(&shuffled).outcome(&config);
+        assert_eq!(
+            outcome, baseline,
+            "ballot order changed the outcome: {ballots:?} vs {shuffled:?}"
+        );
+    }
+}
+
+#[test]
+fn decided_vote_never_leaves_the_candidate_set() {
+    let mut rng = Rng::new(0xBEEF);
+    for _ in 0..300 {
+        let ballots = random_ballots(&mut rng);
+        let config = random_vote_config(&mut rng);
+        if let VoteOutcome::Decided {
+            value,
+            votes,
+            total,
+        } = tally(&ballots).outcome(&config)
+        {
+            assert!(
+                ballots.iter().any(|(_, stored)| *stored == value),
+                "winner {value:?} was never a ballot in {ballots:?}"
+            );
+            assert!(votes * 2 > total, "majority must be strict");
+            assert_eq!(total, ballots.len());
+        }
+    }
+}
+
+#[test]
+fn normalize_is_idempotent() {
+    let mut rng = Rng::new(0xDECADE);
+    let alphabet: Vec<char> = "aAbBzZ019 \t\n.,;:!?'\"()[]{}éÉßΣσ-_/#".chars().collect();
+    let normalizers = [
+        Normalizer::new(),
+        Normalizer::for_entities(),
+        Normalizer {
+            case_fold: false,
+            collapse_whitespace: true,
+            strip_punctuation: true,
+        },
+    ];
+    for _ in 0..300 {
+        let len = rng.below(24);
+        let raw: String = (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect();
+        for n in &normalizers {
+            let once = n.normalize(&raw);
+            let twice = n.normalize(&once);
+            assert_eq!(once, twice, "not idempotent on {raw:?}");
+        }
+    }
+}
+
+#[test]
+fn borda_ranking_is_a_total_order() {
+    let mut rng = Rng::new(0xFACADE);
+    for _ in 0..200 {
+        let n = 2 + rng.below(9);
+        let mut pv = PairwiseVotes::new();
+        for _ in 0..rng.below(40) {
+            let a = rng.below(n);
+            let b = rng.below(n);
+            if a != b {
+                pv.record(a, b);
+            }
+        }
+        let ranking = pv.borda_ranking(n);
+        assert_eq!(ranking.len(), n, "ranking must cover every item");
+        let mut sorted = ranking.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..n).collect::<Vec<_>>(),
+            "ranking must be a permutation of 0..{n}"
+        );
+    }
+}
+
+#[test]
+fn pairwise_majorities_are_antisymmetric() {
+    let mut rng = Rng::new(0xABBA);
+    for _ in 0..200 {
+        let n = 2 + rng.below(6);
+        let mut pv = PairwiseVotes::new();
+        let mut flipped = PairwiseVotes::new();
+        let mut counts: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+        for _ in 0..1 + rng.below(30) {
+            let a = rng.below(n);
+            let b = rng.below(n);
+            if a == b {
+                continue;
+            }
+            pv.record(a, b);
+            flipped.record(b, a);
+            let key = (a.min(b), a.max(b));
+            let e = counts.entry(key).or_insert((0, 0));
+            if a < b {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+        for (&(a, b), &(wa, wb)) in &counts {
+            // winner() is order-of-arguments symmetric...
+            assert_eq!(pv.winner(a, b), pv.winner(b, a));
+            if wa != wb {
+                // ...and a strict majority flips when every ballot flips.
+                let w = pv.winner(a, b).unwrap();
+                let w_flipped = flipped.winner(a, b).unwrap();
+                assert_ne!(w, w_flipped, "strict winner must flip: pair ({a},{b})");
+                assert_eq!(w, if wa > wb { a } else { b });
+            } else {
+                // Exact ties break to the smaller index either way.
+                assert_eq!(pv.winner(a, b), Some(a));
+                assert_eq!(flipped.winner(a, b), Some(a));
+            }
+        }
+    }
+}
+
+#[test]
+fn kendall_tau_is_antisymmetric_under_reversal() {
+    let mut rng = Rng::new(0x5EED);
+    for _ in 0..200 {
+        let n = 2 + rng.below(10);
+        let mut a: Vec<usize> = (0..n).collect();
+        let mut b: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut a);
+        rng.shuffle(&mut b);
+        let tau = kendall_tau(&a, &b);
+        assert!((-1.0..=1.0).contains(&tau), "tau out of range: {tau}");
+        assert!(
+            (kendall_tau(&a, &a) - 1.0).abs() < 1e-12,
+            "self-correlation must be 1"
+        );
+        // Reversing one ranking flips every pairwise order, so tau negates.
+        let reversed: Vec<usize> = b.iter().rev().copied().collect();
+        let tau_rev = kendall_tau(&a, &reversed);
+        assert!(
+            (tau + tau_rev).abs() < 1e-12,
+            "tau({a:?}, {b:?}) = {tau} but reversed gives {tau_rev}"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the log-record codec and the WAL's corruption
+//! detection, driven by a hand-rolled splitmix64 generator (zero
+//! external dependencies, reproducible by seed).
+//!
+//! * every generated [`LogRecord`] survives an encode→decode round trip;
+//! * **any** single-byte corruption of a framed record is rejected by
+//!   the WAL's CRC path: recovery either errors (header damage) or
+//!   stops strictly before the corrupted frame.
+
+use crowddb_common::{Row, TupleId, Value};
+use crowddb_storage::LogRecord;
+use crowddb_wal::testutil::TestDir;
+use crowddb_wal::{scan_frames, FsyncPolicy, Wal, WAL_MAGIC};
+
+/// splitmix64, same shape as the quality-crate property tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn string(&mut self) -> String {
+        let alphabet: Vec<char> = "abcXYZ019 ,'\"()\\\u{e9}\u{4e2d}\n\t\0".chars().collect();
+        let len = self.below(20);
+        (0..len)
+            .map(|_| alphabet[self.below(alphabet.len())])
+            .collect()
+    }
+
+    fn value(&mut self) -> Value {
+        match self.below(6) {
+            0 => Value::Null,
+            1 => Value::CNull,
+            2 => Value::Bool(self.next().is_multiple_of(2)),
+            3 => Value::Int(self.next() as i64),
+            4 => Value::Float((self.next() % 1_000_000) as f64 / 128.0 - 1000.0),
+            _ => Value::Str(self.string()),
+        }
+    }
+
+    fn record(&mut self) -> LogRecord {
+        match self.below(6) {
+            0 => LogRecord::Ddl { sql: self.string() },
+            1 => LogRecord::Dml { sql: self.string() },
+            2 => LogRecord::WriteBackValue {
+                table: self.string(),
+                tid: TupleId(self.next()),
+                col: self.below(32),
+                value: self.value(),
+            },
+            3 => LogRecord::WriteBackTuple {
+                table: self.string(),
+                row: Row::new((0..self.below(6)).map(|_| self.value()).collect()),
+            },
+            4 => LogRecord::PutEqual {
+                left: self.string(),
+                right: self.string(),
+                instruction: self.string(),
+                verdict: self.next().is_multiple_of(2),
+            },
+            _ => LogRecord::PutOrder {
+                left: self.string(),
+                right: self.string(),
+                instruction: self.string(),
+                left_preferred: self.next().is_multiple_of(2),
+            },
+        }
+    }
+}
+
+#[test]
+fn arbitrary_records_round_trip() {
+    let mut rng = Rng::new(0xC0DEC);
+    for i in 0..300 {
+        let rec = rng.record();
+        let encoded = rec.encode();
+        let decoded = LogRecord::decode(encoded).unwrap_or_else(|e| {
+            panic!("iteration {i}: {rec:?} failed to decode: {e}");
+        });
+        assert_eq!(decoded, rec, "iteration {i}");
+    }
+}
+
+#[test]
+fn any_single_byte_corruption_is_rejected() {
+    let dir = TestDir::new("proptest-corrupt");
+    let path = dir.path().join("wal.bin");
+    let mut rng = Rng::new(0xBADBEEF);
+    let records: Vec<LogRecord> = (0..4).map(|_| rng.record()).collect();
+    let mut frame_starts = Vec::new();
+    {
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        for rec in &records {
+            frame_starts.push(wal.len());
+            wal.append(rec).unwrap();
+        }
+    }
+    let image = std::fs::read(&path).unwrap();
+    assert!(frame_starts[0] == WAL_MAGIC.len() as u64);
+
+    // Index of the frame a byte offset falls in (header bytes → None).
+    let frame_of = |off: usize| -> Option<usize> {
+        frame_starts.iter().rposition(|&start| off as u64 >= start)
+    };
+
+    for pos in 0..image.len() {
+        let mut corrupt = image.clone();
+        corrupt[pos] ^= 0xFF;
+        match scan_frames(&corrupt) {
+            Err(_) => {
+                // Only header damage hard-errors; a single-byte flip in
+                // a frame can never keep its CRC valid, so frame damage
+                // always degrades to a shorter valid prefix instead.
+                assert!(
+                    pos < WAL_MAGIC.len(),
+                    "unexpected hard error for byte {pos}"
+                );
+            }
+            Ok((recovered, _)) => {
+                let frame = frame_of(pos).expect("header corruption must error");
+                assert!(
+                    recovered.len() <= frame,
+                    "byte {pos} in frame {frame} corrupted, yet {} record(s) recovered",
+                    recovered.len()
+                );
+                for (i, (lsn, rec)) in recovered.iter().enumerate() {
+                    assert_eq!(*lsn, (i + 1) as u64);
+                    assert_eq!(
+                        rec, &records[i],
+                        "surviving prefix must match the original records"
+                    );
+                }
+            }
+        }
+    }
+}

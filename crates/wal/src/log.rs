@@ -23,9 +23,12 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::Bytes;
 use crowddb_common::{CrowdError, Result};
+use crowddb_obs::{Event, Obs};
 use crowddb_storage::LogRecord;
 
 use crate::crc32::crc32;
@@ -73,6 +76,8 @@ pub struct Wal {
     len: u64,
     /// Appends since the last fsync (for [`FsyncPolicy::Batch`]).
     unsynced: u32,
+    /// Optional observability sink for append/fsync accounting.
+    obs: Option<Arc<Obs>>,
 }
 
 fn io_err(ctx: &str, e: std::io::Error) -> CrowdError {
@@ -110,6 +115,7 @@ impl Wal {
                 next_lsn: 1,
                 len: WAL_MAGIC.len() as u64,
                 unsynced: 0,
+                obs: None,
             };
             return Ok((wal, Vec::new()));
         }
@@ -137,8 +143,15 @@ impl Wal {
             next_lsn,
             len: valid_len as u64,
             unsynced: 0,
+            obs: None,
         };
         Ok((wal, records))
+    }
+
+    /// Report append counts/bytes and fsync latency into a shared
+    /// observability handle.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
     }
 
     /// Path this log lives at.
@@ -188,6 +201,15 @@ impl Wal {
             .map_err(|e| io_err("append", e))?;
         self.len += frame.len() as u64;
         self.next_lsn += 1;
+        if let Some(obs) = &self.obs {
+            obs.registry().counter_inc("crowddb_wal_appends_total");
+            obs.registry()
+                .counter_add("crowddb_wal_bytes_appended_total", frame.len() as u64);
+            obs.events().emit(Event::WalAppend {
+                kind: rec.kind(),
+                bytes: frame.len() as u64,
+            });
+        }
         match self.policy {
             FsyncPolicy::Always => self.sync()?,
             FsyncPolicy::Batch(n) => {
@@ -203,8 +225,16 @@ impl Wal {
 
     /// Force everything appended so far to stable storage.
     pub fn sync(&mut self) -> Result<()> {
+        let t0 = Instant::now();
         self.file.sync_data().map_err(|e| io_err("fsync", e))?;
         self.unsynced = 0;
+        if let Some(obs) = &self.obs {
+            let micros = t0.elapsed().as_micros() as u64;
+            obs.registry().counter_inc("crowddb_wal_fsyncs_total");
+            obs.registry()
+                .observe("crowddb_wal_fsync_micros", micros as f64);
+            obs.events().emit(Event::WalFsync { micros });
+        }
         Ok(())
     }
 

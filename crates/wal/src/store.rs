@@ -17,8 +17,10 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crowddb_common::{CrowdError, Result};
+use crowddb_obs::{Event, Obs};
 use crowddb_storage::LogRecord;
 
 use crate::log::{FsyncPolicy, Wal};
@@ -51,6 +53,7 @@ pub struct DurableStore {
     dir: PathBuf,
     wal: Wal,
     records_since_checkpoint: u64,
+    obs: Option<Arc<Obs>>,
 }
 
 impl DurableStore {
@@ -78,12 +81,20 @@ impl DurableStore {
             dir,
             wal,
             records_since_checkpoint: records.len() as u64,
+            obs: None,
         };
         let recovered = Recovered {
             snapshot: payload,
             records,
         };
         Ok((store, recovered))
+    }
+
+    /// Report durability activity (appends, fsyncs, checkpoints) into a
+    /// shared observability handle.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.wal.set_obs(obs.clone());
+        self.obs = Some(obs);
     }
 
     /// Directory this store lives in.
@@ -132,10 +143,20 @@ impl DurableStore {
     /// the snapshot already covers — so a crash anywhere in between
     /// leaves a recoverable store.
     pub fn checkpoint(&mut self, payload: &[u8]) -> Result<()> {
+        let records = self.records_since_checkpoint;
         self.wal.sync()?;
         snapshot::write(&self.snapshot_path(), self.wal.last_lsn(), payload)?;
         self.wal.reset()?;
         self.records_since_checkpoint = 0;
+        if let Some(obs) = &self.obs {
+            obs.registry().counter_inc("crowddb_wal_checkpoints_total");
+            obs.registry()
+                .observe("crowddb_wal_checkpoint_bytes", payload.len() as f64);
+            obs.events().emit(Event::WalCheckpoint {
+                bytes: payload.len() as u64,
+                records,
+            });
+        }
         Ok(())
     }
 }

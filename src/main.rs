@@ -11,7 +11,7 @@
 //!
 //! Meta commands: `\help`, `\tables`, `\schema <t>`, `\explain <sql>`,
 //! `\preview <sql>`, `\platform <amt|mobile> [seed]`, `\wrm`, `\stats`,
-//! `\quit`.
+//! `\metrics`, `\events [n]`, `\quit`.
 
 use std::io::{self, BufRead, Write};
 
@@ -44,6 +44,8 @@ fn print_help() {
          \\source <file>        run a ;-separated CrowdSQL script\n\
          \\wrm                  worker-community report\n\
          \\stats                platform counters\n\
+         \\metrics              engine metrics (Prometheus text format)\n\
+         \\events [n]           last n structured events as JSON lines (default 20)\n\
          \\quit                 exit\n\
          The simulated crowd answers with deterministic placeholder values\n\
          (PerfectModel); run the examples for realistic world models."
@@ -115,6 +117,25 @@ fn run_meta(db: &CrowdDB, platform: &mut Box<dyn Platform>, line: &str) -> bool 
                 println!("  {w}: {n} assignment(s)");
             }
         }),
+        "\\metrics" => {
+            let text = db.metrics().to_prometheus();
+            if text.is_empty() {
+                println!("(no metrics yet — run a statement first)");
+            } else {
+                print!("{text}");
+            }
+        }
+        "\\events" => {
+            let n = arg.parse().unwrap_or(20usize);
+            let records = db.obs().events().records();
+            if records.is_empty() {
+                println!("(no events yet — run a statement first)");
+            }
+            let skip = records.len().saturating_sub(n);
+            for rec in &records[skip..] {
+                println!("{}", rec.to_json());
+            }
+        }
         "\\stats" => {
             let s = platform.stats();
             println!(
