@@ -70,6 +70,43 @@ impl Default for RetryPolicy {
     }
 }
 
+/// How much intra-round parallelism the Task Manager uses and how waves
+/// are batched onto the platform.
+///
+/// The determinism contract is preserved for *every* value of
+/// `fulfill_workers`: the platform is driven by one coordinator in a
+/// fixed order, worker threads only run pure per-need computation
+/// (answer normalization, vote outcomes, settle planning), and their
+/// results are merged in need order — so serial and parallel runs
+/// produce byte-identical answers, metrics, and WAL contents (see
+/// DESIGN.md §10). `max_batch_size`, by contrast, changes *which*
+/// platform calls are made; runs are comparable only at equal values.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyPolicy {
+    /// Worker threads for the parallel phases of round fulfillment
+    /// (answer QC ingest, vote decisions, settle planning). `0` or `1`
+    /// runs fully serial.
+    pub fulfill_workers: usize,
+    /// Maximum task specs per platform `post()` call; same-template runs
+    /// are chunked to this size. `0` posts the whole wave as one batch
+    /// (the historical behavior).
+    pub max_batch_size: usize,
+    /// Minimum needs in a wave before a parallel phase actually spawns
+    /// threads; smaller waves run serial regardless of
+    /// `fulfill_workers` (thread spawn costs more than it saves).
+    pub parallel_threshold: usize,
+}
+
+impl Default for ConcurrencyPolicy {
+    fn default() -> Self {
+        ConcurrencyPolicy {
+            fulfill_workers: 1,
+            max_batch_size: 0,
+            parallel_threshold: 8,
+        }
+    }
+}
+
 /// Knobs controlling how CrowdDB engages the crowd.
 #[derive(Debug, Clone)]
 pub struct CrowdConfig {
@@ -111,6 +148,8 @@ pub struct CrowdConfig {
     /// [`CrowdDB::open`](crate::CrowdDB::open). Ignored by purely
     /// in-memory sessions.
     pub durability: DurabilityPolicy,
+    /// Parallel-fulfillment and batching knobs.
+    pub concurrency: ConcurrencyPolicy,
 }
 
 impl Default for CrowdConfig {
@@ -129,6 +168,7 @@ impl Default for CrowdConfig {
             slow_statement_virtual_secs: None,
             retry: RetryPolicy::default(),
             durability: DurabilityPolicy::default(),
+            concurrency: ConcurrencyPolicy::default(),
         }
     }
 }
@@ -151,6 +191,7 @@ impl CrowdConfig {
             slow_statement_virtual_secs: None,
             retry: RetryPolicy::default(),
             durability: DurabilityPolicy::default(),
+            concurrency: ConcurrencyPolicy::default(),
         }
     }
 }
@@ -173,6 +214,14 @@ mod tests {
     fn fast_test_single_vote() {
         let c = CrowdConfig::fast_test();
         assert_eq!(c.vote.replication, 1);
+    }
+
+    #[test]
+    fn concurrency_defaults_are_serial() {
+        let c = ConcurrencyPolicy::default();
+        assert_eq!(c.fulfill_workers, 1);
+        assert_eq!(c.max_batch_size, 0);
+        assert!(c.parallel_threshold >= 1);
     }
 
     #[test]

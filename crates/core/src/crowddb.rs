@@ -4,12 +4,12 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crowddb_common::{CrowdError, Result, Row};
 use crowddb_exec::{
     execute as execute_plan, execute_physical, flush_op_stats, lower_plan, render_analyzed,
-    CompareCaches, OpStatsNode,
+    CompareCaches, OpStatsNode, SharedCaches,
 };
 use crowddb_obs::{Event, MetricsSnapshot, Obs};
 use crowddb_plan::cardinality::{FnStats, StatsSource};
@@ -21,7 +21,7 @@ use crowddb_sql::{parse_statement, Statement};
 use crowddb_storage::{codec, Database, IndexKind, LogRecord};
 use crowddb_ui::manager::UiTemplateManager;
 use crowddb_ui::render_task;
-use crowddb_wal::{DurableStore, FsyncPolicy};
+use crowddb_wal::{DurableStore, FsyncPolicy, GroupCommitStore};
 
 use crate::config::CrowdConfig;
 use crate::result::{CrowdSummary, QueryResult};
@@ -49,7 +49,8 @@ use crate::taskman;
 /// ```
 pub struct CrowdDB {
     db: Database,
-    caches: Mutex<CompareCaches>,
+    /// Comparison-verdict caches, sharded for concurrent sessions.
+    caches: SharedCaches,
     templates: Mutex<UiTemplateManager>,
     wrm: Mutex<WorkerRelationshipManager>,
     /// Dedup keys of needs the crowd already failed to satisfy — never
@@ -57,14 +58,26 @@ pub struct CrowdDB {
     exhausted: Mutex<std::collections::HashSet<String>>,
     config: CrowdConfig,
     optimizer: OptimizerConfig,
-    /// Write-ahead log + snapshot store for sessions created with
-    /// [`CrowdDB::open`]. `None` for purely in-memory sessions.
+    /// Serializes checkpoints against non-idempotent mutation+log pairs.
     ///
-    /// Lock order: `caches` (then `wrm`, `templates`) may be held while
-    /// taking `durable`, never the reverse — [`CrowdDB::checkpoint`] is the
-    /// one place that nests the other way and is only safe because a
-    /// session executes statements from one thread at a time.
-    durable: Option<Mutex<DurableStore>>,
+    /// Crowd-round records (write-backs, cache verdicts) are idempotent
+    /// — replaying them over a snapshot that already contains their
+    /// effect is harmless — so the fulfillment path never takes this.
+    /// DDL and logical DML records are NOT idempotent: a snapshot landing
+    /// between such a mutation and its log record would make recovery
+    /// re-apply the record on top of state that already contains it.
+    /// Those paths hold the read side across mutation+append; a
+    /// checkpoint takes the write side.
+    ///
+    /// Lock hierarchy (DESIGN.md §10): `ckpt_latch` → `durable` → cache
+    /// shards; `wrm`/`templates` are leaf locks taken by at most one
+    /// fulfillment wave at a time and never held across `durable`.
+    ckpt_latch: RwLock<()>,
+    /// Write-ahead log + snapshot store for sessions created with
+    /// [`CrowdDB::open`], behind a group-commit wrapper so concurrent
+    /// sessions share one log and piggyback fsyncs. `None` for purely
+    /// in-memory sessions.
+    durable: Option<GroupCommitStore>,
     /// Shared observability handle: metrics registry + event log. Every
     /// layer below (taskman, exec flushes, WAL, fault injector when
     /// shared) reports into it; snapshots surface via
@@ -103,12 +116,13 @@ impl CrowdDB {
     pub fn with_obs(config: CrowdConfig, obs: Arc<Obs>) -> CrowdDB {
         CrowdDB {
             db: Database::new(),
-            caches: Mutex::new(CompareCaches::default()),
+            caches: SharedCaches::new(),
             templates: Mutex::new(UiTemplateManager::new()),
             wrm: Mutex::new(WorkerRelationshipManager::new()),
             exhausted: Mutex::new(std::collections::HashSet::new()),
             config,
             optimizer: OptimizerConfig::default(),
+            ckpt_latch: RwLock::new(()),
             durable: None,
             obs,
             next_statement_id: AtomicU64::new(0),
@@ -153,7 +167,7 @@ impl CrowdDB {
             }
         }
         store.set_obs(crowddb.obs.clone());
-        crowddb.durable = Some(Mutex::new(store));
+        crowddb.durable = Some(GroupCommitStore::new(store));
         Ok(crowddb)
     }
 
@@ -186,7 +200,7 @@ impl CrowdDB {
         match rec {
             LogRecord::Dml { sql } => {
                 let stmt = parse_statement(sql)?;
-                let caches = self.caches.lock().clone();
+                let caches = self.caches.snapshot();
                 match &stmt {
                     Statement::Insert(ins) => {
                         crowddb_exec::dml::execute_insert(&self.db, &caches, ins)?;
@@ -211,9 +225,7 @@ impl CrowdDB {
                 instruction,
                 verdict,
             } => {
-                self.caches
-                    .lock()
-                    .put_equal(left, right, instruction, *verdict);
+                self.caches.put_equal(left, right, instruction, *verdict);
                 Ok(())
             }
             LogRecord::PutOrder {
@@ -223,7 +235,6 @@ impl CrowdDB {
                 left_preferred,
             } => {
                 self.caches
-                    .lock()
                     .put_prefer(left, right, instruction, *left_preferred);
                 Ok(())
             }
@@ -239,7 +250,7 @@ impl CrowdDB {
     /// error here means "applied but possibly not durable".
     fn log_record(&self, rec: LogRecord) -> Result<()> {
         if let Some(store) = &self.durable {
-            store.lock().append(&rec)?;
+            store.append(&rec)?;
         }
         Ok(())
     }
@@ -250,12 +261,22 @@ impl CrowdDB {
         let Some(store) = &self.durable else {
             return Ok(());
         };
+        // Exclusive with every non-idempotent mutation+log pair (see the
+        // `ckpt_latch` field docs): a snapshot must not land between a
+        // DDL/DML mutation and its log record.
+        let _latch = self.ckpt_latch.write();
         // Hold the store lock across the state capture so no append can
-        // slip between the snapshot and the truncation (see the lock-order
-        // note on the `durable` field).
-        let mut store = store.lock();
-        let payload = self.snapshot();
-        store.checkpoint(&payload)
+        // slip between the snapshot and the truncation.
+        let covered = store.with_store(|s| {
+            let payload = self.snapshot();
+            s.checkpoint(&payload)?;
+            Ok::<u64, CrowdError>(s.last_lsn())
+        })?;
+        // A checkpoint fsyncs the log before snapshotting, so everything
+        // it covered is durable — later group commits for that prefix are
+        // free. LSNs are monotone across the truncation.
+        store.note_synced(covered);
+        Ok(())
     }
 
     /// Checkpoint if the log has grown past the configured threshold.
@@ -267,7 +288,7 @@ impl CrowdDB {
         let Some(store) = &self.durable else {
             return Ok(());
         };
-        if store.lock().records_since_checkpoint() < every {
+        if store.with_store(|s| s.records_since_checkpoint()) < every {
             return Ok(());
         }
         self.checkpoint()
@@ -285,7 +306,10 @@ impl CrowdDB {
         if self.config.durability.checkpoint_on_close {
             self.checkpoint()
         } else {
-            self.durable.as_ref().expect("checked above").lock().sync()
+            self.durable
+                .as_ref()
+                .expect("checked above")
+                .with_store(|s| s.sync())
         }
     }
 
@@ -310,10 +334,15 @@ impl CrowdDB {
         f(&mut self.templates.lock())
     }
 
-    /// Run `f` against the session comparison caches (tests seed verdicts
-    /// directly).
+    /// Run `f` against a merged copy of the session comparison caches and
+    /// write the result back (tests seed verdicts directly). Not atomic
+    /// with respect to concurrent statements — seed before going
+    /// multi-threaded.
     pub fn with_caches<R>(&self, f: impl FnOnce(&mut CompareCaches) -> R) -> R {
-        f(&mut self.caches.lock())
+        let mut merged = self.caches.snapshot();
+        let r = f(&mut merged);
+        self.caches.replace(merged);
+        r
     }
 
     /// Execute any CrowdSQL statement, engaging `platform` as needed.
@@ -430,7 +459,7 @@ impl CrowdDB {
             Statement::Select(_) => (|| {
                 // One local round; report pending work as warnings.
                 let (plan, mut warnings) = self.plan_select(&stmt, false)?;
-                let caches = self.caches.lock().clone();
+                let caches = self.caches.snapshot();
                 let physical = lower_plan(&self.db, &plan);
                 let (exec, op_stats) = execute_physical(&self.db, &caches, &physical)?;
                 flush_op_stats(self.obs.registry(), &op_stats);
@@ -541,7 +570,7 @@ impl CrowdDB {
         let mut rounds: Vec<String> = Vec::new();
         let mut complete = false;
         for round in 1..=self.config.max_rounds {
-            let caches_snapshot = self.caches.lock().clone();
+            let caches_snapshot = self.caches.snapshot();
             let (exec, round_stats) = execute_physical(&self.db, &caches_snapshot, &physical)?;
             flush_op_stats(self.obs.registry(), &round_stats);
             merged.merge(&round_stats);
@@ -624,7 +653,7 @@ impl CrowdDB {
             return Ok(None);
         };
         let (plan, _) = self.plan_select(&stmt, true)?;
-        let caches = self.caches.lock().clone();
+        let caches = self.caches.snapshot();
         let exec = execute_plan(&self.db, &caches, &plan)?;
         let templates = self.templates.lock();
         Ok(exec.needs.first().map(|need| {
@@ -662,6 +691,9 @@ impl CrowdDB {
                     return Ok(QueryResult::ddl());
                 }
                 self.templates.lock().register_schema(&schema);
+                // DDL records are not idempotent: the mutation and its log
+                // record must not straddle a checkpoint (see `ckpt_latch`).
+                let _latch = self.ckpt_latch.read();
                 self.db.create_table(schema)?;
                 self.log_record(LogRecord::Ddl {
                     sql: stmt.to_string(),
@@ -669,6 +701,7 @@ impl CrowdDB {
                 Ok(QueryResult::ddl())
             }
             Statement::CreateIndex(ci) => {
+                let _latch = self.ckpt_latch.read();
                 self.db.create_index(
                     &ci.name,
                     &ci.table,
@@ -682,6 +715,7 @@ impl CrowdDB {
                 Ok(QueryResult::ddl())
             }
             Statement::DropTable { name, if_exists } => {
+                let _latch = self.ckpt_latch.read();
                 self.db.drop_table(name, *if_exists)?;
                 self.templates.lock().drop_table(name);
                 self.log_record(LogRecord::Ddl {
@@ -690,7 +724,8 @@ impl CrowdDB {
                 Ok(QueryResult::ddl())
             }
             Statement::Insert(ins) => {
-                let caches = self.caches.lock().clone();
+                let caches = self.caches.snapshot();
+                let _latch = self.ckpt_latch.read();
                 let r = crowddb_exec::dml::execute_insert(&self.db, &caches, ins)?;
                 self.log_record(LogRecord::Dml {
                     sql: stmt.to_string(),
@@ -701,28 +736,18 @@ impl CrowdDB {
                     ..Default::default()
                 })
             }
-            Statement::Update(upd) => {
-                let r = self.run_dml(
-                    platform,
-                    |caches| crowddb_exec::dml::plan_update(&self.db, caches, upd),
-                    |caches| crowddb_exec::dml::execute_update(&self.db, caches, upd),
-                )?;
-                self.log_record(LogRecord::Dml {
-                    sql: stmt.to_string(),
-                })?;
-                Ok(r)
-            }
-            Statement::Delete(del) => {
-                let r = self.run_dml(
-                    platform,
-                    |caches| crowddb_exec::dml::plan_delete(&self.db, caches, del),
-                    |caches| crowddb_exec::dml::execute_delete(&self.db, caches, del),
-                )?;
-                self.log_record(LogRecord::Dml {
-                    sql: stmt.to_string(),
-                })?;
-                Ok(r)
-            }
+            Statement::Update(upd) => self.run_dml(
+                platform,
+                stmt.to_string(),
+                |caches| crowddb_exec::dml::plan_update(&self.db, caches, upd),
+                |caches| crowddb_exec::dml::execute_update(&self.db, caches, upd),
+            ),
+            Statement::Delete(del) => self.run_dml(
+                platform,
+                stmt.to_string(),
+                |caches| crowddb_exec::dml::plan_delete(&self.db, caches, del),
+                |caches| crowddb_exec::dml::execute_delete(&self.db, caches, del),
+            ),
             Statement::Select(_) => self.run_select(stmt, platform),
         }
     }
@@ -735,6 +760,7 @@ impl CrowdDB {
     fn run_dml(
         &self,
         platform: &mut dyn Platform,
+        sql: String,
         mut dry_run: impl FnMut(&CompareCaches) -> Result<crowddb_exec::dml::DmlResult>,
         apply: impl FnOnce(&CompareCaches) -> Result<crowddb_exec::dml::DmlResult>,
     ) -> Result<QueryResult> {
@@ -745,7 +771,7 @@ impl CrowdDB {
         let mut resolved = false;
         for _ in 0..self.config.max_rounds {
             summary.rounds += 1;
-            let caches_snapshot = self.caches.lock().clone();
+            let caches_snapshot = self.caches.snapshot();
             let r = dry_run(&caches_snapshot)?;
             let fresh = self.fresh_needs(r.needs);
             if fresh.is_empty() {
@@ -775,8 +801,15 @@ impl CrowdDB {
                 "round budget exhausted; DML applied with some crowd predicates undecided".into(),
             );
         }
-        let caches_snapshot = self.caches.lock().clone();
-        let r = apply(&caches_snapshot)?;
+        let r = {
+            // Logical DML records are not idempotent: the mutation and its
+            // log record must not straddle a checkpoint (see `ckpt_latch`).
+            let _latch = self.ckpt_latch.read();
+            let caches_snapshot = self.caches.snapshot();
+            let r = apply(&caches_snapshot)?;
+            self.log_record(LogRecord::Dml { sql })?;
+            r
+        };
         let end = platform.stats();
         summary.tasks_posted = end.hits_posted - start_stats.hits_posted;
         summary.answers_collected = end.assignments_completed - start_stats.assignments_completed;
@@ -801,7 +834,7 @@ impl CrowdDB {
         let mut complete = false;
         for _ in 0..self.config.max_rounds {
             summary.rounds += 1;
-            let caches_snapshot = self.caches.lock().clone();
+            let caches_snapshot = self.caches.snapshot();
             // Lowering is repeated per round on purpose: cardinality
             // estimates shift as crowd answers are written back.
             let physical = lower_plan(&self.db, &plan);
@@ -897,19 +930,20 @@ impl CrowdDB {
             round: round as u64,
             needs: needs.len() as u64,
         });
-        let mut caches = self.caches.lock();
-        let mut wrm = self.wrm.lock();
-        let templates = self.templates.lock();
-        let mut fulfill = taskman::fulfill_needs(
-            &self.db,
-            &mut caches,
-            &mut wrm,
-            &templates,
-            platform,
-            &self.config,
-            needs,
-            &self.obs,
-        )?;
+        let mut fulfill = {
+            let mut wrm = self.wrm.lock();
+            let templates = self.templates.lock();
+            taskman::fulfill_needs(
+                &self.db,
+                &self.caches,
+                &mut wrm,
+                &templates,
+                platform,
+                &self.config,
+                needs,
+                &self.obs,
+            )?
+        };
         warnings.append(&mut fulfill.warnings);
         // Mirror the wave's accounting into the registry — these are the
         // *same* fields `CrowdSummary::absorb_resilience` folds into the
@@ -949,8 +983,11 @@ impl CrowdDB {
         // ends: a crash from here on loses at most in-flight work, never
         // a paid answer. The sync is unconditional for Always/Batch
         // policies; `Never` opts out of round-boundary durability too.
+        // Round records are idempotent (write-backs and cache verdicts
+        // replay harmlessly over a covering snapshot), so no `ckpt_latch`
+        // is needed here; the sync goes through group commit so concurrent
+        // sessions finishing rounds together share one fsync.
         if let Some(store) = &self.durable {
-            let mut store = store.lock();
             for rec in fulfill.log.drain(..) {
                 store.append(&rec)?;
             }
@@ -984,10 +1021,7 @@ impl CrowdDB {
     /// recovery relies on this to verify replayed state.
     pub fn snapshot(&self) -> Vec<u8> {
         let storage = self.db.snapshot();
-        let caches_bytes = {
-            let caches = self.caches.lock();
-            encode_caches(&caches)
-        };
+        let caches_bytes = encode_caches(&self.caches.snapshot());
         let mut out = Vec::with_capacity(16 + storage.len() + caches_bytes.len());
         out.extend_from_slice(&(storage.len() as u64).to_le_bytes());
         out.extend_from_slice(&storage);
@@ -1023,12 +1057,13 @@ impl CrowdDB {
         }
         Ok(CrowdDB {
             db,
-            caches: Mutex::new(caches),
+            caches: SharedCaches::from_caches(caches),
             templates: Mutex::new(templates),
             wrm: Mutex::new(WorkerRelationshipManager::new()),
             exhausted: Mutex::new(std::collections::HashSet::new()),
             config,
             optimizer: OptimizerConfig::default(),
+            ckpt_latch: RwLock::new(()),
             durable: None,
             obs: Obs::new(),
             next_statement_id: AtomicU64::new(0),
@@ -1082,6 +1117,13 @@ impl CrowdDB {
         FnStats(move |table: &str| self.db.stats(table).ok().map(|s| s.live_rows as u64))
     }
 }
+
+// Compile-time guarantee that sessions can be shared across threads:
+// `Arc<CrowdDB>` is the multi-session deployment shape (DESIGN.md §10).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CrowdDB>();
+};
 
 fn output_columns(plan: &LogicalPlan) -> Vec<String> {
     plan.schema().columns.into_iter().map(|c| c.name).collect()

@@ -27,10 +27,11 @@
 
 pub mod config;
 pub mod crowddb;
+pub mod par;
 pub mod result;
 pub mod taskman;
 
-pub use config::{CrowdConfig, DurabilityPolicy, RetryPolicy};
+pub use config::{ConcurrencyPolicy, CrowdConfig, DurabilityPolicy, RetryPolicy};
 pub use crowddb::CrowdDB;
 pub use crowddb_obs::{Event, EventRecord, MetricsSnapshot, Obs};
 pub use crowddb_wal::FsyncPolicy;

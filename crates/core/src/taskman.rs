@@ -6,7 +6,7 @@
 use std::collections::{HashMap, HashSet};
 
 use crowddb_common::{Result, Row, TableSchema, Value};
-use crowddb_exec::{CompareCaches, TaskNeed};
+use crowddb_exec::{SharedCaches, TaskNeed};
 use crowddb_obs::{Event, Obs};
 use crowddb_platform::{Answer, HitId, Platform, TaskKind, TaskSpec, WorkerRelationshipManager};
 use crowddb_quality::{record_vote_outcome, MajorityVote, Normalizer, VoteOutcome};
@@ -15,6 +15,7 @@ use crowddb_ui::manager::UiTemplateManager;
 use crowddb_ui::template::TemplateKind;
 
 use crate::config::CrowdConfig;
+use crate::par::par_map_mut;
 
 /// Accounting for one fulfillment pass.
 #[derive(Debug, Clone, Default)]
@@ -319,6 +320,47 @@ struct NeedTracker {
     /// No further posting/extension decisions for this need; its final
     /// outcome is settled from whatever votes exist.
     resolved: bool,
+    /// Answers staged by the (serial) collector this pump step, waiting
+    /// for the parallel QC ingest: `(worker_votes slot, answer)`.
+    pending: Vec<(usize, Answer)>,
+}
+
+/// Template-group key for a need, mirroring [`TaskKind::group_key`]:
+/// needs sharing a key render with the same UI template and may share a
+/// posting batch.
+fn need_group_key(need: &TaskNeed) -> String {
+    match need {
+        TaskNeed::ProbeValues { table, columns, .. } => {
+            let cols: Vec<&str> = columns.iter().map(|(_, n, _)| n.as_str()).collect();
+            format!("probe:{table}:{}", cols.join(","))
+        }
+        TaskNeed::NewTuples { table, .. } => format!("new:{table}"),
+        TaskNeed::Equal { instruction, .. } => format!("equal:{instruction}"),
+        TaskNeed::Order { instruction, .. } => format!("order:{instruction}"),
+    }
+}
+
+/// Contiguous posting batches. `max_batch_size == 0` posts the whole
+/// wave as one platform batch (HIT groups then form server-side — the
+/// historical behavior); otherwise runs of same-template needs are
+/// chunked so each `post()` carries at most `max_batch_size` specs and
+/// a rejected batch abandons only its own needs.
+fn batch_ranges(needs: &[TaskNeed], max_batch_size: usize) -> Vec<std::ops::Range<usize>> {
+    if max_batch_size == 0 || needs.is_empty() {
+        return std::iter::once(0..needs.len()).collect();
+    }
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=needs.len() {
+        let split = i == needs.len()
+            || i - start >= max_batch_size
+            || need_group_key(&needs[i]) != need_group_key(&needs[start]);
+        if split {
+            ranges.push(start..i);
+            start = i;
+        }
+    }
+    ranges
 }
 
 fn initial_state(need: &TaskNeed) -> HitState {
@@ -385,7 +427,7 @@ fn initial_state(need: &TaskNeed) -> HitState {
 #[allow(clippy::too_many_arguments)]
 pub fn fulfill_needs(
     db: &Database,
-    caches: &mut CompareCaches,
+    caches: &SharedCaches,
     wrm: &mut WorkerRelationshipManager,
     templates: &UiTemplateManager,
     platform: &mut dyn Platform,
@@ -402,23 +444,42 @@ pub fn fulfill_needs(
     let mut breaker = Breaker::new(policy.breaker_threshold);
     let mut elapsed = 0.0_f64;
 
-    // Post everything in one batch (HIT groups form on the platform).
-    let posted = post_with_retry(
-        platform,
-        &mut || {
-            needs
-                .iter()
-                .map(|n| need_to_spec(n, config, templates))
-                .collect()
-        },
-        policy,
-        &mut breaker,
-        &mut summary,
-        &mut elapsed,
-        obs,
-    );
-    let Some(hit_ids) = posted else {
-        // The platform never accepted the batch. Abandon every need —
+    // Post the wave: one batch by default, or same-template chunks of at
+    // most `max_batch_size` specs (HIT groups form on the platform).
+    let ranges = batch_ranges(needs, config.concurrency.max_batch_size);
+    let mut posted: Vec<Option<HitId>> = vec![None; needs.len()];
+    let mut rejected: Vec<std::ops::Range<usize>> = Vec::new();
+    for range in &ranges {
+        let chunk = &needs[range.clone()];
+        let ids = post_with_retry(
+            platform,
+            &mut || {
+                chunk
+                    .iter()
+                    .map(|n| need_to_spec(n, config, templates))
+                    .collect()
+            },
+            policy,
+            &mut breaker,
+            &mut summary,
+            &mut elapsed,
+            obs,
+        );
+        match ids {
+            // A platform may accept fewer HITs than specs (partial
+            // batch); the unposted tail goes untracked and the next
+            // round re-requests it, exactly as before batching.
+            Some(ids) => {
+                for (off, id) in ids.into_iter().enumerate().take(range.len()) {
+                    posted[range.start + off] = Some(id);
+                }
+            }
+            None => rejected.push(range.clone()),
+        }
+    }
+
+    if posted.iter().all(|p| p.is_none()) {
+        // The platform never accepted any batch. Abandon every need —
         // gracefully, not with an error — so the statement still returns
         // a (partial) result.
         summary.gave_up += needs.len() as u64;
@@ -445,32 +506,55 @@ pub fn fulfill_needs(
         }
         summary.note_absorbed_faults();
         return Ok(summary);
-    };
+    }
+    if !rejected.is_empty() {
+        // Batching regime only: some chunks were rejected while others
+        // posted. Abandon just the rejected needs.
+        let abandoned: usize = rejected.iter().map(std::ops::Range::len).sum();
+        summary.gave_up += abandoned as u64;
+        for range in &rejected {
+            for need in &needs[range.clone()] {
+                summary.exhausted.push(need.dedup_key());
+            }
+        }
+        summary.warnings.push(format!(
+            "{abandoned} crowd task(s) abandoned: the platform rejected their batch"
+        ));
+    }
 
-    let mut trackers: Vec<NeedTracker> = needs
-        .iter()
-        .zip(hit_ids.iter())
-        .map(|(need, hit)| NeedTracker {
-            state: initial_state(need),
+    let mut trackers: Vec<NeedTracker> = Vec::new();
+    // Tracker index → index into `needs` (they differ once a batch is
+    // rejected or short).
+    let mut tracker_need: Vec<usize> = Vec::new();
+    let mut hit_to_tracker: HashMap<HitId, usize> = HashMap::new();
+    for (need_idx, hit) in posted.iter().enumerate() {
+        let Some(hit) = hit else { continue };
+        hit_to_tracker.insert(*hit, trackers.len());
+        tracker_need.push(need_idx);
+        trackers.push(NeedTracker {
+            state: initial_state(&needs[need_idx]),
             hit: *hit,
             deadline: elapsed + policy.hit_deadline_secs,
             reposts: 0,
             resolved: false,
-        })
-        .collect();
-    let mut hit_to_need: HashMap<HitId, usize> =
-        hit_ids.iter().enumerate().map(|(i, h)| (*h, i)).collect();
+            pending: Vec::new(),
+        });
+    }
     // AMT one-assignment rule: each (worker, HIT) pair may vote once.
     let mut seen: HashSet<(crowddb_platform::WorkerId, HitId)> = HashSet::new();
     // Remember (worker, hit, voted key) pairs to score agreement later.
     let mut worker_votes: Vec<(crowddb_platform::WorkerId, HitId, Option<String>)> = Vec::new();
+    let workers = config.concurrency.fulfill_workers.max(1);
+    let threshold = config.concurrency.parallel_threshold;
 
     while trackers.iter().any(|t| !t.resolved) && elapsed < config.round_budget_secs {
         platform.advance(config.pump_step_secs);
         elapsed += config.pump_step_secs;
+        // Stage arrivals serially: dedup, ban checks, and events depend
+        // on arrival order and global state.
         for resp in platform.collect() {
             summary.answers_collected += 1;
-            let Some(&idx) = hit_to_need.get(&resp.hit) else {
+            let Some(&ti) = hit_to_tracker.get(&resp.hit) else {
                 // Unknown HIT (e.g. orphaned by a partial batch failure).
                 obs.events().emit(Event::HitAnswered { duplicate: false });
                 continue;
@@ -481,54 +565,85 @@ pub fn fulfill_needs(
                 continue;
             }
             obs.events().emit(Event::HitAnswered { duplicate: false });
-            if wrm.is_banned(resp.worker) {
-                worker_votes.push((resp.worker, resp.hit, None));
-                continue;
+            worker_votes.push((resp.worker, resp.hit, None));
+            if !wrm.is_banned(resp.worker) {
+                trackers[ti]
+                    .pending
+                    .push((worker_votes.len() - 1, resp.answer));
             }
-            let voted_key = ingest_answer(&mut trackers[idx].state, &resp.answer, &normalizer);
-            worker_votes.push((resp.worker, resp.hit, voted_key));
         }
 
-        // Decide completed HITs; repost abandoned ones.
-        for idx in 0..trackers.len() {
+        // QC ingest — normalization and vote tallies, the CPU-heavy pure
+        // part — runs on the worker pool. Trackers are disjoint, so any
+        // schedule computes the same votes; patching the voted keys back
+        // by staged slot keeps `worker_votes` byte-identical to the
+        // serial path.
+        let voted = par_map_mut(&mut trackers, workers, threshold, |_, t| {
+            let pending = std::mem::take(&mut t.pending);
+            pending
+                .into_iter()
+                .map(|(slot, answer)| (slot, ingest_answer(&mut t.state, &answer, &normalizer)))
+                .collect::<Vec<_>>()
+        });
+        for (slot, key) in voted.into_iter().flatten() {
+            worker_votes[slot].2 = key;
+        }
+
+        // Decide completed HITs; repost abandoned ones. Completion and
+        // the clock are snapshotted up front: backoff waits incurred by
+        // a mid-sweep repost must not advance the deadline arithmetic of
+        // trackers later in iteration order — deadline and budget
+        // exhaustion are order-independent by construction.
+        let sweep_elapsed = elapsed;
+        let complete_now: Vec<bool> = trackers
+            .iter()
+            .map(|t| !t.resolved && platform.is_complete(t.hit))
+            .collect();
+        let decisions: Vec<Option<Decision>> = {
+            let complete_now = &complete_now;
+            par_map_mut(&mut trackers, workers, threshold, |i, t| {
+                complete_now[i].then(|| hit_decision(&t.state, config))
+            })
+        };
+        for ti in 0..trackers.len() {
             if breaker.tripped {
                 break;
             }
-            if trackers[idx].resolved {
+            if trackers[ti].resolved {
                 continue;
             }
-            let hit = trackers[idx].hit;
-            if platform.is_complete(hit) {
-                match hit_decision(&trackers[idx].state, config) {
-                    Decision::Decided => trackers[idx].resolved = true,
-                    Decision::Extend(n) => match platform.extend(hit, n) {
+            let hit = trackers[ti].hit;
+            if complete_now[ti] {
+                match decisions[ti].as_ref().expect("decision for complete HIT") {
+                    Decision::Decided => trackers[ti].resolved = true,
+                    Decision::Extend(n) => match platform.extend(hit, *n) {
                         Ok(()) => {
                             breaker.succeeded();
-                            note_escalations(&mut trackers[idx].state);
-                            trackers[idx].deadline = elapsed + policy.hit_deadline_secs;
+                            note_escalations(&mut trackers[ti].state);
+                            trackers[ti].deadline = sweep_elapsed + policy.hit_deadline_secs;
                         }
                         Err(_) => {
                             // Escalation unavailable: settle for whatever
                             // plurality the collected votes give.
                             summary.extend_failures += 1;
                             breaker.failed();
-                            trackers[idx].resolved = true;
+                            trackers[ti].resolved = true;
                         }
                     },
-                    Decision::GiveUp => trackers[idx].resolved = true,
+                    Decision::GiveUp => trackers[ti].resolved = true,
                 }
-            } else if elapsed >= trackers[idx].deadline {
+            } else if sweep_elapsed >= trackers[ti].deadline {
                 // The HIT sat incomplete past its deadline (lost or
                 // ignored by workers): repost it, a bounded number of
                 // times.
-                if trackers[idx].reposts >= policy.max_reposts {
+                if trackers[ti].reposts >= policy.max_reposts {
                     obs.events().emit(Event::HitExpired {
-                        reposts: u64::from(trackers[idx].reposts),
+                        reposts: u64::from(trackers[ti].reposts),
                     });
-                    trackers[idx].resolved = true;
+                    trackers[ti].resolved = true;
                     continue;
                 }
-                let need = &needs[idx];
+                let need = &needs[tracker_need[ti]];
                 let reposted = post_with_retry(
                     platform,
                     &mut || vec![need_to_spec(need, config, templates)],
@@ -541,17 +656,17 @@ pub fn fulfill_needs(
                 match reposted.as_deref() {
                     Some([new_hit, ..]) => {
                         summary.reposts += 1;
-                        trackers[idx].reposts += 1;
+                        trackers[ti].reposts += 1;
                         obs.events().emit(Event::HitReposted {
-                            repost: u64::from(trackers[idx].reposts),
+                            repost: u64::from(trackers[ti].reposts),
                         });
-                        trackers[idx].hit = *new_hit;
-                        trackers[idx].deadline = elapsed + policy.hit_deadline_secs;
+                        trackers[ti].hit = *new_hit;
+                        trackers[ti].deadline = sweep_elapsed + policy.hit_deadline_secs;
                         // Keep the stale HIT mapped: straggler answers to
                         // it still feed the same vote.
-                        hit_to_need.insert(*new_hit, idx);
+                        hit_to_tracker.insert(*new_hit, ti);
                     }
-                    _ => trackers[idx].resolved = true,
+                    _ => trackers[ti].resolved = true,
                 }
             }
         }
@@ -576,7 +691,7 @@ pub fn fulfill_needs(
             ));
             for i in abandoned {
                 trackers[i].resolved = true;
-                summary.exhausted.push(needs[i].dedup_key());
+                summary.exhausted.push(needs[tracker_need[i]].dedup_key());
             }
             break;
         }
@@ -588,30 +703,37 @@ pub fn fulfill_needs(
         ));
     }
 
-    // Ingest decided answers and score workers. Iterating trackers in
-    // need order keeps write-backs and warnings deterministic.
+    // Settle: compute each need's final outcome from its votes — pure
+    // per-need work, on the worker pool — then apply the effects
+    // (write-backs, cache puts, log records, events, warnings) serially
+    // in need order. The merge order IS the determinism argument: the
+    // applied effect sequence is identical for any worker count.
+    let plans = par_map_mut(&mut trackers, workers, threshold, |_, t| {
+        settle_plan(&t.state, config, &normalizer, db)
+    });
     let mut winning_key: HashMap<usize, Vec<String>> = HashMap::new();
-    for (idx, tracker) in trackers.iter().enumerate() {
-        let need = &needs[idx];
-        match &tracker.state {
-            HitState::Probe {
-                table,
-                tid,
-                columns,
-                votes,
-            } => {
+    for (ti, plan) in plans.into_iter().enumerate() {
+        let need = &needs[tracker_need[ti]];
+        match plan? {
+            SettlePlan::Probe { table, tid, cols } => {
                 let mut winners = Vec::new();
                 let mut fell_back = false;
-                for ((col, name, _ty), vote) in columns.iter().zip(votes.iter()) {
-                    let outcome = vote.outcome(&config.vote);
-                    record_vote(obs, "probe", vote, &outcome);
+                for plan in cols {
+                    let ProbeColPlan {
+                        col,
+                        name,
+                        outcome,
+                        leader,
+                        total,
+                    } = plan;
+                    record_vote(obs, "probe", total, &outcome);
                     match outcome {
                         VoteOutcome::Decided { value, .. } => {
-                            db.write_back_value(table, *tid, *col, value.clone())?;
+                            db.write_back_value(&table, tid, col, value.clone())?;
                             summary.log.push(LogRecord::WriteBackValue {
                                 table: table.clone(),
-                                tid: *tid,
-                                col: *col,
+                                tid,
+                                col,
                                 value: value.clone(),
                             });
                             winners.push(normalizer.normalize(&value.to_string()));
@@ -620,12 +742,12 @@ pub fn fulfill_needs(
                             // Accept the leader if any votes exist,
                             // otherwise give up on this value.
                             fell_back = true;
-                            if let Some((value, _)) = vote.leader() {
-                                db.write_back_value(table, *tid, *col, value.clone())?;
+                            if let Some(value) = leader {
+                                db.write_back_value(&table, tid, col, value.clone())?;
                                 summary.log.push(LogRecord::WriteBackValue {
                                     table: table.clone(),
-                                    tid: *tid,
-                                    col: *col,
+                                    tid,
+                                    col,
                                     value: value.clone(),
                                 });
                                 winners.push(normalizer.normalize(&value.to_string()));
@@ -645,35 +767,23 @@ pub fn fulfill_needs(
                 if fell_back {
                     summary.gave_up += 1;
                 }
-                winning_key.insert(idx, winners);
+                winning_key.insert(ti, winners);
             }
-            HitState::NewTuples {
-                table,
-                preset,
-                want,
-                collected,
-                ..
-            } => {
-                let schema = db.schema(table)?;
+            SettlePlan::NewTuples { table, want, rows } => {
                 let mut inserted = 0u64;
-                for fields in collected {
-                    if inserted >= *want {
+                for row in rows {
+                    if inserted >= want {
                         break;
                     }
-                    match build_tuple(&schema, preset, fields, &normalizer) {
-                        Some(row) => {
-                            if db.write_back_tuple(table, row.clone())?.is_some() {
-                                summary.log.push(LogRecord::WriteBackTuple {
-                                    table: table.clone(),
-                                    row,
-                                });
-                                inserted += 1;
-                            }
-                        }
-                        None => continue,
+                    if db.write_back_tuple(&table, row.clone())?.is_some() {
+                        summary.log.push(LogRecord::WriteBackTuple {
+                            table: table.clone(),
+                            row,
+                        });
+                        inserted += 1;
                     }
                 }
-                if inserted < *want {
+                if inserted < want {
                     // The open world ran dry: remember so the next round
                     // does not re-request the same work forever.
                     summary.gave_up += 1;
@@ -690,41 +800,45 @@ pub fn fulfill_needs(
                     }
                 }
             }
-            HitState::Equal {
+            SettlePlan::Equal {
                 left,
                 right,
                 instruction,
-                vote,
+                outcome,
+                leader,
+                total,
             } => {
-                let outcome = vote.outcome(&config.vote);
-                record_vote(obs, "equal", vote, &outcome);
+                record_vote(obs, "equal", total, &outcome);
                 match outcome {
                     VoteOutcome::Decided { value, .. } => {
                         let verdict = value.as_bool().unwrap_or(false);
-                        caches.put_equal(left, right, instruction, verdict);
+                        caches.put_equal(&left, &right, &instruction, verdict);
                         summary
                             .log
-                            .push(put_equal_record(left, right, instruction, verdict));
-                        winning_key.insert(idx, vec![if verdict { "yes" } else { "no" }.into()]);
+                            .push(put_equal_record(&left, &right, &instruction, verdict));
+                        winning_key.insert(ti, vec![if verdict { "yes" } else { "no" }.into()]);
                     }
                     _ => {
                         summary.gave_up += 1;
-                        if let Some((value, _)) = vote.leader() {
+                        if let Some(value) = leader {
                             let verdict = value.as_bool().unwrap_or(false);
-                            caches.put_equal(left, right, instruction, verdict);
-                            summary
-                                .log
-                                .push(put_equal_record(left, right, instruction, verdict));
+                            caches.put_equal(&left, &right, &instruction, verdict);
+                            summary.log.push(put_equal_record(
+                                &left,
+                                &right,
+                                &instruction,
+                                verdict,
+                            ));
                             summary.warnings.push(format!(
                                 "accepted plurality verdict for CROWDEQUAL('{left}', '{right}')"
                             ));
                         } else {
                             // No answers at all: default to not-equal so the
                             // query converges (and note it).
-                            caches.put_equal(left, right, instruction, false);
+                            caches.put_equal(&left, &right, &instruction, false);
                             summary
                                 .log
-                                .push(put_equal_record(left, right, instruction, false));
+                                .push(put_equal_record(&left, &right, &instruction, false));
                             summary.exhausted.push(need.dedup_key());
                             summary.warnings.push(format!(
                                 "no verdicts for CROWDEQUAL('{left}', '{right}'); assumed FALSE"
@@ -733,38 +847,38 @@ pub fn fulfill_needs(
                     }
                 }
             }
-            HitState::Order {
+            SettlePlan::Order {
                 left,
                 right,
                 instruction,
-                vote,
+                outcome,
+                leader,
+                total,
             } => {
-                let outcome = vote.outcome(&config.vote);
-                record_vote(obs, "order", vote, &outcome);
+                record_vote(obs, "order", total, &outcome);
                 match outcome {
                     VoteOutcome::Decided { value, .. } => {
                         let left_preferred = value.as_bool().unwrap_or(true);
-                        caches.put_prefer(left, right, instruction, left_preferred);
+                        caches.put_prefer(&left, &right, &instruction, left_preferred);
                         summary.log.push(put_order_record(
-                            left,
-                            right,
-                            instruction,
+                            &left,
+                            &right,
+                            &instruction,
                             left_preferred,
                         ));
                         winning_key.insert(
-                            idx,
+                            ti,
                             vec![if left_preferred { "left" } else { "right" }.into()],
                         );
                     }
                     _ => {
                         summary.gave_up += 1;
-                        let left_preferred =
-                            vote.leader().and_then(|(v, _)| v.as_bool()).unwrap_or(true);
-                        caches.put_prefer(left, right, instruction, left_preferred);
+                        let left_preferred = leader.and_then(|v| v.as_bool()).unwrap_or(true);
+                        caches.put_prefer(&left, &right, &instruction, left_preferred);
                         summary.log.push(put_order_record(
-                            left,
-                            right,
-                            instruction,
+                            &left,
+                            &right,
+                            &instruction,
                             left_preferred,
                         ));
                         summary.warnings.push(format!(
@@ -781,7 +895,7 @@ pub fn fulfill_needs(
     // scored — scoring them as disagreement would eventually ban honest
     // contributors whose task kind simply has no majority vote.
     for (worker, hit, voted) in worker_votes {
-        let winners = hit_to_need.get(&hit).and_then(|idx| winning_key.get(idx));
+        let winners = hit_to_tracker.get(&hit).and_then(|ti| winning_key.get(ti));
         match (&voted, winners) {
             (Some(key), Some(winners)) => {
                 wrm.record_assignment(worker, config.reward_cents as u64, winners.contains(key));
@@ -804,11 +918,13 @@ pub fn fulfill_needs(
 
 /// Report one final vote outcome: registry counters (via
 /// `crowddb_quality`) plus the structured `VoteResolved` event.
-fn record_vote(obs: &Obs, kind: &'static str, vote: &MajorityVote, outcome: &VoteOutcome) {
+/// `vote_total` is the total ballots cast, used when the outcome itself
+/// carries no tally (pending/unresolved).
+fn record_vote(obs: &Obs, kind: &'static str, vote_total: u64, outcome: &VoteOutcome) {
     record_vote_outcome(obs.registry(), outcome);
     let (decided, votes, total) = match outcome {
         VoteOutcome::Decided { votes, total, .. } => (true, *votes as u64, *total as u64),
-        _ => (false, 0, vote.total() as u64),
+        _ => (false, 0, vote_total),
     };
     obs.events().emit(Event::VoteResolved {
         kind,
@@ -816,6 +932,126 @@ fn record_vote(obs: &Obs, kind: &'static str, vote: &MajorityVote, outcome: &Vot
         votes,
         total,
     });
+}
+
+/// One need's computed final outcome: everything the settle phase can
+/// decide from the collected votes alone, with no side effects yet.
+/// Plans are computed in parallel ([`settle_plan`] is pure per-need
+/// work) and applied serially in need order.
+enum SettlePlan {
+    Probe {
+        table: String,
+        tid: crowddb_common::TupleId,
+        cols: Vec<ProbeColPlan>,
+    },
+    NewTuples {
+        table: String,
+        want: u64,
+        /// Valid candidate rows in contribution order, pre-parsed
+        /// against the table schema.
+        rows: Vec<Row>,
+    },
+    Equal {
+        left: String,
+        right: String,
+        instruction: String,
+        outcome: VoteOutcome,
+        leader: Option<Value>,
+        total: u64,
+    },
+    Order {
+        left: String,
+        right: String,
+        instruction: String,
+        outcome: VoteOutcome,
+        leader: Option<Value>,
+        total: u64,
+    },
+}
+
+/// One probe column's computed outcome: storage slot, display name,
+/// final vote outcome, plurality leader (if any), and ballots cast.
+struct ProbeColPlan {
+    col: usize,
+    name: String,
+    outcome: VoteOutcome,
+    leader: Option<Value>,
+    total: u64,
+}
+
+/// Compute a need's [`SettlePlan`] from its QC state. Reads the catalog
+/// (new-tuple parsing needs the schema) but writes nothing.
+fn settle_plan(
+    state: &HitState,
+    config: &CrowdConfig,
+    normalizer: &Normalizer,
+    db: &Database,
+) -> Result<SettlePlan> {
+    Ok(match state {
+        HitState::Probe {
+            table,
+            tid,
+            columns,
+            votes,
+        } => SettlePlan::Probe {
+            table: table.clone(),
+            tid: *tid,
+            cols: columns
+                .iter()
+                .zip(votes.iter())
+                .map(|((col, name, _ty), vote)| ProbeColPlan {
+                    col: *col,
+                    name: name.clone(),
+                    outcome: vote.outcome(&config.vote),
+                    leader: vote.leader().map(|(v, _)| v.clone()),
+                    total: vote.total() as u64,
+                })
+                .collect(),
+        },
+        HitState::NewTuples {
+            table,
+            preset,
+            want,
+            collected,
+            ..
+        } => {
+            let schema = db.schema(table)?;
+            SettlePlan::NewTuples {
+                table: table.clone(),
+                want: *want,
+                rows: collected
+                    .iter()
+                    .filter_map(|fields| build_tuple(&schema, preset, fields, normalizer))
+                    .collect(),
+            }
+        }
+        HitState::Equal {
+            left,
+            right,
+            instruction,
+            vote,
+        } => SettlePlan::Equal {
+            left: left.clone(),
+            right: right.clone(),
+            instruction: instruction.clone(),
+            outcome: vote.outcome(&config.vote),
+            leader: vote.leader().map(|(v, _)| v.clone()),
+            total: vote.total() as u64,
+        },
+        HitState::Order {
+            left,
+            right,
+            instruction,
+            vote,
+        } => SettlePlan::Order {
+            left: left.clone(),
+            right: right.clone(),
+            instruction: instruction.clone(),
+            outcome: vote.outcome(&config.vote),
+            leader: vote.leader().map(|(v, _)| v.clone()),
+            total: vote.total() as u64,
+        },
+    })
 }
 
 fn put_equal_record(left: &str, right: &str, instruction: &str, verdict: bool) -> LogRecord {
@@ -1115,6 +1351,158 @@ mod tests {
         assert!(!b.tripped);
         b.failed();
         assert!(b.tripped);
+    }
+
+    /// Scripted platform for the sweep-clock regression test below: two
+    /// Equal needs, the "b" need's HIT completes once (forcing an extend
+    /// and therefore a *later* deadline than "a"), the "a" need's first
+    /// repost attempt fails once (forcing a 10 s retry backoff mid-sweep).
+    struct SweepClockPlatform {
+        now: f64,
+        post_calls: u32,
+        next_hit: u64,
+        b_first_hit: Option<HitId>,
+        delivered: bool,
+    }
+
+    impl SweepClockPlatform {
+        fn new() -> SweepClockPlatform {
+            SweepClockPlatform {
+                now: 0.0,
+                post_calls: 0,
+                next_hit: 0,
+                b_first_hit: None,
+                delivered: false,
+            }
+        }
+    }
+
+    impl Platform for SweepClockPlatform {
+        fn name(&self) -> &str {
+            "sweep-clock"
+        }
+        fn post(&mut self, tasks: Vec<TaskSpec>) -> Result<Vec<HitId>> {
+            self.post_calls += 1;
+            if self.post_calls == 2 {
+                // The first repost attempt (always need "a": it is the
+                // only tracker past its deadline at that sweep) fails,
+                // forcing a retry backoff that advances the live clock.
+                return Err(crowddb_common::CrowdError::Platform(
+                    "transient outage".into(),
+                ));
+            }
+            Ok(tasks
+                .iter()
+                .map(|spec| {
+                    self.next_hit += 1;
+                    let hit = HitId(self.next_hit);
+                    if let TaskKind::Equal { left, .. } = &spec.kind {
+                        if left.starts_with('b') && self.b_first_hit.is_none() {
+                            self.b_first_hit = Some(hit);
+                        }
+                    }
+                    hit
+                })
+                .collect())
+        }
+        fn extend(&mut self, _hit: HitId, _extra: u32) -> Result<()> {
+            Ok(())
+        }
+        fn advance(&mut self, dt: f64) {
+            self.now += dt;
+        }
+        fn collect(&mut self) -> Vec<crowddb_platform::TaskResponse> {
+            if self.delivered || self.now < 1.0 {
+                return vec![];
+            }
+            self.delivered = true;
+            let hit = self.b_first_hit.expect("b posted before first pump");
+            vec![crowddb_platform::TaskResponse {
+                hit,
+                worker: crowddb_platform::WorkerId(1),
+                answer: Answer::Yes,
+                completed_at: self.now,
+            }]
+        }
+        fn now(&self) -> f64 {
+            self.now
+        }
+        fn stats(&self) -> crowddb_platform::PlatformStats {
+            Default::default()
+        }
+        fn is_complete(&self, hit: HitId) -> bool {
+            // Only b's original HIT, and only at the first sweep: one
+            // vote of three forces Decision::Extend, whose success gives
+            // b a deadline one pump step later than a's.
+            self.b_first_hit == Some(hit) && self.now <= 1.5
+        }
+    }
+
+    fn sweep_need(tag: &str) -> TaskNeed {
+        TaskNeed::Equal {
+            left: format!("{tag}-left"),
+            right: format!("{tag}-right"),
+            instruction: "same thing?".into(),
+        }
+    }
+
+    fn run_sweep(order: [&str; 2]) -> FulfillSummary {
+        let db = Database::new();
+        let caches = SharedCaches::default();
+        let mut wrm = WorkerRelationshipManager::new();
+        let templates = UiTemplateManager::new();
+        let obs = Obs::new();
+        let mut config = CrowdConfig::default();
+        config.pump_step_secs = 1.0;
+        config.round_budget_secs = 20.0;
+        config.vote = crowddb_quality::VoteConfig::replicated(3);
+        config.retry = crate::config::RetryPolicy {
+            max_post_attempts: 2,
+            backoff_base_secs: 10.0,
+            backoff_cap_secs: 10.0,
+            backoff_jitter: 0.0,
+            hit_deadline_secs: 5.0,
+            max_reposts: 2,
+            breaker_threshold: 100,
+        };
+        let needs: Vec<TaskNeed> = order.iter().map(|t| sweep_need(t)).collect();
+        let mut p = SweepClockPlatform::new();
+        fulfill_needs(
+            &db, &caches, &mut wrm, &templates, &mut p, &config, &needs, &obs,
+        )
+        .unwrap()
+    }
+
+    /// Regression: the decision sweep snapshots the clock up front, so a
+    /// retry backoff incurred by one tracker's repost must not expire
+    /// trackers later in iteration order. Before the snapshot, order
+    /// [a, b] saw a's 10 s backoff push the live clock past b's extended
+    /// deadline mid-sweep — b was reposted a sweep early and the two
+    /// orders produced different accounting.
+    #[test]
+    fn budget_exhaustion_is_order_independent() {
+        let ab = run_sweep(["a", "b"]);
+        let ba = run_sweep(["b", "a"]);
+        let key = |s: &FulfillSummary| {
+            let mut exhausted = s.exhausted.clone();
+            exhausted.sort();
+            (
+                s.tasks_posted,
+                s.reposts,
+                s.retries,
+                s.post_failures,
+                s.extend_failures,
+                s.gave_up,
+                exhausted,
+            )
+        };
+        assert_eq!(key(&ab), key(&ba), "need order must not change accounting");
+        // a expires twice (deadlines 5 then 10), b once (deadline 6,
+        // checked against the sweep clock, not the post-backoff clock).
+        assert_eq!(ab.reposts, 3, "a twice, b once: {ab:?}");
+        assert_eq!(ab.tasks_posted, 5, "2 initial + 3 reposts");
+        assert_eq!(ab.post_failures, 1);
+        assert_eq!(ab.retries, 1);
     }
 
     #[test]

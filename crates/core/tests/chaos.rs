@@ -88,7 +88,11 @@ fn world_script() -> MockPlatform {
 /// Short deadlines and backoffs so abandoned-HIT reposts trigger within a
 /// few pump steps instead of virtual days.
 fn chaos_config() -> CrowdConfig {
-    CrowdConfig {
+    chaos_config_with_workers(1)
+}
+
+fn chaos_config_with_workers(workers: usize) -> CrowdConfig {
+    let mut c = CrowdConfig {
         vote: VoteConfig::replicated(3),
         retry: RetryPolicy {
             max_post_attempts: 4,
@@ -100,7 +104,10 @@ fn chaos_config() -> CrowdConfig {
             breaker_threshold: 10,
         },
         ..CrowdConfig::default()
-    }
+    };
+    c.concurrency.fulfill_workers = workers;
+    c.concurrency.parallel_threshold = 0; // parallelize even tiny waves
+    c
 }
 
 const SUITE: &[&str] = &[
@@ -170,6 +177,44 @@ fn chaos_sweep_is_error_free_and_reproducible_per_seed() {
             // Byte-identical replay: rows, warnings, and every counter.
             assert_eq!(a, b, "rate {rate} seed {seed} must reproduce exactly");
             assert_eq!(fa, fb, "injected faults must reproduce exactly");
+        }
+    }
+}
+
+/// Parallel fulfillment under fire: at every fault rate, 1 worker and 4
+/// workers must agree byte-for-byte — rows, warnings, every summary
+/// counter, the full metrics registry, and the faults the platform
+/// actually injected (identical engine→platform call sequences are the
+/// only way the fault dice land the same).
+#[test]
+fn fault_sweeps_are_identical_serial_and_parallel() {
+    for rate in [0.0, 0.1, 0.3] {
+        for seed in [1_u64, 2] {
+            let run = |workers: usize| {
+                let obs = Obs::new();
+                let db = CrowdDB::with_obs(chaos_config_with_workers(workers), obs.clone());
+                let mut p = FaultyPlatform::new(world_script(), FaultConfig::uniform(seed, rate))
+                    .with_obs(obs.clone());
+                let results: Vec<QueryResult> = SUITE
+                    .iter()
+                    .map(|sql| db.execute(sql, &mut p).unwrap())
+                    .collect();
+                (results, p.injected(), db.metrics().to_prometheus())
+            };
+            let (serial_r, serial_inj, serial_m) = run(1);
+            let (par_r, par_inj, par_m) = run(4);
+            assert_eq!(
+                serial_r, par_r,
+                "rate {rate} seed {seed}: results diverged under parallel fulfillment"
+            );
+            assert_eq!(
+                serial_inj, par_inj,
+                "rate {rate} seed {seed}: fault injection sequence diverged"
+            );
+            assert_eq!(
+                serial_m, par_m,
+                "rate {rate} seed {seed}: metrics registry diverged"
+            );
         }
     }
 }
@@ -326,10 +371,11 @@ fn metrics_reconcile_exactly_with_summaries_and_fault_stats() {
     // The registry counters are mirrored from the *same* wave accounting
     // that `CrowdSummary::absorb_resilience` folds into each statement
     // summary, and from the same increments that feed `FaultStats` — so
-    // at a hostile 30% fault rate they must reconcile exactly, per seed.
-    for seed in [1_u64, 2, 3] {
+    // at a hostile 30% fault rate they must reconcile exactly, per seed,
+    // whether fulfillment ingests serially or on a worker pool.
+    for (seed, workers) in [(1_u64, 1_usize), (2, 4), (3, 4)] {
         let obs = Obs::new();
-        let db = CrowdDB::with_obs(chaos_config(), obs.clone());
+        let db = CrowdDB::with_obs(chaos_config_with_workers(workers), obs.clone());
         let mut p = FaultyPlatform::new(world_script(), FaultConfig::uniform(seed, 0.3))
             .with_obs(obs.clone());
         let results: Vec<QueryResult> = SUITE

@@ -1,0 +1,313 @@
+//! Concurrency determinism and multi-session safety.
+//!
+//! The contract under test (DESIGN.md §10): `concurrency.fulfill_workers`
+//! is a pure wall-time knob. Every worker count must produce
+//! byte-identical rows, summaries, metrics, event logs, and WAL contents,
+//! because the coordinator drives the platform serially and merges the
+//! workers' pure per-need computation in need order. Batching
+//! (`max_batch_size`) may change how specs are chunked into `post()`
+//! calls but never what the statement returns. And one `CrowdDB` shared
+//! by many sessions must survive mixed concurrent DML without deadlocks
+//! or lost log records.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crowddb_core::{CrowdConfig, CrowdDB, QueryResult};
+use crowddb_platform::{Answer, MockPlatform, Platform, TaskKind};
+use crowddb_quality::VoteConfig;
+use crowddb_wal::testutil::TestDir;
+use crowddb_wal::{FsyncPolicy, WAL_FILE};
+
+/// Scripted crowd: probe forms by column, normalized equality, length
+/// ordering, and a fixed pair of new tuples — pure functions of the
+/// task, so any schedule of calls gets the same answers.
+fn scripted() -> MockPlatform {
+    let abstracts: HashMap<&'static str, &'static str> = HashMap::from([
+        ("CrowdDB", "Query processing with crowdsourced data"),
+        ("Qurk", "A query processor for human operators"),
+        ("PIQL", "Performance insightful query language"),
+        ("HyPer", "Hybrid OLTP and OLAP main memory database"),
+    ]);
+    MockPlatform::unanimous(move |task: &TaskKind| match task {
+        TaskKind::Probe { known, asked, .. } => {
+            let title = known
+                .iter()
+                .find(|(k, _)| k == "title")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("");
+            Answer::Form(
+                asked
+                    .iter()
+                    .map(|(col, _)| {
+                        let text = match col.as_str() {
+                            "abstract" => abstracts
+                                .get(title)
+                                .copied()
+                                .unwrap_or("a crowd-enabled database")
+                                .to_string(),
+                            "nb_attendees" => format!("{}", 100 + title.len()),
+                            _ => "unknown".to_string(),
+                        };
+                        (col.clone(), text)
+                    })
+                    .collect(),
+            )
+        }
+        TaskKind::NewTuples { .. } => Answer::Tuples(vec![
+            vec![
+                ("name".to_string(), "Mike Franklin".to_string()),
+                ("title".to_string(), "CrowdDB".to_string()),
+            ],
+            vec![
+                ("name".to_string(), "Sam Madden".to_string()),
+                ("title".to_string(), "Qurk".to_string()),
+            ],
+        ]),
+        TaskKind::Equal { left, right, .. } => {
+            let norm = |s: &str| s.replace('.', "").to_lowercase();
+            if norm(left) == norm(right) {
+                Answer::Yes
+            } else {
+                Answer::No
+            }
+        }
+        TaskKind::Order { left, right, .. } => {
+            if left.len() >= right.len() {
+                Answer::Left
+            } else {
+                Answer::Right
+            }
+        }
+    })
+}
+
+fn config(workers: usize, max_batch_size: usize) -> CrowdConfig {
+    let mut c = CrowdConfig::fast_test();
+    c.vote = VoteConfig::replicated(3);
+    c.concurrency.fulfill_workers = workers;
+    c.concurrency.max_batch_size = max_batch_size;
+    // Parallelize even tiny waves so worker counts actually diverge in
+    // scheduling (the default threshold would keep these suites serial).
+    c.concurrency.parallel_threshold = 0;
+    c.durability.fsync = FsyncPolicy::Never;
+    c
+}
+
+/// Seed-parameterized suite touching every need kind: probes, CROWDEQUAL,
+/// CROWDORDER, and a crowd table.
+fn suite(seed: u64) -> Vec<String> {
+    let mut sqls = vec![
+        "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING, \
+         nb_attendees CROWD INTEGER)"
+            .to_string(),
+        "CREATE CROWD TABLE NotableAttendee (name STRING PRIMARY KEY, title STRING, \
+         FOREIGN KEY (title) REF Talk(title))"
+            .to_string(),
+        "INSERT INTO Talk (title) VALUES ('CrowdDB'), ('Qurk'), ('PIQL'), ('HyPer')".to_string(),
+    ];
+    for i in 0..(2 + seed % 3) {
+        sqls.push(format!(
+            "INSERT INTO Talk (title) VALUES ('talk-{seed}-{i}')"
+        ));
+    }
+    sqls.extend([
+        "SELECT title, abstract, nb_attendees FROM Talk ORDER BY title".to_string(),
+        "SELECT title FROM Talk WHERE title ~= 'crowddb.'".to_string(),
+        format!("SELECT title FROM Talk WHERE title ~= 'TALK-{seed}-0'"),
+        "SELECT title FROM Talk ORDER BY CROWDORDER(title, 'Which talk did you like better') \
+         LIMIT 3"
+            .to_string(),
+        "SELECT name FROM NotableAttendee LIMIT 2".to_string(),
+    ]);
+    sqls
+}
+
+struct RunOutput {
+    results: Vec<QueryResult>,
+    prometheus: String,
+    events: String,
+}
+
+fn run_suite(db: &CrowdDB, platform: &mut dyn Platform, seed: u64) -> Vec<QueryResult> {
+    suite(seed)
+        .iter()
+        .map(|sql| {
+            db.execute(sql, platform)
+                .unwrap_or_else(|e| panic!("{sql}: {e}"))
+        })
+        .collect()
+}
+
+fn run_in_memory(workers: usize, max_batch_size: usize, seed: u64) -> RunOutput {
+    let db = CrowdDB::with_config(config(workers, max_batch_size));
+    let mut p = scripted();
+    let results = run_suite(&db, &mut p, seed);
+    RunOutput {
+        results,
+        prometheus: db.metrics().to_prometheus(),
+        events: db.events_jsonl(),
+    }
+}
+
+#[test]
+fn worker_count_never_changes_results_metrics_or_events() {
+    for seed in [1_u64, 2, 3] {
+        let golden = run_in_memory(1, 0, seed);
+        assert!(
+            golden.results.iter().skip(3).any(|r| !r.rows.is_empty()),
+            "seed {seed}: the suite must produce rows"
+        );
+        for workers in [2_usize, 4, 8] {
+            let run = run_in_memory(workers, 0, seed);
+            assert_eq!(
+                golden.results, run.results,
+                "seed {seed} workers {workers}: rows/summaries/warnings diverged"
+            );
+            assert_eq!(
+                golden.prometheus, run.prometheus,
+                "seed {seed} workers {workers}: metrics diverged"
+            );
+            assert_eq!(
+                golden.events, run.events,
+                "seed {seed} workers {workers}: event log diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_size_never_changes_results() {
+    // Batching changes how many `post()` calls carry the wave (visible in
+    // the event log), never what comes back or what the registry counts.
+    for seed in [1_u64, 2] {
+        let golden = run_in_memory(2, 0, seed);
+        for batch in [1_usize, 2, 3] {
+            let run = run_in_memory(2, batch, seed);
+            assert_eq!(
+                golden.results, run.results,
+                "seed {seed} max_batch_size {batch}: results diverged"
+            );
+            assert_eq!(
+                golden.prometheus, run.prometheus,
+                "seed {seed} max_batch_size {batch}: metrics diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_count_never_changes_wal_bytes() {
+    let wal_after = |workers: usize| -> (Vec<u8>, Vec<QueryResult>) {
+        let dir = TestDir::new(&format!("conc-wal-{workers}"));
+        let bytes = {
+            let db = CrowdDB::open_with_config(dir.path(), config(workers, 0)).unwrap();
+            let mut p = scripted();
+            let _ = run_suite(&db, &mut p, 1);
+            // Drop without close(): the log tail is exactly the appended
+            // records, unmasked by a final checkpoint.
+            drop(db);
+            std::fs::read(dir.path().join(WAL_FILE)).unwrap()
+        };
+        // Recovery must also agree, answer-for-answer.
+        let db = CrowdDB::open_with_config(dir.path(), config(workers, 0)).unwrap();
+        let mut p = scripted();
+        let r = db
+            .execute(
+                "SELECT title, abstract, nb_attendees FROM Talk ORDER BY title",
+                &mut p,
+            )
+            .unwrap();
+        assert!(r.complete);
+        assert_eq!(r.crowd.tasks_posted, 0, "every answer replays from the log");
+        (bytes, vec![r])
+    };
+    let (golden_bytes, golden_rows) = wal_after(1);
+    assert!(!golden_bytes.is_empty());
+    for workers in [4_usize, 8] {
+        let (bytes, rows) = wal_after(workers);
+        assert_eq!(golden_bytes, bytes, "workers {workers}: WAL bytes diverged");
+        assert_eq!(golden_rows, rows, "workers {workers}: recovery diverged");
+    }
+}
+
+/// N sessions hammer one durable `CrowdDB` with mixed DML and reads on
+/// disjoint key ranges. Checkpoints are forced every few records so the
+/// checkpoint latch runs against live writers. The invariants: no
+/// deadlock (the test finishes), every session sees consistent counts,
+/// and a reopen recovers every committed row.
+#[test]
+fn multi_session_stress_preserves_every_row() {
+    let sessions: usize = if std::env::var_os("CROWDDB_STRESS").is_some() {
+        8
+    } else {
+        4
+    };
+    let per_session: usize = 25;
+    let dir = TestDir::new("conc-stress");
+    {
+        let mut cfg = config(2, 0);
+        cfg.durability.checkpoint_every_records = 8; // exercise the latch
+        let db = Arc::new(CrowdDB::open_with_config(dir.path(), cfg).unwrap());
+        let mut p = scripted();
+        db.execute(
+            "CREATE TABLE item (id INTEGER PRIMARY KEY, val INTEGER)",
+            &mut p,
+        )
+        .unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..sessions {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    let mut p = scripted();
+                    for i in 0..per_session {
+                        let id = t * 1000 + i;
+                        db.execute(&format!("INSERT INTO item VALUES ({id}, 0)"), &mut p)
+                            .unwrap();
+                        if i % 3 == 0 {
+                            let r = db
+                                .execute(
+                                    &format!("UPDATE item SET val = {i} WHERE id = {id}"),
+                                    &mut p,
+                                )
+                                .unwrap();
+                            assert_eq!(r.affected, 1);
+                        }
+                        if i % 5 == 0 {
+                            // Reads interleave with writers; a session's own
+                            // rows are always visible to it.
+                            let r = db
+                                .execute(
+                                    &format!("SELECT id, val FROM item WHERE id = {id}"),
+                                    &mut p,
+                                )
+                                .unwrap();
+                            assert_eq!(r.rows.len(), 1, "own insert must be visible");
+                        }
+                    }
+                });
+            }
+        });
+        let r = db.execute("SELECT id FROM item", &mut p).unwrap();
+        assert_eq!(r.rows.len(), sessions * per_session, "no lost inserts");
+        Arc::try_unwrap(db)
+            .unwrap_or_else(|_| panic!("all sessions joined"))
+            .close()
+            .unwrap();
+    }
+    // Reopen: every committed row and update must have survived the
+    // interleaved checkpoints and group-committed appends.
+    let db = CrowdDB::open_with_config(dir.path(), config(1, 0)).unwrap();
+    let mut p = scripted();
+    let r = db.execute("SELECT id, val FROM item", &mut p).unwrap();
+    assert_eq!(r.rows.len(), sessions * per_session, "lost rows on reopen");
+    let r = db
+        .execute("SELECT id FROM item WHERE val = 0", &mut p)
+        .unwrap();
+    let updated = sessions * per_session.div_ceil(3);
+    assert_eq!(
+        r.rows.len(),
+        sessions * per_session - updated + sessions, // i == 0 updates val to 0
+        "updates lost on reopen"
+    );
+}

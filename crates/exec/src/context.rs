@@ -82,6 +82,131 @@ impl CompareCaches {
     }
 }
 
+/// Shard count for [`SharedCaches`]. A power of two so the hash can be
+/// masked; 16 shards keep contention negligible for any realistic
+/// session count without bloating the empty-cache footprint.
+const CACHE_SHARDS: usize = 16;
+
+/// FNV-1a over the canonical pair key; stable across platforms so shard
+/// routing (and therefore lock-acquisition patterns) is deterministic.
+fn shard_for(key: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (CACHE_SHARDS - 1)
+}
+
+/// Sharded, thread-safe wrapper over [`CompareCaches`] so concurrent
+/// sessions can read and settle comparison verdicts without funneling
+/// through one lock.
+///
+/// Verdicts are routed to a shard by an FNV-1a hash of the canonical
+/// pair key, so lookups and inserts for different comparisons usually
+/// touch different locks. Reads during a round take a whole-cache
+/// [`snapshot`](SharedCaches::snapshot) instead of locking per
+/// comparison — a round sees one consistent cache state, matching the
+/// single-threaded engine's semantics.
+#[derive(Debug, Default)]
+pub struct SharedCaches {
+    shards: [parking_lot::RwLock<CompareCaches>; CACHE_SHARDS],
+}
+
+impl SharedCaches {
+    /// An empty sharded cache.
+    pub fn new() -> SharedCaches {
+        SharedCaches::default()
+    }
+
+    /// Build from a flat cache (snapshot restore), routing every verdict
+    /// to its shard.
+    pub fn from_caches(flat: CompareCaches) -> SharedCaches {
+        let shared = SharedCaches::new();
+        shared.replace(flat);
+        shared
+    }
+
+    /// Replace the entire contents with `flat`. Not atomic with respect
+    /// to concurrent writers; callers serialize externally (restore and
+    /// tests run single-threaded).
+    pub fn replace(&self, flat: CompareCaches) {
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            guard.equal.clear();
+            guard.order.clear();
+        }
+        for (key, v) in flat.equal {
+            self.shards[shard_for(&key)].write().equal.insert(key, v);
+        }
+        for (key, v) in flat.order {
+            self.shards[shard_for(&key)].write().order.insert(key, v);
+        }
+    }
+
+    /// Merged copy of all shards, for round execution and snapshots.
+    pub fn snapshot(&self) -> CompareCaches {
+        let mut flat = CompareCaches::default();
+        for shard in &self.shards {
+            let guard = shard.read();
+            flat.equal
+                .extend(guard.equal.iter().map(|(k, v)| (k.clone(), *v)));
+            flat.order
+                .extend(guard.order.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        flat
+    }
+
+    /// Look up an equality verdict.
+    pub fn get_equal(&self, left: &str, right: &str, instruction: &str) -> Option<bool> {
+        let (key, _) = CompareCaches::pair_key(left, right, instruction);
+        self.shards[shard_for(&key)].read().equal.get(&key).copied()
+    }
+
+    /// Record an equality verdict.
+    pub fn put_equal(&self, left: &str, right: &str, instruction: &str, verdict: bool) {
+        let (key, _) = CompareCaches::pair_key(left, right, instruction);
+        self.shards[shard_for(&key)]
+            .write()
+            .equal
+            .insert(key, verdict);
+    }
+
+    /// Look up an order verdict: `Some(true)` means `left` is preferred.
+    pub fn get_prefer(&self, left: &str, right: &str, instruction: &str) -> Option<bool> {
+        let (key, swapped) = CompareCaches::pair_key(left, right, instruction);
+        self.shards[shard_for(&key)]
+            .read()
+            .order
+            .get(&key)
+            .map(|&small_wins| if swapped { !small_wins } else { small_wins })
+    }
+
+    /// Record an order verdict relative to the operands as given.
+    pub fn put_prefer(&self, left: &str, right: &str, instruction: &str, left_preferred: bool) {
+        let (key, swapped) = CompareCaches::pair_key(left, right, instruction);
+        let small_wins = if swapped {
+            !left_preferred
+        } else {
+            left_preferred
+        };
+        self.shards[shard_for(&key)]
+            .write()
+            .order
+            .insert(key, small_wins);
+    }
+
+    /// Number of cached verdicts across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+}
+
 /// Needs emitted so far, broken down by kind. Snapshot-diffed around
 /// each operator by `ops::run_op` to attribute needs per operator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -340,5 +465,59 @@ mod tests {
         c.put_equal("a", "b", "q", false);
         c.put_prefer("a", "b", "q", true);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn shared_caches_match_flat_semantics() {
+        let shared = SharedCaches::new();
+        assert!(shared.is_empty());
+        shared.put_equal("IBM", "I.B.M.", "same?", true);
+        shared.put_prefer("b", "a", "which?", true);
+        assert_eq!(shared.get_equal("I.B.M.", "IBM", "same?"), Some(true));
+        assert_eq!(shared.get_prefer("a", "b", "which?"), Some(false));
+        assert_eq!(shared.len(), 2);
+
+        let flat = shared.snapshot();
+        assert_eq!(flat.get_equal("IBM", "I.B.M.", "same?"), Some(true));
+        assert_eq!(flat.get_prefer("b", "a", "which?"), Some(true));
+
+        let rebuilt = SharedCaches::from_caches(flat);
+        assert_eq!(rebuilt.len(), 2);
+        assert_eq!(rebuilt.get_prefer("b", "a", "which?"), Some(true));
+    }
+
+    #[test]
+    fn shared_caches_round_trip_many_keys() {
+        let shared = SharedCaches::new();
+        for i in 0..200 {
+            shared.put_equal(&format!("L{i}"), &format!("R{i}"), "q", i % 2 == 0);
+            shared.put_prefer(&format!("L{i}"), &format!("R{i}"), "q", i % 3 == 0);
+        }
+        assert_eq!(shared.len(), 400);
+        let snap = shared.snapshot();
+        assert_eq!(snap.len(), 400);
+        for i in 0..200 {
+            assert_eq!(
+                shared.get_equal(&format!("R{i}"), &format!("L{i}"), "q"),
+                Some(i % 2 == 0),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_caches_concurrent_writers() {
+        let shared = std::sync::Arc::new(SharedCaches::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let shared = std::sync::Arc::clone(&shared);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        shared.put_equal(&format!("t{t}-{i}"), "x", "q", true);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.len(), 400);
     }
 }

@@ -209,8 +209,10 @@ pub struct PlatformStats {
 /// The Task Manager drives this interface in rounds: `post` new tasks,
 /// `advance` (wall-clock passes / simulator steps), `collect` finished
 /// assignments, and `extend` HITs whose majority vote tied. Platforms are
-/// single-threaded state machines; CrowdDB serializes access.
-pub trait Platform {
+/// single-threaded state machines owned by one session: CrowdDB's
+/// fulfillment coordinator serializes every call, but sessions hop
+/// threads (and platforms ride along), hence the `Send` bound.
+pub trait Platform: Send {
     /// Platform name (for logs and EXPLAIN output).
     fn name(&self) -> &str;
 

@@ -28,11 +28,13 @@
 //! query loses at most the in-flight round, never paid-for answers.
 
 pub mod crc32;
+pub mod group;
 pub mod log;
 pub mod snapshot;
 pub mod store;
 pub mod testutil;
 
 pub use crowddb_storage::LogRecord;
+pub use group::GroupCommitStore;
 pub use log::{scan_frames, FsyncPolicy, Wal, WAL_MAGIC};
 pub use store::{DurableStore, Recovered, SNAPSHOT_FILE, WAL_FILE};
