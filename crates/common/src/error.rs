@@ -5,6 +5,46 @@ use std::fmt;
 /// Convenient result alias used throughout CrowdDB.
 pub type Result<T> = std::result::Result<T, CrowdError>;
 
+/// Why a statement was cancelled by the resource governor.
+///
+/// Carried by [`CrowdError::Cancelled`]; every reason corresponds to one
+/// cooperative-cancellation checkpoint class, so callers can distinguish
+/// a user-initiated cancel from an enforced resource limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The session's cancel token was triggered (`\cancel` or
+    /// `CancelToken::cancel`).
+    UserRequested,
+    /// The statement exceeded its deadline in virtual seconds.
+    DeadlineExceeded,
+    /// The statement produced more result rows than its output cap.
+    OutputRowLimit,
+    /// An operator produced more intermediate rows than the cap.
+    IntermediateRowLimit,
+}
+
+impl CancelReason {
+    /// Short machine-readable tag (used in metrics and events).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CancelReason::UserRequested => "user-requested",
+            CancelReason::DeadlineExceeded => "deadline-exceeded",
+            CancelReason::OutputRowLimit => "output-row-limit",
+            CancelReason::IntermediateRowLimit => "intermediate-row-limit",
+        }
+    }
+
+    /// Human-readable message for this reason.
+    pub fn message(&self) -> &'static str {
+        match self {
+            CancelReason::UserRequested => "statement cancelled by user request",
+            CancelReason::DeadlineExceeded => "statement exceeded its deadline",
+            CancelReason::OutputRowLimit => "statement exceeded its output row limit",
+            CancelReason::IntermediateRowLimit => "statement exceeded its intermediate row limit",
+        }
+    }
+}
+
 /// Errors produced by any CrowdDB component.
 ///
 /// A single error enum is shared across the workspace so that layers can
@@ -47,6 +87,14 @@ pub enum CrowdError {
     /// A durability operation failed (write-ahead log or snapshot I/O,
     /// corrupted on-disk state).
     Io(String),
+    /// The statement was cancelled cooperatively by the resource
+    /// governor (user cancel, deadline, or a row cap); see
+    /// [`CancelReason`]. The termination is clean: storage is
+    /// uncorrupted and paid crowd answers are already settled.
+    Cancelled(CancelReason),
+    /// Admission control rejected the statement because the engine was
+    /// at its concurrency limit and the bounded wait timed out.
+    Overloaded(String),
     /// An internal invariant was violated; indicates a CrowdDB bug.
     Internal(String),
 }
@@ -67,6 +115,8 @@ impl CrowdError {
             CrowdError::Quality(_) => "quality",
             CrowdError::Ui(_) => "ui",
             CrowdError::BudgetExhausted(_) => "budget",
+            CrowdError::Cancelled(_) => "cancelled",
+            CrowdError::Overloaded(_) => "overloaded",
             CrowdError::Io(_) => "io",
             CrowdError::Internal(_) => "internal",
         }
@@ -87,8 +137,10 @@ impl CrowdError {
             | CrowdError::Quality(m)
             | CrowdError::Ui(m)
             | CrowdError::BudgetExhausted(m)
+            | CrowdError::Overloaded(m)
             | CrowdError::Io(m)
             | CrowdError::Internal(m) => m,
+            CrowdError::Cancelled(reason) => reason.message(),
         }
     }
 }
@@ -131,6 +183,25 @@ mod tests {
     fn internal_macro_formats() {
         let e = internal_err!("bad state {}", 42);
         assert_eq!(e, CrowdError::Internal("bad state 42".into()));
+    }
+
+    #[test]
+    fn cancelled_carries_typed_reason() {
+        let e = CrowdError::Cancelled(CancelReason::DeadlineExceeded);
+        assert_eq!(e.category(), "cancelled");
+        assert_eq!(e.message(), "statement exceeded its deadline");
+        assert_eq!(CancelReason::DeadlineExceeded.tag(), "deadline-exceeded");
+        assert_eq!(
+            e.to_string(),
+            "cancelled error: statement exceeded its deadline"
+        );
+    }
+
+    #[test]
+    fn overloaded_is_distinct_category() {
+        let e = CrowdError::Overloaded("admission queue full".into());
+        assert_eq!(e.category(), "overloaded");
+        assert_eq!(e.message(), "admission queue full");
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod truth;
 pub mod types;
 pub mod value;
 
-pub use error::{CrowdError, Result};
+pub use error::{CancelReason, CrowdError, Result};
 pub use ids::{ColumnId, TableId, TupleId};
 pub use row::Row;
 pub use schema::{ColumnDef, ForeignKey, TableSchema};

@@ -3,6 +3,8 @@
 use crowddb_quality::VoteConfig;
 use crowddb_wal::FsyncPolicy;
 
+use crate::governor::GovernorPolicy;
+
 /// When a durable session takes checkpoints (snapshot + log truncation)
 /// and how eagerly the write-ahead log reaches stable storage.
 #[derive(Debug, Clone)]
@@ -150,6 +152,12 @@ pub struct CrowdConfig {
     pub durability: DurabilityPolicy,
     /// Parallel-fulfillment and batching knobs.
     pub concurrency: ConcurrencyPolicy,
+    /// Resource-governor limits applied to every statement: deadline,
+    /// row caps, crowd budget, and admission control. The default is
+    /// fully ungoverned. Per-statement overrides go through
+    /// [`CrowdDB::execute_with_policy`](crate::CrowdDB::execute_with_policy);
+    /// the admission *limits* are fixed per session at construction.
+    pub governor: GovernorPolicy,
 }
 
 impl Default for CrowdConfig {
@@ -169,6 +177,7 @@ impl Default for CrowdConfig {
             retry: RetryPolicy::default(),
             durability: DurabilityPolicy::default(),
             concurrency: ConcurrencyPolicy::default(),
+            governor: GovernorPolicy::default(),
         }
     }
 }
@@ -192,6 +201,7 @@ impl CrowdConfig {
             retry: RetryPolicy::default(),
             durability: DurabilityPolicy::default(),
             concurrency: ConcurrencyPolicy::default(),
+            governor: GovernorPolicy::default(),
         }
     }
 }

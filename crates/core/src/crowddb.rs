@@ -1,15 +1,16 @@
 //! The [`CrowdDB`] facade.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use crowddb_common::{CrowdError, Result, Row};
+use crowddb_common::{CancelReason, CrowdError, Result, Row};
 use crowddb_exec::{
-    execute as execute_plan, execute_physical, flush_op_stats, lower_plan, render_analyzed,
-    CompareCaches, OpStatsNode, SharedCaches,
+    execute as execute_plan, execute_physical, execute_physical_guarded, flush_op_stats,
+    lower_plan, render_analyzed, CompareCaches, OpStatsNode, SharedCaches,
 };
 use crowddb_obs::{Event, MetricsSnapshot, Obs};
 use crowddb_plan::cardinality::{FnStats, StatsSource};
@@ -24,6 +25,9 @@ use crowddb_ui::render_task;
 use crowddb_wal::{DurableStore, FsyncPolicy, GroupCommitStore};
 
 use crate::config::CrowdConfig;
+use crate::governor::{
+    effective_budget, AdmissionController, CancelToken, GovernorPolicy, StatementGuard,
+};
 use crate::result::{CrowdSummary, QueryResult};
 use crate::taskman;
 
@@ -86,6 +90,12 @@ pub struct CrowdDB {
     /// Monotone statement ids pairing `StatementBegin`/`StatementEnd`
     /// events.
     next_statement_id: AtomicU64,
+    /// Session-wide cancellation token observed by every governed
+    /// statement (see [`CrowdDB::cancel_handle`]).
+    cancel: CancelToken,
+    /// Admission control over concurrent statements, configured from
+    /// `config.governor` at construction.
+    admission: AdmissionController,
 }
 
 impl Default for CrowdDB {
@@ -114,6 +124,7 @@ impl CrowdDB {
     /// [`FaultyPlatform`](crowddb_platform::faults) (or a metrics
     /// scraper) to see engine and platform counters side by side.
     pub fn with_obs(config: CrowdConfig, obs: Arc<Obs>) -> CrowdDB {
+        let admission = AdmissionController::new(&config.governor);
         CrowdDB {
             db: Database::new(),
             caches: SharedCaches::new(),
@@ -126,6 +137,8 @@ impl CrowdDB {
             durable: None,
             obs,
             next_statement_id: AtomicU64::new(0),
+            cancel: CancelToken::new(),
+            admission,
         }
     }
 
@@ -346,10 +359,93 @@ impl CrowdDB {
     }
 
     /// Execute any CrowdSQL statement, engaging `platform` as needed.
+    /// Runs under the session's [`GovernorPolicy`]
+    /// (`config.governor`); use [`CrowdDB::execute_with_policy`] for a
+    /// per-statement override.
     pub fn execute(&self, sql: &str, platform: &mut dyn Platform) -> Result<QueryResult> {
+        let policy = self.config.governor.clone();
+        self.execute_with_policy(sql, platform, &policy)
+    }
+
+    /// A clonable handle that cancels this session's in-flight statement
+    /// from any thread. The running statement observes it at its next
+    /// executor checkpoint or round boundary and terminates with
+    /// `Cancelled(user-requested)`; answers the crowd already produced
+    /// stay memorized. The request is consumed when a statement
+    /// terminates as cancelled (and is otherwise sticky, so cancelling
+    /// between statements cancels the next one).
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// [`CrowdDB::execute`] under an explicit per-statement
+    /// [`GovernorPolicy`]: deadline, row caps, and crowd budget come
+    /// from `policy`, while the admission *limits* stay session-wide
+    /// (only the admission wait behaviour is per-statement).
+    ///
+    /// Every statement on this path is panic-isolated: an operator panic
+    /// is contained and surfaced as [`CrowdError::Internal`], leaving
+    /// the session — and concurrent sessions sharing the process —
+    /// fully usable.
+    pub fn execute_with_policy(
+        &self,
+        sql: &str,
+        platform: &mut dyn Platform,
+        policy: &GovernorPolicy,
+    ) -> Result<QueryResult> {
         let stmt = parse_statement(sql)?;
+        let reg = self.obs.registry();
+        let crowd_touching = statement_touches_crowd(&stmt);
+        let permit = match self.admission.acquire(
+            crowd_touching,
+            policy.admission_timeout_virtual_secs,
+            &mut |dt| platform.advance(dt),
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                reg.counter_inc("crowddb_governor_rejected_total");
+                self.obs.events().emit(Event::AdmissionRejected {
+                    crowd: crowd_touching,
+                });
+                return Err(e);
+            }
+        };
+        reg.counter_inc("crowddb_governor_admitted_total");
+        let guard = StatementGuard::new(policy, &self.cancel, platform.now());
         let id = self.begin_statement(sql);
-        let r = self.execute_statement(&stmt, platform);
+        // Panic isolation: a panicking operator (or a chaos hook) must
+        // not take down the session. The unwind releases the admission
+        // permit and every lock on the way out (parking_lot locks unlock
+        // on unwind; the few std locks recover from poisoning), so
+        // containment is safe.
+        let r = match catch_unwind(AssertUnwindSafe(|| {
+            self.execute_statement(&stmt, platform, &guard)
+        })) {
+            Ok(r) => r,
+            Err(payload) => {
+                reg.counter_inc("crowddb_governor_panics_contained_total");
+                self.obs.events().emit(Event::PanicContained { id });
+                Err(CrowdError::Internal(format!(
+                    "statement panicked (contained): {}",
+                    panic_message(payload.as_ref())
+                )))
+            }
+        };
+        drop(permit);
+        if let Err(CrowdError::Cancelled(reason)) = &r {
+            reg.counter_inc("crowddb_governor_cancelled_total");
+            if matches!(reason, CancelReason::DeadlineExceeded) {
+                reg.counter_inc("crowddb_governor_deadline_exceeded_total");
+            }
+            self.obs.events().emit(Event::StatementCancelled {
+                id,
+                reason: reason.tag(),
+            });
+            // The cancel request is consumed by the statement it stopped.
+            if matches!(reason, CancelReason::UserRequested) {
+                self.cancel.clear();
+            }
+        }
         self.finish_statement(id, &r);
         let r = r?;
         self.maybe_checkpoint()?;
@@ -482,7 +578,7 @@ impl CrowdDB {
                     complete,
                 })
             })(),
-            _ => self.execute_statement(&stmt, &mut NoPlatform),
+            _ => self.execute_statement(&stmt, &mut NoPlatform, &StatementGuard::unlimited()),
         };
         self.finish_statement(id, &r);
         let r = r?;
@@ -549,7 +645,8 @@ impl CrowdDB {
         while let Statement::Explain { statement, .. } = inner {
             inner = statement;
         }
-        let text = self.explain_analyze_statement(inner, platform)?;
+        let guard = StatementGuard::new(&self.config.governor, &self.cancel, platform.now());
+        let text = self.explain_analyze_statement(inner, platform, &guard)?;
         self.maybe_checkpoint()?;
         Ok(text)
     }
@@ -558,6 +655,7 @@ impl CrowdDB {
         &self,
         inner: &Statement,
         platform: &mut dyn Platform,
+        guard: &StatementGuard,
     ) -> Result<String> {
         let Statement::Select(_) = inner else {
             return self.explain_statement(inner);
@@ -567,11 +665,18 @@ impl CrowdDB {
         let mut merged = OpStatsNode::skeleton(&physical);
         let start_stats = platform.stats();
         let start_now = platform.now();
+        let budget = effective_budget(self.config.max_budget_cents, guard.max_crowd_cents);
         let mut rounds: Vec<String> = Vec::new();
         let mut complete = false;
         for round in 1..=self.config.max_rounds {
+            guard.check(platform.now())?;
             let caches_snapshot = self.caches.snapshot();
-            let (exec, round_stats) = execute_physical(&self.db, &caches_snapshot, &physical)?;
+            let (exec, round_stats) = execute_physical_guarded(
+                &self.db,
+                &caches_snapshot,
+                &physical,
+                guard.exec.clone(),
+            )?;
             flush_op_stats(self.obs.registry(), &round_stats);
             merged.merge(&round_stats);
             rounds.push(format!(
@@ -590,7 +695,7 @@ impl CrowdDB {
                 );
                 break;
             }
-            if let Some(budget) = self.config.max_budget_cents {
+            if let Some(budget) = budget {
                 let spent = platform.stats().cents_spent - start_stats.cents_spent;
                 if spent >= budget {
                     warnings.push(format!(
@@ -606,6 +711,8 @@ impl CrowdDB {
                 &mut warnings,
                 start_stats.cents_spent,
                 round,
+                guard,
+                budget,
             )?;
             let _ = wave;
         }
@@ -666,6 +773,7 @@ impl CrowdDB {
         &self,
         stmt: &Statement,
         platform: &mut dyn Platform,
+        guard: &StatementGuard,
     ) -> Result<QueryResult> {
         match stmt {
             Statement::Explain { statement, analyze } => {
@@ -674,7 +782,7 @@ impl CrowdDB {
                     while let Statement::Explain { statement, .. } = inner {
                         inner = statement;
                     }
-                    self.explain_analyze_statement(inner, platform)?
+                    self.explain_analyze_statement(inner, platform, guard)?
                 } else {
                     self.explain_statement(statement)?
                 };
@@ -726,7 +834,12 @@ impl CrowdDB {
             Statement::Insert(ins) => {
                 let caches = self.caches.snapshot();
                 let _latch = self.ckpt_latch.read();
-                let r = crowddb_exec::dml::execute_insert(&self.db, &caches, ins)?;
+                let r = crowddb_exec::dml::execute_insert_guarded(
+                    &self.db,
+                    &caches,
+                    ins,
+                    guard.exec.clone(),
+                )?;
                 self.log_record(LogRecord::Dml {
                     sql: stmt.to_string(),
                 })?;
@@ -739,16 +852,46 @@ impl CrowdDB {
             Statement::Update(upd) => self.run_dml(
                 platform,
                 stmt.to_string(),
-                |caches| crowddb_exec::dml::plan_update(&self.db, caches, upd),
-                |caches| crowddb_exec::dml::execute_update(&self.db, caches, upd),
+                guard,
+                |caches| {
+                    crowddb_exec::dml::plan_update_guarded(
+                        &self.db,
+                        caches,
+                        upd,
+                        guard.exec.clone(),
+                    )
+                },
+                |caches| {
+                    crowddb_exec::dml::execute_update_guarded(
+                        &self.db,
+                        caches,
+                        upd,
+                        guard.exec.clone(),
+                    )
+                },
             ),
             Statement::Delete(del) => self.run_dml(
                 platform,
                 stmt.to_string(),
-                |caches| crowddb_exec::dml::plan_delete(&self.db, caches, del),
-                |caches| crowddb_exec::dml::execute_delete(&self.db, caches, del),
+                guard,
+                |caches| {
+                    crowddb_exec::dml::plan_delete_guarded(
+                        &self.db,
+                        caches,
+                        del,
+                        guard.exec.clone(),
+                    )
+                },
+                |caches| {
+                    crowddb_exec::dml::execute_delete_guarded(
+                        &self.db,
+                        caches,
+                        del,
+                        guard.exec.clone(),
+                    )
+                },
             ),
-            Statement::Select(_) => self.run_select(stmt, platform),
+            Statement::Select(_) => self.run_select(stmt, platform, guard),
         }
     }
 
@@ -761,6 +904,7 @@ impl CrowdDB {
         &self,
         platform: &mut dyn Platform,
         sql: String,
+        guard: &StatementGuard,
         mut dry_run: impl FnMut(&CompareCaches) -> Result<crowddb_exec::dml::DmlResult>,
         apply: impl FnOnce(&CompareCaches) -> Result<crowddb_exec::dml::DmlResult>,
     ) -> Result<QueryResult> {
@@ -768,8 +912,13 @@ impl CrowdDB {
         let mut warnings = Vec::new();
         let start_stats = platform.stats();
         let start_now = platform.now();
+        let budget = effective_budget(self.config.max_budget_cents, guard.max_crowd_cents);
         let mut resolved = false;
         for _ in 0..self.config.max_rounds {
+            // Governor checkpoint: a cancelled or deadline-exceeded DML
+            // errors *before* the mutation is applied (paid crowd
+            // verdicts stay cached).
+            guard.check(platform.now())?;
             summary.rounds += 1;
             let caches_snapshot = self.caches.snapshot();
             let r = dry_run(&caches_snapshot)?;
@@ -778,7 +927,7 @@ impl CrowdDB {
                 resolved = true;
                 break;
             }
-            if let Some(budget) = self.config.max_budget_cents {
+            if let Some(budget) = budget {
                 let spent = platform.stats().cents_spent - start_stats.cents_spent;
                 if spent >= budget {
                     warnings.push(format!(
@@ -793,6 +942,8 @@ impl CrowdDB {
                 &mut warnings,
                 start_stats.cents_spent,
                 summary.rounds,
+                guard,
+                budget,
             )?;
             summary.absorb_resilience(&wave);
         }
@@ -801,6 +952,7 @@ impl CrowdDB {
                 "round budget exhausted; DML applied with some crowd predicates undecided".into(),
             );
         }
+        guard.check(platform.now())?;
         let r = {
             // Logical DML records are not idempotent: the mutation and its
             // log record must not straddle a checkpoint (see `ckpt_latch`).
@@ -824,21 +976,36 @@ impl CrowdDB {
         })
     }
 
-    fn run_select(&self, stmt: &Statement, platform: &mut dyn Platform) -> Result<QueryResult> {
+    fn run_select(
+        &self,
+        stmt: &Statement,
+        platform: &mut dyn Platform,
+        guard: &StatementGuard,
+    ) -> Result<QueryResult> {
         let (plan, mut warnings) = self.plan_select(stmt, false)?;
         let columns = output_columns(&plan);
         let mut summary = CrowdSummary::default();
         let start_stats = platform.stats();
         let start_now = platform.now();
+        let budget = effective_budget(self.config.max_budget_cents, guard.max_crowd_cents);
         let mut rows = Vec::new();
         let mut complete = false;
         for _ in 0..self.config.max_rounds {
+            // Governor checkpoint: terminate at the round boundary if the
+            // statement was cancelled or overran its virtual deadline.
+            // Everything earlier rounds paid for is already memorized.
+            guard.check(platform.now())?;
             summary.rounds += 1;
             let caches_snapshot = self.caches.snapshot();
             // Lowering is repeated per round on purpose: cardinality
             // estimates shift as crowd answers are written back.
             let physical = lower_plan(&self.db, &plan);
-            let (exec, op_stats) = execute_physical(&self.db, &caches_snapshot, &physical)?;
+            let (exec, op_stats) = execute_physical_guarded(
+                &self.db,
+                &caches_snapshot,
+                &physical,
+                guard.exec.clone(),
+            )?;
             flush_op_stats(self.obs.registry(), &op_stats);
             rows = exec.rows;
             if exec.needs.is_empty() {
@@ -852,7 +1019,7 @@ impl CrowdDB {
                 );
                 break;
             }
-            if let Some(budget) = self.config.max_budget_cents {
+            if let Some(budget) = budget {
                 let spent = platform.stats().cents_spent - start_stats.cents_spent;
                 if spent >= budget {
                     warnings.push(format!(
@@ -868,6 +1035,8 @@ impl CrowdDB {
                 &mut warnings,
                 start_stats.cents_spent,
                 summary.rounds,
+                guard,
+                budget,
             )?;
             summary.absorb_resilience(&wave);
         }
@@ -892,6 +1061,7 @@ impl CrowdDB {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fulfill(
         &self,
         needs: &[crowddb_exec::TaskNeed],
@@ -899,11 +1069,13 @@ impl CrowdDB {
         warnings: &mut Vec<String>,
         statement_start_cents: u64,
         round: usize,
+        guard: &StatementGuard,
+        budget: Option<u64>,
     ) -> Result<taskman::FulfillSummary> {
         // Budget-aware wave sizing: never post more tasks than the
         // remaining per-statement budget can pay for (escalations may
         // still nudge past the line; the round-level gate catches that).
-        let needs = match self.config.max_budget_cents {
+        let needs = match budget {
             Some(budget) => {
                 let per_task =
                     (self.config.reward_cents as u64 * self.config.vote.replication as u64).max(1);
@@ -942,6 +1114,7 @@ impl CrowdDB {
                 &self.config,
                 needs,
                 &self.obs,
+                guard,
             )?
         };
         warnings.append(&mut fulfill.warnings);
@@ -1055,6 +1228,7 @@ impl CrowdDB {
         for s in &schemas {
             templates.register_schema(s);
         }
+        let admission = AdmissionController::new(&config.governor);
         Ok(CrowdDB {
             db,
             caches: SharedCaches::from_caches(caches),
@@ -1067,6 +1241,8 @@ impl CrowdDB {
             durable: None,
             obs: Obs::new(),
             next_statement_id: AtomicU64::new(0),
+            cancel: CancelToken::new(),
+            admission,
         })
     }
 
@@ -1127,6 +1303,28 @@ const _: () = {
 
 fn output_columns(plan: &LogicalPlan) -> Vec<String> {
     plan.schema().columns.into_iter().map(|c| c.name).collect()
+}
+
+/// Whether a statement may engage the crowd (for the admission
+/// controller's crowd-statement limit). DDL and plain INSERT never post
+/// tasks; SELECT, UPDATE, DELETE, and `EXPLAIN ANALYZE` may.
+fn statement_touches_crowd(stmt: &Statement) -> bool {
+    match stmt {
+        Statement::Select(_) | Statement::Update(_) | Statement::Delete(_) => true,
+        Statement::Explain { analyze, statement } => *analyze && statement_touches_crowd(statement),
+        _ => false,
+    }
+}
+
+/// Best-effort text from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Deterministic comparison-cache encoding: each map is a count followed

@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod crowddb;
+pub mod governor;
 pub mod par;
 pub mod result;
 pub mod taskman;
@@ -35,4 +36,5 @@ pub use config::{ConcurrencyPolicy, CrowdConfig, DurabilityPolicy, RetryPolicy};
 pub use crowddb::CrowdDB;
 pub use crowddb_obs::{Event, EventRecord, MetricsSnapshot, Obs};
 pub use crowddb_wal::FsyncPolicy;
+pub use governor::{AdmissionController, CancelToken, GovernorPolicy, StatementGuard};
 pub use result::{CrowdSummary, QueryResult};

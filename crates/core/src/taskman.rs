@@ -434,6 +434,7 @@ pub fn fulfill_needs(
     config: &CrowdConfig,
     needs: &[TaskNeed],
     obs: &Obs,
+    guard: &crate::governor::StatementGuard,
 ) -> Result<FulfillSummary> {
     let mut summary = FulfillSummary::default();
     if needs.is_empty() {
@@ -548,6 +549,16 @@ pub fn fulfill_needs(
     let threshold = config.concurrency.parallel_threshold;
 
     while trackers.iter().any(|t| !t.resolved) && elapsed < config.round_budget_secs {
+        // Governor checkpoint: a deadline or cancel interrupts the pump
+        // *before* the next virtual-time step, so termination lands on a
+        // deterministic boundary. Answers already collected still settle
+        // below — paid work is never discarded.
+        if guard.interruption(platform.now()).is_some() {
+            summary
+                .warnings
+                .push("statement interrupted mid-round; settling answers already collected".into());
+            break;
+        }
         platform.advance(config.pump_step_secs);
         elapsed += config.pump_step_secs;
         // Stage arrivals serially: dedup, ban checks, and events depend
@@ -1468,7 +1479,15 @@ mod tests {
         let needs: Vec<TaskNeed> = order.iter().map(|t| sweep_need(t)).collect();
         let mut p = SweepClockPlatform::new();
         fulfill_needs(
-            &db, &caches, &mut wrm, &templates, &mut p, &config, &needs, &obs,
+            &db,
+            &caches,
+            &mut wrm,
+            &templates,
+            &mut p,
+            &config,
+            &needs,
+            &obs,
+            &crate::governor::StatementGuard::unlimited(),
         )
         .unwrap()
     }

@@ -442,6 +442,143 @@ fn metrics_reconcile_exactly_with_summaries_and_fault_stats() {
     }
 }
 
+/// Governed chaos: statement deadlines firing mid-round while the
+/// platform injects 30% faults. The invariants stack: every statement
+/// either succeeds or terminates with the typed `Cancelled` error (never
+/// anything else, never a panic); runs are byte-identical per seed at 1
+/// and 4 workers — outcomes, metrics, events, and the faults actually
+/// injected; paid answers are never discarded (memorized answers
+/// survive the cancellation); and the statement-level cost accounting
+/// reconciles exactly with the registry.
+#[test]
+fn deadline_cancellation_under_faults_is_deterministic() {
+    use crowddb_common::CrowdError;
+
+    let run = |seed: u64, workers: usize| {
+        let mut config = chaos_config_with_workers(workers);
+        // Trip after two pump steps (2 × 600 s): deep enough into the
+        // round that answers have been collected and paid for.
+        config.governor.deadline_virtual_secs = Some(1200.0);
+        let obs = Obs::new();
+        let db = CrowdDB::with_obs(config, obs.clone());
+        let mut p = FaultyPlatform::new(world_script(), FaultConfig::uniform(seed, 0.3))
+            .with_obs(obs.clone());
+        let outcomes: Vec<String> = SUITE
+            .iter()
+            .map(|sql| match db.execute(sql, &mut p) {
+                Ok(r) => format!("ok complete={} rows={}", r.complete, r.rows.len()),
+                Err(CrowdError::Cancelled(reason)) => format!("cancelled {reason:?}"),
+                Err(e) => panic!("{sql}: unexpected error class {e}"),
+            })
+            .collect();
+        // Whatever the governed pass memorized before each deadline is
+        // kept: an ungoverned re-read must not error and must reuse it.
+        let replay = db
+            .execute_with_policy(SUITE[3], &mut p, &crowddb_core::GovernorPolicy::default())
+            .unwrap();
+        (
+            outcomes,
+            format!("replay tasks={}", replay.crowd.tasks_posted),
+            db.metrics().to_prometheus(),
+            db.events_jsonl(),
+            p.injected(),
+        )
+    };
+    for seed in [1_u64, 2, 3] {
+        let golden = run(seed, 1);
+        assert!(
+            golden.0.iter().any(|o| o.starts_with("cancelled")),
+            "seed {seed}: the deadline must fire somewhere: {:?}",
+            golden.0
+        );
+        let again = run(seed, 1);
+        assert_eq!(golden.0, again.0, "seed {seed}: outcomes must replay");
+        assert_eq!(golden.2, again.2, "seed {seed}: metrics must replay");
+        assert_eq!(golden.3, again.3, "seed {seed}: events must replay");
+        let parallel = run(seed, 4);
+        assert_eq!(
+            golden.0, parallel.0,
+            "seed {seed}: outcomes diverged at 4 workers"
+        );
+        assert_eq!(golden.1, parallel.1, "seed {seed}: replay diverged");
+        assert_eq!(
+            golden.2, parallel.2,
+            "seed {seed}: metrics diverged at 4 workers"
+        );
+        assert_eq!(
+            golden.3, parallel.3,
+            "seed {seed}: events diverged at 4 workers"
+        );
+        assert_eq!(
+            golden.4, parallel.4,
+            "seed {seed}: fault injection diverged at 4 workers"
+        );
+    }
+}
+
+/// Under deadlines + faults, the registry's statement-level cost
+/// accounting reconciles exactly with the summaries of the statements
+/// that completed: `crowddb_crowd_cents_spent_total` is credited in
+/// `finish_statement` only for `Ok` outcomes, and a cancelled
+/// statement's spending stays visible on the platform — so
+/// `platform cents == Ok-summary cents + governed-cancelled spending`.
+#[test]
+fn governed_metrics_reconcile_with_summaries_under_faults() {
+    for seed in [1_u64, 2, 3] {
+        let mut config = chaos_config();
+        config.governor.deadline_virtual_secs = Some(1200.0);
+        let obs = Obs::new();
+        let db = CrowdDB::with_obs(config, obs.clone());
+        let mut p = FaultyPlatform::new(world_script(), FaultConfig::uniform(seed, 0.3))
+            .with_obs(obs.clone());
+        let mut ok_results: Vec<QueryResult> = Vec::new();
+        let mut cancelled = 0_u64;
+        for sql in SUITE {
+            match db.execute(sql, &mut p) {
+                Ok(r) => ok_results.push(r),
+                Err(crowddb_common::CrowdError::Cancelled(_)) => cancelled += 1,
+                Err(e) => panic!("{sql}: unexpected error class {e}"),
+            }
+        }
+        let snap = db.metrics();
+        assert_eq!(
+            snap.counter("crowddb_statements_total"),
+            SUITE.len() as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            snap.counter("crowddb_governor_cancelled_total"),
+            cancelled,
+            "seed {seed}"
+        );
+        assert_eq!(
+            snap.counter("crowddb_statement_errors_total"),
+            cancelled,
+            "seed {seed}: cancellations are the only errors"
+        );
+        let ok_cents: u64 = ok_results.iter().map(|r| r.crowd.cents_spent).sum();
+        assert_eq!(
+            snap.counter("crowddb_crowd_cents_spent_total"),
+            ok_cents,
+            "seed {seed}: statement-level cost accounting must match"
+        );
+        // Cancelled statements still paid for their settled answers; the
+        // platform's ledger is the wave-level registry's ground truth.
+        assert!(
+            p.stats().cents_spent >= ok_cents,
+            "seed {seed}: platform ledger below statement accounting"
+        );
+        // Wave-level counters include the cancelled statements' waves,
+        // so they dominate the Ok-summary totals — with equality exactly
+        // when nothing was cancelled mid-crowd.
+        let ok_answers: u64 = ok_results.iter().map(|r| r.crowd.answers_collected).sum();
+        assert!(
+            snap.counter("crowddb_crowd_answers_total") >= ok_answers,
+            "seed {seed}: wave-level answers below statement accounting"
+        );
+    }
+}
+
 #[test]
 fn lost_hits_are_reposted_then_given_up() {
     let mut cfg = FaultConfig::none(11);

@@ -1,9 +1,11 @@
-//! The per-run execution context: crowd answer caches and collected
-//! needs.
+//! The per-run execution context: crowd answer caches, collected
+//! needs, and the cooperative-cancellation guard.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
-use crowddb_common::{Result, Row, TableSchema};
+use crowddb_common::{CancelReason, CrowdError, Result, Row, TableSchema};
 use crowddb_plan::LogicalPlan;
 use crowddb_storage::Database;
 
@@ -263,6 +265,49 @@ pub struct RunStats {
     pub index_lookups: u64,
 }
 
+/// Cooperative-cancellation guard threaded through the operator tree.
+///
+/// Operators call [`RunContext::check`] in their per-row loops and
+/// [`super::ops::run_op`] charges each operator's output rows through
+/// [`RunContext::charge_rows`]; both are cheap no-ops when no limit is
+/// armed (`enabled` is precomputed so the hot path is one branch).
+///
+/// The guard is per-*round*: counters reset when a fresh `ExecCtx` is
+/// built for the next round, so `max_intermediate_rows` bounds the rows
+/// materialized within a single round (the unit of work the governor
+/// terminates at). The chaos hooks `trip_cancel_after` / `panic_after`
+/// fire at the Nth checkpoint and exist purely for fault-injection
+/// tests.
+#[derive(Debug, Clone, Default)]
+pub struct ExecGuard {
+    /// Session cancel flag; set by `CancelToken::cancel`.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Cap on rows materialized by operators within one round.
+    pub max_intermediate_rows: Option<u64>,
+    /// Cap on rows returned by the plan root (enforced by
+    /// `execute_physical_guarded`, not by `check`).
+    pub max_output_rows: Option<u64>,
+    /// Chaos hook: behave as if the user cancelled at the Nth check.
+    pub trip_cancel_after: Option<u64>,
+    /// Chaos hook: panic at the Nth check (panic-containment tests).
+    pub panic_after: Option<u64>,
+}
+
+impl ExecGuard {
+    /// A guard with no limits armed — every check is a near-free branch.
+    pub fn unlimited() -> ExecGuard {
+        ExecGuard::default()
+    }
+
+    /// Whether any check-point work is needed at all.
+    fn engaged(&self) -> bool {
+        self.cancel.is_some()
+            || self.max_intermediate_rows.is_some()
+            || self.trip_cancel_after.is_some()
+            || self.panic_after.is_some()
+    }
+}
+
 /// Mutable state threaded through one execution round.
 pub struct RunContext<'caches> {
     /// Session comparison caches (shared across rounds).
@@ -276,11 +321,28 @@ pub struct RunContext<'caches> {
     pub stats: RunStats,
     /// Accepted needs by kind (for per-operator attribution).
     pub need_counts: NeedCounts,
+    /// Cooperative-cancellation guard for this round.
+    guard: ExecGuard,
+    /// Fast path: false ⇒ `check()` is a single branch.
+    guard_engaged: bool,
+    /// Chaos hooks armed ⇒ route checks through the counting slow path.
+    chaos_engaged: bool,
+    /// Checkpoints passed this round (drives the chaos hooks).
+    checks: u64,
+    /// Rows charged by operators this round.
+    intermediate_rows: u64,
 }
 
 impl<'caches> RunContext<'caches> {
     /// Fresh context for one round.
     pub fn new(caches: &'caches CompareCaches) -> RunContext<'caches> {
+        RunContext::with_guard(caches, ExecGuard::unlimited())
+    }
+
+    /// Fresh context for one round with a cancellation guard armed.
+    pub fn with_guard(caches: &'caches CompareCaches, guard: ExecGuard) -> RunContext<'caches> {
+        let guard_engaged = guard.engaged();
+        let chaos_engaged = guard.trip_cancel_after.is_some() || guard.panic_after.is_some();
         RunContext {
             caches,
             needs: Vec::new(),
@@ -288,7 +350,77 @@ impl<'caches> RunContext<'caches> {
             subquery_results: HashMap::new(),
             stats: RunStats::default(),
             need_counts: NeedCounts::default(),
+            guard,
+            guard_engaged,
+            chaos_engaged,
+            checks: 0,
+            intermediate_rows: 0,
         }
+    }
+
+    /// Cooperative-cancellation checkpoint. Operators call this in
+    /// per-row loops; it is a single branch when no guard is armed, and
+    /// one relaxed atomic load in the common armed case (cancel flag
+    /// without chaos hooks) — kept inline so a governed session's
+    /// per-row cost stays in the noise (E13).
+    #[inline]
+    pub fn check(&mut self) -> Result<()> {
+        if !self.guard_engaged {
+            return Ok(());
+        }
+        if self.chaos_engaged {
+            return self.check_chaos();
+        }
+        if let Some(flag) = &self.guard.cancel {
+            if flag.load(AtomicOrdering::Relaxed) {
+                return Err(CrowdError::Cancelled(CancelReason::UserRequested));
+            }
+        }
+        Ok(())
+    }
+
+    #[cold]
+    fn check_chaos(&mut self) -> Result<()> {
+        self.checks += 1;
+        if let Some(n) = self.guard.panic_after {
+            if self.checks >= n {
+                panic!("injected operator panic at check {n} (chaos hook)");
+            }
+        }
+        if let Some(n) = self.guard.trip_cancel_after {
+            if self.checks >= n {
+                return Err(CrowdError::Cancelled(CancelReason::UserRequested));
+            }
+        }
+        if let Some(flag) = &self.guard.cancel {
+            if flag.load(AtomicOrdering::Relaxed) {
+                return Err(CrowdError::Cancelled(CancelReason::UserRequested));
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge `n` operator-output rows against the intermediate-row cap
+    /// (also a checkpoint). Called centrally by `ops::run_op`.
+    pub fn charge_rows(&mut self, n: u64) -> Result<()> {
+        self.check()?;
+        self.intermediate_rows += n;
+        if let Some(cap) = self.guard.max_intermediate_rows {
+            if self.intermediate_rows > cap {
+                return Err(CrowdError::Cancelled(CancelReason::IntermediateRowLimit));
+            }
+        }
+        Ok(())
+    }
+
+    /// The guard's output-row cap (enforced at the plan root).
+    pub fn max_output_rows(&self) -> Option<u64> {
+        self.guard.max_output_rows
+    }
+
+    /// Checkpoints passed so far this round (test introspection).
+    pub fn checks_passed(&self) -> u64 {
+        self.checks
     }
 
     /// Record a need (deduplicated). Returns whether the need was
@@ -336,9 +468,18 @@ pub struct ExecCtx<'a> {
 impl<'a> ExecCtx<'a> {
     /// Fresh context sharing the session's comparison caches.
     pub fn new(db: &'a Database, caches: &'a CompareCaches) -> ExecCtx<'a> {
+        ExecCtx::with_guard(db, caches, ExecGuard::unlimited())
+    }
+
+    /// Fresh context with a cooperative-cancellation guard armed.
+    pub fn with_guard(
+        db: &'a Database,
+        caches: &'a CompareCaches,
+        guard: ExecGuard,
+    ) -> ExecCtx<'a> {
         ExecCtx {
             db,
-            rt: RunContext::new(caches),
+            rt: RunContext::with_guard(caches, guard),
             schema_cache: HashMap::new(),
         }
     }
@@ -503,6 +644,69 @@ mod tests {
                 "key {i}"
             );
         }
+    }
+
+    #[test]
+    fn unarmed_guard_checks_are_free() {
+        let caches = CompareCaches::default();
+        let mut ctx = RunContext::new(&caches);
+        for _ in 0..1000 {
+            ctx.check().unwrap();
+            ctx.charge_rows(10).unwrap();
+        }
+        // The fast path never even counts checkpoints.
+        assert_eq!(ctx.checks_passed(), 0);
+    }
+
+    #[test]
+    fn cancel_flag_trips_check() {
+        use crowddb_common::{CancelReason, CrowdError};
+        let caches = CompareCaches::default();
+        let flag = Arc::new(AtomicBool::new(false));
+        let guard = ExecGuard {
+            cancel: Some(Arc::clone(&flag)),
+            ..ExecGuard::default()
+        };
+        let mut ctx = RunContext::with_guard(&caches, guard);
+        ctx.check().unwrap();
+        flag.store(true, AtomicOrdering::Relaxed);
+        assert_eq!(
+            ctx.check(),
+            Err(CrowdError::Cancelled(CancelReason::UserRequested))
+        );
+    }
+
+    #[test]
+    fn intermediate_row_cap_trips_charge() {
+        use crowddb_common::{CancelReason, CrowdError};
+        let caches = CompareCaches::default();
+        let guard = ExecGuard {
+            max_intermediate_rows: Some(25),
+            ..ExecGuard::default()
+        };
+        let mut ctx = RunContext::with_guard(&caches, guard);
+        ctx.charge_rows(20).unwrap();
+        assert_eq!(
+            ctx.charge_rows(20),
+            Err(CrowdError::Cancelled(CancelReason::IntermediateRowLimit))
+        );
+    }
+
+    #[test]
+    fn trip_cancel_after_counts_checkpoints() {
+        use crowddb_common::{CancelReason, CrowdError};
+        let caches = CompareCaches::default();
+        let guard = ExecGuard {
+            trip_cancel_after: Some(3),
+            ..ExecGuard::default()
+        };
+        let mut ctx = RunContext::with_guard(&caches, guard);
+        ctx.check().unwrap();
+        ctx.check().unwrap();
+        assert_eq!(
+            ctx.check(),
+            Err(CrowdError::Cancelled(CancelReason::UserRequested))
+        );
     }
 
     #[test]

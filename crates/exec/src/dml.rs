@@ -17,7 +17,7 @@ use crowddb_plan::Binder;
 use crowddb_sql::{Delete, Insert, Update};
 use crowddb_storage::Database;
 
-use crate::context::{CompareCaches, ExecCtx};
+use crate::context::{CompareCaches, ExecCtx, ExecGuard};
 use crate::eval::{eval, eval_truth};
 use crate::need::TaskNeed;
 
@@ -36,6 +36,18 @@ pub struct DmlResult {
 /// CROWD columns (so they will be crowdsourced on first use — the
 /// CrowdSQL default) and `NULL` otherwise.
 pub fn execute_insert(db: &Database, caches: &CompareCaches, ins: &Insert) -> Result<DmlResult> {
+    execute_insert_guarded(db, caches, ins, ExecGuard::unlimited())
+}
+
+/// [`execute_insert`] under a cooperative-cancellation guard; each row
+/// is a checkpoint, and a trip rolls the whole statement back (the
+/// normal DML atomicity path).
+pub fn execute_insert_guarded(
+    db: &Database,
+    caches: &CompareCaches,
+    ins: &Insert,
+    guard: ExecGuard,
+) -> Result<DmlResult> {
     let schema = db.schema(&ins.table)?;
     let bound_rows: Vec<Vec<crowddb_plan::BExpr>> = {
         db.with_catalog(|catalog| {
@@ -64,11 +76,12 @@ pub fn execute_insert(db: &Database, caches: &CompareCaches, ins: &Insert) -> Re
         None => (0..schema.arity()).collect(),
     };
 
-    let mut ctx = ExecCtx::new(db, caches);
+    let mut ctx = ExecCtx::with_guard(db, caches, guard);
     let empty = Row::default();
     let mut inserted: Vec<TupleId> = Vec::new();
     let outcome = (|| {
         for exprs in &bound_rows {
+            ctx.rt.check()?;
             if exprs.len() != positions.len() {
                 return Err(CrowdError::Analyze(format!(
                     "INSERT INTO {} expects {} values, got {}",
@@ -113,7 +126,17 @@ pub fn execute_insert(db: &Database, caches: &CompareCaches, ins: &Insert) -> Re
 
 /// Execute an UPDATE for one round.
 pub fn execute_update(db: &Database, caches: &CompareCaches, upd: &Update) -> Result<DmlResult> {
-    update_inner(db, caches, upd, true)
+    update_inner(db, caches, upd, true, ExecGuard::unlimited())
+}
+
+/// [`execute_update`] under a cooperative-cancellation guard.
+pub fn execute_update_guarded(
+    db: &Database,
+    caches: &CompareCaches,
+    upd: &Update,
+    guard: ExecGuard,
+) -> Result<DmlResult> {
+    update_inner(db, caches, upd, true, guard)
 }
 
 /// Dry-run an UPDATE: report how many rows *would* be affected and which
@@ -122,7 +145,17 @@ pub fn execute_update(db: &Database, caches: &CompareCaches, upd: &Update) -> Re
 /// non-idempotent assignment like `SET n = n + 1` would be re-applied on
 /// every crowd round.
 pub fn plan_update(db: &Database, caches: &CompareCaches, upd: &Update) -> Result<DmlResult> {
-    update_inner(db, caches, upd, false)
+    update_inner(db, caches, upd, false, ExecGuard::unlimited())
+}
+
+/// [`plan_update`] under a cooperative-cancellation guard.
+pub fn plan_update_guarded(
+    db: &Database,
+    caches: &CompareCaches,
+    upd: &Update,
+    guard: ExecGuard,
+) -> Result<DmlResult> {
+    update_inner(db, caches, upd, false, guard)
 }
 
 fn update_inner(
@@ -130,6 +163,7 @@ fn update_inner(
     caches: &CompareCaches,
     upd: &Update,
     apply: bool,
+    guard: ExecGuard,
 ) -> Result<DmlResult> {
     let schema = db.schema(&upd.table)?;
     let (filter, assignments) = db.with_catalog(|catalog| {
@@ -150,9 +184,10 @@ fn update_inner(
     })?;
 
     let rows = db.with_table(&upd.table, |t| t.scan_rows())?;
-    let mut ctx = ExecCtx::new(db, caches);
+    let mut ctx = ExecCtx::with_guard(db, caches, guard);
     let mut to_apply = Vec::new();
     for (tid, row) in rows {
+        ctx.rt.check()?;
         let hit = match &filter {
             Some(f) => eval_truth(&mut ctx, f, &row)?.passes_filter(),
             None => true,
@@ -189,12 +224,32 @@ fn update_inner(
 
 /// Execute a DELETE for one round.
 pub fn execute_delete(db: &Database, caches: &CompareCaches, del: &Delete) -> Result<DmlResult> {
-    delete_inner(db, caches, del, true)
+    delete_inner(db, caches, del, true, ExecGuard::unlimited())
+}
+
+/// [`execute_delete`] under a cooperative-cancellation guard.
+pub fn execute_delete_guarded(
+    db: &Database,
+    caches: &CompareCaches,
+    del: &Delete,
+    guard: ExecGuard,
+) -> Result<DmlResult> {
+    delete_inner(db, caches, del, true, guard)
 }
 
 /// Dry-run a DELETE (see [`plan_update`]).
 pub fn plan_delete(db: &Database, caches: &CompareCaches, del: &Delete) -> Result<DmlResult> {
-    delete_inner(db, caches, del, false)
+    delete_inner(db, caches, del, false, ExecGuard::unlimited())
+}
+
+/// [`plan_delete`] under a cooperative-cancellation guard.
+pub fn plan_delete_guarded(
+    db: &Database,
+    caches: &CompareCaches,
+    del: &Delete,
+    guard: ExecGuard,
+) -> Result<DmlResult> {
+    delete_inner(db, caches, del, false, guard)
 }
 
 fn delete_inner(
@@ -202,6 +257,7 @@ fn delete_inner(
     caches: &CompareCaches,
     del: &Delete,
     apply: bool,
+    guard: ExecGuard,
 ) -> Result<DmlResult> {
     let filter = db.with_catalog(|catalog| {
         let mut binder = Binder::new(catalog);
@@ -211,9 +267,10 @@ fn delete_inner(
         }
     })?;
     let rows = db.with_table(&del.table, |t| t.scan_rows())?;
-    let mut ctx = ExecCtx::new(db, caches);
+    let mut ctx = ExecCtx::with_guard(db, caches, guard);
     let mut victims = Vec::new();
     for (tid, row) in rows {
+        ctx.rt.check()?;
         let hit = match &filter {
             Some(f) => eval_truth(&mut ctx, f, &row)?.passes_filter(),
             None => true,

@@ -8,12 +8,12 @@
 //! fast at the scale CrowdDB operates — the bottleneck is always the
 //! human round-trips, as the paper observes.
 
-use crowddb_common::{Result, Row};
+use crowddb_common::{CancelReason, CrowdError, Result, Row};
 use crowddb_plan::cardinality::FnStats;
 use crowddb_plan::{LogicalPlan, PhysicalPlan};
 use crowddb_storage::Database;
 
-use crate::context::{CompareCaches, ExecCtx, RunStats};
+use crate::context::{CompareCaches, ExecCtx, ExecGuard, RunStats};
 use crate::need::TaskNeed;
 use crate::ops::{self, OpStatsNode};
 
@@ -62,10 +62,29 @@ pub fn execute_physical(
     caches: &CompareCaches,
     physical: &PhysicalPlan,
 ) -> Result<(ExecResult, OpStatsNode)> {
-    let mut ctx = ExecCtx::new(db, caches);
+    execute_physical_guarded(db, caches, physical, ExecGuard::unlimited())
+}
+
+/// Execute an already-lowered physical plan for one round under a
+/// cooperative-cancellation [`ExecGuard`]. The guard's output-row cap is
+/// enforced here, at the plan root, so a statement whose final result
+/// exceeds the cap terminates with a typed error rather than silently
+/// truncating.
+pub fn execute_physical_guarded(
+    db: &Database,
+    caches: &CompareCaches,
+    physical: &PhysicalPlan,
+    guard: ExecGuard,
+) -> Result<(ExecResult, OpStatsNode)> {
+    let mut ctx = ExecCtx::with_guard(db, caches, guard);
     let op = ops::build(physical);
     let mut stats_tree = OpStatsNode::skeleton(physical);
     let rows = ops::run_op(op.as_ref(), &mut ctx, &mut stats_tree)?;
+    if let Some(cap) = ctx.rt.max_output_rows() {
+        if rows.len() as u64 > cap {
+            return Err(CrowdError::Cancelled(CancelReason::OutputRowLimit));
+        }
+    }
     let (needs, stats) = ctx.finish();
     Ok((ExecResult { rows, needs, stats }, stats_tree))
 }

@@ -36,7 +36,9 @@ pub mod executor;
 pub mod need;
 pub mod ops;
 
-pub use context::{CompareCaches, ExecCtx, NeedCounts, RunContext, RunStats, SharedCaches};
-pub use executor::{execute, execute_physical, lower_plan, ExecResult};
+pub use context::{
+    CompareCaches, ExecCtx, ExecGuard, NeedCounts, RunContext, RunStats, SharedCaches,
+};
+pub use executor::{execute, execute_physical, execute_physical_guarded, lower_plan, ExecResult};
 pub use need::TaskNeed;
 pub use ops::{flush_op_stats, render_analyzed, OpStatsNode, Operator};

@@ -44,6 +44,7 @@ impl Operator for AggregateOp<'_> {
         let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
         let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
         for (i, row) in rows.iter().enumerate() {
+            ctx.rt.check()?;
             let mut key = Vec::with_capacity(self.group_by.len());
             for g in self.group_by {
                 key.push(eval(ctx, g, row)?);

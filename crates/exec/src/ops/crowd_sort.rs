@@ -42,8 +42,12 @@ impl Operator for CrowdSortOp<'_> {
             return Ok(rows);
         }
         // Materialize sort keys per row.
+        // Checkpoints live in this key-materialization pre-pass: the
+        // quicksort comparator below returns `Ordering` and cannot
+        // propagate a cancellation error.
         let mut keyed: Vec<(Vec<KeyVal>, Row)> = Vec::with_capacity(rows.len());
         for row in rows {
+            ctx.rt.check()?;
             let mut ks = Vec::with_capacity(self.keys.len());
             for key in self.keys {
                 match &key.expr {

@@ -36,6 +36,7 @@ impl Operator for FilterOp<'_> {
         stats.rows_in += rows.len() as u64;
         let mut out = Vec::with_capacity(rows.len());
         for row in rows {
+            ctx.rt.check()?;
             if eval_truth(ctx, self.predicate, &row)?.passes_filter() {
                 out.push(row);
             }

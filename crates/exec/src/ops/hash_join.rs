@@ -107,6 +107,7 @@ pub(crate) fn join_hashed(
     }
     let mut out = Vec::new();
     for l in &left_rows {
+        ctx.rt.check()?;
         let mut key = Vec::with_capacity(equi.len());
         let mut missing = false;
         for (le, _) in equi {

@@ -201,6 +201,9 @@ pub fn run_op(
     let misses0 = ctx.rt.stats.compare_cache_misses;
     let t0 = Instant::now();
     let rows = op.execute(ctx, node)?;
+    // Central guard charge: every operator's output counts toward the
+    // intermediate-row cap, and each boundary is a cancel checkpoint.
+    ctx.rt.charge_rows(rows.len() as u64)?;
     node.cum_wall += t0.elapsed();
     node.cum_needs = node.cum_needs.add(&ctx.rt.need_counts.diff(&needs0));
     node.cum_hits += ctx.rt.stats.compare_cache_hits - hits0;

@@ -46,6 +46,7 @@ impl Operator for NestedLoopJoinOp<'_> {
         stats.rows_in += (left_rows.len() + right_rows.len()) as u64;
         let mut out = Vec::new();
         for l in &left_rows {
+            ctx.rt.check()?;
             let mut matched = false;
             for r in &right_rows {
                 let joined = l.concat(r);

@@ -32,6 +32,7 @@ impl Operator for ProjectOp<'_> {
         stats.rows_in += rows.len() as u64;
         let mut out = Vec::with_capacity(rows.len());
         for row in rows {
+            ctx.rt.check()?;
             let mut values = Vec::with_capacity(self.exprs.len());
             for e in self.exprs {
                 values.push(eval(ctx, e, &row)?);

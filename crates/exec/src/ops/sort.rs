@@ -38,6 +38,7 @@ impl Operator for SortOp<'_> {
         }
         let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
         for row in rows {
+            ctx.rt.check()?;
             let mut ks = Vec::with_capacity(self.keys.len());
             for key in self.keys {
                 ks.push(eval(ctx, &key.expr, &row)?);

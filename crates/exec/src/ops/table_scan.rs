@@ -76,6 +76,7 @@ impl Operator for TableScanOp<'_> {
 
         let mut out = Vec::with_capacity(rows.len());
         for (tid, row) in rows {
+            ctx.rt.check()?;
             // Fused filter: a decidedly-False predicate drops the row
             // before any crowd work is generated for it; Unknown keeps
             // probing (the missing value may decide the predicate).

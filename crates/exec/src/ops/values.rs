@@ -27,6 +27,7 @@ impl Operator for ValuesOp<'_> {
         let empty = Row::default();
         let mut out = Vec::with_capacity(self.rows.len());
         for row_exprs in self.rows {
+            ctx.rt.check()?;
             let mut values = Vec::with_capacity(row_exprs.len());
             for e in row_exprs {
                 values.push(eval(ctx, e, &empty)?);

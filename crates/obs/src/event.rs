@@ -146,6 +146,25 @@ pub enum Event {
         /// Fault kind (`FaultStats` field name).
         kind: &'static str,
     },
+    /// The resource governor terminated a statement.
+    StatementCancelled {
+        /// Statement id.
+        id: u64,
+        /// `CancelReason::tag()` (`user-requested`, `deadline-exceeded`,
+        /// `output-row-limit`, `intermediate-row-limit`).
+        reason: &'static str,
+    },
+    /// Admission control rejected a statement (session at capacity).
+    AdmissionRejected {
+        /// Whether the rejected statement was crowd-touching.
+        crowd: bool,
+    },
+    /// A panicking statement was contained by the governor; the session
+    /// stays usable.
+    PanicContained {
+        /// Statement id.
+        id: u64,
+    },
 }
 
 impl Event {
@@ -168,6 +187,9 @@ impl Event {
             Event::WalFsync { .. } => "wal_fsync",
             Event::WalCheckpoint { .. } => "wal_checkpoint",
             Event::FaultInjected { .. } => "fault_injected",
+            Event::StatementCancelled { .. } => "statement_cancelled",
+            Event::AdmissionRejected { .. } => "admission_rejected",
+            Event::PanicContained { .. } => "panic_contained",
         }
     }
 }

@@ -216,6 +216,15 @@ pub fn event_to_json(rec: &EventRecord) -> String {
             ],
         ),
         Event::FaultInjected { kind } => obj(ts, "fault_injected", &[("kind", Field::Str(kind))]),
+        Event::StatementCancelled { id, reason } => obj(
+            ts,
+            "statement_cancelled",
+            &[("id", Field::U64(*id)), ("reason", Field::Str(reason))],
+        ),
+        Event::AdmissionRejected { crowd } => {
+            obj(ts, "admission_rejected", &[("crowd", Field::Bool(*crowd))])
+        }
+        Event::PanicContained { id } => obj(ts, "panic_contained", &[("id", Field::U64(*id))]),
     }
 }
 

@@ -61,7 +61,8 @@
 
 pub use crowddb_common::{CrowdError, DataType, Result, Row, Value};
 pub use crowddb_core::{
-    CrowdConfig, CrowdDB, CrowdSummary, DurabilityPolicy, FsyncPolicy, QueryResult, RetryPolicy,
+    CancelToken, CrowdConfig, CrowdDB, CrowdSummary, DurabilityPolicy, FsyncPolicy, GovernorPolicy,
+    QueryResult, RetryPolicy,
 };
 pub use crowddb_platform::{
     Answer, FaultConfig, FaultStats, FaultyPlatform, MockPlatform, Platform, SimConfig,

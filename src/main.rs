@@ -11,7 +11,7 @@
 //!
 //! Meta commands: `\help`, `\tables`, `\schema <t>`, `\explain <sql>`,
 //! `\preview <sql>`, `\platform <amt|mobile> [seed]`, `\wrm`, `\stats`,
-//! `\metrics`, `\events [n]`, `\quit`.
+//! `\metrics`, `\events [n]`, `\cancel`, `\quit`.
 
 use std::io::{self, BufRead, Write};
 
@@ -46,6 +46,7 @@ fn print_help() {
          \\stats                platform counters\n\
          \\metrics              engine metrics (Prometheus text format)\n\
          \\events [n]           last n structured events as JSON lines (default 20)\n\
+         \\cancel               stop the next statement at its first governor checkpoint\n\
          \\quit                 exit\n\
          The simulated crowd answers with deterministic placeholder values\n\
          (PerfectModel); run the examples for realistic world models."
@@ -135,6 +136,17 @@ fn run_meta(db: &CrowdDB, platform: &mut Box<dyn Platform>, line: &str) -> bool 
             for rec in &records[skip..] {
                 println!("{}", rec.to_json());
             }
+        }
+        "\\cancel" => {
+            // The shell is single-threaded, so the token is armed before
+            // the statement runs; the governor trips it at the first
+            // checkpoint and clears it. (A concurrent embedder would call
+            // `cancel_handle()` from another thread mid-statement.)
+            db.cancel_handle().cancel();
+            println!(
+                "cancel requested: the next statement stops at its first \
+                 governor checkpoint (answers already collected are kept)"
+            );
         }
         "\\stats" => {
             let s = platform.stats();
