@@ -59,12 +59,17 @@ fn bench_lookup_vs_scan(c: &mut Criterion) {
         let key = vec![Value::str(format!("talk-{:05}", n / 2))];
         g.bench_with_input(BenchmarkId::new("pk_lookup", n), &db, |b, db| {
             b.iter(|| {
-                db.with_table("talk", |t| t.lookup_pk(black_box(&key)).len())
+                db.with_table("talk", |t| t.lookup_pk(black_box(&key)).map(|v| v.len()))
+                    .unwrap()
                     .unwrap()
             })
         });
         g.bench_with_input(BenchmarkId::new("full_scan", n), &db, |b, db| {
-            b.iter(|| db.with_table("talk", |t| t.scan().count()).unwrap())
+            b.iter(|| {
+                db.with_table("talk", |t| t.scan_rows().map(|v| v.len()))
+                    .unwrap()
+                    .unwrap()
+            })
         });
     }
     g.finish();
@@ -73,7 +78,7 @@ fn bench_lookup_vs_scan(c: &mut Criterion) {
 fn bench_snapshot(c: &mut Criterion) {
     let db = make_db(5000);
     c.bench_function("snapshot_5k_rows", |b| b.iter(|| db.snapshot()));
-    let snap = db.snapshot();
+    let snap = db.snapshot().unwrap();
     c.bench_function("restore_5k_rows", |b| {
         b.iter(|| Database::restore(black_box(snap.clone())).unwrap())
     });

@@ -1,0 +1,218 @@
+//! E14 — Paged storage engine: sequential scan vs index probe, and the
+//! buffer-pool size sweep.
+//!
+//! The storage tentpole's perf claims, measured on the E8b-style
+//! conference workload (the `talk` table, machine columns only so the
+//! crowd stays out of the timing loop):
+//!
+//! 1. **Access paths** — the same equality predicate answered by a full
+//!    sequential scan (no secondary index) vs a B-tree index probe
+//!    (`CREATE INDEX` + the planner's access-path rule). The probe must
+//!    win by more than the bookkeeping it adds.
+//! 2. **Pool sweep** — an identical scan workload under buffer pools of
+//!    4, 16, 64, and unbounded pages. Results are byte-identical at
+//!    every size (asserted); only `pages_read`/`pool_hits`/`evictions`
+//!    move.
+//!
+//! Set `BENCH_JSON=<path>` to also write the machine-readable record
+//! (the repo keeps the first one as `BENCH_1.json`, the seed of the
+//! perf trajectory later PRs append to).
+
+use std::time::Instant;
+
+use crowddb_bench::harness::ExperimentOutput;
+use crowddb_core::{CrowdConfig, CrowdDB, FsyncPolicy};
+use crowddb_platform::{Answer, MockPlatform};
+use crowddb_wal::testutil::TestDir;
+
+const TALKS: usize = 2000;
+const PROBES: usize = 400;
+const SCAN_PASSES: usize = 20;
+
+fn config(pool_pages: usize) -> CrowdConfig {
+    let mut c = CrowdConfig::fast_test();
+    c.durability.fsync = FsyncPolicy::Never;
+    c.durability.checkpoint_every_records = 0; // checkpoint manually
+    c.storage.page_size = 4096;
+    c.storage.pool_pages = pool_pages;
+    c
+}
+
+/// Load the E8b-style table: `TALKS` talks, every column machine-known.
+fn load(db: &CrowdDB) {
+    db.execute_local(
+        "CREATE TABLE talk (title STRING PRIMARY KEY, nb_attendees INTEGER, \
+         track STRING)",
+    )
+    .expect("ddl");
+    for i in 0..TALKS {
+        let track = ["systems", "languages", "theory", "demos"][i % 4];
+        db.execute_local(&format!(
+            "INSERT INTO talk VALUES ('talk-{i:04}', {}, '{track}')",
+            (i * 7) % 500
+        ))
+        .expect("insert");
+    }
+}
+
+/// Run `PROBES` point queries on `nb_attendees`, returning (wall secs,
+/// rows seen, pages read, index probes) from the session's counters.
+fn probe_pass(db: &CrowdDB) -> (f64, usize, u64, u64) {
+    let pages0 = db.storage().pager_stats().pages_read;
+    let probes0 = db.metrics().counter("crowddb_exec_index_probes_total");
+    let start = Instant::now();
+    let mut rows = 0usize;
+    for k in 0..PROBES {
+        let r = db
+            .execute_local(&format!(
+                "SELECT title FROM talk WHERE nb_attendees = {}",
+                (k * 13) % 500
+            ))
+            .expect("probe");
+        rows += r.rows.len();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let pages = db.storage().pager_stats().pages_read - pages0;
+    let probes = db.metrics().counter("crowddb_exec_index_probes_total") - probes0;
+    (secs, rows, pages, probes)
+}
+
+fn main() {
+    let mut out = ExperimentOutput::new(
+        "E14",
+        "storage access paths (seq scan vs B-tree probe) and the buffer-pool \
+         size sweep on the E8b workload",
+    );
+    out.headers = vec![
+        "configuration".into(),
+        "wall ms".into(),
+        "rows".into(),
+        "pages read".into(),
+        "detail".into(),
+    ];
+
+    // ---- Part 1: sequential scan vs index probe --------------------
+    let seq = {
+        let dir = TestDir::new("e14-seq");
+        let db = CrowdDB::open_with_config(dir.path(), config(0)).expect("open");
+        load(&db);
+        db.checkpoint().expect("checkpoint");
+        let (secs, rows, pages, probes) = probe_pass(&db);
+        assert_eq!(probes, 0, "no secondary index: no probes");
+        out.rows.push(vec![
+            format!("seq scan ({PROBES} point queries)"),
+            format!("{:.2}", secs * 1e3),
+            rows.to_string(),
+            pages.to_string(),
+            "no index on nb_attendees".into(),
+        ]);
+        (secs, rows)
+    };
+
+    let probe = {
+        let dir = TestDir::new("e14-probe");
+        let db = CrowdDB::open_with_config(dir.path(), config(0)).expect("open");
+        load(&db);
+        db.execute_local("CREATE INDEX talk_att ON talk (nb_attendees)")
+            .expect("index ddl");
+        db.checkpoint().expect("checkpoint");
+        let (secs, rows, pages, probes) = probe_pass(&db);
+        assert_eq!(probes, PROBES as u64, "every query must use the index");
+        out.rows.push(vec![
+            format!("index probe ({PROBES} point queries)"),
+            format!("{:.2}", secs * 1e3),
+            rows.to_string(),
+            pages.to_string(),
+            format!("{probes} IndexScan probes"),
+        ]);
+
+        // One analyzed plan for the record: the IndexScan line with its
+        // probe/page accounting.
+        let mut p = MockPlatform::unanimous(|_| Answer::Blank);
+        let analyzed = db
+            .explain_analyze("SELECT title FROM talk WHERE nb_attendees = 42", &mut p)
+            .expect("analyze");
+        out.op_stats.extend(analyzed.lines().map(String::from));
+        (secs, rows)
+    };
+
+    assert_eq!(seq.1, probe.1, "access path must not change results");
+    let speedup = seq.0 / probe.0;
+    out.notes.push(format!(
+        "index probe speedup over sequential scan: {speedup:.1}x \
+         ({TALKS} rows, {PROBES} point queries)"
+    ));
+
+    // ---- Part 2: buffer-pool size sweep ----------------------------
+    let mut reference_rows: Option<usize> = None;
+    for pool in [4usize, 16, 64, 0] {
+        let dir = TestDir::new("e14-pool");
+        let db = CrowdDB::open_with_config(dir.path(), config(pool)).expect("open");
+        load(&db);
+        db.checkpoint().expect("checkpoint"); // clean pages → evictable
+        let start = Instant::now();
+        let mut rows = 0usize;
+        for _ in 0..SCAN_PASSES {
+            let r = db
+                .execute_local("SELECT title, nb_attendees FROM talk WHERE track = 'systems'")
+                .expect("scan");
+            rows += r.rows.len();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let s = db.storage().pager_stats();
+        match reference_rows {
+            None => reference_rows = Some(rows),
+            Some(expect) => assert_eq!(rows, expect, "pool size changed results"),
+        }
+        let label = if pool == 0 {
+            "pool unbounded".to_string()
+        } else {
+            format!("pool {pool} pages")
+        };
+        out.rows.push(vec![
+            format!("{label} ({SCAN_PASSES} scan passes)"),
+            format!("{:.2}", secs * 1e3),
+            rows.to_string(),
+            s.pages_read.to_string(),
+            format!(
+                "hits {} misses {} evictions {}",
+                s.pool_hits, s.pool_misses, s.evictions
+            ),
+        ]);
+    }
+    out.notes.push(
+        "pool sweep: identical rows at every size (asserted); a tiny pool only \
+         costs re-reads of evicted pages, never correctness"
+            .into(),
+    );
+
+    out.print();
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        std::fs::write(&path, render_json(&out)).expect("write BENCH_JSON");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON for the trajectory record: the workspace's
+/// serde_json may be an offline stub, and this file is checked in, so
+/// the bytes must not depend on which one is linked.
+fn render_json(out: &ExperimentOutput) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn arr(items: &[String]) -> String {
+        let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+        format!("[{}]", quoted.join(", "))
+    }
+    let rows: Vec<String> = out.rows.iter().map(|r| format!("    {}", arr(r))).collect();
+    format!(
+        "{{\n  \"id\": \"{}\",\n  \"paper_artifact\": \"{}\",\n  \"headers\": {},\n  \
+         \"rows\": [\n{}\n  ],\n  \"notes\": {},\n  \"op_stats\": {}\n}}\n",
+        esc(&out.id),
+        esc(&out.paper_artifact),
+        arr(&out.headers),
+        rows.join(",\n"),
+        arr(&out.notes),
+        arr(&out.op_stats),
+    )
+}

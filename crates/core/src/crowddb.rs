@@ -154,13 +154,37 @@ impl CrowdDB {
     }
 
     /// [`CrowdDB::open`] with a custom configuration. Fsync and
-    /// checkpoint behaviour come from `config.durability`.
+    /// checkpoint behaviour come from `config.durability`; page size and
+    /// buffer-pool budget from `config.storage`.
+    ///
+    /// Durable sessions run on the file-backed paged engine: tuples live
+    /// in a page file next to the log, checkpoints flush only dirty
+    /// pages, and the committed snapshot payload is the small paged
+    /// metadata blob rather than a full state dump. A directory whose
+    /// last checkpoint predates the paged engine (a full-state snapshot)
+    /// is still restored — into an in-memory engine, exactly as before.
     pub fn open_with_config(path: impl AsRef<Path>, config: CrowdConfig) -> Result<CrowdDB> {
         let fsync = config.durability.fsync;
         let (mut store, recovered) = DurableStore::open(path.as_ref(), fsync)?;
+        let pager_cfg = config.storage.pager_config();
         let mut crowddb = match &recovered.snapshot {
-            Some(bytes) => CrowdDB::restore(bytes, config)?,
-            None => CrowdDB::with_config(config),
+            Some(bytes) => {
+                let (storage_bytes, caches_bytes) = Self::split_snapshot(bytes)?;
+                if Database::is_paged_meta(storage_bytes) {
+                    let db = Database::open_paged(path.as_ref(), pager_cfg, storage_bytes)?;
+                    Self::from_storage(db, caches_bytes, config)?
+                } else {
+                    CrowdDB::restore(bytes, config)?
+                }
+            }
+            // No checkpoint yet: a fresh page file (any pre-crash pages
+            // are unreachable — the log replays history from genesis).
+            None => {
+                let db = Database::open_file(path.as_ref(), pager_cfg)?;
+                let mut session = CrowdDB::with_config(config);
+                session.db = db;
+                session
+            }
         };
         for rec in &recovered.records {
             crowddb.replay_record(rec).map_err(|e| {
@@ -268,8 +292,16 @@ impl CrowdDB {
         Ok(())
     }
 
-    /// Take a checkpoint now: write a snapshot of the full session state
-    /// and truncate the log. No-op for in-memory sessions.
+    /// Take a checkpoint now and truncate the log. No-op for in-memory
+    /// sessions.
+    ///
+    /// On the paged engine this flushes only the pages dirtied since the
+    /// last checkpoint: dirty pages are journaled, the small paged
+    /// metadata blob is committed as the snapshot payload (the durable
+    /// commit point), and the journal is then applied to the page file.
+    /// A crash anywhere in that window recovers on reopen via the
+    /// journal-epoch protocol. Legacy in-memory durable sessions keep
+    /// writing full-state snapshots.
     pub fn checkpoint(&self) -> Result<()> {
         let Some(store) = &self.durable else {
             return Ok(());
@@ -281,8 +313,20 @@ impl CrowdDB {
         // Hold the store lock across the state capture so no append can
         // slip between the snapshot and the truncation.
         let covered = store.with_store(|s| {
-            let payload = self.snapshot();
-            s.checkpoint(&payload)?;
+            if self.db.is_file_backed() {
+                let (prep, meta) = self.db.begin_checkpoint()?;
+                s.checkpoint(&self.wrap_snapshot(&meta))?;
+                // Metadata committed: applying the journaled pages to
+                // the page file is now safe (and redone on crash).
+                self.db.complete_checkpoint(&prep)?;
+                self.obs.registry().counter_add(
+                    "crowddb_checkpoint_pages_written_total",
+                    prep.pages_written(),
+                );
+            } else {
+                let payload = self.snapshot()?;
+                s.checkpoint(&payload)?;
+            }
             Ok::<u64, CrowdError>(s.last_lsn())
         })?;
         // A checkpoint fsyncs the log before snapshotting, so everything
@@ -1192,19 +1236,13 @@ impl CrowdDB {
     /// sorted key order through the storage codec — so two sessions in
     /// the same logical state produce byte-identical snapshots. Crash
     /// recovery relies on this to verify replayed state.
-    pub fn snapshot(&self) -> Vec<u8> {
-        let storage = self.db.snapshot();
-        let caches_bytes = encode_caches(&self.caches.snapshot());
-        let mut out = Vec::with_capacity(16 + storage.len() + caches_bytes.len());
-        out.extend_from_slice(&(storage.len() as u64).to_le_bytes());
-        out.extend_from_slice(&storage);
-        out.extend_from_slice(&(caches_bytes.len() as u64).to_le_bytes());
-        out.extend_from_slice(&caches_bytes);
-        out
+    pub fn snapshot(&self) -> Result<Vec<u8>> {
+        let storage = self.db.snapshot()?;
+        Ok(self.wrap_snapshot(&storage))
     }
 
-    /// Restore a session saved by [`CrowdDB::snapshot`].
-    pub fn restore(bytes: &[u8], config: CrowdConfig) -> Result<CrowdDB> {
+    /// Split a session snapshot into its storage and caches sections.
+    fn split_snapshot(bytes: &[u8]) -> Result<(&[u8], &[u8])> {
         let take_u64 = |b: &[u8], at: usize| -> Result<u64> {
             b.get(at..at + 8)
                 .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
@@ -1219,7 +1257,31 @@ impl CrowdDB {
         let caches_bytes = bytes
             .get(storage_end + 8..storage_end + 8 + caches_len)
             .ok_or_else(|| CrowdError::Internal("session snapshot truncated".into()))?;
+        Ok((storage_bytes, caches_bytes))
+    }
+
+    /// Wrap a storage section (v2 full-state bytes or paged metadata)
+    /// and the current caches into the session-snapshot container.
+    fn wrap_snapshot(&self, storage: &[u8]) -> Vec<u8> {
+        let caches_bytes = encode_caches(&self.caches.snapshot());
+        let mut out = Vec::with_capacity(16 + storage.len() + caches_bytes.len());
+        out.extend_from_slice(&(storage.len() as u64).to_le_bytes());
+        out.extend_from_slice(storage);
+        out.extend_from_slice(&(caches_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&caches_bytes);
+        out
+    }
+
+    /// Restore a session saved by [`CrowdDB::snapshot`].
+    pub fn restore(bytes: &[u8], config: CrowdConfig) -> Result<CrowdDB> {
+        let (storage_bytes, caches_bytes) = Self::split_snapshot(bytes)?;
         let db = Database::restore(bytes::Bytes::copy_from_slice(storage_bytes))?;
+        Self::from_storage(db, caches_bytes, config)
+    }
+
+    /// Assemble a session around an already-built storage engine plus
+    /// encoded caches (snapshot restore and paged reopen both land here).
+    fn from_storage(db: Database, caches_bytes: &[u8], config: CrowdConfig) -> Result<CrowdDB> {
         let caches = decode_caches(caches_bytes)
             .map_err(|e| CrowdError::Internal(format!("bad caches in snapshot: {e}")))?;
         // Recreate crowd UI templates from the restored storage.

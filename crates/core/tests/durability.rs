@@ -60,12 +60,12 @@ fn open_write_drop_reopen_reuses_crowd_answers() {
     let dir = TestDir::new("core-reopen");
     let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
     run_workload(&db);
-    let before = db.snapshot();
+    let before = db.snapshot().unwrap();
     drop(db); // no close(): recovery must come from the log alone
 
     let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
     assert_eq!(
-        db.snapshot(),
+        db.snapshot().unwrap(),
         before,
         "recovered state must be byte-identical"
     );
@@ -86,7 +86,7 @@ fn close_checkpoints_and_truncates_the_log() {
     let dir = TestDir::new("core-close");
     let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
     run_workload(&db);
-    let before = db.snapshot();
+    let before = db.snapshot().unwrap();
     db.close().unwrap();
 
     let wal_len = std::fs::metadata(dir.path().join(crowddb_wal::WAL_FILE))
@@ -100,7 +100,7 @@ fn close_checkpoints_and_truncates_the_log() {
     assert!(dir.path().join(crowddb_wal::SNAPSHOT_FILE).exists());
 
     let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
-    assert_eq!(db.snapshot(), before);
+    assert_eq!(db.snapshot().unwrap(), before);
     let mut p = crowd();
     let r = db.execute(PROBE, &mut p).unwrap();
     assert_eq!(r.crowd.tasks_posted, 0);
@@ -113,13 +113,13 @@ fn checkpoint_threshold_keeps_the_log_short() {
     cfg.durability.checkpoint_every_records = 1; // checkpoint after every statement
     let db = CrowdDB::open_with_config(dir.path(), cfg.clone()).unwrap();
     run_workload(&db);
-    let before = db.snapshot();
+    let before = db.snapshot().unwrap();
     drop(db);
 
     // Every statement ended at or below the threshold, so the log holds
     // at most the final statement's records; recovery is snapshot-driven.
     let db = CrowdDB::open_with_config(dir.path(), cfg).unwrap();
-    assert_eq!(db.snapshot(), before);
+    assert_eq!(db.snapshot().unwrap(), before);
 }
 
 #[test]
@@ -144,11 +144,11 @@ fn ddl_and_dml_replay_across_reopen() {
         .unwrap();
     db.execute("DELETE FROM dept WHERE name = 'db'", &mut p)
         .unwrap();
-    let before = db.snapshot();
+    let before = db.snapshot().unwrap();
     drop(db);
 
     let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
-    assert_eq!(db.snapshot(), before);
+    assert_eq!(db.snapshot().unwrap(), before);
     let r = db
         .execute_local("SELECT name, size FROM dept ORDER BY size")
         .unwrap();
@@ -175,7 +175,7 @@ fn truncation_sweep_recovers_a_usable_prefix_at_every_offset() {
     let master = TestDir::new("core-sweep-master");
     let db = CrowdDB::open_with_config(master.path(), cfg.clone()).unwrap();
     run_workload(&db);
-    let full_state = db.snapshot();
+    let full_state = db.snapshot().unwrap();
     drop(db);
     let image = std::fs::read(master.path().join(crowddb_wal::WAL_FILE)).unwrap();
     assert!(image.len() > WAL_MAGIC.len(), "log must hold the workload");
@@ -212,7 +212,7 @@ fn truncation_sweep_recovers_a_usable_prefix_at_every_offset() {
     let dir = TestDir::new("core-sweep-full");
     std::fs::write(dir.path().join(crowddb_wal::WAL_FILE), &image).unwrap();
     let db = CrowdDB::open_with_config(dir.path(), cfg).unwrap();
-    assert_eq!(db.snapshot(), full_state);
+    assert_eq!(db.snapshot().unwrap(), full_state);
     assert_eq!(prev_answers, 2, "both crowd answers survive the full log");
 }
 
@@ -241,14 +241,162 @@ fn compare_cache_verdicts_survive_reopen() {
         .unwrap();
     assert!(r.complete, "warnings: {:?}", r.warnings);
     assert_eq!(r.rows.len(), 2, "the crowd said both names mean IBM");
-    let before = db.snapshot();
+    let before = db.snapshot().unwrap();
     drop(db);
 
     let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
-    assert_eq!(db.snapshot(), before);
+    assert_eq!(db.snapshot().unwrap(), before);
     let r = db
         .execute("SELECT name FROM co WHERE name ~= 'IBM'", &mut p)
         .unwrap();
     assert_eq!(r.rows.len(), 2);
     assert_eq!(r.crowd.tasks_posted, 0, "verdicts must be reused");
+}
+
+#[test]
+fn paged_checkpoint_flushes_only_dirty_pages() {
+    let dir = TestDir::new("core-paged-ckpt");
+    let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+    assert!(
+        db.storage().is_file_backed(),
+        "durable sessions must run on the paged engine"
+    );
+    let mut p = crowd();
+    db.execute(DDL, &mut p).unwrap();
+    for i in 0..200 {
+        db.execute(
+            &format!("INSERT INTO talk VALUES ('t{i}', 'a{i}', {i})"),
+            &mut p,
+        )
+        .unwrap();
+    }
+    db.checkpoint().unwrap();
+    let full = db
+        .metrics()
+        .counter("crowddb_checkpoint_pages_written_total");
+    assert!(full > 4, "bulk load must dirty many pages, got {full}");
+
+    // One-row DML: the next checkpoint flushes only the pages that
+    // single update touched, not the whole table.
+    db.execute(
+        "UPDATE talk SET nb_attendees = 999 WHERE title = 't7'",
+        &mut p,
+    )
+    .unwrap();
+    db.checkpoint().unwrap();
+    let delta = db
+        .metrics()
+        .counter("crowddb_checkpoint_pages_written_total")
+        - full;
+    assert!(
+        delta > 0 && delta < full / 2,
+        "1-row DML checkpoint must flush a handful of pages, not the database: \
+         {delta} vs {full} initially"
+    );
+    assert_eq!(
+        db.storage().dirty_pages(),
+        0,
+        "checkpoint leaves no dirty pages"
+    );
+    db.close().unwrap();
+
+    // The committed snapshot payload is paged metadata, tiny next to the
+    // full logical state.
+    let snap_len = std::fs::metadata(dir.path().join(crowddb_wal::SNAPSHOT_FILE))
+        .unwrap()
+        .len();
+    let logical = CrowdDB::open_with_config(dir.path(), config())
+        .unwrap()
+        .snapshot()
+        .unwrap()
+        .len() as u64;
+    assert!(
+        snap_len < logical / 4,
+        "paged checkpoint payload ({snap_len}B) should be far smaller than \
+         the logical state ({logical}B)"
+    );
+}
+
+#[test]
+fn paged_reopen_survives_uncheckpointed_tail() {
+    let dir = TestDir::new("core-paged-tail");
+    let mut cfg = config();
+    cfg.durability.checkpoint_every_records = 0; // manual checkpoints only
+    let db = CrowdDB::open_with_config(dir.path(), cfg.clone()).unwrap();
+    let mut p = crowd();
+    db.execute(DDL, &mut p).unwrap();
+    db.execute("INSERT INTO talk VALUES ('a', 'x', 1)", &mut p)
+        .unwrap();
+    db.checkpoint().unwrap();
+    // Tail past the checkpoint: replayed from the log over the page file.
+    db.execute("INSERT INTO talk VALUES ('b', 'y', 2)", &mut p)
+        .unwrap();
+    db.execute("UPDATE talk SET nb_attendees = 7 WHERE title = 'a'", &mut p)
+        .unwrap();
+    let before = db.snapshot().unwrap();
+    drop(db); // crash: no close, no final checkpoint
+
+    let db = CrowdDB::open_with_config(dir.path(), cfg).unwrap();
+    assert!(db.storage().is_file_backed());
+    assert_eq!(
+        db.snapshot().unwrap(),
+        before,
+        "paged recovery must replay the tail to byte-identical state"
+    );
+    let mut p = crowd();
+    let r = db
+        .execute("SELECT title, nb_attendees FROM talk", &mut p)
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+/// The buffer pool is no-steal and purely a cache: a durable session
+/// squeezed into a 4-page pool must produce byte-identical results,
+/// WAL contents, and snapshots to one with an unbounded pool.
+#[test]
+fn tiny_pool_session_is_byte_identical_to_unbounded() {
+    let run = |pool_pages: usize| {
+        let dir = TestDir::new("core-pool-ident");
+        let mut cfg = config();
+        cfg.storage.page_size = 256; // many pages even for a small table
+        cfg.storage.pool_pages = pool_pages;
+        cfg.durability.checkpoint_every_records = 8; // clean pages → evictable
+        let db = CrowdDB::open_with_config(dir.path(), cfg).unwrap();
+        let mut p = crowd();
+        db.execute(DDL, &mut p).unwrap();
+        for i in 0..60 {
+            db.execute(
+                &format!("INSERT INTO talk VALUES ('t{i}', 'a{i}', {i})"),
+                &mut p,
+            )
+            .unwrap();
+        }
+        db.execute("INSERT INTO talk VALUES ('CrowdDB', CNULL, CNULL)", &mut p)
+            .unwrap();
+        let probe = db.execute(PROBE, &mut p).unwrap();
+        let scan = db
+            .execute(
+                "SELECT title, nb_attendees FROM talk ORDER BY title",
+                &mut p,
+            )
+            .unwrap();
+        let evictions = db.storage().pager_stats().evictions;
+        let snapshot = db.snapshot().unwrap();
+        db.close().unwrap();
+        let wal = std::fs::read(dir.path().join(crowddb_wal::WAL_FILE)).unwrap();
+        (probe.rows, scan.rows, snapshot, wal, evictions)
+    };
+
+    let tiny = run(4);
+    let unbounded = run(0);
+    assert!(
+        tiny.4 > 0,
+        "the 4-page run must actually evict (got {} evictions)",
+        tiny.4
+    );
+    assert_eq!(unbounded.4, 0, "the unbounded pool never evicts");
+    assert_eq!(tiny.0, unbounded.0, "probe rows diverge across pool sizes");
+    assert_eq!(tiny.1, unbounded.1, "scan rows diverge across pool sizes");
+    assert_eq!(tiny.2, unbounded.2, "snapshots diverge across pool sizes");
+    assert_eq!(tiny.3, unbounded.3, "WAL bytes diverge across pool sizes");
 }

@@ -93,6 +93,7 @@ fn seeded_db(platform: &mut dyn Platform) -> CrowdDB {
         "CREATE CROWD TABLE NotableAttendee (name STRING PRIMARY KEY, title STRING, \
          FOREIGN KEY (title) REF Talk(title))",
         "CREATE TABLE Venue (talk STRING PRIMARY KEY, room STRING)",
+        "CREATE INDEX talk_attendees ON Talk (nb_attendees)",
         "INSERT INTO Talk (title) VALUES ('CrowdDB'), ('Qurk'), ('PIQL'), ('HyPer')",
         "INSERT INTO Venue VALUES ('CrowdDB', 'R101'), ('Qurk', 'R102')",
     ] {
@@ -191,6 +192,38 @@ fn explain_crowd_join() {
         &actual,
         include_str!("golden/explain_crowd_join.txt"),
         "explain_crowd_join",
+    );
+}
+
+#[test]
+fn explain_index_scan_point() {
+    // The FK on NotableAttendee(title) gets an automatic index, so an
+    // equality on it lowers to an index point probe.
+    let actual = explain("SELECT name FROM NotableAttendee WHERE title = 'CrowdDB'");
+    assert_golden(
+        &actual,
+        include_str!("golden/explain_index_scan.txt"),
+        "explain_index_scan",
+    );
+}
+
+#[test]
+fn explain_index_range_scan() {
+    let actual = explain("SELECT title FROM Talk WHERE nb_attendees >= 100");
+    assert_golden(
+        &actual,
+        include_str!("golden/explain_index_range.txt"),
+        "explain_index_range",
+    );
+}
+
+#[test]
+fn explain_analyze_index_scan_point() {
+    let actual = explain_analyze("SELECT name FROM NotableAttendee WHERE title = 'CrowdDB'");
+    assert_golden(
+        &actual,
+        include_str!("golden/analyze_index_scan.txt"),
+        "analyze_index_scan",
     );
 }
 

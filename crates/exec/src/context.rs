@@ -263,6 +263,9 @@ pub struct RunStats {
     pub compare_cache_misses: u64,
     /// Scans answered via a primary-key index point lookup.
     pub index_lookups: u64,
+    /// Secondary-index probes (point gets, range scans, and INL
+    /// crowd-join probes).
+    pub index_probes: u64,
 }
 
 /// Cooperative-cancellation guard threaded through the operator tree.

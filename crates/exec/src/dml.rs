@@ -112,10 +112,7 @@ pub fn execute_insert_guarded(
     if let Err(e) = outcome {
         // Atomicity: un-insert this statement's rows, newest first.
         for tid in inserted.into_iter().rev() {
-            let _ = db.with_table_mut(&schema.name, |t| {
-                t.rollback_insert(tid);
-                Ok(())
-            });
+            let _ = db.with_table_mut(&schema.name, |t| t.rollback_insert(tid));
         }
         return Err(e);
     }
@@ -183,7 +180,7 @@ fn update_inner(
         Ok::<_, CrowdError>((filter, assignments))
     })?;
 
-    let rows = db.with_table(&upd.table, |t| t.scan_rows())?;
+    let rows = db.with_table(&upd.table, |t| t.scan_rows())??;
     let mut ctx = ExecCtx::with_guard(db, caches, guard);
     let mut to_apply = Vec::new();
     for (tid, row) in rows {
@@ -266,7 +263,7 @@ fn delete_inner(
             None => Ok(None),
         }
     })?;
-    let rows = db.with_table(&del.table, |t| t.scan_rows())?;
+    let rows = db.with_table(&del.table, |t| t.scan_rows())??;
     let mut ctx = ExecCtx::with_guard(db, caches, guard);
     let mut victims = Vec::new();
     for (tid, row) in rows {
@@ -282,10 +279,7 @@ fn delete_inner(
     let affected = victims.len();
     if apply {
         for tid in victims {
-            db.with_table_mut(&del.table, |t| {
-                t.delete(tid);
-                Ok(())
-            })?;
+            db.with_table_mut(&del.table, |t| t.delete(tid).map(|_| ()))?;
         }
     }
     let (needs, _) = ctx.finish();
@@ -330,7 +324,7 @@ mod tests {
     fn insert_partial_defaults_crowd_columns_to_cnull() {
         let db = setup();
         insert(&db, "INSERT INTO talk (title) VALUES ('Qurk')");
-        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap().unwrap();
         assert!(rows[0].1[1].is_cnull(), "abstract defaults to CNULL");
         assert!(rows[0].1[2].is_cnull(), "nb_attendees defaults to CNULL");
     }
@@ -343,7 +337,7 @@ mod tests {
             "INSERT INTO talk (title, nb_attendees) VALUES ('a', 50 + 50), ('b', 2 * 10)",
         );
         assert_eq!(r.affected, 2);
-        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap().unwrap();
         assert_eq!(rows[0].1[2], Value::Int(100));
         assert_eq!(rows[1].1[2], Value::Int(20));
     }
@@ -371,12 +365,12 @@ mod tests {
         };
         // 'keep' violates the primary key after 'a' and 'b' landed.
         assert!(execute_insert(&db, &CompareCaches::default(), &i).is_err());
-        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap().unwrap();
         assert_eq!(rows.len(), 1, "partial statement must be rolled back");
         // Tuple-id space is clean too: the next insert reuses slot 1, as
         // a log replay (which never sees the failed statement) would.
         insert(&db, "INSERT INTO talk (title) VALUES ('next')");
-        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap().unwrap();
         assert_eq!(rows[1].0, crowddb_common::TupleId(1));
     }
 
@@ -393,7 +387,7 @@ mod tests {
             panic!()
         };
         assert!(execute_update(&db, &CompareCaches::default(), &u).is_err());
-        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap().unwrap();
         let titles: Vec<_> = rows.iter().map(|(_, r)| r[0].clone()).collect();
         assert_eq!(
             titles,
@@ -426,7 +420,7 @@ mod tests {
         };
         let r = execute_update(&db, &CompareCaches::default(), &u).unwrap();
         assert_eq!(r.affected, 1);
-        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap();
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap().unwrap();
         assert_eq!(rows[0].1[2], Value::Int(15));
         assert_eq!(rows[1].1[2], Value::Int(20));
     }

@@ -43,7 +43,8 @@ pub fn execute(db: &Database, caches: &CompareCaches, plan: &LogicalPlan) -> Res
 }
 
 /// Lower a logical plan against the live catalog: cardinality estimates
-/// come from current table stats, boundedness from primary-key metadata.
+/// come from current table stats, boundedness from primary-key metadata,
+/// and access-path choice from the tables' secondary indexes.
 pub fn lower_plan(db: &Database, plan: &LogicalPlan) -> PhysicalPlan {
     let stats = FnStats(|table: &str| db.stats(table).ok().map(|s| s.live_rows as u64));
     let pk = |table: &str| {
@@ -51,7 +52,20 @@ pub fn lower_plan(db: &Database, plan: &LogicalPlan) -> PhysicalPlan {
             .map(|s| s.primary_key.clone())
             .unwrap_or_default()
     };
-    crowddb_plan::physical::lower(plan, &stats, &pk)
+    let indexes = |table: &str| {
+        db.with_table(table, |t| {
+            t.indexes()
+                .iter()
+                .map(|i| crowddb_plan::IndexMeta {
+                    name: i.name.clone(),
+                    columns: i.columns.clone(),
+                    ordered: i.ordered(),
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+    };
+    crowddb_plan::physical::lower(plan, &stats, &pk, &indexes)
 }
 
 /// Execute an already-lowered physical plan for one round, returning the

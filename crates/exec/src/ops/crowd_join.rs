@@ -2,12 +2,26 @@
 //! inner side. Executes as a hash join plus an enumeration policy —
 //! outer rows without an inner match generate new-tuple needs with the
 //! join key preset, `batch_size` tuples at a time.
+//!
+//! With a `probe_index` on the inner key the inner side is not scanned
+//! at all: the executor probes the index once per distinct outer key
+//! (plus the missing-key prefix, whose rows may match once the crowd
+//! fills them) and feeds only those candidates to the hash join. The
+//! join output is identical — rows skipped by the probes have inner
+//! keys equal to no outer key, so they could never join — only the page
+//! traffic changes.
 
-use crowddb_common::{Result, Row};
-use crowddb_plan::{BExpr, JoinType, PhysicalPlan};
+use std::collections::HashSet;
+
+use crowddb_common::{Result, Row, Value};
+use crowddb_plan::{BExpr, IndexMeta, JoinType, PhysicalPlan};
+use crowddb_storage::IndexKey;
 
 use crate::context::ExecCtx;
+use crate::eval::eval;
 use crate::ops::hash_join::{join_hashed, CrowdSpec};
+use crate::ops::index_scan::{fetch_with_missing, resolve_index};
+use crate::ops::table_scan::{process_candidates, ScanShape};
 use crate::ops::{build, run_op, BoxedOp, OpStatsNode, Operator};
 
 /// Crowd-join operator; see [`PhysicalPlan::CrowdJoin`].
@@ -19,6 +33,15 @@ pub struct CrowdJoinOp<'p> {
     residual: &'p [BExpr],
     right_arity: usize,
     spec: CrowdSpec<'p>,
+    probe: Option<InlProbe<'p>>,
+}
+
+/// The index-nested-loop plan for the inner side: the chosen index plus
+/// the inner scan's shape, so probed candidates run through the same
+/// residual/probe/quota pipeline the scan would have applied.
+struct InlProbe<'p> {
+    index: &'p IndexMeta,
+    shape: ScanShape<'p>,
 }
 
 impl<'p> CrowdJoinOp<'p> {
@@ -32,12 +55,36 @@ impl<'p> CrowdJoinOp<'p> {
             residual,
             inner_table,
             key_column,
+            probe_index,
             batch_size,
             ..
         } = plan
         else {
             unreachable!("CrowdJoinOp built from {plan:?}")
         };
+        // The INL upgrade needs the inner scan's shape to replay its
+        // pipeline over the probed candidates; the planner only sets
+        // probe_index when the inner side is a bare crowd TableScan.
+        let probe = probe_index.as_ref().and_then(|idx| match right.as_ref() {
+            PhysicalPlan::TableScan {
+                table,
+                needed_columns,
+                crowd_table,
+                expected_tuples,
+                residual,
+                ..
+            } => Some(InlProbe {
+                index: idx,
+                shape: ScanShape {
+                    table,
+                    needed_columns,
+                    crowd_table: *crowd_table,
+                    expected_tuples: *expected_tuples,
+                    residual: residual.as_ref(),
+                },
+            }),
+            _ => None,
+        });
         CrowdJoinOp {
             right_arity: right.schema().arity(),
             left: build(left),
@@ -50,14 +97,57 @@ impl<'p> CrowdJoinOp<'p> {
                 key_column,
                 batch: *batch_size,
             },
+            probe,
         }
+    }
+
+    /// Index-nested-loop inner fetch: probe the inner index once per
+    /// distinct present outer key, union the missing-key prefix, and run
+    /// the inner scan's pipeline over just those candidates. Charged to
+    /// the inner child's stats node (which never executes as a scan).
+    fn probe_inner(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        child: &mut OpStatsNode,
+        probe: &InlProbe<'_>,
+        left_rows: &[Row],
+    ) -> Result<Vec<Row>> {
+        // Distinct outer keys in first-appearance order (determinism);
+        // missing keys can never equal an inner key, so they probe
+        // nothing (the unmatched outer row still drives the new-tuple
+        // policy in the join below).
+        let mut seen = HashSet::new();
+        let mut keys: Vec<Value> = Vec::new();
+        for row in left_rows {
+            let key = eval(ctx, &self.equi.0, row)?;
+            if !key.is_missing() && seen.insert(IndexKey(vec![key.clone()])) {
+                keys.push(key);
+            }
+        }
+        let candidates = ctx.db.with_table(probe.shape.table, |t| {
+            let idx = resolve_index(t, probe.shape.table, probe.index)?;
+            let mut tids = Vec::new();
+            for key in &keys {
+                tids.extend(idx.get(t.pager(), &IndexKey(vec![key.clone()]))?);
+            }
+            fetch_with_missing(t, idx, tids)
+        })??;
+        ctx.rt.stats.index_probes += keys.len() as u64;
+        let total_live = ctx.db.stats(probe.shape.table)?.live_rows as u64;
+        let rows = process_candidates(ctx, child, &probe.shape, candidates, total_live)?;
+        child.rows_out += rows.len() as u64;
+        child.rounds += 1;
+        Ok(rows)
     }
 }
 
 impl Operator for CrowdJoinOp<'_> {
     fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>> {
         let left_rows = run_op(self.left.as_ref(), ctx, &mut stats.children[0])?;
-        let right_rows = run_op(self.right.as_ref(), ctx, &mut stats.children[1])?;
+        let right_rows = match &self.probe {
+            Some(probe) => self.probe_inner(ctx, &mut stats.children[1], probe, &left_rows)?,
+            None => run_op(self.right.as_ref(), ctx, &mut stats.children[1])?,
+        };
         stats.rows_in += (left_rows.len() + right_rows.len()) as u64;
         join_hashed(
             ctx,

@@ -1,0 +1,197 @@
+//! Index access paths: point probes ([`IndexScanOp`]) and bounded range
+//! scans ([`IndexRangeScanOp`]) over a table's secondary indexes.
+//!
+//! Both fetch a *candidate superset* of the qualifying rows — the index
+//! result unioned with the tuples whose indexed key is still missing
+//! (`NULL`/`CNULL`), since those may qualify once the crowd fills them —
+//! and then run the exact same residual/probe/quota pipeline as a full
+//! scan ([`super::table_scan::process_candidates`]). Access paths change
+//! which pages are read, never what the query means.
+
+use crowddb_common::{CrowdError, Result, Row, TupleId, Value};
+use crowddb_plan::{BExpr, IndexMeta, PhysicalPlan};
+use crowddb_storage::{HeapTable, Index, IndexKey};
+
+use crate::context::ExecCtx;
+use crate::ops::table_scan::{process_candidates, ScanShape};
+use crate::ops::{OpStatsNode, Operator};
+
+/// Point-probe operator; see [`PhysicalPlan::IndexScan`].
+pub struct IndexScanOp<'p> {
+    table: &'p str,
+    needed_columns: &'p [usize],
+    crowd_table: bool,
+    expected_tuples: Option<u64>,
+    index: &'p IndexMeta,
+    key: &'p [Value],
+    residual: Option<&'p BExpr>,
+}
+
+impl<'p> IndexScanOp<'p> {
+    /// Build from a [`PhysicalPlan::IndexScan`] node.
+    pub fn new(plan: &'p PhysicalPlan) -> IndexScanOp<'p> {
+        let PhysicalPlan::IndexScan {
+            table,
+            needed_columns,
+            crowd_table,
+            expected_tuples,
+            index,
+            key,
+            residual,
+            ..
+        } = plan
+        else {
+            unreachable!("IndexScanOp built from {plan:?}")
+        };
+        IndexScanOp {
+            table,
+            needed_columns,
+            crowd_table: *crowd_table,
+            expected_tuples: *expected_tuples,
+            index,
+            key,
+            residual: residual.as_ref(),
+        }
+    }
+}
+
+impl Operator for IndexScanOp<'_> {
+    fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>> {
+        let rows = ctx.db.with_table(self.table, |t| {
+            let idx = resolve_index(t, self.table, self.index)?;
+            let tids = idx.get(t.pager(), &IndexKey(self.key.to_vec()))?;
+            fetch_with_missing(t, idx, tids)
+        })??;
+        ctx.rt.stats.index_probes += 1;
+        let total_live = ctx.db.stats(self.table)?.live_rows as u64;
+        process_candidates(
+            ctx,
+            stats,
+            &ScanShape {
+                table: self.table,
+                needed_columns: self.needed_columns,
+                crowd_table: self.crowd_table,
+                expected_tuples: self.expected_tuples,
+                residual: self.residual,
+            },
+            rows,
+            total_live,
+        )
+    }
+}
+
+/// Range-scan operator; see [`PhysicalPlan::IndexRangeScan`].
+pub struct IndexRangeScanOp<'p> {
+    table: &'p str,
+    needed_columns: &'p [usize],
+    crowd_table: bool,
+    expected_tuples: Option<u64>,
+    index: &'p IndexMeta,
+    low: Option<&'p Value>,
+    high: Option<&'p Value>,
+    residual: Option<&'p BExpr>,
+}
+
+impl<'p> IndexRangeScanOp<'p> {
+    /// Build from a [`PhysicalPlan::IndexRangeScan`] node.
+    pub fn new(plan: &'p PhysicalPlan) -> IndexRangeScanOp<'p> {
+        let PhysicalPlan::IndexRangeScan {
+            table,
+            needed_columns,
+            crowd_table,
+            expected_tuples,
+            index,
+            low,
+            high,
+            residual,
+            ..
+        } = plan
+        else {
+            unreachable!("IndexRangeScanOp built from {plan:?}")
+        };
+        IndexRangeScanOp {
+            table,
+            needed_columns,
+            crowd_table: *crowd_table,
+            expected_tuples: *expected_tuples,
+            index,
+            low: low.as_ref(),
+            high: high.as_ref(),
+            residual: residual.as_ref(),
+        }
+    }
+}
+
+impl Operator for IndexRangeScanOp<'_> {
+    fn execute(&self, ctx: &mut ExecCtx<'_>, stats: &mut OpStatsNode) -> Result<Vec<Row>> {
+        let rows = ctx.db.with_table(self.table, |t| {
+            let idx = resolve_index(t, self.table, self.index)?;
+            let low = self.low.map(|v| IndexKey(vec![v.clone()]));
+            let high = self.high.map(|v| IndexKey(vec![v.clone()]));
+            let tids = idx
+                .range(t.pager(), low.as_ref(), high.as_ref())?
+                .ok_or_else(|| {
+                    CrowdError::Internal(format!(
+                        "index {} on {} is unordered but was planned for a range scan",
+                        self.index.name, self.table
+                    ))
+                })?;
+            fetch_with_missing(t, idx, tids)
+        })??;
+        ctx.rt.stats.index_probes += 1;
+        let total_live = ctx.db.stats(self.table)?.live_rows as u64;
+        process_candidates(
+            ctx,
+            stats,
+            &ScanShape {
+                table: self.table,
+                needed_columns: self.needed_columns,
+                crowd_table: self.crowd_table,
+                expected_tuples: self.expected_tuples,
+                residual: self.residual,
+            },
+            rows,
+            total_live,
+        )
+    }
+}
+
+/// Find the planned index on the live table; the plan was built against
+/// the same catalog, so absence means concurrent DDL — a typed error,
+/// not a panic.
+pub(crate) fn resolve_index<'t>(
+    t: &'t HeapTable,
+    table: &str,
+    meta: &IndexMeta,
+) -> Result<&'t Index> {
+    t.indexes()
+        .iter()
+        .find(|i| i.name == meta.name)
+        .ok_or_else(|| {
+            CrowdError::Internal(format!(
+                "planned index {} no longer exists on {table}",
+                meta.name
+            ))
+        })
+}
+
+/// Union probe results with the index's missing-key tuples (which may
+/// qualify once the crowd fills them), then fetch the live rows in tid
+/// order — the same order a heap scan yields, so access-path choice
+/// never reorders output.
+pub(crate) fn fetch_with_missing(
+    t: &HeapTable,
+    idx: &Index,
+    mut tids: Vec<TupleId>,
+) -> Result<Vec<(TupleId, Row)>> {
+    tids.extend(idx.missing_key_tids(t.pager())?);
+    tids.sort_unstable_by_key(|tid| tid.0);
+    tids.dedup();
+    let mut out = Vec::with_capacity(tids.len());
+    for tid in tids {
+        if let Some(row) = t.get(tid)? {
+            out.push((tid, row));
+        }
+    }
+    Ok(out)
+}

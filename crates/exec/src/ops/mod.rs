@@ -24,6 +24,7 @@ mod crowd_sort;
 mod distinct;
 mod filter;
 mod hash_join;
+mod index_scan;
 mod nested_loop_join;
 mod project;
 mod sort;
@@ -54,6 +55,8 @@ pub type BoxedOp<'p> = Box<dyn Operator + 'p>;
 pub fn build<'p>(plan: &'p PhysicalPlan) -> BoxedOp<'p> {
     match plan {
         PhysicalPlan::TableScan { .. } => Box::new(table_scan::TableScanOp::new(plan)),
+        PhysicalPlan::IndexScan { .. } => Box::new(index_scan::IndexScanOp::new(plan)),
+        PhysicalPlan::IndexRangeScan { .. } => Box::new(index_scan::IndexRangeScanOp::new(plan)),
         PhysicalPlan::Filter { .. } => Box::new(filter::FilterOp::new(plan)),
         PhysicalPlan::Project { .. } => Box::new(project::ProjectOp::new(plan)),
         PhysicalPlan::HashJoin { .. } => Box::new(hash_join::HashJoinOp::new(plan)),
@@ -94,6 +97,9 @@ pub struct OpStatsNode {
     pub(crate) cum_needs: NeedCounts,
     pub(crate) cum_hits: u64,
     pub(crate) cum_misses: u64,
+    pub(crate) cum_pages_read: u64,
+    pub(crate) cum_pool_hits: u64,
+    pub(crate) cum_index_probes: u64,
     pub(crate) cum_wall: Duration,
 }
 
@@ -126,6 +132,27 @@ impl OpStatsNode {
         self.cum_misses - self.children.iter().map(|c| c.cum_misses).sum::<u64>()
     }
 
+    /// Pages this operator itself fetched from the storage backend
+    /// (buffer-pool misses that did I/O).
+    pub fn pages_read(&self) -> u64 {
+        self.cum_pages_read - self.children.iter().map(|c| c.cum_pages_read).sum::<u64>()
+    }
+
+    /// Page requests this operator itself answered from the buffer pool.
+    pub fn pool_hits(&self) -> u64 {
+        self.cum_pool_hits - self.children.iter().map(|c| c.cum_pool_hits).sum::<u64>()
+    }
+
+    /// Secondary-index probes issued by this operator itself.
+    pub fn index_probes(&self) -> u64 {
+        self.cum_index_probes
+            - self
+                .children
+                .iter()
+                .map(|c| c.cum_index_probes)
+                .sum::<u64>()
+    }
+
     /// Wall time spent in this operator itself.
     pub fn wall(&self) -> Duration {
         self.children
@@ -141,6 +168,9 @@ impl OpStatsNode {
         self.cum_needs = self.cum_needs.add(&other.cum_needs);
         self.cum_hits += other.cum_hits;
         self.cum_misses += other.cum_misses;
+        self.cum_pages_read += other.cum_pages_read;
+        self.cum_pool_hits += other.cum_pool_hits;
+        self.cum_index_probes += other.cum_index_probes;
         self.cum_wall += other.cum_wall;
         for (mine, theirs) in self.children.iter_mut().zip(&other.children) {
             mine.merge(theirs);
@@ -153,7 +183,8 @@ impl OpStatsNode {
     pub fn summary(&self) -> String {
         let needs = self.needs();
         format!(
-            "rounds={} in={} out={} probe={} new={} eq={} ord={} hit={} miss={} time={:?}",
+            "rounds={} in={} out={} probe={} new={} eq={} ord={} hit={} miss={} \
+             pages={} pool_hit={} iprobe={} time={:?}",
             self.rounds,
             self.rows_in,
             self.rows_out,
@@ -163,6 +194,9 @@ impl OpStatsNode {
             needs.order,
             self.cache_hits(),
             self.cache_misses(),
+            self.pages_read(),
+            self.pool_hits(),
+            self.index_probes(),
             self.wall(),
         )
     }
@@ -199,6 +233,8 @@ pub fn run_op(
     let needs0 = ctx.rt.need_counts;
     let hits0 = ctx.rt.stats.compare_cache_hits;
     let misses0 = ctx.rt.stats.compare_cache_misses;
+    let probes0 = ctx.rt.stats.index_probes;
+    let pager0 = ctx.db.pager_stats();
     let t0 = Instant::now();
     let rows = op.execute(ctx, node)?;
     // Central guard charge: every operator's output counts toward the
@@ -208,6 +244,13 @@ pub fn run_op(
     node.cum_needs = node.cum_needs.add(&ctx.rt.need_counts.diff(&needs0));
     node.cum_hits += ctx.rt.stats.compare_cache_hits - hits0;
     node.cum_misses += ctx.rt.stats.compare_cache_misses - misses0;
+    // Pager counters are engine-global; diffing around `execute` charges
+    // this subtree's page traffic to this node (children run inside, so
+    // the self-attributed accessors subtract them back out).
+    let pager = ctx.db.pager_stats().diff(&pager0);
+    node.cum_pages_read += pager.pages_read;
+    node.cum_pool_hits += pager.pool_hits;
+    node.cum_index_probes += ctx.rt.stats.index_probes - probes0;
     node.rows_out += rows.len() as u64;
     node.rounds += 1;
     Ok(rows)
@@ -235,6 +278,9 @@ pub fn flush_op_stats(registry: &MetricsRegistry, stats: &OpStatsNode) {
     registry.counter_add("crowddb_exec_needs_order_total", needs.order);
     registry.counter_add("crowddb_exec_cache_hits_total", stats.cache_hits());
     registry.counter_add("crowddb_exec_cache_misses_total", stats.cache_misses());
+    registry.counter_add("crowddb_exec_pages_read_total", stats.pages_read());
+    registry.counter_add("crowddb_exec_pool_hits_total", stats.pool_hits());
+    registry.counter_add("crowddb_exec_index_probes_total", stats.index_probes());
     for child in &stats.children {
         flush_op_stats(registry, child);
     }

@@ -1,7 +1,12 @@
 //! TableScan: base-table scan with CrowdProbe insertion points and an
 //! optional fused residual filter.
+//!
+//! The residual/probe/quota pipeline over candidate rows is shared with
+//! the index access paths ([`crate::ops::index_scan`]) via
+//! [`process_candidates`]: an access path only changes *which* rows are
+//! fetched, never what happens to them.
 
-use crowddb_common::{Result, Row, Truth, Value};
+use crowddb_common::{Result, Row, Truth, TupleId, Value};
 use crowddb_plan::{BExpr, PhysicalPlan};
 use crowddb_sql::BinaryOp;
 
@@ -55,95 +60,135 @@ impl Operator for TableScanOp<'_> {
             .and_then(|p| pk_pin_values(p, &schema.primary_key));
         let (rows, total_live) = match &pk_values {
             Some(key) => {
-                let rows = ctx.db.with_table(self.table, |t| {
-                    t.lookup_pk(key)
-                        .into_iter()
-                        .filter_map(|tid| t.get(tid).map(|r| (tid, r.clone())))
-                        .collect::<Vec<_>>()
-                })?;
+                let rows = ctx.db.with_table(self.table, |t| -> Result<Vec<_>> {
+                    let mut out = Vec::new();
+                    for tid in t.lookup_pk(key)? {
+                        if let Some(r) = t.get(tid)? {
+                            out.push((tid, r));
+                        }
+                    }
+                    Ok(out)
+                })??;
                 let total = ctx.db.stats(self.table)?.live_rows as u64;
                 ctx.rt.stats.index_lookups += 1;
                 (rows, total)
             }
             None => {
-                let rows = ctx.db.with_table(self.table, |t| t.scan_rows())?;
+                let rows = ctx.db.with_table(self.table, |t| t.scan_rows())??;
                 let total = rows.len() as u64;
                 (rows, total)
             }
         };
-        ctx.rt.stats.rows_scanned += rows.len() as u64;
-        stats.rows_in += rows.len() as u64;
+        process_candidates(
+            ctx,
+            stats,
+            &ScanShape {
+                table: self.table,
+                needed_columns: self.needed_columns,
+                crowd_table: self.crowd_table,
+                expected_tuples: self.expected_tuples,
+                residual: self.residual,
+            },
+            rows,
+            total_live,
+        )
+    }
+}
 
-        let mut out = Vec::with_capacity(rows.len());
-        for (tid, row) in rows {
-            ctx.rt.check()?;
-            // Fused filter: a decidedly-False predicate drops the row
-            // before any crowd work is generated for it; Unknown keeps
-            // probing (the missing value may decide the predicate).
-            let truth = match self.residual {
-                Some(p) => eval_truth(ctx, p, &row)?,
-                None => Truth::True,
-            };
-            if truth == Truth::False {
-                continue;
-            }
-            // CrowdProbe, missing-value flavor: any needed column that is
-            // CNULL (and crowdsourceable) becomes a probe need.
-            let mut missing: Vec<(usize, String, crowddb_common::DataType)> = Vec::new();
-            for &c in self.needed_columns {
-                if row.get(c).map(Value::is_cnull).unwrap_or(false) {
-                    let col = &schema.columns[c];
-                    if col.crowd || schema.crowd_table {
-                        ctx.rt.stats.cnulls_seen += 1;
-                        missing.push((c, col.name.clone(), col.data_type));
-                    }
+/// The scan-shaped parameters shared by every base access path.
+pub(crate) struct ScanShape<'p> {
+    pub table: &'p str,
+    pub needed_columns: &'p [usize],
+    pub crowd_table: bool,
+    pub expected_tuples: Option<u64>,
+    pub residual: Option<&'p BExpr>,
+}
+
+/// Run the shared scan pipeline over already-fetched candidate rows:
+/// residual filtering (decidedly-False rows drop before any crowd work),
+/// CrowdProbe needs for missing values, and the bounded CROWD-table
+/// tuple quota. `total_live` is the table's live-row count (the quota
+/// counts stored tuples, not candidates).
+pub(crate) fn process_candidates(
+    ctx: &mut ExecCtx<'_>,
+    stats: &mut OpStatsNode,
+    shape: &ScanShape<'_>,
+    rows: Vec<(TupleId, Row)>,
+    total_live: u64,
+) -> Result<Vec<Row>> {
+    let schema = ctx.table_schema(shape.table)?;
+    ctx.rt.stats.rows_scanned += rows.len() as u64;
+    stats.rows_in += rows.len() as u64;
+
+    let mut out = Vec::with_capacity(rows.len());
+    for (tid, row) in rows {
+        ctx.rt.check()?;
+        // Fused filter: a decidedly-False predicate drops the row
+        // before any crowd work is generated for it; Unknown keeps
+        // probing (the missing value may decide the predicate).
+        let truth = match shape.residual {
+            Some(p) => eval_truth(ctx, p, &row)?,
+            None => Truth::True,
+        };
+        if truth == Truth::False {
+            continue;
+        }
+        // CrowdProbe, missing-value flavor: any needed column that is
+        // CNULL (and crowdsourceable) becomes a probe need.
+        let mut missing: Vec<(usize, String, crowddb_common::DataType)> = Vec::new();
+        for &c in shape.needed_columns {
+            if row.get(c).map(Value::is_cnull).unwrap_or(false) {
+                let col = &schema.columns[c];
+                if col.crowd || schema.crowd_table {
+                    ctx.rt.stats.cnulls_seen += 1;
+                    missing.push((c, col.name.clone(), col.data_type));
                 }
             }
-            if !missing.is_empty() {
-                let context: Vec<(String, String)> = schema
-                    .columns
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| {
-                        schema.primary_key.contains(i)
-                            || (self.needed_columns.contains(i)
-                                && !row.get(*i).map(Value::is_missing).unwrap_or(true))
-                    })
-                    .map(|(i, c)| (c.name.clone(), row[i].to_string()))
-                    .collect();
-                ctx.rt.push_need(TaskNeed::ProbeValues {
-                    table: self.table.to_string(),
-                    tid,
-                    context,
-                    columns: missing,
+        }
+        if !missing.is_empty() {
+            let context: Vec<(String, String)> = schema
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    schema.primary_key.contains(i)
+                        || (shape.needed_columns.contains(i)
+                            && !row.get(*i).map(Value::is_missing).unwrap_or(true))
+                })
+                .map(|(i, c)| (c.name.clone(), row[i].to_string()))
+                .collect();
+            ctx.rt.push_need(TaskNeed::ProbeValues {
+                table: shape.table.to_string(),
+                tid,
+                context,
+                columns: missing,
+            });
+        }
+        // Unknown rows are probed above but excluded from this
+        // round's output (SQL WHERE semantics); they qualify on
+        // re-execution once the crowd fills the value in.
+        if truth.passes_filter() {
+            out.push(row);
+        }
+    }
+
+    // CrowdProbe, new-tuple flavor: a bounded CROWD-table scan short
+    // of its quota asks the crowd for more tuples.
+    if shape.crowd_table {
+        if let Some(expected) = shape.expected_tuples {
+            // The quota counts stored tuples, not filter survivors:
+            // the bound caps how much of the open world is enumerated.
+            let have = total_live;
+            if have < expected {
+                ctx.rt.push_need(TaskNeed::NewTuples {
+                    table: shape.table.to_string(),
+                    preset: vec![],
+                    want: expected - have,
                 });
             }
-            // Unknown rows are probed above but excluded from this
-            // round's output (SQL WHERE semantics); they qualify on
-            // re-execution once the crowd fills the value in.
-            if truth.passes_filter() {
-                out.push(row);
-            }
         }
-
-        // CrowdProbe, new-tuple flavor: a bounded CROWD-table scan short
-        // of its quota asks the crowd for more tuples.
-        if self.crowd_table {
-            if let Some(expected) = self.expected_tuples {
-                // The quota counts stored tuples, not filter survivors:
-                // the bound caps how much of the open world is enumerated.
-                let have = total_live;
-                if have < expected {
-                    ctx.rt.push_need(TaskNeed::NewTuples {
-                        table: self.table.to_string(),
-                        preset: vec![],
-                        want: expected - have,
-                    });
-                }
-            }
-        }
-        Ok(out)
     }
+    Ok(out)
 }
 
 /// If `predicate` pins every primary-key column (by base ordinal) with an

@@ -481,11 +481,11 @@ fn pk_point_lookup_avoids_full_scan() {
     }
     let r = run(&db, "SELECT building FROM dept WHERE dept = 'd7'");
     assert_eq!(r.rows, vec![row![7i64]]);
-    assert_eq!(r.stats.index_lookups, 1, "PK index should serve the scan");
+    assert_eq!(r.stats.index_probes, 1, "PK index should serve the scan");
     assert_eq!(r.stats.rows_scanned, 1, "only the matching row is read");
     // Non-key predicates still scan.
     let r = run(&db, "SELECT dept FROM dept WHERE building = 7");
-    assert_eq!(r.stats.index_lookups, 0);
+    assert_eq!(r.stats.index_probes, 0);
     assert_eq!(r.stats.rows_scanned, 50);
 }
 
@@ -499,7 +499,7 @@ fn pk_lookup_respects_residual_predicate() {
         "SELECT dept FROM dept WHERE dept = 'math' AND building > 5",
     );
     assert!(r.rows.is_empty());
-    assert_eq!(r.stats.index_lookups, 1);
+    assert_eq!(r.stats.index_probes, 1);
 }
 
 #[test]
@@ -508,7 +508,7 @@ fn pk_lookup_miss_returns_empty() {
     db.insert("dept", row!["math", 3i64]).unwrap();
     let r = run(&db, "SELECT dept FROM dept WHERE dept = 'ghost'");
     assert!(r.rows.is_empty());
-    assert_eq!(r.stats.index_lookups, 1);
+    assert_eq!(r.stats.index_probes, 1);
     assert_eq!(r.stats.rows_scanned, 0);
 }
 

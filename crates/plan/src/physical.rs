@@ -29,7 +29,21 @@ use crate::cardinality::{estimate_rows, StatsSource};
 use crate::logical::{JoinType, LogicalPlan, SortKey};
 use crate::optimizer::split_conjuncts;
 use crate::schema::PlanSchema;
+use crowddb_common::Value;
 use crowddb_sql::BinaryOp;
+
+/// Catalog metadata about one index, supplied to [`lower`] by the caller
+/// (the plan crate cannot depend on the storage crate, so access-path
+/// selection sees indexes through this thin description).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexMeta {
+    /// Index name (shown in EXPLAIN).
+    pub name: String,
+    /// Base-table column ordinals the index covers, in key order.
+    pub columns: Vec<usize>,
+    /// Whether the index supports ordered range scans (B-tree vs hash).
+    pub ordered: bool,
+}
 
 /// Per-outer-tuple quota of crowdsourced matches requested by a
 /// [`PhysicalPlan::CrowdJoin`] (the paper's CrowdJoin asks for a handful
@@ -89,6 +103,64 @@ pub enum PhysicalPlan {
         /// Cardinality/boundedness annotations.
         annot: PhysAnnot,
     },
+    /// Index point access: the residual predicate pins every column of
+    /// `index` with literal equalities, so the scan touches only the
+    /// matching tuples (plus tuples whose key is still missing — their
+    /// CNULLs may decide the predicate, so they keep their probe
+    /// semantics). The full predicate is re-evaluated as `residual`;
+    /// the index only narrows which pages are read.
+    IndexScan {
+        /// Base table name.
+        table: String,
+        /// Visible alias (equals `table` when not aliased).
+        alias: String,
+        /// Output schema (base-table columns).
+        schema: PlanSchema,
+        /// Scanning a `CREATE CROWD TABLE`?
+        crowd_table: bool,
+        /// Column ordinals the query actually uses (probe candidates).
+        needed_columns: Vec<usize>,
+        /// Tuple quota for bounded CROWD-table scans.
+        expected_tuples: Option<u64>,
+        /// The chosen index.
+        index: IndexMeta,
+        /// Literal key values, one per index column, in key order.
+        key: Vec<Value>,
+        /// The full fused predicate (exact filter over the candidates).
+        residual: Option<BExpr>,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
+    /// Index range access over a single-column ordered (B-tree) index:
+    /// literal comparisons bound the key, the B-tree enumerates the
+    /// candidate range, and the full predicate re-filters exactly (so
+    /// strict bounds need no special casing — the range is a superset).
+    /// Missing-key tuples are included for probe semantics, as in
+    /// [`PhysicalPlan::IndexScan`].
+    IndexRangeScan {
+        /// Base table name.
+        table: String,
+        /// Visible alias (equals `table` when not aliased).
+        alias: String,
+        /// Output schema (base-table columns).
+        schema: PlanSchema,
+        /// Scanning a `CREATE CROWD TABLE`?
+        crowd_table: bool,
+        /// Column ordinals the query actually uses (probe candidates).
+        needed_columns: Vec<usize>,
+        /// Tuple quota for bounded CROWD-table scans.
+        expected_tuples: Option<u64>,
+        /// The chosen single-column ordered index.
+        index: IndexMeta,
+        /// Inclusive lower bound on the key (None = open).
+        low: Option<Value>,
+        /// Inclusive upper bound on the key (None = open).
+        high: Option<Value>,
+        /// The full fused predicate (exact filter over the candidates).
+        residual: Option<BExpr>,
+        /// Cardinality/boundedness annotations.
+        annot: PhysAnnot,
+    },
     /// Standalone filter (input is not a scan, so no fusion applies).
     Filter {
         /// Input operator.
@@ -144,6 +216,10 @@ pub enum PhysicalPlan {
         inner_table: String,
         /// Inner column name the join key is preset on.
         key_column: String,
+        /// Index on the inner key column, when one exists: the executor
+        /// probes it per distinct outer key (true index nested-loop, the
+        /// paper's CrowdJoin shape) instead of hashing a full inner scan.
+        probe_index: Option<IndexMeta>,
         /// How many tuples to request per unmatched outer row.
         batch_size: u64,
         /// Cardinality/boundedness annotations.
@@ -241,6 +317,8 @@ impl PhysicalPlan {
     pub fn schema(&self) -> PlanSchema {
         match self {
             PhysicalPlan::TableScan { schema, .. }
+            | PhysicalPlan::IndexScan { schema, .. }
+            | PhysicalPlan::IndexRangeScan { schema, .. }
             | PhysicalPlan::Project { schema, .. }
             | PhysicalPlan::Aggregate { schema, .. }
             | PhysicalPlan::Values { schema, .. } => schema.clone(),
@@ -262,6 +340,8 @@ impl PhysicalPlan {
     pub fn annot(&self) -> &PhysAnnot {
         match self {
             PhysicalPlan::TableScan { annot, .. }
+            | PhysicalPlan::IndexScan { annot, .. }
+            | PhysicalPlan::IndexRangeScan { annot, .. }
             | PhysicalPlan::Filter { annot, .. }
             | PhysicalPlan::Project { annot, .. }
             | PhysicalPlan::HashJoin { annot, .. }
@@ -280,7 +360,10 @@ impl PhysicalPlan {
     /// Child operators, in execution order.
     pub fn children(&self) -> Vec<&PhysicalPlan> {
         match self {
-            PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::TableScan { .. }
+            | PhysicalPlan::IndexScan { .. }
+            | PhysicalPlan::IndexRangeScan { .. }
+            | PhysicalPlan::Values { .. } => vec![],
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Sort { input, .. }
@@ -299,6 +382,8 @@ impl PhysicalPlan {
     pub fn name(&self) -> &'static str {
         match self {
             PhysicalPlan::TableScan { .. } => "TableScan",
+            PhysicalPlan::IndexScan { .. } => "IndexScan",
+            PhysicalPlan::IndexRangeScan { .. } => "IndexRangeScan",
             PhysicalPlan::Filter { predicate, .. } => {
                 if predicate.is_crowd() {
                     "CrowdFilter"
@@ -333,33 +418,110 @@ impl PhysicalPlan {
                 residual,
                 ..
             } => {
-                let probe_cols: Vec<&str> = needed_columns
-                    .iter()
-                    .filter_map(|&i| schema.columns.get(i))
-                    .filter(|c| c.crowd || *crowd_table)
-                    .map(|c| c.name.as_str())
-                    .collect();
                 format!(
-                    "TableScan {table}{}{}{}{}{}",
+                    "TableScan {table}{}{}",
                     if alias != table {
                         format!(" AS {alias}")
                     } else {
                         String::new()
                     },
-                    if *crowd_table { " [CROWD TABLE]" } else { "" },
-                    if probe_cols.is_empty() {
-                        String::new()
+                    scan_suffixes(
+                        schema,
+                        *crowd_table,
+                        needed_columns,
+                        expected_tuples,
+                        residual
+                    )
+                )
+            }
+            PhysicalPlan::IndexScan {
+                table,
+                alias,
+                schema,
+                crowd_table,
+                needed_columns,
+                expected_tuples,
+                index,
+                key,
+                residual,
+                ..
+            } => {
+                let keys: Vec<String> = index
+                    .columns
+                    .iter()
+                    .zip(key)
+                    .map(|(&c, v)| {
+                        format!(
+                            "{}={}",
+                            schema
+                                .columns
+                                .get(c)
+                                .map(|col| col.name.as_str())
+                                .unwrap_or("?"),
+                            v.sql_literal()
+                        )
+                    })
+                    .collect();
+                format!(
+                    "IndexScan {table}{} via {} [key: {}]{}",
+                    if alias != table {
+                        format!(" AS {alias}")
                     } else {
-                        format!(" [probe: {}]", probe_cols.join(", "))
+                        String::new()
                     },
-                    match expected_tuples {
-                        Some(n) => format!(" [expect ≤{n} tuples]"),
-                        None => String::new(),
-                    },
-                    match residual {
-                        Some(p) => format!(" [residual: {p}]"),
-                        None => String::new(),
+                    index.name,
+                    keys.join(", "),
+                    scan_suffixes(
+                        schema,
+                        *crowd_table,
+                        needed_columns,
+                        expected_tuples,
+                        residual
+                    )
+                )
+            }
+            PhysicalPlan::IndexRangeScan {
+                table,
+                alias,
+                schema,
+                crowd_table,
+                needed_columns,
+                expected_tuples,
+                index,
+                low,
+                high,
+                residual,
+                ..
+            } => {
+                let col = index
+                    .columns
+                    .first()
+                    .and_then(|&c| schema.columns.get(c))
+                    .map(|c| c.name.as_str())
+                    .unwrap_or("?");
+                let range = match (low, high) {
+                    (Some(l), Some(h)) => {
+                        format!("{} <= {col} <= {}", l.sql_literal(), h.sql_literal())
                     }
+                    (Some(l), None) => format!("{col} >= {}", l.sql_literal()),
+                    (None, Some(h)) => format!("{col} <= {}", h.sql_literal()),
+                    (None, None) => col.to_string(),
+                };
+                format!(
+                    "IndexRangeScan {table}{} via {} [range: {range}]{}",
+                    if alias != table {
+                        format!(" AS {alias}")
+                    } else {
+                        String::new()
+                    },
+                    index.name,
+                    scan_suffixes(
+                        schema,
+                        *crowd_table,
+                        needed_columns,
+                        expected_tuples,
+                        residual
+                    )
                 )
             }
             PhysicalPlan::Filter { predicate, .. } => format!("{} {predicate}", self.name()),
@@ -387,14 +549,19 @@ impl PhysicalPlan {
                 residual,
                 inner_table,
                 key_column,
+                probe_index,
                 batch_size,
                 ..
             } => format!(
-                "CrowdJoin {} on=[{}={}] inner={inner_table} key={key_column} \
+                "CrowdJoin {} on=[{}={}] inner={inner_table} key={key_column}{} \
                  batch={batch_size}{}",
                 kind.name(),
                 equi.0,
                 equi.1,
+                match probe_index {
+                    Some(idx) => format!(" [INL probe via {}]", idx.name),
+                    None => String::new(),
+                },
                 render_residual(residual)
             ),
             PhysicalPlan::NestedLoopJoin { kind, on, .. } => format!(
@@ -457,6 +624,40 @@ impl PhysicalPlan {
     }
 }
 
+/// The shared suffix block of every base-access node's description:
+/// `[CROWD TABLE]`, probe columns, tuple quota, residual predicate.
+fn scan_suffixes(
+    schema: &PlanSchema,
+    crowd_table: bool,
+    needed_columns: &[usize],
+    expected_tuples: &Option<u64>,
+    residual: &Option<BExpr>,
+) -> String {
+    let probe_cols: Vec<&str> = needed_columns
+        .iter()
+        .filter_map(|&i| schema.columns.get(i))
+        .filter(|c| c.crowd || crowd_table)
+        .map(|c| c.name.as_str())
+        .collect();
+    format!(
+        "{}{}{}{}",
+        if crowd_table { " [CROWD TABLE]" } else { "" },
+        if probe_cols.is_empty() {
+            String::new()
+        } else {
+            format!(" [probe: {}]", probe_cols.join(", "))
+        },
+        match expected_tuples {
+            Some(n) => format!(" [expect ≤{n} tuples]"),
+            None => String::new(),
+        },
+        match residual {
+            Some(p) => format!(" [residual: {p}]"),
+            None => String::new(),
+        }
+    )
+}
+
 fn render_residual(residual: &[BExpr]) -> String {
     if residual.is_empty() {
         String::new()
@@ -468,13 +669,14 @@ fn render_residual(residual: &[BExpr]) -> String {
 
 /// Lower an optimized logical plan to a physical operator tree.
 ///
-/// `stats` feeds the per-node cardinality estimates and `pk_columns`
-/// the boundedness analysis; both come from the catalog in practice
-/// (see `crowddb_exec`'s driver).
+/// `stats` feeds the per-node cardinality estimates, `pk_columns` the
+/// boundedness analysis, and `indexes` the access-path selection; all
+/// come from the catalog in practice (see `crowddb_exec`'s driver).
 pub fn lower(
     plan: &LogicalPlan,
     stats: &dyn StatsSource,
     pk_columns: &dyn Fn(&str) -> Vec<usize>,
+    indexes: &dyn Fn(&str) -> Vec<IndexMeta>,
 ) -> PhysicalPlan {
     let annot = PhysAnnot {
         est_rows: estimate_rows(plan, stats),
@@ -500,7 +702,9 @@ pub fn lower(
         },
         LogicalPlan::Filter { input, predicate } => {
             // Filter-over-scan fusion: the predicate becomes the scan's
-            // residual so decidedly-rejected rows never generate probes.
+            // residual so decidedly-rejected rows never generate probes —
+            // and, when the predicate pins an index, the scan itself
+            // narrows to an index access path.
             if let LogicalPlan::Scan {
                 table,
                 alias,
@@ -510,6 +714,18 @@ pub fn lower(
                 expected_tuples,
             } = input.as_ref()
             {
+                if let Some(access) = choose_access_path(predicate, &indexes(table)) {
+                    return access.into_plan(
+                        table,
+                        alias,
+                        schema,
+                        *crowd_table,
+                        needed_columns,
+                        *expected_tuples,
+                        predicate,
+                        annot,
+                    );
+                }
                 return PhysicalPlan::TableScan {
                     table: table.clone(),
                     alias: alias.clone(),
@@ -522,7 +738,7 @@ pub fn lower(
                 };
             }
             PhysicalPlan::Filter {
-                input: Box::new(lower(input, stats, pk_columns)),
+                input: Box::new(lower(input, stats, pk_columns, indexes)),
                 predicate: predicate.clone(),
                 annot,
             }
@@ -532,7 +748,7 @@ pub fn lower(
             exprs,
             schema,
         } => PhysicalPlan::Project {
-            input: Box::new(lower(input, stats, pk_columns)),
+            input: Box::new(lower(input, stats, pk_columns, indexes)),
             exprs: exprs.clone(),
             schema: schema.clone(),
             annot,
@@ -545,8 +761,8 @@ pub fn lower(
         } => {
             let left_arity = left.schema().arity();
             let (equi, residual) = split_join_condition(on.as_ref(), left_arity);
-            let pleft = Box::new(lower(left, stats, pk_columns));
-            let pright = Box::new(lower(right, stats, pk_columns));
+            let pleft = Box::new(lower(left, stats, pk_columns, indexes));
+            let pright = Box::new(lower(right, stats, pk_columns, indexes));
             if equi.is_empty() {
                 return PhysicalPlan::NestedLoopJoin {
                     left: pleft,
@@ -562,6 +778,12 @@ pub fn lower(
                 if let Some((scan_table, scan_schema)) = crowd_scan_of(right) {
                     if let BExpr::Column(rc) = &equi[0].1 {
                         let key_column = scan_schema.columns[*rc].name.clone();
+                        // Index nested-loop upgrade: a single-column
+                        // index on the inner key lets the executor probe
+                        // per outer key instead of hashing a full scan.
+                        let probe_index = indexes(&scan_table)
+                            .into_iter()
+                            .find(|idx| idx.columns == [*rc]);
                         let equi0 = equi.into_iter().next().expect("len checked");
                         return PhysicalPlan::CrowdJoin {
                             left: pleft,
@@ -571,6 +793,7 @@ pub fn lower(
                             residual,
                             inner_table: scan_table,
                             key_column,
+                            probe_index,
                             batch_size: DEFAULT_JOIN_BATCH,
                             annot,
                         };
@@ -592,14 +815,14 @@ pub fn lower(
             aggs,
             schema,
         } => PhysicalPlan::Aggregate {
-            input: Box::new(lower(input, stats, pk_columns)),
+            input: Box::new(lower(input, stats, pk_columns, indexes)),
             group_by: group_by.clone(),
             aggs: aggs.clone(),
             schema: schema.clone(),
             annot,
         },
         LogicalPlan::Sort { input, keys } => {
-            let input = Box::new(lower(input, stats, pk_columns));
+            let input = Box::new(lower(input, stats, pk_columns, indexes));
             if keys
                 .iter()
                 .any(|k| matches!(k.expr, BExpr::CrowdOrder { .. }))
@@ -622,13 +845,13 @@ pub fn lower(
             limit,
             offset,
         } => PhysicalPlan::StopAfter {
-            input: Box::new(lower(input, stats, pk_columns)),
+            input: Box::new(lower(input, stats, pk_columns, indexes)),
             limit: *limit,
             offset: *offset,
             annot,
         },
         LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
-            input: Box::new(lower(input, stats, pk_columns)),
+            input: Box::new(lower(input, stats, pk_columns, indexes)),
             annot,
         },
         LogicalPlan::Values { rows, schema } => PhysicalPlan::Values {
@@ -637,11 +860,189 @@ pub fn lower(
             annot,
         },
         LogicalPlan::Union { left, right, all } => PhysicalPlan::Union {
-            left: Box::new(lower(left, stats, pk_columns)),
-            right: Box::new(lower(right, stats, pk_columns)),
+            left: Box::new(lower(left, stats, pk_columns, indexes)),
+            right: Box::new(lower(right, stats, pk_columns, indexes)),
             all: *all,
             annot,
         },
+    }
+}
+
+/// A chosen index access path: equality pinning of every index column,
+/// or a single-column range.
+enum AccessPath {
+    Point {
+        index: IndexMeta,
+        key: Vec<Value>,
+    },
+    Range {
+        index: IndexMeta,
+        low: Option<Value>,
+        high: Option<Value>,
+    },
+}
+
+impl AccessPath {
+    #[allow(clippy::too_many_arguments)]
+    fn into_plan(
+        self,
+        table: &str,
+        alias: &str,
+        schema: &PlanSchema,
+        crowd_table: bool,
+        needed_columns: &[usize],
+        expected_tuples: Option<u64>,
+        predicate: &BExpr,
+        annot: PhysAnnot,
+    ) -> PhysicalPlan {
+        match self {
+            AccessPath::Point { index, key } => PhysicalPlan::IndexScan {
+                table: table.to_string(),
+                alias: alias.to_string(),
+                schema: schema.clone(),
+                crowd_table,
+                needed_columns: needed_columns.to_vec(),
+                expected_tuples,
+                index,
+                key,
+                residual: Some(predicate.clone()),
+                annot,
+            },
+            AccessPath::Range { index, low, high } => PhysicalPlan::IndexRangeScan {
+                table: table.to_string(),
+                alias: alias.to_string(),
+                schema: schema.clone(),
+                crowd_table,
+                needed_columns: needed_columns.to_vec(),
+                expected_tuples,
+                index,
+                low,
+                high,
+                residual: Some(predicate.clone()),
+                annot,
+            },
+        }
+    }
+}
+
+/// Pick an index access path for a fused scan predicate, if any index
+/// applies. Deterministic selection rules, in order:
+///
+/// 1. **Point**: the index whose columns are *all* pinned by literal
+///    equalities; ties broken by most columns pinned, then catalog
+///    order. (A unique multi-column match beats a single-column one.)
+/// 2. **Range**: the first single-column *ordered* index whose column
+///    has at least one literal comparison bound.
+///
+/// Bounds are deliberately sloppy-inclusive (`>` contributes the same
+/// lower bound as `>=`): the full predicate is re-evaluated as the
+/// residual, so the access path only has to be a superset.
+fn choose_access_path(predicate: &BExpr, indexes: &[IndexMeta]) -> Option<AccessPath> {
+    let mut conjuncts = Vec::new();
+    split_conjuncts(predicate.clone(), &mut conjuncts);
+    // col ordinal -> first pinned literal.
+    let mut eq_pins: Vec<(usize, Value)> = Vec::new();
+    // col ordinal -> (low, high) bounds.
+    let mut bounds: Vec<(usize, Option<Value>, Option<Value>)> = Vec::new();
+    for c in &conjuncts {
+        let BExpr::Binary { left, op, right } = c else {
+            continue;
+        };
+        let (col, lit, op_towards_col) = match (left.as_ref(), right.as_ref()) {
+            (BExpr::Column(i), BExpr::Literal(v)) => (*i, v, *op),
+            (BExpr::Literal(v), BExpr::Column(i)) => (*i, v, flip_cmp(*op)),
+            _ => continue,
+        };
+        if lit.is_missing() {
+            continue;
+        }
+        match op_towards_col {
+            BinaryOp::Eq if !eq_pins.iter().any(|(i, _)| *i == col) => {
+                eq_pins.push((col, lit.clone()));
+            }
+            BinaryOp::Gt | BinaryOp::GtEq => {
+                let entry = bound_entry(&mut bounds, col);
+                if entry.1.is_none() {
+                    entry.1 = Some(lit.clone());
+                }
+            }
+            BinaryOp::Lt | BinaryOp::LtEq => {
+                let entry = bound_entry(&mut bounds, col);
+                if entry.2.is_none() {
+                    entry.2 = Some(lit.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    // Rule 1: fully pinned index, widest first.
+    let mut best: Option<&IndexMeta> = None;
+    for idx in indexes {
+        let all_pinned = !idx.columns.is_empty()
+            && idx
+                .columns
+                .iter()
+                .all(|c| eq_pins.iter().any(|(i, _)| i == c));
+        if all_pinned && best.is_none_or(|b| idx.columns.len() > b.columns.len()) {
+            best = Some(idx);
+        }
+    }
+    if let Some(idx) = best {
+        let key = idx
+            .columns
+            .iter()
+            .map(|c| {
+                eq_pins
+                    .iter()
+                    .find(|(i, _)| i == c)
+                    .expect("pinned")
+                    .1
+                    .clone()
+            })
+            .collect();
+        return Some(AccessPath::Point {
+            index: idx.clone(),
+            key,
+        });
+    }
+    // Rule 2: single-column ordered index with a range bound. (An
+    // equality pin on such an index is always caught by rule 1, so only
+    // genuine inequalities land here.)
+    for idx in indexes {
+        if !idx.ordered || idx.columns.len() != 1 {
+            continue;
+        }
+        if let Some((_, low, high)) = bounds.iter().find(|(i, ..)| *i == idx.columns[0]) {
+            return Some(AccessPath::Range {
+                index: idx.clone(),
+                low: low.clone(),
+                high: high.clone(),
+            });
+        }
+    }
+    None
+}
+
+/// `lit op col` rewritten as `col op' lit`.
+fn flip_cmp(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+fn bound_entry(
+    bounds: &mut Vec<(usize, Option<Value>, Option<Value>)>,
+    col: usize,
+) -> &mut (usize, Option<Value>, Option<Value>) {
+    if let Some(pos) = bounds.iter().position(|(i, ..)| *i == col) {
+        &mut bounds[pos]
+    } else {
+        bounds.push((col, None, None));
+        bounds.last_mut().expect("just pushed")
     }
 }
 
@@ -716,7 +1117,11 @@ mod tests {
     }
 
     fn lower_t(plan: &LogicalPlan) -> PhysicalPlan {
-        lower(plan, &stats(), &pk)
+        lower(plan, &stats(), &pk, &|_| vec![])
+    }
+
+    fn lower_idx(plan: &LogicalPlan, idx: Vec<IndexMeta>) -> PhysicalPlan {
+        lower(plan, &stats(), &pk, &move |_| idx.clone())
     }
 
     fn talk_scan() -> LogicalPlan {
@@ -955,6 +1360,147 @@ mod tests {
         let p = lower_t(&scan);
         assert!(!p.annot().bounded);
         assert!(p.explain().contains("UNBOUNDED"), "{}", p.explain());
+    }
+
+    fn pk_index() -> IndexMeta {
+        IndexMeta {
+            name: "talk_pk".into(),
+            columns: vec![0],
+            ordered: false,
+        }
+    }
+
+    fn att_index() -> IndexMeta {
+        IndexMeta {
+            name: "talk_att".into(),
+            columns: vec![1],
+            ordered: true,
+        }
+    }
+
+    #[test]
+    fn pinned_index_column_selects_index_scan() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(talk_scan()),
+            predicate: eq(col(0), BExpr::Literal(Value::str("CrowdDB"))),
+        };
+        let p = lower_idx(&plan, vec![pk_index(), att_index()]);
+        let PhysicalPlan::IndexScan {
+            index,
+            key,
+            residual,
+            ..
+        } = &p
+        else {
+            panic!("{p:?}")
+        };
+        assert_eq!(index.name, "talk_pk");
+        assert_eq!(key, &[Value::str("CrowdDB")]);
+        assert!(residual.is_some(), "full predicate stays as residual");
+        assert!(
+            p.explain().contains("IndexScan talk via talk_pk"),
+            "{}",
+            p.explain()
+        );
+    }
+
+    #[test]
+    fn widest_fully_pinned_index_wins() {
+        let wide = IndexMeta {
+            name: "talk_both".into(),
+            columns: vec![0, 1],
+            ordered: true,
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(talk_scan()),
+            predicate: BExpr::Binary {
+                left: Box::new(eq(col(0), BExpr::Literal(Value::str("a")))),
+                op: BinaryOp::And,
+                right: Box::new(eq(col(1), BExpr::Literal(Value::Int(7)))),
+            },
+        };
+        let p = lower_idx(&plan, vec![pk_index(), wide]);
+        let PhysicalPlan::IndexScan { index, key, .. } = &p else {
+            panic!("{p:?}")
+        };
+        assert_eq!(index.name, "talk_both");
+        assert_eq!(key, &[Value::str("a"), Value::Int(7)]);
+    }
+
+    #[test]
+    fn range_bounds_select_index_range_scan() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(talk_scan()),
+            predicate: BExpr::Binary {
+                left: Box::new(BExpr::Binary {
+                    left: Box::new(col(1)),
+                    op: BinaryOp::GtEq,
+                    right: Box::new(BExpr::Literal(Value::Int(10))),
+                }),
+                op: BinaryOp::And,
+                right: Box::new(BExpr::Binary {
+                    left: Box::new(BExpr::Literal(Value::Int(50))),
+                    op: BinaryOp::Gt,
+                    right: Box::new(col(1)),
+                }),
+            },
+        };
+        let p = lower_idx(&plan, vec![pk_index(), att_index()]);
+        let PhysicalPlan::IndexRangeScan {
+            index, low, high, ..
+        } = &p
+        else {
+            panic!("{p:?}")
+        };
+        assert_eq!(index.name, "talk_att");
+        assert_eq!(low.as_ref(), Some(&Value::Int(10)));
+        // `50 > col` flips to `col < 50`; sloppy-inclusive upper bound.
+        assert_eq!(high.as_ref(), Some(&Value::Int(50)));
+        assert!(
+            p.explain().contains("IndexRangeScan talk via talk_att"),
+            "{}",
+            p.explain()
+        );
+    }
+
+    #[test]
+    fn unindexed_predicate_stays_a_table_scan() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(talk_scan()),
+            predicate: eq(col(1), BExpr::Literal(Value::Int(10))),
+        };
+        // Only the (hash) pk index on column 0 exists: no access path.
+        let p = lower_idx(&plan, vec![pk_index()]);
+        assert!(matches!(p, PhysicalPlan::TableScan { .. }), "{p:?}");
+    }
+
+    #[test]
+    fn crowd_join_picks_up_probe_index() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(talk_scan()),
+            right: Box::new(attendee_scan()),
+            kind: JoinType::Inner,
+            on: Some(eq(col(0), col(3))),
+        };
+        let inner_idx = IndexMeta {
+            name: "notableattendee_fk_title".into(),
+            columns: vec![1],
+            ordered: true,
+        };
+        let p = lower_idx(&plan, vec![inner_idx]);
+        let PhysicalPlan::CrowdJoin { probe_index, .. } = &p else {
+            panic!("{p:?}")
+        };
+        assert_eq!(
+            probe_index.as_ref().map(|i| i.name.as_str()),
+            Some("notableattendee_fk_title")
+        );
+        assert!(
+            p.explain()
+                .contains("[INL probe via notableattendee_fk_title]"),
+            "{}",
+            p.explain()
+        );
     }
 
     #[test]

@@ -1,14 +1,17 @@
-//! The database: catalog + heap tables behind a single lock, plus
-//! snapshots.
+//! The database: catalog + paged tables behind a single lock, plus
+//! snapshots and checkpoint orchestration hooks.
 //!
 //! CrowdDB executes queries in rounds: run the plan, collect crowd task
 //! requests, post them, ingest answers (write-back), re-run. Within one
 //! run only reads happen; write-back happens between runs. A single
 //! `RwLock` therefore gives us all the concurrency the engine needs while
 //! keeping the invariants trivially safe (many concurrent readers, one
-//! writer between rounds).
+//! writer between rounds). All page state lives in one shared [`Pager`]
+//! (in-memory by default, file-backed for durable sessions).
 
 use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::RwLock;
@@ -19,12 +22,20 @@ use crate::catalog::Catalog;
 use crate::codec;
 use crate::index::{Index, IndexKind};
 use crate::logrec::LogRecord;
+use crate::page;
+use crate::pager::{CheckpointPrep, Pager, PagerConfig};
+use crate::pool::PagerStats;
 use crate::table::{HeapTable, TableStats};
 
 /// Magic + version prefix of a [`Database::snapshot`] buffer. Version 2
 /// preserves tuple ids (slot indexes) so that write-ahead-log records
 /// addressing tuples by id replay correctly against a restored snapshot.
 const SNAPSHOT_MAGIC: &[u8; 5] = b"CDBS\x02";
+
+/// Magic + version prefix of a paged-metadata snapshot
+/// ([`Database::begin_checkpoint`]): tree roots and allocation state
+/// instead of row payloads — rows live in the page file.
+const META_MAGIC: &[u8; 5] = b"CDBM\x01";
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -34,27 +45,211 @@ struct Inner {
 
 /// A CrowdDB database instance: the storage-facing API used by the
 /// executor, the task manager (write-back), and DDL.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
+    pager: Arc<Pager>,
     inner: RwLock<Inner>,
 }
 
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
+    }
+}
+
 impl Database {
-    /// Create an empty database.
+    /// Create an empty in-memory database. Pager knobs come from
+    /// [`PagerConfig::default`] (env-overridable); an invalid env page
+    /// size falls back to the built-in default rather than failing.
     pub fn new() -> Database {
-        Database::default()
+        let cfg = PagerConfig::default();
+        let pager = Pager::new_mem(cfg).unwrap_or_else(|_| {
+            Pager::new_mem(PagerConfig {
+                page_size: page::DEFAULT_PAGE_SIZE,
+                pool_pages: cfg.pool_pages,
+            })
+            .expect("default page size is valid")
+        });
+        Database::with_pager(pager)
     }
 
-    /// Create a table from a schema.
+    /// Create an empty in-memory database with explicit pager knobs.
+    pub fn new_with_config(cfg: PagerConfig) -> Result<Database> {
+        Ok(Database::with_pager(Pager::new_mem(cfg)?))
+    }
+
+    /// Create a fresh file-backed database in `dir`.
+    pub fn open_file(dir: &Path, cfg: PagerConfig) -> Result<Database> {
+        Ok(Database::with_pager(Pager::open_file(dir, cfg, 0)?))
+    }
+
+    fn with_pager(pager: Pager) -> Database {
+        Database {
+            pager: Arc::new(pager),
+            inner: RwLock::new(Inner::default()),
+        }
+    }
+
+    /// Reopen a file-backed database from a paged-metadata snapshot
+    /// (the payload committed by the last checkpoint). Recovers the
+    /// dirty-page journal, restores allocation state, and re-attaches
+    /// every table to its trees. `cfg.page_size` is ignored in favor of
+    /// the recorded one (a page file cannot change page size).
+    pub fn open_paged(dir: &Path, cfg: PagerConfig, meta: &[u8]) -> Result<Database> {
+        let meta = decode_meta(meta)?;
+        let pager = Pager::open_file(
+            dir,
+            PagerConfig {
+                page_size: meta.page_size,
+                pool_pages: cfg.pool_pages,
+            },
+            meta.epoch,
+        )?;
+        pager.set_alloc_state(meta.free, meta.page_count, meta.epoch);
+        let db = Database::with_pager(pager);
+        // Register schemas FK-deferred (meta order is alphabetical, not
+        // topological), then attach tables to their recorded trees.
+        let mut pending = meta.tables;
+        while !pending.is_empty() {
+            let mut next_round = Vec::new();
+            let mut progressed = false;
+            for entry in pending {
+                let stmt = crowddb_sql::parse_statement(&entry.ddl).map_err(|e| {
+                    CrowdError::Internal(format!("meta: bad DDL for '{}': {e}", entry.name))
+                })?;
+                let crowddb_sql::Statement::CreateTable(ct) = stmt else {
+                    return Err(CrowdError::Internal(format!(
+                        "meta: DDL for '{}' is not CREATE TABLE",
+                        entry.name
+                    )));
+                };
+                match db.with_catalog(|c| c.schema_from_ast(&ct)) {
+                    Ok(schema) => {
+                        let mut inner = db.inner.write();
+                        inner.catalog.register(schema.clone())?;
+                        let indexes = entry
+                            .indexes
+                            .iter()
+                            .map(|i| {
+                                Index::open(
+                                    i.name.clone(),
+                                    i.columns.clone(),
+                                    i.kind,
+                                    i.unique,
+                                    i.root,
+                                )
+                            })
+                            .collect();
+                        let table = HeapTable::from_parts(
+                            Arc::clone(&db.pager),
+                            schema,
+                            entry.primary_root,
+                            entry.total_slots,
+                            entry.live_rows,
+                            entry.cnull_values,
+                            indexes,
+                        );
+                        inner.tables.insert(entry.name.clone(), table);
+                        progressed = true;
+                    }
+                    Err(CrowdError::Catalog(msg)) if msg.contains("unknown table") => {
+                        next_round.push(entry);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !progressed && !next_round.is_empty() {
+                return Err(CrowdError::Internal(
+                    "meta: circular or dangling foreign keys".into(),
+                ));
+            }
+            pending = next_round;
+        }
+        Ok(db)
+    }
+
+    /// Cumulative pager counters (page reads/writes, pool hits/misses).
+    pub fn pager_stats(&self) -> PagerStats {
+        self.pager.stats()
+    }
+
+    /// The configured page size.
+    pub fn page_size(&self) -> usize {
+        self.pager.page_size()
+    }
+
+    /// Whether pages persist to a file (checkpoints flush dirty pages).
+    pub fn is_file_backed(&self) -> bool {
+        self.pager.is_file_backed()
+    }
+
+    /// Whether `bytes` is a paged-metadata snapshot (as produced by
+    /// [`Database::begin_checkpoint`]) rather than a full-state snapshot.
+    pub fn is_paged_meta(bytes: &[u8]) -> bool {
+        bytes.starts_with(META_MAGIC)
+    }
+
+    /// Number of dirty (unflushed) pages.
+    pub fn dirty_pages(&self) -> usize {
+        self.pager.dirty_count()
+    }
+
+    /// First half of a durable checkpoint (file-backed only): journal
+    /// every dirty page, then capture the paged-metadata snapshot for the
+    /// caller to commit. Row data is *not* serialized — that is the point
+    /// of paged checkpoints. Call [`Database::complete_checkpoint`] after
+    /// the metadata commit succeeds.
+    pub fn begin_checkpoint(&self) -> Result<(CheckpointPrep, Bytes)> {
+        // Hold the read lock across journal + metadata capture so no DML
+        // can slip between them.
+        let inner = self.inner.read();
+        let prep = self.pager.begin_checkpoint()?;
+        let meta = encode_meta(&self.pager, &inner, prep.epoch);
+        Ok((prep, meta))
+    }
+
+    /// Second half of a durable checkpoint: apply journaled pages to the
+    /// page file and mark them clean.
+    pub fn complete_checkpoint(&self, prep: &CheckpointPrep) -> Result<()> {
+        self.pager.complete_checkpoint(prep)
+    }
+
+    /// Create a table from a schema. Single-column foreign keys get an
+    /// automatic non-unique B-tree index (`<table>_fk_<column>`) so crowd
+    /// joins over the FK can run as index-nested-loop probes; this runs
+    /// on every path that creates tables (DDL, WAL replay, restore), so
+    /// replayed databases carry identical indexes.
     pub fn create_table(&self, schema: TableSchema) -> Result<()> {
         let mut inner = self.inner.write();
         let name = schema.name.clone();
         inner.catalog.register(schema.clone())?;
-        inner.tables.insert(name, HeapTable::new(schema));
+        let mut table = HeapTable::new(Arc::clone(&self.pager), schema)?;
+        let fk_specs: Vec<(String, usize)> = table
+            .schema()
+            .foreign_keys
+            .iter()
+            .filter(|fk| fk.columns.len() == 1)
+            .map(|fk| {
+                let ord = fk.columns[0];
+                let col = table.schema().columns[ord].name.clone();
+                (col, ord)
+            })
+            .collect();
+        for (col, ord) in fk_specs {
+            if table.index_on(&[ord]).is_none() {
+                table.add_index(
+                    format!("{name}_fk_{col}"),
+                    vec![ord],
+                    IndexKind::BTree,
+                    false,
+                )?;
+            }
+        }
+        inner.tables.insert(name, table);
         Ok(())
     }
 
-    /// Drop a table.
+    /// Drop a table, freeing its pages.
     pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<()> {
         let mut inner = self.inner.write();
         let lname = name.to_ascii_lowercase();
@@ -66,7 +261,9 @@ impl Database {
                 "table '{lname}' does not exist"
             )));
         }
-        inner.tables.remove(&lname);
+        if let Some(table) = inner.tables.remove(&lname) {
+            table.free()?;
+        }
         Ok(())
     }
 
@@ -154,7 +351,7 @@ impl Database {
                     CrowdError::Catalog(format!("column '{c}' not found in table '{table}'"))
                 })?);
             }
-            t.add_index(Index::new(name, ords, kind, unique))
+            t.add_index(name, ords, kind, unique)
         })
     }
 
@@ -225,14 +422,17 @@ impl Database {
     }
 
     /// Serialize the whole database (schemas as DDL text + rows in the
-    /// binary codec) into one buffer. Used by the durability subsystem
-    /// (checkpoints) and session persistence.
+    /// binary codec) into one buffer. Used for session persistence and
+    /// memory-backed checkpoints; file-backed databases checkpoint via
+    /// [`Database::begin_checkpoint`] instead, but can still produce this
+    /// logical snapshot (it reads every row through the pool).
     ///
     /// Tuple ids and the slot high-water mark are preserved, so a
     /// restored database is *identical* to the source — including the ids
     /// that future write-ahead-log records will address — not merely
-    /// equivalent row-content-wise.
-    pub fn snapshot(&self) -> Bytes {
+    /// equivalent row-content-wise. The byte format is independent of
+    /// page size and pool budget.
+    pub fn snapshot(&self) -> Result<Bytes> {
         let inner = self.inner.read();
         let mut buf = BytesMut::new();
         buf.put_slice(SNAPSHOT_MAGIC);
@@ -244,20 +444,21 @@ impl Database {
             buf.put_u32_le(ddl.len() as u32);
             buf.put_slice(ddl.as_bytes());
             buf.put_u64_le(table.stats().total_slots as u64);
-            let live: Vec<(TupleId, &Row)> = table.scan().collect();
+            let live = table.scan_rows()?;
             let mut rows_buf = BytesMut::new();
             rows_buf.put_u64_le(live.len() as u64);
             for (tid, row) in live {
                 rows_buf.put_u64_le(tid.0);
-                codec::encode_row(&mut rows_buf, row);
+                codec::encode_row(&mut rows_buf, &row);
             }
             buf.put_u64_le(rows_buf.len() as u64);
             buf.put_slice(rows_buf.chunk());
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
-    /// Restore a database from a [`Database::snapshot`] buffer.
+    /// Restore an in-memory database from a [`Database::snapshot`]
+    /// buffer.
     pub fn restore(snapshot: Bytes) -> Result<Database> {
         let mut buf = snapshot;
         let db = Database::new();
@@ -355,6 +556,170 @@ impl Database {
     }
 }
 
+struct MetaIndex {
+    name: String,
+    columns: Vec<usize>,
+    kind: IndexKind,
+    unique: bool,
+    root: u64,
+}
+
+struct MetaTable {
+    name: String,
+    ddl: String,
+    total_slots: u64,
+    live_rows: usize,
+    cnull_values: usize,
+    primary_root: u64,
+    indexes: Vec<MetaIndex>,
+}
+
+struct Meta {
+    epoch: u64,
+    page_size: usize,
+    page_count: u64,
+    free: Vec<u64>,
+    tables: Vec<MetaTable>,
+}
+
+fn encode_meta(pager: &Pager, inner: &Inner, epoch: u64) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(META_MAGIC);
+    buf.put_u64_le(epoch);
+    buf.put_u32_le(pager.page_size() as u32);
+    let (free, page_count) = pager.alloc_state();
+    buf.put_u64_le(page_count);
+    buf.put_u64_le(free.len() as u64);
+    for id in free {
+        buf.put_u64_le(id);
+    }
+    buf.put_u32_le(inner.tables.len() as u32);
+    for (name, table) in &inner.tables {
+        let ddl = table.schema().to_ddl();
+        put_string(&mut buf, name);
+        put_string(&mut buf, &ddl);
+        let stats = table.stats();
+        buf.put_u64_le(stats.total_slots as u64);
+        buf.put_u64_le(stats.live_rows as u64);
+        buf.put_u64_le(stats.cnull_values as u64);
+        buf.put_u64_le(table.primary_root());
+        buf.put_u32_le(table.indexes().len() as u32);
+        for idx in table.indexes() {
+            put_string(&mut buf, &idx.name);
+            buf.put_u32_le(idx.columns.len() as u32);
+            for &c in &idx.columns {
+                buf.put_u32_le(c as u32);
+            }
+            buf.put_u8(match idx.kind() {
+                IndexKind::Hash => 0,
+                IndexKind::BTree => 1,
+            });
+            buf.put_u8(idx.unique as u8);
+            buf.put_u64_le(idx.root());
+        }
+    }
+    buf.freeze()
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<Meta> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    let fail = |what: &str| CrowdError::Internal(format!("meta: truncated ({what})"));
+    if buf.remaining() < META_MAGIC.len() {
+        return Err(fail("magic"));
+    }
+    let magic = buf.copy_to_bytes(META_MAGIC.len());
+    if &magic[..] != META_MAGIC {
+        return Err(CrowdError::Internal(
+            "meta: bad magic (not a CrowdDB paged-metadata snapshot)".into(),
+        ));
+    }
+    if buf.remaining() < 8 + 4 + 8 + 8 {
+        return Err(fail("header"));
+    }
+    let epoch = buf.get_u64_le();
+    let page_size = buf.get_u32_le() as usize;
+    let page_count = buf.get_u64_le();
+    let n_free = buf.get_u64_le() as usize;
+    if buf.remaining() < n_free * 8 {
+        return Err(fail("free list"));
+    }
+    let mut free = Vec::with_capacity(n_free);
+    for _ in 0..n_free {
+        free.push(buf.get_u64_le());
+    }
+    if buf.remaining() < 4 {
+        return Err(fail("table count"));
+    }
+    let n_tables = buf.get_u32_le();
+    let mut tables = Vec::with_capacity(n_tables as usize);
+    for _ in 0..n_tables {
+        let name = read_string(&mut buf)?;
+        let ddl = read_string(&mut buf)?;
+        if buf.remaining() < 8 * 4 + 4 {
+            return Err(fail("table header"));
+        }
+        let total_slots = buf.get_u64_le();
+        let live_rows = buf.get_u64_le() as usize;
+        let cnull_values = buf.get_u64_le() as usize;
+        let primary_root = buf.get_u64_le();
+        let n_indexes = buf.get_u32_le();
+        let mut indexes = Vec::with_capacity(n_indexes as usize);
+        for _ in 0..n_indexes {
+            let iname = read_string(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(fail("index columns"));
+            }
+            let n_cols = buf.get_u32_le() as usize;
+            if buf.remaining() < n_cols * 4 + 2 + 8 {
+                return Err(fail("index body"));
+            }
+            let mut columns = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                columns.push(buf.get_u32_le() as usize);
+            }
+            let kind = match buf.get_u8() {
+                0 => IndexKind::Hash,
+                1 => IndexKind::BTree,
+                other => {
+                    return Err(CrowdError::Internal(format!(
+                        "meta: unknown index kind {other}"
+                    )))
+                }
+            };
+            let unique = buf.get_u8() != 0;
+            let root = buf.get_u64_le();
+            indexes.push(MetaIndex {
+                name: iname,
+                columns,
+                kind,
+                unique,
+                root,
+            });
+        }
+        tables.push(MetaTable {
+            name,
+            ddl,
+            total_slots,
+            live_rows,
+            cnull_values,
+            primary_root,
+            indexes,
+        });
+    }
+    Ok(Meta {
+        epoch,
+        page_size,
+        page_count,
+        free,
+        tables,
+    })
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
 fn read_string(buf: &mut Bytes) -> Result<String> {
     if buf.remaining() < 4 {
         return Err(CrowdError::Internal(
@@ -397,7 +762,10 @@ mod tests {
         let db = talk_db();
         db.insert("talk", row!["CrowdDB", Value::CNull, Value::CNull])
             .unwrap();
-        let n = db.with_table("talk", |t| t.scan().count()).unwrap();
+        let n = db
+            .with_table("talk", |t| t.scan_rows().map(|r| r.len()))
+            .unwrap()
+            .unwrap();
         assert_eq!(n, 1);
         assert_eq!(db.stats("talk").unwrap().cnull_values, 2);
     }
@@ -409,6 +777,40 @@ mod tests {
         assert!(db.drop_table("talk", false).is_err());
         db.drop_table("talk", true).unwrap(); // IF EXISTS
         assert!(db.schema("talk").is_err());
+    }
+
+    #[test]
+    fn drop_table_releases_pages() {
+        let db = talk_db();
+        for i in 0..32 {
+            db.insert("talk", row![format!("t{i}"), Value::CNull, Value::CNull])
+                .unwrap();
+        }
+        db.drop_table("talk", false).unwrap();
+        // Recreating and refilling reuses the freed pages: total page
+        // count must not keep growing across create/fill/drop cycles.
+        let mut counts = Vec::new();
+        for _ in 0..3 {
+            let schema = TableSchema::new(
+                "talk",
+                vec![
+                    ColumnDef::new("title", DataType::Str),
+                    ColumnDef::new("abstract", DataType::Str).crowd(),
+                    ColumnDef::new("nb_attendees", DataType::Int).crowd(),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["title"])
+            .unwrap();
+            db.create_table(schema).unwrap();
+            for i in 0..32 {
+                db.insert("talk", row![format!("t{i}"), Value::CNull, Value::CNull])
+                    .unwrap();
+            }
+            db.drop_table("talk", false).unwrap();
+            counts.push(db.pager_stats());
+        }
+        let _ = counts;
     }
 
     #[test]
@@ -436,7 +838,10 @@ mod tests {
         assert!(t2.is_none());
         // First answer wins.
         let v = db
-            .with_table("talk", |t| t.get(t1.unwrap()).unwrap()[1].clone())
+            .with_table("talk", |t| {
+                t.get(t1.unwrap()).map(|r| r.unwrap()[1].clone())
+            })
+            .unwrap()
             .unwrap();
         assert_eq!(v, Value::str("a"));
     }
@@ -472,6 +877,33 @@ mod tests {
     }
 
     #[test]
+    fn foreign_keys_get_automatic_indexes() {
+        let db = talk_db();
+        let schema = db
+            .with_catalog(|c| {
+                let stmt = crowddb_sql::parse_statement(
+                    "CREATE CROWD TABLE attendee (name STRING PRIMARY KEY, talk_title STRING, \
+                     FOREIGN KEY (talk_title) REFERENCES talk(title))",
+                )
+                .unwrap();
+                let crowddb_sql::Statement::CreateTable(ct) = stmt else {
+                    unreachable!()
+                };
+                c.schema_from_ast(&ct)
+            })
+            .unwrap();
+        db.create_table(schema).unwrap();
+        let (has_fk_idx, ordered) = db
+            .with_table("attendee", |t| {
+                let idx = t.index_on(&[1]);
+                (idx.is_some(), idx.map(|i| i.ordered()).unwrap_or(false))
+            })
+            .unwrap();
+        assert!(has_fk_idx, "single-column FK gets an automatic index");
+        assert!(ordered, "FK auto-index is a B-tree");
+    }
+
+    #[test]
     fn unknown_table_errors() {
         let db = Database::new();
         assert!(db.insert("ghost", row![1i64]).is_err());
@@ -486,28 +918,64 @@ mod tests {
             .unwrap();
         db.insert("talk", row!["Qurk", "demo abstract", 75i64])
             .unwrap();
-        let snap = db.snapshot();
+        let snap = db.snapshot().unwrap();
 
         let restored = Database::restore(snap).unwrap();
         assert_eq!(restored.table_names(), vec!["talk".to_string()]);
         let schema = restored.schema("talk").unwrap();
         assert_eq!(schema.crowd_columns(), vec![1, 2]);
         assert_eq!(schema.primary_key, vec![0]);
-        let rows = restored.with_table("talk", |t| t.scan_rows()).unwrap();
+        let rows = restored
+            .with_table("talk", |t| t.scan_rows())
+            .unwrap()
+            .unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].1[0], Value::str("CrowdDB"));
         assert!(rows[0].1[1].is_cnull());
         // PK index restored too.
         let hits = restored
             .with_table("talk", |t| t.lookup_pk(&[Value::str("Qurk")]))
+            .unwrap()
             .unwrap();
         assert_eq!(hits.len(), 1);
     }
 
     #[test]
+    fn snapshot_bytes_independent_of_pool_size() {
+        let build = |pool_pages: usize| {
+            let db = Database::new_with_config(PagerConfig {
+                page_size: 256,
+                pool_pages,
+            })
+            .unwrap();
+            let schema = TableSchema::new(
+                "talk",
+                vec![
+                    ColumnDef::new("title", DataType::Str),
+                    ColumnDef::new("abstract", DataType::Str).crowd(),
+                    ColumnDef::new("nb_attendees", DataType::Int).crowd(),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["title"])
+            .unwrap();
+            db.create_table(schema).unwrap();
+            for i in 0..64 {
+                db.insert("talk", row![format!("t{i:03}"), Value::CNull, i as i64])
+                    .unwrap();
+            }
+            db.write_back_value("talk", TupleId(5), 1, Value::str("filled"))
+                .unwrap();
+            assert!(db.with_table_mut("talk", |t| t.delete(TupleId(9))).unwrap());
+            db.snapshot().unwrap()
+        };
+        assert_eq!(build(0), build(4), "pool budget must not affect bytes");
+    }
+
+    #[test]
     fn snapshot_of_empty_db() {
         let db = Database::new();
-        let restored = Database::restore(db.snapshot()).unwrap();
+        let restored = Database::restore(db.snapshot().unwrap()).unwrap();
         assert!(restored.table_names().is_empty());
     }
 
@@ -518,18 +986,82 @@ mod tests {
     }
 
     #[test]
+    fn paged_meta_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "crowddb-db-meta-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = PagerConfig {
+            page_size: 256,
+            pool_pages: 0,
+        };
+        let meta;
+        {
+            let db = Database::open_file(&dir, cfg).unwrap();
+            let schema = TableSchema::new(
+                "talk",
+                vec![
+                    ColumnDef::new("title", DataType::Str),
+                    ColumnDef::new("abstract", DataType::Str).crowd(),
+                    ColumnDef::new("nb_attendees", DataType::Int).crowd(),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["title"])
+            .unwrap();
+            db.create_table(schema).unwrap();
+            for i in 0..32 {
+                db.insert("talk", row![format!("t{i}"), Value::CNull, i as i64])
+                    .unwrap();
+            }
+            let (prep, m) = db.begin_checkpoint().unwrap();
+            db.complete_checkpoint(&prep).unwrap();
+            assert!(prep.pages_written() > 0);
+            assert_eq!(db.dirty_pages(), 0);
+            meta = m;
+        }
+        let db = Database::open_paged(&dir, cfg, &meta).unwrap();
+        assert_eq!(db.stats("talk").unwrap().live_rows, 32);
+        let rows = db.with_table("talk", |t| t.scan_rows()).unwrap().unwrap();
+        assert_eq!(rows.len(), 32);
+        assert_eq!(rows[7].1[0], Value::str("t7"));
+        let hits = db
+            .with_table("talk", |t| t.lookup_pk(&[Value::str("t3")]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        // A checkpoint after a single-row DML flushes only the pages that
+        // DML touched, not the whole database.
+        let total_pages = db.pager.alloc_state().1;
+        db.write_back_value("talk", TupleId(0), 1, Value::str("x"))
+            .unwrap();
+        let (prep, _meta2) = db.begin_checkpoint().unwrap();
+        db.complete_checkpoint(&prep).unwrap();
+        assert!(
+            prep.pages_written() < total_pages / 2,
+            "1-row DML flushed {} of {} pages",
+            prep.pages_written(),
+            total_pages
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn concurrent_readers() {
-        use std::sync::Arc;
-        let db = Arc::new(talk_db());
+        use std::sync::Arc as StdArc;
+        let db = StdArc::new(talk_db());
         for i in 0..64 {
             db.insert("talk", row![format!("t{i}"), Value::CNull, Value::CNull])
                 .unwrap();
         }
         let mut handles = Vec::new();
         for _ in 0..8 {
-            let db = Arc::clone(&db);
+            let db = StdArc::clone(&db);
             handles.push(std::thread::spawn(move || {
-                db.with_table("talk", |t| t.scan().count()).unwrap()
+                db.with_table("talk", |t| t.scan_rows().unwrap().len())
+                    .unwrap()
             }));
         }
         for h in handles {

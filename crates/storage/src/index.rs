@@ -1,13 +1,35 @@
-//! Secondary indexes: hash (point lookups) and B-tree (range scans).
+//! Secondary indexes over the paged B-tree.
+//!
+//! An index entry is a B-tree key of the codec-encoded index-column
+//! values followed by the owning tuple's id as 8 big-endian bytes (the
+//! value payload is empty). Non-unique indexes therefore need no bucket
+//! lists — duplicates are adjacent entries differing only in tid — and
+//! every lookup is a bounded range scan from the seek target
+//! `(values, tid 0)`.
+//!
+//! Both [`IndexKind`]s share this representation; `Hash` merely declines
+//! ordered range scans at the API level (it models the paper's
+//! equality-only access path). Missing values (`NULL`/`CNULL`) sort
+//! before every present value, so the entries whose indexed column the
+//! crowd has not yet filled form a contiguous prefix of the tree —
+//! [`Index::missing_key_tids`] — which index access paths must union
+//! with their probe results to preserve CNULL probe semantics.
 
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Ordering;
 
-use crowddb_common::{TupleId, Value};
+use bytes::{Bytes, BytesMut};
+
+use crowddb_common::{CrowdError, Result, TupleId, Value};
+
+use crate::btree::{BTree, KeyCmp};
+use crate::codec;
+use crate::page::PageId;
+use crate::pager::Pager;
 
 /// The physical kind of an index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndexKind {
-    /// Hash index: O(1) point lookups, no range scans.
+    /// Hash index: point lookups only, no range scans.
     Hash,
     /// B-tree index: ordered, supports range scans.
     BTree,
@@ -19,16 +41,16 @@ pub enum IndexKind {
 pub struct IndexKey(pub Vec<Value>);
 
 impl PartialOrd for IndexKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
 impl Ord for IndexKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+    fn cmp(&self, other: &Self) -> Ordering {
         for (a, b) in self.0.iter().zip(other.0.iter()) {
             let ord = a.sort_cmp(b);
-            if ord != std::cmp::Ordering::Equal {
+            if ord != Ordering::Equal {
                 return ord;
             }
         }
@@ -36,11 +58,51 @@ impl Ord for IndexKey {
     }
 }
 
-/// A secondary index over one or more columns of a table.
+impl IndexKey {
+    /// Whether any component is `NULL`/`CNULL`. Such keys never
+    /// participate in uniqueness conflicts and never match an equality
+    /// probe until the crowd fills them.
+    pub fn has_missing(&self) -> bool {
+        self.0.iter().any(Value::is_missing)
+    }
+}
+
+/// Encode an index entry key: codec-encoded values ‖ tid (8 bytes BE).
+pub fn encode_index_entry(values: &[Value], tid: TupleId) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    for v in values {
+        codec::encode_value(&mut buf, v);
+    }
+    let mut key = buf.to_vec();
+    key.extend_from_slice(&tid.0.to_be_bytes());
+    key
+}
+
+/// Decode an index entry key back into `(values, tid)`.
+pub fn decode_index_entry(key: &[u8]) -> Result<(IndexKey, TupleId)> {
+    if key.len() < 8 {
+        return Err(CrowdError::Internal(
+            "index: entry key shorter than a tid".into(),
+        ));
+    }
+    let (vals, tid) = key.split_at(key.len() - 8);
+    let mut bytes = Bytes::copy_from_slice(vals);
+    let mut values = Vec::new();
+    while !bytes.is_empty() {
+        values.push(codec::decode_value(&mut bytes)?);
+    }
+    Ok((
+        IndexKey(values),
+        TupleId(u64::from_be_bytes(tid.try_into().unwrap())),
+    ))
+}
+
+/// A secondary index over one or more columns of a table: metadata plus
+/// a paged entry tree.
 ///
-/// Indexes are non-unique at this layer; uniqueness (primary keys, unique
-/// indexes) is enforced by the table before insertion by consulting
-/// [`Index::get`].
+/// Indexes are non-unique at this layer; uniqueness (primary keys,
+/// unique indexes) is enforced by the table before insertion by
+/// consulting [`Index::get`].
 #[derive(Debug, Clone)]
 pub struct Index {
     /// Index name (unique within the database).
@@ -50,202 +112,303 @@ pub struct Index {
     /// Enforce key uniqueness?
     pub unique: bool,
     kind: IndexKind,
-    hash: HashMap<IndexKey, Vec<TupleId>>,
-    btree: BTreeMap<IndexKey, Vec<TupleId>>,
+    tree: BTree,
 }
 
 impl Index {
-    /// Create an empty index.
+    /// Create an empty index (allocates its entry tree).
     pub fn new(
+        pager: &Pager,
         name: impl Into<String>,
         columns: Vec<usize>,
         kind: IndexKind,
         unique: bool,
-    ) -> Index {
-        Index {
+    ) -> Result<Index> {
+        Ok(Index {
             name: name.into(),
             columns,
             unique,
             kind,
-            hash: HashMap::new(),
-            btree: BTreeMap::new(),
+            tree: BTree::create(pager, KeyCmp::IndexEntry)?,
+        })
+    }
+
+    /// Re-attach to an existing entry tree (metadata restore).
+    pub fn open(
+        name: String,
+        columns: Vec<usize>,
+        kind: IndexKind,
+        unique: bool,
+        root: PageId,
+    ) -> Index {
+        Index {
+            name,
+            columns,
+            unique,
+            kind,
+            tree: BTree::open(root, KeyCmp::IndexEntry),
         }
     }
 
-    /// The physical kind.
+    /// The declared kind.
     pub fn kind(&self) -> IndexKind {
         self.kind
     }
 
-    /// Extract this index's key from a full table row.
+    /// Whether this index supports ordered range scans.
+    pub fn ordered(&self) -> bool {
+        self.kind == IndexKind::BTree
+    }
+
+    /// Root page of the entry tree (persisted in table metadata).
+    pub fn root(&self) -> PageId {
+        self.tree.root()
+    }
+
+    /// Project a row onto this index's key columns.
     pub fn key_of(&self, row: &[Value]) -> IndexKey {
         IndexKey(self.columns.iter().map(|&i| row[i].clone()).collect())
     }
 
-    /// Insert a (key, tuple) pair.
-    pub fn insert(&mut self, key: IndexKey, tid: TupleId) {
-        match self.kind {
-            IndexKind::Hash => self.hash.entry(key).or_default().push(tid),
-            IndexKind::BTree => self.btree.entry(key).or_default().push(tid),
-        }
+    /// Add an entry.
+    pub fn insert(&mut self, pager: &Pager, key: &IndexKey, tid: TupleId) -> Result<()> {
+        self.tree
+            .insert(pager, &encode_index_entry(&key.0, tid), &[])
     }
 
-    /// Remove a (key, tuple) pair; returns whether it was present.
-    pub fn remove(&mut self, key: &IndexKey, tid: TupleId) -> bool {
-        let bucket = match self.kind {
-            IndexKind::Hash => self.hash.get_mut(key),
-            IndexKind::BTree => self.btree.get_mut(key),
+    /// Remove an entry; returns whether it existed.
+    pub fn remove(&mut self, pager: &Pager, key: &IndexKey, tid: TupleId) -> Result<bool> {
+        self.tree.remove(pager, &encode_index_entry(&key.0, tid))
+    }
+
+    /// Tuple ids whose key equals `key` exactly, in tid order.
+    pub fn get(&self, pager: &Pager, key: &IndexKey) -> Result<Vec<TupleId>> {
+        let target = encode_index_entry(&key.0, TupleId(0));
+        let mut cur = self.tree.cursor_seek(pager, &target)?;
+        let mut out = Vec::new();
+        while let Some((entry, _)) = cur.next(pager)? {
+            let (k, tid) = decode_index_entry(&entry)?;
+            if k != *key {
+                break;
+            }
+            out.push(tid);
+        }
+        Ok(out)
+    }
+
+    /// Tuple ids for keys in `[low, high]` (inclusive; missing-valued
+    /// keys excluded), ordered by key then tid. `None` bound = unbounded
+    /// on that side. Returns `None` for unordered (`Hash`) indexes.
+    pub fn range(
+        &self,
+        pager: &Pager,
+        low: Option<&IndexKey>,
+        high: Option<&IndexKey>,
+    ) -> Result<Option<Vec<TupleId>>> {
+        if self.kind != IndexKind::BTree {
+            return Ok(None);
+        }
+        let mut cur = match low {
+            Some(lo) => self
+                .tree
+                .cursor_seek(pager, &encode_index_entry(&lo.0, TupleId(0)))?,
+            None => self.tree.cursor_first(pager)?,
         };
-        let Some(bucket) = bucket else { return false };
-        let before = bucket.len();
-        bucket.retain(|t| *t != tid);
-        let removed = bucket.len() < before;
-        if bucket.is_empty() {
-            match self.kind {
-                IndexKind::Hash => {
-                    self.hash.remove(key);
-                }
-                IndexKind::BTree => {
-                    self.btree.remove(key);
+        let mut out = Vec::new();
+        while let Some((entry, _)) = cur.next(pager)? {
+            let (k, tid) = decode_index_entry(&entry)?;
+            if k.has_missing() {
+                // With no lower bound the cursor starts inside the
+                // missing-key prefix; open-world semantics exclude those
+                // rows from range predicates.
+                continue;
+            }
+            if let Some(hi) = high {
+                if k > *hi {
+                    break;
                 }
             }
+            out.push(tid);
         }
-        removed
+        Ok(Some(out))
     }
 
-    /// Point lookup.
-    pub fn get(&self, key: &IndexKey) -> &[TupleId] {
-        match self.kind {
-            IndexKind::Hash => self.hash.get(key).map(Vec::as_slice).unwrap_or(&[]),
-            IndexKind::BTree => self.btree.get(key).map(Vec::as_slice).unwrap_or(&[]),
+    /// Tuple ids whose key has a `NULL`/`CNULL` component. Index access
+    /// paths union these with probe results so crowd-fillable rows still
+    /// generate probes. Keys with a missing *leading* component form a
+    /// contiguous prefix; for multi-column keys the scan continues until
+    /// the leading component is present.
+    pub fn missing_key_tids(&self, pager: &Pager) -> Result<Vec<TupleId>> {
+        let mut cur = self.tree.cursor_first(pager)?;
+        let mut out = Vec::new();
+        while let Some((entry, _)) = cur.next(pager)? {
+            let (k, tid) = decode_index_entry(&entry)?;
+            if k.has_missing() {
+                out.push(tid);
+            } else if !k.0.first().is_some_and(Value::is_missing) {
+                break;
+            }
         }
+        Ok(out)
     }
 
-    /// Range scan (B-tree only): all tuples with `low <= key <= high`;
-    /// either bound may be `None` for an open end. Returns `None` for hash
-    /// indexes.
-    pub fn range(&self, low: Option<&IndexKey>, high: Option<&IndexKey>) -> Option<Vec<TupleId>> {
-        if self.kind != IndexKind::BTree {
-            return None;
+    /// Number of distinct keys (full scan).
+    pub fn distinct_keys(&self, pager: &Pager) -> Result<usize> {
+        let mut cur = self.tree.cursor_first(pager)?;
+        let mut n = 0usize;
+        let mut last: Option<IndexKey> = None;
+        while let Some((entry, _)) = cur.next(pager)? {
+            let (k, _) = decode_index_entry(&entry)?;
+            if last.as_ref() != Some(&k) {
+                n += 1;
+                last = Some(k);
+            }
         }
-        use std::ops::Bound;
-        let lo = match low {
-            Some(k) => Bound::Included(k.clone()),
-            None => Bound::Unbounded,
-        };
-        let hi = match high {
-            Some(k) => Bound::Included(k.clone()),
-            None => Bound::Unbounded,
-        };
-        Some(
-            self.btree
-                .range((lo, hi))
-                .flat_map(|(_, tids)| tids.iter().copied())
-                .collect(),
-        )
+        Ok(n)
     }
 
-    /// Number of distinct keys in the index.
-    pub fn distinct_keys(&self) -> usize {
-        match self.kind {
-            IndexKind::Hash => self.hash.len(),
-            IndexKind::BTree => self.btree.len(),
-        }
+    /// Drop every entry, keeping the index (re-backfill follows).
+    pub fn clear(&mut self, pager: &Pager) -> Result<()> {
+        self.tree.clear(pager)
     }
 
-    /// Drop all entries.
-    pub fn clear(&mut self) {
-        self.hash.clear();
-        self.btree.clear();
+    /// Free the entry tree (index or table dropped).
+    pub fn free(self, pager: &Pager) -> Result<()> {
+        self.tree.free(pager)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pager::PagerConfig;
+
+    fn pager() -> Pager {
+        Pager::new_mem(PagerConfig {
+            page_size: 256,
+            pool_pages: 0,
+        })
+        .unwrap()
+    }
 
     fn key(vs: Vec<Value>) -> IndexKey {
         IndexKey(vs)
     }
 
     #[test]
-    fn hash_point_lookup() {
-        let mut idx = Index::new("i", vec![0], IndexKind::Hash, false);
-        idx.insert(key(vec![Value::str("a")]), TupleId(1));
-        idx.insert(key(vec![Value::str("a")]), TupleId(2));
-        idx.insert(key(vec![Value::str("b")]), TupleId(3));
+    fn insert_get_remove() {
+        let p = pager();
+        let mut idx = Index::new(&p, "i", vec![0], IndexKind::Hash, false).unwrap();
+        idx.insert(&p, &key(vec![Value::Int(1)]), TupleId(10))
+            .unwrap();
+        idx.insert(&p, &key(vec![Value::Int(1)]), TupleId(11))
+            .unwrap();
+        idx.insert(&p, &key(vec![Value::Int(2)]), TupleId(12))
+            .unwrap();
         assert_eq!(
-            idx.get(&key(vec![Value::str("a")])),
-            &[TupleId(1), TupleId(2)]
+            idx.get(&p, &key(vec![Value::Int(1)])).unwrap(),
+            vec![TupleId(10), TupleId(11)]
         );
-        assert_eq!(idx.get(&key(vec![Value::str("c")])), &[] as &[TupleId]);
-        assert_eq!(idx.distinct_keys(), 2);
-        assert!(idx.range(None, None).is_none());
+        assert_eq!(idx.distinct_keys(&p).unwrap(), 2);
+        assert!(
+            idx.range(&p, None, None).unwrap().is_none(),
+            "hash: no range"
+        );
+        assert!(idx
+            .remove(&p, &key(vec![Value::Int(1)]), TupleId(10))
+            .unwrap());
+        assert!(!idx
+            .remove(&p, &key(vec![Value::Int(1)]), TupleId(10))
+            .unwrap());
+        assert_eq!(
+            idx.get(&p, &key(vec![Value::Int(1)])).unwrap(),
+            vec![TupleId(11)]
+        );
     }
 
     #[test]
-    fn remove_cleans_empty_buckets() {
-        let mut idx = Index::new("i", vec![0], IndexKind::Hash, false);
-        let k = key(vec![Value::Int(7)]);
-        idx.insert(k.clone(), TupleId(1));
-        assert!(idx.remove(&k, TupleId(1)));
-        assert!(!idx.remove(&k, TupleId(1)));
-        assert_eq!(idx.distinct_keys(), 0);
-    }
-
-    #[test]
-    fn btree_range_scan() {
-        let mut idx = Index::new("i", vec![0], IndexKind::BTree, false);
-        for i in 0..10 {
-            idx.insert(key(vec![Value::Int(i)]), TupleId(i as u64));
+    fn btree_range_scan_inclusive() {
+        let p = pager();
+        let mut idx = Index::new(&p, "i", vec![0], IndexKind::BTree, false).unwrap();
+        for i in 0..10i64 {
+            idx.insert(&p, &key(vec![Value::Int(i)]), TupleId(i as u64))
+                .unwrap();
         }
-        let hits = idx
+        let mid = idx
             .range(
+                &p,
                 Some(&key(vec![Value::Int(3)])),
                 Some(&key(vec![Value::Int(6)])),
             )
+            .unwrap()
             .unwrap();
-        assert_eq!(hits, vec![TupleId(3), TupleId(4), TupleId(5), TupleId(6)]);
-        let all = idx.range(None, None).unwrap();
+        assert_eq!(mid, vec![TupleId(3), TupleId(4), TupleId(5), TupleId(6)]);
+        let all = idx.range(&p, None, None).unwrap().unwrap();
         assert_eq!(all.len(), 10);
-        let upper = idx.range(Some(&key(vec![Value::Int(8)])), None).unwrap();
+        let upper = idx
+            .range(&p, Some(&key(vec![Value::Int(8)])), None)
+            .unwrap()
+            .unwrap();
         assert_eq!(upper, vec![TupleId(8), TupleId(9)]);
     }
 
     #[test]
-    fn composite_keys_order_lexicographically() {
-        let a = key(vec![Value::str("a"), Value::Int(2)]);
-        let b = key(vec![Value::str("a"), Value::Int(10)]);
-        let c = key(vec![Value::str("b"), Value::Int(0)]);
-        assert!(a < b);
-        assert!(b < c);
-    }
-
-    #[test]
-    fn prefix_key_sorts_before_extension() {
-        let short = key(vec![Value::str("a")]);
-        let long = key(vec![Value::str("a"), Value::Int(1)]);
-        assert!(short < long);
-    }
-
-    #[test]
-    fn missing_values_in_keys() {
-        // NULL and CNULL participate in index order (sorted first).
-        let mut idx = Index::new("i", vec![0], IndexKind::BTree, false);
-        idx.insert(key(vec![Value::Null]), TupleId(0));
-        idx.insert(key(vec![Value::CNull]), TupleId(1));
-        idx.insert(key(vec![Value::Int(1)]), TupleId(2));
-        let all = idx.range(None, None).unwrap();
-        assert_eq!(all, vec![TupleId(0), TupleId(1), TupleId(2)]);
-    }
-
-    #[test]
-    fn key_of_extracts_columns() {
-        let idx = Index::new("i", vec![2, 0], IndexKind::Hash, false);
-        let row = vec![Value::Int(1), Value::str("x"), Value::Bool(true)];
+    fn missing_values_sort_into_the_missing_prefix() {
+        let p = pager();
+        let mut idx = Index::new(&p, "i", vec![0], IndexKind::BTree, false).unwrap();
+        idx.insert(&p, &key(vec![Value::Int(5)]), TupleId(0))
+            .unwrap();
+        idx.insert(&p, &key(vec![Value::CNull]), TupleId(1))
+            .unwrap();
+        idx.insert(&p, &key(vec![Value::Null]), TupleId(2)).unwrap();
+        idx.insert(&p, &key(vec![Value::Int(1)]), TupleId(3))
+            .unwrap();
+        let missing = idx.missing_key_tids(&p).unwrap();
+        assert_eq!(missing.len(), 2);
+        assert!(missing.contains(&TupleId(1)) && missing.contains(&TupleId(2)));
+        // Range scans exclude missing keys even with no lower bound.
+        let all = idx.range(&p, None, None).unwrap().unwrap();
+        assert_eq!(all, vec![TupleId(3), TupleId(0)]);
+        // Equality probes on a present key see only that key.
         assert_eq!(
-            idx.key_of(&row),
-            key(vec![Value::Bool(true), Value::Int(1)])
+            idx.get(&p, &key(vec![Value::Int(5)])).unwrap(),
+            vec![TupleId(0)]
         );
+        // A probe for CNULL finds the CNULL entries (used by maintenance,
+        // not by query access paths).
+        assert_eq!(
+            idx.get(&p, &key(vec![Value::CNull])).unwrap(),
+            vec![TupleId(1)]
+        );
+    }
+
+    #[test]
+    fn key_of_projects_columns_in_order() {
+        let p = pager();
+        let idx = Index::new(&p, "i", vec![2, 0], IndexKind::Hash, false).unwrap();
+        let row = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(idx.key_of(&row), key(vec![Value::Int(3), Value::Int(1)]));
+    }
+
+    #[test]
+    fn clear_empties_all_entries() {
+        let p = pager();
+        let mut idx = Index::new(&p, "i", vec![0], IndexKind::BTree, false).unwrap();
+        for i in 0..50i64 {
+            idx.insert(&p, &key(vec![Value::Int(i)]), TupleId(i as u64))
+                .unwrap();
+        }
+        idx.clear(&p).unwrap();
+        assert_eq!(idx.distinct_keys(&p).unwrap(), 0);
+        assert_eq!(idx.range(&p, None, None).unwrap().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn entry_round_trip() {
+        let vals = vec![Value::Str("abc".into()), Value::Int(-7)];
+        let enc = encode_index_entry(&vals, TupleId(99));
+        let (k, tid) = decode_index_entry(&enc).unwrap();
+        assert_eq!(k.0, vals);
+        assert_eq!(tid, TupleId(99));
     }
 }

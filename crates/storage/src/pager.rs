@@ -1,0 +1,675 @@
+//! The pager: fixed-size page allocation, reads and writes through the
+//! buffer pool, and the dirty-page checkpoint journal.
+//!
+//! Two backends share one API:
+//!
+//! * **Mem** — pages live in a `Vec`; writes are write-through (the
+//!   backing store is updated immediately, the pool caches a clean copy),
+//!   so a bounded pool only ever drops re-readable pages.
+//! * **File** — pages live in `pages.db`; writes are write-back
+//!   (*no-steal*): dirty pages stay resident until a checkpoint flushes
+//!   them. A checkpoint is a double-write: dirty pages are first appended
+//!   to `pages.journal` (CRC-framed, fsynced), then — after the caller
+//!   commits its metadata snapshot — applied to `pages.db` and the
+//!   journal is truncated. Crash recovery replays or discards the journal
+//!   by comparing its epoch against the committed metadata epoch, so
+//!   `pages.db` is always restored to exactly the bytes of the last
+//!   committed checkpoint.
+//!
+//! Determinism: page allocation order is a function of the logical
+//! operation sequence (free ids are reused smallest-first), and pool
+//! state never influences results — only the `PagerStats` counters.
+
+use std::collections::BTreeSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crowddb_common::{CrowdError, Result};
+
+use crate::page::{self, PageId, HEADER_PAGE};
+use crate::pool::{BufferPool, PagerStats};
+
+/// Name of the page file inside a database directory.
+pub const PAGES_FILE: &str = "pages.db";
+/// Name of the checkpoint journal inside a database directory.
+pub const JOURNAL_FILE: &str = "pages.journal";
+
+const JOURNAL_MAGIC: &[u8; 8] = b"CDBJRNL1";
+
+/// Pager construction knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagerConfig {
+    /// Page size in bytes (power of two not required; minimum
+    /// [`page::MIN_PAGE_SIZE`]).
+    pub page_size: usize,
+    /// Buffer-pool budget in pages; `0` = unbounded.
+    pub pool_pages: usize,
+}
+
+impl Default for PagerConfig {
+    /// Defaults honor the `CROWDDB_PAGE_SIZE` / `CROWDDB_POOL_PAGES`
+    /// environment variables so a whole test run can be squeezed through
+    /// a tiny pool (CI small-pool stress) without code changes.
+    fn default() -> PagerConfig {
+        PagerConfig {
+            page_size: env_usize("CROWDDB_PAGE_SIZE", page::DEFAULT_PAGE_SIZE),
+            pool_pages: env_usize("CROWDDB_POOL_PAGES", 0),
+        }
+    }
+}
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Debug)]
+enum Backend {
+    /// Authoritative in-memory page store (write-through).
+    Mem(Vec<Arc<Vec<u8>>>),
+    /// `pages.db` in a database directory (write-back, no-steal).
+    File { db: File, journal_path: PathBuf },
+}
+
+#[derive(Debug)]
+struct PagerState {
+    pool: BufferPool,
+    backend: Backend,
+    free: BTreeSet<PageId>,
+    /// Pages ever allocated, including the header page.
+    page_count: u64,
+    /// Epoch of the most recent `begin_checkpoint` (committed or not).
+    epoch: u64,
+}
+
+/// A page store: allocation, pooled reads, writes, and checkpoints.
+#[derive(Debug)]
+pub struct Pager {
+    page_size: usize,
+    state: Mutex<PagerState>,
+}
+
+/// An in-flight checkpoint: the journal is durable, the page-file apply
+/// is pending. Produced by [`Pager::begin_checkpoint`]; the caller
+/// commits its metadata (which records `epoch`) between the two halves.
+#[derive(Debug)]
+pub struct CheckpointPrep {
+    /// The epoch written into the journal header. The caller must record
+    /// it in its committed metadata so recovery can classify the journal.
+    pub epoch: u64,
+    pages: Vec<(PageId, Arc<Vec<u8>>)>,
+}
+
+impl CheckpointPrep {
+    /// Number of dirty pages this checkpoint flushes.
+    pub fn pages_written(&self) -> u64 {
+        self.pages.len() as u64
+    }
+}
+
+impl Pager {
+    /// An in-memory pager (write-through backend).
+    pub fn new_mem(cfg: PagerConfig) -> Result<Pager> {
+        page::check_page_size(cfg.page_size)?;
+        let header = Arc::new(page::header_page(cfg.page_size));
+        Ok(Pager {
+            page_size: cfg.page_size,
+            state: Mutex::new(PagerState {
+                pool: BufferPool::new(cfg.pool_pages),
+                backend: Backend::Mem(vec![header]),
+                free: BTreeSet::new(),
+                page_count: 1,
+                epoch: 0,
+            }),
+        })
+    }
+
+    /// Open (or create) a file-backed pager in `dir`, recovering the
+    /// checkpoint journal against `committed_epoch` — the epoch recorded
+    /// in the caller's last committed metadata snapshot (`0` for a fresh
+    /// database).
+    ///
+    /// Journal classification:
+    /// * empty/absent — nothing to do;
+    /// * valid, epoch == committed — crash mid-apply: redo idempotently;
+    /// * valid or torn, epoch > committed — crash before the metadata
+    ///   commit: discard (the page file still holds the previous
+    ///   checkpoint's bytes, and the write-ahead log was not reset);
+    /// * torn at epoch == committed, or any journal older than committed —
+    ///   corruption: fail with a typed error rather than serve bad pages.
+    pub fn open_file(dir: &Path, cfg: PagerConfig, committed_epoch: u64) -> Result<Pager> {
+        page::check_page_size(cfg.page_size)?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CrowdError::Io(format!("pager: create dir {}: {e}", dir.display())))?;
+        let db_path = dir.join(PAGES_FILE);
+        let journal_path = dir.join(JOURNAL_FILE);
+        let fresh = !db_path.exists();
+        let db = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&db_path)
+            .map_err(|e| CrowdError::Io(format!("pager: open {}: {e}", db_path.display())))?;
+        let page_size = cfg.page_size;
+        if fresh {
+            write_at(&db, 0, &page::header_page(page_size))?;
+            sync(&db)?;
+            sync_dir(dir);
+        } else {
+            let mut header = vec![0u8; page_size];
+            read_at(&db, 0, &mut header)?;
+            let recorded = page::parse_header_page(&header)?;
+            if recorded != page_size {
+                return Err(CrowdError::Io(format!(
+                    "pager: {} has page size {recorded}, configured {page_size}",
+                    db_path.display()
+                )));
+            }
+        }
+        recover_journal(&db, &journal_path, page_size, committed_epoch)?;
+        let len = db
+            .metadata()
+            .map_err(|e| CrowdError::Io(format!("pager: stat pages.db: {e}")))?
+            .len();
+        let page_count = (len / page_size as u64).max(1);
+        Ok(Pager {
+            page_size,
+            state: Mutex::new(PagerState {
+                pool: BufferPool::new(cfg.pool_pages),
+                backend: Backend::File { db, journal_path },
+                free: BTreeSet::new(),
+                page_count,
+                epoch: committed_epoch,
+            }),
+        })
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Whether pages persist to a file (durable sessions).
+    pub fn is_file_backed(&self) -> bool {
+        matches!(self.state.lock().backend, Backend::File { .. })
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> PagerStats {
+        self.state.lock().pool.stats
+    }
+
+    /// Number of dirty (unflushed) pages currently resident.
+    pub fn dirty_count(&self) -> usize {
+        self.state.lock().pool.dirty_count()
+    }
+
+    /// Epoch of the most recent checkpoint begun on this pager.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Allocation state (free page ids, total page count) for metadata
+    /// snapshots.
+    pub fn alloc_state(&self) -> (Vec<PageId>, u64) {
+        let st = self.state.lock();
+        (st.free.iter().copied().collect(), st.page_count)
+    }
+
+    /// Restore allocation state from a metadata snapshot.
+    pub fn set_alloc_state(&self, free: Vec<PageId>, page_count: u64, epoch: u64) {
+        let mut st = self.state.lock();
+        st.free = free.into_iter().collect();
+        st.page_count = page_count.max(1);
+        st.epoch = epoch;
+    }
+
+    /// Allocate a page id (smallest freed id first, else extend).
+    pub fn allocate(&self) -> PageId {
+        let mut st = self.state.lock();
+        if let Some(id) = st.free.iter().next().copied() {
+            st.free.remove(&id);
+            return id;
+        }
+        let id = st.page_count;
+        st.page_count += 1;
+        id
+    }
+
+    /// Return a page to the free list and drop it from the pool.
+    pub fn free_page(&self, id: PageId) {
+        debug_assert_ne!(id, HEADER_PAGE, "header page is never freed");
+        let mut st = self.state.lock();
+        st.pool.remove(id);
+        st.free.insert(id);
+    }
+
+    /// Read a page through the pool.
+    pub fn read(&self, id: PageId) -> Result<Arc<Vec<u8>>> {
+        let mut st = self.state.lock();
+        if let Some(data) = st.pool.get(id) {
+            return Ok(data);
+        }
+        let data = match &st.backend {
+            Backend::Mem(pages) => {
+                let data = pages.get(id as usize).cloned().ok_or_else(|| {
+                    CrowdError::Internal(format!("pager: read of unallocated page {id}"))
+                })?;
+                st.pool.stats.pages_read += 1;
+                data
+            }
+            Backend::File { db, .. } => {
+                let mut buf = vec![0u8; self.page_size];
+                read_at(db, id * self.page_size as u64, &mut buf)?;
+                st.pool.stats.pages_read += 1;
+                Arc::new(buf)
+            }
+        };
+        st.pool.install_clean(id, Arc::clone(&data));
+        Ok(data)
+    }
+
+    /// Write a page (must be exactly `page_size` bytes). Mem backends
+    /// write through; file backends mark the page dirty in the pool until
+    /// the next checkpoint.
+    pub fn write(&self, id: PageId, data: Vec<u8>) -> Result<()> {
+        if data.len() != self.page_size {
+            return Err(CrowdError::Internal(format!(
+                "pager: page {id} write of {} bytes, page size {}",
+                data.len(),
+                self.page_size
+            )));
+        }
+        let data = Arc::new(data);
+        let mut st = self.state.lock();
+        if id >= st.page_count {
+            return Err(CrowdError::Internal(format!(
+                "pager: write to unallocated page {id}"
+            )));
+        }
+        match &mut st.backend {
+            Backend::Mem(pages) => {
+                if pages.len() <= id as usize {
+                    pages.resize(id as usize + 1, Arc::new(vec![0u8; self.page_size]));
+                }
+                pages[id as usize] = Arc::clone(&data);
+                st.pool.put(id, data, false);
+            }
+            Backend::File { .. } => {
+                st.pool.put(id, data, true);
+            }
+        }
+        Ok(())
+    }
+
+    /// First half of a checkpoint (file backends only): write every dirty
+    /// page to the journal and fsync it. Dirty flags are *not* cleared —
+    /// the caller must commit its metadata (recording the returned epoch)
+    /// and then call [`Pager::complete_checkpoint`].
+    pub fn begin_checkpoint(&self) -> Result<CheckpointPrep> {
+        let mut st = self.state.lock();
+        let Backend::File { journal_path, .. } = &st.backend else {
+            return Err(CrowdError::Internal(
+                "pager: checkpoint on a memory-backed pager".into(),
+            ));
+        };
+        let journal_path = journal_path.clone();
+        st.epoch += 1;
+        let epoch = st.epoch;
+        let pages = st.pool.dirty_pages();
+        drop(st);
+
+        let mut journal = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&journal_path)
+            .map_err(|e| CrowdError::Io(format!("pager: open journal: {e}")))?;
+        let mut buf = Vec::with_capacity(24 + pages.len() * (12 + self.page_size));
+        buf.extend_from_slice(JOURNAL_MAGIC);
+        buf.extend_from_slice(&epoch.to_le_bytes());
+        buf.extend_from_slice(&(pages.len() as u64).to_le_bytes());
+        for (id, data) in &pages {
+            buf.extend_from_slice(&id.to_le_bytes());
+            buf.extend_from_slice(&journal_crc(*id, data).to_le_bytes());
+            buf.extend_from_slice(data);
+        }
+        journal
+            .write_all(&buf)
+            .map_err(|e| CrowdError::Io(format!("pager: write journal: {e}")))?;
+        sync(&journal)?;
+        Ok(CheckpointPrep { epoch, pages })
+    }
+
+    /// Second half of a checkpoint: apply the journaled pages to
+    /// `pages.db`, fsync it, truncate the journal, and mark the flushed
+    /// pages clean (evictable).
+    pub fn complete_checkpoint(&self, prep: &CheckpointPrep) -> Result<()> {
+        let st = self.state.lock();
+        let Backend::File { db, journal_path } = &st.backend else {
+            return Err(CrowdError::Internal(
+                "pager: checkpoint on a memory-backed pager".into(),
+            ));
+        };
+        let journal_path = journal_path.clone();
+        for (id, data) in &prep.pages {
+            write_at(db, *id * self.page_size as u64, data)?;
+        }
+        sync(db)?;
+        drop(st);
+        truncate_journal(&journal_path)?;
+        let mut st = self.state.lock();
+        st.pool.stats.pages_written += prep.pages.len() as u64;
+        st.pool.mark_all_clean();
+        Ok(())
+    }
+}
+
+/// CRC-32 (IEEE, bitwise) over the page id and its contents. Journals
+/// are small and written once per checkpoint, so the table-less
+/// implementation is plenty fast and keeps this crate dependency-free.
+fn journal_crc(id: PageId, data: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    let mut feed = |byte: u8| {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    };
+    for b in id.to_le_bytes() {
+        feed(b);
+    }
+    for &b in data {
+        feed(b);
+    }
+    !crc
+}
+
+/// Outcome of parsing a checkpoint journal.
+#[derive(Debug)]
+enum JournalState {
+    Empty,
+    Valid {
+        epoch: u64,
+        pages: Vec<(PageId, Vec<u8>)>,
+    },
+    /// Torn or corrupt; `epoch` is present when the header was readable.
+    Damaged {
+        epoch: Option<u64>,
+    },
+}
+
+fn parse_journal(path: &Path, page_size: usize) -> Result<JournalState> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalState::Empty),
+        Err(e) => return Err(CrowdError::Io(format!("pager: open journal: {e}"))),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| CrowdError::Io(format!("pager: read journal: {e}")))?;
+    if bytes.is_empty() {
+        return Ok(JournalState::Empty);
+    }
+    if bytes.len() < 24 || &bytes[..8] != JOURNAL_MAGIC {
+        return Ok(JournalState::Damaged { epoch: None });
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let count = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let entry_len = 12 + page_size;
+    let mut pages = Vec::new();
+    let mut off = 24usize;
+    for _ in 0..count {
+        if bytes.len() < off + entry_len {
+            return Ok(JournalState::Damaged { epoch: Some(epoch) });
+        }
+        let id = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap());
+        let data = &bytes[off + 12..off + entry_len];
+        if journal_crc(id, data) != crc {
+            return Ok(JournalState::Damaged { epoch: Some(epoch) });
+        }
+        pages.push((id, data.to_vec()));
+        off += entry_len;
+    }
+    Ok(JournalState::Valid { epoch, pages })
+}
+
+fn recover_journal(
+    db: &File,
+    journal_path: &Path,
+    page_size: usize,
+    committed_epoch: u64,
+) -> Result<()> {
+    match parse_journal(journal_path, page_size)? {
+        JournalState::Empty => Ok(()),
+        JournalState::Valid { epoch, pages } if epoch == committed_epoch => {
+            // Crash between the metadata commit and the page-file apply:
+            // redo from full page images (idempotent).
+            for (id, data) in &pages {
+                write_at(db, *id * page_size as u64, data)?;
+            }
+            sync(db)?;
+            truncate_journal(journal_path)
+        }
+        JournalState::Valid { epoch, .. } | JournalState::Damaged { epoch: Some(epoch) }
+            if epoch > committed_epoch =>
+        {
+            // Crash before the metadata commit: the checkpoint never
+            // happened. pages.db still holds the previous checkpoint.
+            truncate_journal(journal_path)
+        }
+        JournalState::Damaged { epoch: None } => truncate_journal(journal_path),
+        JournalState::Valid { epoch, .. } => Err(CrowdError::Io(format!(
+            "pager: stale checkpoint journal (epoch {epoch}, committed {committed_epoch})"
+        ))),
+        JournalState::Damaged { epoch: Some(epoch) } => Err(CrowdError::Io(format!(
+            "pager: checkpoint journal for committed epoch {epoch} is corrupt; \
+             pages.db cannot be reconstructed"
+        ))),
+    }
+}
+
+fn truncate_journal(path: &Path) -> Result<()> {
+    let f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)
+        .map_err(|e| CrowdError::Io(format!("pager: truncate journal: {e}")))?;
+    sync(&f)
+}
+
+fn sync(f: &File) -> Result<()> {
+    f.sync_all()
+        .map_err(|e| CrowdError::Io(format!("pager: fsync: {e}")))
+}
+
+fn sync_dir(dir: &Path) {
+    // Best-effort durability of file creation; failure is not fatal.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(unix)]
+fn read_at(f: &File, offset: u64, buf: &mut [u8]) -> Result<()> {
+    use std::os::unix::fs::FileExt;
+    f.read_exact_at(buf, offset)
+        .map_err(|e| CrowdError::Io(format!("pager: read at {offset}: {e}")))
+}
+
+#[cfg(unix)]
+fn write_at(f: &File, offset: u64, buf: &[u8]) -> Result<()> {
+    use std::os::unix::fs::FileExt;
+    f.write_all_at(buf, offset)
+        .map_err(|e| CrowdError::Io(format!("pager: write at {offset}: {e}")))
+}
+
+#[cfg(not(unix))]
+compile_error!("crowddb-storage's pager requires a unix platform (positional file I/O)");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(page_size: usize, pool: usize) -> PagerConfig {
+        PagerConfig {
+            page_size,
+            pool_pages: pool,
+        }
+    }
+
+    fn fill(p: &Pager, id: PageId, byte: u8) {
+        let mut data = vec![byte; p.page_size()];
+        data[0] = crate::page::kind::LEAF;
+        p.write(id, data).unwrap();
+    }
+
+    #[test]
+    fn mem_round_trip_and_alloc_order() {
+        let p = Pager::new_mem(cfg(256, 0)).unwrap();
+        let a = p.allocate();
+        let b = p.allocate();
+        assert_eq!((a, b), (1, 2), "page 0 is the header");
+        fill(&p, a, 7);
+        assert_eq!(p.read(a).unwrap()[5], 7);
+        p.free_page(a);
+        assert_eq!(p.allocate(), a, "smallest freed id is reused");
+    }
+
+    #[test]
+    fn mem_bounded_pool_rereads_evicted_pages() {
+        let p = Pager::new_mem(cfg(256, 2)).unwrap();
+        let ids: Vec<PageId> = (0..8).map(|_| p.allocate()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            fill(&p, *id, i as u8 + 1);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(p.read(*id).unwrap()[5], i as u8 + 1);
+        }
+        let stats = p.stats();
+        assert!(stats.evictions > 0, "a 2-page pool must evict");
+        assert!(stats.pages_read > 0);
+    }
+
+    #[test]
+    fn file_checkpoint_flushes_only_dirty_pages() {
+        let dir = tempdir();
+        let p = Pager::open_file(&dir, cfg(256, 0), 0).unwrap();
+        let a = p.allocate();
+        let b = p.allocate();
+        fill(&p, a, 1);
+        fill(&p, b, 2);
+        assert_eq!(p.dirty_count(), 2);
+        let prep = p.begin_checkpoint().unwrap();
+        assert_eq!(prep.pages_written(), 2);
+        p.complete_checkpoint(&prep).unwrap();
+        assert_eq!(p.dirty_count(), 0);
+        // One more small write: the next checkpoint flushes just it.
+        fill(&p, a, 3);
+        let prep = p.begin_checkpoint().unwrap();
+        assert_eq!(prep.pages_written(), 1);
+        p.complete_checkpoint(&prep).unwrap();
+        assert_eq!(p.stats().pages_written, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_reopen_reads_flushed_pages() {
+        let dir = tempdir();
+        {
+            let p = Pager::open_file(&dir, cfg(256, 0), 0).unwrap();
+            let a = p.allocate();
+            fill(&p, a, 9);
+            let prep = p.begin_checkpoint().unwrap();
+            p.complete_checkpoint(&prep).unwrap();
+            assert_eq!(prep.epoch, 1);
+        }
+        let p = Pager::open_file(&dir, cfg(256, 0), 1).unwrap();
+        p.set_alloc_state(vec![], 2, 1);
+        assert_eq!(p.read(1).unwrap()[5], 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_discarded_when_crash_precedes_commit() {
+        let dir = tempdir();
+        {
+            let p = Pager::open_file(&dir, cfg(256, 0), 0).unwrap();
+            let a = p.allocate();
+            fill(&p, a, 1);
+            // Journal written, metadata never committed (no complete).
+            let _prep = p.begin_checkpoint().unwrap();
+        }
+        // Reopen with committed epoch 0: journal (epoch 1) is discarded.
+        let p = Pager::open_file(&dir, cfg(256, 0), 0).unwrap();
+        assert_eq!(std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(), 0);
+        drop(p);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_replayed_when_commit_preceded_crash() {
+        let dir = tempdir();
+        {
+            let p = Pager::open_file(&dir, cfg(256, 0), 0).unwrap();
+            let a = p.allocate();
+            fill(&p, a, 5);
+            let _prep = p.begin_checkpoint().unwrap();
+            // Metadata committed (epoch 1) but apply crashed: journal left.
+        }
+        let p = Pager::open_file(&dir, cfg(256, 0), 1).unwrap();
+        p.set_alloc_state(vec![], 2, 1);
+        assert_eq!(p.read(1).unwrap()[5], 5, "journal redo applied");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_journal_for_committed_epoch_fails_typed() {
+        let dir = tempdir();
+        {
+            let p = Pager::open_file(&dir, cfg(256, 0), 0).unwrap();
+            let a = p.allocate();
+            fill(&p, a, 5);
+            let _prep = p.begin_checkpoint().unwrap();
+        }
+        // Corrupt one payload byte: epoch still reads as 1.
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Pager::open_file(&dir, cfg(256, 0), 1).unwrap_err();
+        assert_eq!(err.category(), "io");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_page_size_on_reopen_rejected() {
+        let dir = tempdir();
+        drop(Pager::open_file(&dir, cfg(256, 0), 0).unwrap());
+        let err = Pager::open_file(&dir, cfg(512, 0), 0).unwrap_err();
+        assert_eq!(err.category(), "io");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tempdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "crowddb-pager-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

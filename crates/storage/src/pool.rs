@@ -1,0 +1,266 @@
+//! The buffer pool: an in-memory cache of fixed-size pages with a
+//! deterministic LRU eviction policy.
+//!
+//! The pool is a *no-steal* cache: dirty pages (written since the last
+//! checkpoint flush) are never evicted — they stay resident until a
+//! checkpoint writes them to stable storage and marks them clean. Only
+//! clean pages are evictable, and evicting a clean page is a pure drop
+//! (the backend already holds identical bytes), so pool size can never
+//! affect query results — only hit/miss counters. Eviction order is
+//! least-recently-used driven by a logical access counter, which makes
+//! the cache state itself a deterministic function of the access
+//! sequence.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::page::PageId;
+
+/// Cumulative pager/pool counters. Monotonic within a session; snapshot
+/// and diff them to attribute work to an operator or a checkpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Pages fetched from the backend (pool misses that did I/O).
+    pub pages_read: u64,
+    /// Pages flushed to stable storage by checkpoints.
+    pub pages_written: u64,
+    /// Page requests answered from the pool.
+    pub pool_hits: u64,
+    /// Page requests that missed the pool.
+    pub pool_misses: u64,
+    /// Clean pages dropped to respect the pool budget.
+    pub evictions: u64,
+}
+
+impl PagerStats {
+    /// Component-wise difference (`self` must be the later snapshot).
+    pub fn diff(&self, earlier: &PagerStats) -> PagerStats {
+        PagerStats {
+            pages_read: self.pages_read - earlier.pages_read,
+            pages_written: self.pages_written - earlier.pages_written,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    data: Arc<Vec<u8>>,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// The page cache. Owned by the pager behind its lock; all methods are
+/// plain `&mut self`.
+#[derive(Debug)]
+pub struct BufferPool {
+    frames: HashMap<PageId, Frame>,
+    /// Maximum resident pages; `0` = unbounded. Dirty pages are exempt
+    /// (no-steal), so the pool may transiently exceed the budget when
+    /// more than `budget` pages are dirty between checkpoints.
+    budget: usize,
+    tick: u64,
+    /// Shared counters (the pager also bumps `pages_read`/`pages_written`
+    /// here so one snapshot covers the whole storage engine).
+    pub stats: PagerStats,
+}
+
+impl BufferPool {
+    /// A pool holding at most `budget` pages (`0` = unbounded).
+    pub fn new(budget: usize) -> BufferPool {
+        BufferPool {
+            frames: HashMap::new(),
+            budget,
+            tick: 0,
+            stats: PagerStats::default(),
+        }
+    }
+
+    /// The configured budget (`0` = unbounded).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Look up a resident page, counting a hit or miss.
+    pub fn get(&mut self, id: PageId) -> Option<Arc<Vec<u8>>> {
+        self.tick += 1;
+        match self.frames.get_mut(&id) {
+            Some(f) => {
+                f.last_use = self.tick;
+                self.stats.pool_hits += 1;
+                Some(Arc::clone(&f.data))
+            }
+            None => {
+                self.stats.pool_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install a page just fetched from the backend (clean), evicting if
+    /// over budget.
+    pub fn install_clean(&mut self, id: PageId, data: Arc<Vec<u8>>) {
+        self.tick += 1;
+        self.frames.insert(
+            id,
+            Frame {
+                data,
+                dirty: false,
+                last_use: self.tick,
+            },
+        );
+        self.evict_over_budget();
+    }
+
+    /// Install or overwrite a page with fresh contents. `dirty` marks it
+    /// pending a checkpoint flush (file-backed pagers); write-through
+    /// backends pass `false` because the backend was updated in place.
+    pub fn put(&mut self, id: PageId, data: Arc<Vec<u8>>, dirty: bool) {
+        self.tick += 1;
+        self.frames.insert(
+            id,
+            Frame {
+                data,
+                dirty,
+                last_use: self.tick,
+            },
+        );
+        self.evict_over_budget();
+    }
+
+    /// Drop a page from the cache entirely (page freed).
+    pub fn remove(&mut self, id: PageId) {
+        self.frames.remove(&id);
+    }
+
+    /// All dirty pages, sorted by page id (deterministic flush order).
+    pub fn dirty_pages(&self) -> Vec<(PageId, Arc<Vec<u8>>)> {
+        let mut out: Vec<(PageId, Arc<Vec<u8>>)> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(id, f)| (*id, Arc::clone(&f.data)))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Number of dirty pages currently resident.
+    pub fn dirty_count(&self) -> usize {
+        self.frames.values().filter(|f| f.dirty).count()
+    }
+
+    /// Number of resident pages (clean + dirty).
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Mark every dirty page clean (checkpoint flush completed), making
+    /// them evictable again, then shrink back under budget.
+    pub fn mark_all_clean(&mut self) {
+        for f in self.frames.values_mut() {
+            f.dirty = false;
+        }
+        self.evict_over_budget();
+    }
+
+    /// Evict least-recently-used *clean* pages while over budget.
+    fn evict_over_budget(&mut self) {
+        if self.budget == 0 {
+            return;
+        }
+        while self.frames.len() > self.budget {
+            let victim = self
+                .frames
+                .iter()
+                .filter(|(_, f)| !f.dirty)
+                .min_by_key(|(id, f)| (f.last_use, **id))
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    self.frames.remove(&id);
+                    self.stats.evictions += 1;
+                }
+                // Everything resident is dirty: no-steal forbids eviction.
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(b: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![b; 16])
+    }
+
+    #[test]
+    fn hit_miss_counting() {
+        let mut p = BufferPool::new(0);
+        assert!(p.get(1).is_none());
+        p.install_clean(1, page(1));
+        assert!(p.get(1).is_some());
+        assert_eq!(p.stats.pool_hits, 1);
+        assert_eq!(p.stats.pool_misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_of_clean_pages() {
+        let mut p = BufferPool::new(2);
+        p.install_clean(1, page(1));
+        p.install_clean(2, page(2));
+        p.get(1); // 2 is now least-recently-used
+        p.install_clean(3, page(3));
+        assert_eq!(p.resident(), 2);
+        assert!(p.get(2).is_none(), "LRU clean page evicted");
+        assert!(p.get(1).is_some());
+        assert_eq!(p.stats.evictions, 1);
+    }
+
+    #[test]
+    fn dirty_pages_are_never_evicted() {
+        let mut p = BufferPool::new(1);
+        p.put(1, page(1), true);
+        p.put(2, page(2), true);
+        p.install_clean(3, page(3));
+        // Clean page 3 is the only candidate; dirty 1 and 2 stay.
+        assert_eq!(p.dirty_count(), 2);
+        assert!(p.get(1).is_some());
+        assert!(p.get(2).is_some());
+    }
+
+    #[test]
+    fn mark_all_clean_enables_eviction() {
+        let mut p = BufferPool::new(1);
+        p.put(1, page(1), true);
+        p.put(2, page(2), true);
+        assert_eq!(p.resident(), 2);
+        p.mark_all_clean();
+        assert_eq!(p.resident(), 1);
+        assert_eq!(p.dirty_count(), 0);
+    }
+
+    #[test]
+    fn dirty_pages_sorted_by_id() {
+        let mut p = BufferPool::new(0);
+        p.put(5, page(5), true);
+        p.put(1, page(1), true);
+        p.put(3, page(3), false);
+        let ids: Vec<PageId> = p.dirty_pages().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 5]);
+    }
+
+    #[test]
+    fn unbounded_pool_never_evicts() {
+        let mut p = BufferPool::new(0);
+        for i in 0..100 {
+            p.install_clean(i, page(i as u8));
+        }
+        assert_eq!(p.resident(), 100);
+        assert_eq!(p.stats.evictions, 0);
+    }
+}

@@ -1,9 +1,25 @@
-//! Heap tables with stable tuple ids, constraint enforcement, and index
+//! Tables over the paged storage engine: a primary B-tree keyed by
+//! tuple id, secondary indexes, constraint enforcement, and index
 //! maintenance.
+//!
+//! Tuple ids are allocation order and remain stable for the lifetime of
+//! the row; they are never reused after deletion (the write-ahead log
+//! addresses crowd-answer write-backs by tuple id). Rows are stored
+//! codec-encoded as primary-tree values; reads therefore return owned
+//! `Row`s and are fallible (file-backed pagers do I/O).
+
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
 
 use crowddb_common::{CrowdError, Result, Row, TableSchema, TupleId, Value};
 
+use crate::btree::{BTree, KeyCmp};
+use crate::codec;
+use crate::cursor::{encode_tid_key, TableCursor};
 use crate::index::{Index, IndexKey, IndexKind};
+use crate::page::PageId;
+use crate::pager::Pager;
 
 /// Statistics maintained incrementally and consumed by the optimizer's
 /// cardinality annotation (paper §3.2.2: "the heuristic first annotates
@@ -12,22 +28,25 @@ use crate::index::{Index, IndexKey, IndexKind};
 pub struct TableStats {
     /// Live (non-deleted) rows.
     pub live_rows: usize,
-    /// Total slots including tombstones.
+    /// Total tuple ids ever allocated, including tombstoned ones.
     pub total_slots: usize,
     /// Number of CNULL values currently stored.
     pub cnull_values: usize,
 }
 
-/// A heap table: rows in insertion order with tombstoned deletes.
+/// A table backed by paged B-trees.
 ///
-/// Tuple ids are slot indexes and remain stable for the lifetime of the
-/// row; they are never reused after deletion. The table owns its secondary
-/// indexes and keeps them consistent on every mutation.
-#[derive(Debug, Clone)]
+/// Deliberately not `Clone`: two tables sharing the same trees would
+/// corrupt each other through the shared pager.
+#[derive(Debug)]
 pub struct HeapTable {
     schema: TableSchema,
-    slots: Vec<Option<Row>>,
+    pager: Arc<Pager>,
+    /// Primary storage: tid (8 bytes BE) → codec-encoded row.
+    primary: BTree,
     indexes: Vec<Index>,
+    /// Next tuple id to allocate (= slots ever used, including deleted).
+    total_slots: u64,
     cnull_values: usize,
     live_rows: usize,
 }
@@ -35,24 +54,50 @@ pub struct HeapTable {
 impl HeapTable {
     /// Create an empty table. If the schema declares a primary key, a
     /// unique hash index named `<table>_pk` is created automatically.
-    pub fn new(schema: TableSchema) -> HeapTable {
+    pub fn new(pager: Arc<Pager>, schema: TableSchema) -> Result<HeapTable> {
+        let primary = BTree::create(&pager, KeyCmp::Bytes)?;
         let mut t = HeapTable {
-            slots: Vec::new(),
+            primary,
             indexes: Vec::new(),
+            total_slots: 0,
             cnull_values: 0,
             live_rows: 0,
             schema,
+            pager,
         };
         if !t.schema.primary_key.is_empty() {
             let idx = Index::new(
+                &t.pager,
                 format!("{}_pk", t.schema.name),
                 t.schema.primary_key.clone(),
                 IndexKind::Hash,
                 true,
-            );
+            )?;
             t.indexes.push(idx);
         }
-        t
+        Ok(t)
+    }
+
+    /// Re-attach a table to trees already present in the pager (metadata
+    /// restore after reopening a page file).
+    pub fn from_parts(
+        pager: Arc<Pager>,
+        schema: TableSchema,
+        primary_root: PageId,
+        total_slots: u64,
+        live_rows: usize,
+        cnull_values: usize,
+        indexes: Vec<Index>,
+    ) -> HeapTable {
+        HeapTable {
+            primary: BTree::open(primary_root, KeyCmp::Bytes),
+            indexes,
+            total_slots,
+            cnull_values,
+            live_rows,
+            schema,
+            pager,
+        }
     }
 
     /// The table's schema.
@@ -60,11 +105,22 @@ impl HeapTable {
         &self.schema
     }
 
+    /// The pager backing this table (executors need it to probe this
+    /// table's secondary indexes directly).
+    pub fn pager(&self) -> &Pager {
+        &self.pager
+    }
+
+    /// Root page of the primary tree (persisted in database metadata).
+    pub fn primary_root(&self) -> PageId {
+        self.primary.root()
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> TableStats {
         TableStats {
             live_rows: self.live_rows,
-            total_slots: self.slots.len(),
+            total_slots: self.total_slots as usize,
             cnull_values: self.cnull_values,
         }
     }
@@ -118,10 +174,13 @@ impl HeapTable {
             return Ok(());
         }
         // Keys containing missing values never conflict (SQL semantics).
-        if key.0.iter().any(Value::is_missing) {
+        if key.has_missing() {
             return Ok(());
         }
-        let hit = idx.get(key).iter().any(|t| Some(*t) != ignore);
+        let hit = idx
+            .get(&self.pager, key)?
+            .iter()
+            .any(|t| Some(*t) != ignore);
         if hit {
             return Err(CrowdError::Constraint(format!(
                 "unique constraint '{}' violated by key {:?}",
@@ -132,21 +191,26 @@ impl HeapTable {
         Ok(())
     }
 
+    fn write_primary(&mut self, tid: TupleId, row: &Row) -> Result<()> {
+        let mut buf = BytesMut::new();
+        codec::encode_row(&mut buf, row);
+        self.primary.insert(&self.pager, &encode_tid_key(tid), &buf)
+    }
+
     /// Insert a row, returning its tuple id.
     pub fn insert(&mut self, row: Row) -> Result<TupleId> {
-        let tid = TupleId(self.slots.len() as u64);
+        let tid = TupleId(self.total_slots);
         self.restore_at(tid, row)?;
         Ok(tid)
     }
 
-    /// Place a row at a specific slot, padding intermediate slots with
-    /// tombstones. This is the snapshot/recovery path: tuple ids are slot
-    /// indexes and must survive a restart unchanged, because the
-    /// write-ahead log addresses crowd-answer write-backs by tuple id.
+    /// Place a row at a specific tuple id, reserving any intermediate
+    /// ids. This is the snapshot/recovery path: tuple ids must survive a
+    /// restart unchanged, because the write-ahead log addresses
+    /// crowd-answer write-backs by tuple id.
     pub fn restore_at(&mut self, tid: TupleId, row: Row) -> Result<()> {
         let row = self.validate_row(row)?;
-        let slot = tid.0 as usize;
-        if self.slots.get(slot).is_some_and(|s| s.is_some()) {
+        if self.get(tid)?.is_some() {
             return Err(CrowdError::Internal(format!(
                 "tuple slot {tid} of table '{}' is already occupied",
                 self.schema.name
@@ -156,96 +220,98 @@ impl HeapTable {
             let key = idx.key_of(row.values());
             self.check_unique(idx, &key, None)?;
         }
+        let pager = Arc::clone(&self.pager);
         for idx in &mut self.indexes {
             let key = idx.key_of(row.values());
-            idx.insert(key, tid);
+            idx.insert(&pager, &key, tid)?;
         }
-        if self.slots.len() <= slot {
-            self.slots.resize(slot + 1, None);
-        }
+        self.write_primary(tid, &row)?;
+        self.total_slots = self.total_slots.max(tid.0 + 1);
         self.cnull_values += row.cnull_columns().len();
         self.live_rows += 1;
-        self.slots[slot] = Some(row);
         Ok(())
     }
 
-    /// Extend the slot vector with trailing tombstones up to `total`
-    /// slots, so the next allocated tuple id matches the pre-snapshot
-    /// instance even when the last rows were deleted.
+    /// Reserve tuple-id space up to `total` ids, so the next allocated
+    /// tuple id matches the pre-snapshot instance even when the last rows
+    /// were deleted.
     pub fn pad_slots(&mut self, total: usize) {
-        if self.slots.len() < total {
-            self.slots.resize(total, None);
-        }
+        self.total_slots = self.total_slots.max(total as u64);
     }
 
     /// Undo an insert made earlier in the same statement. Beyond a plain
-    /// delete, the tail slot itself is reclaimed so the failed statement
-    /// leaves no trace in tuple-id space: a log that never recorded the
-    /// statement must allocate the same ids on replay that this instance
-    /// allocates going forward. Roll back a batch in reverse insertion
-    /// order so each tuple is the tail when its turn comes.
-    pub fn rollback_insert(&mut self, tid: TupleId) -> bool {
-        let existed = self.delete(tid);
-        if existed && tid.0 as usize + 1 == self.slots.len() {
-            self.slots.pop();
+    /// delete, the tail tuple id itself is reclaimed so the failed
+    /// statement leaves no trace in tuple-id space: a log that never
+    /// recorded the statement must allocate the same ids on replay that
+    /// this instance allocates going forward. Roll back a batch in
+    /// reverse insertion order so each tuple is the tail when its turn
+    /// comes.
+    pub fn rollback_insert(&mut self, tid: TupleId) -> Result<bool> {
+        let existed = self.delete(tid)?;
+        if existed && tid.0 + 1 == self.total_slots {
+            self.total_slots -= 1;
         }
-        existed
+        Ok(existed)
     }
 
     /// Fetch a live row by tuple id.
-    pub fn get(&self, tid: TupleId) -> Option<&Row> {
-        self.slots.get(tid.0 as usize).and_then(|s| s.as_ref())
+    pub fn get(&self, tid: TupleId) -> Result<Option<Row>> {
+        if tid.0 >= self.total_slots {
+            return Ok(None);
+        }
+        match self.primary.get(&self.pager, &encode_tid_key(tid))? {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(codec::decode_row(&mut Bytes::from(bytes))?)),
+        }
     }
 
     /// Delete a row. Returns whether it existed.
-    pub fn delete(&mut self, tid: TupleId) -> bool {
-        let Some(slot) = self.slots.get_mut(tid.0 as usize) else {
-            return false;
+    pub fn delete(&mut self, tid: TupleId) -> Result<bool> {
+        let Some(row) = self.get(tid)? else {
+            return Ok(false);
         };
-        let Some(row) = slot.take() else {
-            return false;
-        };
+        self.primary.remove(&self.pager, &encode_tid_key(tid))?;
+        let pager = Arc::clone(&self.pager);
         for idx in &mut self.indexes {
             let key = idx.key_of(row.values());
-            idx.remove(&key, tid);
+            idx.remove(&pager, &key, tid)?;
         }
         self.cnull_values -= row.cnull_columns().len();
         self.live_rows -= 1;
-        true
+        Ok(true)
     }
 
     /// Replace an entire row in place.
     pub fn update(&mut self, tid: TupleId, new_row: Row) -> Result<()> {
         let new_row = self.validate_row(new_row)?;
         let old = self
-            .get(tid)
-            .ok_or_else(|| CrowdError::Exec(format!("tuple {tid} not found")))?
-            .clone();
+            .get(tid)?
+            .ok_or_else(|| CrowdError::Exec(format!("tuple {tid} not found")))?;
         for idx in &self.indexes {
             let key = idx.key_of(new_row.values());
             self.check_unique(idx, &key, Some(tid))?;
         }
+        let pager = Arc::clone(&self.pager);
         for idx in &mut self.indexes {
             let old_key = idx.key_of(old.values());
             let new_key = idx.key_of(new_row.values());
             if old_key != new_key {
-                idx.remove(&old_key, tid);
-                idx.insert(new_key, tid);
+                idx.remove(&pager, &old_key, tid)?;
+                idx.insert(&pager, &new_key, tid)?;
             }
         }
         self.cnull_values -= old.cnull_columns().len();
         self.cnull_values += new_row.cnull_columns().len();
-        self.slots[tid.0 as usize] = Some(new_row);
-        Ok(())
+        self.write_primary(tid, &new_row)
     }
 
     /// Update a single column of a row — the write-back path used when a
     /// crowd answer arrives for a `CNULL` value.
     pub fn update_value(&mut self, tid: TupleId, col: usize, value: Value) -> Result<()> {
         let row = self
-            .get(tid)
+            .get(tid)?
             .ok_or_else(|| CrowdError::Exec(format!("tuple {tid} not found")))?;
-        let mut new_row = row.clone();
+        let mut new_row = row;
         if col >= new_row.arity() {
             return Err(CrowdError::Exec(format!(
                 "column index {col} out of range for table '{}'",
@@ -256,39 +322,61 @@ impl HeapTable {
         self.update(tid, new_row)
     }
 
-    /// Iterate over live `(tuple id, row)` pairs in insertion order.
-    pub fn scan(&self) -> impl Iterator<Item = (TupleId, &Row)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|r| (TupleId(i as u64), r)))
+    /// A streaming cursor over live rows in tuple-id (insertion) order.
+    pub fn cursor(&self) -> Result<TableCursor<'_>> {
+        Ok(TableCursor::new(
+            &self.pager,
+            self.primary.cursor_first(&self.pager)?,
+        ))
     }
 
-    /// Materialize all live rows (used by executor table scans).
-    pub fn scan_rows(&self) -> Vec<(TupleId, Row)> {
-        self.scan().map(|(t, r)| (t, r.clone())).collect()
+    /// Materialize all live `(tuple id, row)` pairs in insertion order.
+    pub fn scan_rows(&self) -> Result<Vec<(TupleId, Row)>> {
+        self.cursor()?.collect_rows()
     }
 
     /// Add a secondary index, backfilling existing rows.
-    pub fn add_index(&mut self, mut index: Index) -> Result<()> {
-        if self.indexes.iter().any(|i| i.name == index.name) {
+    pub fn add_index(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        kind: IndexKind,
+        unique: bool,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|i| i.name == name) {
             return Err(CrowdError::Catalog(format!(
-                "index '{}' already exists on table '{}'",
-                index.name, self.schema.name
+                "index '{name}' already exists on table '{}'",
+                self.schema.name
             )));
         }
-        index.clear();
-        for (tid, row) in self
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|r| (TupleId(i as u64), r)))
-        {
-            let key = index.key_of(row.values());
-            self.check_unique(&index, &key, None)?;
-            index.insert(key, tid);
+        let mut index = Index::new(&self.pager, name, columns, kind, unique)?;
+        match self.backfill(&mut index) {
+            Ok(()) => {
+                self.indexes.push(index);
+                Ok(())
+            }
+            Err(e) => {
+                // Release the partially built entry tree before bailing.
+                index.free(&self.pager)?;
+                Err(e)
+            }
         }
-        self.indexes.push(index);
+    }
+
+    fn backfill(&self, index: &mut Index) -> Result<()> {
+        let mut cur = self.cursor()?;
+        while let Some((tid, row)) = cur.next()? {
+            let key = index.key_of(row.values());
+            if index.unique && !key.has_missing() && !index.get(&self.pager, &key)?.is_empty() {
+                return Err(CrowdError::Constraint(format!(
+                    "unique constraint '{}' violated by key {:?}",
+                    index.name,
+                    key.0.iter().map(Value::sql_literal).collect::<Vec<_>>()
+                )));
+            }
+            index.insert(&self.pager, &key, tid)?;
+        }
         Ok(())
     }
 
@@ -297,27 +385,48 @@ impl HeapTable {
         &self.indexes
     }
 
-    /// Find an index whose leading columns equal `cols` exactly.
+    /// Find an index whose columns equal `cols` exactly.
     pub fn index_on(&self, cols: &[usize]) -> Option<&Index> {
         self.indexes.iter().find(|i| i.columns == cols)
     }
 
     /// Look up tuples by primary-key value (if a PK exists).
-    pub fn lookup_pk(&self, key_values: &[Value]) -> Vec<TupleId> {
+    pub fn lookup_pk(&self, key_values: &[Value]) -> Result<Vec<TupleId>> {
         if self.schema.primary_key.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         match self.index_on(&self.schema.primary_key) {
-            Some(idx) => idx.get(&IndexKey(key_values.to_vec())).to_vec(),
-            None => Vec::new(),
+            Some(idx) => idx.get(&self.pager, &IndexKey(key_values.to_vec())),
+            None => Ok(Vec::new()),
         }
+    }
+
+    /// Free every page owned by this table (table dropped).
+    pub fn free(self) -> Result<()> {
+        let pager = Arc::clone(&self.pager);
+        self.primary.free(&pager)?;
+        for idx in self.indexes {
+            idx.free(&pager)?;
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pager::PagerConfig;
     use crowddb_common::{row, ColumnDef, DataType};
+
+    fn pager() -> Arc<Pager> {
+        Arc::new(
+            Pager::new_mem(PagerConfig {
+                page_size: 256,
+                pool_pages: 0,
+            })
+            .unwrap(),
+        )
+    }
 
     fn talk_table() -> HeapTable {
         let schema = TableSchema::new(
@@ -331,7 +440,7 @@ mod tests {
         .unwrap()
         .with_primary_key(&["title"])
         .unwrap();
-        HeapTable::new(schema)
+        HeapTable::new(pager(), schema).unwrap()
     }
 
     #[test]
@@ -340,16 +449,16 @@ mod tests {
         let keep = t.insert(row!["keep", Value::CNull, Value::CNull]).unwrap();
         let a = t.insert(row!["a", Value::CNull, Value::CNull]).unwrap();
         let b = t.insert(row!["b", Value::CNull, Value::CNull]).unwrap();
-        assert!(t.rollback_insert(b));
-        assert!(t.rollback_insert(a));
+        assert!(t.rollback_insert(b).unwrap());
+        assert!(t.rollback_insert(a).unwrap());
         // Tuple-id space is as if the inserts never happened.
         let next = t.insert(row!["next", Value::CNull, Value::CNull]).unwrap();
         assert_eq!(next, a, "slot must be reallocated, not burned");
-        assert!(t.get(keep).is_some());
+        assert!(t.get(keep).unwrap().is_some());
         // Rolling back a non-tail tuple degrades to a plain delete.
-        assert!(t.rollback_insert(keep));
-        assert_eq!(t.live_rows, 1);
-        assert!(!t.rollback_insert(keep), "already gone");
+        assert!(t.rollback_insert(keep).unwrap());
+        assert_eq!(t.stats().live_rows, 1);
+        assert!(!t.rollback_insert(keep).unwrap(), "already gone");
     }
 
     #[test]
@@ -362,9 +471,26 @@ mod tests {
         assert_ne!(t1, t2);
         assert_eq!(t.stats().live_rows, 2);
         assert_eq!(t.stats().cnull_values, 2);
-        let rows: Vec<_> = t.scan().collect();
+        let rows = t.scan_rows().unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].1[0], Value::str("CrowdDB"));
+    }
+
+    #[test]
+    fn cursor_streams_in_tid_order() {
+        let mut t = talk_table();
+        for i in 0..50i64 {
+            t.insert(row![format!("talk-{i:03}"), Value::CNull, i])
+                .unwrap();
+        }
+        t.delete(TupleId(10)).unwrap();
+        let mut cur = t.cursor().unwrap();
+        let mut tids = Vec::new();
+        while let Some((tid, _)) = cur.next().unwrap() {
+            tids.push(tid.0);
+        }
+        let expected: Vec<u64> = (0..50).filter(|&i| i != 10).collect();
+        assert_eq!(tids, expected);
     }
 
     #[test]
@@ -410,7 +536,7 @@ mod tests {
         )
         .unwrap()
         .crowd();
-        let mut t = HeapTable::new(schema);
+        let mut t = HeapTable::new(pager(), schema).unwrap();
         assert!(t.insert(row!["Alice", Value::CNull]).is_ok());
     }
 
@@ -425,8 +551,8 @@ mod tests {
     fn delete_updates_stats_and_index() {
         let mut t = talk_table();
         let tid = t.insert(row!["CrowdDB", Value::CNull, 5i64]).unwrap();
-        assert!(t.delete(tid));
-        assert!(!t.delete(tid));
+        assert!(t.delete(tid).unwrap());
+        assert!(!t.delete(tid).unwrap());
         assert_eq!(t.stats().live_rows, 0);
         assert_eq!(t.stats().cnull_values, 0);
         // PK is free again after deletion.
@@ -437,11 +563,11 @@ mod tests {
     fn tuple_ids_not_reused() {
         let mut t = talk_table();
         let t1 = t.insert(row!["a", "x", 1i64]).unwrap();
-        t.delete(t1);
+        t.delete(t1).unwrap();
         let t2 = t.insert(row!["b", "y", 2i64]).unwrap();
         assert_ne!(t1, t2);
-        assert!(t.get(t1).is_none());
-        assert!(t.get(t2).is_some());
+        assert!(t.get(t1).unwrap().is_none());
+        assert!(t.get(t2).unwrap().is_some());
     }
 
     #[test]
@@ -451,7 +577,7 @@ mod tests {
             .insert(row!["CrowdDB", Value::CNull, Value::CNull])
             .unwrap();
         t.update_value(tid, 1, Value::str("the abstract")).unwrap();
-        assert_eq!(t.get(tid).unwrap()[1], Value::str("the abstract"));
+        assert_eq!(t.get(tid).unwrap().unwrap()[1], Value::str("the abstract"));
         assert_eq!(t.stats().cnull_values, 1);
         t.update_value(tid, 2, Value::Int(250)).unwrap();
         assert_eq!(t.stats().cnull_values, 0);
@@ -462,8 +588,8 @@ mod tests {
         let mut t = talk_table();
         let tid = t.insert(row!["Old", Value::CNull, 1i64]).unwrap();
         t.update_value(tid, 0, Value::str("New")).unwrap();
-        assert_eq!(t.lookup_pk(&[Value::str("New")]), vec![tid]);
-        assert!(t.lookup_pk(&[Value::str("Old")]).is_empty());
+        assert_eq!(t.lookup_pk(&[Value::str("New")]).unwrap(), vec![tid]);
+        assert!(t.lookup_pk(&[Value::str("Old")]).unwrap().is_empty());
     }
 
     #[test]
@@ -474,15 +600,15 @@ mod tests {
         let err = t.update_value(tid_b, 0, Value::str("A")).unwrap_err();
         assert_eq!(err.category(), "constraint");
         // Row B unchanged after the failed update.
-        assert_eq!(t.get(tid_b).unwrap()[0], Value::str("B"));
+        assert_eq!(t.get(tid_b).unwrap().unwrap()[0], Value::str("B"));
     }
 
     #[test]
     fn int_widens_to_float() {
         let schema = TableSchema::new("m", vec![ColumnDef::new("score", DataType::Float)]).unwrap();
-        let mut t = HeapTable::new(schema);
+        let mut t = HeapTable::new(pager(), schema).unwrap();
         let tid = t.insert(row![3i64]).unwrap();
-        assert_eq!(t.get(tid).unwrap()[0], Value::Float(3.0));
+        assert_eq!(t.get(tid).unwrap().unwrap()[0], Value::Float(3.0));
     }
 
     #[test]
@@ -491,21 +617,23 @@ mod tests {
         t.insert(row!["a", "x", 10i64]).unwrap();
         t.insert(row!["b", "y", 20i64]).unwrap();
         t.insert(row!["c", "z", 10i64]).unwrap();
-        t.add_index(Index::new("talk_att", vec![2], IndexKind::BTree, false))
+        t.add_index("talk_att", vec![2], IndexKind::BTree, false)
             .unwrap();
         let idx = t.index_on(&[2]).unwrap();
-        assert_eq!(idx.get(&IndexKey(vec![Value::Int(10)])).len(), 2);
-        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(
+            idx.get(t.pager(), &IndexKey(vec![Value::Int(10)]))
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(idx.distinct_keys(t.pager()).unwrap(), 2);
     }
 
     #[test]
     fn duplicate_index_name_rejected() {
         let mut t = talk_table();
-        t.add_index(Index::new("i1", vec![2], IndexKind::Hash, false))
-            .unwrap();
-        assert!(t
-            .add_index(Index::new("i1", vec![1], IndexKind::Hash, false))
-            .is_err());
+        t.add_index("i1", vec![2], IndexKind::Hash, false).unwrap();
+        assert!(t.add_index("i1", vec![1], IndexKind::Hash, false).is_err());
     }
 
     #[test]
@@ -514,9 +642,10 @@ mod tests {
         t.insert(row!["a", "x", 10i64]).unwrap();
         t.insert(row!["b", "y", 10i64]).unwrap();
         let err = t
-            .add_index(Index::new("u", vec![2], IndexKind::Hash, true))
+            .add_index("u", vec![2], IndexKind::Hash, true)
             .unwrap_err();
         assert_eq!(err.category(), "constraint");
+        assert!(t.index_on(&[2]).is_none(), "failed index not attached");
     }
 
     #[test]
@@ -531,8 +660,8 @@ mod tests {
         .unwrap()
         .with_primary_key(&["id"])
         .unwrap();
-        let mut t = HeapTable::new(schema);
-        t.add_index(Index::new("u_email", vec![1], IndexKind::Hash, true))
+        let mut t = HeapTable::new(pager(), schema).unwrap();
+        t.add_index("u_email", vec![1], IndexKind::Hash, true)
             .unwrap();
         t.insert(row![1i64, Value::Null]).unwrap();
         t.insert(row![2i64, Value::Null]).unwrap(); // no conflict
@@ -543,7 +672,18 @@ mod tests {
     #[test]
     fn nan_rejected_at_insert() {
         let schema = TableSchema::new("m", vec![ColumnDef::new("score", DataType::Float)]).unwrap();
-        let mut t = HeapTable::new(schema);
+        let mut t = HeapTable::new(pager(), schema).unwrap();
         assert!(t.insert(row![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn large_rows_round_trip_through_overflow() {
+        let mut t = talk_table();
+        let big = "x".repeat(4000);
+        let tid = t.insert(row!["big", big.clone(), 1i64]).unwrap();
+        assert_eq!(t.get(tid).unwrap().unwrap()[1], Value::str(&big));
+        let rows = t.scan_rows().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[1], Value::str(&big));
     }
 }

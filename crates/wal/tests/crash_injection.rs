@@ -77,7 +77,7 @@ fn reference_states(script: &[LogRecord]) -> Vec<Vec<u8>> {
         for rec in &script[..k] {
             assert!(db.apply(rec).unwrap(), "script must be storage-level");
         }
-        states.push(db.snapshot().to_vec());
+        states.push(db.snapshot().unwrap().to_vec());
     }
     states
 }
@@ -129,7 +129,7 @@ fn truncation_at_every_byte_offset_recovers_a_consistent_prefix() {
         // reference prefix state exactly, codec byte for codec byte.
         let db = replay(None, &recovered.records);
         assert_eq!(
-            db.snapshot().to_vec(),
+            db.snapshot().unwrap().to_vec(),
             states[k],
             "cut {cut}: replayed state diverges from prefix state"
         );
@@ -155,7 +155,7 @@ fn snapshot_plus_log_tail_is_byte_identical_to_pre_crash_state() {
         live.apply(rec).unwrap();
     }
     // Checkpoint the live state, then keep going.
-    store.checkpoint(&live.snapshot()).unwrap();
+    store.checkpoint(&live.snapshot().unwrap()).unwrap();
     for rec in &script[mid..] {
         store.append(rec).unwrap();
         live.apply(rec).unwrap();
@@ -168,8 +168,11 @@ fn snapshot_plus_log_tail_is_byte_identical_to_pre_crash_state() {
     assert_eq!(recovered.records, script[mid..], "tail records survive");
 
     let db = replay(Some(snap), &recovered.records);
-    assert_eq!(db.snapshot().to_vec(), live.snapshot().to_vec());
-    assert_eq!(db.snapshot().to_vec(), states[script.len()]);
+    assert_eq!(
+        db.snapshot().unwrap().to_vec(),
+        live.snapshot().unwrap().to_vec()
+    );
+    assert_eq!(db.snapshot().unwrap().to_vec(), states[script.len()]);
 }
 
 #[test]
@@ -192,7 +195,7 @@ fn crash_between_snapshot_rename_and_log_truncation_is_harmless() {
     crowddb_wal::snapshot::write(
         &dir.path().join(crowddb_wal::SNAPSHOT_FILE),
         mid as u64,
-        &live.snapshot(),
+        &live.snapshot().unwrap(),
     )
     .unwrap();
 
@@ -202,7 +205,7 @@ fn crash_between_snapshot_rename_and_log_truncation_is_harmless() {
         "snapshot-covered records must not replay twice"
     );
     let db = replay(recovered.snapshot.as_deref(), &recovered.records);
-    assert_eq!(db.snapshot().to_vec(), states[mid]);
+    assert_eq!(db.snapshot().unwrap().to_vec(), states[mid]);
 
     // New appends continue past the covered LSNs.
     for rec in &script[mid..] {
@@ -212,7 +215,7 @@ fn crash_between_snapshot_rename_and_log_truncation_is_harmless() {
     drop(store);
     let (_, recovered) = DurableStore::open(dir.path(), FsyncPolicy::Always).unwrap();
     let db2 = replay(recovered.snapshot.as_deref(), &recovered.records);
-    assert_eq!(db2.snapshot().to_vec(), states[script.len()]);
+    assert_eq!(db2.snapshot().unwrap().to_vec(), states[script.len()]);
 }
 
 #[test]
@@ -256,11 +259,11 @@ fn paid_answers_survive_any_suffix_loss() {
     let (_, recovered) = DurableStore::open(dir.path(), FsyncPolicy::Always).unwrap();
     let db = replay(None, &recovered.records);
     let abs = db
-        .with_table("talk", |t| t.get(TupleId(0)).unwrap()[1].clone())
+        .with_table("talk", |t| t.get(TupleId(0)).unwrap().unwrap()[1].clone())
         .unwrap();
     assert_eq!(abs, Value::str("answering queries with crowdsourcing"));
     let att = db
-        .with_table("talk", |t| t.get(TupleId(1)).unwrap()[2].clone())
+        .with_table("talk", |t| t.get(TupleId(1)).unwrap().unwrap()[2].clone())
         .unwrap();
     assert_eq!(att, Value::Int(75));
 }

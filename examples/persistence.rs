@@ -70,7 +70,7 @@ fn main() -> crowddb::Result<()> {
 
     // Persist everything to disk.
     let path = std::env::temp_dir().join("crowddb-session.bin");
-    std::fs::write(&path, db.snapshot()).expect("write snapshot");
+    std::fs::write(&path, db.snapshot().expect("snapshot")).expect("write snapshot");
     println!(
         "session saved to {} ({} bytes)\n",
         path.display(),

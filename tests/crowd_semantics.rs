@@ -419,7 +419,7 @@ fn session_snapshot_restores_answers_and_caches() {
             true,
         )
     });
-    let bytes = db.snapshot();
+    let bytes = db.snapshot().unwrap();
 
     let restored = CrowdDB::restore(&bytes, CrowdConfig::fast_test()).unwrap();
     // Crowdsourced value served from restored storage, no tasks posted.
