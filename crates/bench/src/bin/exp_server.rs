@@ -1,0 +1,370 @@
+//! E15 — server throughput and admission under concurrent clients.
+//!
+//! ```text
+//! cargo run --release -p crowddb-bench --bin exp_server
+//! BENCH_JSON=BENCH_2.json cargo run --release -p crowddb-bench --bin exp_server
+//! EXP_SERVER_SMOKE=1 cargo run -p crowddb-bench --bin exp_server   # CI smoke
+//! ```
+//!
+//! Two phases, both against a real TCP server in this process:
+//!
+//! 1. **Closed-loop throughput.** N concurrent clients each run a mixed
+//!    workload (70% local point reads, 30% crowd-table queries over a
+//!    rotating title pool — first touch pays the simulated crowd, later
+//!    touches hit memorized answers) and we report QPS and p50/p95/p99
+//!    request latency per client count.
+//! 2. **Starvation probe.** A crowd-query flood against a crowd
+//!    admission tier of 2 (immediate-reject), with a local reader
+//!    running through it: local p99 must stay bounded while the flood
+//!    collects `overloaded` refusals — the two-tier admission contract.
+//!
+//! The paper demos CrowdDB interactively ("explore the results
+//! \[queries\] produce", §4); this experiment quantifies the serving
+//! path that makes the demo multi-user.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crowddb_bench::harness::ExperimentOutput;
+use crowddb_core::{CrowdConfig, CrowdDB};
+use crowddb_platform::{
+    Answer, ClosureModel, HitId, Platform, PlatformStats, SimPlatform, TaskKind, TaskResponse,
+    TaskSpec,
+};
+use crowddb_server::{Client, PlatformFactory, Server, ServerConfig, TenantConfig};
+
+const TITLES: usize = 64;
+
+fn world_factory() -> PlatformFactory {
+    Arc::new(|seed| {
+        let model = ClosureModel::new(|task: &TaskKind| match task {
+            TaskKind::Probe { known, asked, .. } => {
+                let title = known
+                    .iter()
+                    .find(|(k, _)| k == "title")
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default();
+                Answer::Form(
+                    asked
+                        .iter()
+                        .map(|(col, _)| (col.clone(), format!("{col} of {title}")))
+                        .collect(),
+                )
+            }
+            _ => Answer::Blank,
+        });
+        Box::new(SimPlatform::amt(seed, Box::new(model)))
+    })
+}
+
+/// Platform decorator that spends real time per virtual advance, so
+/// crowd statements are long enough to saturate an admission tier.
+struct SlowPlatform {
+    inner: SimPlatform,
+    sleep: Duration,
+}
+
+impl Platform for SlowPlatform {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn post(&mut self, tasks: Vec<TaskSpec>) -> crowddb_common::Result<Vec<HitId>> {
+        self.inner.post(tasks)
+    }
+    fn extend(&mut self, hit: HitId, extra: u32) -> crowddb_common::Result<()> {
+        self.inner.extend(hit, extra)
+    }
+    fn advance(&mut self, dt: f64) {
+        std::thread::sleep(self.sleep);
+        self.inner.advance(dt);
+    }
+    fn collect(&mut self) -> Vec<TaskResponse> {
+        self.inner.collect()
+    }
+    fn now(&self) -> f64 {
+        self.inner.now()
+    }
+    fn stats(&self) -> PlatformStats {
+        self.inner.stats()
+    }
+    fn is_complete(&self, hit: HitId) -> bool {
+        self.inner.is_complete(hit)
+    }
+}
+
+fn seed_schema(addr: &str) {
+    let mut c = Client::connect(addr, "public", "", 1).expect("seed connect");
+    c.query(
+        "CREATE TABLE Talk (
+            title STRING PRIMARY KEY,
+            abstract CROWD STRING )",
+    )
+    .expect("ddl");
+    let values: Vec<String> = (0..TITLES).map(|i| format!("('talk-{i:04}')")).collect();
+    c.query(&format!(
+        "INSERT INTO Talk (title) VALUES {}",
+        values.join(", ")
+    ))
+    .expect("talk rows");
+    c.query("CREATE TABLE Sessions (k INTEGER PRIMARY KEY, room STRING)")
+        .expect("local ddl");
+    let values: Vec<String> = (0..100)
+        .map(|i| format!("({i}, 'room-{}')", i % 7))
+        .collect();
+    c.query(&format!(
+        "INSERT INTO Sessions (k, room) VALUES {}",
+        values.join(", ")
+    ))
+    .expect("local rows");
+    c.close().expect("seed close");
+}
+
+fn percentile(sorted_micros: &[u64], p: f64) -> f64 {
+    if sorted_micros.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_micros.len() as f64 - 1.0) * p).round() as usize;
+    sorted_micros[idx] as f64 / 1000.0
+}
+
+struct LoadResult {
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    requests: u64,
+    crowd_cents: u64,
+}
+
+/// Closed loop: `clients` threads, `per_client` requests each, 70/30
+/// local/crowd mix keyed off the request counter (deterministic, no
+/// RNG needed).
+fn closed_loop(addr: &str, clients: usize, per_client: usize) -> LoadResult {
+    let cents = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let addr = addr.to_string();
+        let cents = Arc::clone(&cents);
+        threads.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(per_client);
+            let mut client =
+                Client::connect(&addr, "public", "", 5000 + c as u64).expect("load connect");
+            for i in 0..per_client {
+                let n = c * per_client + i;
+                let sql = if n % 10 < 7 {
+                    format!("SELECT room FROM Sessions WHERE k = {}", n % 100)
+                } else {
+                    format!(
+                        "SELECT abstract FROM Talk WHERE title = 'talk-{:04}'",
+                        n % TITLES
+                    )
+                };
+                let t = Instant::now();
+                let r = client.query(&sql).expect("load query");
+                latencies.push(t.elapsed().as_micros() as u64);
+                cents.fetch_add(r.cents_spent, Ordering::Relaxed);
+            }
+            client.close().expect("load close");
+            latencies
+        }));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    for t in threads {
+        latencies.extend(t.join().expect("load thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    LoadResult {
+        qps: latencies.len() as f64 / elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        requests: latencies.len() as u64,
+        crowd_cents: cents.load(Ordering::Relaxed),
+    }
+}
+
+struct StarvationResult {
+    local_p99_ms: f64,
+    local_worst_ms: f64,
+    overloaded: u64,
+    flood_completed: u64,
+}
+
+/// Crowd flood at a crowd tier of 2 with a local reader running through
+/// it.
+fn starvation_probe(flood_clients: usize, local_reads: usize) -> StarvationResult {
+    let slow: PlatformFactory = Arc::new(|seed| {
+        let model = ClosureModel::new(|task: &TaskKind| match task {
+            TaskKind::Probe { asked, .. } => Answer::Form(
+                asked
+                    .iter()
+                    .map(|(col, _)| (col.clone(), format!("{col} (flood)")))
+                    .collect(),
+            ),
+            _ => Answer::Blank,
+        });
+        Box::new(SlowPlatform {
+            inner: SimPlatform::amt(seed, Box::new(model)),
+            sleep: Duration::from_millis(8),
+        })
+    });
+    let mut config = ServerConfig::local(vec![TenantConfig::open("public")], slow);
+    config.admission.max_concurrent_crowd_statements = Some(2);
+    config.admission_timeout_secs = Some(0.0);
+    let server = Server::start(config, CrowdDB::with_config(CrowdConfig::fast_test()))
+        .expect("start starvation server");
+    let addr = server.addr().to_string();
+    seed_schema(&addr);
+
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
+    let mut flood = Vec::new();
+    for i in 0..flood_clients {
+        let addr = addr.clone();
+        let overloaded = Arc::clone(&overloaded);
+        let completed = Arc::clone(&completed);
+        flood.push(std::thread::spawn(move || {
+            let mut c =
+                Client::connect(&addr, "public", "", 7000 + i as u64).expect("flood connect");
+            match c.query(&format!(
+                "SELECT abstract FROM Talk WHERE title = 'talk-{:04}'",
+                i % TITLES
+            )) {
+                Ok(_) => {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.is_overloaded() => {
+                    overloaded.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => panic!("unexpected flood error: {e}"),
+            }
+            let _ = c.close();
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(20));
+    let mut local = Client::connect(&addr, "public", "", 8000).expect("local connect");
+    let mut latencies = Vec::with_capacity(local_reads);
+    for i in 0..local_reads {
+        let t = Instant::now();
+        local
+            .query(&format!("SELECT room FROM Sessions WHERE k = {}", i % 100))
+            .expect("local read during flood");
+        latencies.push(t.elapsed().as_micros() as u64);
+    }
+    local.close().expect("local close");
+    for t in flood {
+        t.join().expect("flood thread");
+    }
+    latencies.sort_unstable();
+    let result = StarvationResult {
+        local_p99_ms: percentile(&latencies, 0.99),
+        local_worst_ms: *latencies.last().unwrap_or(&0) as f64 / 1000.0,
+        overloaded: overloaded.load(Ordering::Relaxed),
+        flood_completed: completed.load(Ordering::Relaxed),
+    };
+    server.join().expect("drain starvation server");
+    result
+}
+
+fn main() {
+    let smoke = std::env::var("EXP_SERVER_SMOKE").is_ok();
+    let (client_counts, per_client): (&[usize], usize) = if smoke {
+        (&[1, 2], 20)
+    } else {
+        (&[1, 4, 8], 150)
+    };
+
+    let mut out = ExperimentOutput::new(
+        "E15",
+        "multi-client serving: QPS + latency percentiles over CDBP, two-tier admission",
+    );
+    out.headers = vec![
+        "clients".into(),
+        "requests".into(),
+        "qps".into(),
+        "p50 ms".into(),
+        "p95 ms".into(),
+        "p99 ms".into(),
+        "crowd ¢".into(),
+    ];
+
+    // Phase 1: closed-loop throughput. One server for all client counts
+    // so later rounds exercise the memorized-answer fast path, like a
+    // long-lived deployment would.
+    let server = Server::start(
+        ServerConfig::local(vec![TenantConfig::open("public")], world_factory()),
+        CrowdDB::with_config(CrowdConfig::fast_test()),
+    )
+    .expect("start server");
+    let addr = server.addr().to_string();
+    seed_schema(&addr);
+
+    for &clients in client_counts {
+        let r = closed_loop(&addr, clients, per_client);
+        out.rows.push(vec![
+            clients.to_string(),
+            r.requests.to_string(),
+            format!("{:.0}", r.qps),
+            format!("{:.2}", r.p50_ms),
+            format!("{:.2}", r.p95_ms),
+            format!("{:.2}", r.p99_ms),
+            r.crowd_cents.to_string(),
+        ]);
+    }
+    server.join().expect("drain throughput server");
+
+    // Phase 2: starvation probe.
+    let (flood_clients, local_reads) = if smoke { (4, 20) } else { (6, 60) };
+    let s = starvation_probe(flood_clients, local_reads);
+    out.notes.push(format!(
+        "starvation probe: {} crowd clients vs crowd tier of 2 → {} overloaded refusal(s), \
+         {} completed; local reads through the flood: p99 {:.2} ms, worst {:.2} ms",
+        flood_clients, s.overloaded, s.flood_completed, s.local_p99_ms, s.local_worst_ms
+    ));
+    out.notes.push(
+        "expected shape: QPS grows with clients until the single shared engine saturates; \
+         crowd cents flatten once the title pool is memorized; local p99 stays bounded \
+         under crowd flood (two-tier admission)"
+            .into(),
+    );
+    assert!(s.overloaded > 0, "flood should hit the crowd admission cap");
+    assert!(
+        s.local_worst_ms < 5_000.0,
+        "local reads starved: worst {} ms",
+        s.local_worst_ms
+    );
+
+    out.print();
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        std::fs::write(&path, render_json(&out)).expect("write BENCH_JSON");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON for the trajectory record: the workspace's
+/// serde_json may be an offline stub, and this file is checked in, so
+/// the bytes must not depend on which one is linked.
+fn render_json(out: &ExperimentOutput) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn arr(items: &[String]) -> String {
+        let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+        format!("[{}]", quoted.join(", "))
+    }
+    let rows: Vec<String> = out.rows.iter().map(|r| format!("    {}", arr(r))).collect();
+    format!(
+        "{{\n  \"id\": \"{}\",\n  \"paper_artifact\": \"{}\",\n  \"headers\": {},\n  \
+         \"rows\": [\n{}\n  ],\n  \"notes\": {},\n  \"op_stats\": {}\n}}\n",
+        esc(&out.id),
+        esc(&out.paper_artifact),
+        arr(&out.headers),
+        rows.join(",\n"),
+        arr(&out.notes),
+        arr(&out.op_stats),
+    )
+}

@@ -437,6 +437,26 @@ impl CrowdDB {
         platform: &mut dyn Platform,
         policy: &GovernorPolicy,
     ) -> Result<QueryResult> {
+        let cancel = self.cancel.clone();
+        self.execute_with_session(sql, platform, policy, &cancel)
+    }
+
+    /// [`CrowdDB::execute_with_policy`] under a caller-supplied
+    /// [`CancelToken`] instead of the session-wide one.
+    ///
+    /// This is the multi-client entry point: a server holding one shared
+    /// `Arc<CrowdDB>` gives every connection its own token, so a
+    /// wire-level cancel stops exactly that connection's in-flight
+    /// statement and no one else's. The token is consumed (cleared) when
+    /// a statement terminates as user-cancelled, exactly like the
+    /// session-wide token.
+    pub fn execute_with_session(
+        &self,
+        sql: &str,
+        platform: &mut dyn Platform,
+        policy: &GovernorPolicy,
+        cancel: &CancelToken,
+    ) -> Result<QueryResult> {
         let stmt = parse_statement(sql)?;
         let reg = self.obs.registry();
         let crowd_touching = statement_touches_crowd(&stmt);
@@ -455,7 +475,7 @@ impl CrowdDB {
             }
         };
         reg.counter_inc("crowddb_governor_admitted_total");
-        let guard = StatementGuard::new(policy, &self.cancel, platform.now());
+        let guard = StatementGuard::new(policy, cancel, platform.now());
         let id = self.begin_statement(sql);
         // Panic isolation: a panicking operator (or a chaos hook) must
         // not take down the session. The unwind releases the admission
@@ -487,13 +507,38 @@ impl CrowdDB {
             });
             // The cancel request is consumed by the statement it stopped.
             if matches!(reason, CancelReason::UserRequested) {
-                self.cancel.clear();
+                cancel.clear();
             }
         }
         self.finish_statement(id, &r);
         let r = r?;
         self.maybe_checkpoint()?;
         Ok(r)
+    }
+
+    /// Catalog-aware refinement of [`statement_touches_crowd`]: `true`
+    /// when executing `sql` could actually engage the crowd.
+    ///
+    /// The syntactic check treats every `SELECT` as crowd-touching; this
+    /// one additionally plans `SELECT`s against the catalog, so a query
+    /// over purely machine tables and columns classifies as local — a
+    /// server using tiered admission can then guarantee that a flood of
+    /// crowd queries never starves local reads. Unparseable or
+    /// unplannable statements answer with the conservative syntactic
+    /// verdict; they fail with their real error inside execution.
+    pub fn statement_may_touch_crowd(&self, sql: &str) -> bool {
+        let Ok(stmt) = parse_statement(sql) else {
+            return false;
+        };
+        if !statement_touches_crowd(&stmt) {
+            return false;
+        }
+        if let Statement::Select(_) = &stmt {
+            if let Ok((plan, _)) = self.plan_select(&stmt, true) {
+                return plan.is_crowd_related();
+            }
+        }
+        true
     }
 
     /// Emit the `StatementBegin` span event and hand back its id.
@@ -1367,15 +1412,25 @@ fn output_columns(plan: &LogicalPlan) -> Vec<String> {
     plan.schema().columns.into_iter().map(|c| c.name).collect()
 }
 
-/// Whether a statement may engage the crowd (for the admission
+/// Whether a parsed statement may engage the crowd (for the admission
 /// controller's crowd-statement limit). DDL and plain INSERT never post
 /// tasks; SELECT, UPDATE, DELETE, and `EXPLAIN ANALYZE` may.
-fn statement_touches_crowd(stmt: &Statement) -> bool {
+pub fn statement_touches_crowd(stmt: &Statement) -> bool {
     match stmt {
         Statement::Select(_) | Statement::Update(_) | Statement::Delete(_) => true,
         Statement::Explain { analyze, statement } => *analyze && statement_touches_crowd(statement),
         _ => false,
     }
+}
+
+/// Whether a SQL string may engage the crowd, by parsing and classifying
+/// it. Servers use this *before* execution to pick the right admission
+/// tier; an unparseable statement classifies as non-crowd (execution
+/// will surface the parse error on the cheap tier).
+pub fn sql_touches_crowd(sql: &str) -> bool {
+    parse_statement(sql)
+        .map(|stmt| statement_touches_crowd(&stmt))
+        .unwrap_or(false)
 }
 
 /// Best-effort text from a caught panic payload.

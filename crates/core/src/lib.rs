@@ -33,7 +33,7 @@ pub mod result;
 pub mod taskman;
 
 pub use config::{ConcurrencyPolicy, CrowdConfig, DurabilityPolicy, RetryPolicy};
-pub use crowddb::CrowdDB;
+pub use crowddb::{sql_touches_crowd, statement_touches_crowd, CrowdDB};
 pub use crowddb_obs::{Event, EventRecord, MetricsSnapshot, Obs};
 pub use crowddb_wal::FsyncPolicy;
 pub use governor::{AdmissionController, CancelToken, GovernorPolicy, StatementGuard};

@@ -165,6 +165,31 @@ pub enum Event {
         /// Statement id.
         id: u64,
     },
+    /// A client connection completed the wire handshake and
+    /// authenticated to a tenant.
+    ConnectionOpened {
+        /// Tenant the connection authenticated as.
+        tenant: String,
+        /// Server-unique session id.
+        session: u64,
+    },
+    /// A client connection ended (clean close, drain, or error).
+    ConnectionClosed {
+        /// Tenant the connection belonged to.
+        tenant: String,
+        /// Session id from the matching `ConnectionOpened`.
+        session: u64,
+        /// Requests the session served.
+        requests: u64,
+    },
+    /// Server-level admission control turned a request away with an
+    /// `Overloaded` response.
+    ServerOverloaded {
+        /// Tenant whose request was rejected.
+        tenant: String,
+        /// Whether the rejected request was crowd-touching.
+        crowd: bool,
+    },
 }
 
 impl Event {
@@ -190,6 +215,9 @@ impl Event {
             Event::StatementCancelled { .. } => "statement_cancelled",
             Event::AdmissionRejected { .. } => "admission_rejected",
             Event::PanicContained { .. } => "panic_contained",
+            Event::ConnectionOpened { .. } => "connection_opened",
+            Event::ConnectionClosed { .. } => "connection_closed",
+            Event::ServerOverloaded { .. } => "server_overloaded",
         }
     }
 }

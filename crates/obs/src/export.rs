@@ -225,6 +225,35 @@ pub fn event_to_json(rec: &EventRecord) -> String {
             obj(ts, "admission_rejected", &[("crowd", Field::Bool(*crowd))])
         }
         Event::PanicContained { id } => obj(ts, "panic_contained", &[("id", Field::U64(*id))]),
+        Event::ConnectionOpened { tenant, session } => obj(
+            ts,
+            "connection_opened",
+            &[
+                ("tenant", Field::Str(tenant)),
+                ("session", Field::U64(*session)),
+            ],
+        ),
+        Event::ConnectionClosed {
+            tenant,
+            session,
+            requests,
+        } => obj(
+            ts,
+            "connection_closed",
+            &[
+                ("tenant", Field::Str(tenant)),
+                ("session", Field::U64(*session)),
+                ("requests", Field::U64(*requests)),
+            ],
+        ),
+        Event::ServerOverloaded { tenant, crowd } => obj(
+            ts,
+            "server_overloaded",
+            &[
+                ("tenant", Field::Str(tenant)),
+                ("crowd", Field::Bool(*crowd)),
+            ],
+        ),
     }
 }
 

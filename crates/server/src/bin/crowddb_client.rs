@@ -1,0 +1,170 @@
+//! `crowddb-client` — interactive CDBP shell.
+//!
+//! ```text
+//! crowddb-client [--addr HOST:PORT] [--tenant NAME] [--token TOKEN] [--seed N] [-c SQL]...
+//! ```
+//!
+//! With `-c` statements it runs them and exits (scripting mode);
+//! otherwise it reads statements from stdin, one per line, and prints
+//! each result as a table plus its crowd-accounting line. `\metrics`
+//! prints the server's Prometheus exposition; `\q` quits.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use crowddb_common::Row;
+use crowddb_server::{Client, WireResult};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crowddb-client [--addr HOST:PORT] [--tenant NAME] [--token TOKEN] \
+         [--seed N] [-c SQL]..."
+    );
+    std::process::exit(2);
+}
+
+fn print_result(r: &WireResult) {
+    if r.columns.is_empty() && r.rows.is_empty() {
+        println!("OK ({} row(s) affected)", r.affected);
+    } else {
+        println!("{}", render_table(&r.columns, &r.rows));
+    }
+    for w in &r.warnings {
+        println!("warning: {w}");
+    }
+    if r.tasks_posted > 0 || r.cents_spent > 0 {
+        println!(
+            "crowd: {} round(s), {} task(s), {} answer(s), {}¢, {:.0} virtual sec(s){}",
+            r.rounds,
+            r.tasks_posted,
+            r.answers_collected,
+            r.cents_spent,
+            r.virtual_secs,
+            if r.complete { "" } else { " [partial]" },
+        );
+    }
+}
+
+fn render_table(columns: &[String], rows: &[Row]) -> String {
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+        .collect();
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            if i >= widths.len() {
+                widths.push(cell.len());
+            } else {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, c) in columns.iter().enumerate() {
+        out.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+    }
+    out.push('\n');
+    for w in &widths {
+        out.push_str(&"-".repeat(*w));
+        out.push_str("  ");
+    }
+    for row in &rendered {
+        out.push('\n');
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+    }
+    out
+}
+
+fn run_one(client: &mut Client, line: &str) -> bool {
+    match line.trim() {
+        "" => true,
+        "\\q" | "\\quit" => false,
+        "\\metrics" => {
+            match client.metrics() {
+                Ok(text) => println!("{text}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            true
+        }
+        sql => {
+            match client.query(sql) {
+                Ok(r) => print_result(&r),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            true
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7583".to_string();
+    let mut tenant = "public".to_string();
+    let mut token = String::new();
+    let mut seed = 42u64;
+    let mut commands: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = value(),
+            "--tenant" => tenant = value(),
+            "--token" => token = value(),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "-c" => commands.push(value()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let mut client = match Client::connect(&addr, &tenant, &token, seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("crowddb-client: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "connected to {} ({}), session {}",
+        addr,
+        client.server(),
+        client.session()
+    );
+
+    if !commands.is_empty() {
+        for sql in &commands {
+            if !run_one(&mut client, sql) {
+                break;
+            }
+        }
+    } else {
+        let stdin = std::io::stdin();
+        loop {
+            eprint!("crowddb> ");
+            let _ = std::io::stderr().flush();
+            let mut line = String::new();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if !run_one(&mut client, &line) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    match client.close() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("crowddb-client: close failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

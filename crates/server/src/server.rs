@@ -1,0 +1,323 @@
+//! The server proper: listener, accept loop, shared engine, drain.
+//!
+//! One [`Server`] owns one [`CrowdDB`] engine behind an [`EngineGuard`]
+//! and serves it to many TCP connections, thread-per-connection. All
+//! sessions execute against the same catalog, storage, WAL, and crowd
+//! caches — the multi-tenancy layer ([`crate::tenant`]) controls *who*
+//! may connect and *how much crowd money* each tenant may spend, and the
+//! server-wide [`AdmissionController`] controls *how many* statements
+//! run at once (total, and crowd-touching separately), answering
+//! `Overloaded` instead of queueing unboundedly.
+//!
+//! Shutdown is a drain, not an abort: the listener stops accepting, each
+//! live connection's read side is shut down so its in-flight statement
+//! finishes and its response is still delivered, session threads are
+//! joined, and only then is the engine checkpointed — exactly once, via
+//! the guard — so no paid crowd answer is lost.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crowddb_core::{AdmissionController, CancelToken, CrowdDB, GovernorPolicy};
+use crowddb_platform::Platform;
+
+use crate::session;
+use crate::tenant::{TenantConfig, TenantRegistry};
+
+/// Builds one session's crowd platform from the seed presented in its
+/// `Hello` frame. Seeded construction is what makes a statement stream
+/// over the wire byte-identical to the same stream run in-process.
+pub type PlatformFactory = Arc<dyn Fn(u64) -> Box<dyn Platform> + Send + Sync>;
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Tenants allowed to connect.
+    pub tenants: Vec<TenantConfig>,
+    /// Server-wide cap on simultaneous connections (all tenants).
+    pub max_connections: usize,
+    /// Server-wide admission tiers: only `max_concurrent_statements` and
+    /// `max_concurrent_crowd_statements` are read here (per-statement
+    /// limits come from each tenant's policy).
+    pub admission: GovernorPolicy,
+    /// Admission wait: `None` blocks until a slot frees, `Some(0.0)`
+    /// rejects immediately, `Some(t)` waits `t` real seconds once and
+    /// then rejects with `Overloaded`.
+    pub admission_timeout_secs: Option<f64>,
+    /// Per-session platform factory.
+    pub platform: PlatformFactory,
+    /// Server identification echoed in `HelloOk`.
+    pub server_name: String,
+}
+
+impl ServerConfig {
+    /// A config serving `tenants` on an ephemeral local port with the
+    /// given platform factory and otherwise permissive limits.
+    pub fn local(tenants: Vec<TenantConfig>, platform: PlatformFactory) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            tenants,
+            max_connections: 64,
+            admission: GovernorPolicy::default(),
+            admission_timeout_secs: Some(0.1),
+            platform,
+            server_name: format!("crowddb {}", env!("CARGO_PKG_VERSION")),
+        }
+    }
+}
+
+/// Close-once wrapper around the shared engine.
+///
+/// `CrowdDB::close(self)` consumes the engine, which an `Arc` shared by
+/// many session threads cannot do; the drain instead checkpoints through
+/// `&self` — the same durable commit point `close` performs — and this
+/// guard's swap makes that final checkpoint happen exactly once no
+/// matter how many shutdown paths race (explicit `shutdown`, `Drop`,
+/// a panicking accept loop).
+pub struct EngineGuard {
+    engine: Arc<CrowdDB>,
+    closed: AtomicBool,
+}
+
+impl EngineGuard {
+    /// Wrap `engine`.
+    pub fn new(engine: CrowdDB) -> EngineGuard {
+        EngineGuard {
+            engine: Arc::new(engine),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// The shared engine.
+    pub fn db(&self) -> &Arc<CrowdDB> {
+        &self.engine
+    }
+
+    /// Final checkpoint, first caller only; later callers get `Ok` and
+    /// do nothing. After this the engine still answers reads (the page
+    /// cache is intact) but the server should no longer route statements
+    /// to it.
+    pub fn close(&self) -> crowddb_common::Result<()> {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        self.engine.checkpoint()
+    }
+
+    /// Whether the final checkpoint has run.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+}
+
+/// One registered session, addressable by out-of-band `Cancel` frames.
+pub(crate) struct SessionEntry {
+    pub(crate) cancel_key: u64,
+    pub(crate) cancel: CancelToken,
+}
+
+/// State shared between the accept loop and every session thread.
+pub(crate) struct Shared {
+    pub(crate) engine: EngineGuard,
+    pub(crate) tenants: TenantRegistry,
+    pub(crate) admission: AdmissionController,
+    pub(crate) admission_timeout_secs: Option<f64>,
+    pub(crate) platform: PlatformFactory,
+    pub(crate) server_name: String,
+    pub(crate) sessions: Mutex<HashMap<u64, SessionEntry>>,
+    pub(crate) next_session: AtomicU64,
+    pub(crate) key_nonce: u64,
+    pub(crate) shutting_down: AtomicBool,
+    /// Live connection streams, for read-side shutdown during drain.
+    pub(crate) conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Shared {
+    /// Process-random nonce for cancel keys (hash-map seeding is the
+    /// only entropy source this build has; a cancel key only needs to be
+    /// unguessable by a peer that never saw the `HelloOk`).
+    fn key_nonce() -> u64 {
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        h.write_u64(0xC0FF_EE00);
+        h.finish()
+    }
+
+    /// Derive a cancel key for `session` (splitmix64 over the nonce).
+    pub(crate) fn cancel_key(&self, session: u64) -> u64 {
+        let mut z = self
+            .key_nonce
+            .wrapping_add(session.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A running CrowdDB server.
+///
+/// Dropping the server drains it (best effort); call [`Server::shutdown`]
+/// to drain explicitly and observe the final checkpoint's result.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    session_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    down: AtomicBool,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop, and start serving `engine`.
+    pub fn start(config: ServerConfig, engine: CrowdDB) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            engine: EngineGuard::new(engine),
+            tenants: TenantRegistry::new(config.tenants),
+            admission: AdmissionController::new(&config.admission),
+            admission_timeout_secs: config.admission_timeout_secs,
+            platform: config.platform,
+            server_name: config.server_name,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            key_nonce: Shared::key_nonce(),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+        });
+        let session_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_threads = Arc::clone(&session_threads);
+        let max_conns = config.max_connections;
+        let accept_thread = thread::Builder::new()
+            .name("cdbp-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_threads, max_conns))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            session_threads,
+            down: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine (tests reconcile accounting through it).
+    pub fn db(&self) -> &Arc<CrowdDB> {
+        self.shared.engine.db()
+    }
+
+    /// A tenant's live accounting state.
+    pub fn tenant(&self, name: &str) -> Option<Arc<crate::tenant::TenantState>> {
+        self.shared.tenants.get(name).cloned()
+    }
+
+    /// Drain and stop: stop accepting, shut down each connection's read
+    /// side (in-flight statements finish and their responses are
+    /// delivered), join every session thread, then checkpoint the engine
+    /// exactly once. Idempotent.
+    pub fn shutdown(&self) -> crowddb_common::Result<()> {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake idle sessions parked in read_frame; busy sessions notice
+        // at their next read, after responding to the current statement.
+        for stream in self.shared.conns.lock().expect("conns lock").values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        let threads = std::mem::take(&mut *self.session_threads.lock().expect("threads lock"));
+        for t in threads {
+            let _ = t.join();
+        }
+        self.shared.engine.close()
+    }
+
+    /// Join the accept loop after [`Server::shutdown`] (test hygiene).
+    pub fn join(mut self) -> crowddb_common::Result<()> {
+        self.shutdown()?;
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_conns: usize,
+) {
+    let mut next_conn: u64 = 0;
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_id = next_conn;
+                next_conn += 1;
+                {
+                    let mut conns = shared.conns.lock().expect("conns lock");
+                    if conns.len() >= max_conns {
+                        // Hard cap: refuse before spawning a thread. The
+                        // refusal is a well-formed Error frame so clients
+                        // can distinguish it from a network failure.
+                        drop(conns);
+                        session::refuse_overloaded(stream);
+                        continue;
+                    }
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.insert(conn_id, clone);
+                    }
+                }
+                let conn_shared = Arc::clone(&shared);
+                let handle = thread::Builder::new()
+                    .name(format!("cdbp-conn-{conn_id}"))
+                    .spawn(move || {
+                        session::run_connection(&conn_shared, stream, conn_id);
+                        conn_shared
+                            .conns
+                            .lock()
+                            .expect("conns lock")
+                            .remove(&conn_id);
+                    })
+                    .expect("spawn session thread");
+                threads.lock().expect("threads lock").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept errors (per-connection resets) are
+                // not fatal to the listener.
+                thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Per-connection protocol state machine.
+//!
+//! A connection is either a *session* (magic, `Hello`, then a
+//! `Query`/`Metrics` loop until `Close` or EOF) or a *cancel channel*
+//! (magic, one `Cancel` frame, one response — the Postgres model: the
+//! session connection is busy executing the statement being cancelled,
+//! so cancellation must arrive on a fresh connection, authenticated by
+//! the secret key from the session's `HelloOk`).
+//!
+//! Error containment follows the protocol's poisoning classification:
+//! a payload-level problem (unknown opcode, trailing bytes, malformed
+//! field) earns an `Error` response and the loop continues; a
+//! framing-level problem (CRC mismatch, truncation) means the byte
+//! stream can no longer be trusted, so the connection gets a final
+//! `Error` frame and is closed — the server itself always keeps
+//! accepting. No peer input can panic a session thread: every decode
+//! path returns typed errors, and statement execution inherits the
+//! engine's panic isolation.
+
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crowddb_common::CrowdError;
+use crowddb_core::{CancelToken, QueryResult};
+use crowddb_obs::Event;
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, ProtocolError, Request, Response,
+    WireResult, MAGIC,
+};
+use crate::server::{SessionEntry, Shared};
+use crate::tenant::tenant_metric;
+
+/// Convert an engine result into its wire form.
+pub fn wire_result(r: &QueryResult) -> WireResult {
+    WireResult {
+        columns: r.columns.clone(),
+        rows: r.rows.clone(),
+        affected: r.affected as u64,
+        complete: r.complete,
+        warnings: r.warnings.clone(),
+        rounds: r.crowd.rounds as u64,
+        tasks_posted: r.crowd.tasks_posted,
+        answers_collected: r.crowd.answers_collected,
+        cents_spent: r.crowd.cents_spent,
+        virtual_secs: r.crowd.virtual_secs,
+        retries: r.crowd.retries,
+        reposts: r.crowd.reposts,
+        duplicates_dropped: r.crowd.duplicates_dropped,
+        post_failures: r.crowd.post_failures,
+        extend_failures: r.crowd.extend_failures,
+        gave_up: r.crowd.gave_up,
+        degraded: r.crowd.degraded,
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> bool {
+    write_frame(stream, &encode_response(resp)).is_ok()
+}
+
+fn send_error(stream: &mut TcpStream, category: &str, message: impl Into<String>) -> bool {
+    send(
+        stream,
+        &Response::Error {
+            category: category.into(),
+            message: message.into(),
+        },
+    )
+}
+
+fn engine_error(e: &CrowdError) -> Response {
+    Response::Error {
+        category: e.category().into(),
+        message: e.message().into(),
+    }
+}
+
+/// Refuse a connection that exceeds the server-wide cap: a well-formed
+/// `overloaded` Error frame (readable whether or not the client sent its
+/// magic yet), then close.
+pub(crate) fn refuse_overloaded(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    send_error(&mut stream, "overloaded", "server connection limit reached");
+}
+
+fn read_magic(stream: &mut TcpStream) -> Result<(), ProtocolError> {
+    use std::io::Read;
+    let mut magic = [0u8; 8];
+    stream
+        .read_exact(&mut magic)
+        .map_err(|e| ProtocolError::Io(e.to_string()))?;
+    if &magic != MAGIC {
+        return Err(ProtocolError::BadMagic);
+    }
+    Ok(())
+}
+
+/// Run one accepted connection to completion.
+pub(crate) fn run_connection(shared: &Arc<Shared>, mut stream: TcpStream, _conn_id: u64) {
+    if read_magic(&mut stream).is_err() {
+        send_error(&mut stream, "protocol", ProtocolError::BadMagic.to_string());
+        return;
+    }
+    // First frame decides the connection kind: Hello opens a session,
+    // Cancel makes this a one-shot cancel channel.
+    let first = match read_frame(&mut stream).and_then(|p| decode_request(&p)) {
+        Ok(req) => req,
+        Err(e) => {
+            send_error(&mut stream, "protocol", e.to_string());
+            return;
+        }
+    };
+    match first {
+        Request::Cancel { session, key } => handle_cancel(shared, &mut stream, session, key),
+        Request::Hello {
+            tenant,
+            token,
+            seed,
+        } => run_session(shared, stream, &tenant, &token, seed),
+        _ => {
+            send_error(
+                &mut stream,
+                "protocol",
+                "first frame must be Hello or Cancel",
+            );
+        }
+    }
+}
+
+fn handle_cancel(shared: &Arc<Shared>, stream: &mut TcpStream, session: u64, key: u64) {
+    let delivered = {
+        let sessions = shared.sessions.lock().expect("sessions lock");
+        match sessions.get(&session) {
+            Some(entry) if entry.cancel_key == key => {
+                entry.cancel.cancel();
+                true
+            }
+            _ => false,
+        }
+    };
+    if delivered {
+        send(stream, &Response::CancelOk);
+    } else {
+        // One message for both failure modes: a guesser learns nothing
+        // about which session ids exist.
+        send_error(stream, "auth", "no such session or bad cancel key");
+    }
+}
+
+fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, tenant: &str, token: &str, seed: u64) {
+    let obs = Arc::clone(shared.engine.db().obs());
+    let slot = match shared.tenants.connect(tenant, token) {
+        Ok(slot) => slot,
+        Err(e) => {
+            if e.category() == "overloaded" {
+                obs.registry()
+                    .counter_inc(&tenant_metric("crowddb_server_overloaded_total", tenant));
+            }
+            send_error(&mut stream, e.category(), e.message());
+            return;
+        }
+    };
+
+    let session_id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+    let cancel_key = shared.cancel_key(session_id);
+    let cancel = CancelToken::new();
+    shared.sessions.lock().expect("sessions lock").insert(
+        session_id,
+        SessionEntry {
+            cancel_key,
+            cancel: cancel.clone(),
+        },
+    );
+    obs.registry()
+        .counter_inc("crowddb_server_connections_total");
+    obs.events().emit(Event::ConnectionOpened {
+        tenant: tenant.to_string(),
+        session: session_id,
+    });
+
+    let mut platform = (shared.platform)(seed);
+    let mut requests: u64 = 0;
+
+    if send(
+        &mut stream,
+        &Response::HelloOk {
+            session: session_id,
+            cancel_key,
+            server: shared.server_name.clone(),
+        },
+    ) {
+        loop {
+            let req = match read_frame(&mut stream).and_then(|p| decode_request(&p)) {
+                Ok(req) => req,
+                Err(ProtocolError::Closed) => break,
+                Err(e) if e.poisons_stream() => {
+                    // Framing is gone; say why and hang up. The accept
+                    // loop is unaffected.
+                    obs.registry()
+                        .counter_inc("crowddb_server_protocol_errors_total");
+                    send_error(&mut stream, "protocol", e.to_string());
+                    break;
+                }
+                Err(e) => {
+                    // Payload-level problem: scoped to this frame, the
+                    // session survives.
+                    obs.registry()
+                        .counter_inc("crowddb_server_protocol_errors_total");
+                    if !send_error(&mut stream, "protocol", e.to_string()) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            // A drain that began while we were executing: finish the
+            // loop after responding (read side already shut down, the
+            // next read_frame yields Closed).
+            let resp = match req {
+                Request::Close => {
+                    send(&mut stream, &Response::CloseOk);
+                    break;
+                }
+                Request::Metrics => Response::MetricsText {
+                    text: shared.engine.db().metrics().to_prometheus(),
+                },
+                Request::Hello { .. } => Response::Error {
+                    category: "protocol".into(),
+                    message: "session already authenticated".into(),
+                },
+                Request::Cancel { .. } => Response::Error {
+                    category: "protocol".into(),
+                    message: "Cancel must be the first frame of a fresh connection".into(),
+                },
+                Request::Query { sql } => {
+                    requests += 1;
+                    execute_query(
+                        shared,
+                        &obs,
+                        slot.tenant(),
+                        &sql,
+                        platform.as_mut(),
+                        &cancel,
+                    )
+                }
+            };
+            if !send(&mut stream, &resp) {
+                break;
+            }
+        }
+    }
+
+    shared
+        .sessions
+        .lock()
+        .expect("sessions lock")
+        .remove(&session_id);
+    obs.events().emit(Event::ConnectionClosed {
+        tenant: tenant.to_string(),
+        session: session_id,
+        requests,
+    });
+}
+
+fn execute_query(
+    shared: &Arc<Shared>,
+    obs: &Arc<crowddb_obs::Obs>,
+    tenant: &Arc<crate::tenant::TenantState>,
+    sql: &str,
+    platform: &mut dyn crowddb_platform::Platform,
+    cancel: &CancelToken,
+) -> Response {
+    let name = tenant.config.name.clone();
+    obs.registry()
+        .counter_inc(&tenant_metric("crowddb_server_requests_total", &name));
+
+    // Catalog-aware tier classification: a SELECT over purely machine
+    // tables is admitted on the local tier, so a crowd flood at the
+    // crowd cap can never starve local reads.
+    let crowd = shared.engine.db().statement_may_touch_crowd(sql);
+    if crowd && tenant.exhausted() {
+        // The governor would degrade gracefully to an empty partial
+        // result; at the tenancy boundary an exhausted quota is a hard,
+        // typed refusal so the client knows money is the reason.
+        return Response::Error {
+            category: "budget".into(),
+            message: format!("tenant '{name}' crowd quota exhausted"),
+        };
+    }
+
+    // Server-wide admission: the wait is real time (this is a live
+    // server, not a simulation), bounded by the configured timeout.
+    let timeout = shared.admission_timeout_secs;
+    let mut advance = |t: f64| std::thread::sleep(Duration::from_secs_f64(t.clamp(0.0, 30.0)));
+    let permit = match shared.admission.acquire(crowd, timeout, &mut advance) {
+        Ok(p) => p,
+        Err(e) => {
+            obs.registry()
+                .counter_inc(&tenant_metric("crowddb_server_overloaded_total", &name));
+            obs.events().emit(Event::ServerOverloaded {
+                tenant: name.clone(),
+                crowd,
+            });
+            return engine_error(&e);
+        }
+    };
+
+    let policy = tenant.statement_policy();
+    let outcome = shared
+        .engine
+        .db()
+        .execute_with_session(sql, platform, &policy, cancel);
+    drop(permit);
+
+    match outcome {
+        Ok(result) => {
+            if result.crowd.cents_spent > 0 {
+                tenant.charge(result.crowd.cents_spent);
+                obs.registry().counter_add(
+                    &tenant_metric("crowddb_crowd_cents_spent_total", &name),
+                    result.crowd.cents_spent,
+                );
+            }
+            Response::RowSet(wire_result(&result))
+        }
+        Err(e) => engine_error(&e),
+    }
+}

@@ -1,0 +1,323 @@
+//! Multi-tenant accounting: authentication, connection caps, crowd-cent
+//! quotas, and per-tenant metric names.
+//!
+//! The server shares one [`CrowdDB`](crowddb_core::CrowdDB) engine across
+//! every connection, so tenancy is enforced at the session boundary: a
+//! `Hello` frame names a tenant and presents its token; the tenant then
+//! supplies the session's [`GovernorPolicy`] and a crowd-cent *quota* —
+//! a durable budget across all of the tenant's sessions, unlike the
+//! per-statement budget the governor already enforces. The quota maps
+//! onto the existing budget machinery: each statement's
+//! `max_crowd_cents` is clamped to the tenant's remaining quota, so an
+//! exhausted tenant degrades gracefully (partial results, then typed
+//! `budget` errors on new crowd statements) without touching other
+//! tenants.
+//!
+//! The metrics registry has no label support, so per-tenant series use
+//! the Prometheus label syntax *inside the metric name* (for example
+//! `crowddb_server_requests_total{tenant="acme"}`) — the exposition
+//! output is then already well-formed labeled Prometheus text.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crowddb_core::GovernorPolicy;
+
+/// Static configuration for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Tenant name presented in `Hello`.
+    pub name: String,
+    /// Shared-secret token; empty string means the tenant is open.
+    pub token: String,
+    /// Crowd-cent quota across all of the tenant's sessions; `None` is
+    /// unmetered.
+    pub quota_cents: Option<u64>,
+    /// Maximum concurrent connections for this tenant; `None` defers to
+    /// the server-wide cap alone.
+    pub max_connections: Option<usize>,
+    /// Statement policy applied to every statement the tenant runs.
+    pub policy: GovernorPolicy,
+}
+
+impl TenantConfig {
+    /// An open, unmetered, ungoverned tenant — the default for local
+    /// development.
+    pub fn open(name: impl Into<String>) -> TenantConfig {
+        TenantConfig {
+            name: name.into(),
+            token: String::new(),
+            quota_cents: None,
+            max_connections: None,
+            policy: GovernorPolicy::default(),
+        }
+    }
+}
+
+/// Live accounting for one tenant.
+#[derive(Debug)]
+pub struct TenantState {
+    /// The tenant's static configuration.
+    pub config: TenantConfig,
+    spent_cents: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// Why a `Hello` was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// No tenant with the presented name.
+    UnknownTenant(String),
+    /// The token did not match.
+    BadToken(String),
+    /// The tenant is at its connection cap.
+    TooManyConnections(String),
+}
+
+impl AuthError {
+    /// The wire error category for this refusal. Connection-cap
+    /// refusals are `overloaded` (retryable); credential failures are
+    /// `auth` (not).
+    pub fn category(&self) -> &'static str {
+        match self {
+            AuthError::UnknownTenant(_) | AuthError::BadToken(_) => "auth",
+            AuthError::TooManyConnections(_) => "overloaded",
+        }
+    }
+
+    /// Human-readable refusal message.
+    pub fn message(&self) -> String {
+        match self {
+            AuthError::UnknownTenant(t) => format!("unknown tenant '{t}'"),
+            AuthError::BadToken(t) => format!("bad token for tenant '{t}'"),
+            AuthError::TooManyConnections(t) => {
+                format!("tenant '{t}' is at its connection limit")
+            }
+        }
+    }
+}
+
+impl TenantState {
+    /// Crowd cents this tenant has spent across all sessions.
+    pub fn spent_cents(&self) -> u64 {
+        self.spent_cents.load(Ordering::Relaxed)
+    }
+
+    /// Crowd cents left in the quota; `None` when unmetered.
+    pub fn remaining_cents(&self) -> Option<u64> {
+        self.config
+            .quota_cents
+            .map(|q| q.saturating_sub(self.spent_cents()))
+    }
+
+    /// Charge crowd spend against the quota. Saturating: over-spend in a
+    /// final statement (the governor's budget check is a pre-check, the
+    /// crowd may answer slightly past it) is recorded, and
+    /// `remaining_cents` floors at zero.
+    pub fn charge(&self, cents: u64) {
+        self.spent_cents.fetch_add(cents, Ordering::Relaxed);
+    }
+
+    /// Open connections for this tenant right now.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// The statement policy for one statement of this tenant: the
+    /// configured policy with `max_crowd_cents` clamped to the remaining
+    /// quota. A fully exhausted quota clamps to zero, which the engine's
+    /// budget path turns into a typed `budget` error for crowd
+    /// statements.
+    pub fn statement_policy(&self) -> GovernorPolicy {
+        let mut policy = self.config.policy.clone();
+        if let Some(remaining) = self.remaining_cents() {
+            policy.max_crowd_cents = Some(match policy.max_crowd_cents {
+                Some(per_stmt) => per_stmt.min(remaining),
+                None => remaining,
+            });
+        }
+        policy
+    }
+
+    /// Whether the quota is exhausted (metered and nothing left).
+    pub fn exhausted(&self) -> bool {
+        self.remaining_cents() == Some(0)
+    }
+}
+
+/// All tenants known to one server.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: HashMap<String, Arc<TenantState>>,
+}
+
+impl TenantRegistry {
+    /// A registry over `configs`.
+    pub fn new(configs: Vec<TenantConfig>) -> TenantRegistry {
+        let tenants = configs
+            .into_iter()
+            .map(|config| {
+                (
+                    config.name.clone(),
+                    Arc::new(TenantState {
+                        config,
+                        spent_cents: AtomicU64::new(0),
+                        connections: AtomicU64::new(0),
+                    }),
+                )
+            })
+            .collect();
+        TenantRegistry { tenants }
+    }
+
+    /// Authenticate `Hello{tenant, token}` and take a connection slot.
+    /// The returned guard releases the slot on drop.
+    pub fn connect(&self, tenant: &str, token: &str) -> Result<ConnectionSlot, AuthError> {
+        let state = self
+            .tenants
+            .get(tenant)
+            .ok_or_else(|| AuthError::UnknownTenant(tenant.to_string()))?;
+        if state.config.token != token {
+            return Err(AuthError::BadToken(tenant.to_string()));
+        }
+        // Optimistic increment with rollback keeps the cap exact under
+        // concurrent Hellos without a lock.
+        let now = state.connections.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(max) = state.config.max_connections {
+            if now as usize > max {
+                state.connections.fetch_sub(1, Ordering::SeqCst);
+                return Err(AuthError::TooManyConnections(tenant.to_string()));
+            }
+        }
+        Ok(ConnectionSlot {
+            state: Arc::clone(state),
+        })
+    }
+
+    /// Look up a tenant without taking a connection slot.
+    pub fn get(&self, tenant: &str) -> Option<&Arc<TenantState>> {
+        self.tenants.get(tenant)
+    }
+
+    /// All tenant states, for reconciliation and shutdown reporting.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<TenantState>> {
+        self.tenants.values()
+    }
+}
+
+/// RAII connection slot: holding one keeps the tenant's connection count
+/// up; dropping it (normal close, protocol error, or session panic)
+/// releases it.
+#[derive(Debug)]
+pub struct ConnectionSlot {
+    state: Arc<TenantState>,
+}
+
+impl ConnectionSlot {
+    /// The tenant this slot belongs to.
+    pub fn tenant(&self) -> &Arc<TenantState> {
+        &self.state
+    }
+}
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.state.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A per-tenant metric name in Prometheus label syntax, e.g.
+/// `crowddb_server_requests_total{tenant="acme"}`. The registry treats
+/// it as an opaque name; the exposition output is well-formed labeled
+/// Prometheus text.
+pub fn tenant_metric(base: &str, tenant: &str) -> String {
+    format!("{base}{{tenant=\"{tenant}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> TenantRegistry {
+        TenantRegistry::new(vec![
+            TenantConfig {
+                name: "acme".into(),
+                token: "s3cret".into(),
+                quota_cents: Some(10),
+                max_connections: Some(2),
+                policy: GovernorPolicy::default(),
+            },
+            TenantConfig::open("public"),
+        ])
+    }
+
+    #[test]
+    fn auth_checks_name_and_token() {
+        let reg = registry();
+        assert_eq!(
+            reg.connect("nobody", "").unwrap_err(),
+            AuthError::UnknownTenant("nobody".into())
+        );
+        assert_eq!(
+            reg.connect("acme", "wrong").unwrap_err(),
+            AuthError::BadToken("acme".into())
+        );
+        assert!(reg.connect("acme", "s3cret").is_ok());
+        assert!(reg.connect("public", "").is_ok());
+    }
+
+    #[test]
+    fn connection_cap_is_exact_and_released_on_drop() {
+        let reg = registry();
+        let a = reg.connect("acme", "s3cret").unwrap();
+        let _b = reg.connect("acme", "s3cret").unwrap();
+        let err = reg.connect("acme", "s3cret").unwrap_err();
+        assert_eq!(err.category(), "overloaded");
+        drop(a);
+        assert!(reg.connect("acme", "s3cret").is_ok());
+    }
+
+    #[test]
+    fn quota_clamps_statement_budget() {
+        let reg = registry();
+        let tenant = reg.get("acme").unwrap();
+        assert_eq!(tenant.statement_policy().max_crowd_cents, Some(10));
+        tenant.charge(7);
+        assert_eq!(tenant.statement_policy().max_crowd_cents, Some(3));
+        tenant.charge(5); // crowd answered past the pre-check
+        assert_eq!(tenant.remaining_cents(), Some(0));
+        assert!(tenant.exhausted());
+        assert_eq!(tenant.statement_policy().max_crowd_cents, Some(0));
+    }
+
+    #[test]
+    fn per_statement_budget_still_wins_when_tighter() {
+        let mut config = TenantConfig::open("t");
+        config.quota_cents = Some(100);
+        config.policy.max_crowd_cents = Some(5);
+        let reg = TenantRegistry::new(vec![config]);
+        assert_eq!(
+            reg.get("t").unwrap().statement_policy().max_crowd_cents,
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn unmetered_tenant_stays_unmetered() {
+        let reg = registry();
+        let tenant = reg.get("public").unwrap();
+        tenant.charge(1_000_000);
+        assert_eq!(tenant.remaining_cents(), None);
+        assert!(!tenant.exhausted());
+        assert_eq!(tenant.statement_policy().max_crowd_cents, None);
+    }
+
+    #[test]
+    fn tenant_metric_uses_label_syntax() {
+        assert_eq!(
+            tenant_metric("crowddb_server_requests_total", "acme"),
+            "crowddb_server_requests_total{tenant=\"acme\"}"
+        );
+    }
+}

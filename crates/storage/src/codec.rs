@@ -99,7 +99,9 @@ pub fn decode_row(buf: &mut Bytes) -> Result<Row> {
         return Err(CrowdError::Internal("codec: truncated row arity".into()));
     }
     let arity = buf.get_u32_le() as usize;
-    let mut values = Vec::with_capacity(arity);
+    // Cap the pre-allocation: a corrupted arity must fail in decode, not
+    // in the allocator.
+    let mut values = Vec::with_capacity(arity.min(1 << 16));
     for _ in 0..arity {
         values.push(decode_value(buf)?);
     }

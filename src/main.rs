@@ -11,12 +11,19 @@
 //!
 //! Meta commands: `\help`, `\tables`, `\schema <t>`, `\explain <sql>`,
 //! `\preview <sql>`, `\platform <amt|mobile> [seed]`, `\wrm`, `\stats`,
-//! `\metrics`, `\events [n]`, `\cancel`, `\quit`.
+//! `\metrics`, `\events [n]`, `\cancel`, `\connect`, `\disconnect`,
+//! `\quit`.
+//!
+//! `\connect HOST:PORT` switches the shell from the embedded engine to
+//! a remote `crowddb-serve` instance over CDBP; statements then execute
+//! on the server (with its tenant quotas and admission control) until
+//! `\disconnect`.
 
 use std::io::{self, BufRead, Write};
 
 use crowddb::{CrowdDB, Platform, SimPlatform};
 use crowddb_platform::PerfectModel;
+use crowddb_server::{Client as RemoteClient, ClientError, WireResult};
 
 fn make_platform(kind: &str, seed: u64) -> Result<Box<dyn Platform>, String> {
     match kind {
@@ -47,13 +54,98 @@ fn print_help() {
          \\metrics              engine metrics (Prometheus text format)\n\
          \\events [n]           last n structured events as JSON lines (default 20)\n\
          \\cancel               stop the next statement at its first governor checkpoint\n\
+         \\connect <addr> [tenant [token [seed]]]  statements go to a crowddb-serve over CDBP\n\
+         \\disconnect           return to the embedded in-process engine\n\
          \\quit                 exit\n\
          The simulated crowd answers with deterministic placeholder values\n\
          (PerfectModel); run the examples for realistic world models."
     );
 }
 
-fn run_meta(db: &CrowdDB, platform: &mut Box<dyn Platform>, line: &str) -> bool {
+/// Render a remote result the same way the embedded path does.
+fn print_remote_result(r: &WireResult) {
+    if r.columns.is_empty() && r.rows.is_empty() {
+        println!("OK ({} row(s) affected)", r.affected);
+    } else {
+        let mut widths: Vec<usize> = r.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = r
+            .rows
+            .iter()
+            .map(|row| row.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let header: Vec<String> = r
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect();
+        println!("{}", header.join("  "));
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &rendered {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            println!("{}", cells.join("  "));
+        }
+    }
+    if r.tasks_posted > 0 {
+        println!(
+            "crowd: {} task(s), {} answer(s), {}¢, {:.1} virtual min, {} round(s){}",
+            r.tasks_posted,
+            r.answers_collected,
+            r.cents_spent,
+            r.virtual_secs / 60.0,
+            r.rounds,
+            if r.complete { "" } else { " [partial]" },
+        );
+    }
+    for w in &r.warnings {
+        println!("note: {w}");
+    }
+}
+
+/// Run one statement on the remote session. Returns `false` when the
+/// connection itself is gone and the shell should fall back to the
+/// embedded engine.
+fn run_remote(remote: &mut RemoteClient, sql: &str) -> bool {
+    match remote.query(sql) {
+        Ok(r) => {
+            print_remote_result(&r);
+            true
+        }
+        Err(ClientError::Protocol(e)) => {
+            println!("connection lost ({e}) — back on the embedded engine");
+            false
+        }
+        Err(e) => {
+            println!("error: {e}");
+            true
+        }
+    }
+}
+
+fn run_meta(
+    db: &CrowdDB,
+    platform: &mut Box<dyn Platform>,
+    remote: &mut Option<RemoteClient>,
+    line: &str,
+) -> bool {
     let mut parts = line.splitn(2, ' ');
     let cmd = parts.next().unwrap_or("");
     let arg = parts.next().unwrap_or("").trim();
@@ -119,13 +211,57 @@ fn run_meta(db: &CrowdDB, platform: &mut Box<dyn Platform>, line: &str) -> bool 
             }
         }),
         "\\metrics" => {
-            let text = db.metrics().to_prometheus();
+            let text = match remote.as_mut() {
+                Some(client) => match client.metrics() {
+                    Ok(text) => text,
+                    Err(e) => {
+                        println!("error: {e}");
+                        return true;
+                    }
+                },
+                None => db.metrics().to_prometheus(),
+            };
             if text.is_empty() {
                 println!("(no metrics yet — run a statement first)");
             } else {
                 print!("{text}");
             }
         }
+        "\\connect" => {
+            let mut words = arg.split_whitespace();
+            let Some(addr) = words.next() else {
+                println!("usage: \\connect HOST:PORT [tenant [token [seed]]]");
+                return true;
+            };
+            let tenant = words.next().unwrap_or("public");
+            let token = words.next().unwrap_or("");
+            let seed = words.next().and_then(|s| s.parse().ok()).unwrap_or(42u64);
+            match RemoteClient::connect(addr, tenant, token, seed) {
+                Ok(client) => {
+                    println!(
+                        "connected to {} ({}) as '{}', session {} — \\disconnect to return",
+                        addr,
+                        client.server(),
+                        tenant,
+                        client.session()
+                    );
+                    if let Some(old) = remote.replace(client) {
+                        let _ = old.close();
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        "\\disconnect" => match remote.take() {
+            Some(client) => {
+                let session = client.session();
+                match client.close() {
+                    Ok(()) => println!("session {session} closed — back on the embedded engine"),
+                    Err(e) => println!("session {session} dropped ({e})"),
+                }
+            }
+            None => println!("(not connected — statements already run in-process)"),
+        },
         "\\events" => {
             let n = arg.parse().unwrap_or(20usize);
             let records = db.obs().events().records();
@@ -141,12 +277,26 @@ fn run_meta(db: &CrowdDB, platform: &mut Box<dyn Platform>, line: &str) -> bool 
             // The shell is single-threaded, so the token is armed before
             // the statement runs; the governor trips it at the first
             // checkpoint and clears it. (A concurrent embedder would call
-            // `cancel_handle()` from another thread mid-statement.)
-            db.cancel_handle().cancel();
-            println!(
-                "cancel requested: the next statement stops at its first \
-                 governor checkpoint (answers already collected are kept)"
-            );
+            // `cancel_handle()` from another thread mid-statement.) In
+            // remote mode the same request travels out-of-band on a
+            // fresh connection, authenticated by the session's cancel key.
+            match remote.as_ref() {
+                Some(client) => match client.cancel_handle().cancel() {
+                    Ok(()) => println!(
+                        "cancel delivered to session {}: the next statement stops \
+                         at its first governor checkpoint",
+                        client.session()
+                    ),
+                    Err(e) => println!("error: {e}"),
+                },
+                None => {
+                    db.cancel_handle().cancel();
+                    println!(
+                        "cancel requested: the next statement stops at its first \
+                         governor checkpoint (answers already collected are kept)"
+                    );
+                }
+            }
         }
         "\\stats" => {
             let s = platform.stats();
@@ -183,13 +333,16 @@ fn main() {
     );
     let db = CrowdDB::new();
     let mut platform: Box<dyn Platform> = Box::new(SimPlatform::amt(42, Box::new(PerfectModel)));
+    let mut remote: Option<RemoteClient> = None;
     let stdin = io::stdin();
     let mut buffer = String::new();
     loop {
-        if buffer.is_empty() {
-            print!("crowddb> ");
-        } else {
+        if !buffer.is_empty() {
             print!("    ...> ");
+        } else if remote.is_some() {
+            print!("crowddb@remote> ");
+        } else {
+            print!("crowddb> ");
         }
         io::stdout().flush().ok();
         let mut line = String::new();
@@ -203,7 +356,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            if !run_meta(&db, &mut platform, trimmed) {
+            if !run_meta(&db, &mut platform, &mut remote, trimmed) {
                 break;
             }
             continue;
@@ -216,6 +369,12 @@ fn main() {
             continue;
         }
         let sql = std::mem::take(&mut buffer);
+        if let Some(client) = remote.as_mut() {
+            if !run_remote(client, sql.trim().trim_end_matches(';')) {
+                remote = None;
+            }
+            continue;
+        }
         match db.execute(sql.trim().trim_end_matches(';'), platform.as_mut()) {
             Ok(r) => {
                 println!("{}", r.to_table());
@@ -235,6 +394,9 @@ fn main() {
             }
             Err(e) => println!("error: {e}"),
         }
+    }
+    if let Some(client) = remote.take() {
+        let _ = client.close();
     }
     println!("bye");
 }
