@@ -232,6 +232,12 @@ impl Client {
         }
     }
 
+    /// This session's secret cancel key (key-independence tests only).
+    #[doc(hidden)]
+    pub fn raw_cancel_key(&self) -> u64 {
+        self.cancel_key
+    }
+
     /// Send a raw pre-framed byte sequence (corruption tests only).
     #[doc(hidden)]
     pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {

@@ -39,4 +39,4 @@ pub mod tenant;
 pub use client::{CancelHandle, Client, ClientError};
 pub use protocol::{ProtocolError, Request, Response, WireResult};
 pub use server::{EngineGuard, PlatformFactory, Server, ServerConfig};
-pub use tenant::{AuthError, TenantConfig, TenantRegistry, TenantState};
+pub use tenant::{AuthError, QuotaHold, TenantConfig, TenantRegistry, TenantState};

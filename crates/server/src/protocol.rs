@@ -68,6 +68,10 @@ pub enum ProtocolError {
     BadMagic,
     /// A frame header declared a payload outside `1..=MAX_FRAME`.
     FrameTooLarge(u32),
+    /// An outgoing payload was outside `1..=MAX_FRAME` and was never
+    /// written, so the stream is still framed — the caller can report a
+    /// typed error to the peer instead of hanging up.
+    OversizedPayload(usize),
     /// The stream or buffer ended inside a frame or field.
     Truncated(&'static str),
     /// The payload did not match its header CRC.
@@ -89,6 +93,9 @@ impl fmt::Display for ProtocolError {
         match self {
             ProtocolError::BadMagic => write!(f, "bad connection magic (not CDBP0001)"),
             ProtocolError::FrameTooLarge(n) => write!(f, "frame length {n} outside bounds"),
+            ProtocolError::OversizedPayload(n) => {
+                write!(f, "payload of {n} bytes cannot be framed (max {MAX_FRAME})")
+            }
             ProtocolError::Truncated(what) => write!(f, "truncated {what}"),
             ProtocolError::CrcMismatch => write!(f, "frame payload failed its CRC check"),
             ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
@@ -231,8 +238,16 @@ pub enum Response {
 // ---------------------------------------------------------------- frame
 
 /// Frame `payload` with length + CRC and write it.
+///
+/// A payload outside `1..=MAX_FRAME` (e.g. a row set past the frame
+/// limit) fails *before* any byte hits the wire, with the non-poisoning
+/// [`ProtocolError::OversizedPayload`] — the peer would reject such a
+/// frame as `FrameTooLarge` and abandon the stream, so it must never be
+/// sent.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolError> {
-    debug_assert!(!payload.is_empty() && payload.len() <= MAX_FRAME as usize);
+    if payload.is_empty() || payload.len() > MAX_FRAME as usize {
+        return Err(ProtocolError::OversizedPayload(payload.len()));
+    }
     let mut frame = Vec::with_capacity(8 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -734,5 +749,30 @@ mod tests {
         assert!(ProtocolError::Truncated("x").poisons_stream());
         assert!(!ProtocolError::UnknownOpcode(0).poisons_stream());
         assert!(!ProtocolError::TrailingBytes(1).poisons_stream());
+        assert!(!ProtocolError::OversizedPayload(0).poisons_stream());
+    }
+
+    /// An oversized payload must fail typed *before* framing: nothing is
+    /// written (the stream stays framed) and the error does not poison
+    /// it, so a server can answer with a regular `Error` response
+    /// instead of silently killing the connection.
+    #[test]
+    fn oversized_payload_is_rejected_before_any_byte_is_written() {
+        let mut out = Vec::new();
+        let big = vec![0u8; MAX_FRAME as usize + 1];
+        assert_eq!(
+            write_frame(&mut out, &big),
+            Err(ProtocolError::OversizedPayload(MAX_FRAME as usize + 1))
+        );
+        assert_eq!(
+            write_frame(&mut out, &[]),
+            Err(ProtocolError::OversizedPayload(0))
+        );
+        assert!(out.is_empty(), "no partial frame may reach the wire");
+        // The stream is still usable for a normal-sized frame.
+        write_frame(&mut out, &encode_request(&Request::Close)).unwrap();
+        let mut cursor = std::io::Cursor::new(out);
+        let payload = read_frame(&mut cursor).unwrap();
+        assert_eq!(decode_request(&payload).unwrap(), Request::Close);
     }
 }

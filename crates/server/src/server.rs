@@ -133,32 +133,26 @@ pub(crate) struct Shared {
     pub(crate) server_name: String,
     pub(crate) sessions: Mutex<HashMap<u64, SessionEntry>>,
     pub(crate) next_session: AtomicU64,
-    pub(crate) key_nonce: u64,
     pub(crate) shutting_down: AtomicBool,
     /// Live connection streams, for read-side shutdown during drain.
     pub(crate) conns: Mutex<HashMap<u64, TcpStream>>,
 }
 
-impl Shared {
-    /// Process-random nonce for cancel keys (hash-map seeding is the
-    /// only entropy source this build has; a cancel key only needs to be
-    /// unguessable by a peer that never saw the `HelloOk`).
-    fn key_nonce() -> u64 {
-        use std::hash::{BuildHasher, Hasher};
-        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
-        h.write_u64(0xC0FF_EE00);
-        h.finish()
-    }
-
-    /// Derive a cancel key for `session` (splitmix64 over the nonce).
-    pub(crate) fn cancel_key(&self, session: u64) -> u64 {
-        let mut z = self
-            .key_nonce
-            .wrapping_add(session.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
+/// A fresh cancel key from independent per-session entropy.
+///
+/// Each call builds its own randomly keyed `RandomState` (SipHash,
+/// seeded from OS randomness — and every session runs on its own
+/// connection thread, so every key gets a thread-fresh seed) and hashes
+/// the session id through it. Keys must be *independent*: a client that
+/// sees its own `HelloOk` (session id + key, with ids sequential and
+/// public) must learn nothing about any other session's key, so the key
+/// cannot be any invertible function of shared state — recovering this
+/// one would mean inverting SipHash with unknown keys from one output.
+pub(crate) fn fresh_cancel_key(session: u64) -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(session);
+    h.finish()
 }
 
 /// A running CrowdDB server.
@@ -189,7 +183,6 @@ impl Server {
             server_name: config.server_name,
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
-            key_nonce: Shared::key_nonce(),
             shutting_down: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
         });
@@ -235,15 +228,29 @@ impl Server {
         if self.down.swap(true, Ordering::SeqCst) {
             return Ok(());
         }
-        self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Wake idle sessions parked in read_frame; busy sessions notice
-        // at their next read, after responding to the current statement.
-        for stream in self.shared.conns.lock().expect("conns lock").values() {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
+        {
+            // Flag and sweep under the conns lock: the accept loop
+            // registers each connection and re-checks the flag under the
+            // same lock, so every connection is either swept here or
+            // refused there — none can slip through and run statements
+            // after the final checkpoint below.
+            let conns = self.shared.conns.lock().expect("conns lock");
+            self.shared.shutting_down.store(true, Ordering::SeqCst);
+            // Wake idle sessions parked in read_frame; busy sessions
+            // notice at their next read, after responding to the current
+            // statement.
+            for stream in conns.values() {
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+            }
         }
-        let threads = std::mem::take(&mut *self.session_threads.lock().expect("threads lock"));
-        for t in threads {
-            let _ = t.join();
+        loop {
+            let threads = std::mem::take(&mut *self.session_threads.lock().expect("threads lock"));
+            if threads.is_empty() {
+                break;
+            }
+            for t in threads {
+                let _ = t.join();
+            }
         }
         self.shared.engine.close()
     }
@@ -282,19 +289,26 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 let conn_id = next_conn;
                 next_conn += 1;
-                {
-                    let mut conns = shared.conns.lock().expect("conns lock");
-                    if conns.len() >= max_conns {
-                        // Hard cap: refuse before spawning a thread. The
-                        // refusal is a well-formed Error frame so clients
-                        // can distinguish it from a network failure.
-                        drop(conns);
-                        session::refuse_overloaded(stream);
-                        continue;
-                    }
-                    if let Ok(clone) = stream.try_clone() {
-                        conns.insert(conn_id, clone);
-                    }
+                let mut conns = shared.conns.lock().expect("conns lock");
+                // Re-check under the lock: shutdown() flags and sweeps
+                // inside this same lock, so a connection accepted during
+                // the race is refused here instead of spawning a session
+                // that would outlive the final checkpoint.
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    drop(conns);
+                    session::refuse_shutting_down(stream);
+                    return;
+                }
+                if conns.len() >= max_conns {
+                    // Hard cap: refuse before spawning a thread. The
+                    // refusal is a well-formed Error frame so clients
+                    // can distinguish it from a network failure.
+                    drop(conns);
+                    session::refuse_overloaded(stream);
+                    continue;
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    conns.insert(conn_id, clone);
                 }
                 let conn_shared = Arc::clone(&shared);
                 let handle = thread::Builder::new()
@@ -308,9 +322,16 @@ fn accept_loop(
                             .remove(&conn_id);
                     })
                     .expect("spawn session thread");
+                // Publish the handle before releasing the conns lock:
+                // shutdown() takes the handle list only after its
+                // flag-and-sweep critical section on conns, so every
+                // handle published here is seen by its join loop.
                 threads.lock().expect("threads lock").push(handle);
+                drop(conns);
+                reap_finished(&threads);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                reap_finished(&threads);
                 thread::sleep(Duration::from_millis(2));
             }
             Err(_) => {
@@ -319,5 +340,28 @@ fn accept_loop(
                 thread::sleep(Duration::from_millis(2));
             }
         }
+    }
+}
+
+/// Join session threads that have already exited, so a long-running
+/// server does not accumulate one `JoinHandle` per connection it ever
+/// accepted. Finished threads join without blocking; live ones stay in
+/// the list for the shutdown drain.
+fn reap_finished(threads: &Mutex<Vec<JoinHandle<()>>>) {
+    let done: Vec<JoinHandle<()>> = {
+        let mut v = threads.lock().expect("threads lock");
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < v.len() {
+            if v[i].is_finished() {
+                done.push(v.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        done
+    };
+    for t in done {
+        let _ = t.join();
     }
 }

@@ -28,9 +28,9 @@ use crowddb_obs::Event;
 
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, ProtocolError, Request, Response,
-    WireResult, MAGIC,
+    WireResult, MAGIC, MAX_FRAME,
 };
-use crate::server::{SessionEntry, Shared};
+use crate::server::{fresh_cancel_key, SessionEntry, Shared};
 use crate::tenant::tenant_metric;
 
 /// Convert an engine result into its wire form.
@@ -57,7 +57,19 @@ pub fn wire_result(r: &QueryResult) -> WireResult {
 }
 
 fn send(stream: &mut TcpStream, resp: &Response) -> bool {
-    write_frame(stream, &encode_response(resp)).is_ok()
+    match write_frame(stream, &encode_response(resp)) {
+        Ok(()) => true,
+        // The encoded response (a huge row set) exceeds the frame limit.
+        // Nothing reached the wire, so the stream is still framed: tell
+        // the client *why* with a typed error instead of letting the
+        // peer's read_frame poison the connection.
+        Err(ProtocolError::OversizedPayload(n)) => send_error(
+            stream,
+            "too_large",
+            format!("result of {n} bytes exceeds the {MAX_FRAME}-byte frame limit"),
+        ),
+        Err(_) => false,
+    }
 }
 
 fn send_error(stream: &mut TcpStream, category: &str, message: impl Into<String>) -> bool {
@@ -83,6 +95,13 @@ fn engine_error(e: &CrowdError) -> Response {
 pub(crate) fn refuse_overloaded(mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     send_error(&mut stream, "overloaded", "server connection limit reached");
+}
+
+/// Refuse a connection that raced with the shutdown drain: its session
+/// would otherwise run statements after the engine's final checkpoint.
+pub(crate) fn refuse_shutting_down(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    send_error(&mut stream, "unavailable", "server is shutting down");
 }
 
 fn read_magic(stream: &mut TcpStream) -> Result<(), ProtocolError> {
@@ -164,7 +183,7 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, tenant: &str, token:
     };
 
     let session_id = shared.next_session.fetch_add(1, Ordering::SeqCst);
-    let cancel_key = shared.cancel_key(session_id);
+    let cancel_key = fresh_cancel_key(session_id);
     let cancel = CancelToken::new();
     shared.sessions.lock().expect("sessions lock").insert(
         session_id,
@@ -306,7 +325,11 @@ fn execute_query(
         }
     };
 
-    let policy = tenant.statement_policy();
+    // Reserve the statement's slice of the tenant quota: concurrent
+    // statements split the remainder instead of each snapshotting it,
+    // so collectively they cannot spend past the quota (plus one
+    // statement's overshoot past the engine's budget pre-check).
+    let (policy, hold) = tenant.begin_statement();
     let outcome = shared
         .engine
         .db()
@@ -315,15 +338,18 @@ fn execute_query(
 
     match outcome {
         Ok(result) => {
-            if result.crowd.cents_spent > 0 {
-                tenant.charge(result.crowd.cents_spent);
+            let cents = result.crowd.cents_spent;
+            hold.settle(cents);
+            if cents > 0 {
                 obs.registry().counter_add(
                     &tenant_metric("crowddb_crowd_cents_spent_total", &name),
-                    result.crowd.cents_spent,
+                    cents,
                 );
             }
             Response::RowSet(wire_result(&result))
         }
+        // `hold` drops here: the reservation is released, nothing is
+        // charged (a failed statement reports no summary to charge).
         Err(e) => engine_error(&e),
     }
 }

@@ -7,9 +7,11 @@
 //! supplies the session's [`GovernorPolicy`] and a crowd-cent *quota* —
 //! a durable budget across all of the tenant's sessions, unlike the
 //! per-statement budget the governor already enforces. The quota maps
-//! onto the existing budget machinery: each statement's
-//! `max_crowd_cents` is clamped to the tenant's remaining quota, so an
-//! exhausted tenant degrades gracefully (partial results, then typed
+//! onto the existing budget machinery by *reservation*: each statement
+//! takes a [`QuotaHold`] on a slice of the unreserved quota and runs
+//! with `max_crowd_cents` clamped to that slice, so N concurrent
+//! statements split the remainder instead of each seeing all of it, and
+//! an exhausted tenant degrades gracefully (partial results, then typed
 //! `budget` errors on new crowd statements) without touching other
 //! tenants.
 //!
@@ -61,6 +63,8 @@ pub struct TenantState {
     /// The tenant's static configuration.
     pub config: TenantConfig,
     spent_cents: AtomicU64,
+    /// Cents held by in-flight statements, not yet settled as spend.
+    reserved_cents: AtomicU64,
     connections: AtomicU64,
 }
 
@@ -111,12 +115,13 @@ impl TenantState {
             .map(|q| q.saturating_sub(self.spent_cents()))
     }
 
-    /// Charge crowd spend against the quota. Saturating: over-spend in a
-    /// final statement (the governor's budget check is a pre-check, the
-    /// crowd may answer slightly past it) is recorded, and
-    /// `remaining_cents` floors at zero.
+    /// Charge crowd spend against the quota (normally via
+    /// [`QuotaHold::settle`]). Saturating: over-spend in a final
+    /// statement (the governor's budget check is a pre-check, the crowd
+    /// may answer slightly past it) is recorded, and `remaining_cents`
+    /// floors at zero.
     pub fn charge(&self, cents: u64) {
-        self.spent_cents.fetch_add(cents, Ordering::Relaxed);
+        self.spent_cents.fetch_add(cents, Ordering::SeqCst);
     }
 
     /// Open connections for this tenant right now.
@@ -124,25 +129,106 @@ impl TenantState {
         self.connections.load(Ordering::Relaxed)
     }
 
-    /// The statement policy for one statement of this tenant: the
-    /// configured policy with `max_crowd_cents` clamped to the remaining
-    /// quota. A fully exhausted quota clamps to zero, which the engine's
-    /// budget path turns into a typed `budget` error for crowd
-    /// statements.
-    pub fn statement_policy(&self) -> GovernorPolicy {
+    /// Begin one statement: reserve a slice of the unreserved quota and
+    /// build the statement's policy with `max_crowd_cents` clamped to
+    /// that slice.
+    ///
+    /// The reservation (a compare-and-swap against `reserved_cents`) is
+    /// what bounds *concurrent* spend: N simultaneous statements split
+    /// `quota - spent - reserved` between them rather than each
+    /// snapshotting the full remainder and collectively spending N times
+    /// it. A metered tenant without a per-statement cap reserves the
+    /// whole remainder, so its concurrent crowd statements serialize at
+    /// the quota boundary (later ones see a zero clamp, which the
+    /// engine's budget path turns into a typed `budget` error for crowd
+    /// statements). The hold must be settled — or dropped, on error —
+    /// when the statement completes; collective spend is then bounded by
+    /// the quota plus at most one in-flight statement's overshoot past
+    /// the engine's budget pre-check.
+    pub fn begin_statement(self: &Arc<Self>) -> (GovernorPolicy, QuotaHold) {
         let mut policy = self.config.policy.clone();
-        if let Some(remaining) = self.remaining_cents() {
-            policy.max_crowd_cents = Some(match policy.max_crowd_cents {
-                Some(per_stmt) => per_stmt.min(remaining),
-                None => remaining,
-            });
+        let held = match self.config.quota_cents {
+            // Unmetered: nothing to reserve, the policy is untouched.
+            None => 0,
+            Some(quota) => loop {
+                let reserved = self.reserved_cents.load(Ordering::SeqCst);
+                let spent = self.spent_cents.load(Ordering::SeqCst);
+                let available = quota.saturating_sub(spent).saturating_sub(reserved);
+                let want = match policy.max_crowd_cents {
+                    Some(per_stmt) => per_stmt.min(available),
+                    None => available,
+                };
+                if self
+                    .reserved_cents
+                    .compare_exchange(
+                        reserved,
+                        reserved + want,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    break want;
+                }
+            },
+        };
+        if self.config.quota_cents.is_some() {
+            policy.max_crowd_cents = Some(held);
         }
-        policy
+        (
+            policy,
+            QuotaHold {
+                state: Arc::clone(self),
+                held,
+                settled: false,
+            },
+        )
     }
 
     /// Whether the quota is exhausted (metered and nothing left).
     pub fn exhausted(&self) -> bool {
         self.remaining_cents() == Some(0)
+    }
+}
+
+/// A reservation of crowd budget for one in-flight statement, from
+/// [`TenantState::begin_statement`].
+///
+/// [`QuotaHold::settle`] releases the reservation and records the
+/// statement's actual spend; dropping an unsettled hold (statement
+/// error, session panic) releases the reservation without charging
+/// anything.
+#[derive(Debug)]
+pub struct QuotaHold {
+    state: Arc<TenantState>,
+    held: u64,
+    settled: bool,
+}
+
+impl QuotaHold {
+    /// Record the statement's actual crowd spend and release the hold.
+    /// The spend may exceed the held amount: the engine's budget check
+    /// is a pre-check and the crowd can answer slightly past it; the
+    /// overshoot is recorded and `remaining_cents` floors at zero.
+    pub fn settle(mut self, actual_cents: u64) {
+        // Charge before releasing the reservation so a concurrent
+        // `begin_statement` never sees the cents as both unspent and
+        // unreserved.
+        self.state.charge(actual_cents);
+        self.state
+            .reserved_cents
+            .fetch_sub(self.held, Ordering::SeqCst);
+        self.settled = true;
+    }
+}
+
+impl Drop for QuotaHold {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.state
+                .reserved_cents
+                .fetch_sub(self.held, Ordering::SeqCst);
+        }
     }
 }
 
@@ -163,6 +249,7 @@ impl TenantRegistry {
                     Arc::new(TenantState {
                         config,
                         spent_cents: AtomicU64::new(0),
+                        reserved_cents: AtomicU64::new(0),
                         connections: AtomicU64::new(0),
                     }),
                 )
@@ -282,13 +369,34 @@ mod tests {
     fn quota_clamps_statement_budget() {
         let reg = registry();
         let tenant = reg.get("acme").unwrap();
-        assert_eq!(tenant.statement_policy().max_crowd_cents, Some(10));
-        tenant.charge(7);
-        assert_eq!(tenant.statement_policy().max_crowd_cents, Some(3));
-        tenant.charge(5); // crowd answered past the pre-check
+        let (policy, hold) = tenant.begin_statement();
+        assert_eq!(policy.max_crowd_cents, Some(10));
+        hold.settle(7);
+        let (policy, hold) = tenant.begin_statement();
+        assert_eq!(policy.max_crowd_cents, Some(3));
+        hold.settle(5); // crowd answered past the pre-check
         assert_eq!(tenant.remaining_cents(), Some(0));
         assert!(tenant.exhausted());
-        assert_eq!(tenant.statement_policy().max_crowd_cents, Some(0));
+        assert_eq!(tenant.begin_statement().0.max_crowd_cents, Some(0));
+    }
+
+    /// Concurrent statements split the quota via reservation: they can
+    /// never each snapshot the full remainder and collectively spend a
+    /// multiple of it.
+    #[test]
+    fn concurrent_holds_split_the_quota() {
+        let reg = registry();
+        let tenant = reg.get("acme").unwrap();
+        let (p1, h1) = tenant.begin_statement();
+        let (p2, h2) = tenant.begin_statement();
+        assert_eq!(p1.max_crowd_cents, Some(10));
+        assert_eq!(p2.max_crowd_cents, Some(0), "quota already held by p1");
+        // The failed statement's drop releases its hold without charge.
+        drop(h1);
+        h2.settle(0);
+        assert_eq!(tenant.spent_cents(), 0);
+        let (p3, _h3) = tenant.begin_statement();
+        assert_eq!(p3.max_crowd_cents, Some(10), "released hold is reusable");
     }
 
     #[test]
@@ -297,20 +405,24 @@ mod tests {
         config.quota_cents = Some(100);
         config.policy.max_crowd_cents = Some(5);
         let reg = TenantRegistry::new(vec![config]);
-        assert_eq!(
-            reg.get("t").unwrap().statement_policy().max_crowd_cents,
-            Some(5)
-        );
+        let tenant = reg.get("t").unwrap();
+        let (p1, _h1) = tenant.begin_statement();
+        let (p2, _h2) = tenant.begin_statement();
+        assert_eq!(p1.max_crowd_cents, Some(5));
+        assert_eq!(p2.max_crowd_cents, Some(5), "capped statements coexist");
     }
 
     #[test]
     fn unmetered_tenant_stays_unmetered() {
         let reg = registry();
         let tenant = reg.get("public").unwrap();
-        tenant.charge(1_000_000);
+        let (policy, hold) = tenant.begin_statement();
+        assert_eq!(policy.max_crowd_cents, None);
+        hold.settle(1_000_000); // spend is still recorded for reporting
+        assert_eq!(tenant.spent_cents(), 1_000_000);
         assert_eq!(tenant.remaining_cents(), None);
         assert!(!tenant.exhausted());
-        assert_eq!(tenant.statement_policy().max_crowd_cents, None);
+        assert_eq!(tenant.begin_statement().0.max_crowd_cents, None);
     }
 
     #[test]
