@@ -1,0 +1,424 @@
+//! E16 — macro-benchmark: seeded mixed workload with standing queries.
+//!
+//! ```text
+//! cargo run --release -p crowddb-bench --bin exp_macro
+//! BENCH_JSON=BENCH_3.json cargo run --release -p crowddb-bench --bin exp_macro
+//! EXP_MACRO_SMOKE=1 cargo run -p crowddb-bench --bin exp_macro      # CI smoke
+//! EXP_MACRO_BASELINE=BENCH_3.json ...                               # QPS gate
+//! ```
+//!
+//! A NEXMark-style closed loop against one *durable* embedded engine:
+//! every operation is drawn from a seeded mix of local point reads,
+//! DML (insert/update/delete), crowd probes over a rotating title pool,
+//! CrowdJoins against an open CROWD table, and `CROWDORDER` rankings —
+//! while two standing queries (`SUBSCRIBE`) watch the tables the whole
+//! time. Halfway through each scale the engine is closed and reopened
+//! (checkpoint → recovery) and the subscriptions re-registered, so the
+//! numbers include a real restart.
+//!
+//! Reported per scale: overall QPS with p50/p95/p99 operation latency,
+//! plus the subscription **delta latency** — the wall-clock span from
+//! submitting a DML statement to holding its delta batch from the
+//! `Sessions` standing query (the span covers the synchronous
+//! recompute-and-diff plus the poll).
+//!
+//! With `EXP_MACRO_BASELINE=<BENCH_3.json>` the run compares its QPS per
+//! scale against the committed baseline and exits nonzero on a
+//! regression beyond `EXP_MACRO_MAX_REGRESSION` (default 0.20).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crowddb_bench::harness::ExperimentOutput;
+use crowddb_core::{CrowdConfig, CrowdDB};
+use crowddb_platform::{Answer, ClosureModel, Platform, SimPlatform, TaskKind};
+use crowddb_wal::testutil::TestDir;
+
+const TITLES: usize = 16;
+const PICS: usize = 8;
+
+/// Deterministic world: probes answered from the title, joins contribute
+/// two tags per talk, orderings follow lexicographic ground truth.
+fn world() -> Box<dyn Platform> {
+    let model = ClosureModel::new(|task: &TaskKind| match task {
+        TaskKind::Probe { known, asked, .. } => {
+            let title = known
+                .iter()
+                .find(|(k, _)| k == "title")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            Answer::Form(
+                asked
+                    .iter()
+                    .map(|(col, _)| (col.clone(), format!("{col} of {title}")))
+                    .collect(),
+            )
+        }
+        TaskKind::NewTuples { preset, .. } => {
+            let talk = preset
+                .iter()
+                .find(|(k, _)| k == "talk")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            Answer::Tuples(vec![
+                vec![("tag".into(), format!("{talk}-topic"))],
+                vec![("tag".into(), format!("{talk}-track"))],
+            ])
+        }
+        TaskKind::Order { left, right, .. } => {
+            if left <= right {
+                Answer::Left
+            } else {
+                Answer::Right
+            }
+        }
+        _ => Answer::Blank,
+    });
+    Box::new(SimPlatform::amt(97, Box::new(model)))
+}
+
+fn seed_schema(db: &CrowdDB, rows: usize) {
+    db.execute_local(
+        "CREATE TABLE Talk (
+            title STRING PRIMARY KEY,
+            abstract CROWD STRING )",
+    )
+    .expect("talk ddl");
+    let values: Vec<String> = (0..TITLES).map(|i| format!("('talk-{i:02}')")).collect();
+    db.execute_local(&format!(
+        "INSERT INTO Talk (title) VALUES {}",
+        values.join(", ")
+    ))
+    .expect("talk rows");
+
+    db.execute_local("CREATE CROWD TABLE tag (talk STRING, tag STRING, PRIMARY KEY (talk, tag))")
+        .expect("tag ddl");
+
+    db.execute_local("CREATE TABLE Sessions (k INTEGER PRIMARY KEY, room STRING)")
+        .expect("sessions ddl");
+    let values: Vec<String> = (0..rows)
+        .map(|i| format!("({i}, 'room-{}')", i % 7))
+        .collect();
+    db.execute_local(&format!(
+        "INSERT INTO Sessions (k, room) VALUES {}",
+        values.join(", ")
+    ))
+    .expect("sessions rows");
+
+    db.execute_local("CREATE TABLE Pic (label STRING PRIMARY KEY)")
+        .expect("pic ddl");
+    let values: Vec<String> = (0..PICS).map(|i| format!("('pic-{i}')")).collect();
+    db.execute_local(&format!(
+        "INSERT INTO Pic (label) VALUES {}",
+        values.join(", ")
+    ))
+    .expect("pic rows");
+}
+
+/// Register the two standing queries and drain their initial snapshots.
+/// Returns the id of the `Sessions` watch (used for delta-latency
+/// measurement; the `Talk` watch just rides along, exercising the
+/// crowd-settlement trigger path).
+fn register_watches(db: &CrowdDB) -> u64 {
+    let (sessions_sub, _) = db
+        .subscribe_id("SELECT k, room FROM Sessions")
+        .expect("subscribe sessions");
+    let (talk_sub, _) = db
+        .subscribe_id("SELECT title FROM Talk")
+        .expect("subscribe talk");
+    for id in [sessions_sub, talk_sub] {
+        while db.poll_subscription(id).expect("drain snapshot").is_some() {}
+    }
+    sessions_sub
+}
+
+fn percentile(sorted_micros: &[u64], p: f64) -> f64 {
+    if sorted_micros.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_micros.len() as f64 - 1.0) * p).round() as usize;
+    sorted_micros[idx] as f64 / 1000.0
+}
+
+struct ScaleResult {
+    ops: usize,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    delta_p50_ms: f64,
+    delta_p95_ms: f64,
+    delta_p99_ms: f64,
+    deltas: u64,
+    crowd_cents: u64,
+}
+
+fn run_scale(rows: usize, ops: usize, seed: u64) -> ScaleResult {
+    let dir = TestDir::new(&format!("exp-macro-{rows}"));
+    let config = CrowdConfig::fast_test();
+    let mut db =
+        CrowdDB::open_with_config(dir.path(), config.clone()).expect("open durable engine");
+    seed_schema(&db, rows);
+    let mut sessions_sub = register_watches(&db);
+    let mut platform = world();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_k = rows as i64; // fresh primary keys for inserts
+    let mut latencies: Vec<u64> = Vec::with_capacity(ops);
+    let mut delta_latencies: Vec<u64> = Vec::new();
+    let mut deltas: u64 = 0;
+    let mut crowd_cents: u64 = 0;
+    let started = Instant::now();
+
+    for op in 0..ops {
+        // The restart: close (final checkpoint), reopen (recovery),
+        // re-register the standing queries. Sits in the middle so both
+        // halves contribute to the same latency distribution.
+        if op == ops / 2 {
+            db.close().expect("mid-workload close");
+            db = CrowdDB::open_with_config(dir.path(), config.clone()).expect("reopen");
+            sessions_sub = register_watches(&db);
+            platform = world();
+        }
+
+        let dice = rng.gen_range(0..100u32);
+        let t = Instant::now();
+        if dice < 55 {
+            // Local point read.
+            let k = rng.gen_range(0..rows as i64);
+            db.execute(
+                &format!("SELECT room FROM Sessions WHERE k = {k}"),
+                platform.as_mut(),
+            )
+            .expect("local probe");
+        } else if dice < 75 {
+            // DML with end-to-end delta latency: statement submit →
+            // delta batch of the Sessions standing query in hand.
+            let sql = match dice % 3 {
+                0 => {
+                    next_k += 1;
+                    format!("INSERT INTO Sessions (k, room) VALUES ({next_k}, 'room-x')")
+                }
+                1 => format!(
+                    "UPDATE Sessions SET room = 'room-u{}' WHERE k = {}",
+                    op % 7,
+                    rng.gen_range(0..rows as i64)
+                ),
+                _ => {
+                    next_k += 1;
+                    format!("INSERT INTO Sessions (k, room) VALUES ({next_k}, 'room-y')")
+                }
+            };
+            db.execute(&sql, platform.as_mut()).expect("dml");
+            while let Some(_batch) = db.poll_subscription(sessions_sub).expect("poll") {
+                deltas += 1;
+            }
+            delta_latencies.push(t.elapsed().as_micros() as u64);
+        } else if dice < 90 {
+            // Crowd probe over a rotating pool: early touches pay the
+            // simulated crowd, later ones hit memorized answers.
+            let title = format!("talk-{:02}", rng.gen_range(0..TITLES));
+            let r = db
+                .execute(
+                    &format!("SELECT abstract FROM Talk WHERE title = '{title}'"),
+                    platform.as_mut(),
+                )
+                .expect("crowd probe");
+            crowd_cents += r.crowd.cents_spent;
+        } else if dice < 95 {
+            // CrowdJoin: first run fills the open `tag` table.
+            let r = db
+                .execute(
+                    "SELECT t.title, g.tag FROM Talk t JOIN tag g ON t.title = g.talk",
+                    platform.as_mut(),
+                )
+                .expect("crowd join");
+            crowd_cents += r.crowd.cents_spent;
+        } else {
+            // CROWDORDER over a small corpus; comparisons memorize.
+            let r = db
+                .execute(
+                    "SELECT label FROM Pic ORDER BY CROWDORDER(label, 'Which is better?')",
+                    platform.as_mut(),
+                )
+                .expect("crowdorder");
+            crowd_cents += r.crowd.cents_spent;
+        }
+        latencies.push(t.elapsed().as_micros() as u64);
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    db.close().expect("final close");
+    latencies.sort_unstable();
+    delta_latencies.sort_unstable();
+    ScaleResult {
+        ops,
+        qps: ops as f64 / elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        delta_p50_ms: percentile(&delta_latencies, 0.50),
+        delta_p95_ms: percentile(&delta_latencies, 0.95),
+        delta_p99_ms: percentile(&delta_latencies, 0.99),
+        deltas,
+        crowd_cents,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("EXP_MACRO_SMOKE").is_ok();
+    // The smoke scale is *identical* to the first full scale (it runs in
+    // well under a second) so a smoke run is directly QPS-comparable to
+    // a committed full-mode BENCH_3.json.
+    let scales: &[(usize, usize)] = if smoke {
+        &[(200, 600)]
+    } else {
+        &[(200, 600), (1000, 1200), (4000, 1800)]
+    };
+
+    let mut out = ExperimentOutput::new(
+        "E16",
+        "mixed macro-workload: QPS, latency percentiles, subscription delta latency, \
+         restart mid-run",
+    );
+    out.headers = vec![
+        "rows".into(),
+        "ops".into(),
+        "qps".into(),
+        "p50 ms".into(),
+        "p95 ms".into(),
+        "p99 ms".into(),
+        "delta p50 ms".into(),
+        "delta p95 ms".into(),
+        "delta p99 ms".into(),
+        "deltas".into(),
+        "crowd ¢".into(),
+    ];
+
+    for &(rows, ops) in scales {
+        let r = run_scale(rows, ops, 42);
+        assert!(r.deltas > 0, "the DML mix must produce subscription deltas");
+        out.rows.push(vec![
+            rows.to_string(),
+            r.ops.to_string(),
+            format!("{:.0}", r.qps),
+            format!("{:.2}", r.p50_ms),
+            format!("{:.2}", r.p95_ms),
+            format!("{:.2}", r.p99_ms),
+            format!("{:.2}", r.delta_p50_ms),
+            format!("{:.2}", r.delta_p95_ms),
+            format!("{:.2}", r.delta_p99_ms),
+            r.deltas.to_string(),
+            r.crowd_cents.to_string(),
+        ]);
+    }
+
+    out.notes.push(
+        "mix per op: 55% local point reads, 20% DML (each timed to its standing-query \
+         delta batch), 15% crowd probes, 5% CrowdJoins, 5% CROWDORDER; one engine \
+         restart (checkpoint → recovery → re-subscribe) halfway through every scale"
+            .into(),
+    );
+    out.notes.push(
+        "expected shape: QPS falls as the watched table grows (each DML pays a \
+         recompute-and-diff over Sessions); delta latency tracks table size; crowd \
+         cents flatten once titles, tags, and comparisons are memorized"
+            .into(),
+    );
+
+    out.print();
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        std::fs::write(&path, render_json(&out)).expect("write BENCH_JSON");
+        eprintln!("wrote {path}");
+    }
+    if let Ok(baseline) = std::env::var("EXP_MACRO_BASELINE") {
+        gate_against_baseline(&out, &baseline);
+    }
+}
+
+/// QPS regression gate: for every scale present in both this run and the
+/// baseline BENCH_3.json, fail if QPS dropped more than the threshold
+/// (`EXP_MACRO_MAX_REGRESSION`, default 0.20).
+fn gate_against_baseline(out: &ExperimentOutput, path: &str) {
+    let threshold: f64 = std::env::var("EXP_MACRO_MAX_REGRESSION")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.20);
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+    let baseline = parse_qps_rows(&text);
+    let mut compared = 0;
+    for row in &out.rows {
+        let (scale, qps) = (row[0].as_str(), row[2].parse::<f64>().unwrap_or(0.0));
+        let Some(base_qps) = baseline.iter().find(|(s, _)| s == scale).map(|(_, q)| *q) else {
+            continue;
+        };
+        compared += 1;
+        let floor = base_qps * (1.0 - threshold);
+        if qps < floor {
+            eprintln!(
+                "QPS regression at scale {scale}: {qps:.0} < {floor:.0} \
+                 (baseline {base_qps:.0}, threshold {:.0}%)",
+                threshold * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "scale {scale}: qps {qps:.0} vs baseline {base_qps:.0} — within {:.0}%",
+            threshold * 100.0
+        );
+    }
+    assert!(compared > 0, "no comparable scales in baseline {path}");
+}
+
+/// Extract `(scale, qps)` pairs from a BENCH_3.json produced by
+/// [`render_json`]: each data row renders as `["rows", "ops", "qps", ...]`.
+fn parse_qps_rows(text: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    let Some(start) = text.find("\"rows\": [") else {
+        return rows;
+    };
+    for line in text[start..].lines().skip(1) {
+        let line = line.trim().trim_end_matches(',');
+        if line.starts_with(']') {
+            break;
+        }
+        let cells: Vec<&str> = line
+            .trim_start_matches('[')
+            .trim_end_matches(']')
+            .split(", ")
+            .map(|c| c.trim_matches('"'))
+            .collect();
+        if cells.len() >= 3 {
+            if let Ok(qps) = cells[2].parse::<f64>() {
+                rows.push((cells[0].to_string(), qps));
+            }
+        }
+    }
+    rows
+}
+
+/// Hand-rolled JSON for the trajectory record: the workspace's
+/// serde_json may be an offline stub, and this file is checked in, so
+/// the bytes must not depend on which one is linked.
+fn render_json(out: &ExperimentOutput) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn arr(items: &[String]) -> String {
+        let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+        format!("[{}]", quoted.join(", "))
+    }
+    let rows: Vec<String> = out.rows.iter().map(|r| format!("    {}", arr(r))).collect();
+    format!(
+        "{{\n  \"id\": \"{}\",\n  \"paper_artifact\": \"{}\",\n  \"headers\": {},\n  \
+         \"rows\": [\n{}\n  ],\n  \"notes\": {},\n  \"op_stats\": {}\n}}\n",
+        esc(&out.id),
+        esc(&out.paper_artifact),
+        arr(&out.headers),
+        rows.join(",\n"),
+        arr(&out.notes),
+        arr(&out.op_stats),
+    )
+}

@@ -95,6 +95,10 @@ pub enum CrowdError {
     /// Admission control rejected the statement because the engine was
     /// at its concurrency limit and the bounded wait timed out.
     Overloaded(String),
+    /// A subscription consumer fell behind its bounded delta queue: the
+    /// queued batches were dropped and the next poll after this error
+    /// delivers a fresh resync snapshot.
+    SubscriptionLagged(String),
     /// An internal invariant was violated; indicates a CrowdDB bug.
     Internal(String),
 }
@@ -117,6 +121,7 @@ impl CrowdError {
             CrowdError::BudgetExhausted(_) => "budget",
             CrowdError::Cancelled(_) => "cancelled",
             CrowdError::Overloaded(_) => "overloaded",
+            CrowdError::SubscriptionLagged(_) => "subscription-lagged",
             CrowdError::Io(_) => "io",
             CrowdError::Internal(_) => "internal",
         }
@@ -138,6 +143,7 @@ impl CrowdError {
             | CrowdError::Ui(m)
             | CrowdError::BudgetExhausted(m)
             | CrowdError::Overloaded(m)
+            | CrowdError::SubscriptionLagged(m)
             | CrowdError::Io(m)
             | CrowdError::Internal(m) => m,
             CrowdError::Cancelled(reason) => reason.message(),

@@ -150,6 +150,30 @@ impl Default for ConcurrencyPolicy {
     }
 }
 
+/// Bounds on continuous queries (`SUBSCRIBE`): how many standing queries
+/// a session may hold and how far a consumer may fall behind before its
+/// queued delta batches are dropped in favor of a resync snapshot.
+#[derive(Debug, Clone)]
+pub struct SubscriptionPolicy {
+    /// Delta batches buffered per subscription before the consumer is
+    /// declared lagged (its queue is cleared and the next poll returns a
+    /// typed `subscription-lagged` error, then a fresh snapshot). Must
+    /// be ≥ 1; the bound is what keeps a slow subscriber from growing
+    /// memory without limit.
+    pub max_queue_batches: usize,
+    /// Maximum simultaneously registered subscriptions per engine.
+    pub max_subscriptions: usize,
+}
+
+impl Default for SubscriptionPolicy {
+    fn default() -> Self {
+        SubscriptionPolicy {
+            max_queue_batches: 64,
+            max_subscriptions: 256,
+        }
+    }
+}
+
 /// Knobs controlling how CrowdDB engages the crowd.
 #[derive(Debug, Clone)]
 pub struct CrowdConfig {
@@ -202,6 +226,8 @@ pub struct CrowdConfig {
     /// [`CrowdDB::execute_with_policy`](crate::CrowdDB::execute_with_policy);
     /// the admission *limits* are fixed per session at construction.
     pub governor: GovernorPolicy,
+    /// Continuous-query bounds (queue depth, subscription count).
+    pub subscriptions: SubscriptionPolicy,
 }
 
 impl Default for CrowdConfig {
@@ -223,6 +249,7 @@ impl Default for CrowdConfig {
             concurrency: ConcurrencyPolicy::default(),
             storage: StoragePolicy::default(),
             governor: GovernorPolicy::default(),
+            subscriptions: SubscriptionPolicy::default(),
         }
     }
 }
@@ -248,6 +275,7 @@ impl CrowdConfig {
             concurrency: ConcurrencyPolicy::default(),
             storage: StoragePolicy::default(),
             governor: GovernorPolicy::default(),
+            subscriptions: SubscriptionPolicy::default(),
         }
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use crowddb_common::{CancelReason, CrowdError, Result, Row};
+use crowddb_common::{CancelReason, CrowdError, Result, Row, Value};
 use crowddb_exec::{
     execute as execute_plan, execute_physical, execute_physical_guarded, flush_op_stats,
     lower_plan, render_analyzed, CompareCaches, OpStatsNode, SharedCaches,
@@ -16,9 +16,10 @@ use crowddb_obs::{Event, MetricsSnapshot, Obs};
 use crowddb_plan::cardinality::{FnStats, StatsSource};
 use crowddb_plan::{
     analyze_boundedness, annotate_cardinality, optimize, Binder, LogicalPlan, OptimizerConfig,
+    StandingPlan,
 };
 use crowddb_platform::{Platform, WorkerRelationshipManager};
-use crowddb_sql::{parse_statement, Statement};
+use crowddb_sql::{parse_statement, Query, Statement};
 use crowddb_storage::{codec, Database, IndexKind, LogRecord};
 use crowddb_ui::manager::UiTemplateManager;
 use crowddb_ui::render_task;
@@ -29,6 +30,7 @@ use crate::governor::{
     effective_budget, AdmissionController, CancelToken, GovernorPolicy, StatementGuard,
 };
 use crate::result::{CrowdSummary, QueryResult};
+use crate::subscribe::{self, DeltaBatch, SubRegistry, SubState, SubscriptionHandle};
 use crate::taskman;
 
 /// A CrowdDB instance: storage + planner + crowd machinery.
@@ -96,6 +98,12 @@ pub struct CrowdDB {
     /// Admission control over concurrent statements, configured from
     /// `config.governor` at construction.
     admission: AdmissionController,
+    /// Standing queries (`SUBSCRIBE`): id allocator + per-subscription
+    /// state. A leaf lock in the hierarchy — held across standing-query
+    /// re-evaluation (which takes only storage read locks and cache
+    /// snapshots) so delta revisions are produced in one serial order,
+    /// but never held while acquiring `ckpt_latch` or `durable`.
+    subs: Mutex<SubRegistry>,
 }
 
 impl Default for CrowdDB {
@@ -139,6 +147,7 @@ impl CrowdDB {
             next_statement_id: AtomicU64::new(0),
             cancel: CancelToken::new(),
             admission,
+            subs: Mutex::new(SubRegistry::default()),
         }
     }
 
@@ -690,13 +699,19 @@ impl CrowdDB {
         while let Statement::Explain { statement, .. } = inner {
             inner = statement;
         }
-        let Statement::Select(_) = inner else {
-            return Ok(format!("{inner}"));
+        let (standing, query) = match inner {
+            Statement::Select(q) => (false, q),
+            Statement::Subscribe(q) => (true, q),
+            _ => return Ok(format!("{inner}")),
         };
-        let (plan, _) = self.plan_select(inner, true)?;
+        let (plan, _) = self.plan_query(query, true)?;
         let stats = self.stats_source();
         let report = self.boundedness(&plan, &stats);
         let mut out = String::new();
+        if standing {
+            out.push_str(&StandingPlan::new(plan.clone()).explain());
+            out.push('\n');
+        }
         out.push_str("== Optimized plan ==\n");
         out.push_str(&plan.explain());
         out.push_str("\n== Physical plan ==\n");
@@ -912,75 +927,105 @@ impl CrowdDB {
                 Ok(QueryResult::ddl())
             }
             Statement::DropTable { name, if_exists } => {
-                let _latch = self.ckpt_latch.read();
-                self.db.drop_table(name, *if_exists)?;
-                self.templates.lock().drop_table(name);
-                self.log_record(LogRecord::Ddl {
-                    sql: stmt.to_string(),
-                })?;
+                {
+                    let _latch = self.ckpt_latch.read();
+                    self.db.drop_table(name, *if_exists)?;
+                    self.templates.lock().drop_table(name);
+                    self.log_record(LogRecord::Ddl {
+                        sql: stmt.to_string(),
+                    })?;
+                }
+                // Standing queries watching the table fail on their next
+                // trigger; notify outside the checkpoint latch.
+                self.notify_subscriptions(Some(name));
                 Ok(QueryResult::ddl())
             }
             Statement::Insert(ins) => {
                 let caches = self.caches.snapshot();
-                let _latch = self.ckpt_latch.read();
-                let r = crowddb_exec::dml::execute_insert_guarded(
-                    &self.db,
-                    &caches,
-                    ins,
-                    guard.exec.clone(),
-                )?;
-                self.log_record(LogRecord::Dml {
-                    sql: stmt.to_string(),
-                })?;
+                let r = {
+                    let _latch = self.ckpt_latch.read();
+                    let r = crowddb_exec::dml::execute_insert_guarded(
+                        &self.db,
+                        &caches,
+                        ins,
+                        guard.exec.clone(),
+                    )?;
+                    self.log_record(LogRecord::Dml {
+                        sql: stmt.to_string(),
+                    })?;
+                    r
+                };
+                self.notify_subscriptions(Some(&ins.table));
                 Ok(QueryResult {
                     affected: r.affected,
                     complete: r.needs.is_empty(),
                     ..Default::default()
                 })
             }
-            Statement::Update(upd) => self.run_dml(
-                platform,
-                stmt.to_string(),
-                guard,
-                |caches| {
-                    crowddb_exec::dml::plan_update_guarded(
-                        &self.db,
-                        caches,
-                        upd,
-                        guard.exec.clone(),
-                    )
-                },
-                |caches| {
-                    crowddb_exec::dml::execute_update_guarded(
-                        &self.db,
-                        caches,
-                        upd,
-                        guard.exec.clone(),
-                    )
-                },
-            ),
-            Statement::Delete(del) => self.run_dml(
-                platform,
-                stmt.to_string(),
-                guard,
-                |caches| {
-                    crowddb_exec::dml::plan_delete_guarded(
-                        &self.db,
-                        caches,
-                        del,
-                        guard.exec.clone(),
-                    )
-                },
-                |caches| {
-                    crowddb_exec::dml::execute_delete_guarded(
-                        &self.db,
-                        caches,
-                        del,
-                        guard.exec.clone(),
-                    )
-                },
-            ),
+            Statement::Update(upd) => {
+                let r = self.run_dml(
+                    platform,
+                    stmt.to_string(),
+                    guard,
+                    |caches| {
+                        crowddb_exec::dml::plan_update_guarded(
+                            &self.db,
+                            caches,
+                            upd,
+                            guard.exec.clone(),
+                        )
+                    },
+                    |caches| {
+                        crowddb_exec::dml::execute_update_guarded(
+                            &self.db,
+                            caches,
+                            upd,
+                            guard.exec.clone(),
+                        )
+                    },
+                )?;
+                self.notify_subscriptions(Some(&upd.table));
+                Ok(r)
+            }
+            Statement::Delete(del) => {
+                let r = self.run_dml(
+                    platform,
+                    stmt.to_string(),
+                    guard,
+                    |caches| {
+                        crowddb_exec::dml::plan_delete_guarded(
+                            &self.db,
+                            caches,
+                            del,
+                            guard.exec.clone(),
+                        )
+                    },
+                    |caches| {
+                        crowddb_exec::dml::execute_delete_guarded(
+                            &self.db,
+                            caches,
+                            del,
+                            guard.exec.clone(),
+                        )
+                    },
+                )?;
+                self.notify_subscriptions(Some(&del.table));
+                Ok(r)
+            }
             Statement::Select(_) => self.run_select(stmt, platform, guard),
+            Statement::Subscribe(query) => {
+                let (id, _columns) = self.register_subscription(query)?;
+                Ok(QueryResult {
+                    columns: vec!["subscription_id".into()],
+                    rows: vec![Row::new(vec![Value::Int(id as i64)])],
+                    complete: true,
+                    ..Default::default()
+                })
+            }
+            Statement::Unsubscribe { id } => {
+                self.unsubscribe(*id)?;
+                Ok(QueryResult::ddl())
+            }
         }
     }
 
@@ -1257,10 +1302,16 @@ impl CrowdDB {
                 store.sync()?;
             }
         }
-        let mut exhausted = self.exhausted.lock();
-        for k in fulfill.exhausted.drain(..) {
-            exhausted.insert(k);
+        {
+            let mut exhausted = self.exhausted.lock();
+            for k in fulfill.exhausted.drain(..) {
+                exhausted.insert(k);
+            }
         }
+        // The round settled: every write-back and cache verdict is in
+        // place, so re-evaluate the standing queries (no locks held
+        // here — see the `subs` field docs for the ordering argument).
+        self.notify_subscriptions(None);
         Ok(fulfill)
     }
 
@@ -1270,6 +1321,256 @@ impl CrowdDB {
             .into_iter()
             .filter(|n| !exhausted.contains(&n.dedup_key()))
             .collect()
+    }
+
+    // ── Continuous queries (`SUBSCRIBE`) ────────────────────────────
+
+    /// Register a standing query and return a polling handle. Accepts
+    /// `SUBSCRIBE SELECT ...` or a bare `SELECT ...`.
+    ///
+    /// The handle's first poll yields the initial snapshot batch
+    /// (revision 1); later polls drain the delta batches produced as
+    /// crowd rounds settle and DML commits. Subscriptions are
+    /// session-level state: they are not persisted, so after a crash a
+    /// client re-registers and receives a fresh snapshot.
+    pub fn subscribe(&self, sql: &str) -> Result<SubscriptionHandle<'_>> {
+        let (id, columns) = self.subscribe_id(sql)?;
+        Ok(SubscriptionHandle::new(self, id, columns))
+    }
+
+    /// [`CrowdDB::subscribe`] returning the raw subscription id and
+    /// output columns instead of a borrowing handle (what a server
+    /// session holding `Arc<CrowdDB>` needs).
+    pub fn subscribe_id(&self, sql: &str) -> Result<(u64, Vec<String>)> {
+        let stmt = parse_statement(sql)?;
+        let query = match &stmt {
+            Statement::Subscribe(q) => q.as_ref(),
+            Statement::Select(q) => q.as_ref(),
+            other => {
+                return Err(CrowdError::Plan(format!(
+                    "SUBSCRIBE requires a SELECT query, got: {other}"
+                )))
+            }
+        };
+        self.register_subscription(query)
+    }
+
+    /// Drop a standing query. Errors if the id is unknown.
+    pub fn unsubscribe(&self, id: u64) -> Result<()> {
+        let mut subs = self.subs.lock();
+        if subs.subs.remove(&id).is_none() {
+            return Err(CrowdError::Exec(format!("no such subscription: {id}")));
+        }
+        self.obs
+            .registry()
+            .gauge_set("crowddb_subscriptions_active", subs.subs.len() as f64);
+        self.obs.events().emit(Event::SubscriptionClosed { id });
+        Ok(())
+    }
+
+    /// Output column names of subscription `id`.
+    pub fn subscription_columns(&self, id: u64) -> Result<Vec<String>> {
+        self.subs
+            .lock()
+            .subs
+            .get(&id)
+            .map(|s| s.columns.clone())
+            .ok_or_else(|| CrowdError::Exec(format!("no such subscription: {id}")))
+    }
+
+    /// Currently registered subscriptions as `(id, sql)` pairs.
+    pub fn subscriptions(&self) -> Vec<(u64, String)> {
+        self.subs
+            .lock()
+            .subs
+            .iter()
+            .map(|(id, s)| (*id, s.sql.clone()))
+            .collect()
+    }
+
+    /// Next queued delta batch for subscription `id`, if any.
+    ///
+    /// After the consumer fell behind its bounded queue, one call
+    /// returns [`CrowdError::SubscriptionLagged`] and the next delivers
+    /// a resync snapshot batch carrying the full current result.
+    pub fn poll_subscription(&self, id: u64) -> Result<Option<DeltaBatch>> {
+        let mut subs = self.subs.lock();
+        let sub = subs
+            .subs
+            .get_mut(&id)
+            .ok_or_else(|| CrowdError::Exec(format!("no such subscription: {id}")))?;
+        if let Some(err) = &sub.failed {
+            return Err(err.clone());
+        }
+        if sub.lagged {
+            sub.lagged = false;
+            sub.resync_pending = true;
+            return Err(CrowdError::SubscriptionLagged(format!(
+                "subscription {id} fell behind its delta queue; \
+                 the next poll returns a resync snapshot"
+            )));
+        }
+        if sub.resync_pending {
+            sub.resync_pending = false;
+            sub.revision += 1;
+            return Ok(Some(DeltaBatch {
+                revision: sub.revision,
+                snapshot: true,
+                added: subscribe::rowset_to_rows(&sub.last),
+                removed: vec![],
+            }));
+        }
+        Ok(sub.queue.pop_front())
+    }
+
+    /// Bind, optimize, and initially evaluate a standing query; queue
+    /// its snapshot batch as revision 1.
+    fn register_subscription(&self, query: &Query) -> Result<(u64, Vec<String>)> {
+        let (plan, _warnings) = self.plan_query(query, false)?;
+        let columns = output_columns(&plan);
+        let standing = StandingPlan::new(plan);
+        let sql = query.to_string();
+        // Evaluation happens under the subs lock so every standing
+        // evaluation (registration or trigger) sees one serial order —
+        // that is what makes delta revisions deterministic.
+        let mut subs = self.subs.lock();
+        if subs.subs.len() >= self.config.subscriptions.max_subscriptions {
+            return Err(CrowdError::Overloaded(format!(
+                "subscription limit ({}) reached",
+                self.config.subscriptions.max_subscriptions
+            )));
+        }
+        let rows = self.eval_standing(&standing)?;
+        let last = subscribe::rowset_from_rows(&rows);
+        subs.next_id += 1;
+        let id = subs.next_id;
+        let mut state = SubState {
+            sql: sql.clone(),
+            plan: standing,
+            columns: columns.clone(),
+            last,
+            revision: 1,
+            queue: std::collections::VecDeque::new(),
+            lagged: false,
+            resync_pending: false,
+            failed: None,
+        };
+        state.queue.push_back(DeltaBatch {
+            revision: 1,
+            snapshot: true,
+            added: subscribe::rowset_to_rows(&state.last),
+            removed: vec![],
+        });
+        let added = state.last.values().map(|(_, n)| *n as u64).sum();
+        subs.subs.insert(id, state);
+        let reg = self.obs.registry();
+        reg.gauge_set("crowddb_subscriptions_active", subs.subs.len() as f64);
+        reg.counter_inc("crowddb_subscription_deltas_total");
+        reg.counter_add("crowddb_subscription_rows_added_total", added);
+        self.obs
+            .events()
+            .emit(Event::SubscriptionOpened { id, sql });
+        self.obs.events().emit(Event::SubscriptionDelta {
+            id,
+            revision: 1,
+            added,
+            removed: 0,
+        });
+        Ok((id, columns))
+    }
+
+    /// One deterministic local evaluation of a standing plan: re-lower
+    /// against the current catalog, execute against current storage and
+    /// cache snapshots. Unsettled crowd state simply shows as CNULLs /
+    /// missing tuples until a later trigger.
+    fn eval_standing(&self, standing: &StandingPlan) -> Result<Vec<Row>> {
+        let caches = self.caches.snapshot();
+        let physical = lower_plan(&self.db, &standing.logical);
+        let (exec, _stats) = execute_physical(&self.db, &caches, &physical)?;
+        Ok(exec.rows)
+    }
+
+    /// Re-evaluate standing queries after a mutation: `touched` is the
+    /// table a DML/DDL statement wrote (`None` = a crowd round settled,
+    /// which can affect any crowd-related state, so everything
+    /// re-evaluates). Produces at most one delta batch per affected
+    /// subscription.
+    fn notify_subscriptions(&self, touched: Option<&str>) {
+        let mut subs = self.subs.lock();
+        // Fast path: with no subscriptions the machinery must be
+        // invisible — no metrics, no events, no extra evaluation — so
+        // non-subscribing workloads stay byte-identical to older
+        // builds.
+        if subs.subs.is_empty() {
+            return;
+        }
+        let reg = self.obs.registry();
+        let max_queue = self.config.subscriptions.max_queue_batches.max(1);
+        for (id, sub) in subs.subs.iter_mut() {
+            if sub.failed.is_some() {
+                continue;
+            }
+            if let Some(table) = touched {
+                if !sub.plan.watches(table) {
+                    reg.counter_inc("crowddb_subscription_evals_skipped_total");
+                    continue;
+                }
+            }
+            reg.counter_inc("crowddb_subscription_evals_total");
+            let rows = {
+                let caches = self.caches.snapshot();
+                let physical = lower_plan(&self.db, &sub.plan.logical);
+                execute_physical(&self.db, &caches, &physical).map(|(exec, _)| exec.rows)
+            };
+            let rows = match rows {
+                Ok(rows) => rows,
+                Err(e) => {
+                    // E.g. a watched table was dropped. The error is
+                    // surfaced on the consumer's next poll.
+                    sub.failed = Some(e);
+                    continue;
+                }
+            };
+            let new = subscribe::rowset_from_rows(&rows);
+            let (added, removed) = subscribe::diff_rowsets(&sub.last, &new);
+            if added.is_empty() && removed.is_empty() {
+                continue;
+            }
+            sub.last = new;
+            sub.revision += 1;
+            reg.counter_inc("crowddb_subscription_deltas_total");
+            reg.counter_add("crowddb_subscription_rows_added_total", added.len() as u64);
+            reg.counter_add(
+                "crowddb_subscription_rows_removed_total",
+                removed.len() as u64,
+            );
+            self.obs.events().emit(Event::SubscriptionDelta {
+                id: *id,
+                revision: sub.revision,
+                added: added.len() as u64,
+                removed: removed.len() as u64,
+            });
+            if sub.lagged || sub.resync_pending {
+                // Consumer is already resyncing: the snapshot it will
+                // receive reflects `last`, so this delta need not queue.
+                continue;
+            }
+            sub.queue.push_back(DeltaBatch {
+                revision: sub.revision,
+                snapshot: false,
+                added,
+                removed,
+            });
+            if sub.queue.len() > max_queue {
+                let dropped = sub.queue.len() as u64;
+                sub.queue.clear();
+                sub.lagged = true;
+                reg.counter_add("crowddb_subscription_lag_drops_total", dropped);
+                self.obs
+                    .events()
+                    .emit(Event::SubscriptionLagged { id: *id, dropped });
+            }
+        }
     }
 
     /// Serialize the full session: storage (schemas + rows, including
@@ -1350,6 +1651,7 @@ impl CrowdDB {
             next_statement_id: AtomicU64::new(0),
             cancel: CancelToken::new(),
             admission,
+            subs: Mutex::new(SubRegistry::default()),
         })
     }
 
@@ -1361,6 +1663,16 @@ impl CrowdDB {
         let Statement::Select(query) = stmt else {
             return Err(CrowdError::Internal("plan_select on non-select".into()));
         };
+        self.plan_query(query, allow_unbounded)
+    }
+
+    /// Bind, optimize, and boundedness-check one query block (shared by
+    /// one-shot `SELECT` and standing `SUBSCRIBE` registration).
+    fn plan_query(
+        &self,
+        query: &Query,
+        allow_unbounded: bool,
+    ) -> Result<(LogicalPlan, Vec<String>)> {
         let bound = self.db.with_catalog(|c| Binder::new(c).bind_query(query))?;
         let stats = self.stats_source();
         let plan = optimize(bound, &stats, &self.optimizer);
@@ -1647,6 +1959,162 @@ mod tests {
             .expect("a task preview");
         assert!(html.contains("value=\"CrowdDB\""), "{html}");
         assert!(html.contains("name=\"abstract\""));
+    }
+
+    #[test]
+    fn subscribe_streams_dml_deltas() {
+        let db = CrowdDB::with_config(CrowdConfig::fast_test());
+        let mut p = MockPlatform::unanimous(|_| Answer::Blank);
+        db.execute("CREATE TABLE t (a INTEGER)", &mut p).unwrap();
+        let sub = db
+            .subscribe("SUBSCRIBE SELECT a FROM t WHERE a > 1")
+            .unwrap();
+        assert_eq!(sub.columns(), ["a".to_string()]);
+        let first = sub.poll().unwrap().unwrap();
+        assert!(first.snapshot);
+        assert_eq!(first.revision, 1);
+        assert!(first.added.is_empty());
+        db.execute("INSERT INTO t VALUES (5)", &mut p).unwrap();
+        let d = sub.poll().unwrap().unwrap();
+        assert!(!d.snapshot);
+        assert_eq!(d.revision, 2);
+        assert_eq!(d.added, vec![row![5i64]]);
+        assert!(d.removed.is_empty());
+        // A filtered-out insert produces no delta.
+        db.execute("INSERT INTO t VALUES (0)", &mut p).unwrap();
+        assert!(sub.poll().unwrap().is_none());
+        db.execute("DELETE FROM t WHERE a = 5", &mut p).unwrap();
+        let d = sub.poll().unwrap().unwrap();
+        assert_eq!(d.revision, 3);
+        assert_eq!(d.removed, vec![row![5i64]]);
+        sub.unsubscribe().unwrap();
+        assert!(db.poll_subscription(1).is_err());
+    }
+
+    #[test]
+    fn subscribe_statement_allocates_and_unsubscribe_drops() {
+        let db = CrowdDB::with_config(CrowdConfig::fast_test());
+        let mut p = MockPlatform::unanimous(|_| Answer::Blank);
+        db.execute("CREATE TABLE t (a INTEGER)", &mut p).unwrap();
+        let r = db.execute("SUBSCRIBE SELECT a FROM t", &mut p).unwrap();
+        assert_eq!(r.columns, vec!["subscription_id".to_string()]);
+        let Value::Int(id) = r.rows[0][0] else {
+            panic!("id row: {:?}", r.rows)
+        };
+        assert_eq!(
+            db.subscriptions(),
+            vec![(id as u64, "SELECT a FROM t".to_string())]
+        );
+        db.execute(&format!("UNSUBSCRIBE {id}"), &mut p).unwrap();
+        assert!(db.subscriptions().is_empty());
+        assert!(db.execute(&format!("UNSUBSCRIBE {id}"), &mut p).is_err());
+    }
+
+    #[test]
+    fn crowd_settlement_triggers_deltas() {
+        let db = CrowdDB::with_config(CrowdConfig::fast_test());
+        ddl(&db);
+        let mut crowd = MockPlatform::unanimous(|kind| match kind {
+            TaskKind::Probe { asked, .. } => Answer::Form(
+                asked
+                    .iter()
+                    .map(|(c, _)| (c.clone(), "120".to_string()))
+                    .collect(),
+            ),
+            _ => Answer::Blank,
+        });
+        db.execute(
+            "INSERT INTO talk VALUES ('CrowdDB', CNULL, CNULL)",
+            &mut crowd,
+        )
+        .unwrap();
+        let sub = db
+            .subscribe("SELECT nb_attendees FROM talk WHERE title = 'CrowdDB'")
+            .unwrap();
+        let snap = sub.poll().unwrap().unwrap();
+        assert!(snap.snapshot);
+        assert_eq!(snap.added.len(), 1);
+        assert!(snap.added[0][0].is_cnull());
+        // Running the query settles the CNULL; the fulfillment round
+        // must push an incremental delta to the standing query.
+        db.execute(
+            "SELECT nb_attendees FROM talk WHERE title = 'CrowdDB'",
+            &mut crowd,
+        )
+        .unwrap();
+        let d = sub.poll().unwrap().unwrap();
+        assert!(!d.snapshot);
+        assert_eq!(d.added, vec![row![120i64]]);
+        assert_eq!(d.removed.len(), 1);
+        assert!(d.removed[0][0].is_cnull());
+        assert!(sub.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn lagged_subscription_errors_once_then_resyncs() {
+        let mut cfg = CrowdConfig::fast_test();
+        cfg.subscriptions.max_queue_batches = 2;
+        let db = CrowdDB::with_config(cfg);
+        let mut p = MockPlatform::unanimous(|_| Answer::Blank);
+        db.execute("CREATE TABLE t (a INTEGER)", &mut p).unwrap();
+        let sub = db.subscribe("SELECT a FROM t").unwrap();
+        for i in 0..5 {
+            db.execute(&format!("INSERT INTO t VALUES ({i})"), &mut p)
+                .unwrap();
+        }
+        let err = sub.poll().unwrap_err();
+        assert_eq!(err.category(), "subscription-lagged");
+        let resync = sub.poll().unwrap().unwrap();
+        assert!(resync.snapshot);
+        assert_eq!(
+            resync.added,
+            vec![row![0i64], row![1i64], row![2i64], row![3i64], row![4i64]]
+        );
+        // Revisions stayed monotone across the gap: 1 snapshot + 5
+        // deltas + 1 resync.
+        assert_eq!(resync.revision, 7);
+        assert!(sub.poll().unwrap().is_none());
+        // Deltas flow normally again after the resync.
+        db.execute("INSERT INTO t VALUES (9)", &mut p).unwrap();
+        let d = sub.poll().unwrap().unwrap();
+        assert_eq!(d.added, vec![row![9i64]]);
+    }
+
+    #[test]
+    fn drop_table_fails_watching_subscriptions() {
+        let db = CrowdDB::with_config(CrowdConfig::fast_test());
+        let mut p = MockPlatform::unanimous(|_| Answer::Blank);
+        db.execute("CREATE TABLE t (a INTEGER)", &mut p).unwrap();
+        let sub = db.subscribe("SELECT a FROM t").unwrap();
+        let _ = sub.poll().unwrap();
+        db.execute("DROP TABLE t", &mut p).unwrap();
+        assert!(sub.poll().is_err());
+        sub.unsubscribe().unwrap();
+    }
+
+    #[test]
+    fn subscription_limit_enforced() {
+        let mut cfg = CrowdConfig::fast_test();
+        cfg.subscriptions.max_subscriptions = 1;
+        let db = CrowdDB::with_config(cfg);
+        let mut p = MockPlatform::unanimous(|_| Answer::Blank);
+        db.execute("CREATE TABLE t (a INTEGER)", &mut p).unwrap();
+        let _sub = db.subscribe("SELECT a FROM t").unwrap();
+        let err = db.subscribe("SELECT a FROM t").unwrap_err();
+        assert_eq!(err.category(), "overloaded");
+    }
+
+    #[test]
+    fn explain_subscribe_renders_standing_section() {
+        let db = CrowdDB::new();
+        ddl(&db);
+        let text = db
+            .explain("EXPLAIN SUBSCRIBE SELECT abstract FROM talk WHERE title = 'CrowdDB'")
+            .unwrap();
+        assert!(text.contains("== Standing plan =="), "{text}");
+        assert!(text.contains("watches: talk"), "{text}");
+        assert!(text.contains("== Optimized plan =="), "{text}");
+        assert!(text.contains("== Boundedness =="), "{text}");
     }
 
     #[test]

@@ -30,11 +30,15 @@ pub mod crowddb;
 pub mod governor;
 pub mod par;
 pub mod result;
+pub mod subscribe;
 pub mod taskman;
 
-pub use config::{ConcurrencyPolicy, CrowdConfig, DurabilityPolicy, RetryPolicy};
+pub use config::{
+    ConcurrencyPolicy, CrowdConfig, DurabilityPolicy, RetryPolicy, SubscriptionPolicy,
+};
 pub use crowddb::{sql_touches_crowd, statement_touches_crowd, CrowdDB};
 pub use crowddb_obs::{Event, EventRecord, MetricsSnapshot, Obs};
 pub use crowddb_wal::FsyncPolicy;
 pub use governor::{AdmissionController, CancelToken, GovernorPolicy, StatementGuard};
 pub use result::{CrowdSummary, QueryResult};
+pub use subscribe::{canonical_rows, DeltaBatch, SubscriberState, SubscriptionHandle};

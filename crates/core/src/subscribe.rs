@@ -1,0 +1,374 @@
+//! Continuous queries: the standing-query registry and delta machinery.
+//!
+//! A `SUBSCRIBE SELECT ...` registers a [`StandingPlan`] with the
+//! engine. Whenever a crowd round settles or a DML statement commits,
+//! the engine re-evaluates every affected standing query against
+//! current storage and diffs the result against the subscription's last
+//! known state — a *recompute-and-diff* incremental model, which is the
+//! only sound one under CrowdDB's open-world semantics (a settled crowd
+//! answer can change any predicate's verdict, not just rows "near" the
+//! write). The diff is a multiset delta keyed by the storage codec's
+//! row encoding, so delta batches are deterministic byte-for-byte across
+//! runs and worker counts.
+//!
+//! Deltas flow through a bounded per-subscription queue. A consumer
+//! that falls behind loses its queued batches, receives one typed
+//! [`CrowdError::SubscriptionLagged`] on its next poll, and is then
+//! resynced with a fresh snapshot batch — bounded memory, no silent
+//! gaps.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use bytes::BytesMut;
+
+use crowddb_common::{CrowdError, Result, Row};
+use crowddb_plan::StandingPlan;
+use crowddb_storage::codec;
+
+use crate::crowddb::CrowdDB;
+
+/// One incremental update from a standing query.
+///
+/// `added`/`removed` are multiset deltas (a row appears once per copy)
+/// sorted by their canonical codec encoding. A `snapshot` batch replaces
+/// the subscriber's accumulated state instead of patching it; the first
+/// batch of every subscription and every post-lag resync are snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaBatch {
+    /// Monotone per-subscription revision number (starts at 1).
+    pub revision: u64,
+    /// Whether this batch replaces the accumulated state (`added` holds
+    /// the full result; `removed` is empty).
+    pub snapshot: bool,
+    /// Rows entering the result.
+    pub added: Vec<Row>,
+    /// Rows leaving the result.
+    pub removed: Vec<Row>,
+}
+
+/// A multiset of rows keyed by canonical codec bytes.
+pub(crate) type RowSet = BTreeMap<Vec<u8>, (Row, usize)>;
+
+/// Canonical byte encoding of one row (storage codec).
+pub fn row_key(row: &Row) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    codec::encode_row(&mut buf, row);
+    buf.freeze().to_vec()
+}
+
+pub(crate) fn rowset_from_rows(rows: &[Row]) -> RowSet {
+    let mut set = RowSet::new();
+    for r in rows {
+        let e = set.entry(row_key(r)).or_insert_with(|| (r.clone(), 0));
+        e.1 += 1;
+    }
+    set
+}
+
+/// Expand a multiset into rows sorted by canonical encoding.
+pub(crate) fn rowset_to_rows(set: &RowSet) -> Vec<Row> {
+    let mut out = Vec::new();
+    for (row, n) in set.values() {
+        for _ in 0..*n {
+            out.push(row.clone());
+        }
+    }
+    out
+}
+
+/// Multiset difference `new - old` / `old - new`, both sorted by
+/// canonical encoding.
+pub(crate) fn diff_rowsets(old: &RowSet, new: &RowSet) -> (Vec<Row>, Vec<Row>) {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let mut keys: Vec<&Vec<u8>> = old.keys().chain(new.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for k in keys {
+        let o = old.get(k).map(|(_, n)| *n).unwrap_or(0);
+        let n = new.get(k).map(|(_, n)| *n).unwrap_or(0);
+        let row = old
+            .get(k)
+            .or_else(|| new.get(k))
+            .map(|(r, _)| r.clone())
+            .expect("key from union");
+        if n > o {
+            for _ in 0..n - o {
+                added.push(row.clone());
+            }
+        } else {
+            for _ in 0..o - n {
+                removed.push(row.clone());
+            }
+        }
+    }
+    (added, removed)
+}
+
+/// Internal per-subscription state.
+pub(crate) struct SubState {
+    /// Canonical SQL of the underlying `SELECT`.
+    pub sql: String,
+    /// The lowered standing plan (re-lowered to physical per trigger).
+    pub plan: StandingPlan,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Last evaluated result as a multiset.
+    pub last: RowSet,
+    /// Last assigned revision.
+    pub revision: u64,
+    /// Undelivered delta batches, oldest first.
+    pub queue: VecDeque<DeltaBatch>,
+    /// Consumer fell behind: queue was cleared; next poll errors, the
+    /// one after that resyncs.
+    pub lagged: bool,
+    /// A lag error was delivered; next poll gets a snapshot batch.
+    pub resync_pending: bool,
+    /// A trigger evaluation failed (e.g. a watched table was dropped);
+    /// polls surface this error until unsubscribed.
+    pub failed: Option<CrowdError>,
+}
+
+/// The engine-wide registry behind `CrowdDB`'s subscription mutex.
+#[derive(Default)]
+pub(crate) struct SubRegistry {
+    pub next_id: u64,
+    pub subs: BTreeMap<u64, SubState>,
+}
+
+/// A registered standing query, polled for [`DeltaBatch`]es.
+///
+/// Iterating yields every currently queued batch and stops when the
+/// queue is drained (it does *not* block waiting for future deltas —
+/// CrowdDB never blocks on the crowd). Dropping the handle does not
+/// unsubscribe; call [`SubscriptionHandle::unsubscribe`] or run
+/// `UNSUBSCRIBE <id>`.
+pub struct SubscriptionHandle<'a> {
+    db: &'a CrowdDB,
+    id: u64,
+    columns: Vec<String>,
+}
+
+impl std::fmt::Debug for SubscriptionHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubscriptionHandle")
+            .field("id", &self.id)
+            .field("columns", &self.columns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SubscriptionHandle<'a> {
+    pub(crate) fn new(db: &'a CrowdDB, id: u64, columns: Vec<String>) -> SubscriptionHandle<'a> {
+        SubscriptionHandle { db, id, columns }
+    }
+
+    /// The engine-unique subscription id (`UNSUBSCRIBE <id>` drops it).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Output column names of the standing query.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Next queued delta batch, if any. Returns
+    /// `Err(SubscriptionLagged)` once after the consumer fell behind;
+    /// the next call delivers a resync snapshot.
+    pub fn poll(&self) -> Result<Option<DeltaBatch>> {
+        self.db.poll_subscription(self.id)
+    }
+
+    /// Drop the standing query.
+    pub fn unsubscribe(self) -> Result<()> {
+        self.db.unsubscribe(self.id)
+    }
+}
+
+impl Iterator for SubscriptionHandle<'_> {
+    type Item = Result<DeltaBatch>;
+
+    fn next(&mut self) -> Option<Result<DeltaBatch>> {
+        match self.poll() {
+            Ok(Some(batch)) => Some(Ok(batch)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// Client-side accumulated state of one subscription: applies delta
+/// batches in order and exposes the resulting multiset canonically.
+///
+/// The differential oracle tests compare [`SubscriberState::canonical`]
+/// against a fresh one-shot re-execution byte-for-byte.
+#[derive(Default)]
+pub struct SubscriberState {
+    rows: RowSet,
+    /// Revision of the last applied batch (0 before the first).
+    pub last_revision: u64,
+    /// How many batches have been applied.
+    pub batches_applied: u64,
+}
+
+impl SubscriberState {
+    /// Empty state (before the initial snapshot batch).
+    pub fn new() -> SubscriberState {
+        SubscriberState::default()
+    }
+
+    /// Apply one batch. Enforces monotone revisions; a `snapshot` batch
+    /// replaces the accumulated state.
+    pub fn apply(&mut self, batch: &DeltaBatch) -> Result<()> {
+        if batch.revision <= self.last_revision {
+            return Err(CrowdError::Internal(format!(
+                "non-monotone subscription revision {} after {}",
+                batch.revision, self.last_revision
+            )));
+        }
+        if batch.snapshot {
+            self.rows = rowset_from_rows(&batch.added);
+        } else {
+            for r in &batch.removed {
+                let k = row_key(r);
+                match self.rows.get_mut(&k) {
+                    Some((_, n)) if *n > 1 => *n -= 1,
+                    Some(_) => {
+                        self.rows.remove(&k);
+                    }
+                    None => {
+                        return Err(CrowdError::Internal(
+                            "delta removed a row the subscriber never had".into(),
+                        ))
+                    }
+                }
+            }
+            for r in &batch.added {
+                let e = self
+                    .rows
+                    .entry(row_key(r))
+                    .or_insert_with(|| (r.clone(), 0));
+                e.1 += 1;
+            }
+        }
+        self.last_revision = batch.revision;
+        self.batches_applied += 1;
+        Ok(())
+    }
+
+    /// Accumulated rows, sorted by canonical encoding.
+    pub fn rows(&self) -> Vec<Row> {
+        rowset_to_rows(&self.rows)
+    }
+
+    /// Canonical byte encoding of the accumulated multiset (sorted,
+    /// concatenated row encodings) — the oracle comparison key.
+    pub fn canonical(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (k, (_, n)) in &self.rows {
+            for _ in 0..*n {
+                out.extend_from_slice(k);
+            }
+        }
+        out
+    }
+}
+
+/// Canonical byte encoding of an arbitrary row collection — what a
+/// fresh one-shot re-execution hashes to for the oracle comparison.
+pub fn canonical_rows(rows: &[Row]) -> Vec<u8> {
+    let mut keys: Vec<Vec<u8>> = rows.iter().map(row_key).collect();
+    keys.sort();
+    let mut out = Vec::new();
+    for k in keys {
+        out.extend_from_slice(&k);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_common::row;
+
+    #[test]
+    fn diff_is_multiset_aware() {
+        let old = rowset_from_rows(&[row![1i64], row![1i64], row![2i64]]);
+        let new = rowset_from_rows(&[row![1i64], row![3i64]]);
+        let (added, removed) = diff_rowsets(&old, &new);
+        assert_eq!(added, vec![row![3i64]]);
+        assert_eq!(removed, vec![row![1i64], row![2i64]]);
+    }
+
+    #[test]
+    fn subscriber_applies_snapshot_and_deltas() {
+        let mut s = SubscriberState::new();
+        s.apply(&DeltaBatch {
+            revision: 1,
+            snapshot: true,
+            added: vec![row![1i64], row![2i64]],
+            removed: vec![],
+        })
+        .unwrap();
+        s.apply(&DeltaBatch {
+            revision: 2,
+            snapshot: false,
+            added: vec![row![3i64]],
+            removed: vec![row![1i64]],
+        })
+        .unwrap();
+        assert_eq!(s.rows(), vec![row![2i64], row![3i64]]);
+        assert_eq!(s.canonical(), canonical_rows(&[row![3i64], row![2i64]]));
+    }
+
+    #[test]
+    fn subscriber_rejects_non_monotone_revision() {
+        let mut s = SubscriberState::new();
+        let b = DeltaBatch {
+            revision: 1,
+            snapshot: true,
+            added: vec![],
+            removed: vec![],
+        };
+        s.apply(&b).unwrap();
+        assert!(s.apply(&b).is_err());
+    }
+
+    #[test]
+    fn subscriber_rejects_removal_of_unknown_row() {
+        let mut s = SubscriberState::new();
+        let err = s
+            .apply(&DeltaBatch {
+                revision: 1,
+                snapshot: false,
+                added: vec![],
+                removed: vec![row![9i64]],
+            })
+            .unwrap_err();
+        assert_eq!(err.category(), "internal");
+    }
+
+    #[test]
+    fn resync_snapshot_replaces_state() {
+        let mut s = SubscriberState::new();
+        s.apply(&DeltaBatch {
+            revision: 1,
+            snapshot: true,
+            added: vec![row![1i64]],
+            removed: vec![],
+        })
+        .unwrap();
+        // Revisions 2–3 were lost to lag; the resync snapshot carries
+        // the full current result.
+        s.apply(&DeltaBatch {
+            revision: 4,
+            snapshot: true,
+            added: vec![row![7i64], row![8i64]],
+            removed: vec![],
+        })
+        .unwrap();
+        assert_eq!(s.rows(), vec![row![7i64], row![8i64]]);
+    }
+}

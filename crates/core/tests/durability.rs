@@ -400,3 +400,79 @@ fn tiny_pool_session_is_byte_identical_to_unbounded() {
     assert_eq!(tiny.2, unbounded.2, "snapshots diverge across pool sizes");
     assert_eq!(tiny.3, unbounded.3, "WAL bytes diverge across pool sizes");
 }
+
+/// Standing queries across a crash: subscriptions are session state (not
+/// persisted), but the *data* they watch is durable. Kill the engine
+/// without `close()` while half the crowd work is still outstanding,
+/// reopen from the log, re-register — the fresh snapshot batch must
+/// byte-match the state the old subscriber had accumulated, and the
+/// resumed stream stays consistent with re-execution as new rounds
+/// settle.
+#[test]
+fn subscriptions_resume_consistently_after_crash_recovery() {
+    use crowddb_core::{canonical_rows, SubscriberState};
+
+    let dir = TestDir::new("core-sub-crash");
+    const WATCH: &str = "SELECT title, abstract FROM talk";
+
+    let mut acc = SubscriberState::new();
+    let (pre_crash_canonical, old_id) = {
+        let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+        let mut p = crowd();
+        db.execute(DDL, &mut p).unwrap();
+        db.execute(
+            "INSERT INTO talk VALUES ('CrowdDB', CNULL, CNULL), ('Qurk', CNULL, CNULL)",
+            &mut p,
+        )
+        .unwrap();
+
+        let (id, _) = db.subscribe_id(WATCH).unwrap();
+        // Snapshot + the delta from the first probe's settled round; the
+        // second row's crowd columns are still CNULL when we "crash".
+        db.execute(PROBE, &mut p).unwrap();
+        while let Some(batch) = db.poll_subscription(id).unwrap() {
+            acc.apply(&batch).unwrap();
+        }
+        let fresh = db.execute_local(WATCH).unwrap();
+        assert_eq!(acc.canonical(), canonical_rows(&fresh.rows));
+        (acc.canonical(), id)
+        // drop(db) without close(): recovery must come from the log.
+    };
+
+    let db = CrowdDB::open_with_config(dir.path(), config()).unwrap();
+    // The old handle is dead — subscriptions are not durable state.
+    assert!(
+        db.poll_subscription(old_id).is_err(),
+        "pre-crash subscription ids must not survive recovery"
+    );
+
+    // Re-register: the fresh snapshot equals the pre-crash accumulated
+    // state, because the watched data recovered byte-identically.
+    let (id, _) = db.subscribe_id(WATCH).unwrap();
+    let mut resumed = SubscriberState::new();
+    while let Some(batch) = db.poll_subscription(id).unwrap() {
+        resumed.apply(&batch).unwrap();
+    }
+    assert_eq!(
+        resumed.canonical(),
+        pre_crash_canonical,
+        "resync snapshot after recovery must match the pre-crash stream state"
+    );
+
+    // The stream resumes: the outstanding row's round settles and the
+    // delta keeps the subscriber consistent with re-execution.
+    let mut p = crowd();
+    let r = db
+        .execute("SELECT abstract FROM talk WHERE title = 'Qurk'", &mut p)
+        .unwrap();
+    assert!(r.complete);
+    let mut got_delta = false;
+    while let Some(batch) = db.poll_subscription(id).unwrap() {
+        got_delta = true;
+        resumed.apply(&batch).unwrap();
+    }
+    assert!(got_delta, "the settled round must emit a delta");
+    let fresh = db.execute_local(WATCH).unwrap();
+    assert_eq!(resumed.canonical(), canonical_rows(&fresh.rows));
+    db.close().unwrap();
+}

@@ -241,6 +241,30 @@ fn explain_crowd_sort_and_limit() {
 }
 
 #[test]
+fn explain_subscribe_scan() {
+    // EXPLAIN of a standing query prepends the standing-plan section
+    // (watched tables, triggers, delivery contract) to the optimized
+    // plan of the underlying SELECT.
+    let actual = explain("SUBSCRIBE SELECT title, abstract FROM Talk");
+    assert_golden(
+        &actual,
+        include_str!("golden/explain_subscribe_scan.txt"),
+        "explain_subscribe_scan",
+    );
+}
+
+#[test]
+fn explain_subscribe_join() {
+    let actual =
+        explain("SUBSCRIBE SELECT t.title, v.room FROM Talk t JOIN Venue v ON t.title = v.talk");
+    assert_golden(
+        &actual,
+        include_str!("golden/explain_subscribe_join.txt"),
+        "explain_subscribe_join",
+    );
+}
+
+#[test]
 fn explain_aggregate() {
     let actual = explain("SELECT COUNT(*), MAX(nb_attendees) FROM Talk");
     assert_golden(

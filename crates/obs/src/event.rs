@@ -190,6 +190,37 @@ pub enum Event {
         /// Whether the rejected request was crowd-touching.
         crowd: bool,
     },
+    /// A standing query (`SUBSCRIBE`) was registered.
+    SubscriptionOpened {
+        /// Engine-unique subscription id.
+        id: u64,
+        /// Canonical SQL of the underlying `SELECT`.
+        sql: String,
+    },
+    /// A standing query was dropped (`UNSUBSCRIBE` or session cleanup).
+    SubscriptionClosed {
+        /// Subscription id from the matching `SubscriptionOpened`.
+        id: u64,
+    },
+    /// A standing query emitted a delta batch.
+    SubscriptionDelta {
+        /// Subscription id.
+        id: u64,
+        /// Monotone revision number of the batch.
+        revision: u64,
+        /// Rows added.
+        added: u64,
+        /// Rows removed.
+        removed: u64,
+    },
+    /// A subscription consumer fell behind its bounded queue; queued
+    /// batches were dropped pending a resync snapshot.
+    SubscriptionLagged {
+        /// Subscription id.
+        id: u64,
+        /// Delta batches dropped from the queue.
+        dropped: u64,
+    },
 }
 
 impl Event {
@@ -218,6 +249,10 @@ impl Event {
             Event::ConnectionOpened { .. } => "connection_opened",
             Event::ConnectionClosed { .. } => "connection_closed",
             Event::ServerOverloaded { .. } => "server_overloaded",
+            Event::SubscriptionOpened { .. } => "subscription_opened",
+            Event::SubscriptionClosed { .. } => "subscription_closed",
+            Event::SubscriptionDelta { .. } => "subscription_delta",
+            Event::SubscriptionLagged { .. } => "subscription_lagged",
         }
     }
 }

@@ -254,6 +254,34 @@ pub fn event_to_json(rec: &EventRecord) -> String {
                 ("crowd", Field::Bool(*crowd)),
             ],
         ),
+        Event::SubscriptionOpened { id, sql } => obj(
+            ts,
+            "subscription_opened",
+            &[("id", Field::U64(*id)), ("sql", Field::Str(sql))],
+        ),
+        Event::SubscriptionClosed { id } => {
+            obj(ts, "subscription_closed", &[("id", Field::U64(*id))])
+        }
+        Event::SubscriptionDelta {
+            id,
+            revision,
+            added,
+            removed,
+        } => obj(
+            ts,
+            "subscription_delta",
+            &[
+                ("id", Field::U64(*id)),
+                ("revision", Field::U64(*revision)),
+                ("added", Field::U64(*added)),
+                ("removed", Field::U64(*removed)),
+            ],
+        ),
+        Event::SubscriptionLagged { id, dropped } => obj(
+            ts,
+            "subscription_lagged",
+            &[("id", Field::U64(*id)), ("dropped", Field::U64(*dropped))],
+        ),
     }
 }
 

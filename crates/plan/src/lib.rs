@@ -38,6 +38,7 @@ pub mod logical;
 pub mod optimizer;
 pub mod physical;
 pub mod schema;
+pub mod standing;
 
 pub use binder::Binder;
 pub use bound_expr::{AggCall, AggFn, BExpr, ScalarFn};
@@ -47,3 +48,4 @@ pub use logical::{JoinType, LogicalPlan, SortKey};
 pub use optimizer::{optimize, OptimizerConfig};
 pub use physical::{lower, IndexMeta, PhysAnnot, PhysicalPlan};
 pub use schema::{PlanColumn, PlanSchema};
+pub use standing::StandingPlan;

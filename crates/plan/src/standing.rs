@@ -1,0 +1,148 @@
+//! Standing plans for continuous queries (`SUBSCRIBE SELECT ...`).
+//!
+//! A standing plan wraps an optimized logical plan with the metadata the
+//! incremental evaluator needs: which base tables the query *watches*
+//! (any write to one of them can change the result) and whether the
+//! query is crowd-related (so settling crowd rounds must also trigger
+//! re-evaluation). The engine re-lowers the logical plan on every
+//! trigger, exactly like one-shot `SELECT` does per round, so index
+//! selection stays current as the catalog evolves.
+//!
+//! The trigger model is deliberately coarse (table-level, not
+//! predicate-level): CrowdDB's open-world tables gain tuples and fill
+//! CNULLs in ways no static predicate analysis can bound, so the only
+//! safe skip is "no watched table was touched".
+
+use crate::logical::LogicalPlan;
+
+/// A lowered standing query: the optimized logical plan plus the
+/// trigger metadata for incremental re-evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandingPlan {
+    /// The optimized logical plan of the underlying `SELECT`.
+    pub logical: LogicalPlan,
+    /// Base tables whose writes can change the result (sorted, deduped,
+    /// catalog names — not aliases).
+    pub tables: Vec<String>,
+    /// Whether crowd activity (settling rounds) can change the result,
+    /// in addition to DML.
+    pub crowd_related: bool,
+}
+
+impl StandingPlan {
+    /// Wrap an optimized logical plan as a standing plan.
+    pub fn new(logical: LogicalPlan) -> StandingPlan {
+        let mut tables: Vec<String> = logical
+            .scans()
+            .iter()
+            .filter_map(|s| match s {
+                LogicalPlan::Scan { table, .. } => Some(table.clone()),
+                _ => None,
+            })
+            .collect();
+        tables.sort();
+        tables.dedup();
+        let crowd_related = logical.is_crowd_related();
+        StandingPlan {
+            logical,
+            tables,
+            crowd_related,
+        }
+    }
+
+    /// Whether a write to `table` can change this standing query's
+    /// result (i.e. the subscription must re-evaluate).
+    pub fn watches(&self, table: &str) -> bool {
+        self.tables.iter().any(|t| t == table)
+    }
+
+    /// The `== Standing plan ==` EXPLAIN section: watched tables,
+    /// triggers, and delivery semantics.
+    pub fn explain(&self) -> String {
+        let watches = if self.tables.is_empty() {
+            "(none — constant query, initial snapshot only)".to_string()
+        } else {
+            self.tables.join(", ")
+        };
+        let triggers = if self.crowd_related {
+            "crowd round settlement, DML commit"
+        } else {
+            "DML commit"
+        };
+        format!(
+            "== Standing plan ==\nwatches: {watches}\ntriggers: {triggers}\n\
+             delivery: delta batches (+row/-row), monotone revisions, bounded queue\n"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{PlanColumn, PlanSchema};
+    use crowddb_common::DataType;
+
+    fn scan(table: &str, crowd: bool) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.into(),
+            alias: table.into(),
+            schema: PlanSchema::new(vec![PlanColumn {
+                qualifier: Some(table.into()),
+                name: "a".into(),
+                data_type: Some(DataType::Int),
+                crowd: false,
+                base: Some((table.into(), 0)),
+            }]),
+            crowd_table: crowd,
+            needed_columns: vec![0],
+            expected_tuples: None,
+        }
+    }
+
+    #[test]
+    fn collects_watched_tables_sorted_deduped() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan("zeta", false)),
+            right: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("alpha", false)),
+                right: Box::new(scan("zeta", false)),
+                kind: crate::logical::JoinType::Cross,
+                on: None,
+            }),
+            kind: crate::logical::JoinType::Cross,
+            on: None,
+        };
+        let sp = StandingPlan::new(plan);
+        assert_eq!(sp.tables, vec!["alpha".to_string(), "zeta".to_string()]);
+        assert!(sp.watches("alpha"));
+        assert!(!sp.watches("beta"));
+        assert!(!sp.crowd_related);
+    }
+
+    #[test]
+    fn crowd_scan_marks_crowd_related() {
+        let sp = StandingPlan::new(scan("paper", true));
+        assert!(sp.crowd_related);
+        let section = sp.explain();
+        assert!(section.contains("== Standing plan =="));
+        assert!(section.contains("watches: paper"));
+        assert!(section.contains("crowd round settlement"));
+    }
+
+    #[test]
+    fn local_plan_triggers_on_dml_only() {
+        let sp = StandingPlan::new(scan("sessions", false));
+        let section = sp.explain();
+        assert!(section.contains("triggers: DML commit\n"));
+    }
+
+    #[test]
+    fn constant_query_watches_nothing() {
+        let sp = StandingPlan::new(LogicalPlan::Values {
+            rows: vec![],
+            schema: PlanSchema::default(),
+        });
+        assert!(sp.tables.is_empty());
+        assert!(sp.explain().contains("constant query"));
+    }
+}

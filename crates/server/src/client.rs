@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, ProtocolError, Request, Response,
-    WireResult, MAGIC,
+    WireDeltaBatch, WireResult, MAGIC,
 };
 
 /// A client-side failure.
@@ -207,6 +207,49 @@ impl Client {
         )?;
         match read_response(&mut self.stream)? {
             Response::RowSet(r) => Ok(r),
+            Response::Error { category, message } => Err(ClientError::Remote { category, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Register a standing query (`SELECT ...` or `SUBSCRIBE SELECT
+    /// ...`). Returns the subscription id and output column names; the
+    /// initial snapshot arrives as the first [`Self::poll_deltas`] batch.
+    pub fn subscribe(&mut self, sql: &str) -> Result<(u64, Vec<String>), ClientError> {
+        send_request(
+            &mut self.stream,
+            &Request::Subscribe {
+                sql: sql.to_string(),
+            },
+        )?;
+        match read_response(&mut self.stream)? {
+            Response::SubscribeOk { id, columns } => Ok((id, columns)),
+            Response::Error { category, message } => Err(ClientError::Remote { category, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Drain up to `max` queued delta batches of subscription `id`. An
+    /// empty vector means the subscriber is caught up. A
+    /// `subscription-lagged` remote error means queued batches were
+    /// dropped; the next call resyncs with a snapshot batch.
+    pub fn poll_deltas(&mut self, id: u64, max: u32) -> Result<Vec<WireDeltaBatch>, ClientError> {
+        send_request(&mut self.stream, &Request::Poll { id, max })?;
+        match read_response(&mut self.stream)? {
+            Response::DeltaBatches { id: got, batches } if got == id => Ok(batches),
+            Response::DeltaBatches { id: got, .. } => Err(ClientError::Unexpected(format!(
+                "delta batches for subscription {got}, wanted {id}"
+            ))),
+            Response::Error { category, message } => Err(ClientError::Remote { category, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Drop standing query `id`.
+    pub fn unsubscribe(&mut self, id: u64) -> Result<(), ClientError> {
+        send_request(&mut self.stream, &Request::Unsubscribe { id })?;
+        match read_response(&mut self.stream)? {
+            Response::UnsubscribeOk => Ok(()),
             Response::Error { category, message } => Err(ClientError::Remote { category, message }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }

@@ -22,9 +22,19 @@
 //!
 //! Requests: `Hello` (tenant authentication + the session's platform
 //! seed), `Query`, `Cancel` (out-of-band, keyed like the Postgres cancel
-//! protocol), `Metrics`, `Close`. Responses: `HelloOk`, `RowSet` (full
-//! per-statement crowd accounting included), `Error` (typed by the
-//! engine's error category), `MetricsText`, `CancelOk`, `CloseOk`.
+//! protocol), `Metrics`, `Close`, and the continuous-query trio
+//! `Subscribe` / `Poll` / `Unsubscribe`. Responses: `HelloOk`, `RowSet`
+//! (full per-statement crowd accounting included), `Error` (typed by
+//! the engine's error category), `MetricsText`, `CancelOk`, `CloseOk`,
+//! `SubscribeOk`, `DeltaBatches`, `UnsubscribeOk`.
+//!
+//! Delta delivery is poll-based: the client asks for up to `max`
+//! batches and the server drains that many from the subscription's
+//! bounded queue. A consumer that fell behind gets one typed
+//! `subscription-lagged` error; its next poll carries a resync
+//! snapshot. Polling keeps the protocol strictly request/response —
+//! no server-push frame can interleave with a row set, so the stream
+//! stays corruption-evident and trivially resumable.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -50,6 +60,9 @@ const REQ_QUERY: u8 = 0x02;
 const REQ_CANCEL: u8 = 0x03;
 const REQ_CLOSE: u8 = 0x04;
 const REQ_METRICS: u8 = 0x05;
+const REQ_SUBSCRIBE: u8 = 0x06;
+const REQ_POLL: u8 = 0x07;
+const REQ_UNSUBSCRIBE: u8 = 0x08;
 
 const RESP_HELLO_OK: u8 = 0x81;
 const RESP_ROWSET: u8 = 0x82;
@@ -57,6 +70,9 @@ const RESP_ERROR: u8 = 0x83;
 const RESP_METRICS: u8 = 0x84;
 const RESP_CANCEL_OK: u8 = 0x85;
 const RESP_CLOSE_OK: u8 = 0x86;
+const RESP_SUBSCRIBE_OK: u8 = 0x87;
+const RESP_DELTA_BATCHES: u8 = 0x88;
+const RESP_UNSUBSCRIBE_OK: u8 = 0x89;
 
 /// Typed protocol failure. Framing-level variants (`BadMagic`,
 /// `FrameTooLarge`, `CrcMismatch`, short reads) mean the byte stream can
@@ -157,6 +173,38 @@ pub enum Request {
     Close,
     /// Fetch the server's metrics registry as Prometheus text.
     Metrics,
+    /// Register a standing query (`SUBSCRIBE SELECT ...` or a bare
+    /// `SELECT ...`).
+    Subscribe {
+        /// The standing query text.
+        sql: String,
+    },
+    /// Drain up to `max` queued delta batches from subscription `id`.
+    Poll {
+        /// Subscription id from `SubscribeOk`.
+        id: u64,
+        /// Maximum batches to return (0 is treated as 1).
+        max: u32,
+    },
+    /// Drop the standing query with id `id`.
+    Unsubscribe {
+        /// Subscription id from `SubscribeOk`.
+        id: u64,
+    },
+}
+
+/// One standing-query delta batch as carried on the wire.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireDeltaBatch {
+    /// Monotone per-subscription revision number.
+    pub revision: u64,
+    /// Whether the batch replaces the accumulated state (`added` is the
+    /// full result, `removed` empty).
+    pub snapshot: bool,
+    /// Rows entering the result.
+    pub added: Vec<Row>,
+    /// Rows leaving the result.
+    pub removed: Vec<Row>,
 }
 
 /// Full per-statement result as carried on the wire: rows plus the
@@ -233,6 +281,22 @@ pub enum Response {
     CancelOk,
     /// The session is closed; the server will drop the connection.
     CloseOk,
+    /// A standing query was registered.
+    SubscribeOk {
+        /// Engine-unique subscription id.
+        id: u64,
+        /// Output column names of the standing query.
+        columns: Vec<String>,
+    },
+    /// Queued delta batches drained by a `Poll` (possibly empty).
+    DeltaBatches {
+        /// Subscription id the batches belong to.
+        id: u64,
+        /// Drained batches, oldest first.
+        batches: Vec<WireDeltaBatch>,
+    },
+    /// The standing query was dropped.
+    UnsubscribeOk,
 }
 
 // ---------------------------------------------------------------- frame
@@ -385,6 +449,25 @@ fn get_strs(buf: &mut Bytes) -> Result<Vec<String>, ProtocolError> {
     Ok(out)
 }
 
+fn put_rows(buf: &mut BytesMut, rows: &[Row]) {
+    buf.put_u32_le(rows.len() as u32);
+    for row in rows {
+        codec::encode_row(buf, row);
+    }
+}
+
+fn get_rows(buf: &mut Bytes) -> Result<Vec<Row>, ProtocolError> {
+    let n = get_u32(buf)? as usize;
+    if n > MAX_ITEMS {
+        return Err(ProtocolError::Malformed(format!("row count {n} too large")));
+    }
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push(codec::decode_row(buf).map_err(|e| ProtocolError::Malformed(e.to_string()))?);
+    }
+    Ok(rows)
+}
+
 fn finish(buf: &Bytes) -> Result<(), ProtocolError> {
     if buf.remaining() != 0 {
         return Err(ProtocolError::TrailingBytes(buf.remaining()));
@@ -419,6 +502,19 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Close => buf.put_u8(REQ_CLOSE),
         Request::Metrics => buf.put_u8(REQ_METRICS),
+        Request::Subscribe { sql } => {
+            buf.put_u8(REQ_SUBSCRIBE);
+            put_str(&mut buf, sql);
+        }
+        Request::Poll { id, max } => {
+            buf.put_u8(REQ_POLL);
+            buf.put_u64_le(*id);
+            buf.put_u32_le(*max);
+        }
+        Request::Unsubscribe { id } => {
+            buf.put_u8(REQ_UNSUBSCRIBE);
+            buf.put_u64_le(*id);
+        }
     }
     buf.freeze().to_vec()
 }
@@ -442,6 +538,16 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         },
         REQ_CLOSE => Request::Close,
         REQ_METRICS => Request::Metrics,
+        REQ_SUBSCRIBE => Request::Subscribe {
+            sql: get_str(&mut buf)?,
+        },
+        REQ_POLL => Request::Poll {
+            id: get_u64(&mut buf)?,
+            max: get_u32(&mut buf)?,
+        },
+        REQ_UNSUBSCRIBE => Request::Unsubscribe {
+            id: get_u64(&mut buf)?,
+        },
         other => return Err(ProtocolError::UnknownOpcode(other)),
     };
     finish(&buf)?;
@@ -498,6 +604,23 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::CancelOk => buf.put_u8(RESP_CANCEL_OK),
         Response::CloseOk => buf.put_u8(RESP_CLOSE_OK),
+        Response::SubscribeOk { id, columns } => {
+            buf.put_u8(RESP_SUBSCRIBE_OK);
+            buf.put_u64_le(*id);
+            put_strs(&mut buf, columns);
+        }
+        Response::DeltaBatches { id, batches } => {
+            buf.put_u8(RESP_DELTA_BATCHES);
+            buf.put_u64_le(*id);
+            buf.put_u32_le(batches.len() as u32);
+            for b in batches {
+                buf.put_u64_le(b.revision);
+                buf.put_u8(u8::from(b.snapshot));
+                put_rows(&mut buf, &b.added);
+                put_rows(&mut buf, &b.removed);
+            }
+        }
+        Response::UnsubscribeOk => buf.put_u8(RESP_UNSUBSCRIBE_OK),
     }
     buf.freeze().to_vec()
 }
@@ -554,6 +677,30 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
         },
         RESP_CANCEL_OK => Response::CancelOk,
         RESP_CLOSE_OK => Response::CloseOk,
+        RESP_SUBSCRIBE_OK => Response::SubscribeOk {
+            id: get_u64(&mut buf)?,
+            columns: get_strs(&mut buf)?,
+        },
+        RESP_DELTA_BATCHES => {
+            let id = get_u64(&mut buf)?;
+            let n = get_u32(&mut buf)? as usize;
+            if n > MAX_ITEMS {
+                return Err(ProtocolError::Malformed(format!(
+                    "batch count {n} too large"
+                )));
+            }
+            let mut batches = Vec::with_capacity(n);
+            for _ in 0..n {
+                batches.push(WireDeltaBatch {
+                    revision: get_u64(&mut buf)?,
+                    snapshot: get_bool(&mut buf)?,
+                    added: get_rows(&mut buf)?,
+                    removed: get_rows(&mut buf)?,
+                });
+            }
+            Response::DeltaBatches { id, batches }
+        }
+        RESP_UNSUBSCRIBE_OK => Response::UnsubscribeOk,
         other => return Err(ProtocolError::UnknownOpcode(other)),
     };
     finish(&buf)?;
@@ -599,6 +746,11 @@ mod tests {
             },
             Request::Close,
             Request::Metrics,
+            Request::Subscribe {
+                sql: "SUBSCRIBE SELECT title FROM talk WHERE nb_attendees > 100".into(),
+            },
+            Request::Poll { id: 5, max: 16 },
+            Request::Unsubscribe { id: 5 },
         ]
     }
 
@@ -640,6 +792,28 @@ mod tests {
             },
             Response::CancelOk,
             Response::CloseOk,
+            Response::SubscribeOk {
+                id: 5,
+                columns: vec!["title".into(), "n".into()],
+            },
+            Response::DeltaBatches {
+                id: 5,
+                batches: vec![
+                    WireDeltaBatch {
+                        revision: 1,
+                        snapshot: true,
+                        added: vec![row!["CrowdDB", 120i64]],
+                        removed: vec![],
+                    },
+                    WireDeltaBatch {
+                        revision: 2,
+                        snapshot: false,
+                        added: vec![row!["Qurk", 3i64]],
+                        removed: vec![row!["CrowdDB", 120i64]],
+                    },
+                ],
+            },
+            Response::UnsubscribeOk,
         ]
     }
 

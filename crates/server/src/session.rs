@@ -28,7 +28,7 @@ use crowddb_obs::Event;
 
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, ProtocolError, Request, Response,
-    WireResult, MAGIC, MAX_FRAME,
+    WireDeltaBatch, WireResult, MAGIC, MAX_FRAME,
 };
 use crate::server::{fresh_cancel_key, SessionEntry, Shared};
 use crate::tenant::tenant_metric;
@@ -201,6 +201,9 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, tenant: &str, token:
 
     let mut platform = (shared.platform)(seed);
     let mut requests: u64 = 0;
+    // Subscriptions opened by this session; dropped on disconnect so a
+    // vanished client cannot leave standing queries evaluating forever.
+    let mut sub_ids: Vec<u64> = Vec::new();
 
     if send(
         &mut stream,
@@ -263,6 +266,30 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, tenant: &str, token:
                         &cancel,
                     )
                 }
+                Request::Subscribe { sql } => {
+                    requests += 1;
+                    match shared.engine.db().subscribe_id(&sql) {
+                        Ok((id, columns)) => {
+                            sub_ids.push(id);
+                            Response::SubscribeOk { id, columns }
+                        }
+                        Err(e) => engine_error(&e),
+                    }
+                }
+                Request::Poll { id, max } => {
+                    requests += 1;
+                    poll_subscription(shared, id, max)
+                }
+                Request::Unsubscribe { id } => {
+                    requests += 1;
+                    match shared.engine.db().unsubscribe(id) {
+                        Ok(()) => {
+                            sub_ids.retain(|s| *s != id);
+                            Response::UnsubscribeOk
+                        }
+                        Err(e) => engine_error(&e),
+                    }
+                }
             };
             if !send(&mut stream, &resp) {
                 break;
@@ -270,6 +297,10 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, tenant: &str, token:
         }
     }
 
+    // Disconnect (clean or not) drops this session's subscriptions.
+    for id in sub_ids {
+        let _ = shared.engine.db().unsubscribe(id);
+    }
     shared
         .sessions
         .lock()
@@ -280,6 +311,38 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, tenant: &str, token:
         session: session_id,
         requests,
     });
+}
+
+/// Drain up to `max` queued delta batches (at least one poll happens, so
+/// a lag error always surfaces). Lag is reported alone — queued state was
+/// already discarded by the engine — and the *next* poll resyncs.
+fn poll_subscription(shared: &Arc<Shared>, id: u64, max: u32) -> Response {
+    let db = shared.engine.db();
+    let mut batches = Vec::new();
+    for _ in 0..max.max(1) {
+        match db.poll_subscription(id) {
+            Ok(Some(b)) => batches.push(WireDeltaBatch {
+                revision: b.revision,
+                snapshot: b.snapshot,
+                added: b.added,
+                removed: b.removed,
+            }),
+            Ok(None) => break,
+            Err(e) => {
+                // Batches already drained stay drained client-side only
+                // if we deliver them; an error frame carries no batches,
+                // so only error when nothing was collected — otherwise
+                // return what we have and let the next Poll hit the
+                // error again (lag/failure states are sticky until
+                // polled or unsubscribed).
+                if batches.is_empty() {
+                    return engine_error(&e);
+                }
+                break;
+            }
+        }
+    }
+    Response::DeltaBatches { id, batches }
 }
 
 fn execute_query(

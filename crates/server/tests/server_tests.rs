@@ -786,6 +786,232 @@ fn bad_magic_is_refused() {
     server.join().expect("drain");
 }
 
+// ------------------------------------------------- standing queries
+
+/// Subscribe over the wire, watch DML from *another* session arrive as
+/// delta batches, and unsubscribe.
+#[test]
+fn subscribe_streams_deltas_over_the_wire() {
+    let server = local_server(
+        vec![TenantConfig::open("public")],
+        CrowdDB::with_config(CrowdConfig::fast_test()),
+    );
+    let a = addr(&server);
+
+    let mut watcher = Client::connect(&a, "public", "", 1).expect("connect watcher");
+    watcher.query(DDL).expect("ddl");
+    watcher.query(SEED_ROWS).expect("seed");
+
+    let (id, columns) = watcher
+        .subscribe("SELECT title FROM Talk")
+        .expect("subscribe");
+    assert_eq!(columns, vec!["title".to_string()]);
+
+    // The initial snapshot batch carries the full current result.
+    let batches = watcher.poll_deltas(id, 16).expect("initial poll");
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].revision, 1);
+    assert!(batches[0].snapshot);
+    assert_eq!(batches[0].added.len(), 4);
+    assert!(batches[0].removed.is_empty());
+
+    // Caught up: an empty poll.
+    assert!(watcher.poll_deltas(id, 16).expect("empty poll").is_empty());
+
+    // A *different* session's DML reaches this session's subscription:
+    // standing queries are engine-wide, not per-connection.
+    let mut writer = Client::connect(&a, "public", "", 2).expect("connect writer");
+    writer
+        .query("INSERT INTO Talk (title) VALUES ('Datomic')")
+        .expect("insert");
+    writer.close().expect("close writer");
+
+    let batches = watcher.poll_deltas(id, 16).expect("delta poll");
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].revision, 2);
+    assert!(!batches[0].snapshot);
+    assert_eq!(batches[0].added.len(), 1);
+    assert!(batches[0].removed.is_empty());
+
+    watcher.unsubscribe(id).expect("unsubscribe");
+    let err = watcher
+        .poll_deltas(id, 16)
+        .expect_err("poll after unsubscribe");
+    assert!(matches!(err, ClientError::Remote { .. }), "{err}");
+    watcher.close().expect("close watcher");
+    server.join().expect("drain");
+}
+
+/// A consumer that stops polling while writes keep coming gets the typed
+/// `subscription-lagged` error exactly once, then a resync snapshot —
+/// the bounded queue is visible end to end through CDBP.
+#[test]
+fn lagged_subscription_errors_then_resyncs_over_the_wire() {
+    let mut config = CrowdConfig::fast_test();
+    config.subscriptions.max_queue_batches = 1;
+    let server = local_server(
+        vec![TenantConfig::open("public")],
+        CrowdDB::with_config(config),
+    );
+    let mut c = Client::connect(&addr(&server), "public", "", 1).expect("connect");
+    c.query("CREATE TABLE T (k INTEGER PRIMARY KEY)")
+        .expect("ddl");
+
+    let (id, _) = c.subscribe("SELECT k FROM T").expect("subscribe");
+    // Initial snapshot + 3 unpolled DML deltas against a queue of 1.
+    for k in 1..=3 {
+        c.query(&format!("INSERT INTO T (k) VALUES ({k})"))
+            .expect("insert");
+    }
+    let err = c.poll_deltas(id, 16).expect_err("lagged");
+    assert_eq!(err.category(), "subscription-lagged", "{err}");
+
+    // The next poll resyncs: one snapshot batch with the full result.
+    let batches = c.poll_deltas(id, 16).expect("resync poll");
+    assert_eq!(batches.len(), 1);
+    assert!(batches[0].snapshot);
+    assert_eq!(batches[0].added.len(), 3);
+    // And the stream is healthy again afterwards.
+    c.query("INSERT INTO T (k) VALUES (4)").expect("insert 4");
+    let batches = c.poll_deltas(id, 16).expect("post-resync poll");
+    assert_eq!(batches.len(), 1);
+    assert!(!batches[0].snapshot);
+    c.close().expect("close");
+    server.join().expect("drain");
+}
+
+/// A client that vanishes mid-stream (TCP drop, no Close) must not leak
+/// its standing queries: the session cleanup unsubscribes them.
+#[test]
+fn disconnect_mid_stream_drops_subscriptions() {
+    let server = local_server(
+        vec![TenantConfig::open("public")],
+        CrowdDB::with_config(CrowdConfig::fast_test()),
+    );
+    let a = addr(&server);
+
+    let mut setup = Client::connect(&a, "public", "", 1).expect("connect");
+    setup.query(DDL).expect("ddl");
+    setup.query(SEED_ROWS).expect("seed");
+    setup.close().expect("close setup");
+
+    let mut abrupt = Client::connect(&a, "public", "", 2).expect("connect abrupt");
+    let (id, _) = abrupt
+        .subscribe("SELECT title FROM Talk")
+        .expect("subscribe");
+    let _ = abrupt.poll_deltas(id, 16).expect("snapshot");
+    assert_eq!(server.db().subscriptions().len(), 1);
+    drop(abrupt); // TCP FIN, no Close frame
+
+    // The session thread sees EOF and cleans up asynchronously.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !server.db().subscriptions().is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "abandoned subscription was never dropped"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.join().expect("drain");
+}
+
+/// Shutdown drains cleanly while subscriptions are still registered and
+/// a subscriber connection is open.
+#[test]
+fn drain_with_active_subscriptions_shuts_down_cleanly() {
+    let server = local_server(
+        vec![TenantConfig::open("public")],
+        CrowdDB::with_config(CrowdConfig::fast_test()),
+    );
+    let a = addr(&server);
+
+    let mut c = Client::connect(&a, "public", "", 1).expect("connect");
+    c.query("CREATE TABLE D (k INTEGER PRIMARY KEY)")
+        .expect("ddl");
+    let (id, _) = c.subscribe("SELECT k FROM D").expect("subscribe");
+    let _ = c.poll_deltas(id, 16).expect("snapshot");
+
+    // Drain while the subscriber is idle-connected with a live standing
+    // query; the shutdown must not wedge on it.
+    server.join().expect("drain with active subscription");
+    // The subscriber's next poll fails: the stream is gone, not hung.
+    let err = c.poll_deltas(id, 16).expect_err("stream ended by drain");
+    assert_eq!(err.category(), "protocol", "{err}");
+}
+
+/// Server-level corruption sweep over the new frame types: every
+/// single-byte flip of a framed `Subscribe`/`Poll`/`Unsubscribe` request
+/// either earns a well-formed response frame (typically a typed
+/// `protocol` error) or ends that connection — and the server keeps
+/// accepting and executing afterwards. (The protocol unit tests sweep
+/// the same images at the decode layer; this exercises the full TCP
+/// path including framing desync.)
+#[test]
+fn subscription_frame_corruption_never_kills_the_server() {
+    use std::io::Write;
+
+    let server = local_server(
+        vec![TenantConfig::open("public")],
+        CrowdDB::with_config(CrowdConfig::fast_test()),
+    );
+    let a = addr(&server);
+
+    let images = [
+        protocol::frame_request(&protocol::Request::Subscribe {
+            sql: "SELECT title FROM Talk".into(),
+        }),
+        protocol::frame_request(&protocol::Request::Poll { id: 1, max: 8 }),
+        protocol::frame_request(&protocol::Request::Unsubscribe { id: 1 }),
+    ];
+    for image in &images {
+        for i in 0..image.len() {
+            let mut corrupt = image.clone();
+            corrupt[i] ^= 0xff;
+
+            // A fresh raw session per probe: framing poison is expected
+            // to kill at most the probed connection.
+            let mut stream = std::net::TcpStream::connect(server.addr()).expect("tcp");
+            stream.write_all(protocol::MAGIC).expect("magic");
+            protocol::write_frame(
+                &mut stream,
+                &protocol::encode_request(&protocol::Request::Hello {
+                    tenant: "public".into(),
+                    token: String::new(),
+                    seed: 1,
+                }),
+            )
+            .expect("hello");
+            let hello = protocol::read_frame(&mut stream).expect("hello resp");
+            assert!(matches!(
+                protocol::decode_response(&hello).expect("hello decode"),
+                protocol::Response::HelloOk { .. }
+            ));
+
+            stream.write_all(&corrupt).expect("send corrupted frame");
+            // A corrupted length prefix can leave the server waiting for
+            // bytes that never come; bound the read and shrug off a
+            // timeout or EOF — the invariant is that the *server* stays
+            // healthy, checked below.
+            stream
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .expect("timeout");
+            // A closed or hung connection is acceptable; anything that
+            // does come back must be a well-formed frame.
+            if let Ok(payload) = protocol::read_frame(&mut stream) {
+                protocol::decode_response(&payload)
+                    .unwrap_or_else(|e| panic!("byte {i}: malformed response: {e}"));
+            }
+        }
+    }
+
+    // After the whole sweep the server still accepts and executes.
+    let mut c = Client::connect(&a, "public", "", 9).expect("server alive after sweep");
+    c.query("CREATE TABLE Sweep (k INTEGER PRIMARY KEY)")
+        .expect("server still executing");
+    c.close().expect("close");
+    server.join().expect("drain");
+}
+
 // ------------------------------------------------------------- metrics
 
 #[test]

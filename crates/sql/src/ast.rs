@@ -37,6 +37,14 @@ pub enum Statement {
         /// `EXPLAIN ANALYZE`: execute and report per-operator stats.
         analyze: bool,
     },
+    /// `SUBSCRIBE SELECT ...` — register a standing query that emits
+    /// delta batches as crowd rounds settle and DML commits.
+    Subscribe(Box<Query>),
+    /// `UNSUBSCRIBE <id>` — drop the standing query with that id.
+    Unsubscribe {
+        /// Subscription id returned by `SUBSCRIBE`.
+        id: u64,
+    },
 }
 
 /// `INSERT` statement.
@@ -654,6 +662,8 @@ impl fmt::Display for Statement {
                 "EXPLAIN {}{statement}",
                 if *analyze { "ANALYZE " } else { "" }
             ),
+            Statement::Subscribe(q) => write!(f, "SUBSCRIBE {q}"),
+            Statement::Unsubscribe { id } => write!(f, "UNSUBSCRIBE {id}"),
         }
     }
 }

@@ -174,10 +174,27 @@ impl Parser {
                     analyze,
                 })
             }
-            _ => {
-                Err(self
-                    .unexpected("a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/EXPLAIN)"))
+            // SUBSCRIBE/UNSUBSCRIBE are contextual keywords, like ANALYZE:
+            // only meaningful at statement start, plain identifiers
+            // everywhere else (so a column named `subscribe` still works).
+            TokenKind::Ident(s) if s == "subscribe" => {
+                self.advance();
+                Ok(Statement::Subscribe(Box::new(self.parse_query()?)))
             }
+            TokenKind::Ident(s) if s == "unsubscribe" => {
+                self.advance();
+                match *self.peek() {
+                    TokenKind::IntLit(n) if n >= 0 => {
+                        self.advance();
+                        Ok(Statement::Unsubscribe { id: n as u64 })
+                    }
+                    _ => Err(self.unexpected("a subscription id")),
+                }
+            }
+            _ => Err(self.unexpected(
+                "a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/EXPLAIN/\
+                 SUBSCRIBE/UNSUBSCRIBE)",
+            )),
         }
     }
 
@@ -1285,6 +1302,42 @@ mod tests {
         assert_eq!(s.to_string(), "EXPLAIN ANALYZE SELECT * FROM t");
         // ANALYZE still works as a regular identifier elsewhere.
         assert!(parse_statement("SELECT analyze FROM t").is_ok());
+    }
+
+    #[test]
+    fn subscribe_statement() {
+        let s = parse_statement("SUBSCRIBE SELECT a FROM t WHERE a > 1").unwrap();
+        let Statement::Subscribe(q) = &s else {
+            panic!("expected SUBSCRIBE, got {s:?}")
+        };
+        assert_eq!(q.projection.len(), 1);
+        assert_eq!(s.to_string(), "SUBSCRIBE SELECT a FROM t WHERE (a > 1)");
+        // Roundtrip: canonical rendering re-parses to the same AST.
+        assert_eq!(parse_statement(&s.to_string()).unwrap(), s);
+        // SUBSCRIBE is contextual: still valid as an identifier.
+        assert!(parse_statement("SELECT subscribe FROM t").is_ok());
+    }
+
+    #[test]
+    fn unsubscribe_statement() {
+        let s = parse_statement("UNSUBSCRIBE 3").unwrap();
+        assert_eq!(s, Statement::Unsubscribe { id: 3 });
+        assert_eq!(s.to_string(), "UNSUBSCRIBE 3");
+        assert_eq!(parse_statement(&s.to_string()).unwrap(), s);
+        assert!(parse_statement("UNSUBSCRIBE").is_err());
+        assert!(parse_statement("UNSUBSCRIBE x").is_err());
+        assert!(parse_statement("UNSUBSCRIBE -1").is_err());
+    }
+
+    #[test]
+    fn explain_subscribe() {
+        let s = parse_statement("EXPLAIN SUBSCRIBE SELECT a FROM t").unwrap();
+        let Statement::Explain { statement, analyze } = &s else {
+            panic!("expected EXPLAIN, got {s:?}")
+        };
+        assert!(!analyze);
+        assert!(matches!(**statement, Statement::Subscribe(_)));
+        assert_eq!(s.to_string(), "EXPLAIN SUBSCRIBE SELECT a FROM t");
     }
 
     #[test]

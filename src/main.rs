@@ -11,8 +11,13 @@
 //!
 //! Meta commands: `\help`, `\tables`, `\schema <t>`, `\explain <sql>`,
 //! `\preview <sql>`, `\platform <amt|mobile> [seed]`, `\wrm`, `\stats`,
-//! `\metrics`, `\events [n]`, `\cancel`, `\connect`, `\disconnect`,
-//! `\quit`.
+//! `\metrics`, `\events [n]`, `\watch [sql]`, `\unwatch <id>`,
+//! `\cancel`, `\connect`, `\disconnect`, `\quit`.
+//!
+//! `\watch SELECT ...` registers a standing query; each later bare
+//! `\watch` drains its pending delta batches (`+`/`-` rows with
+//! revision numbers). Statements keep triggering re-evaluation as DML
+//! commits and crowd rounds settle.
 //!
 //! `\connect HOST:PORT` switches the shell from the embedded engine to
 //! a remote `crowddb-serve` instance over CDBP; statements then execute
@@ -53,6 +58,9 @@ fn print_help() {
          \\stats                platform counters\n\
          \\metrics              engine metrics (Prometheus text format)\n\
          \\events [n]           last n structured events as JSON lines (default 20)\n\
+         \\watch <sql>          register a standing query (SUBSCRIBE); prints its id\n\
+         \\watch                drain pending delta batches of every watched query\n\
+         \\unwatch <id>         drop a standing query\n\
          \\cancel               stop the next statement at its first governor checkpoint\n\
          \\connect <addr> [tenant [token [seed]]]  statements go to a crowddb-serve over CDBP\n\
          \\disconnect           return to the embedded in-process engine\n\
@@ -140,10 +148,56 @@ fn run_remote(remote: &mut RemoteClient, sql: &str) -> bool {
     }
 }
 
+/// Print one delta batch in `\watch` form: revision header, then rows
+/// prefixed `+` (entering) / `-` (leaving). Snapshots replace state.
+fn print_delta(
+    id: u64,
+    revision: u64,
+    snapshot: bool,
+    added: &[crowddb::Row],
+    removed: &[crowddb::Row],
+) {
+    println!(
+        "watch {id} rev {revision}{}: +{} -{}",
+        if snapshot { " (snapshot)" } else { "" },
+        added.len(),
+        removed.len()
+    );
+    for r in removed {
+        println!("  - {}", row_text(r));
+    }
+    for r in added {
+        println!("  + {}", row_text(r));
+    }
+}
+
+fn row_text(r: &crowddb::Row) -> String {
+    r.values()
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Drain one embedded subscription's queue, reporting lag and resync.
+fn drain_embedded(db: &CrowdDB, id: u64) {
+    loop {
+        match db.poll_subscription(id) {
+            Ok(Some(b)) => print_delta(id, b.revision, b.snapshot, &b.added, &b.removed),
+            Ok(None) => break,
+            Err(e) => {
+                println!("watch {id}: {e}");
+                break;
+            }
+        }
+    }
+}
+
 fn run_meta(
     db: &CrowdDB,
     platform: &mut Box<dyn Platform>,
     remote: &mut Option<RemoteClient>,
+    watched: &mut Vec<u64>,
     line: &str,
 ) -> bool {
     let mut parts = line.splitn(2, ' ');
@@ -248,12 +302,16 @@ fn run_meta(
                     if let Some(old) = remote.replace(client) {
                         let _ = old.close();
                     }
+                    // Remote subscriptions belong to the old session;
+                    // the server dropped them with it.
+                    watched.clear();
                 }
                 Err(e) => println!("error: {e}"),
             }
         }
         "\\disconnect" => match remote.take() {
             Some(client) => {
+                watched.clear();
                 let session = client.session();
                 match client.close() {
                     Ok(()) => println!("session {session} closed — back on the embedded engine"),
@@ -273,6 +331,74 @@ fn run_meta(
                 println!("{}", rec.to_json());
             }
         }
+        "\\watch" if arg.is_empty() => match remote.as_mut() {
+            Some(client) => {
+                if watched.is_empty() {
+                    println!("(nothing watched — \\watch SELECT ... first)");
+                }
+                for id in watched.clone() {
+                    match client.poll_deltas(id, 32) {
+                        Ok(batches) if batches.is_empty() => println!("watch {id}: caught up"),
+                        Ok(batches) => {
+                            for b in batches {
+                                print_delta(id, b.revision, b.snapshot, &b.added, &b.removed);
+                            }
+                        }
+                        Err(e) => println!("watch {id}: {e}"),
+                    }
+                }
+            }
+            None => {
+                let subs = db.subscriptions();
+                if subs.is_empty() {
+                    println!("(nothing watched — \\watch SELECT ... first)");
+                }
+                for (id, sql) in subs {
+                    println!("watch {id}: {sql}");
+                    drain_embedded(db, id);
+                }
+            }
+        },
+        "\\watch" => match remote.as_mut() {
+            Some(client) => match client.subscribe(arg) {
+                Ok((id, columns)) => {
+                    watched.push(id);
+                    println!("watching as {} ({})", id, columns.join(", "));
+                    match client.poll_deltas(id, 32) {
+                        Ok(batches) => {
+                            for b in batches {
+                                print_delta(id, b.revision, b.snapshot, &b.added, &b.removed);
+                            }
+                        }
+                        Err(e) => println!("watch {id}: {e}"),
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            None => match db.subscribe_id(arg) {
+                Ok((id, columns)) => {
+                    println!("watching as {} ({})", id, columns.join(", "));
+                    drain_embedded(db, id);
+                }
+                Err(e) => println!("error: {e}"),
+            },
+        },
+        "\\unwatch" => match arg.parse::<u64>() {
+            Ok(id) => {
+                let result = match remote.as_mut() {
+                    Some(client) => client.unsubscribe(id).map_err(|e| e.to_string()),
+                    None => db.unsubscribe(id).map_err(|e| e.to_string()),
+                };
+                match result {
+                    Ok(()) => {
+                        watched.retain(|w| *w != id);
+                        println!("watch {id} dropped");
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            Err(_) => println!("usage: \\unwatch <id>"),
+        },
         "\\cancel" => {
             // The shell is single-threaded, so the token is armed before
             // the statement runs; the governor trips it at the first
@@ -334,6 +460,7 @@ fn main() {
     let db = CrowdDB::new();
     let mut platform: Box<dyn Platform> = Box::new(SimPlatform::amt(42, Box::new(PerfectModel)));
     let mut remote: Option<RemoteClient> = None;
+    let mut watched: Vec<u64> = Vec::new();
     let stdin = io::stdin();
     let mut buffer = String::new();
     loop {
@@ -356,7 +483,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            if !run_meta(&db, &mut platform, &mut remote, trimmed) {
+            if !run_meta(&db, &mut platform, &mut remote, &mut watched, trimmed) {
                 break;
             }
             continue;
