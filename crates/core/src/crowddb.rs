@@ -30,7 +30,9 @@ use crate::governor::{
     effective_budget, AdmissionController, CancelToken, GovernorPolicy, StatementGuard,
 };
 use crate::result::{CrowdSummary, QueryResult};
-use crate::subscribe::{self, DeltaBatch, SubRegistry, SubState, SubscriptionHandle};
+use crate::subscribe::{
+    self, DeltaBatch, SubRegistry, SubState, SubscriptionHandle, SubscriptionStatement,
+};
 use crate::taskman;
 
 /// A CrowdDB instance: storage + planner + crowd machinery.
@@ -1388,6 +1390,44 @@ impl CrowdDB {
             .collect()
     }
 
+    /// Re-arm a consumed lag notification: the next
+    /// [`CrowdDB::poll_subscription`] returns the typed lag error
+    /// again, and the one after that the resync snapshot.
+    ///
+    /// [`CrowdDB::poll_subscription`] consumes the lag flag when it
+    /// reports it. A transport that batches several polls into one
+    /// response frame can hit lag *mid-batch* — after it has already
+    /// drained deliverable batches — and its error frame cannot also
+    /// carry those batches. It delivers the batches and calls this, so
+    /// the lag error stays pending instead of being silently lost.
+    /// Unknown ids are a no-op (the subscription may have been dropped
+    /// concurrently; its polls already error).
+    pub fn rearm_subscription_lag(&self, id: u64) {
+        let mut subs = self.subs.lock();
+        if let Some(sub) = subs.subs.get_mut(&id) {
+            sub.lagged = true;
+            sub.resync_pending = false;
+        }
+    }
+
+    /// Classify `sql` as a standing-query control statement, if it is
+    /// one.
+    ///
+    /// Transports that scope subscription ids per connection (the
+    /// server does: ids are session-owned, dropped on disconnect) must
+    /// route `SUBSCRIBE`/`UNSUBSCRIBE` through their own tracking
+    /// rather than the generic query path — otherwise a subscription
+    /// opened as plain SQL would outlive its session and leak. Returns
+    /// `None` for everything else, including unparseable input (which
+    /// then fails with its real error inside execution).
+    pub fn classify_subscription_statement(&self, sql: &str) -> Option<SubscriptionStatement> {
+        match parse_statement(sql) {
+            Ok(Statement::Subscribe(_)) => Some(SubscriptionStatement::Subscribe),
+            Ok(Statement::Unsubscribe { id }) => Some(SubscriptionStatement::Unsubscribe(id)),
+            _ => None,
+        }
+    }
+
     /// Next queued delta batch for subscription `id`, if any.
     ///
     /// After the consumer fell behind its bounded queue, one call
@@ -2080,6 +2120,35 @@ mod tests {
         assert_eq!(d.added, vec![row![9i64]]);
     }
 
+    /// A consumed lag error can be re-armed: the next poll delivers the
+    /// typed error again, and the one after that the resync snapshot —
+    /// what a batching transport needs when lag surfaces after it has
+    /// already drained deliverable batches into a response frame.
+    #[test]
+    fn rearmed_lag_error_surfaces_again_then_resyncs() {
+        let mut cfg = CrowdConfig::fast_test();
+        cfg.subscriptions.max_queue_batches = 1;
+        let db = CrowdDB::with_config(cfg);
+        let mut p = MockPlatform::unanimous(|_| Answer::Blank);
+        db.execute("CREATE TABLE t (a INTEGER)", &mut p).unwrap();
+        let sub = db.subscribe("SELECT a FROM t").unwrap();
+        for i in 0..3 {
+            db.execute(&format!("INSERT INTO t VALUES ({i})"), &mut p)
+                .unwrap();
+        }
+        let id = sub.id();
+        let err = db.poll_subscription(id).unwrap_err();
+        assert_eq!(err.category(), "subscription-lagged");
+        db.rearm_subscription_lag(id);
+        let err = db.poll_subscription(id).unwrap_err();
+        assert_eq!(err.category(), "subscription-lagged");
+        let resync = db.poll_subscription(id).unwrap().unwrap();
+        assert!(resync.snapshot);
+        assert_eq!(resync.added, vec![row![0i64], row![1i64], row![2i64]]);
+        // Unknown ids are a no-op, not a panic.
+        db.rearm_subscription_lag(9999);
+    }
+
     #[test]
     fn drop_table_fails_watching_subscriptions() {
         let db = CrowdDB::with_config(CrowdConfig::fast_test());
@@ -2102,6 +2171,21 @@ mod tests {
         let _sub = db.subscribe("SELECT a FROM t").unwrap();
         let err = db.subscribe("SELECT a FROM t").unwrap_err();
         assert_eq!(err.category(), "overloaded");
+    }
+
+    #[test]
+    fn classify_subscription_statement_routes_control_sql() {
+        let db = CrowdDB::new();
+        assert_eq!(
+            db.classify_subscription_statement("SUBSCRIBE SELECT a FROM t"),
+            Some(SubscriptionStatement::Subscribe)
+        );
+        assert_eq!(
+            db.classify_subscription_statement("UNSUBSCRIBE 7"),
+            Some(SubscriptionStatement::Unsubscribe(7))
+        );
+        assert_eq!(db.classify_subscription_statement("SELECT a FROM t"), None);
+        assert_eq!(db.classify_subscription_statement("not sql at all"), None);
     }
 
     #[test]

@@ -41,4 +41,6 @@ pub use crowddb_obs::{Event, EventRecord, MetricsSnapshot, Obs};
 pub use crowddb_wal::FsyncPolicy;
 pub use governor::{AdmissionController, CancelToken, GovernorPolicy, StatementGuard};
 pub use result::{CrowdSummary, QueryResult};
-pub use subscribe::{canonical_rows, DeltaBatch, SubscriberState, SubscriptionHandle};
+pub use subscribe::{
+    canonical_rows, DeltaBatch, SubscriberState, SubscriptionHandle, SubscriptionStatement,
+};

@@ -25,14 +25,14 @@ use crowddb_server::{Server, ServerConfig, TenantConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: crowddb-serve [--addr HOST:PORT] [--data DIR] \
-         [--tenant NAME[:TOKEN[:QUOTA_CENTS]]]... [--max-connections N] \
+         [--tenant NAME[:TOKEN[:QUOTA_CENTS[:MAX_SUBS]]]]... [--max-connections N] \
          [--max-statements N] [--max-crowd-statements N]"
     );
     std::process::exit(2);
 }
 
 fn parse_tenant(spec: &str) -> TenantConfig {
-    let mut parts = spec.splitn(3, ':');
+    let mut parts = spec.splitn(4, ':');
     let name = parts.next().unwrap_or_default().to_string();
     let token = parts.next().unwrap_or("").to_string();
     let quota_cents = parts.next().map(|q| {
@@ -41,11 +41,18 @@ fn parse_tenant(spec: &str) -> TenantConfig {
             std::process::exit(2);
         })
     });
+    let max_subscriptions = parts.next().map(|m| {
+        m.parse().unwrap_or_else(|_| {
+            eprintln!("bad subscription cap in --tenant {spec}");
+            std::process::exit(2);
+        })
+    });
     TenantConfig {
         name,
         token,
         quota_cents,
         max_connections: None,
+        max_subscriptions,
         policy: GovernorPolicy::default(),
     }
 }

@@ -22,8 +22,8 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crowddb_common::CrowdError;
-use crowddb_core::{CancelToken, QueryResult};
+use crowddb_common::{CrowdError, Row, Value};
+use crowddb_core::{CancelToken, QueryResult, SubscriptionStatement};
 use crowddb_obs::Event;
 
 use crate::protocol::{
@@ -255,40 +255,78 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, tenant: &str, token:
                     category: "protocol".into(),
                     message: "Cancel must be the first frame of a fresh connection".into(),
                 },
+                // SUBSCRIBE/UNSUBSCRIBE arriving as plain SQL route
+                // through the same ownership tracking as the dedicated
+                // frames: a subscription opened through the generic
+                // query path would otherwise outlive its session (never
+                // in `sub_ids`, so never dropped on disconnect) and
+                // leak a standing query that re-evaluates forever.
                 Request::Query { sql } => {
                     requests += 1;
-                    execute_query(
+                    match shared.engine.db().classify_subscription_statement(&sql) {
+                        Some(SubscriptionStatement::Subscribe) => open_subscription(
+                            shared,
+                            &obs,
+                            slot.tenant(),
+                            &sql,
+                            &mut sub_ids,
+                            // The embedded engine answers this statement
+                            // with a one-row result set; the wire form
+                            // matches it exactly.
+                            |id, _columns| {
+                                Response::RowSet(wire_result(&QueryResult {
+                                    columns: vec!["subscription_id".into()],
+                                    rows: vec![Row::new(vec![Value::Int(id as i64)])],
+                                    complete: true,
+                                    ..Default::default()
+                                }))
+                            },
+                        ),
+                        Some(SubscriptionStatement::Unsubscribe(id)) => {
+                            match close_subscription(shared, slot.tenant(), id, &mut sub_ids) {
+                                Response::UnsubscribeOk => {
+                                    Response::RowSet(wire_result(&QueryResult::ddl()))
+                                }
+                                other => other,
+                            }
+                        }
+                        None => execute_query(
+                            shared,
+                            &obs,
+                            slot.tenant(),
+                            &sql,
+                            platform.as_mut(),
+                            &cancel,
+                        ),
+                    }
+                }
+                Request::Subscribe { sql } => {
+                    requests += 1;
+                    open_subscription(
                         shared,
                         &obs,
                         slot.tenant(),
                         &sql,
-                        platform.as_mut(),
-                        &cancel,
+                        &mut sub_ids,
+                        |id, columns| Response::SubscribeOk { id, columns },
                     )
-                }
-                Request::Subscribe { sql } => {
-                    requests += 1;
-                    match shared.engine.db().subscribe_id(&sql) {
-                        Ok((id, columns)) => {
-                            sub_ids.push(id);
-                            Response::SubscribeOk { id, columns }
-                        }
-                        Err(e) => engine_error(&e),
-                    }
                 }
                 Request::Poll { id, max } => {
                     requests += 1;
-                    poll_subscription(shared, id, max)
+                    // Ownership check: subscription ids are small and
+                    // sequential on an engine shared by every tenant, so
+                    // a session may only poll ids it opened — otherwise
+                    // any session could guess another tenant's id and
+                    // destructively drain (read) its delta stream.
+                    if sub_ids.contains(&id) {
+                        poll_subscription(shared, id, max)
+                    } else {
+                        unknown_subscription(id)
+                    }
                 }
                 Request::Unsubscribe { id } => {
                     requests += 1;
-                    match shared.engine.db().unsubscribe(id) {
-                        Ok(()) => {
-                            sub_ids.retain(|s| *s != id);
-                            Response::UnsubscribeOk
-                        }
-                        Err(e) => engine_error(&e),
-                    }
+                    close_subscription(shared, slot.tenant(), id, &mut sub_ids)
                 }
             };
             if !send(&mut stream, &resp) {
@@ -297,9 +335,11 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, tenant: &str, token:
         }
     }
 
-    // Disconnect (clean or not) drops this session's subscriptions.
+    // Disconnect (clean or not) drops this session's subscriptions and
+    // returns their tenant slots.
     for id in sub_ids {
         let _ = shared.engine.db().unsubscribe(id);
+        slot.tenant().release_subscription();
     }
     shared
         .sessions
@@ -311,6 +351,92 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, tenant: &str, token:
         session: session_id,
         requests,
     });
+}
+
+/// The response for a subscription id this session does not own —
+/// byte-identical to the engine's unknown-id error, so another
+/// session's id is indistinguishable from a nonexistent one.
+fn unknown_subscription(id: u64) -> Response {
+    engine_error(&CrowdError::Exec(format!("no such subscription: {id}")))
+}
+
+/// Open a standing query owned by this session.
+///
+/// The id is recorded in `sub_ids` (the session's ownership list,
+/// dropped on disconnect), a per-tenant subscription slot is taken, and
+/// the initial evaluation — bind, optimize, and one full run of the
+/// SELECT on a shared engine — pays the same local-tier admission toll
+/// as a one-shot statement, so a burst of Subscribe frames cannot
+/// bypass the server-wide concurrency cap. `ok` builds the success
+/// response from the new id and its output columns (the dedicated
+/// frame answers `SubscribeOk`; the SQL form answers a row set).
+fn open_subscription(
+    shared: &Arc<Shared>,
+    obs: &Arc<crowddb_obs::Obs>,
+    tenant: &Arc<crate::tenant::TenantState>,
+    sql: &str,
+    sub_ids: &mut Vec<u64>,
+    ok: impl FnOnce(u64, Vec<String>) -> Response,
+) -> Response {
+    let name = tenant.config.name.clone();
+    obs.registry()
+        .counter_inc(&tenant_metric("crowddb_server_requests_total", &name));
+    if !tenant.try_take_subscription() {
+        obs.registry()
+            .counter_inc(&tenant_metric("crowddb_server_overloaded_total", &name));
+        return Response::Error {
+            category: "overloaded".into(),
+            message: format!("tenant '{name}' is at its subscription limit"),
+        };
+    }
+    let timeout = shared.admission_timeout_secs;
+    let mut advance = |t: f64| std::thread::sleep(Duration::from_secs_f64(t.clamp(0.0, 30.0)));
+    // Local tier: standing evaluation never engages the crowd (it reads
+    // memorized answers), so it must not occupy a crowd slot.
+    let permit = match shared.admission.acquire(false, timeout, &mut advance) {
+        Ok(p) => p,
+        Err(e) => {
+            tenant.release_subscription();
+            obs.registry()
+                .counter_inc(&tenant_metric("crowddb_server_overloaded_total", &name));
+            obs.events().emit(Event::ServerOverloaded {
+                tenant: name,
+                crowd: false,
+            });
+            return engine_error(&e);
+        }
+    };
+    let outcome = shared.engine.db().subscribe_id(sql);
+    drop(permit);
+    match outcome {
+        Ok((id, columns)) => {
+            sub_ids.push(id);
+            ok(id, columns)
+        }
+        Err(e) => {
+            tenant.release_subscription();
+            engine_error(&e)
+        }
+    }
+}
+
+/// Drop a standing query, if this session owns it (the same ownership
+/// rule as Poll), releasing its tenant slot.
+fn close_subscription(
+    shared: &Arc<Shared>,
+    tenant: &Arc<crate::tenant::TenantState>,
+    id: u64,
+    sub_ids: &mut Vec<u64>,
+) -> Response {
+    if !sub_ids.contains(&id) {
+        return unknown_subscription(id);
+    }
+    sub_ids.retain(|s| *s != id);
+    tenant.release_subscription();
+    match shared.engine.db().unsubscribe(id) {
+        Ok(()) => Response::UnsubscribeOk,
+        Err(e) => engine_error(&e),
+    }
 }
 
 /// Drain up to `max` queued delta batches (at least one poll happens, so
@@ -329,14 +455,18 @@ fn poll_subscription(shared: &Arc<Shared>, id: u64, max: u32) -> Response {
             }),
             Ok(None) => break,
             Err(e) => {
-                // Batches already drained stay drained client-side only
-                // if we deliver them; an error frame carries no batches,
-                // so only error when nothing was collected — otherwise
-                // return what we have and let the next Poll hit the
-                // error again (lag/failure states are sticky until
-                // polled or unsubscribed).
+                // An error frame carries no batches, so only error when
+                // nothing was collected; otherwise deliver what was
+                // drained and keep the error pending for the next Poll.
+                // Failure states are sticky on their own; a lag error
+                // was consumed by the poll that reported it, so re-arm
+                // it — the contract is that lag always surfaces as the
+                // typed error, never as a silent resync.
                 if batches.is_empty() {
                     return engine_error(&e);
+                }
+                if matches!(e, CrowdError::SubscriptionLagged(_)) {
+                    db.rearm_subscription_lag(id);
                 }
                 break;
             }

@@ -39,6 +39,13 @@ pub struct TenantConfig {
     /// Maximum concurrent connections for this tenant; `None` defers to
     /// the server-wide cap alone.
     pub max_connections: Option<usize>,
+    /// Maximum concurrent standing queries across all of the tenant's
+    /// sessions; `None` defers to the engine-wide
+    /// `SubscriptionPolicy::max_subscriptions` cap alone. A per-tenant
+    /// cap keeps one tenant from filling the engine-wide registry (each
+    /// standing query re-evaluates on every relevant commit, taxing
+    /// every writer).
+    pub max_subscriptions: Option<usize>,
     /// Statement policy applied to every statement the tenant runs.
     pub policy: GovernorPolicy,
 }
@@ -52,6 +59,7 @@ impl TenantConfig {
             token: String::new(),
             quota_cents: None,
             max_connections: None,
+            max_subscriptions: None,
             policy: GovernorPolicy::default(),
         }
     }
@@ -66,6 +74,7 @@ pub struct TenantState {
     /// Cents held by in-flight statements, not yet settled as spend.
     reserved_cents: AtomicU64,
     connections: AtomicU64,
+    subscriptions: AtomicU64,
 }
 
 /// Why a `Hello` was refused.
@@ -189,6 +198,31 @@ impl TenantState {
     pub fn exhausted(&self) -> bool {
         self.remaining_cents() == Some(0)
     }
+
+    /// Standing queries currently open across the tenant's sessions.
+    pub fn subscriptions(&self) -> u64 {
+        self.subscriptions.load(Ordering::Relaxed)
+    }
+
+    /// Take a standing-query slot; `false` at the cap. The same
+    /// optimistic increment-with-rollback the connection cap uses, so
+    /// the cap is exact under concurrent `Subscribe` frames.
+    pub fn try_take_subscription(&self) -> bool {
+        let now = self.subscriptions.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(max) = self.config.max_subscriptions {
+            if now as usize > max {
+                self.subscriptions.fetch_sub(1, Ordering::SeqCst);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Release a slot taken by [`TenantState::try_take_subscription`]
+    /// (unsubscribe, or session cleanup on disconnect).
+    pub fn release_subscription(&self) {
+        self.subscriptions.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A reservation of crowd budget for one in-flight statement, from
@@ -251,6 +285,7 @@ impl TenantRegistry {
                         spent_cents: AtomicU64::new(0),
                         reserved_cents: AtomicU64::new(0),
                         connections: AtomicU64::new(0),
+                        subscriptions: AtomicU64::new(0),
                     }),
                 )
             })
@@ -333,6 +368,7 @@ mod tests {
                 token: "s3cret".into(),
                 quota_cents: Some(10),
                 max_connections: Some(2),
+                max_subscriptions: Some(2),
                 policy: GovernorPolicy::default(),
             },
             TenantConfig::open("public"),
@@ -423,6 +459,26 @@ mod tests {
         assert_eq!(tenant.remaining_cents(), None);
         assert!(!tenant.exhausted());
         assert_eq!(tenant.begin_statement().0.max_crowd_cents, None);
+    }
+
+    #[test]
+    fn subscription_cap_is_exact_and_released() {
+        let reg = registry();
+        let capped = reg.get("acme").unwrap();
+        assert!(capped.try_take_subscription());
+        assert!(capped.try_take_subscription());
+        assert!(!capped.try_take_subscription(), "cap of 2 is exact");
+        capped.release_subscription();
+        assert!(capped.try_take_subscription(), "released slot is reusable");
+        assert_eq!(capped.subscriptions(), 2);
+
+        let open = reg.get("public").unwrap();
+        for _ in 0..100 {
+            assert!(
+                open.try_take_subscription(),
+                "uncapped tenant never refuses"
+            );
+        }
     }
 
     #[test]

@@ -567,6 +567,7 @@ fn tenant_auth_and_connection_caps() {
             token: "s3cret".into(),
             quota_cents: None,
             max_connections: Some(1),
+            max_subscriptions: None,
             policy: GovernorPolicy::default(),
         },
         TenantConfig::open("public"),
@@ -596,6 +597,7 @@ fn exhausted_quota_refuses_crowd_statements_with_budget_error() {
         token: String::new(),
         quota_cents: Some(3),
         max_connections: None,
+        max_subscriptions: None,
         policy: GovernorPolicy::default(),
     }];
     let server = local_server(tenants, CrowdDB::with_config(CrowdConfig::fast_test()));
@@ -937,6 +939,135 @@ fn drain_with_active_subscriptions_shuts_down_cleanly() {
     // The subscriber's next poll fails: the stream is gone, not hung.
     let err = c.poll_deltas(id, 16).expect_err("stream ended by drain");
     assert_eq!(err.category(), "protocol", "{err}");
+}
+
+/// Subscription ids are session-owned on the wire: another session
+/// polling or unsubscribing a guessed id gets the same typed error as a
+/// nonexistent id — it can neither read the owner's delta stream nor
+/// tear its subscription down.
+#[test]
+fn foreign_subscription_ids_are_unpollable() {
+    let server = local_server(
+        vec![TenantConfig::open("public")],
+        CrowdDB::with_config(CrowdConfig::fast_test()),
+    );
+    let a = addr(&server);
+
+    let mut owner = Client::connect(&a, "public", "", 1).expect("connect owner");
+    owner.query(DDL).expect("ddl");
+    owner.query(SEED_ROWS).expect("seed");
+    let (id, _) = owner
+        .subscribe("SELECT title FROM Talk")
+        .expect("subscribe");
+
+    let mut intruder = Client::connect(&a, "public", "", 2).expect("connect intruder");
+    let err = intruder.poll_deltas(id, 16).expect_err("foreign poll");
+    assert_eq!(err.category(), "exec", "{err}");
+    let err = intruder.unsubscribe(id).expect_err("foreign unsubscribe");
+    assert_eq!(err.category(), "exec", "{err}");
+    intruder.close().expect("close intruder");
+
+    // The owner's stream is untouched: snapshot still queued, the
+    // subscription still registered.
+    assert_eq!(server.db().subscriptions().len(), 1);
+    let batches = owner.poll_deltas(id, 16).expect("owner poll");
+    assert_eq!(batches.len(), 1);
+    assert!(batches[0].snapshot);
+    owner.unsubscribe(id).expect("owner unsubscribe");
+    owner.close().expect("close owner");
+    server.join().expect("drain");
+}
+
+/// `SUBSCRIBE`/`UNSUBSCRIBE` sent as plain SQL through the generic
+/// Query frame are session-tracked exactly like the dedicated frames:
+/// the id comes back as a one-row result set, `UNSUBSCRIBE <id>` works,
+/// and a disconnect without Close drops the subscription instead of
+/// leaking it toward the engine-wide cap.
+#[test]
+fn query_path_subscribe_is_session_tracked() {
+    let server = local_server(
+        vec![TenantConfig::open("public")],
+        CrowdDB::with_config(CrowdConfig::fast_test()),
+    );
+    let a = addr(&server);
+
+    let mut c = Client::connect(&a, "public", "", 1).expect("connect");
+    c.query("CREATE TABLE Q (k INTEGER PRIMARY KEY)")
+        .expect("ddl");
+    let r = c.query("SUBSCRIBE SELECT k FROM Q").expect("subscribe sql");
+    assert_eq!(r.columns, vec!["subscription_id".to_string()]);
+    assert_eq!(r.rows.len(), 1);
+    let id = match r.rows[0].get(0) {
+        Some(crowddb_common::Value::Int(id)) => *id as u64,
+        other => panic!("expected integer subscription id, got {other:?}"),
+    };
+    // The id is live and owned by this session: pollable, and droppable
+    // via SQL too.
+    let batches = c.poll_deltas(id, 16).expect("poll sql-opened sub");
+    assert_eq!(batches.len(), 1);
+    c.query(&format!("UNSUBSCRIBE {id}"))
+        .expect("unsubscribe sql");
+    assert!(server.db().subscriptions().is_empty());
+
+    // Repeated connect/SUBSCRIBE/vanish cycles must not leak standing
+    // queries (each would re-evaluate on every commit forever and eat
+    // into the engine-wide cap).
+    for seed in 0..3 {
+        let mut leaker = Client::connect(&a, "public", "", 10 + seed).expect("connect leaker");
+        leaker
+            .query("SUBSCRIBE SELECT k FROM Q")
+            .expect("subscribe sql");
+        drop(leaker); // TCP FIN, no Close frame
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !server.db().subscriptions().is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "query-path subscriptions leaked past disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    c.close().expect("close");
+    server.join().expect("drain");
+}
+
+/// A tenant's subscription cap refuses the excess with a typed
+/// `overloaded` error, counts both frame- and SQL-opened subscriptions,
+/// and frees slots on unsubscribe and on disconnect.
+#[test]
+fn tenant_subscription_cap_is_enforced_and_released() {
+    let mut capped = TenantConfig::open("capped");
+    capped.max_subscriptions = Some(2);
+    let server = local_server(vec![capped], CrowdDB::with_config(CrowdConfig::fast_test()));
+    let a = addr(&server);
+
+    let mut c = Client::connect(&a, "capped", "", 1).expect("connect");
+    c.query("CREATE TABLE C (k INTEGER PRIMARY KEY)")
+        .expect("ddl");
+    let (id1, _) = c.subscribe("SELECT k FROM C").expect("first");
+    c.query("SUBSCRIBE SELECT k FROM C")
+        .expect("second, via sql");
+    let err = c.subscribe("SELECT k FROM C").expect_err("over the cap");
+    assert!(err.is_overloaded(), "{err}");
+
+    // Unsubscribing frees a slot.
+    c.unsubscribe(id1).expect("unsubscribe");
+    let (id3, _) = c.subscribe("SELECT k FROM C").expect("slot released");
+    let tenant = server.tenant("capped").expect("tenant state");
+    assert_eq!(tenant.subscriptions(), 2);
+    let _ = id3;
+
+    // Disconnect returns every slot.
+    drop(c);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while tenant.subscriptions() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "tenant subscription slots leaked past disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.join().expect("drain");
 }
 
 /// Server-level corruption sweep over the new frame types: every
