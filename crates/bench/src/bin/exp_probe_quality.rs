@@ -11,7 +11,7 @@
 use crowddb_bench::harness::ExperimentOutput;
 use crowddb_bench::workloads;
 use crowddb_bench::world::ProfessorWorld;
-use crowddb_core::{CrowdConfig, CrowdDB};
+use crowddb_core::{CrowdConfig, CrowdDB, QualityPolicy};
 use crowddb_platform::{SimConfig, SimPlatform};
 use crowddb_quality::VoteConfig;
 
@@ -32,10 +32,20 @@ fn main() {
     const PROFS: usize = 60;
     let corpus = workloads::professors(PROFS, 99);
 
-    for replication in [1usize, 3, 5] {
+    for (replication, policy) in [
+        (1usize, QualityPolicy::MajorityVote),
+        (3, QualityPolicy::MajorityVote),
+        (5, QualityPolicy::MajorityVote),
+        // The answer-quality v2 matrix: EM truth inference at the same
+        // replication levels, same platform bill (EM is settle-time
+        // only), posterior-reweighted verdicts.
+        (3, QualityPolicy::em()),
+        (5, QualityPolicy::em()),
+    ] {
         let db = CrowdDB::with_config(CrowdConfig {
             vote: VoteConfig::replicated(replication),
             reward_cents: 2,
+            quality: policy,
             ..CrowdConfig::default()
         });
         db.execute_local(
@@ -77,8 +87,12 @@ fn main() {
                 email_ok += 1;
             }
         }
+        let label = match policy {
+            QualityPolicy::MajorityVote => format!("{replication} (majority)"),
+            QualityPolicy::Em { .. } => format!("{replication} (em)"),
+        };
         out.rows.push(vec![
-            replication.to_string(),
+            label,
             format!("{:.1}%", 100.0 * dept_ok as f64 / PROFS as f64),
             format!("{:.1}%", 100.0 * email_ok as f64 / PROFS as f64),
             r.crowd.tasks_posted.to_string(),
@@ -89,6 +103,16 @@ fn main() {
         "expected shape: accuracy rises with replication; department (closed \
          vocabulary) converges to ~100% by 3–5 votes while e-mail (open text) \
          improves more slowly; cost grows linearly with replication"
+            .into(),
+    );
+    out.notes.push(
+        "em rows: same replication, same bill (EM is settle-time-only), verdicts \
+         from posterior reweighting. This world's errors *collude* (erring workers \
+         share a closed dept vocabulary and 50% guess the same plausible e-mail \
+         pattern), which violates the independent-error assumption EM rests on — \
+         so EM's edge here is modest: it matches majority on the closed field and \
+         recovers a point or two on e-mail at x3. E17 runs the same schema against \
+         an independent-error crowd, the regime the model actually describes."
             .into(),
     );
     out.print();

@@ -140,6 +140,18 @@ impl CrowdModel for CompanyWorld {
                     Answer::No
                 }
             }
+            TaskKind::EqualBatch { pairs, .. } => Answer::Batch(
+                pairs
+                    .iter()
+                    .map(|(l, r)| {
+                        if self.same_entity(l, r) {
+                            Answer::Yes
+                        } else {
+                            Answer::No
+                        }
+                    })
+                    .collect(),
+            ),
             _ => Answer::Blank,
         }
     }
@@ -184,6 +196,18 @@ impl CrowdModel for RankingWorld {
                     Answer::Right
                 }
             }
+            TaskKind::OrderBatch { pairs, .. } => Answer::Batch(
+                pairs
+                    .iter()
+                    .map(|(l, r)| {
+                        if self.prob_left_better(l, r) >= 0.5 {
+                            Answer::Left
+                        } else {
+                            Answer::Right
+                        }
+                    })
+                    .collect(),
+            ),
             _ => Answer::Blank,
         }
     }
@@ -198,6 +222,18 @@ impl CrowdModel for RankingWorld {
                     Answer::Right
                 }
             }
+            TaskKind::OrderBatch { pairs, .. } => Answer::Batch(
+                pairs
+                    .iter()
+                    .map(|(l, r)| {
+                        if rng.gen_bool(self.prob_left_better(l, r).clamp(0.01, 0.99)) {
+                            Answer::Left
+                        } else {
+                            Answer::Right
+                        }
+                    })
+                    .collect(),
+            ),
             _ => Answer::Blank,
         }
     }

@@ -174,6 +174,45 @@ impl Default for SubscriptionPolicy {
     }
 }
 
+/// How a round's collected ballots are turned into accepted answers at
+/// settle time.
+///
+/// Both policies see the *same* platform interaction: escalation and
+/// repost decisions during the pump loop are always majority-driven, so
+/// switching policy never changes which HITs are posted, what they
+/// cost, or the simulator's random stream — only which answer wins when
+/// the ballots are in. That is what makes the differential quality
+/// oracle (same seed, both policies, compare accuracy at identical
+/// cents) a fair comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum QualityPolicy {
+    /// Per-task strict majority over normalized answer keys (the
+    /// paper's built-in quality control). The default.
+    #[default]
+    MajorityVote,
+    /// Dawid–Skene-style EM truth inference over all of the round's
+    /// tasks jointly: per-worker reliability is estimated from
+    /// cross-task agreement and ballots are reweighted by it (see
+    /// `crowddb_quality::infer`).
+    Em {
+        /// Maximum E/M iterations per settle (0 degenerates to
+        /// majority vote).
+        max_iters: u32,
+        /// Convergence tolerance on posterior movement.
+        tol: f64,
+    },
+}
+
+impl QualityPolicy {
+    /// EM with the default iteration cap and tolerance.
+    pub fn em() -> QualityPolicy {
+        QualityPolicy::Em {
+            max_iters: 20,
+            tol: 1e-6,
+        }
+    }
+}
+
 /// Knobs controlling how CrowdDB engages the crowd.
 #[derive(Debug, Clone)]
 pub struct CrowdConfig {
@@ -228,6 +267,14 @@ pub struct CrowdConfig {
     pub governor: GovernorPolicy,
     /// Continuous-query bounds (queue depth, subscription count).
     pub subscriptions: SubscriptionPolicy,
+    /// How collected ballots become accepted answers at settle time.
+    pub quality: QualityPolicy,
+    /// Hybrid `CROWDORDER`: comparisons a machine can resolve
+    /// (identical strings, both-numeric) are ordered locally and only
+    /// genuinely incomparable pairs go to the crowd. Off by default —
+    /// turning it on changes which HITs are posted, so runs are only
+    /// comparable at equal settings.
+    pub hybrid_order: bool,
 }
 
 impl Default for CrowdConfig {
@@ -250,6 +297,8 @@ impl Default for CrowdConfig {
             storage: StoragePolicy::default(),
             governor: GovernorPolicy::default(),
             subscriptions: SubscriptionPolicy::default(),
+            quality: QualityPolicy::default(),
+            hybrid_order: false,
         }
     }
 }
@@ -276,6 +325,8 @@ impl CrowdConfig {
             storage: StoragePolicy::default(),
             governor: GovernorPolicy::default(),
             subscriptions: SubscriptionPolicy::default(),
+            quality: QualityPolicy::default(),
+            hybrid_order: false,
         }
     }
 }

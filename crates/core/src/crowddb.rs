@@ -392,6 +392,27 @@ impl CrowdDB {
         &self.config
     }
 
+    /// Switch the answer-quality policy (majority voting vs. EM truth
+    /// inference) for subsequent statements. The pump loop's platform
+    /// interaction is policy-independent; only settle-time verdicts
+    /// change, so flipping mid-session never perturbs determinism.
+    pub fn set_quality_policy(&mut self, policy: crate::config::QualityPolicy) {
+        self.config.quality = policy;
+    }
+
+    /// Set the posting/HIT batch size (`0` = one platform batch per
+    /// wave, `≥2` additionally merges same-instruction compares into
+    /// batched HITs).
+    pub fn set_max_batch_size(&mut self, size: usize) {
+        self.config.concurrency.max_batch_size = size;
+    }
+
+    /// Toggle hybrid CROWDORDER: machine-comparable sort pairs are
+    /// ordered locally, only incomparable pairs go to the crowd.
+    pub fn set_hybrid_order(&mut self, on: bool) {
+        self.config.hybrid_order = on;
+    }
+
     /// Run `f` against the Worker Relationship Manager.
     pub fn with_wrm<R>(&self, f: impl FnOnce(&mut WorkerRelationshipManager) -> R) -> R {
         f(&mut self.wrm.lock())
@@ -486,7 +507,8 @@ impl CrowdDB {
             }
         };
         reg.counter_inc("crowddb_governor_admitted_total");
-        let guard = StatementGuard::new(policy, cancel, platform.now());
+        let mut guard = StatementGuard::new(policy, cancel, platform.now());
+        guard.exec.hybrid_order = self.config.hybrid_order;
         let id = self.begin_statement(sql);
         // Panic isolation: a panicking operator (or a chaos hook) must
         // not take down the session. The unwind releases the admission
@@ -751,7 +773,8 @@ impl CrowdDB {
         while let Statement::Explain { statement, .. } = inner {
             inner = statement;
         }
-        let guard = StatementGuard::new(&self.config.governor, &self.cancel, platform.now());
+        let mut guard = StatementGuard::new(&self.config.governor, &self.cancel, platform.now());
+        guard.exec.hybrid_order = self.config.hybrid_order;
         let text = self.explain_analyze_statement(inner, platform, &guard)?;
         self.maybe_checkpoint()?;
         Ok(text)

@@ -34,7 +34,8 @@ pub mod subscribe;
 pub mod taskman;
 
 pub use config::{
-    ConcurrencyPolicy, CrowdConfig, DurabilityPolicy, RetryPolicy, SubscriptionPolicy,
+    ConcurrencyPolicy, CrowdConfig, DurabilityPolicy, QualityPolicy, RetryPolicy,
+    SubscriptionPolicy,
 };
 pub use crowddb::{sql_touches_crowd, statement_touches_crowd, CrowdDB};
 pub use crowddb_obs::{Event, EventRecord, MetricsSnapshot, Obs};

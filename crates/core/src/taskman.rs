@@ -8,13 +8,18 @@ use std::collections::{HashMap, HashSet};
 use crowddb_common::{Result, Row, TableSchema, Value};
 use crowddb_exec::{SharedCaches, TaskNeed};
 use crowddb_obs::{Event, Obs};
-use crowddb_platform::{Answer, HitId, Platform, TaskKind, TaskSpec, WorkerRelationshipManager};
-use crowddb_quality::{record_vote_outcome, MajorityVote, Normalizer, VoteOutcome};
+use crowddb_platform::{
+    batched_reward_cents, split_cents, Answer, HitId, Platform, TaskKind, TaskSpec,
+    WorkerRelationshipManager,
+};
+use crowddb_quality::{
+    infer, record_em_round, record_vote_outcome, EmConfig, MajorityVote, Normalizer, VoteOutcome,
+};
 use crowddb_storage::{Database, LogRecord};
 use crowddb_ui::manager::UiTemplateManager;
 use crowddb_ui::template::TemplateKind;
 
-use crate::config::CrowdConfig;
+use crate::config::{CrowdConfig, QualityPolicy};
 use crate::par::par_map_mut;
 
 /// Accounting for one fulfillment pass.
@@ -197,6 +202,17 @@ enum HitState {
         instruction: String,
         vote: MajorityVote,
     },
+    /// A batched compare HIT covering several Equal (or Order) needs
+    /// that share an instruction: one vote per item, mirroring how a
+    /// probe HIT carries one vote per asked column.
+    CompareBatch {
+        /// `true` for Order pairs (left/right verdicts), `false` for
+        /// Equal pairs (yes/no verdicts).
+        order: bool,
+        instruction: String,
+        pairs: Vec<(String, String)>,
+        votes: Vec<MajorityVote>,
+    },
 }
 
 /// Deterministic unit-interval hash (splitmix64 finalizer). Backoff
@@ -308,21 +324,25 @@ fn post_with_retry(
     None
 }
 
-/// One task need's lifecycle across posting, reposts, and voting.
+/// One post unit's lifecycle across posting, reposts, and voting.
 struct NeedTracker {
     state: HitState,
-    /// The currently active HIT for this need (reposts swap it; stale
+    /// The currently active HIT for this unit (reposts swap it; stale
     /// HITs stay mapped so straggler answers still count).
     hit: HitId,
     /// Virtual deadline after which the active HIT counts as abandoned.
     deadline: f64,
     reposts: u32,
-    /// No further posting/extension decisions for this need; its final
+    /// Per-assignment reward actually offered for this HIT — the base
+    /// reward for singletons, [`batched_reward_cents`] for batched
+    /// compare units. Worker payments must match what was posted.
+    reward_cents: u32,
+    /// No further posting/extension decisions for this unit; its final
     /// outcome is settled from whatever votes exist.
     resolved: bool,
     /// Answers staged by the (serial) collector this pump step, waiting
-    /// for the parallel QC ingest: `(worker_votes slot, answer)`.
-    pending: Vec<(usize, Answer)>,
+    /// for the parallel QC ingest: `(worker_votes slot, worker, answer)`.
+    pending: Vec<(usize, crowddb_platform::WorkerId, Answer)>,
 }
 
 /// Template-group key for a need, mirroring [`TaskKind::group_key`]:
@@ -340,27 +360,135 @@ fn need_group_key(need: &TaskNeed) -> String {
     }
 }
 
-/// Contiguous posting batches. `max_batch_size == 0` posts the whole
-/// wave as one platform batch (HIT groups then form server-side — the
-/// historical behavior); otherwise runs of same-template needs are
-/// chunked so each `post()` carries at most `max_batch_size` specs and
-/// a rejected batch abandons only its own needs.
-fn batch_ranges(needs: &[TaskNeed], max_batch_size: usize) -> Vec<std::ops::Range<usize>> {
-    if max_batch_size == 0 || needs.is_empty() {
-        return std::iter::once(0..needs.len()).collect();
+/// Plan the wave's *post units*: each unit is one HIT covering one or
+/// more needs. With `max_batch_size < 2` every need is its own unit
+/// (the classic one-HIT-per-need regime). Otherwise consecutive runs of
+/// same-instruction Equal (resp. Order) needs merge into batched
+/// compare HITs of up to `max_batch_size` items — the same knob that
+/// chunks posting batches now also sizes the HIT payload itself.
+/// Probe and NewTuples needs never batch: their UI is already one form.
+fn plan_units(needs: &[TaskNeed], max_batch_size: usize) -> Vec<Vec<usize>> {
+    if max_batch_size < 2 {
+        return (0..needs.len()).map(|i| vec![i]).collect();
     }
+    let batchable = |n: &TaskNeed| matches!(n, TaskNeed::Equal { .. } | TaskNeed::Order { .. });
+    let mut units = Vec::new();
+    let mut i = 0usize;
+    while i < needs.len() {
+        if !batchable(&needs[i]) {
+            units.push(vec![i]);
+            i += 1;
+            continue;
+        }
+        // `need_group_key` carries both the kind prefix ("equal:" /
+        // "order:") and the instruction, so key equality is exactly
+        // "may share a HIT".
+        let key = need_group_key(&needs[i]);
+        let mut unit = vec![i];
+        let mut j = i + 1;
+        while j < needs.len() && unit.len() < max_batch_size && need_group_key(&needs[j]) == key {
+            unit.push(j);
+            j += 1;
+        }
+        units.push(unit);
+        i = j;
+    }
+    units
+}
+
+/// Contiguous posting batches over units. `max_batch_size == 0` posts
+/// the whole wave as one platform batch (HIT groups then form
+/// server-side — the historical behavior); otherwise runs of
+/// same-template units are chunked so each `post()` carries at most
+/// `max_batch_size` specs and a rejected batch abandons only its own
+/// needs.
+fn batch_ranges(
+    needs: &[TaskNeed],
+    units: &[Vec<usize>],
+    max_batch_size: usize,
+) -> Vec<std::ops::Range<usize>> {
+    if max_batch_size == 0 || units.is_empty() {
+        return std::iter::once(0..units.len()).collect();
+    }
+    let key_of = |u: &[usize]| need_group_key(&needs[u[0]]);
     let mut ranges = Vec::new();
     let mut start = 0usize;
-    for i in 1..=needs.len() {
-        let split = i == needs.len()
+    for i in 1..=units.len() {
+        let split = i == units.len()
             || i - start >= max_batch_size
-            || need_group_key(&needs[i]) != need_group_key(&needs[start]);
+            || key_of(&units[i]) != key_of(&units[start]);
         if split {
             ranges.push(start..i);
             start = i;
         }
     }
     ranges
+}
+
+/// Build the platform spec for one post unit. Singleton units keep the
+/// classic per-need spec; multi-need units become a single batched
+/// compare HIT whose reward grows sublinearly in the item count, so the
+/// per-item price strictly drops (the batching economics the knob is
+/// for).
+fn unit_spec(
+    needs: &[TaskNeed],
+    unit: &[usize],
+    config: &CrowdConfig,
+    templates: &UiTemplateManager,
+) -> TaskSpec {
+    if unit.len() == 1 {
+        return need_to_spec(&needs[unit[0]], config, templates);
+    }
+    let pairs: Vec<(String, String)> = unit
+        .iter()
+        .map(|&i| match &needs[i] {
+            TaskNeed::Equal { left, right, .. } | TaskNeed::Order { left, right, .. } => {
+                (left.clone(), right.clone())
+            }
+            _ => unreachable!("only compare needs batch"),
+        })
+        .collect();
+    let kind = match &needs[unit[0]] {
+        TaskNeed::Equal { instruction, .. } => TaskKind::EqualBatch {
+            pairs,
+            instruction: instruction.clone(),
+        },
+        TaskNeed::Order { instruction, .. } => TaskKind::OrderBatch {
+            pairs,
+            instruction: instruction.clone(),
+        },
+        _ => unreachable!("only compare needs batch"),
+    };
+    TaskSpec::new(kind)
+        .reward(batched_reward_cents(config.reward_cents, unit.len()))
+        .replicate(config.vote.replication as u32)
+}
+
+/// Initial QC state for a post unit.
+fn unit_state(needs: &[TaskNeed], unit: &[usize]) -> HitState {
+    if unit.len() == 1 {
+        return initial_state(&needs[unit[0]]);
+    }
+    let pairs = unit
+        .iter()
+        .map(|&i| match &needs[i] {
+            TaskNeed::Equal { left, right, .. } | TaskNeed::Order { left, right, .. } => {
+                (left.clone(), right.clone())
+            }
+            _ => unreachable!("only compare needs batch"),
+        })
+        .collect();
+    let (order, instruction) = match &needs[unit[0]] {
+        TaskNeed::Equal { instruction, .. } => (false, instruction.clone()),
+        TaskNeed::Order { instruction, .. } => (true, instruction.clone()),
+        _ => unreachable!("only compare needs batch"),
+    };
+    HitState::CompareBatch {
+        order,
+        instruction,
+        votes: vec![MajorityVote::new(); unit.len()],
+        pairs,
+    }
 }
 
 fn initial_state(need: &TaskNeed) -> HitState {
@@ -445,19 +573,22 @@ pub fn fulfill_needs(
     let mut breaker = Breaker::new(policy.breaker_threshold);
     let mut elapsed = 0.0_f64;
 
-    // Post the wave: one batch by default, or same-template chunks of at
-    // most `max_batch_size` specs (HIT groups form on the platform).
-    let ranges = batch_ranges(needs, config.concurrency.max_batch_size);
-    let mut posted: Vec<Option<HitId>> = vec![None; needs.len()];
+    // Plan post units (several same-instruction compares may share one
+    // batched HIT), then post the wave: one batch by default, or
+    // same-template chunks of at most `max_batch_size` specs (HIT
+    // groups form on the platform).
+    let units = plan_units(needs, config.concurrency.max_batch_size);
+    let ranges = batch_ranges(needs, &units, config.concurrency.max_batch_size);
+    let mut posted: Vec<Option<HitId>> = vec![None; units.len()];
     let mut rejected: Vec<std::ops::Range<usize>> = Vec::new();
     for range in &ranges {
-        let chunk = &needs[range.clone()];
+        let chunk = &units[range.clone()];
         let ids = post_with_retry(
             platform,
             &mut || {
                 chunk
                     .iter()
-                    .map(|n| need_to_spec(n, config, templates))
+                    .map(|u| unit_spec(needs, u, config, templates))
                     .collect()
             },
             policy,
@@ -511,32 +642,37 @@ pub fn fulfill_needs(
     if !rejected.is_empty() {
         // Batching regime only: some chunks were rejected while others
         // posted. Abandon just the rejected needs.
-        let abandoned: usize = rejected.iter().map(std::ops::Range::len).sum();
-        summary.gave_up += abandoned as u64;
+        let mut abandoned = 0usize;
         for range in &rejected {
-            for need in &needs[range.clone()] {
-                summary.exhausted.push(need.dedup_key());
+            for unit in &units[range.clone()] {
+                abandoned += unit.len();
+                for &ni in unit {
+                    summary.exhausted.push(needs[ni].dedup_key());
+                }
             }
         }
+        summary.gave_up += abandoned as u64;
         summary.warnings.push(format!(
             "{abandoned} crowd task(s) abandoned: the platform rejected their batch"
         ));
     }
 
     let mut trackers: Vec<NeedTracker> = Vec::new();
-    // Tracker index → index into `needs` (they differ once a batch is
+    // Tracker index → index into `units` (they differ once a batch is
     // rejected or short).
-    let mut tracker_need: Vec<usize> = Vec::new();
+    let mut tracker_unit: Vec<usize> = Vec::new();
     let mut hit_to_tracker: HashMap<HitId, usize> = HashMap::new();
-    for (need_idx, hit) in posted.iter().enumerate() {
+    for (unit_idx, hit) in posted.iter().enumerate() {
         let Some(hit) = hit else { continue };
+        let unit = &units[unit_idx];
         hit_to_tracker.insert(*hit, trackers.len());
-        tracker_need.push(need_idx);
+        tracker_unit.push(unit_idx);
         trackers.push(NeedTracker {
-            state: initial_state(&needs[need_idx]),
+            state: unit_state(needs, unit),
             hit: *hit,
             deadline: elapsed + policy.hit_deadline_secs,
             reposts: 0,
+            reward_cents: batched_reward_cents(config.reward_cents, unit.len()),
             resolved: false,
             pending: Vec::new(),
         });
@@ -580,7 +716,7 @@ pub fn fulfill_needs(
             if !wrm.is_banned(resp.worker) {
                 trackers[ti]
                     .pending
-                    .push((worker_votes.len() - 1, resp.answer));
+                    .push((worker_votes.len() - 1, resp.worker, resp.answer));
             }
         }
 
@@ -593,7 +729,12 @@ pub fn fulfill_needs(
             let pending = std::mem::take(&mut t.pending);
             pending
                 .into_iter()
-                .map(|(slot, answer)| (slot, ingest_answer(&mut t.state, &answer, &normalizer)))
+                .map(|(slot, worker, answer)| {
+                    (
+                        slot,
+                        ingest_answer(&mut t.state, worker, &answer, &normalizer),
+                    )
+                })
                 .collect::<Vec<_>>()
         });
         for (slot, key) in voted.into_iter().flatten() {
@@ -654,10 +795,10 @@ pub fn fulfill_needs(
                     trackers[ti].resolved = true;
                     continue;
                 }
-                let need = &needs[tracker_need[ti]];
+                let unit = &units[tracker_unit[ti]];
                 let reposted = post_with_retry(
                     platform,
-                    &mut || vec![need_to_spec(need, config, templates)],
+                    &mut || vec![unit_spec(needs, unit, config, templates)],
                     policy,
                     &mut breaker,
                     &mut summary,
@@ -702,7 +843,9 @@ pub fn fulfill_needs(
             ));
             for i in abandoned {
                 trackers[i].resolved = true;
-                summary.exhausted.push(needs[tracker_need[i]].dedup_key());
+                for &ni in &units[tracker_unit[i]] {
+                    summary.exhausted.push(needs[ni].dedup_key());
+                }
             }
             break;
         }
@@ -714,17 +857,72 @@ pub fn fulfill_needs(
         ));
     }
 
+    // Truth inference (policy knob). Under `QualityPolicy::Em` the
+    // per-vote verdicts are re-derived from a joint worker-reliability /
+    // answer-posterior estimate over *all* of this pass's votes, Dawid–
+    // Skene style. Crucially the pump loop above already ran entirely on
+    // majority logic — extend/escalate decisions, platform calls, and
+    // RNG draws are byte-identical under either policy; EM only changes
+    // what is *believed* at settle time.
+    let em_verdicts: Option<Vec<Vec<Option<EmVerdict>>>> = match config.quality {
+        QualityPolicy::MajorityVote => None,
+        QualityPolicy::Em { max_iters, tol } => {
+            let mut tasks: Vec<infer::TaskBallots> = Vec::new();
+            for t in &trackers {
+                for vote in vote_units(&t.state) {
+                    tasks.push(vote.ballots().to_vec());
+                }
+            }
+            if tasks.iter().all(|t| t.is_empty()) {
+                None
+            } else {
+                let solution = infer::infer(&tasks, &EmConfig { max_iters, tol });
+                let mut confidences = Vec::new();
+                let mut task_idx = 0usize;
+                let verdicts = trackers
+                    .iter()
+                    .map(|t| {
+                        vote_units(&t.state)
+                            .into_iter()
+                            .map(|vote| {
+                                let map = solution.map_answer(task_idx);
+                                task_idx += 1;
+                                map.map(|(key, confidence)| {
+                                    confidences.push(confidence);
+                                    EmVerdict {
+                                        value: vote
+                                            .stored(key)
+                                            .cloned()
+                                            .unwrap_or(Value::Bool(false)),
+                                        votes: vote.count(key),
+                                    }
+                                })
+                            })
+                            .collect()
+                    })
+                    .collect();
+                record_em_round(obs.registry(), solution.iters, &confidences);
+                Some(verdicts)
+            }
+        }
+    };
+
     // Settle: compute each need's final outcome from its votes — pure
     // per-need work, on the worker pool — then apply the effects
     // (write-backs, cache puts, log records, events, warnings) serially
     // in need order. The merge order IS the determinism argument: the
     // applied effect sequence is identical for any worker count.
-    let plans = par_map_mut(&mut trackers, workers, threshold, |_, t| {
-        settle_plan(&t.state, config, &normalizer, db)
-    });
+    let plans = {
+        let em_verdicts = &em_verdicts;
+        par_map_mut(&mut trackers, workers, threshold, |i, t| {
+            let em = em_verdicts.as_ref().map(|v| v[i].as_slice());
+            settle_plan(&t.state, config, &normalizer, db, em)
+        })
+    };
     let mut winning_key: HashMap<usize, Vec<String>> = HashMap::new();
     for (ti, plan) in plans.into_iter().enumerate() {
-        let need = &needs[tracker_need[ti]];
+        let unit = &units[tracker_unit[ti]];
+        let need = &needs[unit[0]];
         match plan? {
             SettlePlan::Probe { table, tid, cols } => {
                 let mut winners = Vec::new();
@@ -898,6 +1096,80 @@ pub fn fulfill_needs(
                     }
                 }
             }
+            SettlePlan::CompareBatch {
+                order,
+                instruction,
+                items,
+            } => {
+                // One batched HIT settles as if each item had been its
+                // own compare HIT: same cache puts, same log records,
+                // same fallbacks. Cost is attributed per item with an
+                // exact remainder-first split of the batched reward so
+                // cents are conserved across any batch size.
+                let shares = split_cents(trackers[ti].reward_cents as u64, items.len());
+                let kind: &'static str = if order { "order" } else { "equal" };
+                let mut winners = Vec::new();
+                for (j, item) in items.into_iter().enumerate() {
+                    let CompareItemPlan {
+                        left,
+                        right,
+                        outcome,
+                        leader,
+                        total,
+                    } = item;
+                    record_vote(obs, kind, total, &outcome);
+                    obs.registry()
+                        .counter_add("crowddb_crowd_item_cents_total", shares[j] * total);
+                    let item_need = &needs[unit[j]];
+                    let decided = matches!(outcome, VoteOutcome::Decided { .. });
+                    let value = match outcome {
+                        VoteOutcome::Decided { value, .. } => Some(value),
+                        _ => leader,
+                    };
+                    if order {
+                        let left_preferred = value.and_then(|v| v.as_bool()).unwrap_or(true);
+                        caches.put_prefer(&left, &right, &instruction, left_preferred);
+                        summary.log.push(put_order_record(
+                            &left,
+                            &right,
+                            &instruction,
+                            left_preferred,
+                        ));
+                        winners.push(if left_preferred { "left" } else { "right" }.into());
+                        if !decided {
+                            summary.gave_up += 1;
+                            summary.warnings.push(format!(
+                                "accepted fallback preference for CROWDORDER('{left}' vs \
+                                 '{right}')"
+                            ));
+                        }
+                    } else {
+                        let had_leader = value.is_some();
+                        let verdict = value.and_then(|v| v.as_bool()).unwrap_or(false);
+                        caches.put_equal(&left, &right, &instruction, verdict);
+                        summary
+                            .log
+                            .push(put_equal_record(&left, &right, &instruction, verdict));
+                        winners.push(if verdict { "yes" } else { "no" }.into());
+                        if !decided {
+                            summary.gave_up += 1;
+                            if had_leader {
+                                summary.warnings.push(format!(
+                                    "accepted plurality verdict for CROWDEQUAL('{left}', \
+                                     '{right}')"
+                                ));
+                            } else {
+                                summary.exhausted.push(item_need.dedup_key());
+                                summary.warnings.push(format!(
+                                    "no verdicts for CROWDEQUAL('{left}', '{right}'); assumed \
+                                     FALSE"
+                                ));
+                            }
+                        }
+                    }
+                }
+                winning_key.insert(ti, winners);
+            }
         }
     }
 
@@ -906,16 +1178,22 @@ pub fn fulfill_needs(
     // scored — scoring them as disagreement would eventually ban honest
     // contributors whose task kind simply has no majority vote.
     for (worker, hit, voted) in worker_votes {
-        let winners = hit_to_tracker.get(&hit).and_then(|ti| winning_key.get(ti));
+        let ti = hit_to_tracker.get(&hit).copied();
+        // Pay what the HIT actually offered (batched compares carry a
+        // larger per-assignment reward than the per-need base).
+        let reward = ti
+            .map(|t| trackers[t].reward_cents as u64)
+            .unwrap_or(config.reward_cents as u64);
+        let winners = ti.and_then(|t| winning_key.get(&t));
         match (&voted, winners) {
             (Some(key), Some(winners)) => {
-                wrm.record_assignment(worker, config.reward_cents as u64, winners.contains(key));
+                wrm.record_assignment(worker, reward, winners.contains(key));
             }
             (Some(_), None) => {
-                wrm.record_assignment(worker, config.reward_cents as u64, true);
+                wrm.record_assignment(worker, reward, true);
             }
             (None, _) => {
-                wrm.record_contribution(worker, config.reward_cents as u64);
+                wrm.record_contribution(worker, reward);
             }
         }
     }
@@ -978,6 +1256,11 @@ enum SettlePlan {
         leader: Option<Value>,
         total: u64,
     },
+    CompareBatch {
+        order: bool,
+        instruction: String,
+        items: Vec<CompareItemPlan>,
+    },
 }
 
 /// One probe column's computed outcome: storage slot, display name,
@@ -990,13 +1273,65 @@ struct ProbeColPlan {
     total: u64,
 }
 
+/// One batched-compare item's computed outcome.
+struct CompareItemPlan {
+    left: String,
+    right: String,
+    outcome: VoteOutcome,
+    leader: Option<Value>,
+    total: u64,
+}
+
+/// An EM-inferred verdict for one vote unit: the MAP answer's stored
+/// value and its raw ballot count. `None` for units with no ballots
+/// (nothing to infer from — majority fallbacks apply).
+struct EmVerdict {
+    value: Value,
+    votes: usize,
+}
+
+/// A tracker's vote units in settle order: one per probe column, one
+/// per batched-compare item, one for a single compare, none for
+/// new-tuple collection. The EM pass indexes its verdicts by this
+/// order, so it must stay in lockstep with [`settle_plan`].
+fn vote_units(state: &HitState) -> Vec<&MajorityVote> {
+    match state {
+        HitState::Probe { votes, .. } | HitState::CompareBatch { votes, .. } => {
+            votes.iter().collect()
+        }
+        HitState::Equal { vote, .. } | HitState::Order { vote, .. } => vec![vote],
+        HitState::NewTuples { .. } => vec![],
+    }
+}
+
+/// A vote unit's final outcome: the EM verdict when truth inference ran
+/// and produced one for this unit, the plain majority outcome otherwise.
+fn unit_outcome(
+    vote: &MajorityVote,
+    config: &CrowdConfig,
+    em: Option<&[Option<EmVerdict>]>,
+    unit: usize,
+) -> VoteOutcome {
+    if let Some(Some(v)) = em.and_then(|e| e.get(unit)) {
+        return VoteOutcome::Decided {
+            value: v.value.clone(),
+            votes: v.votes,
+            total: vote.total(),
+        };
+    }
+    vote.outcome(&config.vote)
+}
+
 /// Compute a need's [`SettlePlan`] from its QC state. Reads the catalog
-/// (new-tuple parsing needs the schema) but writes nothing.
+/// (new-tuple parsing needs the schema) but writes nothing. `em`, when
+/// present, carries this tracker's EM verdicts in [`vote_units`] order
+/// and overrides the per-vote majority outcome.
 fn settle_plan(
     state: &HitState,
     config: &CrowdConfig,
     normalizer: &Normalizer,
     db: &Database,
+    em: Option<&[Option<EmVerdict>]>,
 ) -> Result<SettlePlan> {
     Ok(match state {
         HitState::Probe {
@@ -1010,10 +1345,11 @@ fn settle_plan(
             cols: columns
                 .iter()
                 .zip(votes.iter())
-                .map(|((col, name, _ty), vote)| ProbeColPlan {
+                .enumerate()
+                .map(|(j, ((col, name, _ty), vote))| ProbeColPlan {
                     col: *col,
                     name: name.clone(),
-                    outcome: vote.outcome(&config.vote),
+                    outcome: unit_outcome(vote, config, em, j),
                     leader: vote.leader().map(|(v, _)| v.clone()),
                     total: vote.total() as u64,
                 })
@@ -1045,7 +1381,7 @@ fn settle_plan(
             left: left.clone(),
             right: right.clone(),
             instruction: instruction.clone(),
-            outcome: vote.outcome(&config.vote),
+            outcome: unit_outcome(vote, config, em, 0),
             leader: vote.leader().map(|(v, _)| v.clone()),
             total: vote.total() as u64,
         },
@@ -1058,9 +1394,30 @@ fn settle_plan(
             left: left.clone(),
             right: right.clone(),
             instruction: instruction.clone(),
-            outcome: vote.outcome(&config.vote),
+            outcome: unit_outcome(vote, config, em, 0),
             leader: vote.leader().map(|(v, _)| v.clone()),
             total: vote.total() as u64,
+        },
+        HitState::CompareBatch {
+            order,
+            instruction,
+            pairs,
+            votes,
+        } => SettlePlan::CompareBatch {
+            order: *order,
+            instruction: instruction.clone(),
+            items: pairs
+                .iter()
+                .zip(votes.iter())
+                .enumerate()
+                .map(|(j, ((left, right), vote))| CompareItemPlan {
+                    left: left.clone(),
+                    right: right.clone(),
+                    outcome: unit_outcome(vote, config, em, j),
+                    leader: vote.leader().map(|(v, _)| v.clone()),
+                    total: vote.total() as u64,
+                })
+                .collect(),
         },
     })
 }
@@ -1098,7 +1455,7 @@ fn hit_decision(state: &HitState, config: &CrowdConfig) -> Decision {
         }
     };
     match state {
-        HitState::Probe { votes, .. } => {
+        HitState::Probe { votes, .. } | HitState::CompareBatch { votes, .. } => {
             let mut extend = 0u32;
             let mut any_giveup = false;
             for v in votes {
@@ -1123,7 +1480,7 @@ fn hit_decision(state: &HitState, config: &CrowdConfig) -> Decision {
 
 fn note_escalations(state: &mut HitState) {
     match state {
-        HitState::Probe { votes, .. } => {
+        HitState::Probe { votes, .. } | HitState::CompareBatch { votes, .. } => {
             for v in votes {
                 v.note_escalation();
             }
@@ -1135,14 +1492,22 @@ fn note_escalations(state: &mut HitState) {
 
 /// Feed one answer into a HIT's quality-control state; returns the
 /// normalized key the worker voted for (for agreement scoring).
-fn ingest_answer(state: &mut HitState, answer: &Answer, normalizer: &Normalizer) -> Option<String> {
+/// Ballots are recorded with the worker's identity so the EM policy can
+/// estimate per-worker reliability at settle time.
+fn ingest_answer(
+    state: &mut HitState,
+    worker: crowddb_platform::WorkerId,
+    answer: &Answer,
+    normalizer: &Normalizer,
+) -> Option<String> {
+    let w = worker.0;
     match (state, answer) {
         (HitState::Probe { columns, votes, .. }, Answer::Form(fields)) => {
             let mut first_key = None;
             for ((_, name, ty), vote) in columns.iter().zip(votes.iter_mut()) {
                 if let Some((_, text)) = fields.iter().find(|(f, _)| f == name) {
                     if let Some((key, value)) = normalizer.normalize_typed(text, *ty) {
-                        vote.add(key.clone(), value);
+                        vote.add_from(w, key.clone(), value);
                         first_key.get_or_insert(key);
                     }
                 }
@@ -1164,20 +1529,50 @@ fn ingest_answer(state: &mut HitState, answer: &Answer, normalizer: &Normalizer)
             None
         }
         (HitState::Equal { vote, .. }, Answer::Yes) => {
-            vote.add("yes".into(), Value::Bool(true));
+            vote.add_from(w, "yes".into(), Value::Bool(true));
             Some("yes".into())
         }
         (HitState::Equal { vote, .. }, Answer::No) => {
-            vote.add("no".into(), Value::Bool(false));
+            vote.add_from(w, "no".into(), Value::Bool(false));
             Some("no".into())
         }
         (HitState::Order { vote, .. }, Answer::Left) => {
-            vote.add("left".into(), Value::Bool(true));
+            vote.add_from(w, "left".into(), Value::Bool(true));
             Some("left".into())
         }
         (HitState::Order { vote, .. }, Answer::Right) => {
-            vote.add("right".into(), Value::Bool(false));
+            vote.add_from(w, "right".into(), Value::Bool(false));
             Some("right".into())
+        }
+        // A batched compare: per-item verdicts land in per-item votes.
+        // The worker is paid per assignment but not agreement-scored
+        // (there is no single majority key to compare against); the EM
+        // policy scores them properly via the ballot record instead.
+        (
+            HitState::CompareBatch {
+                order,
+                pairs,
+                votes,
+                ..
+            },
+            Answer::Batch(items),
+        ) => {
+            if items.len() != pairs.len() {
+                return None; // malformed arity: QC discards
+            }
+            for (vote, item) in votes.iter_mut().zip(items) {
+                let keyed = match (*order, item) {
+                    (false, Answer::Yes) => Some(("yes", Value::Bool(true))),
+                    (false, Answer::No) => Some(("no", Value::Bool(false))),
+                    (true, Answer::Left) => Some(("left", Value::Bool(true))),
+                    (true, Answer::Right) => Some(("right", Value::Bool(false))),
+                    _ => None, // blank/mismatched item: discarded
+                };
+                if let Some((key, value)) = keyed {
+                    vote.add_from(w, key.into(), value);
+                }
+            }
+            None
         }
         // Blank or shape-mismatched answers are discarded by QC.
         _ => None,

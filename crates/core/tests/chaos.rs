@@ -82,6 +82,10 @@ fn world_script() -> MockPlatform {
                 Answer::Right
             }
         }
+        // These scripts never post batched HITs (batching off).
+        TaskKind::EqualBatch { .. } | TaskKind::OrderBatch { .. } | TaskKind::RankGroup { .. } => {
+            Answer::Blank
+        }
     })
 }
 

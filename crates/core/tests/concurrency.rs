@@ -5,10 +5,11 @@
 //! byte-identical rows, summaries, metrics, event logs, and WAL contents,
 //! because the coordinator drives the platform serially and merges the
 //! workers' pure per-need computation in need order. Batching
-//! (`max_batch_size`) may change how specs are chunked into `post()`
-//! calls but never what the statement returns. And one `CrowdDB` shared
-//! by many sessions must survive mixed concurrent DML without deadlocks
-//! or lost log records.
+//! (`max_batch_size`) changes how compare needs are packed into HITs —
+//! so cents and post counts move — but with an honest crowd never the
+//! rows a statement returns. And one `CrowdDB` shared by many sessions
+//! must survive mixed concurrent DML without deadlocks or lost log
+//! records.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -79,6 +80,36 @@ fn scripted() -> MockPlatform {
                 Answer::Right
             }
         }
+        // Batched compares get the same per-pair verdicts the singleton
+        // arms would give, so batching changes accounting, not answers.
+        TaskKind::EqualBatch { pairs, .. } => {
+            let norm = |s: &str| s.replace('.', "").to_lowercase();
+            Answer::Batch(
+                pairs
+                    .iter()
+                    .map(|(l, r)| {
+                        if norm(l) == norm(r) {
+                            Answer::Yes
+                        } else {
+                            Answer::No
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        TaskKind::OrderBatch { pairs, .. } => Answer::Batch(
+            pairs
+                .iter()
+                .map(|(l, r)| {
+                    if l.len() >= r.len() {
+                        Answer::Left
+                    } else {
+                        Answer::Right
+                    }
+                })
+                .collect(),
+        ),
+        TaskKind::RankGroup { items, .. } => Answer::Ranking((0..items.len() as u32).collect()),
     })
 }
 
@@ -177,20 +208,40 @@ fn worker_count_never_changes_results_metrics_or_events() {
 }
 
 #[test]
-fn batch_size_never_changes_results() {
-    // Batching changes how many `post()` calls carry the wave (visible in
-    // the event log), never what comes back or what the registry counts.
+fn batch_size_never_changes_rows() {
+    // `max_batch_size <= 1` only chunks `post()` calls, so those runs are
+    // byte-identical to unbatched. `>= 2` merges compare needs into
+    // batched HITs — fewer posts and a different cents/HIT accounting by
+    // design — but an honest crowd still yields the same verdicts, so
+    // the rows every statement returns must not move.
     for seed in [1_u64, 2] {
         let golden = run_in_memory(2, 0, seed);
-        for batch in [1_usize, 2, 3] {
+        let chunked = run_in_memory(2, 1, seed);
+        assert_eq!(
+            golden.results, chunked.results,
+            "seed {seed} max_batch_size 1: results diverged"
+        );
+        assert_eq!(
+            golden.prometheus, chunked.prometheus,
+            "seed {seed} max_batch_size 1: metrics diverged"
+        );
+        let golden_rows: Vec<_> = golden.results.iter().map(|r| &r.rows).collect();
+        for batch in [2_usize, 3] {
             let run = run_in_memory(2, batch, seed);
+            let rows: Vec<_> = run.results.iter().map(|r| &r.rows).collect();
             assert_eq!(
-                golden.results, run.results,
-                "seed {seed} max_batch_size {batch}: results diverged"
+                golden_rows, rows,
+                "seed {seed} max_batch_size {batch}: rows diverged"
+            );
+            // Batched runs are still deterministic against themselves.
+            let again = run_in_memory(2, batch, seed);
+            assert_eq!(
+                run.results, again.results,
+                "seed {seed} max_batch_size {batch}: rerun diverged"
             );
             assert_eq!(
-                golden.prometheus, run.prometheus,
-                "seed {seed} max_batch_size {batch}: metrics diverged"
+                run.prometheus, again.prometheus,
+                "seed {seed} max_batch_size {batch}: rerun metrics diverged"
             );
         }
     }
@@ -229,6 +280,56 @@ fn worker_count_never_changes_wal_bytes() {
         assert_eq!(golden_bytes, bytes, "workers {workers}: WAL bytes diverged");
         assert_eq!(golden_rows, rows, "workers {workers}: recovery diverged");
     }
+}
+
+#[test]
+fn batched_write_backs_replay_identically_after_crash() {
+    // Batched HIT verdicts are split back into per-need write-backs
+    // before anything reaches the log, so the WAL never knows batching
+    // happened. After a crash (drop without close(), leaving the raw
+    // appended tail), a reopen must answer every query from the log
+    // alone — zero HITs posted — with rows identical to the pre-crash
+    // run, whether the answers were originally sourced from singleton
+    // or batched HITs.
+    let mut recovered_rows: Vec<Vec<Vec<crowddb_common::Row>>> = Vec::new();
+    for batch in [0_usize, 3] {
+        let dir = TestDir::new(&format!("conc-batch-crash-{batch}"));
+        let before = {
+            let db = CrowdDB::open_with_config(dir.path(), config(2, batch)).unwrap();
+            let mut p = scripted();
+            let r = run_suite(&db, &mut p, 1);
+            drop(db);
+            r
+        };
+        let db = CrowdDB::open_with_config(dir.path(), config(2, batch)).unwrap();
+        let mut p = scripted();
+        let selects: Vec<(usize, String)> = suite(1)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, sql)| sql.starts_with("SELECT"))
+            .collect();
+        let mut rows = Vec::new();
+        for (i, sql) in selects {
+            let r = db
+                .execute(&sql, &mut p)
+                .unwrap_or_else(|e| panic!("{sql}: {e}"));
+            assert_eq!(
+                r.crowd.tasks_posted, 0,
+                "batch {batch}: `{sql}` re-posted HITs instead of replaying"
+            );
+            assert_eq!(
+                before[i].rows, r.rows,
+                "batch {batch}: `{sql}` recovered different rows than the \
+                 pre-crash run"
+            );
+            rows.push(r.rows);
+        }
+        recovered_rows.push(rows);
+    }
+    assert_eq!(
+        recovered_rows[0], recovered_rows[1],
+        "recovery diverged between singleton-sourced and batch-sourced logs"
+    );
 }
 
 /// N sessions hammer one durable `CrowdDB` with mixed DML and reads on

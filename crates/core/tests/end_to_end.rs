@@ -94,6 +94,10 @@ fn conference_world() -> ClosureModel<impl Fn(&TaskKind) -> Answer + Send> {
                 Answer::Right
             }
         }
+        // These scripts never post batched HITs (batching off).
+        TaskKind::EqualBatch { .. } | TaskKind::OrderBatch { .. } | TaskKind::RankGroup { .. } => {
+            Answer::Blank
+        }
     })
 }
 

@@ -71,6 +71,10 @@ fn scripted() -> MockPlatform {
                 Answer::Right
             }
         }
+        // These scripts never post batched HITs (batching off).
+        TaskKind::EqualBatch { .. } | TaskKind::OrderBatch { .. } | TaskKind::RankGroup { .. } => {
+            Answer::Blank
+        }
     })
 }
 

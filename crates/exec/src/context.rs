@@ -261,6 +261,9 @@ pub struct RunStats {
     pub compare_cache_hits: u64,
     /// Crowd comparisons missing from cache.
     pub compare_cache_misses: u64,
+    /// Comparisons resolved locally by the hybrid CROWDORDER machine
+    /// path (identical/numeric operands) — no cache entry, no HIT.
+    pub machine_ordered: u64,
     /// Scans answered via a primary-key index point lookup.
     pub index_lookups: u64,
     /// Secondary-index probes (point gets, range scans, and INL
@@ -294,6 +297,12 @@ pub struct ExecGuard {
     pub trip_cancel_after: Option<u64>,
     /// Chaos hook: panic at the Nth check (panic-containment tests).
     pub panic_after: Option<u64>,
+    /// Hybrid CROWDORDER: resolve machine-comparable pairs (identical
+    /// strings, numeric operands) locally and send only genuinely
+    /// incomparable pairs to the crowd. Off by default — turning it on
+    /// changes which HITs are posted, so runs are comparable only at
+    /// equal settings.
+    pub hybrid_order: bool,
 }
 
 impl ExecGuard {
@@ -524,6 +533,11 @@ impl<'a> ExecCtx<'a> {
     /// Crowd comparison used by sorts: preferred items sort first.
     /// Cache misses record an [`TaskNeed::Order`] need and fall back to
     /// a deterministic lexicographic order for this round.
+    ///
+    /// Under [`ExecGuard::hybrid_order`], machine-comparable pairs
+    /// (identical after trimming, or both numeric) are ordered locally
+    /// and never reach the cache or the crowd — the hybrid CROWDORDER
+    /// optimization.
     pub fn crowd_compare(
         &mut self,
         left: &str,
@@ -533,6 +547,12 @@ impl<'a> ExecCtx<'a> {
         use std::cmp::Ordering;
         if left == right {
             return Ordering::Equal;
+        }
+        if self.rt.guard.hybrid_order {
+            if let Some(ord) = crowddb_quality::try_machine_order(left, right) {
+                self.rt.stats.machine_ordered += 1;
+                return ord;
+            }
         }
         match self.rt.caches.get_prefer(left, right, instruction) {
             Some(true) => {

@@ -100,6 +100,7 @@ pub struct OpStatsNode {
     pub(crate) cum_pages_read: u64,
     pub(crate) cum_pool_hits: u64,
     pub(crate) cum_index_probes: u64,
+    pub(crate) cum_machine_ordered: u64,
     pub(crate) cum_wall: Duration,
 }
 
@@ -153,6 +154,17 @@ impl OpStatsNode {
                 .sum::<u64>()
     }
 
+    /// Comparisons this operator itself resolved via the hybrid
+    /// CROWDORDER machine path.
+    pub fn machine_ordered(&self) -> u64 {
+        self.cum_machine_ordered
+            - self
+                .children
+                .iter()
+                .map(|c| c.cum_machine_ordered)
+                .sum::<u64>()
+    }
+
     /// Wall time spent in this operator itself.
     pub fn wall(&self) -> Duration {
         self.children
@@ -171,6 +183,7 @@ impl OpStatsNode {
         self.cum_pages_read += other.cum_pages_read;
         self.cum_pool_hits += other.cum_pool_hits;
         self.cum_index_probes += other.cum_index_probes;
+        self.cum_machine_ordered += other.cum_machine_ordered;
         self.cum_wall += other.cum_wall;
         for (mine, theirs) in self.children.iter_mut().zip(&other.children) {
             mine.merge(theirs);
@@ -183,7 +196,7 @@ impl OpStatsNode {
     pub fn summary(&self) -> String {
         let needs = self.needs();
         format!(
-            "rounds={} in={} out={} probe={} new={} eq={} ord={} hit={} miss={} \
+            "rounds={} in={} out={} probe={} new={} eq={} ord={} hit={} miss={} mord={} \
              pages={} pool_hit={} iprobe={} time={:?}",
             self.rounds,
             self.rows_in,
@@ -194,6 +207,7 @@ impl OpStatsNode {
             needs.order,
             self.cache_hits(),
             self.cache_misses(),
+            self.machine_ordered(),
             self.pages_read(),
             self.pool_hits(),
             self.index_probes(),
@@ -233,6 +247,7 @@ pub fn run_op(
     let needs0 = ctx.rt.need_counts;
     let hits0 = ctx.rt.stats.compare_cache_hits;
     let misses0 = ctx.rt.stats.compare_cache_misses;
+    let mord0 = ctx.rt.stats.machine_ordered;
     let probes0 = ctx.rt.stats.index_probes;
     let pager0 = ctx.db.pager_stats();
     let t0 = Instant::now();
@@ -244,6 +259,7 @@ pub fn run_op(
     node.cum_needs = node.cum_needs.add(&ctx.rt.need_counts.diff(&needs0));
     node.cum_hits += ctx.rt.stats.compare_cache_hits - hits0;
     node.cum_misses += ctx.rt.stats.compare_cache_misses - misses0;
+    node.cum_machine_ordered += ctx.rt.stats.machine_ordered - mord0;
     // Pager counters are engine-global; diffing around `execute` charges
     // this subtree's page traffic to this node (children run inside, so
     // the self-attributed accessors subtract them back out).
@@ -278,6 +294,10 @@ pub fn flush_op_stats(registry: &MetricsRegistry, stats: &OpStatsNode) {
     registry.counter_add("crowddb_exec_needs_order_total", needs.order);
     registry.counter_add("crowddb_exec_cache_hits_total", stats.cache_hits());
     registry.counter_add("crowddb_exec_cache_misses_total", stats.cache_misses());
+    registry.counter_add(
+        "crowddb_exec_machine_ordered_total",
+        stats.machine_ordered(),
+    );
     registry.counter_add("crowddb_exec_pages_read_total", stats.pages_read());
     registry.counter_add("crowddb_exec_pool_hits_total", stats.pool_hits());
     registry.counter_add("crowddb_exec_index_probes_total", stats.index_probes());

@@ -236,8 +236,12 @@ impl<P: Platform> FaultyPlatform<P> {
                     .map(|(name, _)| (name.clone(), format!("##{:016x}##", self.rng.next_u64())))
                     .collect(),
             ),
-            // Verdicts and tuple contributions degrade to an unusable
-            // submission, which quality control discards.
+            // A garbled batch keeps its arity — the wire shape survives,
+            // the verdicts don't — so codec round-trips stay valid while
+            // quality control discards every item.
+            Answer::Batch(items) => Answer::Batch(vec![Answer::Blank; items.len()]),
+            // Verdicts, rankings, and tuple contributions degrade to an
+            // unusable submission, which quality control discards.
             _ => Answer::Blank,
         }
     }

@@ -39,6 +39,7 @@ pub mod mock;
 pub mod model;
 pub mod sim;
 pub mod task;
+pub mod wire;
 pub mod worker;
 pub mod wrm;
 
@@ -47,7 +48,9 @@ pub use mock::MockPlatform;
 pub use model::{ClosureModel, CrowdModel, PerfectModel};
 pub use sim::{SimConfig, SimPlatform};
 pub use task::{
-    Answer, HitId, Platform, PlatformStats, TaskKind, TaskResponse, TaskSpec, WorkerId,
+    batched_reward_cents, split_cents, Answer, HitId, Platform, PlatformStats, TaskKind,
+    TaskResponse, TaskSpec, WorkerId,
 };
+pub use wire::{decode_answer, decode_spec, encode_answer, encode_spec};
 pub use worker::{WorkerPool, WorkerPoolConfig, WorkerProfile};
 pub use wrm::WorkerRelationshipManager;

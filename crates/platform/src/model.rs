@@ -64,6 +64,37 @@ pub fn default_erroneous(ideal: Answer, _task: &TaskKind, rng: &mut StdRng) -> A
                 )
             }
         }
+        // Batched compares: the careless worker's per-item errors are
+        // correlated — one bad worker degrades the whole batch, flipping
+        // each verdict with high probability rather than independently
+        // re-rolling worker quality per item.
+        Answer::Batch(items) => Answer::Batch(
+            items
+                .into_iter()
+                .map(|item| {
+                    if rng.gen_bool(0.7) {
+                        match item {
+                            Answer::Yes => Answer::No,
+                            Answer::No => Answer::Yes,
+                            Answer::Left => Answer::Right,
+                            Answer::Right => Answer::Left,
+                            _ => Answer::Blank,
+                        }
+                    } else {
+                        item
+                    }
+                })
+                .collect(),
+        ),
+        // A careless ranking: one adjacent transposition (the classic
+        // near-miss), or reversed outright for very short lists.
+        Answer::Ranking(mut order) => {
+            if order.len() >= 2 {
+                let i = rng.gen_range(0..order.len() - 1);
+                order.swap(i, i + 1);
+            }
+            Answer::Ranking(order)
+        }
         Answer::Blank => Answer::Blank,
     }
 }
@@ -147,6 +178,9 @@ impl CrowdModel for PerfectModel {
                 .collect()]),
             TaskKind::Equal { .. } => Answer::Yes,
             TaskKind::Order { .. } => Answer::Left,
+            TaskKind::EqualBatch { pairs, .. } => Answer::Batch(vec![Answer::Yes; pairs.len()]),
+            TaskKind::OrderBatch { pairs, .. } => Answer::Batch(vec![Answer::Left; pairs.len()]),
+            TaskKind::RankGroup { items, .. } => Answer::Ranking((0..items.len() as u32).collect()),
         }
     }
 }
@@ -222,6 +256,67 @@ mod tests {
             }
         }
         assert!(differing > 90);
+    }
+
+    #[test]
+    fn perfect_model_answers_batched_kinds() {
+        let m = PerfectModel;
+        let batch = TaskKind::OrderBatch {
+            pairs: vec![("a".into(), "b".into()), ("c".into(), "d".into())],
+            instruction: "better?".into(),
+        };
+        assert_eq!(
+            m.ideal_answer(&batch),
+            Answer::Batch(vec![Answer::Left, Answer::Left])
+        );
+        let rank = TaskKind::RankGroup {
+            items: vec!["a".into(), "b".into(), "c".into()],
+            instruction: "order these".into(),
+        };
+        assert_eq!(m.ideal_answer(&rank), Answer::Ranking(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn erroneous_batches_flip_items_but_keep_arity() {
+        let m = PerfectModel;
+        let batch = TaskKind::EqualBatch {
+            pairs: vec![("a".into(), "b".into()); 6],
+            instruction: "same?".into(),
+        };
+        let mut r = rng();
+        let mut saw_flip = false;
+        for _ in 0..50 {
+            match m.erroneous_answer(&batch, &mut r) {
+                Answer::Batch(items) => {
+                    assert_eq!(items.len(), 6, "arity preserved");
+                    saw_flip |= items.iter().any(|i| *i == Answer::No);
+                }
+                Answer::Blank => {} // whole-batch spam is allowed
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(saw_flip);
+    }
+
+    #[test]
+    fn erroneous_ranking_is_a_permutation() {
+        let m = PerfectModel;
+        let rank = TaskKind::RankGroup {
+            items: (0..5).map(|i| format!("i{i}")).collect(),
+            instruction: "order".into(),
+        };
+        let mut r = rng();
+        for _ in 0..50 {
+            match m.erroneous_answer(&rank, &mut r) {
+                Answer::Ranking(order) => {
+                    let mut sorted = order.clone();
+                    sorted.sort_unstable();
+                    assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+                }
+                Answer::Blank => {}
+                other => panic!("{other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -367,6 +367,12 @@ impl SimPlatform {
                 return;
             };
             let w = self.pool.get(worker_idx);
+            // One correctness draw per (worker, HIT). For batched kinds
+            // (EqualBatch/OrderBatch/RankGroup) this is what makes
+            // per-item errors *correlated*: a careless worker degrades
+            // the whole batch (the model then flips items with high
+            // probability), rather than re-rolling worker quality
+            // independently per item.
             let correct = !self.rng.gen_bool(w.error_rate.clamp(0.0, 1.0));
             let answer = if correct {
                 self.model.ideal_answer(&hit.spec.kind)

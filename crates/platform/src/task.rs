@@ -83,6 +83,34 @@ pub enum TaskKind {
         /// better?").
         instruction: String,
     },
+    /// Batched CrowdCompare, equality flavor: one HIT carries `k`
+    /// equality questions under the same instruction. "Human-powered
+    /// Sorts and Joins" shows batched interfaces cut HITs per answer by
+    /// ~k; the answer is an [`Answer::Batch`] with one verdict per pair,
+    /// in order.
+    EqualBatch {
+        /// `(left, right)` rendered pairs, each an equality question.
+        pairs: Vec<(String, String)>,
+        /// Question shown once for the whole batch.
+        instruction: String,
+    },
+    /// Batched CrowdCompare, ordering flavor: `k` ordering questions in
+    /// one HIT, answered by an [`Answer::Batch`] of Left/Right verdicts.
+    OrderBatch {
+        /// `(left, right)` rendered pairs, each an ordering question.
+        pairs: Vec<(String, String)>,
+        /// Question shown once for the whole batch.
+        instruction: String,
+    },
+    /// Rank an `s`-element group in one HIT (the sort interface of
+    /// "Human-powered Sorts and Joins"); answered by an
+    /// [`Answer::Ranking`] of item indices, best first.
+    RankGroup {
+        /// Rendered items to rank.
+        items: Vec<String>,
+        /// Question shown to the worker.
+        instruction: String,
+    },
 }
 
 impl TaskKind {
@@ -98,6 +126,24 @@ impl TaskKind {
             TaskKind::NewTuples { table, .. } => format!("new:{table}"),
             TaskKind::Equal { instruction, .. } => format!("equal:{instruction}"),
             TaskKind::Order { instruction, .. } => format!("order:{instruction}"),
+            // Batched tasks group separately from their single-item
+            // cousins: the UI (and the attention model) differ.
+            TaskKind::EqualBatch { instruction, .. } => format!("equalbatch:{instruction}"),
+            TaskKind::OrderBatch { instruction, .. } => format!("orderbatch:{instruction}"),
+            TaskKind::RankGroup { instruction, .. } => format!("rank:{instruction}"),
+        }
+    }
+
+    /// Number of individually-answerable items this task carries (1 for
+    /// the single-item kinds). Per-item cost attribution divides the HIT
+    /// reward by this via [`split_cents`].
+    pub fn item_count(&self) -> usize {
+        match self {
+            TaskKind::EqualBatch { pairs, .. } | TaskKind::OrderBatch { pairs, .. } => {
+                pairs.len().max(1)
+            }
+            TaskKind::RankGroup { items, .. } => items.len().max(1),
+            _ => 1,
         }
     }
 
@@ -108,8 +154,34 @@ impl TaskKind {
             TaskKind::NewTuples { table, .. } => format!("new tuples for {table}"),
             TaskKind::Equal { left, right, .. } => format!("equal? {left} ~ {right}"),
             TaskKind::Order { left, right, .. } => format!("order? {left} vs {right}"),
+            TaskKind::EqualBatch { pairs, .. } => format!("equal? batch of {}", pairs.len()),
+            TaskKind::OrderBatch { pairs, .. } => format!("order? batch of {}", pairs.len()),
+            TaskKind::RankGroup { items, .. } => format!("rank {} items", items.len()),
         }
     }
+}
+
+/// Reward for a HIT carrying `items` batched questions, given the
+/// per-single-task base reward. Batched work pays more than one task
+/// but less than `items` tasks — `max(base, base·(items+1)/2)` — so for
+/// any `items ≥ 2` the crowd cost per answered item strictly drops
+/// while workers still earn more for bigger forms.
+pub fn batched_reward_cents(base: u32, items: usize) -> u32 {
+    let items = items.max(1) as u64;
+    let base = base.max(1) as u64;
+    (base.max(base * (items + 1) / 2)).min(u32::MAX as u64) as u32
+}
+
+/// Split a HIT-level cost of `total` cents over `items` items so the
+/// parts sum *exactly* to `total`: every item gets `total / items`, and
+/// the remainder goes to the first `total % items` items. Deterministic
+/// and exact — the per-item cost attribution in `CrowdSummary` (and the
+/// benchmarks) relies on `sum(split) == total` with no rounding drift.
+pub fn split_cents(total: u64, items: usize) -> Vec<u64> {
+    let items = items.max(1);
+    let base = total / items as u64;
+    let rem = (total % items as u64) as usize;
+    (0..items).map(|i| base + u64::from(i < rem)).collect()
 }
 
 /// One answer from one assignment.
@@ -130,6 +202,11 @@ pub enum Answer {
     /// The worker submitted nothing useful (skipped / spam); quality
     /// control discards these.
     Blank,
+    /// Batched-compare answer: one verdict per batched pair, in pair
+    /// order (items a worker skipped are [`Answer::Blank`]).
+    Batch(Vec<Answer>),
+    /// Rank-group answer: item indices, best first.
+    Ranking(Vec<u32>),
 }
 
 /// A task to post: kind + marketplace parameters.
@@ -328,6 +405,51 @@ mod tests {
         })
         .replicate(0);
         assert_eq!(t.assignments, 1);
+    }
+
+    #[test]
+    fn batched_kinds_group_apart_from_single() {
+        let single = TaskKind::Equal {
+            left: "a".into(),
+            right: "b".into(),
+            instruction: "same?".into(),
+        };
+        let batch = TaskKind::EqualBatch {
+            pairs: vec![("a".into(), "b".into()), ("c".into(), "d".into())],
+            instruction: "same?".into(),
+        };
+        assert_ne!(single.group_key(), batch.group_key());
+        assert_eq!(batch.item_count(), 2);
+        assert_eq!(single.item_count(), 1);
+    }
+
+    #[test]
+    fn batched_reward_grows_sublinearly() {
+        assert_eq!(batched_reward_cents(2, 1), 2);
+        assert_eq!(batched_reward_cents(2, 4), 5); // 2*(4+1)/2
+        assert_eq!(batched_reward_cents(1, 8), 4);
+        // Strictly cheaper per item for every batch size ≥ 2.
+        for base in 1u32..=5 {
+            for k in 2usize..=16 {
+                let batched = batched_reward_cents(base, k) as f64 / k as f64;
+                assert!(batched < base as f64, "base {base} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_cents_is_exact_and_deterministic() {
+        for total in 0u64..50 {
+            for items in 1usize..10 {
+                let parts = split_cents(total, items);
+                assert_eq!(parts.len(), items);
+                assert_eq!(parts.iter().sum::<u64>(), total, "{total}/{items}");
+                // Parts differ by at most one cent.
+                let (min, max) = (parts.iter().min().unwrap(), parts.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+        assert_eq!(split_cents(7, 3), vec![3, 2, 2]);
     }
 
     #[test]

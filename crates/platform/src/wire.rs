@@ -1,0 +1,611 @@
+//! Wire codec for task specs and answers.
+//!
+//! Batched write-backs cross two untrusted boundaries: the platform API
+//! (HIT payloads) and the durable log. Both need a self-validating
+//! binary form, so every frame here is `[len:u32][payload][crc32:u32]`
+//! — the same torn-write discipline as the WAL. Any single-byte
+//! corruption of a frame (length, payload, or checksum) is rejected,
+//! never mis-decoded; the corruption suite flips every byte through
+//! every value to prove it.
+//!
+//! The payload encoding is deliberately boring: little-endian integers,
+//! `u32`-length-prefixed UTF-8 strings, one tag byte per enum variant.
+//! No recursion-unsafe shapes: a [`Answer::Batch`] may only contain
+//! leaf answers (a nested batch fails to encode's contract and decodes
+//! as an error), which bounds decode depth.
+
+use crowddb_common::{CrowdError, DataType, Result};
+
+use crate::task::{Answer, TaskKind, TaskSpec};
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven.
+fn crc32(bytes: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn unframe(buf: &[u8]) -> Result<&[u8]> {
+    if buf.len() < 8 {
+        return Err(CrowdError::Platform("wire frame truncated".into()));
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    if buf.len() != len + 8 {
+        return Err(CrowdError::Platform(format!(
+            "wire frame length mismatch: header says {len}, body has {}",
+            buf.len().saturating_sub(8)
+        )));
+    }
+    let payload = &buf[4..4 + len];
+    let want = u32::from_le_bytes(buf[4 + len..].try_into().expect("4 bytes"));
+    if crc32(payload) != want {
+        return Err(CrowdError::Platform("wire frame checksum mismatch".into()));
+    }
+    Ok(payload)
+}
+
+// ---- primitive writers/readers ------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| CrowdError::Platform("wire payload truncated".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| CrowdError::Platform("wire payload truncated".into()))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let end = self.pos + 8;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| CrowdError::Platform("wire payload truncated".into()))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let end = self.pos + len;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| CrowdError::Platform("wire payload truncated".into()))?;
+        self.pos = end;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CrowdError::Platform("wire payload not UTF-8".into()))
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(CrowdError::Platform(format!(
+                "wire payload has {} trailing byte(s)",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_pairs(out: &mut Vec<u8>, pairs: &[(String, String)]) {
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (a, b) in pairs {
+        put_string(out, a);
+        put_string(out, b);
+    }
+}
+
+fn read_pairs(r: &mut Reader<'_>) -> Result<Vec<(String, String)>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push((r.string()?, r.string()?));
+    }
+    Ok(out)
+}
+
+fn put_datatype(out: &mut Vec<u8>, ty: DataType) {
+    out.push(match ty {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Bool => 2,
+        DataType::Str => 3,
+    });
+}
+
+fn read_datatype(r: &mut Reader<'_>) -> Result<DataType> {
+    Ok(match r.u8()? {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Bool,
+        3 => DataType::Str,
+        t => return Err(CrowdError::Platform(format!("bad data-type tag {t}"))),
+    })
+}
+
+// ---- TaskKind / TaskSpec -------------------------------------------------
+
+fn put_kind(out: &mut Vec<u8>, kind: &TaskKind) {
+    match kind {
+        TaskKind::Probe {
+            table,
+            known,
+            asked,
+            instructions,
+        } => {
+            out.push(0);
+            put_string(out, table);
+            put_pairs(out, known);
+            out.extend_from_slice(&(asked.len() as u32).to_le_bytes());
+            for (c, ty) in asked {
+                put_string(out, c);
+                put_datatype(out, *ty);
+            }
+            put_string(out, instructions);
+        }
+        TaskKind::NewTuples {
+            table,
+            columns,
+            preset,
+            max_tuples,
+            instructions,
+        } => {
+            out.push(1);
+            put_string(out, table);
+            out.extend_from_slice(&(columns.len() as u32).to_le_bytes());
+            for (c, ty) in columns {
+                put_string(out, c);
+                put_datatype(out, *ty);
+            }
+            put_pairs(out, preset);
+            out.extend_from_slice(&(*max_tuples as u32).to_le_bytes());
+            put_string(out, instructions);
+        }
+        TaskKind::Equal {
+            left,
+            right,
+            instruction,
+        } => {
+            out.push(2);
+            put_string(out, left);
+            put_string(out, right);
+            put_string(out, instruction);
+        }
+        TaskKind::Order {
+            left,
+            right,
+            instruction,
+        } => {
+            out.push(3);
+            put_string(out, left);
+            put_string(out, right);
+            put_string(out, instruction);
+        }
+        TaskKind::EqualBatch { pairs, instruction } => {
+            out.push(4);
+            put_pairs(out, pairs);
+            put_string(out, instruction);
+        }
+        TaskKind::OrderBatch { pairs, instruction } => {
+            out.push(5);
+            put_pairs(out, pairs);
+            put_string(out, instruction);
+        }
+        TaskKind::RankGroup { items, instruction } => {
+            out.push(6);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                put_string(out, item);
+            }
+            put_string(out, instruction);
+        }
+    }
+}
+
+fn read_kind(r: &mut Reader<'_>) -> Result<TaskKind> {
+    Ok(match r.u8()? {
+        0 => {
+            let table = r.string()?;
+            let known = read_pairs(r)?;
+            let n = r.u32()? as usize;
+            let mut asked = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                asked.push((r.string()?, read_datatype(r)?));
+            }
+            let instructions = r.string()?;
+            TaskKind::Probe {
+                table,
+                known,
+                asked,
+                instructions,
+            }
+        }
+        1 => {
+            let table = r.string()?;
+            let n = r.u32()? as usize;
+            let mut columns = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                columns.push((r.string()?, read_datatype(r)?));
+            }
+            let preset = read_pairs(r)?;
+            let max_tuples = r.u32()? as usize;
+            let instructions = r.string()?;
+            TaskKind::NewTuples {
+                table,
+                columns,
+                preset,
+                max_tuples,
+                instructions,
+            }
+        }
+        2 => TaskKind::Equal {
+            left: r.string()?,
+            right: r.string()?,
+            instruction: r.string()?,
+        },
+        3 => TaskKind::Order {
+            left: r.string()?,
+            right: r.string()?,
+            instruction: r.string()?,
+        },
+        4 => TaskKind::EqualBatch {
+            pairs: read_pairs(r)?,
+            instruction: r.string()?,
+        },
+        5 => TaskKind::OrderBatch {
+            pairs: read_pairs(r)?,
+            instruction: r.string()?,
+        },
+        6 => {
+            let n = r.u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                items.push(r.string()?);
+            }
+            TaskKind::RankGroup {
+                items,
+                instruction: r.string()?,
+            }
+        }
+        t => return Err(CrowdError::Platform(format!("bad task-kind tag {t}"))),
+    })
+}
+
+/// Encode a [`TaskSpec`] as a self-validating frame.
+pub fn encode_spec(spec: &TaskSpec) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_kind(&mut p, &spec.kind);
+    p.extend_from_slice(&spec.reward_cents.to_le_bytes());
+    p.extend_from_slice(&spec.assignments.to_le_bytes());
+    match spec.locality {
+        None => p.push(0),
+        Some((lat, lon, radius)) => {
+            p.push(1);
+            p.extend_from_slice(&lat.to_bits().to_le_bytes());
+            p.extend_from_slice(&lon.to_bits().to_le_bytes());
+            p.extend_from_slice(&radius.to_bits().to_le_bytes());
+        }
+    }
+    frame(p)
+}
+
+/// Decode a frame produced by [`encode_spec`]; rejects any corruption.
+pub fn decode_spec(buf: &[u8]) -> Result<TaskSpec> {
+    let payload = unframe(buf)?;
+    let mut r = Reader::new(payload);
+    let kind = read_kind(&mut r)?;
+    let reward_cents = r.u32()?;
+    let assignments = r.u32()?;
+    let locality = match r.u8()? {
+        0 => None,
+        1 => Some((r.f64()?, r.f64()?, r.f64()?)),
+        t => return Err(CrowdError::Platform(format!("bad locality tag {t}"))),
+    };
+    r.finish()?;
+    Ok(TaskSpec {
+        kind,
+        reward_cents,
+        assignments,
+        locality,
+    })
+}
+
+// ---- Answer --------------------------------------------------------------
+
+fn put_answer(out: &mut Vec<u8>, answer: &Answer, allow_batch: bool) {
+    match answer {
+        Answer::Form(fields) => {
+            out.push(0);
+            put_pairs(out, fields);
+        }
+        Answer::Tuples(tuples) => {
+            out.push(1);
+            out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+            for t in tuples {
+                put_pairs(out, t);
+            }
+        }
+        Answer::Yes => out.push(2),
+        Answer::No => out.push(3),
+        Answer::Left => out.push(4),
+        Answer::Right => out.push(5),
+        Answer::Blank => out.push(6),
+        Answer::Batch(items) => {
+            if !allow_batch {
+                // A nested batch has no wire form; encode it as blank
+                // rather than recurse (quality control discards blanks).
+                out.push(6);
+                return;
+            }
+            out.push(7);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                put_answer(out, item, false);
+            }
+        }
+        Answer::Ranking(order) => {
+            out.push(8);
+            out.extend_from_slice(&(order.len() as u32).to_le_bytes());
+            for i in order {
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn read_answer(r: &mut Reader<'_>, allow_batch: bool) -> Result<Answer> {
+    Ok(match r.u8()? {
+        0 => Answer::Form(read_pairs(r)?),
+        1 => {
+            let n = r.u32()? as usize;
+            let mut tuples = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                tuples.push(read_pairs(r)?);
+            }
+            Answer::Tuples(tuples)
+        }
+        2 => Answer::Yes,
+        3 => Answer::No,
+        4 => Answer::Left,
+        5 => Answer::Right,
+        6 => Answer::Blank,
+        7 if allow_batch => {
+            let n = r.u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                items.push(read_answer(r, false)?);
+            }
+            Answer::Batch(items)
+        }
+        8 => {
+            let n = r.u32()? as usize;
+            let mut order = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                order.push(r.u32()?);
+            }
+            Answer::Ranking(order)
+        }
+        t => return Err(CrowdError::Platform(format!("bad answer tag {t}"))),
+    })
+}
+
+/// Encode an [`Answer`] as a self-validating frame.
+pub fn encode_answer(answer: &Answer) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_answer(&mut p, answer, true);
+    frame(p)
+}
+
+/// Decode a frame produced by [`encode_answer`]; rejects any corruption.
+pub fn decode_answer(buf: &[u8]) -> Result<Answer> {
+    let payload = unframe(buf)?;
+    let mut r = Reader::new(payload);
+    let answer = read_answer(&mut r, true)?;
+    r.finish()?;
+    Ok(answer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<TaskSpec> {
+        vec![
+            TaskSpec::new(TaskKind::Probe {
+                table: "talk".into(),
+                known: vec![("title".into(), "CrowdDB".into())],
+                asked: vec![
+                    ("abstract".into(), DataType::Str),
+                    ("nb".into(), DataType::Int),
+                ],
+                instructions: "check the site".into(),
+            }),
+            TaskSpec::new(TaskKind::NewTuples {
+                table: "attendee".into(),
+                columns: vec![("name".into(), DataType::Str)],
+                preset: vec![("talk".into(), "CrowdDB".into())],
+                max_tuples: 5,
+                instructions: String::new(),
+            })
+            .reward(3)
+            .replicate(2),
+            TaskSpec::new(TaskKind::Equal {
+                left: "IBM".into(),
+                right: "I.B.M.".into(),
+                instruction: "same company?".into(),
+            })
+            .near(47.6, -122.3, 500.0),
+            TaskSpec::new(TaskKind::EqualBatch {
+                pairs: vec![
+                    ("IBM".into(), "I.B.M.".into()),
+                    ("MSFT".into(), "Microsoft".into()),
+                ],
+                instruction: "same company?".into(),
+            })
+            .reward(2),
+            TaskSpec::new(TaskKind::OrderBatch {
+                pairs: vec![("a".into(), "b".into()); 3],
+                instruction: "better?".into(),
+            }),
+            TaskSpec::new(TaskKind::RankGroup {
+                items: vec!["x".into(), "y".into(), "z".into()],
+                instruction: "rank these".into(),
+            }),
+        ]
+    }
+
+    fn answers() -> Vec<Answer> {
+        vec![
+            Answer::Form(vec![("abstract".into(), "a talk".into())]),
+            Answer::Tuples(vec![vec![("name".into(), "Sam".into())]]),
+            Answer::Yes,
+            Answer::No,
+            Answer::Left,
+            Answer::Right,
+            Answer::Blank,
+            Answer::Batch(vec![Answer::Yes, Answer::Blank, Answer::No]),
+            Answer::Batch(vec![Answer::Left, Answer::Right]),
+            Answer::Ranking(vec![2, 0, 1]),
+        ]
+    }
+
+    #[test]
+    fn specs_round_trip() {
+        for spec in specs() {
+            let buf = encode_spec(&spec);
+            assert_eq!(decode_spec(&buf).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn answers_round_trip() {
+        for a in answers() {
+            let buf = encode_answer(&a);
+            assert_eq!(decode_answer(&buf).unwrap(), a, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn nested_batches_degrade_to_blank() {
+        let nested = Answer::Batch(vec![Answer::Batch(vec![Answer::Yes])]);
+        let buf = encode_answer(&nested);
+        assert_eq!(
+            decode_answer(&buf).unwrap(),
+            Answer::Batch(vec![Answer::Blank])
+        );
+    }
+
+    /// Every single-byte corruption of every frame must be *rejected* —
+    /// never silently mis-decoded. (A flip may happen to produce the
+    /// identical byte; skip those no-ops.)
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        for spec in specs() {
+            let buf = encode_spec(&spec);
+            for i in 0..buf.len() {
+                for delta in 1..=255u8 {
+                    let mut bad = buf.clone();
+                    bad[i] ^= delta;
+                    match decode_spec(&bad) {
+                        Err(_) => {}
+                        Ok(got) => {
+                            panic!("byte {i} xor {delta:#04x} decoded as {got:?} (spec {spec:?})")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_answer_corruption_is_rejected() {
+        for a in answers() {
+            let buf = encode_answer(&a);
+            for i in 0..buf.len() {
+                for delta in 1..=255u8 {
+                    let mut bad = buf.clone();
+                    bad[i] ^= delta;
+                    assert!(
+                        decode_answer(&bad).is_err(),
+                        "byte {i} xor {delta:#04x} of {a:?} decoded"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_rejected() {
+        let buf = encode_answer(&Answer::Yes);
+        for cut in 0..buf.len() {
+            assert!(decode_answer(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extended = buf.clone();
+        extended.push(0);
+        assert!(decode_answer(&extended).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

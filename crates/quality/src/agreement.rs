@@ -74,9 +74,18 @@ impl AgreementTracker {
     }
 
     /// Whether this worker should be flagged for review: at least
-    /// `min_tasks` scored tasks and an agreement rate below `threshold`.
+    /// `min_tasks` scored tasks and an agreement rate strictly below
+    /// `threshold`.
+    ///
+    /// [`rate`](AgreementTracker::rate) is always finite in `(0, 1)`,
+    /// and the comparison uses [`f64::total_cmp`] so the decision is a
+    /// total order: a non-finite `threshold` (a caller bug) flags no one
+    /// instead of depending on IEEE `NaN < x` being silently false, and
+    /// a rate exactly at the threshold never flags.
     pub fn flagged(&self, min_tasks: u64, threshold: f64) -> bool {
-        self.total >= min_tasks && self.rate() < threshold
+        threshold.is_finite()
+            && self.total >= min_tasks
+            && self.rate().total_cmp(&threshold) == std::cmp::Ordering::Less
     }
 }
 
@@ -143,6 +152,23 @@ mod tests {
             t.record(false);
         }
         assert!(t.flagged(5, 0.5));
+    }
+
+    #[test]
+    fn tracker_flagging_is_total_ordered() {
+        let mut t = AgreementTracker::default();
+        t.record(true);
+        t.record(false); // rate() is exactly 0.5
+        assert!(
+            !t.flagged(1, 0.5),
+            "rate exactly at the threshold must not flag"
+        );
+        assert!(t.flagged(1, 0.5 + 1e-9));
+        assert!(!t.flagged(1, f64::NAN), "NaN threshold flags no one");
+        assert!(
+            !t.flagged(1, f64::INFINITY),
+            "non-finite threshold flags no one"
+        );
     }
 
     #[test]

@@ -17,16 +17,22 @@
 //!   (Kendall tau) used by `CROWDORDER`;
 //! * [`agreement`] — inter-rater agreement statistics surfaced by the
 //!   Worker Relationship Manager;
+//! * [`infer`] — EM truth inference (Dawid–Skene style): joint
+//!   estimation of per-worker reliability and posterior answer
+//!   distributions, the engine behind `QualityPolicy::Em`;
 //! * [`metrics`] — votes-per-verdict counters and agreement histograms
 //!   recorded into the shared observability registry.
 
 pub mod agreement;
 pub mod entity;
+pub mod infer;
 pub mod metrics;
 pub mod normalize;
 pub mod rank;
 pub mod vote;
 
-pub use metrics::record_vote_outcome;
+pub use infer::{EmConfig, EmSolution};
+pub use metrics::{record_em_round, record_vote_outcome};
 pub use normalize::Normalizer;
+pub use rank::try_machine_order;
 pub use vote::{MajorityVote, VoteConfig, VoteOutcome};

@@ -79,6 +79,10 @@ pub enum VoteOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct MajorityVote {
     tallies: HashMap<String, (Value, usize)>,
+    /// `(worker, key)` per ballot, in arrival order. Only populated via
+    /// [`add_from`](MajorityVote::add_from); the EM truth-inference
+    /// policy consumes these to estimate per-worker reliability.
+    ballots: Vec<(u64, String)>,
     total: usize,
     escalations_used: usize,
 }
@@ -94,6 +98,30 @@ impl MajorityVote {
         let e = self.tallies.entry(key).or_insert((stored, 0));
         e.1 += 1;
         self.total += 1;
+    }
+
+    /// Like [`add`](MajorityVote::add) but remembers *which* worker cast
+    /// the ballot, enabling joint worker-reliability inference
+    /// ([`crate::infer`]) at settle time.
+    pub fn add_from(&mut self, worker: u64, key: String, stored: Value) {
+        self.ballots.push((worker, key.clone()));
+        self.add(key, stored);
+    }
+
+    /// Ballots recorded through [`add_from`](MajorityVote::add_from),
+    /// in arrival order.
+    pub fn ballots(&self) -> &[(u64, String)] {
+        &self.ballots
+    }
+
+    /// The stored value first seen for `key`, if any ballot used it.
+    pub fn stored(&self, key: &str) -> Option<&Value> {
+        self.tallies.get(key).map(|(v, _)| v)
+    }
+
+    /// Raw vote count for `key`.
+    pub fn count(&self, key: &str) -> usize {
+        self.tallies.get(key).map(|(_, c)| *c).unwrap_or(0)
     }
 
     /// Total valid votes cast so far.

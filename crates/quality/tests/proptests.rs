@@ -9,13 +9,18 @@
 //! * a decided vote never returns a value **outside the candidate set**;
 //! * normalization is **idempotent** for every normalizer preset;
 //! * Borda rank aggregation is **total** (a permutation of `0..n`);
-//! * pairwise majorities and Kendall tau are **antisymmetric**.
+//! * pairwise majorities and Kendall tau are **antisymmetric**;
+//! * EM truth inference is **permutation-invariant** in both ballot and
+//!   task order, **reduces to majority vote** at zero iterations,
+//!   always yields **normalized, finite posteriors**, and is a
+//!   **fixed point** of its own refinement.
 
 use std::collections::HashMap;
 
 use crowddb_common::Value;
+use crowddb_quality::infer::{infer, refine, TaskBallots};
 use crowddb_quality::rank::{kendall_tau, PairwiseVotes};
-use crowddb_quality::{MajorityVote, Normalizer, VoteConfig, VoteOutcome};
+use crowddb_quality::{EmConfig, MajorityVote, Normalizer, VoteConfig, VoteOutcome};
 
 /// splitmix64 — tiny, seedable, and plenty random for test-case
 /// generation.
@@ -228,5 +233,163 @@ fn kendall_tau_is_antisymmetric_under_reversal() {
             (tau + tau_rev).abs() < 1e-12,
             "tau({a:?}, {b:?}) = {tau} but reversed gives {tau_rev}"
         );
+    }
+}
+
+/// A random round of EM tasks: 1–6 tasks, each with 1–7 ballots cast by
+/// workers drawn from a pool of 6 over a 4-key alphabet. Worker identity
+/// repeats across tasks, so reliability estimation has signal to chew on.
+fn random_tasks(rng: &mut Rng) -> Vec<TaskBallots> {
+    let n_tasks = 1 + rng.below(6);
+    (0..n_tasks)
+        .map(|_| {
+            let n = 1 + rng.below(7);
+            (0..n)
+                .map(|_| (rng.below(6) as u64, format!("key-{}", rng.below(4))))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn em_is_permutation_invariant() {
+    // Shuffling ballot arrival order within tasks AND reordering whole
+    // tasks must not change posterior mass or reliability beyond float
+    // roundoff (summation order moves the last bits) — the model
+    // conditions on the multiset of (worker, key) ballots.
+    let mut rng = Rng::new(0xE31);
+    let cfg = EmConfig::default();
+    for _ in 0..150 {
+        let tasks = random_tasks(&mut rng);
+        let baseline = infer(&tasks, &cfg);
+        let mut shuffled = tasks.clone();
+        for ballots in &mut shuffled {
+            rng.shuffle(ballots);
+        }
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        rng.shuffle(&mut order);
+        let permuted: Vec<TaskBallots> = order.iter().map(|&i| shuffled[i].clone()).collect();
+        let sol = infer(&permuted, &cfg);
+        for (w, r) in &baseline.reliability {
+            assert!(
+                (sol.reliability[w] - r).abs() < 1e-6,
+                "worker {w}: reliability moved under permutation"
+            );
+        }
+        for (new_t, &old_t) in order.iter().enumerate() {
+            for ((ka, pa), (kb, pb)) in sol.posteriors[new_t]
+                .iter()
+                .zip(&baseline.posteriors[old_t])
+            {
+                assert_eq!(ka, kb, "task {old_t}: candidate sets diverged");
+                assert!(
+                    (pa - pb).abs() < 1e-6,
+                    "task {old_t} key {ka}: posterior depends on order ({pa} vs {pb})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn em_with_zero_iters_is_majority_vote() {
+    // `max_iters == 0` must make the MAP answer coincide with
+    // `MajorityVote::leader` — same winner, same tie-break to the
+    // smaller key — on every input, not just crafted examples.
+    let mut rng = Rng::new(0xE32);
+    let cfg = EmConfig {
+        max_iters: 0,
+        tol: 1e-6,
+    };
+    for _ in 0..300 {
+        let tasks = random_tasks(&mut rng);
+        let sol = infer(&tasks, &cfg);
+        assert_eq!(sol.iters, 0);
+        for (t, ballots) in tasks.iter().enumerate() {
+            let mut vote = MajorityVote::new();
+            for (w, key) in ballots {
+                vote.add_from(*w, key.clone(), Value::str(key.to_uppercase()));
+            }
+            let (leader_value, leader_votes) = vote.leader().expect("non-empty task");
+            let (map_key, conf) = sol.map_answer(t).expect("non-empty task");
+            assert_eq!(
+                Value::str(map_key.to_uppercase()),
+                *leader_value,
+                "task {t}: EM@0 and majority disagree on {ballots:?}"
+            );
+            let frac = leader_votes as f64 / ballots.len() as f64;
+            assert!(
+                (conf - frac).abs() < 1e-12,
+                "task {t}: posterior {conf} is not the vote fraction {frac}"
+            );
+        }
+    }
+}
+
+#[test]
+fn em_posteriors_are_normalized_and_finite() {
+    // For every random input and iteration budget: each non-empty task's
+    // posterior sums to 1 with no NaN/negative/infinite mass, and the
+    // reliability estimates stay inside the documented clamp.
+    let mut rng = Rng::new(0xE33);
+    for _ in 0..200 {
+        let tasks = random_tasks(&mut rng);
+        let cfg = EmConfig {
+            max_iters: rng.below(30) as u32,
+            tol: 0.0, // never converge early: exercise the full budget
+        };
+        let sol = infer(&tasks, &cfg);
+        for (t, dist) in sol.posteriors.iter().enumerate() {
+            assert!(!dist.is_empty(), "task {t} had ballots");
+            let sum: f64 = dist.iter().map(|(_, p)| p).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "task {t}: sums to {sum}");
+            assert!(
+                dist.iter().all(|(_, p)| p.is_finite() && *p >= 0.0),
+                "task {t}: non-finite or negative posterior in {dist:?}"
+            );
+        }
+        for (w, r) in &sol.reliability {
+            assert!(
+                (0.05..=0.95).contains(r),
+                "worker {w}: reliability {r} escaped the clamp"
+            );
+        }
+    }
+}
+
+#[test]
+fn em_fixed_point_is_stable_under_refinement() {
+    // Run EM to convergence, then refine again from the converged
+    // posteriors: nothing may move by more than the tolerance. A policy
+    // whose output shifts when re-settled would break settle-time
+    // determinism.
+    let mut rng = Rng::new(0xE34);
+    let cfg = EmConfig {
+        max_iters: 200,
+        tol: 1e-12,
+    };
+    for _ in 0..100 {
+        let tasks = random_tasks(&mut rng);
+        let sol = infer(&tasks, &cfg);
+        if sol.iters >= cfg.max_iters {
+            continue; // hit the cap without converging; not a fixed point
+        }
+        let again = refine(
+            &tasks,
+            sol.posteriors.clone(),
+            &EmConfig {
+                max_iters: 1,
+                tol: 1e-12,
+            },
+        );
+        for (t, (da, db)) in sol.posteriors.iter().zip(&again.posteriors).enumerate() {
+            for ((ka, pa), (kb, pb)) in da.iter().zip(db) {
+                assert_eq!(ka, kb);
+                assert!(
+                    (pa - pb).abs() < 1e-6,
+                    "task {t} key {ka}: converged posterior moved {pa} -> {pb}"
+                );
+            }
+        }
     }
 }

@@ -106,6 +106,54 @@ fn render(kind: &TaskKind, mobile: bool) -> String {
             );
             html::page("Please pick one", instruction, &body, mobile)
         }
+        TaskKind::EqualBatch { pairs, instruction } => {
+            let mut body = String::new();
+            for (i, (left, right)) in pairs.iter().enumerate() {
+                body.push_str(&format!(
+                    "<div class=\"pair\"><span class=\"left\">{}</span> \
+                     <span class=\"vs\">vs</span> \
+                     <span class=\"right\">{}</span></div>",
+                    html::escape(left),
+                    html::escape(right)
+                ));
+                body.push_str(&html::radio_choice(
+                    &format!("verdict-{i}"),
+                    &[("yes", "Yes, the same"), ("no", "No, different")],
+                ));
+            }
+            html::page(
+                "For each pair: do these refer to the same thing?",
+                instruction,
+                &body,
+                mobile,
+            )
+        }
+        TaskKind::OrderBatch { pairs, instruction } => {
+            let mut body = String::new();
+            for (i, (left, right)) in pairs.iter().enumerate() {
+                body.push_str(&html::radio_choice(
+                    &format!("choice-{i}"),
+                    &[
+                        (&format!("left:{left}"), left),
+                        (&format!("right:{right}"), right),
+                    ],
+                ));
+            }
+            html::page("For each pair: please pick one", instruction, &body, mobile)
+        }
+        TaskKind::RankGroup { items, instruction } => {
+            let mut body = String::from("<ol class=\"rank\">");
+            for item in items {
+                body.push_str(&format!("<li>{}</li>", html::escape(item)));
+            }
+            body.push_str("</ol>");
+            html::page(
+                "Please rank these items from best to worst",
+                instruction,
+                &body,
+                mobile,
+            )
+        }
     }
 }
 

@@ -89,6 +89,8 @@ fn conference_world() -> ClosureModel<impl Fn(&TaskKind) -> Answer + Send> {
                 Answer::No
             }
         }
+        // The demo never enables batched HITs or rank groups.
+        _ => Answer::Blank,
     })
 }
 

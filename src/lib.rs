@@ -62,7 +62,7 @@
 pub use crowddb_common::{CrowdError, DataType, Result, Row, Value};
 pub use crowddb_core::{
     CancelToken, CrowdConfig, CrowdDB, CrowdSummary, DurabilityPolicy, FsyncPolicy, GovernorPolicy,
-    QueryResult, RetryPolicy,
+    QualityPolicy, QueryResult, RetryPolicy,
 };
 pub use crowddb_platform::{
     Answer, FaultConfig, FaultStats, FaultyPlatform, MockPlatform, Platform, SimConfig,

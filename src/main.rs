@@ -10,9 +10,10 @@
 //! ```
 //!
 //! Meta commands: `\help`, `\tables`, `\schema <t>`, `\explain <sql>`,
-//! `\preview <sql>`, `\platform <amt|mobile> [seed]`, `\wrm`, `\stats`,
-//! `\metrics`, `\events [n]`, `\watch [sql]`, `\unwatch <id>`,
-//! `\cancel`, `\connect`, `\disconnect`, `\quit`.
+//! `\preview <sql>`, `\platform <amt|mobile> [seed]`,
+//! `\set [quality|batch|hybrid ...]`, `\wrm`, `\stats`, `\metrics`,
+//! `\events [n]`, `\watch [sql]`, `\unwatch <id>`, `\cancel`,
+//! `\connect`, `\disconnect`, `\quit`.
 //!
 //! `\watch SELECT ...` registers a standing query; each later bare
 //! `\watch` drains its pending delta batches (`+`/`-` rows with
@@ -26,7 +27,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use crowddb::{CrowdDB, Platform, SimPlatform};
+use crowddb::{CrowdDB, Platform, QualityPolicy, SimPlatform};
 use crowddb_platform::PerfectModel;
 use crowddb_server::{Client as RemoteClient, ClientError, WireResult};
 
@@ -53,6 +54,10 @@ fn print_help() {
          \\explain <sql>        optimized plan + cardinality + boundedness\n\
          \\preview <sql>        HTML of the first crowd task the query would post\n\
          \\platform <k> [seed]  switch crowd platform (amt | mobile)\n\
+         \\set                  show quality / batch / hybrid knobs\n\
+         \\set quality <majority|em[:iters[:tol]]>  answer-quality policy\n\
+         \\set batch <k>        merge up to k compares per HIT (0/1 = singletons)\n\
+         \\set hybrid <on|off>  machine-order comparable CROWDORDER pairs\n\
          \\source <file>        run a ;-separated CrowdSQL script\n\
          \\wrm                  worker-community report\n\
          \\stats                platform counters\n\
@@ -194,7 +199,7 @@ fn drain_embedded(db: &CrowdDB, id: u64) {
 }
 
 fn run_meta(
-    db: &CrowdDB,
+    db: &mut CrowdDB,
     platform: &mut Box<dyn Platform>,
     remote: &mut Option<RemoteClient>,
     watched: &mut Vec<u64>,
@@ -235,6 +240,58 @@ fn run_meta(
                     println!("switched to '{}' (seed {seed})", platform.name());
                 }
                 Err(e) => println!("error: {e}"),
+            }
+        }
+        "\\set" if arg.is_empty() => {
+            let c = db.config();
+            let quality = match c.quality {
+                QualityPolicy::MajorityVote => "majority".to_string(),
+                QualityPolicy::Em { max_iters, tol } => {
+                    format!("em (iters {max_iters}, tol {tol})")
+                }
+            };
+            println!("quality  {quality}");
+            println!("batch    {}", c.concurrency.max_batch_size);
+            println!("hybrid   {}", if c.hybrid_order { "on" } else { "off" });
+        }
+        "\\set" => {
+            let mut words = arg.split_whitespace();
+            let knob = words.next().unwrap_or("");
+            let value = words.next().unwrap_or("");
+            match (knob, value) {
+                ("quality", "majority") => {
+                    db.set_quality_policy(QualityPolicy::MajorityVote);
+                    println!("quality policy: majority vote");
+                }
+                ("quality", v) if v == "em" || v.starts_with("em:") => {
+                    let mut spec = v.split(':').skip(1);
+                    let max_iters = spec.next().and_then(|s| s.parse().ok()).unwrap_or(20);
+                    let tol = spec.next().and_then(|s| s.parse().ok()).unwrap_or(1e-6);
+                    db.set_quality_policy(QualityPolicy::Em { max_iters, tol });
+                    println!("quality policy: EM (iters {max_iters}, tol {tol})");
+                }
+                ("batch", v) => match v.parse::<usize>() {
+                    Ok(k) => {
+                        db.set_max_batch_size(k);
+                        println!(
+                            "batch size: {k}{}",
+                            if k < 2 { " (singleton HITs)" } else { "" }
+                        );
+                    }
+                    Err(_) => println!("usage: \\set batch <non-negative integer>"),
+                },
+                ("hybrid", "on") => {
+                    db.set_hybrid_order(true);
+                    println!("hybrid CROWDORDER: on");
+                }
+                ("hybrid", "off") => {
+                    db.set_hybrid_order(false);
+                    println!("hybrid CROWDORDER: off");
+                }
+                _ => println!(
+                    "usage: \\set quality <majority|em[:iters[:tol]]> | \
+                     \\set batch <k> | \\set hybrid <on|off>"
+                ),
             }
         }
         "\\source" => match std::fs::read_to_string(arg) {
@@ -457,7 +514,7 @@ fn main() {
         "CrowdDB shell — crowd-enabled SQL (reproduction of VLDB'11 demo).\n\
          Type \\help for commands; statements end with ';'."
     );
-    let db = CrowdDB::new();
+    let mut db = CrowdDB::new();
     let mut platform: Box<dyn Platform> = Box::new(SimPlatform::amt(42, Box::new(PerfectModel)));
     let mut remote: Option<RemoteClient> = None;
     let mut watched: Vec<u64> = Vec::new();
@@ -483,7 +540,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            if !run_meta(&db, &mut platform, &mut remote, &mut watched, trimmed) {
+            if !run_meta(&mut db, &mut platform, &mut remote, &mut watched, trimmed) {
                 break;
             }
             continue;
